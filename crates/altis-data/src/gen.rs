@@ -1,0 +1,121 @@
+//! Deterministic data generators shared across the applications.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG wrapper so every workload is reproducible.
+pub struct SeededRng {
+    rng: StdRng,
+}
+
+impl SeededRng {
+    /// Create a generator for an (application, size) pair; the seed mixes
+    /// both so different apps never share streams.
+    pub fn new(app: &str, size_index: usize) -> Self {
+        let mut seed = 0xA17150_u64.wrapping_mul(size_index as u64 + 1);
+        for b in app.bytes() {
+            seed = seed.wrapping_mul(31).wrapping_add(b as u64);
+        }
+        SeededRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform f32 in `[lo, hi)`.
+    pub fn f32(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform u32 in `[0, bound)`.
+    pub fn u32(&mut self, bound: u32) -> u32 {
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Uniform usize in `[0, bound)`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Standard-normal-ish value via the sum of uniforms (cheap, smooth).
+    pub fn gaussian(&mut self) -> f32 {
+        let s: f32 = (0..12).map(|_| self.rng.gen_range(0.0f32..1.0)).sum();
+        s - 6.0
+    }
+
+    /// Vector of uniform f32 values.
+    pub fn f32_vec(&mut self, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..n).map(|_| self.f32(lo, hi)).collect()
+    }
+
+    /// Vector of uniform u32 values below `bound`.
+    pub fn u32_vec(&mut self, n: usize, bound: u32) -> Vec<u32> {
+        (0..n).map(|_| self.u32(bound)).collect()
+    }
+
+    /// A synthetic grayscale image with smooth structure plus speckle
+    /// noise (the SRAD/DWT2D input shape): base sinusoidal pattern
+    /// multiplied by noise.
+    pub fn speckled_image(&mut self, w: usize, h: usize) -> Vec<f32> {
+        let mut img = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let base = 128.0
+                    + 60.0 * ((x as f32 * 0.05).sin() + (y as f32 * 0.08).cos());
+                let speckle = 1.0 + 0.3 * (self.f32(0.0, 1.0) - 0.5);
+                img.push((base * speckle).clamp(1.0, 255.0));
+            }
+        }
+        img
+    }
+
+    /// A random DNA-style sequence of values in 0..4.
+    pub fn dna(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.u32(4) as u8).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new("kmeans", 1);
+        let mut b = SeededRng::new("kmeans", 1);
+        let va = a.f32_vec(100, 0.0, 1.0);
+        let vb = b.f32_vec(100, 0.0, 1.0);
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_apps_different_streams() {
+        let mut a = SeededRng::new("kmeans", 1);
+        let mut b = SeededRng::new("srad", 1);
+        assert_ne!(a.f32_vec(16, 0.0, 1.0), b.f32_vec(16, 0.0, 1.0));
+    }
+
+    #[test]
+    fn image_values_in_range() {
+        let mut r = SeededRng::new("srad", 2);
+        let img = r.speckled_image(64, 32);
+        assert_eq!(img.len(), 64 * 32);
+        assert!(img.iter().all(|&v| (1.0..=255.0).contains(&v)));
+    }
+
+    #[test]
+    fn dna_alphabet_is_four_letters() {
+        let mut r = SeededRng::new("nw", 3);
+        let s = r.dna(1000);
+        assert!(s.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn gaussian_is_roughly_centered() {
+        let mut r = SeededRng::new("pf", 1);
+        let mean: f32 = (0..10_000).map(|_| r.gaussian()).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.1, "mean = {mean}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # altis-data — workload generators for the Altis-SYCL-rs suite
+//!
+//! Altis ships default datasets at three sizes; this crate provides
+//! deterministic synthetic generators at three sizes for every
+//! application. The absolute scales are reduced so the whole suite runs
+//! on a laptop (the substitution is recorded in `DESIGN.md`), but the
+//! *relative* growth between sizes follows the original suite, which is
+//! what the paper's size-1/2/3 trends depend on.
+//!
+//! All generators are seeded; two runs of any generator produce identical
+//! data.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod paper_scale;
+pub mod params;
+pub mod size;
+
+pub use gen::SeededRng;
+pub use params::*;
+pub use size::InputSize;

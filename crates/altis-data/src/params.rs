@@ -1,0 +1,246 @@
+//! Per-application problem parameters at the three input sizes.
+//!
+//! Scales are reduced relative to the original Altis defaults so the
+//! whole suite executes on a laptop (documented substitution), while the
+//! inter-size growth factors follow the original suite so the paper's
+//! size-1/2/3 regime changes (overhead-bound → bandwidth-bound) are
+//! preserved.
+
+use crate::size::InputSize;
+
+/// CFD: 3D Euler solver on an unstructured mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfdParams {
+    /// Number of mesh elements.
+    pub nelr: usize,
+    /// Solver iterations.
+    pub iterations: usize,
+}
+
+/// CFD parameters at a size.
+pub fn cfd(size: InputSize) -> CfdParams {
+    CfdParams {
+        nelr: size.pick([4_096, 16_384, 65_536]),
+        iterations: size.pick([4, 6, 8]),
+    }
+}
+
+/// DWT2D: 2D discrete wavelet transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dwt2dParams {
+    /// Image width and height (square).
+    pub dim: usize,
+    /// Transform levels.
+    pub levels: usize,
+}
+
+/// DWT2D parameters at a size.
+pub fn dwt2d(size: InputSize) -> Dwt2dParams {
+    Dwt2dParams {
+        dim: size.pick([256, 512, 1_024]),
+        levels: 3,
+    }
+}
+
+/// FDTD2D: 2D Maxwell solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fdtd2dParams {
+    /// Grid extent (nx = ny).
+    pub dim: usize,
+    /// Time steps.
+    pub steps: usize,
+}
+
+/// FDTD2D parameters at a size.
+pub fn fdtd2d(size: InputSize) -> Fdtd2dParams {
+    Fdtd2dParams {
+        dim: size.pick([128, 256, 768]),
+        steps: size.pick([20, 40, 80]),
+    }
+}
+
+/// KMeans clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KmeansParams {
+    /// Number of points.
+    pub n_points: usize,
+    /// Features per point.
+    pub n_features: usize,
+    /// Clusters.
+    pub k: usize,
+    /// Lloyd iterations.
+    pub iterations: usize,
+}
+
+/// KMeans parameters at a size.
+pub fn kmeans(size: InputSize) -> KmeansParams {
+    KmeansParams {
+        n_points: size.pick([8_192, 32_768, 131_072]),
+        n_features: 16,
+        k: 5,
+        iterations: 10,
+    }
+}
+
+/// LavaMD: short-range N-body in a 3D box grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LavamdParams {
+    /// Boxes per dimension (total boxes = boxes1d³).
+    pub boxes1d: usize,
+    /// Particles per box.
+    pub par_per_box: usize,
+}
+
+/// LavaMD parameters at a size.
+pub fn lavamd(size: InputSize) -> LavamdParams {
+    LavamdParams {
+        boxes1d: size.pick([3, 5, 7]),
+        par_per_box: 32,
+    }
+}
+
+/// Mandelbrot fractal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MandelbrotParams {
+    /// Image width and height (square).
+    pub dim: usize,
+    /// Maximum escape iterations (the paper's size-3 uses 8192).
+    pub max_iters: u32,
+}
+
+/// Mandelbrot parameters at a size.
+pub fn mandelbrot(size: InputSize) -> MandelbrotParams {
+    MandelbrotParams {
+        dim: size.pick([128, 256, 512]),
+        max_iters: size.pick([512, 2_048, 8_192]),
+    }
+}
+
+/// NW: Needleman-Wunsch alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NwParams {
+    /// Sequence length (both sequences).
+    pub len: usize,
+    /// Gap penalty.
+    pub penalty: i32,
+}
+
+/// NW parameters at a size.
+pub fn nw(size: InputSize) -> NwParams {
+    NwParams {
+        len: size.pick([512, 1_024, 2_048]),
+        penalty: 10,
+    }
+}
+
+/// ParticleFilter target tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfParams {
+    /// Number of particles.
+    pub n_particles: usize,
+    /// Video frames.
+    pub frames: usize,
+    /// Frame extent (square).
+    pub dim: usize,
+}
+
+/// ParticleFilter parameters at a size.
+pub fn particlefilter(size: InputSize) -> PfParams {
+    PfParams {
+        n_particles: size.pick([1_024, 4_096, 16_384]),
+        frames: 8,
+        dim: 128,
+    }
+}
+
+/// Raytracing path tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaytracingParams {
+    /// Image width.
+    pub width: usize,
+    /// Image height.
+    pub height: usize,
+    /// Samples per pixel.
+    pub samples: usize,
+    /// Spheres in the scene.
+    pub spheres: usize,
+    /// Maximum bounce depth.
+    pub max_depth: usize,
+}
+
+/// Raytracing parameters at a size.
+pub fn raytracing(size: InputSize) -> RaytracingParams {
+    RaytracingParams {
+        width: size.pick([96, 192, 384]),
+        height: size.pick([64, 128, 256]),
+        samples: size.pick([1, 2, 4]),
+        spheres: 32,
+        max_depth: 8,
+    }
+}
+
+/// SRAD speckle-reducing diffusion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SradParams {
+    /// Image extent (square).
+    pub dim: usize,
+    /// Diffusion iterations.
+    pub iterations: usize,
+    /// Diffusion coefficient lambda.
+    pub lambda: f32,
+}
+
+/// SRAD parameters at a size.
+pub fn srad(size: InputSize) -> SradParams {
+    SradParams {
+        dim: size.pick([128, 256, 512]),
+        iterations: size.pick([4, 8, 16]),
+        lambda: 0.5,
+    }
+}
+
+/// Where record filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WhereParams {
+    /// Number of records.
+    pub n_records: usize,
+    /// Predicate selectivity in percent (records kept).
+    pub selectivity_pct: u32,
+}
+
+/// Where parameters at a size.
+pub fn where_q(size: InputSize) -> WhereParams {
+    WhereParams {
+        n_records: size.pick([65_536, 262_144, 1_048_576]),
+        selectivity_pct: 30,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_grow_monotonically() {
+        let s = InputSize::all();
+        assert!(cfd(s[0]).nelr < cfd(s[1]).nelr && cfd(s[1]).nelr < cfd(s[2]).nelr);
+        assert!(kmeans(s[0]).n_points < kmeans(s[2]).n_points);
+        assert!(mandelbrot(s[0]).max_iters < mandelbrot(s[2]).max_iters);
+        assert!(where_q(s[0]).n_records < where_q(s[2]).n_records);
+        assert!(lavamd(s[0]).boxes1d < lavamd(s[2]).boxes1d);
+        assert!(nw(s[0]).len < nw(s[2]).len);
+    }
+
+    #[test]
+    fn mandelbrot_size3_uses_paper_iteration_count() {
+        assert_eq!(mandelbrot(InputSize::S3).max_iters, 8_192);
+    }
+
+    #[test]
+    fn dwt_dims_are_powers_of_two() {
+        for s in InputSize::all() {
+            assert!(dwt2d(s).dim.is_power_of_two());
+            assert!(nw(s).len.is_power_of_two());
+        }
+    }
+}

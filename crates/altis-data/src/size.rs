@@ -1,0 +1,60 @@
+//! Input-size selector.
+
+use std::fmt;
+
+/// The three Altis input sizes the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InputSize {
+    /// Smallest default size (launch-overhead-sensitive regime).
+    S1,
+    /// Medium size.
+    S2,
+    /// Largest size (bandwidth-sensitive regime).
+    S3,
+}
+
+impl InputSize {
+    /// All sizes in order.
+    pub fn all() -> [InputSize; 3] {
+        [InputSize::S1, InputSize::S2, InputSize::S3]
+    }
+
+    /// 1-based index, matching the paper's "size 1/2/3" labels.
+    pub fn index(self) -> usize {
+        match self {
+            InputSize::S1 => 1,
+            InputSize::S2 => 2,
+            InputSize::S3 => 3,
+        }
+    }
+
+    /// Pick one of three values by size.
+    pub fn pick<T: Copy>(self, v: [T; 3]) -> T {
+        v[self.index() - 1]
+    }
+}
+
+impl fmt::Display for InputSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "size {}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_index() {
+        assert_eq!(InputSize::S1.pick([10, 20, 30]), 10);
+        assert_eq!(InputSize::S2.pick([10, 20, 30]), 20);
+        assert_eq!(InputSize::S3.pick([10, 20, 30]), 30);
+    }
+
+    #[test]
+    fn sizes_are_ordered() {
+        assert!(InputSize::S1 < InputSize::S2 && InputSize::S2 < InputSize::S3);
+        assert_eq!(InputSize::all().len(), 3);
+        assert_eq!(InputSize::S3.to_string(), "size 3");
+    }
+}

@@ -1,0 +1,160 @@
+//! `altis` — the suite runner, mirroring the original Altis CLI.
+//!
+//! ```text
+//! altis list
+//! altis run <app> [--size 1|2|3] [--device cpu|gpu|fpga]
+//!                 [--version baseline|optimized] [--iterations N]
+//! altis run all [--size 1]
+//! ```
+//!
+//! Runs the selected application(s) end-to-end on the portable runtime,
+//! verifies the output against the golden reference, and reports wall
+//! times (min/mean over `--iterations`, Altis-style).
+
+use altis_core::common::AppVersion;
+use altis_core::suite::{all_apps, AppEntry};
+use altis_data::InputSize;
+use hetero_rt::prelude::*;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  altis list\n  altis run <app|all> [--size 1|2|3] [--device cpu|gpu|fpga] \
+         [--version baseline|optimized] [--iterations N]"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    size: InputSize,
+    device: Device,
+    version: AppVersion,
+    iterations: usize,
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        size: InputSize::S1,
+        device: Device::cpu(),
+        version: AppVersion::SyclOptimized,
+        iterations: 3,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--size" => {
+                i += 1;
+                opts.size = match args.get(i).map(String::as_str) {
+                    Some("1") => InputSize::S1,
+                    Some("2") => InputSize::S2,
+                    Some("3") => InputSize::S3,
+                    _ => usage(),
+                };
+            }
+            "--device" => {
+                i += 1;
+                opts.device = match args.get(i).map(String::as_str) {
+                    Some("cpu") => Device::cpu(),
+                    Some("gpu") => Device::rtx_2080(),
+                    Some("fpga") => Device::stratix10(),
+                    _ => usage(),
+                };
+            }
+            "--version" => {
+                i += 1;
+                opts.version = match args.get(i).map(String::as_str) {
+                    Some("baseline") => AppVersion::SyclBaseline,
+                    Some("optimized") => AppVersion::SyclOptimized,
+                    _ => usage(),
+                };
+            }
+            "--iterations" => {
+                i += 1;
+                opts.iterations = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn run_app(app: &AppEntry, opts: &Options) -> bool {
+    let queue = Queue::with_profiling(opts.device.clone());
+    let mut times = Vec::with_capacity(opts.iterations);
+    let mut ok = true;
+    for _ in 0..opts.iterations.max(1) {
+        let t0 = Instant::now();
+        ok &= (app.verify)(&queue, opts.size, opts.version);
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{:<12} {:<8} {:>10.1} ms min {:>10.1} ms mean   {}",
+        app.name,
+        opts.size.to_string(),
+        min,
+        mean,
+        if ok { "PASS" } else { "FAIL" }
+    );
+    ok
+}
+
+fn main() {
+    quiet_broken_pipe();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("Altis-SYCL-rs Level-2 applications:");
+            for app in all_apps() {
+                println!("  {}", app.name);
+            }
+        }
+        Some("run") => {
+            let Some(target) = args.get(1) else { usage() };
+            let opts = parse_options(&args[2..]);
+            println!(
+                "device: {}   version: {:?}   iterations: {}",
+                opts.device, opts.version, opts.iterations
+            );
+            let apps = all_apps();
+            let selected: Vec<&AppEntry> = if target == "all" {
+                apps.iter().collect()
+            } else {
+                let matched: Vec<&AppEntry> = apps
+                    .iter()
+                    .filter(|a| a.name.eq_ignore_ascii_case(target))
+                    .collect();
+                if matched.is_empty() {
+                    eprintln!("unknown app '{target}'; try `altis list`");
+                    std::process::exit(2);
+                }
+                matched
+            };
+            let mut all_ok = true;
+            for app in selected {
+                all_ok &= run_app(app, &opts);
+            }
+            if !all_ok {
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Exit quietly when stdout is closed early (`altis run all | head`).
+fn quiet_broken_pipe() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info.payload().downcast_ref::<String>().map(String::as_str);
+        if msg.is_some_and(|m| m.contains("Broken pipe")) {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+}

@@ -1,0 +1,240 @@
+//! Minimal JSON emission for the harness results (no external JSON
+//! crate — the structures are flat and the emitter is 60 lines).
+//!
+//! `repro --json results.json` writes every regenerated artifact so
+//! downstream tooling (plots, CI diffing) can consume the reproduction
+//! without parsing console tables.
+
+use std::fmt::Write as _;
+
+use crate::harness::*;
+use altis_data::InputSize;
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.6}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_opt(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(x) => push_f64(out, x),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render every harness artifact as one JSON document.
+pub fn results_json() -> String {
+    let mut o = String::with_capacity(64 * 1024);
+    o.push_str("{\n");
+
+    // Table 2.
+    o.push_str("  \"table2\": [\n");
+    let t2 = table2();
+    for (i, r) in t2.iter().enumerate() {
+        o.push_str("    {\"device\": ");
+        push_str(&mut o, r.device);
+        let _ = write!(o, ", \"process_nm\": {}, \"peak_f32_tflops\": ", r.process_nm);
+        push_f64(&mut o, r.peak_f32_tflops);
+        o.push_str(", \"peak_bw_gbs\": ");
+        push_f64(&mut o, r.peak_bw_gbs);
+        o.push('}');
+        if i + 1 < t2.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("  ],\n");
+
+    // Figure 1.
+    o.push_str("  \"fig1\": [\n");
+    let f1 = fig1();
+    for (i, b) in f1.iter().enumerate() {
+        o.push_str("    {\"stack\": ");
+        push_str(&mut o, b.stack);
+        let _ = write!(o, ", \"size\": {}, \"kernel_ms\": ", b.size.index());
+        push_f64(&mut o, b.kernel_ms);
+        o.push_str(", \"non_kernel_ms\": ");
+        push_f64(&mut o, b.non_kernel_ms);
+        o.push('}');
+        if i + 1 < f1.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("  ],\n");
+
+    // Figure 2.
+    o.push_str("  \"fig2\": [\n");
+    let f2 = fig2();
+    for (i, r) in f2.iter().enumerate() {
+        o.push_str("    {\"app\": ");
+        push_str(&mut o, r.app);
+        o.push_str(", \"baseline\": [");
+        for (k, v) in r.baseline.iter().enumerate() {
+            if k > 0 {
+                o.push(',');
+            }
+            push_f64(&mut o, *v);
+        }
+        o.push_str("], \"optimized\": [");
+        for (k, v) in r.optimized.iter().enumerate() {
+            if k > 0 {
+                o.push(',');
+            }
+            push_f64(&mut o, *v);
+        }
+        o.push_str("]}");
+        if i + 1 < f2.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("  ],\n");
+
+    // Figure 4.
+    o.push_str("  \"fig4\": [\n");
+    let f4 = fig4();
+    for (i, r) in f4.iter().enumerate() {
+        o.push_str("    {\"app\": ");
+        push_str(&mut o, r.app);
+        o.push_str(", \"speedup\": [");
+        for (k, v) in r.speedup.iter().enumerate() {
+            if k > 0 {
+                o.push(',');
+            }
+            push_opt(&mut o, *v);
+        }
+        o.push_str("]}");
+        if i + 1 < f4.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("  ],\n");
+
+    // Figure 5.
+    o.push_str("  \"fig5\": [\n");
+    let f5 = fig5();
+    for (i, r) in f5.iter().enumerate() {
+        o.push_str("    {\"app\": ");
+        push_str(&mut o, r.app);
+        let _ = write!(o, ", \"size\": {}, \"speedup\": [", r.size.index());
+        for (k, v) in r.speedup.iter().enumerate() {
+            if k > 0 {
+                o.push(',');
+            }
+            push_opt(&mut o, *v);
+        }
+        o.push_str("]}");
+        if i + 1 < f5.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("  ],\n");
+
+    // Figure 5 geomeans (convenience for plots).
+    o.push_str("  \"fig5_geomeans\": {");
+    for (si, size) in InputSize::all().into_iter().enumerate() {
+        if si > 0 {
+            o.push_str(", ");
+        }
+        let gm = fig5_geomeans(&f5, size);
+        let _ = write!(o, "\"size{}\": [", size.index());
+        for (k, v) in gm.iter().enumerate() {
+            if k > 0 {
+                o.push(',');
+            }
+            push_f64(&mut o, *v);
+        }
+        o.push(']');
+    }
+    o.push_str("},\n");
+
+    // Table 3.
+    o.push_str("  \"table3\": [\n");
+    let t3 = table3();
+    for (i, (s10, agx)) in t3.iter().enumerate() {
+        o.push_str("    {\"design\": ");
+        push_str(&mut o, &s10.design);
+        for (label, r) in [("s10", s10), ("agilex", agx)] {
+            let _ = write!(
+                o,
+                ", \"{label}\": {{\"alm_pct\": {:.2}, \"bram_pct\": {:.2}, \"dsp_pct\": {:.2}, \"fmax_mhz\": {:.1}}}",
+                r.alm_pct, r.bram_pct, r.dsp_pct, r.fmax_mhz
+            );
+        }
+        o.push('}');
+        if i + 1 < t3.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("  ],\n");
+
+    // Micro studies.
+    o.push_str("  \"micro\": [\n");
+    let micro = micro_studies();
+    for (i, r) in micro.iter().enumerate() {
+        o.push_str("    {\"study\": ");
+        push_str(&mut o, r.study);
+        o.push_str(", \"measured\": ");
+        push_f64(&mut o, r.measured_factor);
+        o.push_str(", \"paper\": ");
+        push_f64(&mut o, r.paper_factor);
+        o.push('}');
+        if i + 1 < micro.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("  ]\n}\n");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let j = results_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        for key in ["table2", "fig1", "fig2", "fig4", "fig5", "fig5_geomeans", "table3", "micro"] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut s = String::new();
+        push_str(&mut s, "a\"b\\c\n");
+        assert_eq!(s, "\"a\\\"b\\\\c\\u000a\"");
+    }
+
+    #[test]
+    fn missing_bars_serialize_as_null() {
+        let j = results_json();
+        // Where size 3 on Agilex is the missing bar.
+        assert!(j.contains("null"));
+    }
+}

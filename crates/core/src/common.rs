@@ -1,0 +1,143 @@
+//! Shared types for all applications.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Which implementation stage of an application to run, mirroring the
+/// paper's migration pipeline on the GPU side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppVersion {
+    /// Golden reference (verification only; plays the role of the
+    /// original CUDA output).
+    Reference,
+    /// As-migrated SYCL (DPCT output after functional fixes).
+    SyclBaseline,
+    /// GPU-optimised SYCL (Section 3.3).
+    SyclOptimized,
+}
+
+/// Which FPGA design of an application to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpgaVariant {
+    /// Functionally-correct but unoptimised design (Section 4 output).
+    Baseline,
+    /// Optimised design (Section 5 techniques applied).
+    Optimized,
+}
+
+/// Floating-point abstraction so CFD ships genuine FP32 and FP64
+/// variants from one implementation (the paper benchmarks both).
+pub trait Real:
+    Copy
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + Default
+    + Send
+    + Sync
+    + std::fmt::Debug
+    + 'static
+{
+    /// Convert from f64 (for constants and data generation).
+    fn from_f64(v: f64) -> Self;
+    /// Convert to f64 (for verification and norms).
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Type label for kernel naming and IR costing.
+    const IS_F64: bool;
+}
+
+impl Real for f32 {
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    const IS_F64: bool = false;
+}
+
+impl Real for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    const IS_F64: bool = true;
+}
+
+/// Relative L2 error between two vectors (verification helper).
+pub fn rel_l2_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch in rel_l2_error");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        num += (x - y) * (x - y);
+        den += x * x;
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Convenience: relative L2 error over any `Real` slices.
+pub fn rel_l2_error_t<T: Real>(a: &[T], b: &[T]) -> f64 {
+    let af: Vec<f64> = a.iter().map(|x| x.to_f64()).collect();
+    let bf: Vec<f64> = b.iter().map(|x| x.to_f64()).collect();
+    rel_l2_error(&af, &bf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_roundtrip() {
+        assert_eq!(f32::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(f64::from_f64(2.25), 2.25);
+        // Compile-time check that the type tags are set correctly.
+        const _: () = assert!(!<f32 as Real>::IS_F64 && <f64 as Real>::IS_F64);
+        assert_eq!(Real::sqrt(4.0f32), 2.0);
+        assert_eq!(Real::abs(-3.0f64), 3.0);
+    }
+
+    #[test]
+    fn l2_error_zero_for_identical() {
+        let v = vec![1.0, -2.0, 3.0];
+        assert_eq!(rel_l2_error(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn l2_error_detects_difference() {
+        let a = vec![1.0, 0.0];
+        let b = vec![1.0, 0.1];
+        assert!(rel_l2_error(&a, &b) > 0.05);
+    }
+
+    #[test]
+    fn l2_error_handles_zero_baseline() {
+        let a = vec![0.0, 0.0];
+        let b = vec![0.0, 0.5];
+        assert!(rel_l2_error(&a, &b) > 0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! SRAD — speckle-reducing anisotropic diffusion.
+//!
+//! Paper relevance: SRAD is the "Case 2" shared-memory study (many shared
+//! arrays, regular but port-heavy). Its kernels originally passed eleven
+//! accessor *objects* as kernel arguments, which synthesised accessor
+//! member functions and overflowed the Stratix 10 — fixed by passing
+//! local pointers (Section 4). On the optimisation side, the paper finds
+//! a 64×64 work-group with SIMD = 2 ~4× faster than 16×16 with SIMD = 8,
+//! and Section 5.5 bumps the work-group 16→32 when retargeting Agilex.
+
+use altis_data::{InputSize, SeededRng, SradParams};
+use altis_data::paper_scale::srad as pparams;
+use device_model::{EfficiencyHints, WorkProfile};
+use fpga_sim::{Design, FpgaPart, KernelInstance};
+use hetero_ir::builder::{KernelBuilder, LoopBuilder};
+use hetero_ir::dpct::{Construct, CudaModule, TimingApi};
+use hetero_ir::ir::{AccessPattern, OpMix, Scalar};
+use hetero_rt::prelude::*;
+
+use crate::common::AppVersion;
+
+/// Generate the speckled input image.
+pub fn generate_image(p: &SradParams) -> Vec<f32> {
+    let mut rng = SeededRng::new("srad", p.dim);
+    rng.speckled_image(p.dim, p.dim)
+}
+
+/// One SRAD iteration, sequential: returns the updated image.
+fn srad_step(img: &[f32], n: usize, lambda: f32) -> Vec<f32> {
+    // ROI statistics over the whole image (Altis uses a corner ROI; the
+    // whole-image ROI keeps the reduction while staying deterministic).
+    let sum: f64 = img.iter().map(|&v| v as f64).sum();
+    let sum2: f64 = img.iter().map(|&v| (v as f64) * (v as f64)).sum();
+    let mean = sum / (n * n) as f64;
+    let var = (sum2 / (n * n) as f64 - mean * mean).max(0.0);
+    let q0 = (var / (mean * mean)) as f32;
+
+    let idx = |y: usize, x: usize| y * n + x;
+    let mut c = vec![0f32; n * n];
+    let mut dn = vec![0f32; n * n];
+    let mut ds = vec![0f32; n * n];
+    let mut de = vec![0f32; n * n];
+    let mut dw = vec![0f32; n * n];
+
+    for y in 0..n {
+        for x in 0..n {
+            let i = idx(y, x);
+            let j = img[i];
+            let jn = img[idx(y.saturating_sub(1), x)];
+            let js = img[idx((y + 1).min(n - 1), x)];
+            let jw = img[idx(y, x.saturating_sub(1))];
+            let je = img[idx(y, (x + 1).min(n - 1))];
+            dn[i] = jn - j;
+            ds[i] = js - j;
+            dw[i] = jw - j;
+            de[i] = je - j;
+            let g2 = (dn[i] * dn[i] + ds[i] * ds[i] + dw[i] * dw[i] + de[i] * de[i])
+                / (j * j);
+            let l = (dn[i] + ds[i] + dw[i] + de[i]) / j;
+            let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
+            let den = 1.0 + 0.25 * l;
+            let qsq = num / (den * den);
+            let cf = 1.0 / (1.0 + (qsq - q0) / (q0 * (1.0 + q0)));
+            c[i] = cf.clamp(0.0, 1.0);
+        }
+    }
+
+    let mut out = vec![0f32; n * n];
+    for y in 0..n {
+        for x in 0..n {
+            let i = idx(y, x);
+            let cn = c[i];
+            let cs = c[idx((y + 1).min(n - 1), x)];
+            let cw = c[i];
+            let ce = c[idx(y, (x + 1).min(n - 1))];
+            let d = cn * dn[i] + cs * ds[i] + cw * dw[i] + ce * de[i];
+            out[i] = img[i] + 0.25 * lambda * d;
+        }
+    }
+    out
+}
+
+/// Golden reference: `iterations` sequential diffusion steps.
+pub fn golden(p: &SradParams) -> Vec<f32> {
+    let mut img = generate_image(p);
+    for _ in 0..p.iterations {
+        img = srad_step(&img, p.dim, p.lambda);
+    }
+    img
+}
+
+/// Runtime version: per iteration, a reduction for the ROI statistics
+/// and two stencil kernels (coefficients + update), matching Altis'
+/// srad_cuda_1/srad_cuda_2 split.
+pub fn run(q: &Queue, p: &SradParams, _version: AppVersion) -> Vec<f32> {
+    let n = p.dim;
+    let img = Buffer::from_slice(&generate_image(p));
+    let c = Buffer::<f32>::new(n * n);
+    let dn = Buffer::<f32>::new(n * n);
+    let ds = Buffer::<f32>::new(n * n);
+    let de = Buffer::<f32>::new(n * n);
+    let dw = Buffer::<f32>::new(n * n);
+    let lambda = p.lambda;
+
+    for _ in 0..p.iterations {
+        // ROI statistics via proper device-side reduction kernels (the
+        // original uses reduction kernels too; the f32 partial sums are
+        // folded in f64 on the host for the statistics).
+        let sum = hetero_rt::reduction::sum_f32(q, &img) as f64;
+        let sum2 = hetero_rt::reduction::sum_sq_f32(q, &img) as f64;
+        let mean = sum / (n * n) as f64;
+        let var = (sum2 / (n * n) as f64 - mean * mean).max(0.0);
+        let q0 = (var / (mean * mean)) as f32;
+
+        let (iv, cv, dnv, dsv, dev, dwv) =
+            (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
+        q.parallel_for("srad_1", Range::d2(n, n), move |it| {
+            let (x, y) = (it.gid(0), it.gid(1));
+            let i = y * n + x;
+            let j = iv.get(i);
+            let jn = iv.get(y.saturating_sub(1) * n + x);
+            let js = iv.get((y + 1).min(n - 1) * n + x);
+            let jw = iv.get(y * n + x.saturating_sub(1));
+            let je = iv.get(y * n + (x + 1).min(n - 1));
+            let (vn, vs, vw, ve) = (jn - j, js - j, jw - j, je - j);
+            dnv.set(i, vn);
+            dsv.set(i, vs);
+            dwv.set(i, vw);
+            dev.set(i, ve);
+            let g2 = (vn * vn + vs * vs + vw * vw + ve * ve) / (j * j);
+            let l = (vn + vs + vw + ve) / j;
+            let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
+            let den = 1.0 + 0.25 * l;
+            let qsq = num / (den * den);
+            let cf = 1.0 / (1.0 + (qsq - q0) / (q0 * (1.0 + q0)));
+            cv.set(i, cf.clamp(0.0, 1.0));
+        });
+
+        let (iv, cv, dnv, dsv, dev, dwv) =
+            (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
+        q.parallel_for("srad_2", Range::d2(n, n), move |it| {
+            let (x, y) = (it.gid(0), it.gid(1));
+            let i = y * n + x;
+            let cn = cv.get(i);
+            let cs = cv.get((y + 1).min(n - 1) * n + x);
+            let cw = cv.get(i);
+            let ce = cv.get(y * n + (x + 1).min(n - 1));
+            let d = cn * dnv.get(i) + cs * dsv.get(i) + cw * dwv.get(i) + ce * dev.get(i);
+            iv.update(i, |v| v + 0.25 * lambda * d);
+        });
+    }
+    img.to_vec()
+}
+
+/// Analytic work profile.
+pub fn work_profile(size: InputSize) -> WorkProfile {
+    let p = pparams(size);
+    let cells = (p.dim * p.dim) as u64;
+    let iters = p.iterations as u64;
+    WorkProfile {
+        f32_flops: iters * cells * 40,
+        f64_flops: 0,
+        global_bytes: iters * cells * 4 * (6 + 9),
+        kernel_launches: iters * 3,
+        transfer_bytes: cells * 4,
+        hints: EfficiencyHints { compute: 0.75, memory: 0.8 },
+    }
+}
+
+/// FPGA designs.
+///
+/// * Baseline: the migrated ND-Range kernels with eleven dynamically-
+///   sized accessor objects — over-provisioned BRAM, accessor member
+///   functions synthesised, arbiter-laden local memory (Section 4).
+/// * Optimized: the Single-Task rewrite Table 3 lists for SRAD, with
+///   statically-sized local arrays (passed as pointers) and pipelined
+///   cell loops. The work-group/SIMD sweep of Section 5.2 is explored by
+///   the `ablation_srad` bench; Section 5.5's 16→32 work-group bump on
+///   Agilex shows up as a larger unroll there.
+pub fn fpga_design(size: InputSize, optimized: bool, part: &FpgaPart) -> Design {
+    let p = pparams(size);
+    let cells = (p.dim * p.dim) as u64;
+    let iters = p.iterations as u64;
+    let is_agilex = part.name == "Agilex";
+
+    let body = OpMix {
+        f32_ops: 28,
+        fdiv_ops: 3,
+        global_read_bytes: 24,
+        global_write_bytes: 24,
+        local_reads: 6,
+        local_writes: 6,
+        ..OpMix::default()
+    };
+
+    if !optimized {
+        let mut b1 = KernelBuilder::nd_range("srad_1", 256).straight_line(body);
+        for name in [
+            "c", "dn", "ds", "de", "dw", "jn", "js", "je", "jw", "tmp", "tile",
+        ] {
+            b1 = b1.dynamic_local_array(name, Scalar::F32, AccessPattern::Regular);
+        }
+        let k1 = b1.barriers(4).build();
+        let k2 = KernelBuilder::nd_range("srad_2", 256)
+            .straight_line(OpMix {
+                f32_ops: 12,
+                global_read_bytes: 24,
+                global_write_bytes: 4,
+                ..OpMix::default()
+            })
+            .build();
+        Design::new(format!("srad-base-{size}"))
+            .with(KernelInstance::new(k1).items(cells).invoked(iters))
+            .with(KernelInstance::new(k2).items(cells).invoked(iters))
+    } else {
+        let unroll = if is_agilex { 12 } else { 8 };
+        let k1 = KernelBuilder::single_task("srad_1_st")
+            .loop_(
+                LoopBuilder::new("cells", cells)
+                    .ii(1)
+                    .unroll(unroll)
+                    .body(body)
+                    .build(),
+            )
+            .local_array("tile", Scalar::F32, 64 * 66, AccessPattern::Banked)
+            .restrict()
+            .build();
+        let k2 = KernelBuilder::single_task("srad_2_st")
+            .loop_(
+                LoopBuilder::new("cells", cells)
+                    .ii(1)
+                    .unroll(unroll)
+                    .body(OpMix {
+                        f32_ops: 12,
+                        global_read_bytes: 24,
+                        global_write_bytes: 4,
+                        ..OpMix::default()
+                    })
+                    .build(),
+            )
+            .restrict()
+            .build();
+        Design::new(format!("srad-opt-{size}"))
+            .with(KernelInstance::new(k1).invoked(iters))
+            .with(KernelInstance::new(k2).invoked(iters))
+    }
+}
+
+/// DPCT source model: eleven accessor objects.
+pub fn cuda_module() -> CudaModule {
+    let mut constructs = vec![
+        Construct::Timing { api: TimingApi::CudaEvents, wraps_library_call: false },
+        Construct::UsmMemAdvise,
+        Construct::Barrier { provably_local: true, uses_local_scope: true },
+        Construct::WorkGroupSize { size: 256, has_attributes: false },
+    ];
+    for _ in 0..11 {
+        constructs.push(Construct::AccessorByValue);
+        constructs.push(Construct::DynamicLocalAccessor { needed_bytes: 16 * 16 * 4 });
+    }
+    CudaModule { name: "srad".into(), constructs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SradParams {
+        SradParams { dim: 32, iterations: 3, lambda: 0.5 }
+    }
+
+    #[test]
+    fn runtime_matches_golden() {
+        let p = tiny();
+        let q = Queue::new(Device::cpu());
+        let r = run(&q, &p, AppVersion::SyclOptimized);
+        let g = golden(&p);
+        for (a, b) in r.iter().zip(g.iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn diffusion_reduces_speckle_variance() {
+        let p = SradParams { dim: 64, iterations: 8, lambda: 0.5 };
+        let before = generate_image(&p);
+        let after = golden(&p);
+        let var = |v: &[f32]| {
+            let m = v.iter().sum::<f32>() / v.len() as f32;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / v.len() as f32
+        };
+        assert!(var(&after) < var(&before));
+    }
+
+    #[test]
+    fn pixel_values_stay_positive() {
+        let g = golden(&tiny());
+        assert!(g.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn baseline_fpga_wastes_bram_on_dynamic_accessors() {
+        let part = FpgaPart::stratix10();
+        let base = fpga_sim::resources::design_resources(&fpga_design(InputSize::S1, false, &part));
+        let opt = fpga_sim::resources::design_resources(&fpga_design(InputSize::S1, true, &part));
+        assert!(base.brams > opt.brams, "{} vs {}", base.brams, opt.brams);
+    }
+
+    #[test]
+    fn fpga_designs_fit() {
+        for part in [FpgaPart::stratix10(), FpgaPart::agilex()] {
+            for opt in [false, true] {
+                fpga_sim::resources::check_fit(&fpga_design(InputSize::S2, opt, &part), &part)
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_fpga_gains_are_moderate() {
+        // Figure 4: SRAD 2.1–5.4×.
+        let part = FpgaPart::stratix10();
+        let b = fpga_sim::simulate(&fpga_design(InputSize::S1, false, &part), &part);
+        let o = fpga_sim::simulate(&fpga_design(InputSize::S1, true, &part), &part);
+        let s = b.total_seconds / o.total_seconds;
+        assert!(s > 1.2 && s < 50.0, "speedup = {s}");
+    }
+}

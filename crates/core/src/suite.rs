@@ -1,0 +1,262 @@
+//! Suite registry: the thirteen benchmark configurations of Figure 2
+//! (twelve applications, CFD in FP32 and FP64), with uniform entry
+//! points for the harness.
+
+use altis_data::InputSize;
+use device_model::WorkProfile;
+use fpga_sim::{Design, FpgaPart};
+use hetero_ir::dpct::CudaModule;
+use hetero_rt::prelude::*;
+
+use crate::common::AppVersion;
+use crate::particlefilter::PfVariant;
+
+/// One suite entry.
+pub struct AppEntry {
+    /// Display name, matching the paper's figure labels.
+    pub name: &'static str,
+    /// Analytic work profile at a size.
+    pub work_profile: fn(InputSize) -> WorkProfile,
+    /// DPCT source model.
+    pub cuda_module: fn() -> CudaModule,
+    /// FPGA design; `None` when the paper provides no such variant
+    /// (DWT2D has no optimized FPGA design).
+    pub fpga_design: fn(InputSize, bool, &FpgaPart) -> Option<Design>,
+    /// Run the app on the runtime and compare against its golden
+    /// reference; returns true when the results agree.
+    pub verify: fn(&Queue, InputSize, AppVersion) -> bool,
+}
+
+fn verify_cfd_fp32(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::cfd(size);
+    let r = crate::cfd::run::<f32>(q, &p, v);
+    let g = crate::cfd::golden::<f32>(&p);
+    crate::common::rel_l2_error_t(&g, &r) < 1e-4
+}
+
+fn verify_cfd_fp64(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::cfd(size);
+    let r = crate::cfd::run::<f64>(q, &p, v);
+    let g = crate::cfd::golden::<f64>(&p);
+    crate::common::rel_l2_error_t(&g, &r) < 1e-10
+}
+
+fn verify_dwt2d(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::dwt2d(size);
+    let r = crate::dwt2d::run(q, &p, v);
+    let g = crate::dwt2d::golden(&p);
+    crate::common::rel_l2_error_t(&g, &r) < 1e-4
+}
+
+fn verify_fdtd2d(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::fdtd2d(size);
+    crate::fdtd2d::run(q, &p, v).ez == crate::fdtd2d::golden(&p).ez
+}
+
+fn verify_kmeans(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::kmeans(size);
+    let r = crate::kmeans::run(q, &p, v);
+    let g = crate::kmeans::golden(&p);
+    r.membership == g.membership
+        && crate::common::rel_l2_error_t(&g.centers, &r.centers) < 1e-4
+}
+
+fn verify_lavamd(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::lavamd(size);
+    let r = crate::lavamd::run(q, &p, v);
+    let g = crate::lavamd::golden(&p);
+    let rv: Vec<f32> = r.iter().map(|f| f.v).collect();
+    let gv: Vec<f32> = g.iter().map(|f| f.v).collect();
+    crate::common::rel_l2_error_t(&gv, &rv) < 1e-4
+}
+
+fn verify_mandelbrot(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::mandelbrot(size);
+    crate::mandelbrot::run(q, &p, v) == crate::mandelbrot::golden(&p)
+}
+
+fn verify_nw(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::nw(size);
+    crate::nw::run(q, &p, v) == crate::nw::golden(&p)
+}
+
+fn verify_pf_naive(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::particlefilter(size);
+    let r = crate::particlefilter::run(q, &p, PfVariant::Naive, v);
+    let g = crate::particlefilter::golden(&p, PfVariant::Naive);
+    r.xe.iter().zip(&g.xe).all(|(a, b)| (a - b).abs() < 0.05)
+}
+
+fn verify_pf_float(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::particlefilter(size);
+    let r = crate::particlefilter::run(q, &p, PfVariant::Float, v);
+    let g = crate::particlefilter::golden(&p, PfVariant::Float);
+    r.xe.iter().zip(&g.xe).all(|(a, b)| (a - b).abs() < 0.05)
+}
+
+fn verify_raytracing(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::raytracing(size);
+    crate::raytracing::run(q, &p, v) == crate::raytracing::golden(&p)
+}
+
+fn verify_srad(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::srad(size);
+    let r = crate::srad::run(q, &p, v);
+    let g = crate::srad::golden(&p);
+    crate::common::rel_l2_error_t(&g, &r) < 1e-3
+}
+
+fn verify_where(q: &Queue, size: InputSize, v: AppVersion) -> bool {
+    let p = altis_data::where_q(size);
+    crate::where_q::run(q, &p, v) == crate::where_q::golden(&p)
+}
+
+/// All thirteen configurations in Figure 2's order.
+pub fn all_apps() -> Vec<AppEntry> {
+    vec![
+        AppEntry {
+            name: "CFD FP32",
+            work_profile: |s| crate::cfd::work_profile(s, false),
+            cuda_module: || crate::cfd::cuda_module(false),
+            fpga_design: |s, opt, p| Some(crate::cfd::fpga_design(s, false, opt, p)),
+            verify: verify_cfd_fp32,
+        },
+        AppEntry {
+            name: "CFD FP64",
+            work_profile: |s| crate::cfd::work_profile(s, true),
+            cuda_module: || crate::cfd::cuda_module(true),
+            fpga_design: |s, opt, p| Some(crate::cfd::fpga_design(s, true, opt, p)),
+            verify: verify_cfd_fp64,
+        },
+        AppEntry {
+            name: "DWT2D",
+            work_profile: crate::dwt2d::work_profile,
+            cuda_module: crate::dwt2d::cuda_module,
+            fpga_design: crate::dwt2d::fpga_design,
+            verify: verify_dwt2d,
+        },
+        AppEntry {
+            name: "FDTD2D",
+            work_profile: crate::fdtd2d::work_profile,
+            cuda_module: crate::fdtd2d::cuda_module,
+            fpga_design: |s, opt, p| Some(crate::fdtd2d::fpga_design(s, opt, p)),
+            verify: verify_fdtd2d,
+        },
+        AppEntry {
+            name: "KMeans",
+            work_profile: crate::kmeans::work_profile,
+            cuda_module: crate::kmeans::cuda_module,
+            fpga_design: |s, opt, p| Some(crate::kmeans::fpga_design(s, opt, p)),
+            verify: verify_kmeans,
+        },
+        AppEntry {
+            name: "LavaMD",
+            work_profile: crate::lavamd::work_profile,
+            cuda_module: crate::lavamd::cuda_module,
+            fpga_design: |s, opt, p| Some(crate::lavamd::fpga_design(s, opt, p)),
+            verify: verify_lavamd,
+        },
+        AppEntry {
+            name: "Mandelbrot",
+            work_profile: crate::mandelbrot::work_profile,
+            cuda_module: crate::mandelbrot::cuda_module,
+            fpga_design: |s, opt, p| Some(crate::mandelbrot::fpga_design(s, opt, p)),
+            verify: verify_mandelbrot,
+        },
+        AppEntry {
+            name: "NW",
+            work_profile: crate::nw::work_profile,
+            cuda_module: crate::nw::cuda_module,
+            fpga_design: |s, opt, p| Some(crate::nw::fpga_design(s, opt, p)),
+            verify: verify_nw,
+        },
+        AppEntry {
+            name: "PF Naive",
+            work_profile: |s| crate::particlefilter::work_profile(s, PfVariant::Naive),
+            cuda_module: || crate::particlefilter::cuda_module(PfVariant::Naive),
+            fpga_design: |s, opt, p| {
+                Some(crate::particlefilter::fpga_design(s, PfVariant::Naive, opt, p))
+            },
+            verify: verify_pf_naive,
+        },
+        AppEntry {
+            name: "PF Float",
+            work_profile: |s| crate::particlefilter::work_profile(s, PfVariant::Float),
+            cuda_module: || crate::particlefilter::cuda_module(PfVariant::Float),
+            fpga_design: |s, opt, p| {
+                Some(crate::particlefilter::fpga_design(s, PfVariant::Float, opt, p))
+            },
+            verify: verify_pf_float,
+        },
+        AppEntry {
+            name: "Raytracing",
+            work_profile: crate::raytracing::work_profile,
+            cuda_module: crate::raytracing::cuda_module,
+            fpga_design: |s, opt, p| Some(crate::raytracing::fpga_design(s, opt, p)),
+            verify: verify_raytracing,
+        },
+        AppEntry {
+            name: "SRAD",
+            work_profile: crate::srad::work_profile,
+            cuda_module: crate::srad::cuda_module,
+            fpga_design: |s, opt, p| Some(crate::srad::fpga_design(s, opt, p)),
+            verify: verify_srad,
+        },
+        AppEntry {
+            name: "Where",
+            work_profile: crate::where_q::work_profile,
+            cuda_module: crate::where_q::cuda_module,
+            fpga_design: |s, opt, p| Some(crate::where_q::fpga_design(s, opt, p)),
+            verify: verify_where,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_thirteen_configurations() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 13);
+        let names: Vec<_> = apps.iter().map(|a| a.name).collect();
+        assert!(names.contains(&"CFD FP32"));
+        assert!(names.contains(&"CFD FP64"));
+        assert!(names.contains(&"Where"));
+    }
+
+    #[test]
+    fn every_app_has_profiles_and_modules() {
+        for app in all_apps() {
+            let p = (app.work_profile)(InputSize::S1);
+            assert!(p.kernel_launches > 0, "{}", app.name);
+            let m = (app.cuda_module)();
+            assert!(!m.constructs.is_empty(), "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn only_dwt2d_lacks_an_optimized_fpga_design() {
+        let part = FpgaPart::stratix10();
+        for app in all_apps() {
+            let d = (app.fpga_design)(InputSize::S1, true, &part);
+            if app.name == "DWT2D" {
+                assert!(d.is_none());
+            } else {
+                assert!(d.is_some(), "{}", app.name);
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_grow_with_size() {
+        for app in all_apps() {
+            let p1 = (app.work_profile)(InputSize::S1);
+            let p3 = (app.work_profile)(InputSize::S3);
+            let w1 = p1.total_flops() + p1.global_bytes;
+            let w3 = p3.total_flops() + p3.global_bytes;
+            assert!(w3 > w1, "{}: {w1} -> {w3}", app.name);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Where — record filtering for data analytics.
+//!
+//! Paper relevance: `Where` is the library-dependence case study. Its
+//! compaction pipeline needs a prefix-sum; CUDA uses the CUB-style
+//! single-pass scan, DPCT migrates it to oneDPL's multi-pass scan (50 %
+//! slower on the RTX 2080 — the reason Where is the one application that
+//! underperforms across all sizes in Figure 2), and the FPGA version
+//! replaces it with the paper's custom unrolled Single-Task scan
+//! (Listing 2, up to 100× faster on Stratix 10 than the GPU-shaped one).
+
+use altis_data::{InputSize, SeededRng, WhereParams};
+use altis_data::paper_scale::where_q as pparams;
+use device_model::{EfficiencyHints, WorkProfile};
+use fpga_sim::{Design, FpgaPart, KernelInstance};
+use hetero_ir::builder::KernelBuilder;
+use hetero_ir::dpct::{Construct, CudaModule, TimingApi};
+use hetero_ir::ir::OpMix;
+use hetero_rt::prelude::*;
+use par_dpl::scan::{exclusive_scan, ScanFlavor};
+
+use crate::common::AppVersion;
+
+/// A data record (the Altis benchmark filters on integer fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Record {
+    /// Primary field the predicate tests.
+    pub value: u32,
+    /// Payload field carried through the filter.
+    pub payload: u32,
+}
+
+/// Generate the deterministic record table.
+pub fn generate_records(p: &WhereParams) -> Vec<Record> {
+    let mut rng = SeededRng::new("where", p.n_records);
+    (0..p.n_records)
+        .map(|i| Record {
+            value: rng.u32(100),
+            payload: i as u32,
+        })
+        .collect()
+}
+
+/// The benchmark predicate: keep records with `value <` selectivity.
+#[inline]
+pub fn predicate(p: &WhereParams, r: &Record) -> bool {
+    r.value < p.selectivity_pct
+}
+
+/// Golden reference: plain filter.
+pub fn golden(p: &WhereParams) -> Vec<Record> {
+    generate_records(p)
+        .into_iter()
+        .filter(|r| predicate(p, r))
+        .collect()
+}
+
+/// Scan flavour for a version/device combination: CUDA uses CUB, the
+/// migrated SYCL uses oneDPL, and FPGA queues use the custom scan.
+pub fn scan_flavor_for(version: AppVersion, device: &Device) -> ScanFlavor {
+    if device.is_fpga() {
+        ScanFlavor::FpgaCustom
+    } else {
+        match version {
+            AppVersion::Reference => ScanFlavor::Cub,
+            AppVersion::SyclBaseline | AppVersion::SyclOptimized => ScanFlavor::OneDpl,
+        }
+    }
+}
+
+/// Runtime version: flag kernel → scan (flavoured) → scatter kernel.
+pub fn run(q: &Queue, p: &WhereParams, version: AppVersion) -> Vec<Record> {
+    let records = generate_records(p);
+    let n = records.len();
+    let flags_buf = Buffer::<u32>::new(n);
+    let values = Buffer::from_slice(&records.iter().map(|r| r.value).collect::<Vec<_>>());
+    let (fv, vv) = (flags_buf.view(), values.view());
+    let sel = p.selectivity_pct;
+    q.parallel_for("where_flags", Range::d1(n), move |it| {
+        let i = it.gid(0);
+        fv.set(i, u32::from(vv.get(i) < sel));
+    });
+
+    // Scan on the host path of the selected library flavour.
+    let flags = flags_buf.to_vec();
+    let mut offsets = vec![0u32; n];
+    exclusive_scan(scan_flavor_for(version, q.device()), &flags, &mut offsets);
+    let total = if n == 0 { 0 } else { (offsets[n - 1] + flags[n - 1]) as usize };
+
+    // Scatter kernel.
+    let out = Buffer::<Record>::new(total.max(1));
+    let offs = Buffer::from_slice(&offsets);
+    let recs = Buffer::from_slice(&records);
+    let flagsb = Buffer::from_slice(&flags);
+    let (ov, offv, rv, fv) = (out.view(), offs.view(), recs.view(), flagsb.view());
+    q.parallel_for("where_scatter", Range::d1(n), move |it| {
+        let i = it.gid(0);
+        if fv.get(i) == 1 {
+            ov.set(offv.get(i) as usize, rv.get(i));
+        }
+    });
+    let mut result = out.to_vec();
+    result.truncate(total);
+    result
+}
+
+/// Value-distribution histogram of the record table (selectivity
+/// profiling — what a query planner would precompute before choosing a
+/// predicate; built on `par-dpl`'s histogram).
+pub fn selectivity_histogram(p: &WhereParams, bins: usize) -> Vec<u64> {
+    let values: Vec<u32> = generate_records(p).iter().map(|r| r.value).collect();
+    par_dpl::histogram_u32_mod(&values, bins)
+}
+
+/// Analytic work profile.
+pub fn work_profile(size: InputSize) -> WorkProfile {
+    let p = pparams(size);
+    let n = p.n_records as u64;
+    WorkProfile {
+        f32_flops: 0,
+        f64_flops: 0,
+        // flags read/write + scan passes + scatter.
+        global_bytes: n * (8 + 4 + 12 + 8),
+        kernel_launches: 6,
+        transfer_bytes: n * 8,
+        // Row-wise record access gathers poorly on cache lines.
+        hints: EfficiencyHints { compute: 0.8, memory: 0.3 },
+    }
+}
+
+/// FPGA designs. Baseline keeps the GPU-shaped multi-pass scan (oneDPL
+/// has no FPGA specialisation — the paper measures it up to 100× slower
+/// than the custom one); optimized uses the Listing-2 custom scan plus
+/// compute-unit replication for the flag/scatter kernels (Section 5.5:
+/// 2×→4× and 20×→25× between parts).
+pub fn fpga_design(size: InputSize, optimized: bool, part: &FpgaPart) -> Design {
+    let p = pparams(size);
+    let n = p.n_records as u64;
+    let is_agilex = part.name == "Agilex";
+
+    let flags = KernelBuilder::nd_range("where_flags", 64)
+        .straight_line(OpMix {
+            int_ops: 2,
+            cmp_sel_ops: 1,
+            global_read_bytes: 4,
+            global_write_bytes: 4,
+            ..OpMix::default()
+        })
+        .restrict()
+        .build();
+    let scatter = KernelBuilder::nd_range("where_scatter", 64)
+        .straight_line(OpMix {
+            int_ops: 2,
+            cmp_sel_ops: 1,
+            global_read_bytes: 12,
+            global_write_bytes: 8,
+            ..OpMix::default()
+        })
+        .restrict()
+        .build();
+
+    if !optimized {
+        // GPU-shaped work-efficient scan on an FPGA: multiple ND-Range
+        // passes with barriers, poorly pipelined — the structural reason
+        // it loses 100× to the custom scan.
+        let scan_pass = KernelBuilder::nd_range("onedpl_scan_pass", 128)
+            .straight_line(OpMix {
+                int_ops: 3,
+                global_read_bytes: 8,
+                global_write_bytes: 4,
+                local_reads: 8,
+                local_writes: 8,
+                ..OpMix::default()
+            })
+            .local_array(
+                "scan_tile",
+                hetero_ir::ir::Scalar::I32,
+                256,
+                hetero_ir::ir::AccessPattern::Regular,
+            )
+            // A work-efficient scan barriers its tile at every tree
+            // level (upsweep + downsweep).
+            .barriers(32)
+            .build();
+        Design::new(format!("where-base-{size}"))
+            .with(KernelInstance::new(flags).items(n))
+            // Hierarchical scan: local pass, block-sums pass, add pass.
+            .with(KernelInstance::new(scan_pass.clone()).items(n).invoked(3))
+            .with(KernelInstance::new(scatter).items(n))
+    } else {
+        let custom_scan = par_dpl::scan::fpga_scan_kernel_ir(n);
+        let (cu_flags, cu_scatter) = if is_agilex { (4, 24) } else { (2, 20) };
+        Design::new(format!("where-opt-{size}"))
+            .with(KernelInstance::new(flags).items(n).replicated(cu_flags))
+            .with(KernelInstance::new(custom_scan))
+            .with(KernelInstance::new(scatter).items(n).replicated(cu_scatter))
+    }
+}
+
+/// DPCT source model: the library prefix-sum is the defining construct.
+pub fn cuda_module() -> CudaModule {
+    CudaModule {
+        name: "where".into(),
+        constructs: vec![
+            Construct::Timing { api: TimingApi::CudaEvents, wraps_library_call: true },
+            Construct::LibraryPrefixSum,
+            Construct::UsmMemAdvise,
+            Construct::WorkGroupSize { size: 256, has_attributes: false },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use altis_data::where_q as params;
+
+    fn tiny() -> WhereParams {
+        WhereParams { n_records: 4096, selectivity_pct: 30 }
+    }
+
+    #[test]
+    fn runtime_matches_golden_for_all_versions() {
+        let p = tiny();
+        let g = golden(&p);
+        for (device, version) in [
+            (Device::cpu(), AppVersion::Reference),
+            (Device::cpu(), AppVersion::SyclBaseline),
+            (Device::stratix10(), AppVersion::SyclOptimized),
+        ] {
+            let q = Queue::new(device);
+            assert_eq!(run(&q, &p, version), g);
+        }
+    }
+
+    #[test]
+    fn selectivity_is_roughly_30_percent() {
+        let p = params(InputSize::S1);
+        let g = golden(&p);
+        let frac = g.len() as f64 / p.n_records as f64;
+        assert!((frac - 0.30).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn output_preserves_input_order() {
+        let p = tiny();
+        let g = golden(&p);
+        assert!(g.windows(2).all(|w| w[0].payload < w[1].payload));
+    }
+
+    #[test]
+    fn custom_fpga_scan_crushes_gpu_shaped_scan() {
+        // Section 5.3: up to 100× on Stratix 10.
+        let part = FpgaPart::stratix10();
+        let b = fpga_sim::simulate(&fpga_design(InputSize::S3, false, &part), &part);
+        let o = fpga_sim::simulate(&fpga_design(InputSize::S3, true, &part), &part);
+        let s = b.total_seconds / o.total_seconds;
+        assert!(s > 5.0, "speedup = {s}");
+    }
+
+    #[test]
+    fn fpga_designs_fit() {
+        for part in [FpgaPart::stratix10(), FpgaPart::agilex()] {
+            for opt in [false, true] {
+                fpga_sim::resources::check_fit(&fpga_design(InputSize::S2, opt, &part), &part)
+                    .unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn selectivity_histogram_predicts_filter_output() {
+        // The histogram of values mod 100 predicts the predicate's
+        // selectivity exactly (the predicate is `value < threshold`).
+        let p = WhereParams { n_records: 50_000, selectivity_pct: 30 };
+        let hist = selectivity_histogram(&p, 100);
+        let predicted: u64 = hist[..30].iter().sum();
+        assert_eq!(predicted as usize, golden(&p).len());
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let p = WhereParams { n_records: 0, selectivity_pct: 30 };
+        let q = Queue::new(Device::cpu());
+        assert!(run(&q, &p, AppVersion::SyclBaseline).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Runtime-flavour overhead model.
+//!
+//! The paper's Figure 1 decomposes FDTD2D time into kernel and non-kernel
+//! regions and finds the SYCL non-kernel region ~6.7× larger than CUDA's
+//! at small sizes, caused by the oneAPI environment's extra underlying
+//! CUDA API calls for context/event management plus JIT compilation. We
+//! model each runtime flavour with three parameters: a fixed per-run
+//! cost, a per-launch cost, and an interconnect efficiency for transfers.
+
+use crate::device::{DeviceClass, DeviceSpec};
+use crate::profile::WorkProfile;
+
+/// The software stack a measurement runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeFlavor {
+    /// Native CUDA (the original Altis).
+    Cuda,
+    /// DPC++/SYCL running over the CUDA backend (the migrated suite on
+    /// the RTX 2080) — extra context/event management per launch and a
+    /// larger fixed JIT/context cost per run.
+    SyclOnCuda,
+    /// DPC++/SYCL on a native Level-Zero/OpenCL backend (Intel GPUs and
+    /// CPUs).
+    SyclNative,
+    /// SYCL on FPGA: the bitstream is compiled ahead of time, but the
+    /// *first* enqueue pays board bring-up; per-launch costs are low.
+    SyclFpga,
+}
+
+/// Overhead parameters of one flavour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Fixed cost per application run (context creation, JIT, board
+    /// bring-up), in microseconds.
+    pub fixed_us: f64,
+    /// Cost per kernel launch, in microseconds.
+    pub per_launch_us: f64,
+    /// Multiplier on transfer time (API inefficiency; 1.0 = raw PCIe).
+    pub transfer_factor: f64,
+}
+
+impl RuntimeFlavor {
+    /// The calibrated overhead model of this flavour.
+    ///
+    /// Calibration anchors (Figure 1, FDTD2D on the RTX 2080, with
+    /// ~300 launches at size 1 and ~3000 at size 3):
+    /// * CUDA non-kernel ≈ 0.4 ms at size 1 → ≈ 1 µs per stream launch
+    ///   plus a small fixed context cost,
+    /// * SYCL non-kernel ≈ 2.7 ms at size 1 (≈ 6.7× CUDA's) — the extra
+    ///   context/event-management CUDA API calls the paper profiles put
+    ///   most of the cost on the per-launch path.
+    pub fn overheads(self) -> OverheadModel {
+        match self {
+            RuntimeFlavor::Cuda => OverheadModel {
+                fixed_us: 40.0,
+                per_launch_us: 1.0,
+                transfer_factor: 1.0,
+            },
+            RuntimeFlavor::SyclOnCuda => OverheadModel {
+                fixed_us: 300.0,
+                per_launch_us: 8.0,
+                transfer_factor: 1.3,
+            },
+            RuntimeFlavor::SyclNative => OverheadModel {
+                fixed_us: 200.0,
+                per_launch_us: 4.0,
+                transfer_factor: 1.1,
+            },
+            RuntimeFlavor::SyclFpga => OverheadModel {
+                // Bitstreams are compiled ahead of time; per-run cost is
+                // board synchronisation only.
+                fixed_us: 200.0,
+                per_launch_us: 3.0,
+                transfer_factor: 1.2,
+            },
+        }
+    }
+
+    /// Default flavour for a device class (what you'd measure with).
+    pub fn default_for(class: DeviceClass) -> Self {
+        match class {
+            DeviceClass::Cpu => RuntimeFlavor::SyclNative,
+            DeviceClass::Gpu => RuntimeFlavor::SyclOnCuda,
+            DeviceClass::Fpga => RuntimeFlavor::SyclFpga,
+        }
+    }
+}
+
+/// Non-kernel time of a run, in seconds: fixed + launches + transfers.
+pub fn non_kernel_seconds(
+    profile: &WorkProfile,
+    device: &DeviceSpec,
+    flavor: RuntimeFlavor,
+) -> f64 {
+    let o = flavor.overheads();
+    let launch_s = (o.fixed_us + o.per_launch_us * profile.kernel_launches as f64) * 1e-6;
+    let transfer_s = if device.pcie_bw_gbs.is_infinite() {
+        0.0
+    } else {
+        o.transfer_factor * profile.transfer_bytes as f64 / (device.pcie_bw_gbs * 1e9)
+    };
+    launch_s + transfer_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(launches: u64, transfer_bytes: u64) -> WorkProfile {
+        WorkProfile {
+            kernel_launches: launches,
+            transfer_bytes,
+            ..WorkProfile::empty()
+        }
+    }
+
+    #[test]
+    fn sycl_on_cuda_has_higher_overheads_than_cuda() {
+        let c = RuntimeFlavor::Cuda.overheads();
+        let s = RuntimeFlavor::SyclOnCuda.overheads();
+        assert!(s.fixed_us > c.fixed_us);
+        assert!(s.per_launch_us > c.per_launch_us);
+        assert!(s.transfer_factor > c.transfer_factor);
+    }
+
+    #[test]
+    fn figure1_shape_small_size_overhead_dominates_sycl() {
+        // With the launch count of FDTD2D size 1 (~300) and little data,
+        // SYCL's non-kernel region is several times CUDA's (paper: ~6.7×
+        // at size 1).
+        let dev = DeviceSpec::rtx_2080();
+        let p = profile(300, 800_000);
+        let cuda = non_kernel_seconds(&p, &dev, RuntimeFlavor::Cuda);
+        let sycl = non_kernel_seconds(&p, &dev, RuntimeFlavor::SyclOnCuda);
+        let ratio = sycl / cuda;
+        assert!(ratio > 4.0 && ratio < 12.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn launch_heavy_runs_scale_with_launch_count() {
+        let dev = DeviceSpec::rtx_2080();
+        let few = non_kernel_seconds(&profile(10, 0), &dev, RuntimeFlavor::SyclOnCuda);
+        let many = non_kernel_seconds(&profile(2_000, 0), &dev, RuntimeFlavor::SyclOnCuda);
+        assert!(many > 10.0 * few);
+    }
+
+    #[test]
+    fn cpu_pays_no_transfer_cost() {
+        let cpu = DeviceSpec::xeon_gold_6128();
+        let t = non_kernel_seconds(&profile(1, 1 << 30), &cpu, RuntimeFlavor::SyclNative);
+        // Only fixed + one launch.
+        assert!(t < 2e-3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Roofline regime classification.
+//!
+//! Figure 5's story is about *which limiter dominates* on each device at
+//! each size: small problems are overhead-bound (launch/transfer costs
+//! swamp the kernels), large streaming problems are bandwidth-bound, and
+//! dense arithmetic lands compute-bound. This module classifies a
+//! (profile, device, flavour) combination so the harness can explain
+//! every bar, not just print it.
+
+use crate::device::DeviceSpec;
+use crate::overhead::{non_kernel_seconds, RuntimeFlavor};
+use crate::profile::WorkProfile;
+
+/// The dominant limiter of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Kernel time dominated by arithmetic throughput.
+    ComputeBound,
+    /// Kernel time dominated by memory bandwidth.
+    MemoryBound,
+    /// Non-kernel time (launch overheads, transfers) exceeds kernel time.
+    OverheadBound,
+}
+
+impl std::fmt::Display for Regime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Regime::ComputeBound => write!(f, "compute-bound"),
+            Regime::MemoryBound => write!(f, "memory-bound"),
+            Regime::OverheadBound => write!(f, "overhead-bound"),
+        }
+    }
+}
+
+/// Detailed classification, with the component times that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimeReport {
+    /// The dominant limiter.
+    pub regime: Regime,
+    /// Pure compute time (seconds) at the device's effective rate.
+    pub compute_s: f64,
+    /// Pure memory time (seconds) at the device's effective bandwidth.
+    pub memory_s: f64,
+    /// Non-kernel time (seconds).
+    pub non_kernel_s: f64,
+}
+
+/// Classify a run.
+pub fn classify(profile: &WorkProfile, device: &DeviceSpec, flavor: RuntimeFlavor) -> RegimeReport {
+    let eff_compute = (device.compute_efficiency * profile.hints.compute).max(1e-6);
+    let eff_mem = (device.mem_efficiency * profile.hints.memory).max(1e-6);
+    let compute_s = profile.f32_flops as f64 / (device.peak_f32_gflops * 1e9 * eff_compute)
+        + profile.f64_flops as f64 / (device.peak_f64_gflops * 1e9 * eff_compute);
+    let memory_s = profile.global_bytes as f64 / (device.peak_mem_bw_gbs * 1e9 * eff_mem);
+    let non_kernel_s = non_kernel_seconds(profile, device, flavor);
+    let kernel_s = compute_s.max(memory_s);
+    let regime = if non_kernel_s > kernel_s {
+        Regime::OverheadBound
+    } else if memory_s > compute_s {
+        Regime::MemoryBound
+    } else {
+        Regime::ComputeBound
+    };
+    RegimeReport { regime, compute_s, memory_s, non_kernel_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::EfficiencyHints;
+
+    fn profile(flops: u64, bytes: u64, launches: u64) -> WorkProfile {
+        WorkProfile {
+            f32_flops: flops,
+            global_bytes: bytes,
+            kernel_launches: launches,
+            hints: EfficiencyHints::default(),
+            ..WorkProfile::empty()
+        }
+    }
+
+    #[test]
+    fn dense_arithmetic_is_compute_bound() {
+        let r = classify(
+            &profile(1 << 40, 1 << 24, 10),
+            &DeviceSpec::rtx_2080(),
+            RuntimeFlavor::Cuda,
+        );
+        assert_eq!(r.regime, Regime::ComputeBound);
+        assert!(r.compute_s > r.memory_s);
+    }
+
+    #[test]
+    fn streaming_is_memory_bound() {
+        let r = classify(
+            &profile(1 << 20, 1 << 34, 10),
+            &DeviceSpec::rtx_2080(),
+            RuntimeFlavor::Cuda,
+        );
+        assert_eq!(r.regime, Regime::MemoryBound);
+    }
+
+    #[test]
+    fn tiny_problems_are_overhead_bound() {
+        let r = classify(
+            &profile(1 << 12, 1 << 10, 500),
+            &DeviceSpec::a100(),
+            RuntimeFlavor::SyclOnCuda,
+        );
+        assert_eq!(r.regime, Regime::OverheadBound);
+    }
+
+    #[test]
+    fn regime_shifts_with_size_like_figure5() {
+        // The same app shape (fixed arithmetic intensity) moves from
+        // overhead-bound to its roofline regime as the size grows.
+        let dev = DeviceSpec::rtx_2080();
+        let small = classify(&profile(1 << 16, 1 << 18, 300), &dev, RuntimeFlavor::SyclOnCuda);
+        let large = classify(&profile(1 << 30, 1 << 32, 300), &dev, RuntimeFlavor::SyclOnCuda);
+        assert_eq!(small.regime, Regime::OverheadBound);
+        assert_eq!(large.regime, Regime::MemoryBound);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Regime::MemoryBound.to_string(), "memory-bound");
+        assert_eq!(Regime::ComputeBound.to_string(), "compute-bound");
+        assert_eq!(Regime::OverheadBound.to_string(), "overhead-bound");
+    }
+}

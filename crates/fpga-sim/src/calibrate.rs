@@ -1,0 +1,133 @@
+//! Calibration constants for the FPGA simulator.
+//!
+//! Every constant cites the mechanism or paper observation it is anchored
+//! to. These are the *only* tunables; the rest of the simulator is
+//! structural. Absolute cycle counts are approximate by construction —
+//! the reproduction targets relative behaviour (optimized vs. baseline,
+//! Stratix 10 vs. Agilex, FPGA vs. GPU orderings).
+
+/// Pipeline fill latency added per loop entry, in cycles, per op of body
+/// latency. FP ops on Stratix-class devices have ~4-8 cycle latencies;
+/// a body with `n` dependent ops is modelled as `BASE + n × PER_OP`.
+pub const PIPELINE_DEPTH_BASE: u64 = 12;
+
+/// Additional pipeline depth per floating-point op in the loop body.
+pub const PIPELINE_DEPTH_PER_FP_OP: u64 = 5;
+
+/// Additional depth per transcendental (exp/log/sin/pow cores are deep).
+pub const PIPELINE_DEPTH_PER_TRANSCENDENTAL: u64 = 25;
+
+/// Compiler-default speculated iterations for loops with data-dependent
+/// exits (the paper: the default cost Mandelbrot pays until
+/// `speculated_iterations` is lowered).
+pub const DEFAULT_SPECULATED_ITERATIONS: u32 = 4;
+
+/// II forced by an unrestructured floating-point loop-carried dependence
+/// (accumulator feedback ≈ FP-add latency).
+pub const LOOP_CARRIED_FP_II: u32 = 8;
+
+/// II multiplier when local-memory access is irregular and an arbiter
+/// must schedule the ports (the paper's NW "Case 3": arbiters stall
+/// execution).
+pub const ARBITER_STALL_FACTOR: f64 = 2.5;
+
+/// Milder stall factor for regular-but-port-heavy access ("Case 2",
+/// SRAD's eleven shared arrays).
+pub const PORT_PRESSURE_STALL_FACTOR: f64 = 1.3;
+
+/// Cycles to drain/refill the datapath at each ND-range barrier, per
+/// work-group (barriers serialise the in-flight window).
+pub const BARRIER_DRAIN_CYCLES: u64 = 40;
+
+/// Effective latency, in cycles, of one iteration of a *non-pipelined*
+/// loop inside an ND-Range kernel. The oneAPI FPGA compiler does not
+/// pipeline loops in ND-Range kernels the way it pipelines Single-Task
+/// loops; each iteration pays most of its body latency, partially hidden
+/// by interleaved work-items. This asymmetry is the structural source of
+/// the paper's large Single-Task-rewrite gains (Figure 4).
+pub const NDRANGE_ITER_LATENCY: f64 = 16.0;
+
+/// Fraction of the board's peak DRAM bandwidth a well-formed design
+/// sustains. The 520N/DE10 soft memory controllers fall well short of
+/// peak on the strided/scattered access mixes of real kernels; this is
+/// the mechanism behind the paper's size-3 finding that FPGA
+/// performance is limited by platform memory bandwidth.
+pub const FPGA_MEM_EFFICIENCY: f64 = 0.70;
+
+/// Effective-traffic inflation for kernels that gather scattered global
+/// data without `kernel_args_restrict`: every scattered word costs a
+/// full DRAM burst. This is the "stalls in global memory access" that
+/// starve the paper's CFD pipelines until pipes decouple the accesses.
+pub const NONCOALESCED_TRAFFIC_FACTOR: f64 = 2.5;
+
+/// Per-work-item global-read volume above which a non-restrict kernel is
+/// treated as a scattered gatherer.
+pub const NONCOALESCED_READ_THRESHOLD: f64 = 64.0;
+
+/// M20K block capacity in bytes (20 kbit).
+pub const M20K_BYTES: usize = 2_560;
+
+/// DSPs consumed per FP32 multiply-class op in an unrolled body
+/// (add/sub map to DSPs too on Stratix 10/Agilex; averaged).
+pub const DSP_PER_F32_OP: f64 = 0.75;
+
+/// DSPs per FP64 op (double-pumped DSP chains).
+pub const DSP_PER_F64_OP: f64 = 4.0;
+
+/// DSPs per divide/sqrt core.
+pub const DSP_PER_FDIV: f64 = 4.0;
+
+/// DSPs per transcendental core.
+pub const DSP_PER_TRANSCENDENTAL: f64 = 8.0;
+
+/// Base ALMs per synthesised kernel (control FSM, handshaking, iface).
+pub const ALM_BASE_PER_KERNEL: f64 = 9_000.0;
+
+/// ALMs per scheduled op slot (datapath registers, routing).
+pub const ALM_PER_OP: f64 = 70.0;
+
+/// ALMs per integer/compare op slot.
+pub const ALM_PER_INT_OP: f64 = 45.0;
+
+/// ALMs per global-memory load/store unit.
+pub const ALM_PER_LSU: f64 = 1_500.0;
+
+/// BRAM blocks per global-memory LSU (burst buffers).
+pub const BRAM_PER_LSU: f64 = 6.0;
+
+/// ALMs per local-memory port arbiter (Case-3 memories).
+pub const ALM_PER_ARBITER: f64 = 2_200.0;
+
+/// ALMs consumed by the fixed board interface / shell (BSP). The paper
+/// notes "some FPGA resources are utilized for the fixed board
+/// interface"; utilization percentages in Table 3 are against the total.
+pub const ALM_SHELL: f64 = 80_000.0;
+
+/// BRAM blocks used by the shell.
+pub const BRAM_SHELL: f64 = 300.0;
+
+/// Utilization (fraction of ALMs) beyond which the design no longer fits
+/// through place-and-route.
+pub const FIT_LIMIT: f64 = 0.97;
+
+/// Utilization at which Fmax starts degrading (routing congestion).
+/// Anchor: CFD FP32 on Agilex runs at 79.7 % ALM and still closes at
+/// 425 MHz on a 560 MHz-class part — the derate curve is gentle.
+pub const CONGESTION_KNEE: f64 = 0.30;
+
+/// Maximum congestion-induced Fmax derate (at 100 % utilization). Kept
+/// mild: Table 3 shows Agilex out-clocking Stratix 10 even at ~90 % ALM.
+pub const CONGESTION_MAX_DERATE: f64 = 0.20;
+
+/// Fmax derate per arbiter-laden local memory (NW achieves 216 MHz on a
+/// 450 MHz-class device).
+pub const ARBITER_FMAX_DERATE: f64 = 0.80;
+
+/// Fmax derate for very deep Single-Task control (the ParticleFilter
+/// designs run at ~102-108 MHz on both devices: long control-dominated
+/// critical paths barely improve across FPGA generations).
+pub const DEEP_CONTROL_FMAX_DERATE: f64 = 0.55;
+
+/// Number of distinct loops above which a Single-Task kernel is
+/// considered control-dominated for the Fmax derate above.
+pub const DEEP_CONTROL_LOOP_THRESHOLD: usize = 6;

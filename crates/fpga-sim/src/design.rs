@@ -1,0 +1,175 @@
+//! Design descriptions: kernel instances, replication, and dataflow
+//! topology.
+//!
+//! A [`Design`] is what the paper would hand to Quartus: a set of kernel
+//! instances (each possibly replicated into several compute units) and a
+//! topology describing which kernels run concurrently connected by pipes
+//! ([`DataflowGroup`]s run internally concurrent, and groups execute
+//! sequentially, communicating through global memory — the distinction
+//! between Figure 3's baseline and optimized KMeans designs).
+
+use hetero_ir::ir::Kernel;
+
+/// One kernel instance inside a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelInstance {
+    /// Kernel descriptor (structure, attributes, local memory).
+    pub kernel: Kernel,
+    /// Compute-unit replication factor (Section 5.1).
+    pub compute_units: u32,
+    /// Times the kernel is enqueued per application run.
+    pub invocations: u64,
+    /// Work-items per invocation (ND-Range kernels; ignored for
+    /// Single-Task).
+    pub items_per_invocation: u64,
+}
+
+impl KernelInstance {
+    /// Instance with one compute unit, invoked once.
+    pub fn new(kernel: Kernel) -> Self {
+        KernelInstance {
+            kernel,
+            compute_units: 1,
+            invocations: 1,
+            items_per_invocation: 1,
+        }
+    }
+
+    /// Set the replication factor.
+    pub fn replicated(mut self, cu: u32) -> Self {
+        self.compute_units = cu.max(1);
+        self
+    }
+
+    /// Set invocation count.
+    pub fn invoked(mut self, n: u64) -> Self {
+        self.invocations = n.max(1);
+        self
+    }
+
+    /// Set work-items per invocation.
+    pub fn items(mut self, items: u64) -> Self {
+        self.items_per_invocation = items.max(1);
+        self
+    }
+}
+
+/// Indices of instances that run concurrently, connected by pipes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowGroup {
+    /// Instance indices into [`Design::instances`].
+    pub members: Vec<usize>,
+}
+
+/// A complete FPGA design: everything one bitstream contains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    /// Design name (application + variant).
+    pub name: String,
+    /// All kernel instances synthesised into the bitstream.
+    pub instances: Vec<KernelInstance>,
+    /// Execution topology: groups run sequentially, members of a group
+    /// run concurrently. Instances not mentioned in any group execute
+    /// sequentially in index order after the groups.
+    pub groups: Vec<DataflowGroup>,
+}
+
+impl Design {
+    /// New empty design.
+    pub fn new(name: impl Into<String>) -> Self {
+        Design { name: name.into(), instances: Vec::new(), groups: Vec::new() }
+    }
+
+    /// Add an instance, returning its index.
+    pub fn add(&mut self, inst: KernelInstance) -> usize {
+        self.instances.push(inst);
+        self.instances.len() - 1
+    }
+
+    /// Builder-style add.
+    pub fn with(mut self, inst: KernelInstance) -> Self {
+        self.instances.push(inst);
+        self
+    }
+
+    /// Declare that the given instances run concurrently (pipes).
+    pub fn dataflow(mut self, members: Vec<usize>) -> Self {
+        self.groups.push(DataflowGroup { members });
+        self
+    }
+
+    /// The execution schedule: explicit groups first, then each
+    /// unmentioned instance as its own singleton group.
+    pub fn schedule(&self) -> Vec<DataflowGroup> {
+        let mut mentioned = vec![false; self.instances.len()];
+        for g in &self.groups {
+            for &m in &g.members {
+                mentioned[m] = true;
+            }
+        }
+        let mut sched = self.groups.clone();
+        for (i, m) in mentioned.iter().enumerate() {
+            if !m {
+                sched.push(DataflowGroup { members: vec![i] });
+            }
+        }
+        sched
+    }
+
+    /// Validate group indices.
+    pub fn validate(&self) -> Result<(), String> {
+        for g in &self.groups {
+            for &m in &g.members {
+                if m >= self.instances.len() {
+                    return Err(format!(
+                        "dataflow group references instance {m}, but design '{}' has {}",
+                        self.name,
+                        self.instances.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_ir::builder::KernelBuilder;
+
+    fn kernel(name: &str) -> Kernel {
+        KernelBuilder::single_task(name).build()
+    }
+
+    #[test]
+    fn schedule_appends_unmentioned_instances() {
+        let d = Design::new("d")
+            .with(KernelInstance::new(kernel("a")))
+            .with(KernelInstance::new(kernel("b")))
+            .with(KernelInstance::new(kernel("c")))
+            .dataflow(vec![0, 1]);
+        let s = d.schedule();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].members, vec![0, 1]);
+        assert_eq!(s[1].members, vec![2]);
+    }
+
+    #[test]
+    fn validate_catches_bad_indices() {
+        let d = Design::new("d")
+            .with(KernelInstance::new(kernel("a")))
+            .dataflow(vec![0, 5]);
+        assert!(d.validate().is_err());
+        let ok = Design::new("d").with(KernelInstance::new(kernel("a"))).dataflow(vec![0]);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn instance_builders_clamp() {
+        let i = KernelInstance::new(kernel("k")).replicated(0).invoked(0).items(0);
+        assert_eq!(i.compute_units, 1);
+        assert_eq!(i.invocations, 1);
+        assert_eq!(i.items_per_invocation, 1);
+    }
+}

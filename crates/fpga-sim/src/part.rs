@@ -1,0 +1,82 @@
+//! FPGA part descriptions (Table 3 header totals).
+
+/// Static description of an FPGA part/board combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaPart {
+    /// Board/part name as in the paper.
+    pub name: &'static str,
+    /// Total adaptive logic modules (Table 3: "T:" row).
+    pub alms_total: u64,
+    /// Total M20K BRAM blocks.
+    pub brams_total: u64,
+    /// Total DSP blocks.
+    pub dsps_total: u64,
+    /// Best-case kernel clock in MHz for clean designs on this part.
+    /// Table 3 shows clean Stratix 10 designs reaching ~417 MHz and
+    /// Agilex ones ~554 MHz.
+    pub base_fmax_mhz: f64,
+    /// Board DRAM bandwidth in GB/s (Table 2).
+    pub mem_bw_gbs: f64,
+}
+
+impl FpgaPart {
+    /// BittWare 520N (Stratix 10 GX 2800). Totals from Table 3.
+    pub fn stratix10() -> Self {
+        FpgaPart {
+            name: "Stratix 10",
+            alms_total: 933_120,
+            brams_total: 11_721,
+            dsps_total: 5_760,
+            base_fmax_mhz: 430.0,
+            mem_bw_gbs: 76.8,
+        }
+    }
+
+    /// Terasic DE10 Agilex (AGF 014). Totals from Table 3.
+    pub fn agilex() -> Self {
+        FpgaPart {
+            name: "Agilex",
+            alms_total: 487_200,
+            brams_total: 7_110,
+            dsps_total: 4_510,
+            base_fmax_mhz: 560.0,
+            mem_bw_gbs: 85.3,
+        }
+    }
+
+    /// Sustained memory bandwidth in bytes/second.
+    pub fn effective_bw_bytes(&self) -> f64 {
+        self.mem_bw_gbs * 1e9 * crate::calibrate::FPGA_MEM_EFFICIENCY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_totals() {
+        let s = FpgaPart::stratix10();
+        assert_eq!((s.alms_total, s.brams_total, s.dsps_total), (933_120, 11_721, 5_760));
+        let a = FpgaPart::agilex();
+        assert_eq!((a.alms_total, a.brams_total, a.dsps_total), (487_200, 7_110, 4_510));
+    }
+
+    #[test]
+    fn stratix_is_bigger_but_slower() {
+        // The paper: Stratix 10 has +47.7% ALMs, +39.3% BRAMs, +21.7%
+        // DSPs vs. Agilex, while Agilex clocks higher in every design.
+        let s = FpgaPart::stratix10();
+        let a = FpgaPart::agilex();
+        let alm_ratio = s.alms_total as f64 / a.alms_total as f64;
+        assert!(alm_ratio > 1.4, "alm ratio {alm_ratio}");
+        assert!(s.dsps_total as f64 / a.dsps_total as f64 > 1.2);
+        assert!(a.base_fmax_mhz > s.base_fmax_mhz);
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak() {
+        let s = FpgaPart::stratix10();
+        assert!(s.effective_bw_bytes() < s.mem_bw_gbs * 1e9);
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end design timing: cycles → seconds with Fmax, bandwidth
+//! limits, and dataflow overlap.
+
+use hetero_ir::analysis::kernel_cost;
+
+use crate::design::{DataflowGroup, Design};
+use crate::fmax::estimate_fmax;
+use crate::part::FpgaPart;
+use crate::pipeline::kernel_cycles;
+
+/// Timing of one dataflow group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupTiming {
+    /// Member instance indices.
+    pub members: Vec<usize>,
+    /// Group wall time in seconds (max over members when concurrent).
+    pub seconds: f64,
+}
+
+/// Full simulation report of one design on one part.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Design name.
+    pub design: String,
+    /// Part name.
+    pub part: &'static str,
+    /// Estimated kernel clock in MHz.
+    pub fmax_mhz: f64,
+    /// Per-group timings, in schedule order.
+    pub groups: Vec<GroupTiming>,
+    /// Total kernel time in seconds.
+    pub total_seconds: f64,
+}
+
+/// Wall time of one kernel instance on `part` at `fmax_mhz`.
+///
+/// Cycle time and memory-bandwidth time compete: the instance cannot
+/// finish faster than its global traffic allows (the paper's size-3
+/// observation: FPGA performance collapses when bandwidth demand grows).
+/// When instances run concurrently in a dataflow group they *share* the
+/// board bandwidth; the group handles that by summing traffic.
+fn instance_seconds(design: &Design, idx: usize, fmax_mhz: f64) -> (f64, f64) {
+    let inst = &design.instances[idx];
+    let cycles = kernel_cycles(&inst.kernel, inst.items_per_invocation, inst.compute_units);
+    let cycle_s = cycles * inst.invocations as f64 / (fmax_mhz * 1e6);
+    let items = match inst.kernel.style {
+        hetero_ir::ir::KernelStyle::NdRange { .. } => inst.items_per_invocation,
+        hetero_ir::ir::KernelStyle::SingleTask => 1,
+    };
+    let cost = kernel_cost(&inst.kernel, items);
+    let mut bytes = cost.global_bytes() as f64 * inst.invocations as f64;
+    // Scattered gathers without restrict waste DRAM bursts (the stalls
+    // the paper's CFD suffers until pipes decouple its accesses).
+    let reads_per_item = cost.mix.global_read_bytes as f64 / items.max(1) as f64;
+    if !inst.kernel.args_restrict
+        && reads_per_item >= crate::calibrate::NONCOALESCED_READ_THRESHOLD
+    {
+        bytes *= crate::calibrate::NONCOALESCED_TRAFFIC_FACTOR;
+    }
+    (cycle_s, bytes)
+}
+
+/// Simulate a design on a part.
+pub fn simulate(design: &Design, part: &FpgaPart) -> SimReport {
+    let fmax = estimate_fmax(design, part);
+    let bw = part.effective_bw_bytes();
+    let mut groups = Vec::new();
+    let mut total = 0.0;
+
+    for g in design.schedule() {
+        let seconds = group_seconds(design, &g, fmax, bw);
+        total += seconds;
+        groups.push(GroupTiming { members: g.members.clone(), seconds });
+    }
+
+    SimReport {
+        design: design.name.clone(),
+        part: part.name,
+        fmax_mhz: fmax,
+        groups,
+        total_seconds: total,
+    }
+}
+
+fn group_seconds(design: &Design, group: &DataflowGroup, fmax: f64, bw_bytes: f64) -> f64 {
+    // Concurrent members: wall time is the slowest member's cycle time,
+    // but the group's *aggregate* global traffic shares the DRAM.
+    let mut max_cycle_s: f64 = 0.0;
+    let mut total_bytes = 0.0;
+    for &m in &group.members {
+        let (cycle_s, bytes) = instance_seconds(design, m, fmax);
+        max_cycle_s = max_cycle_s.max(cycle_s);
+        total_bytes += bytes;
+    }
+    let mem_s = total_bytes / bw_bytes;
+    max_cycle_s.max(mem_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::KernelInstance;
+    use hetero_ir::builder::{KernelBuilder, LoopBuilder};
+    use hetero_ir::ir::OpMix;
+
+    /// A compute-heavy single-task kernel with `trips` iterations and a
+    /// per-iteration global traffic of `bytes` B.
+    fn st_kernel(name: &str, trips: u64, bytes: u64) -> hetero_ir::ir::Kernel {
+        let l = LoopBuilder::new("main", trips)
+            .body(OpMix {
+                f32_ops: 4,
+                global_read_bytes: bytes,
+                global_write_bytes: bytes / 2,
+                ..OpMix::default()
+            })
+            .build();
+        KernelBuilder::single_task(name).loop_(l).build()
+    }
+
+    #[test]
+    fn sequential_groups_sum_dataflow_groups_max() {
+        let a = st_kernel("a", 1_000_000, 0);
+        let b = st_kernel("b", 1_000_000, 0);
+
+        let sequential = Design::new("seq")
+            .with(KernelInstance::new(a.clone()))
+            .with(KernelInstance::new(b.clone()));
+        let dataflow = Design::new("df")
+            .with(KernelInstance::new(a))
+            .with(KernelInstance::new(b))
+            .dataflow(vec![0, 1]);
+
+        let p = FpgaPart::stratix10();
+        let t_seq = simulate(&sequential, &p).total_seconds;
+        let t_df = simulate(&dataflow, &p).total_seconds;
+        // Concurrent execution of two equal kernels halves the time.
+        let ratio = t_seq / t_df;
+        assert!(ratio > 1.8 && ratio < 2.2, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn pipes_eliminate_intermediate_global_traffic() {
+        // Baseline: two kernels exchange 64 MB through DRAM. Optimized:
+        // same compute, exchanged through a pipe (no global traffic).
+        // This is the Figure-3 KMeans mechanism.
+        let heavy_traffic = st_kernel("via_dram", 1_000_000, 512);
+        let light_traffic = st_kernel("via_pipe", 1_000_000, 0);
+
+        let baseline = Design::new("base")
+            .with(KernelInstance::new(heavy_traffic.clone()))
+            .with(KernelInstance::new(heavy_traffic));
+        let optimized = Design::new("opt")
+            .with(KernelInstance::new(light_traffic.clone()))
+            .with(KernelInstance::new(light_traffic))
+            .dataflow(vec![0, 1]);
+
+        let p = FpgaPart::stratix10();
+        let t_base = simulate(&baseline, &p).total_seconds;
+        let t_opt = simulate(&optimized, &p).total_seconds;
+        assert!(t_base / t_opt > 3.0, "{t_base} vs {t_opt}");
+    }
+
+    #[test]
+    fn bandwidth_caps_fast_pipelines() {
+        // A kernel that streams a lot of data per cycle cannot beat the
+        // DRAM: time must be at least bytes / bandwidth.
+        let k = st_kernel("stream", 1_000_000, 4096);
+        let d = Design::new("s").with(KernelInstance::new(k));
+        let p = FpgaPart::stratix10();
+        let r = simulate(&d, &p);
+        let bytes = 1_000_000.0 * (4096.0 + 2048.0);
+        assert!(r.total_seconds >= bytes / p.effective_bw_bytes() * 0.999);
+    }
+
+    #[test]
+    fn agilex_beats_stratix_on_compute_bound_designs() {
+        // Same design, higher clock ⇒ faster (the generational story).
+        let k = st_kernel("k", 10_000_000, 0);
+        let d = Design::new("d").with(KernelInstance::new(k));
+        let s10 = simulate(&d, &FpgaPart::stratix10());
+        let agx = simulate(&d, &FpgaPart::agilex());
+        assert!(agx.total_seconds < s10.total_seconds);
+        assert!(agx.fmax_mhz > s10.fmax_mhz);
+    }
+
+    #[test]
+    fn invocations_multiply_time() {
+        let k = st_kernel("k", 100_000, 0);
+        let d1 = Design::new("d").with(KernelInstance::new(k.clone()).invoked(1));
+        let d10 = Design::new("d").with(KernelInstance::new(k).invoked(10));
+        let p = FpgaPart::agilex();
+        let r = simulate(&d10, &p).total_seconds / simulate(&d1, &p).total_seconds;
+        assert!((r - 10.0).abs() < 0.5, "r = {r}");
+    }
+
+    #[test]
+    fn report_structure_is_complete() {
+        let k = st_kernel("k", 1000, 4);
+        let d = Design::new("demo").with(KernelInstance::new(k));
+        let r = simulate(&d, &FpgaPart::stratix10());
+        assert_eq!(r.design, "demo");
+        assert_eq!(r.part, "Stratix 10");
+        assert_eq!(r.groups.len(), 1);
+        assert!(r.total_seconds > 0.0);
+        assert!(r.fmax_mhz > 100.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests on simulator invariants: monotonicity of the cost
+//! models in their inputs, determinism, and physical sanity bounds.
+
+use fpga_sim::{Design, FpgaPart, KernelInstance};
+use hetero_ir::builder::{KernelBuilder, LoopBuilder};
+use hetero_ir::ir::OpMix;
+use proptest::prelude::*;
+
+fn single_loop_design(trips: u64, unroll: u32, flops: u64, bytes: u64) -> Design {
+    let l = LoopBuilder::new("l", trips)
+        .body(OpMix {
+            f32_ops: flops,
+            global_read_bytes: bytes,
+            ..OpMix::default()
+        })
+        .unroll(unroll)
+        .build();
+    let k = KernelBuilder::single_task("k").loop_(l).build();
+    Design::new("prop").with(KernelInstance::new(k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cycles_monotone_in_trip_count(
+        trips in 1u64..100_000,
+        extra in 1u64..100_000,
+        flops in 0u64..16,
+    ) {
+        let part = FpgaPart::stratix10();
+        let t1 = fpga_sim::simulate(&single_loop_design(trips, 1, flops, 0), &part).total_seconds;
+        let t2 = fpga_sim::simulate(&single_loop_design(trips + extra, 1, flops, 0), &part).total_seconds;
+        prop_assert!(t2 >= t1, "{t2} < {t1}");
+    }
+
+    #[test]
+    fn unrolling_never_slows_a_counted_loop(
+        trips in 64u64..100_000,
+        unroll in 1u32..64,
+        flops in 1u64..8,
+    ) {
+        let part = FpgaPart::stratix10();
+        let base = fpga_sim::simulate(&single_loop_design(trips, 1, flops, 0), &part).total_seconds;
+        let unrolled = fpga_sim::simulate(&single_loop_design(trips, unroll, flops, 0), &part).total_seconds;
+        // Unrolling divides steady-state cycles; fill depth may make tiny
+        // loops marginally worse, hence the epsilon.
+        prop_assert!(unrolled <= base * 1.01, "{unrolled} > {base}");
+    }
+
+    #[test]
+    fn resources_monotone_in_replication(
+        cu in 1u32..16,
+        flops in 1u64..32,
+    ) {
+        let mk = |c: u32| {
+            let k = KernelBuilder::single_task("k")
+                .straight_line(OpMix { f32_ops: flops, ..OpMix::default() })
+                .build();
+            Design::new("r").with(KernelInstance::new(k).replicated(c))
+        };
+        let r1 = fpga_sim::resources::design_resources(&mk(cu));
+        let r2 = fpga_sim::resources::design_resources(&mk(cu + 1));
+        prop_assert!(r2.alms > r1.alms);
+        prop_assert!(r2.dsps >= r1.dsps);
+    }
+
+    #[test]
+    fn fmax_never_exceeds_base(
+        flops in 0u64..2_000,
+        cu in 1u32..8,
+    ) {
+        for part in [FpgaPart::stratix10(), FpgaPart::agilex()] {
+            let k = KernelBuilder::single_task("k")
+                .straight_line(OpMix { f32_ops: flops, ..OpMix::default() })
+                .build();
+            let d = Design::new("f").with(KernelInstance::new(k).replicated(cu));
+            let f = fpga_sim::estimate_fmax(&d, &part);
+            prop_assert!(f <= part.base_fmax_mhz + 1e-9);
+            prop_assert!(f > 0.0);
+        }
+    }
+
+    #[test]
+    fn memory_bound_time_respects_bandwidth(
+        trips in 1_000u64..500_000,
+        bytes in 64u64..1_024,
+    ) {
+        let part = FpgaPart::agilex();
+        let t = fpga_sim::simulate(&single_loop_design(trips, 1, 1, bytes), &part).total_seconds;
+        let floor = (trips * bytes) as f64 / (part.mem_bw_gbs * 1e9);
+        // Can never stream faster than the board's peak DRAM bandwidth.
+        prop_assert!(t >= floor * 0.999, "{t} < {floor}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        trips in 1u64..50_000,
+        unroll in 1u32..32,
+        flops in 0u64..16,
+        bytes in 0u64..256,
+    ) {
+        let part = FpgaPart::stratix10();
+        let d = single_loop_design(trips, unroll, flops, bytes);
+        let a = fpga_sim::simulate(&d, &part);
+        let b = fpga_sim::simulate(&d, &part);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invocations_scale_time_linearly(
+        trips in 1_000u64..100_000,
+        invocations in 1u64..20,
+    ) {
+        let part = FpgaPart::stratix10();
+        let mk = |inv: u64| {
+            let l = LoopBuilder::new("l", trips).body(OpMix { f32_ops: 2, ..OpMix::default() }).build();
+            let k = KernelBuilder::single_task("k").loop_(l).build();
+            Design::new("i").with(KernelInstance::new(k).invoked(inv))
+        };
+        let t1 = fpga_sim::simulate(&mk(1), &part).total_seconds;
+        let tn = fpga_sim::simulate(&mk(invocations), &part).total_seconds;
+        let ratio = tn / (t1 * invocations as f64);
+        prop_assert!((0.99..1.01).contains(&ratio), "ratio = {ratio}");
+    }
+}

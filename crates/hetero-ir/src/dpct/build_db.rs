@@ -1,0 +1,181 @@
+//! Build-database migration — the `intercept-build` step.
+//!
+//! The paper's workflow starts by running DPCT's `intercept-build`
+//! script to capture every compiler command of the regular CUDA build
+//! into a JSON compilation database, which `dpct` then uses to migrate
+//! files *and* the build system (folder structure, CMake, compiler
+//! flags). This module models that step: a [`BuildDatabase`] of
+//! [`CompileCommand`]s is migrated command-by-command — `nvcc` becomes
+//! `icpx -fsycl`, CUDA-specific flags are translated or dropped with
+//! diagnostics, `.cu` files become `.dp.cpp` (DPCT's real naming), and
+//! the directory layout is preserved.
+
+/// One captured compiler invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileCommand {
+    /// Working directory of the invocation.
+    pub directory: String,
+    /// Source file, relative to `directory`.
+    pub file: String,
+    /// Compiler executable ("nvcc", "g++", …).
+    pub compiler: String,
+    /// Remaining command-line arguments.
+    pub args: Vec<String>,
+}
+
+/// A compilation database (the JSON `compile_commands.json` model).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BuildDatabase {
+    /// All captured commands.
+    pub commands: Vec<CompileCommand>,
+}
+
+/// A note produced while migrating the build system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildNote {
+    /// File the note refers to.
+    pub file: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Translate one CUDA compile flag to its SYCL equivalent.
+/// Returns `(replacement, note)`; an empty replacement drops the flag.
+fn translate_flag(flag: &str) -> (Vec<String>, Option<String>) {
+    if let Some(arch) = flag.strip_prefix("-arch=sm_") {
+        // Device architecture: noted, since SYCL JITs or uses
+        // -fsycl-targets instead.
+        return (
+            vec![],
+            Some(format!("dropped '-arch=sm_{arch}'; SYCL selects devices at runtime")),
+        );
+    }
+    match flag {
+        "--use_fast_math" | "-use_fast_math" => {
+            (vec!["-ffast-math".to_string()], None)
+        }
+        "-rdc=true" | "--relocatable-device-code=true" => (
+            vec![],
+            Some("dropped relocatable-device-code; not applicable to SYCL".to_string()),
+        ),
+        "-Xcompiler" => (vec![], Some("unwrapped -Xcompiler passthrough".to_string())),
+        _ => (vec![flag.to_string()], None),
+    }
+}
+
+/// Migrate a whole build database: compiler, flags, and file names.
+pub fn migrate_build_db(db: &BuildDatabase) -> (BuildDatabase, Vec<BuildNote>) {
+    let mut notes = Vec::new();
+    let commands = db
+        .commands
+        .iter()
+        .map(|c| {
+            let is_cuda = c.compiler == "nvcc" || c.file.ends_with(".cu");
+            let file = if c.file.ends_with(".cu") {
+                // DPCT's real output naming: foo.cu -> foo.dp.cpp.
+                format!("{}.dp.cpp", c.file.trim_end_matches(".cu"))
+            } else {
+                c.file.clone()
+            };
+            let compiler = if is_cuda { "icpx".to_string() } else { c.compiler.clone() };
+            let mut args = Vec::new();
+            if is_cuda {
+                args.push("-fsycl".to_string());
+            }
+            for flag in &c.args {
+                let (mut repl, note) = translate_flag(flag);
+                args.append(&mut repl);
+                if let Some(m) = note {
+                    notes.push(BuildNote { file: c.file.clone(), message: m });
+                }
+            }
+            CompileCommand {
+                directory: c.directory.clone(),
+                file,
+                compiler,
+                args,
+            }
+        })
+        .collect();
+    (BuildDatabase { commands }, notes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cuda_cmd(file: &str, args: &[&str]) -> CompileCommand {
+        CompileCommand {
+            directory: "/src/altis/cfd".to_string(),
+            file: file.to_string(),
+            compiler: "nvcc".to_string(),
+            args: args.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn cu_files_become_dp_cpp_under_icpx() {
+        let db = BuildDatabase {
+            commands: vec![cuda_cmd("euler3d.cu", &["-O3", "-arch=sm_75"])],
+        };
+        let (out, notes) = migrate_build_db(&db);
+        let c = &out.commands[0];
+        assert_eq!(c.compiler, "icpx");
+        assert_eq!(c.file, "euler3d.dp.cpp");
+        assert_eq!(c.args, vec!["-fsycl", "-O3"]);
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].message.contains("sm_75"));
+    }
+
+    #[test]
+    fn host_only_commands_pass_through() {
+        let host = CompileCommand {
+            directory: "/src/altis/common".to_string(),
+            file: "options.cpp".to_string(),
+            compiler: "g++".to_string(),
+            args: vec!["-O2".to_string()],
+        };
+        let (out, notes) = migrate_build_db(&BuildDatabase { commands: vec![host.clone()] });
+        assert_eq!(out.commands[0], host);
+        assert!(notes.is_empty());
+    }
+
+    #[test]
+    fn fast_math_translates() {
+        let db = BuildDatabase {
+            commands: vec![cuda_cmd("kernel.cu", &["--use_fast_math"])],
+        };
+        let (out, _) = migrate_build_db(&db);
+        assert!(out.commands[0].args.contains(&"-ffast-math".to_string()));
+    }
+
+    #[test]
+    fn folder_structure_is_preserved() {
+        // DPCT keeps the project layout — the paper's point about
+        // intercept-build maintaining the folder structure.
+        let db = BuildDatabase {
+            commands: vec![
+                cuda_cmd("a.cu", &[]),
+                CompileCommand {
+                    directory: "/src/altis/nw".to_string(),
+                    file: "needle.cu".to_string(),
+                    compiler: "nvcc".to_string(),
+                    args: vec![],
+                },
+            ],
+        };
+        let (out, _) = migrate_build_db(&db);
+        assert_eq!(out.commands[0].directory, "/src/altis/cfd");
+        assert_eq!(out.commands[1].directory, "/src/altis/nw");
+    }
+
+    #[test]
+    fn rdc_is_dropped_with_note() {
+        let db = BuildDatabase {
+            commands: vec![cuda_cmd("k.cu", &["-rdc=true", "-O3"])],
+        };
+        let (out, notes) = migrate_build_db(&db);
+        assert!(!out.commands[0].args.iter().any(|a| a.contains("rdc")));
+        assert!(notes.iter().any(|n| n.message.contains("relocatable")));
+    }
+}

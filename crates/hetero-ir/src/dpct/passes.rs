@@ -1,0 +1,408 @@
+//! The migration, GPU-optimisation, and FPGA-refactoring passes.
+
+use std::fmt;
+
+use super::source::{
+    Construct, CudaModule, Diagnostic, DiagnosticKind, SyclModule, TimingApi,
+};
+
+/// DPC++'s (modelled) default inlining threshold, in callee instructions.
+/// The paper raises it to 10 000 via `-finlining-threshold` to recover 2×
+/// on NW.
+pub const DEFAULT_INLINE_THRESHOLD: u32 = 225;
+
+/// The threshold value the paper passes to the compiler.
+pub const RAISED_INLINE_THRESHOLD: u32 = 10_000;
+
+/// FPGA default work-group-size limit in the presence of barriers.
+const FPGA_DEFAULT_WG_LIMIT: usize = 128;
+
+/// Migrate a CUDA source model to SYCL, emitting DPCT-style diagnostics.
+///
+/// The construct-level transformations mirror what DPCT does:
+/// * CUDA-event timing → `std::chrono` (warning: not comparable),
+/// * barriers: scope widened to global where locality is not proven,
+/// * `pow(x,2)` → `x*x` (silent — the paper later ports this *back* to
+///   CUDA for a fair comparison),
+/// * Thrust/CUB prefix-sum → oneDPL prefix-sum,
+/// * helper-header inclusion,
+/// * USM `mem_advise` warnings,
+/// * silent migration of in-kernel `new`/`delete` and virtual functions
+///   (our checker diagnoses them; DPCT does not — Section 3.2.2).
+pub fn migrate(cuda: &CudaModule) -> (SyclModule, Vec<Diagnostic>) {
+    let mut out = Vec::with_capacity(cuda.constructs.len());
+    let mut diags = Vec::new();
+
+    for c in &cuda.constructs {
+        match c {
+            Construct::Timing { api: TimingApi::CudaEvents, wraps_library_call } => {
+                diags.push(Diagnostic {
+                    kind: DiagnosticKind::TimeMeasurement,
+                    message: "migrated CUDA events to std::chrono; measurements \
+                              include kernel invocation overhead"
+                        .into(),
+                    blocking: false,
+                });
+                out.push(Construct::Timing {
+                    api: TimingApi::Chrono,
+                    wraps_library_call: *wraps_library_call,
+                });
+            }
+            Construct::Timing { .. } => out.push(c.clone()),
+            Construct::UsmMemAdvise => {
+                diags.push(Diagnostic {
+                    kind: DiagnosticKind::UsmMemAdvise,
+                    message: "mem_advise parameters are device-dependent; verify for \
+                              the target device"
+                        .into(),
+                    blocking: false,
+                });
+                out.push(Construct::UsmMemAdvise);
+            }
+            Construct::Barrier { provably_local, .. } => {
+                // DPCT proves locality for a subset of sites; where it
+                // cannot, the migrated call omits the fence-space
+                // argument, i.e. fences globally.
+                let widened = !*provably_local;
+                if widened {
+                    diags.push(Diagnostic {
+                        kind: DiagnosticKind::BarrierScope,
+                        message: "barrier migrated with global fence space; check \
+                                  whether local scope is safe"
+                            .into(),
+                        blocking: false,
+                    });
+                }
+                out.push(Construct::Barrier {
+                    provably_local: *provably_local,
+                    uses_local_scope: *provably_local,
+                });
+            }
+            Construct::DynamicKernelAlloc => {
+                // DPCT does NOT warn here; Altis-SYCL's experience says it
+                // should, so our migration reports it as blocking.
+                diags.push(Diagnostic {
+                    kind: DiagnosticKind::DynamicKernelAlloc,
+                    message: "in-kernel new/delete is unsupported in SYCL kernels; \
+                              move allocation to the host"
+                        .into(),
+                    blocking: true,
+                });
+                out.push(Construct::DynamicKernelAlloc);
+            }
+            Construct::VirtualFunctions => {
+                diags.push(Diagnostic {
+                    kind: DiagnosticKind::VirtualFunctions,
+                    message: "virtual functions are unsupported in SYCL kernels; \
+                              refactor to tagged dispatch"
+                        .into(),
+                    blocking: true,
+                });
+                out.push(Construct::VirtualFunctions);
+            }
+            Construct::PowSquare => {
+                // DPCT replaces pow(a,2) with a*a silently.
+                out.push(Construct::PowSquare);
+            }
+            Construct::UnrollPragma { factor } => {
+                out.push(Construct::UnrollPragma { factor: *factor });
+            }
+            Construct::HotCallee { instructions, .. } => {
+                // Clang inlines only below the (conservative) threshold.
+                out.push(Construct::HotCallee {
+                    instructions: *instructions,
+                    inlined: *instructions <= DEFAULT_INLINE_THRESHOLD,
+                });
+            }
+            Construct::LibraryPrefixSum => out.push(Construct::LibraryPrefixSum),
+            Construct::DpctHelperHeaders => {
+                diags.push(Diagnostic {
+                    kind: DiagnosticKind::DpctHelpers,
+                    message: "DPCT helper headers included; device-selection helpers \
+                              do not enable queue profiling"
+                        .into(),
+                    blocking: false,
+                });
+                out.push(Construct::DpctHelperHeaders);
+            }
+            Construct::DynamicLocalAccessor { needed_bytes } => {
+                out.push(Construct::DynamicLocalAccessor { needed_bytes: *needed_bytes });
+            }
+            Construct::AccessorByValue => out.push(Construct::AccessorByValue),
+            Construct::WorkGroupSize { size, .. } => {
+                out.push(Construct::WorkGroupSize { size: *size, has_attributes: false });
+            }
+            Construct::MissingDeviceSync => {
+                // The migrated chrono-based measurement implicitly
+                // synchronises (it wraps the whole invocation), so the
+                // bug does not carry over to the SYCL side — but DPCT
+                // cannot warn that the *original* numbers were wrong.
+            }
+        }
+    }
+
+    let uses_dpct_headers = out
+        .iter()
+        .any(|c| matches!(c, Construct::DpctHelperHeaders));
+    (
+        SyclModule {
+            name: cuda.name.clone(),
+            constructs: out,
+            uses_dpct_headers,
+            inline_threshold: DEFAULT_INLINE_THRESHOLD,
+        },
+        diags,
+    )
+}
+
+/// Apply the paper's GPU optimisations (Section 3.3) to a migrated
+/// module:
+/// * chrono timing → SYCL events where no library call intervenes,
+/// * remove loop-unroll pragmas (3× regression on CFD under SYCL),
+/// * raise the inline threshold (2× on NW),
+/// * abandon DPCT helper headers,
+/// * narrow barrier scope where provably safe.
+pub fn optimize_for_gpu(m: &SyclModule) -> SyclModule {
+    let constructs = m
+        .constructs
+        .iter()
+        .map(|c| match c {
+            Construct::Timing { api: TimingApi::Chrono, wraps_library_call: false } => {
+                Construct::Timing { api: TimingApi::SyclEvents, wraps_library_call: false }
+            }
+            Construct::UnrollPragma { .. } => Construct::UnrollPragma { factor: 1 },
+            Construct::HotCallee { instructions, .. } => Construct::HotCallee {
+                instructions: *instructions,
+                inlined: *instructions <= RAISED_INLINE_THRESHOLD,
+            },
+            Construct::Barrier { provably_local: true, .. } => {
+                Construct::Barrier { provably_local: true, uses_local_scope: true }
+            }
+            other => other.clone(),
+        })
+        .filter(|c| !matches!(c, Construct::DpctHelperHeaders))
+        .collect();
+    SyclModule {
+        name: m.name.clone(),
+        constructs,
+        uses_dpct_headers: false,
+        inline_threshold: RAISED_INLINE_THRESHOLD,
+    }
+}
+
+/// Why FPGA refactoring rejected a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpgaRefactorError {
+    /// USM remains in the module, unsupported on the FPGA boards.
+    UsmRemains,
+    /// Virtual functions remain in kernels.
+    VirtualFunctionsRemain,
+    /// In-kernel allocation remains.
+    DynamicAllocRemains,
+}
+
+impl fmt::Display for FpgaRefactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaRefactorError::UsmRemains => {
+                write!(f, "USM usage remains; FPGA boards return null from malloc_host")
+            }
+            FpgaRefactorError::VirtualFunctionsRemain => {
+                write!(f, "virtual functions remain in kernel code")
+            }
+            FpgaRefactorError::DynamicAllocRemains => {
+                write!(f, "in-kernel dynamic allocation remains")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FpgaRefactorError {}
+
+/// Apply the paper's Section-4 FPGA refactoring:
+/// * strip USM (boards don't support it) — this pass *performs* the
+///   removal, so its presence in the input is not an error,
+/// * statically size local accessors and pass them as pointers,
+/// * clamp work-group sizes to the FPGA limit and add
+///   `reqd/max_work_group_size` attributes,
+/// * reject modules still containing virtual functions or in-kernel
+///   allocation (those need manual algorithmic rewrites first).
+pub fn refactor_for_fpga(m: &SyclModule) -> Result<SyclModule, FpgaRefactorError> {
+    if m.constructs.iter().any(|c| matches!(c, Construct::VirtualFunctions)) {
+        return Err(FpgaRefactorError::VirtualFunctionsRemain);
+    }
+    if m.constructs.iter().any(|c| matches!(c, Construct::DynamicKernelAlloc)) {
+        return Err(FpgaRefactorError::DynamicAllocRemains);
+    }
+    let constructs = m
+        .constructs
+        .iter()
+        .filter(|c| !matches!(c, Construct::UsmMemAdvise | Construct::DpctHelperHeaders))
+        .map(|c| match c {
+            Construct::DynamicLocalAccessor { needed_bytes } => {
+                // group_local_memory_for_overwrite with the true size.
+                Construct::DynamicLocalAccessor { needed_bytes: *needed_bytes }
+            }
+            Construct::AccessorByValue => {
+                // Pass sycl::local_ptr instead of the accessor object.
+                // Represent the fixed state as a by-value construct gone:
+                // we model "fixed" by replacing with a barrier-free
+                // no-op-equivalent; simplest is to drop it.
+                Construct::AccessorByValue
+            }
+            Construct::WorkGroupSize { size, .. } => Construct::WorkGroupSize {
+                size: (*size).min(FPGA_DEFAULT_WG_LIMIT),
+                has_attributes: true,
+            },
+            other => other.clone(),
+        })
+        // Accessor-by-value sites are rewritten to pointer-passing, so
+        // they disappear from the refactored module.
+        .filter(|c| !matches!(c, Construct::AccessorByValue))
+        .collect::<Vec<_>>();
+
+    // Dynamic accessors become statically sized local arrays — mark that
+    // by noting none remain "dynamic" (we reuse the construct with the
+    // true byte count; `fpga-sim` treats statically-sized local memory
+    // exactly).
+    Ok(SyclModule {
+        name: m.name.clone(),
+        constructs,
+        uses_dpct_headers: false,
+        inline_threshold: m.inline_threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(constructs: Vec<Construct>) -> CudaModule {
+        CudaModule { name: "app".into(), constructs }
+    }
+
+    #[test]
+    fn timing_migrates_to_chrono_with_warning() {
+        let (m, d) = migrate(&module(vec![Construct::Timing {
+            api: TimingApi::CudaEvents,
+            wraps_library_call: false,
+        }]));
+        assert_eq!(
+            m.constructs[0],
+            Construct::Timing { api: TimingApi::Chrono, wraps_library_call: false }
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].kind, DiagnosticKind::TimeMeasurement);
+    }
+
+    #[test]
+    fn gpu_opt_restores_sycl_events_except_library_calls() {
+        let (m, _) = migrate(&module(vec![
+            Construct::Timing { api: TimingApi::CudaEvents, wraps_library_call: false },
+            Construct::Timing { api: TimingApi::CudaEvents, wraps_library_call: true },
+        ]));
+        let o = optimize_for_gpu(&m);
+        assert_eq!(
+            o.constructs[0],
+            Construct::Timing { api: TimingApi::SyclEvents, wraps_library_call: false }
+        );
+        // Library-wrapping sites must stay on chrono (Section 3.2.1).
+        assert_eq!(
+            o.constructs[1],
+            Construct::Timing { api: TimingApi::Chrono, wraps_library_call: true }
+        );
+    }
+
+    #[test]
+    fn barrier_scope_widened_then_narrowed() {
+        let (m, d) = migrate(&module(vec![
+            Construct::Barrier { provably_local: true, uses_local_scope: true },
+            Construct::Barrier { provably_local: false, uses_local_scope: true },
+        ]));
+        // Conservative site emits a warning and loses local scope.
+        assert_eq!(d.iter().filter(|x| x.kind == DiagnosticKind::BarrierScope).count(), 1);
+        assert_eq!(
+            m.constructs[1],
+            Construct::Barrier { provably_local: false, uses_local_scope: false }
+        );
+        let o = optimize_for_gpu(&m);
+        // Provably-local barrier regains local scope; the unprovable one
+        // cannot be narrowed automatically.
+        assert_eq!(
+            o.constructs[0],
+            Construct::Barrier { provably_local: true, uses_local_scope: true }
+        );
+        assert_eq!(
+            o.constructs[1],
+            Construct::Barrier { provably_local: false, uses_local_scope: false }
+        );
+    }
+
+    #[test]
+    fn unroll_pragmas_removed_by_gpu_opt() {
+        let (m, _) = migrate(&module(vec![Construct::UnrollPragma { factor: 8 }]));
+        let o = optimize_for_gpu(&m);
+        assert_eq!(o.constructs[0], Construct::UnrollPragma { factor: 1 });
+    }
+
+    #[test]
+    fn inline_threshold_raised_inlines_big_callee() {
+        // NW's hot callee: too big for the default threshold.
+        let (m, _) = migrate(&module(vec![Construct::HotCallee {
+            instructions: 3000,
+            inlined: true, // NVCC inlined it
+        }]));
+        assert_eq!(
+            m.constructs[0],
+            Construct::HotCallee { instructions: 3000, inlined: false }
+        );
+        let o = optimize_for_gpu(&m);
+        assert_eq!(
+            o.constructs[0],
+            Construct::HotCallee { instructions: 3000, inlined: true }
+        );
+        assert_eq!(o.inline_threshold, RAISED_INLINE_THRESHOLD);
+    }
+
+    #[test]
+    fn silent_traps_are_flagged_as_blocking() {
+        let (_, d) = migrate(&module(vec![
+            Construct::DynamicKernelAlloc,
+            Construct::VirtualFunctions,
+        ]));
+        assert!(d.iter().all(|x| x.blocking));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn fpga_refactor_rejects_virtual_functions() {
+        let (m, _) = migrate(&module(vec![Construct::VirtualFunctions]));
+        assert_eq!(
+            refactor_for_fpga(&m).unwrap_err(),
+            FpgaRefactorError::VirtualFunctionsRemain
+        );
+    }
+
+    #[test]
+    fn fpga_refactor_strips_usm_and_clamps_wg() {
+        let (m, _) = migrate(&module(vec![
+            Construct::UsmMemAdvise,
+            Construct::WorkGroupSize { size: 256, has_attributes: false },
+            Construct::AccessorByValue,
+        ]));
+        let f = refactor_for_fpga(&m).unwrap();
+        assert!(!f.constructs.iter().any(|c| matches!(c, Construct::UsmMemAdvise)));
+        assert!(!f.constructs.iter().any(|c| matches!(c, Construct::AccessorByValue)));
+        assert!(f
+            .constructs.contains(&Construct::WorkGroupSize { size: 128, has_attributes: true }));
+    }
+
+    #[test]
+    fn dpct_headers_dropped_by_both_downstream_passes() {
+        let (m, d) = migrate(&module(vec![Construct::DpctHelperHeaders]));
+        assert!(m.uses_dpct_headers);
+        assert!(d.iter().any(|x| x.kind == DiagnosticKind::DpctHelpers));
+        assert!(!optimize_for_gpu(&m).uses_dpct_headers);
+        assert!(!refactor_for_fpga(&m).unwrap().uses_dpct_headers);
+    }
+}

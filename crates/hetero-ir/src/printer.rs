@@ -1,0 +1,230 @@
+//! Pretty-printer and validation for kernel descriptors.
+//!
+//! The printer renders a kernel the way the oneAPI optimisation report
+//! renders synthesised kernels (attributes, loop nests, local memories),
+//! which makes design reviews and EXPERIMENTS.md appendices readable.
+//! The validator catches descriptor mistakes early — the suite's FPGA
+//! designs are hand-authored, so structural checks pay for themselves.
+
+use std::fmt::Write as _;
+
+use crate::ir::{Kernel, KernelStyle, Loop};
+
+/// Render a kernel descriptor as indented text.
+pub fn print_kernel(k: &Kernel) -> String {
+    let mut out = String::new();
+    let style = match k.style {
+        KernelStyle::NdRange { work_group_size, simd } => {
+            format!("nd_range(wg={work_group_size}, simd={simd})")
+        }
+        KernelStyle::SingleTask => "single_task".to_string(),
+    };
+    let _ = writeln!(
+        out,
+        "kernel {} [{style}]{}{}",
+        k.name,
+        if k.args_restrict { " restrict" } else { "" },
+        if k.barriers > 0 { format!(" barriers={}", k.barriers) } else { String::new() }
+    );
+    for a in &k.local_arrays {
+        let _ = writeln!(
+            out,
+            "  local {} : {:?} x {} ({:?}{})",
+            a.name,
+            a.elem,
+            a.len.map_or("dynamic".to_string(), |n| n.to_string()),
+            a.pattern,
+            if a.passed_as_accessor_object { ", accessor-object" } else { "" }
+        );
+    }
+    for l in &k.loops {
+        print_loop(&mut out, l, 1);
+    }
+    out
+}
+
+fn print_loop(out: &mut String, l: &Loop, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let mut attrs = Vec::new();
+    if let Some(ii) = l.attrs.initiation_interval {
+        attrs.push(format!("ii({ii})"));
+    }
+    if let Some(s) = l.attrs.speculated_iterations {
+        attrs.push(format!("speculated({s})"));
+    }
+    if l.attrs.unroll > 1 {
+        attrs.push(format!("unroll({})", l.attrs.unroll));
+    }
+    if l.data_dependent_exit {
+        attrs.push("data_dep_exit".to_string());
+    }
+    if l.loop_carried_dep {
+        attrs.push("loop_carried".to_string());
+    }
+    let _ = writeln!(
+        out,
+        "{indent}for {} in 0..{} {}",
+        l.name,
+        l.trip_count,
+        if attrs.is_empty() { String::new() } else { format!("[{}]", attrs.join(", ")) }
+    );
+    for c in &l.children {
+        print_loop(out, c, depth + 1);
+    }
+}
+
+/// Structural problems a kernel descriptor can have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A loop has a zero trip count (dead hardware).
+    ZeroTripLoop {
+        /// Offending loop name.
+        loop_name: String,
+    },
+    /// Unroll factor exceeds the trip count (wasted area).
+    UnrollExceedsTrips {
+        /// Offending loop name.
+        loop_name: String,
+    },
+    /// An ND-Range kernel declares a zero work-group size.
+    ZeroWorkGroup,
+    /// Barriers declared on a Single-Task kernel (no work-items to sync).
+    BarrierInSingleTask,
+    /// SIMD vectorisation combined with an irregular local array — the
+    /// compiler cannot replicate the memory, so the vectorisation is
+    /// ineffective (the paper's Case 3).
+    SimdWithIrregularLocal {
+        /// Offending array name.
+        array: String,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::ZeroTripLoop { loop_name } => {
+                write!(f, "loop '{loop_name}' has a zero trip count")
+            }
+            ValidationError::UnrollExceedsTrips { loop_name } => {
+                write!(f, "loop '{loop_name}' unrolls past its trip count")
+            }
+            ValidationError::ZeroWorkGroup => write!(f, "work-group size is zero"),
+            ValidationError::BarrierInSingleTask => {
+                write!(f, "Single-Task kernel declares barriers")
+            }
+            ValidationError::SimdWithIrregularLocal { array } => {
+                write!(f, "SIMD vectorisation with irregular local array '{array}'")
+            }
+        }
+    }
+}
+
+fn validate_loop(l: &Loop, errors: &mut Vec<ValidationError>) {
+    if l.trip_count == 0 {
+        errors.push(ValidationError::ZeroTripLoop { loop_name: l.name.clone() });
+    }
+    if l.attrs.unroll as u64 > l.trip_count.max(1) {
+        errors.push(ValidationError::UnrollExceedsTrips { loop_name: l.name.clone() });
+    }
+    for c in &l.children {
+        validate_loop(c, errors);
+    }
+}
+
+/// Validate a kernel descriptor, returning every problem found.
+pub fn validate_kernel(k: &Kernel) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    match k.style {
+        KernelStyle::NdRange { work_group_size, simd } => {
+            if work_group_size == 0 {
+                errors.push(ValidationError::ZeroWorkGroup);
+            }
+            if simd > 1 {
+                for a in &k.local_arrays {
+                    if a.pattern == crate::ir::AccessPattern::Irregular {
+                        errors.push(ValidationError::SimdWithIrregularLocal {
+                            array: a.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        KernelStyle::SingleTask => {
+            if k.barriers > 0 {
+                errors.push(ValidationError::BarrierInSingleTask);
+            }
+        }
+    }
+    for l in &k.loops {
+        validate_loop(l, &mut errors);
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{KernelBuilder, LoopBuilder};
+    use crate::ir::{AccessPattern, Scalar};
+
+    #[test]
+    fn printer_renders_structure() {
+        let inner = LoopBuilder::new("inner", 128).unroll(16).data_dependent_exit().build();
+        let k = KernelBuilder::single_task("demo")
+            .loop_(LoopBuilder::new("outer", 1000).ii(1).child(inner).build())
+            .local_array("tile", Scalar::F32, 64, AccessPattern::Banked)
+            .restrict()
+            .build();
+        let s = print_kernel(&k);
+        for needle in [
+            "kernel demo [single_task] restrict",
+            "local tile : F32 x 64 (Banked)",
+            "for outer in 0..1000 [ii(1)]",
+            "for inner in 0..128 [unroll(16), data_dep_exit]",
+        ] {
+            assert!(s.contains(needle), "missing '{needle}' in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn clean_kernels_validate() {
+        let k = KernelBuilder::nd_range("k", 64)
+            .simd(2)
+            .loop_(LoopBuilder::new("l", 10).unroll(2).build())
+            .local_array("s", Scalar::F32, 16, AccessPattern::Banked)
+            .build();
+        assert!(validate_kernel(&k).is_empty());
+    }
+
+    #[test]
+    fn validator_catches_structural_mistakes() {
+        let k = KernelBuilder::single_task("bad")
+            .loop_(LoopBuilder::new("dead", 0).build())
+            .loop_(LoopBuilder::new("over", 4).unroll(8).build())
+            .barriers(3)
+            .build();
+        let errs = validate_kernel(&k);
+        assert!(errs.contains(&ValidationError::ZeroTripLoop { loop_name: "dead".into() }));
+        assert!(errs.contains(&ValidationError::UnrollExceedsTrips { loop_name: "over".into() }));
+        assert!(errs.contains(&ValidationError::BarrierInSingleTask));
+    }
+
+    #[test]
+    fn validator_flags_simd_with_irregular_local() {
+        // The paper's Case 3: vectorising NW-style kernels is futile.
+        let k = KernelBuilder::nd_range("nw", 16)
+            .simd(4)
+            .local_array("diag", Scalar::I32, 289, AccessPattern::Irregular)
+            .build();
+        let errs = validate_kernel(&k);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].to_string().contains("diag"));
+    }
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = ValidationError::UnrollExceedsTrips { loop_name: "x".into() };
+        assert!(e.to_string().contains('x'));
+        assert!(ValidationError::ZeroWorkGroup.to_string().contains("zero"));
+    }
+}

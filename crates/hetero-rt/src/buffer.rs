@@ -1,0 +1,351 @@
+//! Buffers and device-side views.
+//!
+//! [`Buffer<T>`] plays the role of `sycl::buffer`: a host-managed array
+//! that kernels access through views. Inside a kernel, a [`GlobalView`]
+//! behaves like a raw global-memory pointer: concurrent work-groups may
+//! read and write it without the runtime serialising them, exactly like
+//! global memory on a GPU. Synchronisation discipline is therefore the
+//! kernel author's responsibility (as on real devices); atomics are
+//! available through [`GlobalView::atomic_add_u32`] and friends.
+//!
+//! # Safety architecture
+//!
+//! All `unsafe` in this crate is concentrated here. A `GlobalView`
+//! wraps a `*mut T` obtained from a uniquely-owned allocation held alive
+//! by an `Arc`. Data races between work-items are possible *by design*
+//! (they are possible on the modelled hardware too); the Altis kernels are
+//! written, like their CUDA originals, so that concurrent writes target
+//! disjoint elements or go through the provided atomics.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+
+struct Storage<T> {
+    // Box<[T]> kept alive for the lifetime of every view; never
+    // reallocated after construction, so raw pointers into it stay valid.
+    data: Mutex<Box<[T]>>,
+    len: usize,
+}
+
+/// A host-managed device buffer of `len` elements of `T`.
+///
+/// Cloning a `Buffer` clones the *handle*; both handles refer to the same
+/// storage, as with `sycl::buffer` copies.
+pub struct Buffer<T> {
+    storage: Arc<Storage<T>>,
+}
+
+impl<T> Clone for Buffer<T> {
+    fn clone(&self) -> Self {
+        Buffer { storage: Arc::clone(&self.storage) }
+    }
+}
+
+impl<T: Copy + Default + Send + 'static> Buffer<T> {
+    /// Create a zero-initialised (`T::default()`) buffer of `len` elements.
+    pub fn new(len: usize) -> Self {
+        let data: Box<[T]> = (0..len).map(|_| T::default()).collect();
+        Buffer {
+            storage: Arc::new(Storage { data: Mutex::new(data), len }),
+        }
+    }
+
+    /// Create a buffer initialised from a host slice.
+    pub fn from_slice(src: &[T]) -> Self {
+        Buffer {
+            storage: Arc::new(Storage {
+                data: Mutex::new(src.to_vec().into_boxed_slice()),
+                len: src.len(),
+            }),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.storage.len
+    }
+
+    /// Whether the buffer holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.storage.len == 0
+    }
+
+    /// Copy the buffer contents back to a host `Vec` (like a host
+    /// accessor read or `queue.memcpy` to host).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.storage.data.lock().to_vec()
+    }
+
+    /// Overwrite the buffer from a host slice. Lengths must match.
+    pub fn write_from(&self, src: &[T]) {
+        let mut guard = self.storage.data.lock();
+        assert_eq!(src.len(), guard.len(), "write_from length mismatch");
+        guard.copy_from_slice(src);
+    }
+
+    /// Run `f` with read access to the host data.
+    pub fn read<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
+        f(&self.storage.data.lock())
+    }
+
+    /// Run `f` with mutable host access (host-side initialisation).
+    pub fn write<R>(&self, f: impl FnOnce(&mut [T]) -> R) -> R {
+        f(&mut self.storage.data.lock())
+    }
+
+    /// Create a device-side view over the whole buffer for use inside a
+    /// kernel. The view is `Copy + Send + Sync` so it can be captured by
+    /// kernel closures running on multiple threads.
+    pub fn view(&self) -> GlobalView<T> {
+        let mut guard = self.storage.data.lock();
+        GlobalView {
+            ptr: guard.as_mut_ptr(),
+            len: self.storage.len,
+            _keepalive: Arc::clone(&self.storage) as Arc<dyn Send + Sync>,
+        }
+    }
+
+    /// Create a view over a sub-range `[offset, offset+len)`.
+    pub fn view_range(&self, offset: usize, len: usize) -> Result<GlobalView<T>> {
+        if offset + len > self.storage.len {
+            return Err(Error::AccessOutOfBounds {
+                offset,
+                len,
+                buffer_len: self.storage.len,
+            });
+        }
+        let mut guard = self.storage.data.lock();
+        Ok(GlobalView {
+            // SAFETY: offset+len <= allocation length, checked above.
+            ptr: unsafe { guard.as_mut_ptr().add(offset) },
+            len,
+            _keepalive: Arc::clone(&self.storage) as Arc<dyn Send + Sync>,
+        })
+    }
+}
+
+// SAFETY: Storage is only accessed through the Mutex on the host side and
+// through GlobalView raw pointers on the device side; T: Send suffices for
+// moving values across threads.
+unsafe impl<T: Send> Send for Storage<T> {}
+unsafe impl<T: Send> Sync for Storage<T> {}
+
+/// A device-side "global memory pointer" over a buffer (sub-)range.
+///
+/// Semantically this is `T* __restrict__`-less CUDA global memory: any
+/// work-item may load or store any element concurrently. Element access is
+/// bounds-checked (indexing past the view panics, the debug behaviour of a
+/// GPU with compute-sanitizer).
+pub struct GlobalView<T> {
+    ptr: *mut T,
+    len: usize,
+    _keepalive: Arc<dyn Send + Sync>,
+}
+
+impl<T> std::fmt::Debug for GlobalView<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalView").field("len", &self.len).finish()
+    }
+}
+
+impl<T> Clone for GlobalView<T> {
+    fn clone(&self) -> Self {
+        GlobalView {
+            ptr: self.ptr,
+            len: self.len,
+            _keepalive: Arc::clone(&self._keepalive),
+        }
+    }
+}
+
+// SAFETY: concurrent access through the raw pointer is the documented
+// global-memory semantics of this view; the pointed-to allocation is kept
+// alive by `_keepalive` and never moves.
+unsafe impl<T: Send> Send for GlobalView<T> {}
+unsafe impl<T: Send> Sync for GlobalView<T> {}
+
+impl<T: Copy> GlobalView<T> {
+    /// Number of elements visible through this view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view covers zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Load element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        assert!(i < self.len, "global load out of bounds: {i} >= {}", self.len);
+        // SAFETY: bounds checked above; allocation alive via _keepalive.
+        unsafe { self.ptr.add(i).read() }
+    }
+
+    /// Store `v` into element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        assert!(i < self.len, "global store out of bounds: {i} >= {}", self.len);
+        // SAFETY: bounds checked above; allocation alive via _keepalive.
+        unsafe { self.ptr.add(i).write(v) }
+    }
+
+    /// Read-modify-write of element `i` on a single thread. Not atomic —
+    /// only valid when no other work-item touches `i` concurrently.
+    #[inline]
+    pub fn update(&self, i: usize, f: impl FnOnce(T) -> T) {
+        self.set(i, f(self.get(i)));
+    }
+
+    /// Copy `src` into the view starting at `offset`.
+    pub fn copy_from_slice(&self, offset: usize, src: &[T]) {
+        assert!(offset + src.len() <= self.len, "copy_from_slice out of bounds");
+        for (k, &v) in src.iter().enumerate() {
+            self.set(offset + k, v);
+        }
+    }
+}
+
+impl GlobalView<u32> {
+    /// Atomic fetch-add on a `u32` element, returning the previous value.
+    /// Mirrors `sycl::atomic_ref<uint32_t>::fetch_add`.
+    #[inline]
+    pub fn atomic_add_u32(&self, i: usize, v: u32) -> u32 {
+        assert!(i < self.len, "atomic out of bounds: {i} >= {}", self.len);
+        // SAFETY: element is within the allocation; AtomicU32 has the same
+        // layout as u32 and all concurrent accesses to this element in
+        // kernels using atomics go through this method.
+        let a = unsafe { &*(self.ptr.add(i) as *const std::sync::atomic::AtomicU32) };
+        a.fetch_add(v, std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl GlobalView<f32> {
+    /// Atomic fetch-add on an `f32` element via compare-exchange, the
+    /// same technique SYCL uses on devices without native float atomics.
+    #[inline]
+    pub fn atomic_add_f32(&self, i: usize, v: f32) -> f32 {
+        assert!(i < self.len, "atomic out of bounds: {i} >= {}", self.len);
+        // SAFETY: as in atomic_add_u32; f32 is reinterpreted bitwise.
+        let a = unsafe { &*(self.ptr.add(i) as *const std::sync::atomic::AtomicU32) };
+        let mut cur = a.load(std::sync::atomic::Ordering::Relaxed);
+        loop {
+            let new = f32::from_bits(cur) + v;
+            match a.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                std::sync::atomic::Ordering::Relaxed,
+                std::sync::atomic::Ordering::Relaxed,
+            ) {
+                Ok(prev) => return f32::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_host_data() {
+        let b = Buffer::from_slice(&[1.0f32, 2.0, 3.0]);
+        assert_eq!(b.to_vec(), vec![1.0, 2.0, 3.0]);
+        b.write_from(&[4.0, 5.0, 6.0]);
+        assert_eq!(b.to_vec(), vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn view_reads_and_writes_reflect_in_buffer() {
+        let b = Buffer::<i32>::new(4);
+        {
+            let v = b.view();
+            v.set(0, 10);
+            v.set(3, 40);
+            assert_eq!(v.get(0), 10);
+        }
+        assert_eq!(b.to_vec(), vec![10, 0, 0, 40]);
+    }
+
+    #[test]
+    fn view_range_is_offset() {
+        let b = Buffer::from_slice(&[0u32, 1, 2, 3, 4, 5]);
+        let v = b.view_range(2, 3).unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.get(0), 2);
+        v.set(2, 99);
+        assert_eq!(b.to_vec(), vec![0, 1, 2, 3, 99, 5]);
+    }
+
+    #[test]
+    fn view_range_out_of_bounds_is_error() {
+        let b = Buffer::<u32>::new(4);
+        let e = b.view_range(2, 3).unwrap_err();
+        assert!(matches!(e, Error::AccessOutOfBounds { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_load_panics() {
+        let b = Buffer::<u8>::new(1);
+        b.view().get(1);
+    }
+
+    #[test]
+    fn atomic_add_u32_accumulates_across_threads() {
+        let b = Buffer::<u32>::new(1);
+        let v = b.view();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let v = v.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        v.atomic_add_u32(0, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(b.to_vec()[0], 8000);
+    }
+
+    #[test]
+    fn atomic_add_f32_accumulates_across_threads() {
+        let b = Buffer::<f32>::new(1);
+        let v = b.view();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let v = v.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        v.atomic_add_f32(0, 0.5);
+                    }
+                });
+            }
+        });
+        assert!((b.to_vec()[0] - 2000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn view_outlives_buffer_handle() {
+        let v = {
+            let b = Buffer::from_slice(&[7i64; 8]);
+            b.view()
+        };
+        // The storage must be kept alive by the view alone.
+        assert_eq!(v.get(7), 7);
+    }
+
+    #[test]
+    fn copy_from_slice_places_data() {
+        let b = Buffer::<u16>::new(5);
+        b.view().copy_from_slice(1, &[9, 8, 7]);
+        assert_eq!(b.to_vec(), vec![0, 9, 8, 7, 0]);
+    }
+}

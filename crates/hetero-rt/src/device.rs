@@ -1,0 +1,219 @@
+//! Device handles and capability queries.
+//!
+//! A [`Device`] is a lightweight description of an execution target. All
+//! kernels in this reproduction *execute* on the host; the device handle
+//! controls which programming-model restrictions apply (USM support,
+//! work-group limits, local-memory capacity, virtual-function support),
+//! mirroring the behavioural differences the paper reports between its
+//! GPUs and FPGAs.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Broad device class, used for device-specific code paths exactly the way
+/// the paper specialises its kernels per target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// A multicore CPU (the paper's Xeon Gold 6128).
+    Cpu,
+    /// A discrete GPU (RTX 2080, A100, Max 1100).
+    Gpu,
+    /// An FPGA accelerator card (Stratix 10, Agilex).
+    Fpga,
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::Cpu => write!(f, "cpu"),
+            DeviceKind::Gpu => write!(f, "gpu"),
+            DeviceKind::Fpga => write!(f, "fpga"),
+        }
+    }
+}
+
+/// Capability record for a device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceCaps {
+    /// Whether USM (`malloc_host`/`malloc_shared`) is available. The
+    /// paper's FPGA boards do not support USM: allocation returns null,
+    /// which is why Altis-SYCL strips all USM usage for FPGA targets.
+    pub supports_usm: bool,
+    /// Maximum work-items per work-group. The FPGA compiler assumes 128
+    /// in the presence of barriers (paper Section 4), which is why the
+    /// kernels carry explicit `reqd_work_group_size` attributes.
+    pub max_work_group_size: usize,
+    /// Local ("shared") memory capacity per work-group, in bytes.
+    pub local_mem_bytes: usize,
+    /// Whether virtual functions may be used in kernels. DPC++ has no
+    /// production support on GPUs/FPGAs, which forced the paper's
+    /// Raytracing rewrite (Section 3.2.2).
+    pub supports_virtual_functions: bool,
+    /// Whether in-kernel dynamic allocation (`new`/`delete`) works.
+    /// Supported by CUDA kernels but not by SYCL ones (Section 3.2.2).
+    pub supports_kernel_alloc: bool,
+    /// Whether inter-kernel pipes are available (FPGA-only in oneAPI).
+    pub supports_pipes: bool,
+}
+
+impl DeviceCaps {
+    /// Capabilities of a CUDA-capable discrete GPU.
+    pub fn gpu() -> Self {
+        DeviceCaps {
+            supports_usm: true,
+            max_work_group_size: 1024,
+            local_mem_bytes: 48 * 1024,
+            supports_virtual_functions: false,
+            supports_kernel_alloc: false,
+            supports_pipes: false,
+        }
+    }
+
+    /// Capabilities of a host CPU device.
+    pub fn cpu() -> Self {
+        DeviceCaps {
+            supports_usm: true,
+            max_work_group_size: 8192,
+            local_mem_bytes: 256 * 1024,
+            supports_virtual_functions: true,
+            supports_kernel_alloc: false,
+            supports_pipes: false,
+        }
+    }
+
+    /// Capabilities of the paper's PCIe FPGA boards.
+    pub fn fpga() -> Self {
+        DeviceCaps {
+            supports_usm: false,
+            // The oneAPI FPGA compiler's automatic limit when barriers
+            // are present; larger groups need explicit attributes and
+            // cost resources, so this is the sensible default limit.
+            max_work_group_size: 128,
+            local_mem_bytes: 512 * 1024,
+            supports_virtual_functions: false,
+            supports_kernel_alloc: false,
+            supports_pipes: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct DeviceInner {
+    name: String,
+    kind: DeviceKind,
+    caps: DeviceCaps,
+}
+
+/// A handle to an execution target. Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct Device {
+    inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    /// Create a device with explicit capabilities.
+    pub fn new(name: impl Into<String>, kind: DeviceKind, caps: DeviceCaps) -> Self {
+        Device {
+            inner: Arc::new(DeviceInner { name: name.into(), kind, caps }),
+        }
+    }
+
+    /// The host CPU device (default selector fallback).
+    pub fn cpu() -> Self {
+        Device::new("Xeon Gold 6128 CPU", DeviceKind::Cpu, DeviceCaps::cpu())
+    }
+
+    /// A generic CUDA-class GPU device.
+    pub fn gpu(name: impl Into<String>) -> Self {
+        Device::new(name, DeviceKind::Gpu, DeviceCaps::gpu())
+    }
+
+    /// The paper's RTX 2080 (the GPU used throughout Section 3).
+    pub fn rtx_2080() -> Self {
+        Device::gpu("RTX 2080 GPU")
+    }
+
+    /// An FPGA device in the style of the BittWare 520N Stratix 10 card.
+    pub fn stratix10() -> Self {
+        Device::new("Stratix 10 FPGA", DeviceKind::Fpga, DeviceCaps::fpga())
+    }
+
+    /// An FPGA device in the style of the DE10 Agilex card.
+    pub fn agilex() -> Self {
+        Device::new("Agilex FPGA", DeviceKind::Fpga, DeviceCaps::fpga())
+    }
+
+    /// Device name, e.g. `"Stratix 10 FPGA"`.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Broad device class.
+    pub fn kind(&self) -> DeviceKind {
+        self.inner.kind
+    }
+
+    /// Capability record.
+    pub fn caps(&self) -> &DeviceCaps {
+        &self.inner.caps
+    }
+
+    /// Whether this device is an FPGA (several Altis-SYCL code paths
+    /// branch on this, mirroring the paper's `#ifdef FPGA` style splits).
+    pub fn is_fpga(&self) -> bool {
+        self.inner.kind == DeviceKind::Fpga
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.inner.name, self.inner.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpga_devices_lack_usm() {
+        assert!(!Device::stratix10().caps().supports_usm);
+        assert!(!Device::agilex().caps().supports_usm);
+        assert!(Device::rtx_2080().caps().supports_usm);
+        assert!(Device::cpu().caps().supports_usm);
+    }
+
+    #[test]
+    fn fpga_work_group_limit_is_128() {
+        assert_eq!(Device::stratix10().caps().max_work_group_size, 128);
+    }
+
+    #[test]
+    fn only_fpgas_support_pipes() {
+        assert!(Device::agilex().caps().supports_pipes);
+        assert!(!Device::rtx_2080().caps().supports_pipes);
+    }
+
+    #[test]
+    fn virtual_functions_only_on_cpu() {
+        // The paper's Raytracing rewrite exists because GPUs/FPGAs do not
+        // support virtual dispatch in kernels.
+        assert!(Device::cpu().caps().supports_virtual_functions);
+        assert!(!Device::rtx_2080().caps().supports_virtual_functions);
+        assert!(!Device::stratix10().caps().supports_virtual_functions);
+    }
+
+    #[test]
+    fn clones_share_identity() {
+        let d = Device::stratix10();
+        let e = d.clone();
+        assert_eq!(d.name(), e.name());
+        assert!(d.is_fpga() && e.is_fpga());
+    }
+
+    #[test]
+    fn display_includes_kind() {
+        let s = Device::agilex().to_string();
+        assert!(s.contains("fpga"), "{s}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Runtime error types.
+//!
+//! These mirror the failure modes the paper runs into while porting Altis
+//! to FPGAs: work-group sizes larger than the device limit cause runtime
+//! errors (Section 4, "Default work-group sizes"), USM allocations return
+//! null on the FPGA boards, and features such as virtual functions are
+//! simply unsupported by a device.
+
+use std::fmt;
+
+/// Errors reported by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A kernel was launched with a work-group size larger than the
+    /// device's limit (or the kernel's declared `reqd_work_group_size`).
+    WorkGroupTooLarge {
+        /// Requested work-group size (product over dimensions).
+        requested: usize,
+        /// Device or kernel-attribute limit that was exceeded.
+        limit: usize,
+    },
+    /// The global range is not divisible by the local range in some
+    /// dimension, which SYCL's `nd_range` rejects.
+    IndivisibleRange {
+        /// Global range in the offending dimension.
+        global: usize,
+        /// Local range in the offending dimension.
+        local: usize,
+        /// Offending dimension index (0..3).
+        dim: usize,
+    },
+    /// Requested local (shared) memory exceeds the device capacity.
+    LocalMemExceeded {
+        /// Bytes requested by the kernel.
+        requested: usize,
+        /// Device local-memory capacity in bytes.
+        limit: usize,
+    },
+    /// USM allocation is not supported by this device (the paper's
+    /// Stratix 10 and Agilex boards return `nullptr`).
+    UsmUnsupported {
+        /// Device name for diagnostics.
+        device: String,
+    },
+    /// A feature (e.g. virtual functions) is not supported on the device.
+    UnsupportedFeature {
+        /// Human-readable feature name.
+        feature: &'static str,
+        /// Device name for diagnostics.
+        device: String,
+    },
+    /// An accessor requested a range that lies outside the buffer.
+    AccessOutOfBounds {
+        /// Requested element offset.
+        offset: usize,
+        /// Requested element count.
+        len: usize,
+        /// Buffer element count.
+        buffer_len: usize,
+    },
+    /// A pipe operation failed because the other endpoint disconnected.
+    PipeClosed,
+    /// A blocking pipe operation timed out; in this runtime that is
+    /// diagnosed as a deadlock between communicating kernels.
+    PipeDeadlock {
+        /// Seconds waited before giving up.
+        waited_secs: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::WorkGroupTooLarge { requested, limit } => write!(
+                f,
+                "work-group size {requested} exceeds device/kernel limit {limit}"
+            ),
+            Error::IndivisibleRange { global, local, dim } => write!(
+                f,
+                "global range {global} not divisible by local range {local} in dim {dim}"
+            ),
+            Error::LocalMemExceeded { requested, limit } => write!(
+                f,
+                "local memory request of {requested} B exceeds device capacity {limit} B"
+            ),
+            Error::UsmUnsupported { device } => {
+                write!(f, "USM allocations are not supported on device '{device}'")
+            }
+            Error::UnsupportedFeature { feature, device } => {
+                write!(f, "feature '{feature}' is not supported on device '{device}'")
+            }
+            Error::AccessOutOfBounds { offset, len, buffer_len } => write!(
+                f,
+                "accessor range [{offset}, {}) out of bounds for buffer of length {buffer_len}",
+                offset + len
+            ),
+            Error::PipeClosed => write!(f, "pipe endpoint disconnected"),
+            Error::PipeDeadlock { waited_secs } => write!(
+                f,
+                "pipe operation blocked for {waited_secs}s; kernels are deadlocked"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout the runtime.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_quantities() {
+        let e = Error::WorkGroupTooLarge { requested: 256, limit: 128 };
+        assert!(e.to_string().contains("256"));
+        assert!(e.to_string().contains("128"));
+
+        let e = Error::IndivisibleRange { global: 100, local: 32, dim: 1 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("dim 1"));
+
+        let e = Error::UsmUnsupported { device: "Stratix 10".into() };
+        assert!(e.to_string().contains("Stratix 10"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::PipeClosed, Error::PipeClosed);
+        assert_ne!(
+            Error::PipeClosed,
+            Error::PipeDeadlock { waited_secs: 5 }
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Events and profiling.
+//!
+//! The paper spends real effort on time measurement: DPCT migrates CUDA
+//! events to `std::chrono` calls, which also measure kernel-invocation
+//! overhead; the authors convert those back to SYCL events where possible
+//! (Section 3.2.1). We reproduce both views: an [`Event`] records the
+//! *submit*, *start*, and *end* timestamps of a launch, so callers can ask
+//! either for the kernel time (start→end, the SYCL-event view) or the
+//! whole-invocation time (submit→end, the `std::chrono` view).
+
+use std::time::{Duration, Instant};
+
+/// Statistics the executor gathers while running a kernel. These feed
+//  tests (e.g. "this kernel executed every work-item exactly once") and
+/// the work profiles consumed by the performance models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Work-groups executed.
+    pub groups: u64,
+    /// Work-items executed (summed over groups and phases).
+    pub items: u64,
+    /// Local-scope barriers observed.
+    pub barriers_local: u64,
+    /// Global-scope barriers observed.
+    pub barriers_global: u64,
+    /// Peak local-memory bytes allocated by any single work-group.
+    pub local_bytes: usize,
+}
+
+/// Profiling timestamps of one kernel launch.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfilingInfo {
+    /// When the launch was submitted to the queue.
+    pub submitted: Instant,
+    /// When the kernel actually began executing.
+    pub started: Instant,
+    /// When the kernel finished.
+    pub ended: Instant,
+}
+
+impl ProfilingInfo {
+    /// Kernel execution time (the SYCL-event / CUDA-event view).
+    pub fn kernel_time(&self) -> Duration {
+        self.ended.duration_since(self.started)
+    }
+
+    /// Whole-invocation time including queueing overhead (the
+    /// `std::chrono` view DPCT produces).
+    pub fn invocation_time(&self) -> Duration {
+        self.ended.duration_since(self.submitted)
+    }
+
+    /// Launch overhead alone (submit→start).
+    pub fn overhead(&self) -> Duration {
+        self.started.duration_since(self.submitted)
+    }
+}
+
+/// Handle returned by every queue submission. Our queues are in-order and
+/// synchronous, so the event is complete upon return; `wait()` exists for
+/// API fidelity with the SYCL code it reproduces.
+#[derive(Debug, Clone)]
+pub struct Event {
+    profiling: Option<ProfilingInfo>,
+    stats: LaunchStats,
+    name: &'static str,
+}
+
+impl Event {
+    pub(crate) fn new(
+        name: &'static str,
+        profiling: Option<ProfilingInfo>,
+        stats: LaunchStats,
+    ) -> Self {
+        Event { profiling, stats, name }
+    }
+
+    /// Block until the work completes. (No-op: submissions are
+    /// synchronous; kept so application code reads like the SYCL source.)
+    pub fn wait(&self) {}
+
+    /// Kernel name the submission was given.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Profiling timestamps; `None` if the queue was created without
+    /// profiling enabled — exactly the trap the paper hits when DPCT's
+    /// device-selection helpers forget to enable queue profiling.
+    pub fn profiling(&self) -> Option<&ProfilingInfo> {
+        self.profiling.as_ref()
+    }
+
+    /// Kernel execution time, if profiling was enabled.
+    pub fn kernel_time(&self) -> Option<Duration> {
+        self.profiling.map(|p| p.kernel_time())
+    }
+
+    /// Executor statistics for this launch.
+    pub fn stats(&self) -> LaunchStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiling_views_are_ordered() {
+        let t0 = Instant::now();
+        let t1 = t0 + Duration::from_micros(20);
+        let t2 = t1 + Duration::from_micros(100);
+        let p = ProfilingInfo { submitted: t0, started: t1, ended: t2 };
+        assert_eq!(p.kernel_time(), Duration::from_micros(100));
+        assert_eq!(p.invocation_time(), Duration::from_micros(120));
+        assert_eq!(p.overhead(), Duration::from_micros(20));
+        assert!(p.invocation_time() >= p.kernel_time());
+    }
+
+    #[test]
+    fn event_without_profiling_yields_none() {
+        let e = Event::new("k", None, LaunchStats::default());
+        assert!(e.profiling().is_none());
+        assert!(e.kernel_time().is_none());
+        assert_eq!(e.name(), "k");
+    }
+}

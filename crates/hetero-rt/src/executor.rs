@@ -1,0 +1,172 @@
+//! Work-group executor: distributes independent work-groups over host
+//! threads.
+//!
+//! SYCL guarantees no synchronisation between work-groups within a kernel,
+//! so running groups concurrently on a thread pool is semantics-preserving.
+//! Groups are handed out through an atomic counter (work-stealing-lite),
+//! which balances irregular group costs (e.g. Mandelbrot rows near the set
+//! take far longer than rows far from it).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::event::LaunchStats;
+use crate::ndrange::{GroupCtx, NdRange};
+
+/// How many worker threads a launch may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One group at a time on the calling thread (deterministic debugging
+    /// and a fair stand-in for Single-Task-style execution).
+    Sequential,
+    /// Use up to the host's available hardware parallelism.
+    Auto,
+    /// Use exactly `n` worker threads.
+    Threads(usize),
+}
+
+impl Parallelism {
+    fn thread_count(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+}
+
+/// Execute `kernel` once per work-group of `nd`, in parallel, returning
+/// aggregated launch statistics.
+///
+/// `local_mem_limit` bounds each group's shared-memory allocations (the
+/// device capacity).
+pub fn run_groups<K>(
+    nd: NdRange,
+    parallelism: Parallelism,
+    local_mem_limit: usize,
+    kernel: &K,
+) -> LaunchStats
+where
+    K: Fn(&GroupCtx) + Sync,
+{
+    let num_groups = nd.num_groups();
+    let groups_range = nd.groups();
+    let next = AtomicUsize::new(0);
+    let items = AtomicU64::new(0);
+    let barriers_local = AtomicU64::new(0);
+    let barriers_global = AtomicU64::new(0);
+    let local_bytes_max = AtomicUsize::new(0);
+
+    let worker = || {
+        loop {
+            let g = next.fetch_add(1, Ordering::Relaxed);
+            if g >= num_groups {
+                break;
+            }
+            let gid = groups_range.delinearize(g);
+            let ctx = GroupCtx::new(gid, nd, local_mem_limit);
+            kernel(&ctx);
+            let (it, bl, bg, lb) = ctx.stats();
+            items.fetch_add(it, Ordering::Relaxed);
+            barriers_local.fetch_add(bl, Ordering::Relaxed);
+            barriers_global.fetch_add(bg, Ordering::Relaxed);
+            local_bytes_max.fetch_max(lb, Ordering::Relaxed);
+        }
+    };
+
+    let threads = parallelism.thread_count().min(num_groups.max(1));
+    if threads <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(worker);
+            }
+        });
+    }
+
+    LaunchStats {
+        groups: num_groups as u64,
+        items: items.load(Ordering::Relaxed),
+        barriers_local: barriers_local.load(Ordering::Relaxed),
+        barriers_global: barriers_global.load(Ordering::Relaxed),
+        local_bytes: local_bytes_max.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::ndrange::FenceSpace;
+
+    #[test]
+    fn all_groups_execute_exactly_once() {
+        let nd = NdRange::d1(1024, 32);
+        let b = Buffer::<u32>::new(nd.num_groups());
+        let v = b.view();
+        let stats = run_groups(nd, Parallelism::Auto, 1 << 20, &|ctx: &GroupCtx| {
+            v.atomic_add_u32(ctx.group_linear(), 1);
+        });
+        assert_eq!(stats.groups, 32);
+        assert!(b.to_vec().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn item_counts_aggregate_over_phases() {
+        let nd = NdRange::d1(64, 16);
+        let stats = run_groups(nd, Parallelism::Sequential, 1 << 20, &|ctx: &GroupCtx| {
+            ctx.items(|_| {});
+            ctx.barrier(FenceSpace::Local);
+            ctx.items(|_| {});
+        });
+        // Two phases × 64 items.
+        assert_eq!(stats.items, 128);
+        assert_eq!(stats.barriers_local, 4); // one per group
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let nd = NdRange::d1(4096, 64);
+        let run = |p| {
+            let b = Buffer::<f32>::new(4096);
+            let v = b.view();
+            run_groups(nd, p, 1 << 20, &|ctx: &GroupCtx| {
+                ctx.items(|it| {
+                    let i = it.global_linear;
+                    v.set(i, (i as f32).sqrt());
+                });
+            });
+            b.to_vec()
+        };
+        assert_eq!(run(Parallelism::Sequential), run(Parallelism::Threads(8)));
+    }
+
+    #[test]
+    fn local_bytes_reports_group_peak() {
+        let nd = NdRange::d1(8, 4);
+        let stats = run_groups(nd, Parallelism::Sequential, 1 << 20, &|ctx: &GroupCtx| {
+            let _a = ctx.local_array::<f32>(100); // 400 B per group
+        });
+        assert_eq!(stats.local_bytes, 400);
+    }
+
+    #[test]
+    fn uneven_group_costs_are_balanced() {
+        // Groups with wildly different costs must all complete; the
+        // atomic-counter scheduler handles the imbalance.
+        let nd = NdRange::d1(64, 1);
+        let b = Buffer::<u32>::new(64);
+        let v = b.view();
+        run_groups(nd, Parallelism::Threads(4), 1 << 20, &|ctx: &GroupCtx| {
+            let g = ctx.group_linear();
+            let mut acc = 0u64;
+            for i in 0..(g * 1000) {
+                acc = acc.wrapping_add(i as u64);
+            }
+            v.set(g, (acc as u32).wrapping_add(1).max(1));
+        });
+        assert!(b.to_vec().iter().all(|&x| x != 0));
+    }
+}

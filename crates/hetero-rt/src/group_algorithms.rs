@@ -1,0 +1,195 @@
+//! Group collective algorithms — the `sycl::group_*` function family.
+//!
+//! Real SYCL ports lean on these to replace hand-written shared-memory
+//! reductions; Altis' kernels use the hand-written forms (they predate
+//! SYCL 2020), but the optimised Altis-SYCL code the paper describes
+//! could be expressed with them, and downstream users of this runtime
+//! will expect them. All collectives operate on one work-group via its
+//! [`GroupCtx`] and encapsulate the barrier phasing internally.
+
+use crate::local::PrivateArray;
+use crate::ndrange::{FenceSpace, GroupCtx};
+
+/// Reduce one value per work-item with `op`, returning the result (as
+/// `sycl::reduce_over_group`). `values` holds each item's contribution,
+/// indexed by local linear id.
+pub fn group_reduce<T, F>(ctx: &GroupCtx, values: &PrivateArray<T>, identity: T, op: F) -> T
+where
+    T: Copy + Default + 'static,
+    F: Fn(T, T) -> T,
+{
+    // The collective runs between item phases, so a sequential fold is
+    // both correct and deterministic (matching our single-thread-per-
+    // group execution model).
+    let mut acc = identity;
+    for lid in 0..ctx.group_size() {
+        acc = op(acc, values.get(lid));
+    }
+    ctx.barrier(FenceSpace::Local);
+    acc
+}
+
+/// Exclusive scan over the group's per-item values (as
+/// `sycl::exclusive_scan_over_group`); returns a private array holding
+/// each item's prefix.
+pub fn group_exclusive_scan<T, F>(
+    ctx: &GroupCtx,
+    values: &PrivateArray<T>,
+    identity: T,
+    op: F,
+) -> PrivateArray<T>
+where
+    T: Copy + Default + 'static,
+    F: Fn(T, T) -> T,
+{
+    let out = ctx.private_array::<T>();
+    let mut acc = identity;
+    for lid in 0..ctx.group_size() {
+        out.set(lid, acc);
+        acc = op(acc, values.get(lid));
+    }
+    ctx.barrier(FenceSpace::Local);
+    out
+}
+
+/// Inclusive scan over the group's per-item values.
+pub fn group_inclusive_scan<T, F>(
+    ctx: &GroupCtx,
+    values: &PrivateArray<T>,
+    identity: T,
+    op: F,
+) -> PrivateArray<T>
+where
+    T: Copy + Default + 'static,
+    F: Fn(T, T) -> T,
+{
+    let out = ctx.private_array::<T>();
+    let mut acc = identity;
+    for lid in 0..ctx.group_size() {
+        acc = op(acc, values.get(lid));
+        out.set(lid, acc);
+    }
+    ctx.barrier(FenceSpace::Local);
+    out
+}
+
+/// Broadcast the value held by `source_lid` to every item (as
+/// `sycl::group_broadcast`).
+pub fn group_broadcast<T>(ctx: &GroupCtx, values: &PrivateArray<T>, source_lid: usize) -> T
+where
+    T: Copy + Default + 'static,
+{
+    let v = values.get(source_lid);
+    ctx.barrier(FenceSpace::Local);
+    v
+}
+
+/// Whether `pred` holds for *any* work-item (as `sycl::any_of_group`).
+pub fn group_any_of(ctx: &GroupCtx, flags: &PrivateArray<bool>) -> bool {
+    let mut any = false;
+    for lid in 0..ctx.group_size() {
+        any |= flags.get(lid);
+    }
+    ctx.barrier(FenceSpace::Local);
+    any
+}
+
+/// Whether `pred` holds for *all* work-items (as `sycl::all_of_group`).
+pub fn group_all_of(ctx: &GroupCtx, flags: &PrivateArray<bool>) -> bool {
+    let mut all = true;
+    for lid in 0..ctx.group_size() {
+        all &= flags.get(lid);
+    }
+    ctx.barrier(FenceSpace::Local);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::device::Device;
+    use crate::ndrange::NdRange;
+    use crate::queue::Queue;
+
+    #[test]
+    fn group_reduce_sums_items() {
+        let q = Queue::new(Device::cpu());
+        let out = Buffer::<u32>::new(4);
+        let ov = out.view();
+        q.nd_range("reduce", NdRange::d1(256, 64), move |ctx| {
+            let vals = ctx.private_array::<u32>();
+            ctx.items(|it| vals.set(it.local_linear, it.global_linear as u32));
+            let sum = group_reduce(ctx, &vals, 0u32, |a, b| a + b);
+            ov.set(ctx.group_linear(), sum);
+        })
+        .unwrap();
+        let got = out.to_vec();
+        // Group g sums ids g*64 .. g*64+63.
+        for (g, &s) in got.iter().enumerate() {
+            let lo = (g * 64) as u32;
+            let expect: u32 = (lo..lo + 64).sum();
+            assert_eq!(s, expect);
+        }
+    }
+
+    #[test]
+    fn group_scans_match_manual_prefix() {
+        let q = Queue::new(Device::cpu());
+        let exc = Buffer::<u32>::new(32);
+        let inc = Buffer::<u32>::new(32);
+        let (ev, iv) = (exc.view(), inc.view());
+        q.nd_range("scan", NdRange::d1(32, 32), move |ctx| {
+            let vals = ctx.private_array::<u32>();
+            ctx.items(|it| vals.set(it.local_linear, 1 + it.local_linear as u32));
+            let e = group_exclusive_scan(ctx, &vals, 0u32, |a, b| a + b);
+            let i = group_inclusive_scan(ctx, &vals, 0u32, |a, b| a + b);
+            ctx.items(|it| {
+                ev.set(it.local_linear, e.get(it.local_linear));
+                iv.set(it.local_linear, i.get(it.local_linear));
+            });
+        })
+        .unwrap();
+        let e = exc.to_vec();
+        let i = inc.to_vec();
+        for lid in 0..32u32 {
+            // values are 1..=32; exclusive prefix = lid*(lid+1)/2.
+            assert_eq!(e[lid as usize], lid * (lid + 1) / 2);
+            assert_eq!(i[lid as usize], (lid + 1) * (lid + 2) / 2);
+        }
+    }
+
+    #[test]
+    fn group_broadcast_distributes_leader_value() {
+        let q = Queue::new(Device::cpu());
+        let out = Buffer::<u32>::new(64);
+        let ov = out.view();
+        q.nd_range("bcast", NdRange::d1(64, 32), move |ctx| {
+            let vals = ctx.private_array::<u32>();
+            ctx.items(|it| vals.set(it.local_linear, it.global_linear as u32 * 10));
+            let leader = group_broadcast(ctx, &vals, 0);
+            ctx.items(|it| ov.set(it.global_linear, leader));
+        })
+        .unwrap();
+        let got = out.to_vec();
+        assert!(got[..32].iter().all(|&v| v == 0));
+        assert!(got[32..].iter().all(|&v| v == 320));
+    }
+
+    #[test]
+    fn any_all_semantics() {
+        let q = Queue::new(Device::cpu());
+        let out = Buffer::<u32>::new(2);
+        let ov = out.view();
+        q.nd_range("anyall", NdRange::d1(16, 16), move |ctx| {
+            let flags = ctx.private_array::<bool>();
+            ctx.items(|it| flags.set(it.local_linear, it.local_linear == 7));
+            let any = group_any_of(ctx, &flags);
+            let all = group_all_of(ctx, &flags);
+            ov.set(0, any as u32);
+            ov.set(1, all as u32);
+        })
+        .unwrap();
+        assert_eq!(out.to_vec(), vec![1, 0]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Local (shared) memory and per-item private state.
+//!
+//! [`LocalArray`] models a work-group-shared array, the analogue of CUDA
+//! `__shared__` / SYCL `local_accessor`. Because our runtime executes the
+//! work-items of one group on a single thread (phase-wise), local arrays
+//! need no synchronisation and are plain `Rc`-backed cells.
+//!
+//! [`PrivateArray`] carries per-work-item "register" state across barrier
+//! phases (one slot per local id), a standard device-to-CPU porting tool.
+//!
+//! The arena enforces a per-group capacity limit so that Altis kernels
+//! whose shared usage would not fit a device surface the problem in tests
+//! — the CPU-side stand-in for the paper's observation that DPCT's
+//! dynamically-sized accessors force the FPGA compiler to assume 16 kB per
+//! shared variable.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A work-group-shared array of `T`.
+///
+/// Cloning shares the underlying storage (all work-items of the group see
+/// the same memory).
+pub struct LocalArray<T> {
+    data: Rc<RefCell<Box<[T]>>>,
+}
+
+impl<T> Clone for LocalArray<T> {
+    fn clone(&self) -> Self {
+        LocalArray { data: Rc::clone(&self.data) }
+    }
+}
+
+impl<T: Copy + Default> LocalArray<T> {
+    pub(crate) fn new(len: usize) -> Self {
+        let data: Box<[T]> = (0..len).map(|_| T::default()).collect();
+        LocalArray { data: Rc::new(RefCell::new(data)) }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// Whether the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Load element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.data.borrow()[i]
+    }
+
+    /// Store `v` at element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        self.data.borrow_mut()[i] = v;
+    }
+
+    /// Read-modify-write element `i`. The closure runs with no borrow
+    /// held, so it may freely read other elements of the same array
+    /// (common in tree reductions).
+    #[inline]
+    pub fn update(&self, i: usize, f: impl FnOnce(T) -> T) {
+        let cur = self.data.borrow()[i];
+        let new = f(cur);
+        self.data.borrow_mut()[i] = new;
+    }
+
+    /// Fill the whole array with `v`.
+    pub fn fill(&self, v: T) {
+        self.data.borrow_mut().iter_mut().for_each(|x| *x = v);
+    }
+
+    /// Snapshot the contents into a `Vec` (test/diagnostic helper).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.data.borrow().to_vec()
+    }
+}
+
+/// Per-work-item private state that survives across barrier phases: one
+/// slot per local linear id.
+pub struct PrivateArray<T> {
+    data: Rc<RefCell<Box<[T]>>>,
+}
+
+impl<T> Clone for PrivateArray<T> {
+    fn clone(&self) -> Self {
+        PrivateArray { data: Rc::clone(&self.data) }
+    }
+}
+
+impl<T: Copy + Default> PrivateArray<T> {
+    pub(crate) fn new(group_size: usize) -> Self {
+        let data: Box<[T]> = (0..group_size).map(|_| T::default()).collect();
+        PrivateArray { data: Rc::new(RefCell::new(data)) }
+    }
+
+    /// Load the slot of local id `lid`.
+    #[inline]
+    pub fn get(&self, lid: usize) -> T {
+        self.data.borrow()[lid]
+    }
+
+    /// Store into the slot of local id `lid`.
+    #[inline]
+    pub fn set(&self, lid: usize, v: T) {
+        self.data.borrow_mut()[lid] = v;
+    }
+
+    /// Read-modify-write the slot of local id `lid`. As with
+    /// [`LocalArray::update`], the closure runs with no borrow held.
+    #[inline]
+    pub fn update(&self, lid: usize, f: impl FnOnce(T) -> T) {
+        let cur = self.data.borrow()[lid];
+        let new = f(cur);
+        self.data.borrow_mut()[lid] = new;
+    }
+}
+
+/// Per-group local-memory arena tracking allocated bytes against the
+/// device capacity.
+pub(crate) struct LocalArena {
+    limit: usize,
+    bytes: usize,
+}
+
+impl LocalArena {
+    pub(crate) fn new(limit: usize) -> Self {
+        LocalArena { limit, bytes: 0 }
+    }
+
+    pub(crate) fn alloc<T: Copy + Default + 'static>(&mut self, len: usize) -> LocalArray<T> {
+        let req = len * std::mem::size_of::<T>();
+        assert!(
+            self.bytes + req <= self.limit,
+            "local memory exceeded: {} + {req} B > {} B limit \
+             (the device cannot fit this work-group's shared arrays)",
+            self.bytes,
+            self.limit
+        );
+        self.bytes += req;
+        LocalArray::new(len)
+    }
+
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_array_shared_between_clones() {
+        let a = LocalArray::<f32>::new(4);
+        let b = a.clone();
+        a.set(2, 5.5);
+        assert_eq!(b.get(2), 5.5);
+    }
+
+    #[test]
+    fn fill_and_snapshot() {
+        let a = LocalArray::<i32>::new(3);
+        a.fill(-1);
+        assert_eq!(a.to_vec(), vec![-1, -1, -1]);
+    }
+
+    #[test]
+    fn arena_tracks_bytes_and_enforces_limit() {
+        let mut arena = LocalArena::new(64);
+        let _a = arena.alloc::<f64>(4); // 32 B
+        assert_eq!(arena.bytes(), 32);
+        let _b = arena.alloc::<u8>(32); // 32 B more, exactly at limit
+        assert_eq!(arena.bytes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "local memory exceeded")]
+    fn arena_over_limit_panics() {
+        let mut arena = LocalArena::new(16);
+        let _a = arena.alloc::<f64>(3); // 24 B > 16 B
+    }
+
+    #[test]
+    fn private_array_update() {
+        let p = PrivateArray::<u64>::new(2);
+        p.set(1, 10);
+        p.update(1, |v| v * 3);
+        assert_eq!(p.get(1), 30);
+        assert_eq!(p.get(0), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Inter-kernel pipes.
+//!
+//! On Intel FPGAs, pipes are on-chip FIFOs that let concurrently running
+//! kernels stream data to each other without touching global memory — the
+//! mechanism behind the paper's 510× KMeans speedup (Figure 3) and the
+//! CFD memory-access decoupling. We model a pipe as a bounded channel;
+//! producer and consumer kernels run as concurrent host threads (see
+//! [`crate::queue::Queue::submit_concurrent`]).
+//!
+//! Blocking operations carry a generous timeout so that a mis-designed
+//! kernel graph (e.g. a consumer that reads more items than the producer
+//! writes) is diagnosed as [`Error::PipeDeadlock`] instead of hanging the
+//! test suite.
+
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+
+use crate::error::{Error, Result};
+
+/// Default blocking-op timeout before a deadlock is diagnosed.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A bounded FIFO connecting two kernels, like `sycl::ext::intel::pipe`.
+///
+/// Cloning yields another handle to the same FIFO (a pipe endpoint is
+/// usually captured by both the producer and the consumer closure).
+pub struct Pipe<T> {
+    tx: Sender<T>,
+    rx: Receiver<T>,
+    capacity: usize,
+    timeout: Duration,
+}
+
+impl<T> Clone for Pipe<T> {
+    fn clone(&self) -> Self {
+        Pipe {
+            tx: self.tx.clone(),
+            rx: self.rx.clone(),
+            capacity: self.capacity,
+            timeout: self.timeout,
+        }
+    }
+}
+
+impl<T: Send + 'static> Pipe<T> {
+    /// Create a pipe with FIFO `capacity` (the `min_capacity` of the SYCL
+    /// pipe declaration). Capacity 0 is rounded up to 1: a rendezvous
+    /// pipe still needs one slot in this host model.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_timeout(capacity, DEADLOCK_TIMEOUT)
+    }
+
+    /// Like [`Pipe::with_capacity`] but with an explicit deadlock-
+    /// detection timeout (tests use short timeouts to exercise the
+    /// diagnosis quickly).
+    pub fn with_capacity_and_timeout(capacity: usize, timeout: Duration) -> Self {
+        let cap = capacity.max(1);
+        let (tx, rx) = bounded(cap);
+        Pipe { tx, rx, capacity: cap, timeout }
+    }
+
+    /// FIFO capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Blocking write (like `pipe::write`). Diagnoses deadlock after a
+    /// timeout.
+    pub fn write(&self, v: T) -> Result<()> {
+        match self.tx.send_timeout(v, self.timeout) {
+            Ok(()) => Ok(()),
+            Err(SendTimeoutError::Timeout(_)) => Err(Error::PipeDeadlock {
+                waited_secs: self.timeout.as_secs(),
+            }),
+            Err(SendTimeoutError::Disconnected(_)) => Err(Error::PipeClosed),
+        }
+    }
+
+    /// Blocking read (like `pipe::read`). Diagnoses deadlock after a
+    /// timeout.
+    pub fn read(&self) -> Result<T> {
+        match self.rx.recv_timeout(self.timeout) {
+            Ok(v) => Ok(v),
+            Err(RecvTimeoutError::Timeout) => Err(Error::PipeDeadlock {
+                waited_secs: self.timeout.as_secs(),
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(Error::PipeClosed),
+        }
+    }
+
+    /// Non-blocking write (like the `success`-flag overload of
+    /// `pipe::write`). Returns the value back if the FIFO is full.
+    pub fn try_write(&self, v: T) -> std::result::Result<(), T> {
+        self.tx.try_send(v).map_err(|e| e.into_inner())
+    }
+
+    /// Non-blocking read. Returns `None` if the FIFO is empty.
+    pub fn try_read(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let p = Pipe::with_capacity(8);
+        for i in 0..8 {
+            p.write(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(p.read().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn try_write_full_returns_value() {
+        let p = Pipe::with_capacity(1);
+        p.try_write(1u8).unwrap();
+        assert_eq!(p.try_write(2u8), Err(2));
+    }
+
+    #[test]
+    fn try_read_empty_returns_none() {
+        let p = Pipe::<u8>::with_capacity(1);
+        assert!(p.try_read().is_none());
+    }
+
+    #[test]
+    fn producer_consumer_across_threads() {
+        let p = Pipe::with_capacity(4);
+        let q = p.clone();
+        let n = 10_000u64;
+        let t = std::thread::spawn(move || {
+            let mut sum = 0u64;
+            for _ in 0..n {
+                sum += q.read().unwrap();
+            }
+            sum
+        });
+        for i in 0..n {
+            p.write(i).unwrap();
+        }
+        assert_eq!(t.join().unwrap(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let p = Pipe::with_capacity(3);
+        assert_eq!(p.capacity(), 3);
+        assert!(p.try_write(1).is_ok());
+        assert!(p.try_write(2).is_ok());
+        assert!(p.try_write(3).is_ok());
+        assert!(p.try_write(4).is_err());
+    }
+
+    #[test]
+    fn deadlock_is_diagnosed_not_hung() {
+        // A consumer that reads more than the producer writes: the read
+        // must come back as a PipeDeadlock error, quickly.
+        let p = Pipe::<u8>::with_capacity_and_timeout(2, Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        let e = p.read().unwrap_err();
+        assert!(matches!(e, Error::PipeDeadlock { .. }));
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn overfull_pipe_is_diagnosed() {
+        let p = Pipe::with_capacity_and_timeout(1, Duration::from_millis(50));
+        p.write(1u8).unwrap();
+        let e = p.write(2u8).unwrap_err();
+        assert!(matches!(e, Error::PipeDeadlock { .. }));
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up() {
+        let p = Pipe::<u8>::with_capacity(0);
+        assert_eq!(p.capacity(), 1);
+        p.write(9).unwrap();
+        assert_eq!(p.read().unwrap(), 9);
+    }
+}

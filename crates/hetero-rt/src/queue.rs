@@ -1,0 +1,450 @@
+//! Command queues.
+//!
+//! [`Queue`] reproduces `sycl::queue`: kernels are submitted against a
+//! device and return profiling [`Event`]s. Three submission styles exist,
+//! matching the three kernel shapes in Altis-SYCL:
+//!
+//! * [`Queue::parallel_for`] — barrier-free ND kernels (one closure per
+//!   work-item), the most common migrated shape;
+//! * [`Queue::nd_range`] — work-group kernels with local memory and
+//!   barrier phases;
+//! * [`Queue::single_task`] — the FPGA-style single-threaded kernels the
+//!   paper rewrites ND-Range kernels into (Section 5.3);
+//! * [`Queue::submit_concurrent`] — launch several kernels that run
+//!   simultaneously and communicate through [`crate::pipe::Pipe`]s, the
+//!   structure of the optimized KMeans design (Figure 3).
+
+use std::time::Instant;
+
+use crate::device::Device;
+use crate::error::{Error, Result};
+use crate::event::{Event, LaunchStats, ProfilingInfo};
+use crate::executor::{run_groups, Parallelism};
+use crate::ndrange::{GroupCtx, Item, NdRange, Range};
+
+/// An in-order command queue bound to a device.
+#[derive(Clone)]
+pub struct Queue {
+    device: Device,
+    profiling: bool,
+    parallelism: Parallelism,
+}
+
+impl Queue {
+    /// Create a queue on `device` with profiling disabled — the state
+    /// DPCT's helper headers leave you in, which the paper calls out as
+    /// preventing kernel-time measurement.
+    pub fn new(device: Device) -> Self {
+        Queue { device, profiling: false, parallelism: Parallelism::Auto }
+    }
+
+    /// Create a queue with profiling enabled (the
+    /// `property::queue::enable_profiling` equivalent).
+    pub fn with_profiling(device: Device) -> Self {
+        Queue { device, profiling: true, parallelism: Parallelism::Auto }
+    }
+
+    /// Restrict the executor's host parallelism (useful for deterministic
+    /// tests and for Single-Task-like sequential execution).
+    pub fn with_parallelism(mut self, p: Parallelism) -> Self {
+        self.parallelism = p;
+        self
+    }
+
+    /// The queue's device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Whether profiling was enabled at construction.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiling
+    }
+
+    fn finish_event(
+        &self,
+        name: &'static str,
+        submitted: Instant,
+        started: Instant,
+        stats: LaunchStats,
+    ) -> Event {
+        let profiling = self.profiling.then(|| ProfilingInfo {
+            submitted,
+            started,
+            ended: Instant::now(),
+        });
+        Event::new(name, profiling, stats)
+    }
+
+    fn check_group_size(&self, nd: &NdRange, reqd_max: Option<usize>) -> Result<()> {
+        nd.validate()?;
+        let limit = reqd_max
+            .unwrap_or(usize::MAX)
+            .min(self.device.caps().max_work_group_size);
+        let size = nd.group_size();
+        if size > limit {
+            return Err(Error::WorkGroupTooLarge { requested: size, limit });
+        }
+        Ok(())
+    }
+
+    /// Launch a barrier-free data-parallel kernel: `f` runs once per
+    /// global index of `range` (like `parallel_for(range, ...)`).
+    pub fn parallel_for<F>(&self, name: &'static str, range: Range, f: F) -> Event
+    where
+        F: Fn(Item) + Sync,
+    {
+        let submitted = Instant::now();
+        // Chunk the flat range into implicit groups for the executor.
+        let total = range.size();
+        let chunk = 256.min(total.max(1));
+        let padded = total.div_ceil(chunk) * chunk;
+        let nd = NdRange { global: Range::d1(padded), local: Range::d1(chunk) };
+        let started = Instant::now();
+        let stats = run_groups(
+            nd,
+            self.parallelism,
+            self.device.caps().local_mem_bytes,
+            &|ctx: &GroupCtx| {
+                ctx.items(|it| {
+                    let lin = it.global_linear;
+                    if lin < total {
+                        let idx = range.delinearize(lin);
+                        let item = Item {
+                            global: idx,
+                            local: it.local,
+                            group: it.group,
+                            local_linear: it.local_linear,
+                            global_linear: lin,
+                        };
+                        f(item);
+                    }
+                });
+            },
+        );
+        self.finish_event(name, submitted, started, stats)
+    }
+
+    /// Launch a work-group kernel over `nd`. `kernel` receives each
+    /// group's [`GroupCtx`] and drives its work-items in phases.
+    pub fn nd_range<K>(&self, name: &'static str, nd: NdRange, kernel: K) -> Result<Event>
+    where
+        K: Fn(&GroupCtx) + Sync,
+    {
+        self.nd_range_with_limit(name, nd, None, kernel)
+    }
+
+    /// Like [`Queue::nd_range`] but with an explicit
+    /// `reqd_work_group_size`-style limit attribute. The paper adds these
+    /// attributes to every FPGA kernel; exceeding them is a launch error.
+    pub fn nd_range_with_limit<K>(
+        &self,
+        name: &'static str,
+        nd: NdRange,
+        reqd_max: Option<usize>,
+        kernel: K,
+    ) -> Result<Event>
+    where
+        K: Fn(&GroupCtx) + Sync,
+    {
+        let submitted = Instant::now();
+        self.check_group_size(&nd, reqd_max)?;
+        let started = Instant::now();
+        let stats = run_groups(
+            nd,
+            self.parallelism,
+            self.device.caps().local_mem_bytes,
+            &kernel,
+        );
+        Ok(self.finish_event(name, submitted, started, stats))
+    }
+
+    /// Launch a Single-Task kernel: one logical thread, as in the paper's
+    /// FPGA rewrites (Section 5.3).
+    pub fn single_task<F>(&self, name: &'static str, f: F) -> Event
+    where
+        F: FnOnce(),
+    {
+        let submitted = Instant::now();
+        let started = Instant::now();
+        f();
+        let stats = LaunchStats { groups: 1, items: 1, ..LaunchStats::default() };
+        self.finish_event(name, submitted, started, stats)
+    }
+
+    /// Launch several kernels that run *concurrently* (each on its own
+    /// host thread) and usually communicate through pipes. Returns when
+    /// all complete. Errors from any kernel (e.g. pipe deadlock) are
+    /// propagated; the first error wins.
+    pub fn submit_concurrent<F>(&self, name: &'static str, kernels: Vec<F>) -> Result<Event>
+    where
+        F: FnOnce() -> Result<()> + Send,
+    {
+        let submitted = Instant::now();
+        if self.device.caps().supports_pipes || kernels.len() <= 1 {
+            // ok — FPGA-style concurrent kernels, or trivially sequential
+        }
+        let started = Instant::now();
+        let n = kernels.len() as u64;
+        let mut first_err = None;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = kernels
+                .into_iter()
+                .map(|k| s.spawn(k))
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        first_err.get_or_insert(e);
+                    }
+                    Err(_) => {
+                        first_err.get_or_insert(Error::PipeClosed);
+                    }
+                }
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let stats = LaunchStats { groups: n, items: n, ..LaunchStats::default() };
+        Ok(self.finish_event(name, submitted, started, stats))
+    }
+
+    /// Device-to-device buffer copy (like `queue.memcpy` between device
+    /// allocations): copies `len` elements from `src[src_off..]` to
+    /// `dst[dst_off..]`, executed as a data-parallel kernel.
+    ///
+    /// As with `memcpy`, the ranges must not overlap when `src` and
+    /// `dst` are views of the same buffer; overlapping copies race and
+    /// produce an unspecified mix of old and new values.
+    pub fn copy<T: Copy + Default + Send + 'static>(
+        &self,
+        src: &crate::buffer::Buffer<T>,
+        src_off: usize,
+        dst: &crate::buffer::Buffer<T>,
+        dst_off: usize,
+        len: usize,
+    ) -> Result<Event> {
+        let sv = src.view_range(src_off, len)?;
+        let dv = dst.view_range(dst_off, len)?;
+        Ok(self.parallel_for("memcpy", Range::d1(len), move |it| {
+            dv.set(it.gid(0), sv.get(it.gid(0)));
+        }))
+    }
+
+    /// Fill a buffer range with a value (like `queue.fill`).
+    pub fn fill<T: Copy + Default + Send + Sync + 'static>(
+        &self,
+        dst: &crate::buffer::Buffer<T>,
+        offset: usize,
+        len: usize,
+        value: T,
+    ) -> Result<Event> {
+        let dv = dst.view_range(offset, len)?;
+        Ok(self.parallel_for("fill", Range::d1(len), move |it| {
+            dv.set(it.gid(0), value);
+        }))
+    }
+
+    /// Wait for all submitted work (no-op: submissions are synchronous;
+    /// present so ported code keeps its `q.wait()` call sites).
+    pub fn wait(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::ndrange::FenceSpace;
+    use crate::pipe::Pipe;
+
+    #[test]
+    fn parallel_for_covers_exact_range() {
+        let q = Queue::new(Device::cpu());
+        let b = Buffer::<u32>::new(1000);
+        let v = b.view();
+        q.parallel_for("iota", Range::d1(1000), |it| {
+            v.set(it.gid(0), it.gid(0) as u32 + 1);
+        });
+        let out = b.to_vec();
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn parallel_for_2d_indices() {
+        let q = Queue::new(Device::cpu());
+        let (w, h) = (13, 7);
+        let b = Buffer::<u32>::new(w * h);
+        let v = b.view();
+        q.parallel_for("fill2d", Range::d2(w, h), |it| {
+            v.set(it.gid(1) * w + it.gid(0), 1);
+        });
+        assert!(b.to_vec().iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn nd_range_reduction_with_barrier() {
+        // Tree reduction in local memory: the canonical barrier kernel.
+        let q = Queue::new(Device::cpu());
+        let n = 1024;
+        let input = Buffer::from_slice(&(0..n as u32).collect::<Vec<_>>());
+        let partial = Buffer::<u32>::new(n / 128);
+        let iv = input.view();
+        let pv = partial.view();
+        q.nd_range("reduce", NdRange::d1(n, 128), |ctx| {
+            let shared = ctx.local_array::<u32>(128);
+            ctx.items(|it| shared.set(it.local_linear, iv.get(it.global_linear)));
+            ctx.barrier(FenceSpace::Local);
+            let mut stride = 64;
+            while stride > 0 {
+                ctx.items(|it| {
+                    if it.local_linear < stride {
+                        shared.update(it.local_linear, |v| {
+                            v + shared.get(it.local_linear + stride)
+                        });
+                    }
+                });
+                ctx.barrier(FenceSpace::Local);
+                stride /= 2;
+            }
+            ctx.items(|it| {
+                if it.local_linear == 0 {
+                    pv.set(ctx.group_linear(), shared.get(0));
+                }
+            });
+        })
+        .unwrap();
+        let total: u32 = partial.to_vec().iter().sum();
+        assert_eq!(total, (0..n as u32).sum());
+    }
+
+    #[test]
+    fn work_group_limit_is_enforced() {
+        let q = Queue::new(Device::stratix10());
+        let err = q
+            .nd_range("too_big", NdRange::d1(512, 256), |_ctx| {})
+            .unwrap_err();
+        assert_eq!(err, Error::WorkGroupTooLarge { requested: 256, limit: 128 });
+    }
+
+    #[test]
+    fn reqd_attribute_tightens_limit() {
+        let q = Queue::new(Device::cpu());
+        let err = q
+            .nd_range_with_limit("attr", NdRange::d1(128, 64), Some(32), |_| {})
+            .unwrap_err();
+        assert_eq!(err, Error::WorkGroupTooLarge { requested: 64, limit: 32 });
+    }
+
+    #[test]
+    fn profiling_none_without_enable() {
+        let q = Queue::new(Device::cpu());
+        let e = q.single_task("t", || {});
+        assert!(e.profiling().is_none());
+        let q = Queue::with_profiling(Device::cpu());
+        let e = q.single_task("t", || {});
+        assert!(e.profiling().is_some());
+        assert!(e.kernel_time().unwrap() <= e.profiling().unwrap().invocation_time());
+    }
+
+    #[test]
+    fn concurrent_kernels_stream_through_pipe() {
+        let q = Queue::with_profiling(Device::stratix10());
+        let pipe = Pipe::with_capacity(16);
+        let out = Buffer::<u64>::new(1);
+        let n = 1000u64;
+        let (p1, p2) = (pipe.clone(), pipe);
+        let ov = out.view();
+        q.submit_concurrent(
+            "producer_consumer",
+            vec![
+                Box::new(move || {
+                    for i in 0..n {
+                        p1.write(i)?;
+                    }
+                    Ok(())
+                }) as Box<dyn FnOnce() -> Result<()> + Send>,
+                Box::new(move || {
+                    let mut acc = 0;
+                    for _ in 0..n {
+                        acc += p2.read()?;
+                    }
+                    ov.set(0, acc);
+                    Ok(())
+                }),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.to_vec()[0], n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn concurrent_error_propagates() {
+        let q = Queue::new(Device::stratix10());
+        let r = q.submit_concurrent(
+            "failing",
+            vec![Box::new(|| Err(Error::PipeClosed))
+                as Box<dyn FnOnce() -> Result<()> + Send>],
+        );
+        assert_eq!(r.unwrap_err(), Error::PipeClosed);
+    }
+
+    #[test]
+    fn nested_parallelism_launches_child_kernels() {
+        // Altis exercises CUDA nested parallelism (device-side launch);
+        // here a Single-Task "parent" kernel launches child grids
+        // through a captured queue handle.
+        let parent_q = Queue::new(Device::cpu());
+        let child_q = parent_q.clone();
+        let b = Buffer::<u32>::new(64);
+        let v = b.view();
+        parent_q.single_task("parent", move || {
+            for wave in 0..4u32 {
+                let v = v.clone();
+                child_q.parallel_for("child", Range::d1(16), move |it| {
+                    v.set(wave as usize * 16 + it.gid(0), wave + 1);
+                });
+            }
+        });
+        let out = b.to_vec();
+        for wave in 0..4 {
+            assert!(out[wave * 16..(wave + 1) * 16].iter().all(|&x| x == wave as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn copy_moves_subranges() {
+        let q = Queue::new(Device::cpu());
+        let src = Buffer::from_slice(&(0u32..100).collect::<Vec<_>>());
+        let dst = Buffer::<u32>::new(50);
+        q.copy(&src, 10, &dst, 5, 20).unwrap();
+        let out = dst.to_vec();
+        assert!(out[..5].iter().all(|&v| v == 0));
+        assert_eq!(out[5..25], (10..30).collect::<Vec<u32>>()[..]);
+        assert!(out[25..].iter().all(|&v| v == 0));
+        // Out-of-bounds copy is rejected.
+        assert!(q.copy(&src, 90, &dst, 0, 20).is_err());
+    }
+
+    #[test]
+    fn fill_writes_constant_range() {
+        let q = Queue::new(Device::cpu());
+        let b = Buffer::<f32>::new(16);
+        q.fill(&b, 4, 8, 2.5).unwrap();
+        let out = b.to_vec();
+        assert!(out[..4].iter().all(|&v| v == 0.0));
+        assert!(out[4..12].iter().all(|&v| v == 2.5));
+        assert!(out[12..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn single_task_runs_once() {
+        let q = Queue::new(Device::agilex());
+        let b = Buffer::<u32>::new(1);
+        let v = b.view();
+        let e = q.single_task("st", || v.set(0, 42));
+        assert_eq!(b.to_vec()[0], 42);
+        assert_eq!(e.stats().groups, 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests on runtime invariants: coverage, determinism, and
+//! barrier-phase semantics under arbitrary launch geometries.
+
+use hetero_rt::executor::Parallelism;
+use hetero_rt::ndrange::FenceSpace;
+use hetero_rt::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_for_touches_each_index_exactly_once(n in 1usize..20_000) {
+        let q = Queue::new(Device::cpu());
+        let b = Buffer::<u32>::new(n);
+        let v = b.view();
+        q.parallel_for("touch", Range::d1(n), move |it| {
+            v.atomic_add_u32(it.gid(0), 1);
+        });
+        prop_assert!(b.to_vec().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn parallel_for_2d_covers_rectangle(w in 1usize..150, h in 1usize..150) {
+        let q = Queue::new(Device::cpu());
+        let b = Buffer::<u32>::new(w * h);
+        let v = b.view();
+        q.parallel_for("rect", Range::d2(w, h), move |it| {
+            v.atomic_add_u32(it.gid(1) * w + it.gid(0), 1);
+        });
+        prop_assert!(b.to_vec().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn nd_range_group_count_matches_geometry(
+        groups in 1usize..64,
+        wg in prop::sample::select(vec![1usize, 2, 4, 8, 16, 32, 64]),
+    ) {
+        let q = Queue::new(Device::cpu());
+        let n = groups * wg;
+        let counter = Buffer::<u32>::new(1);
+        let cv = counter.view();
+        let e = q.nd_range("count", NdRange::d1(n, wg), move |_ctx| {
+            cv.atomic_add_u32(0, 1);
+        }).unwrap();
+        prop_assert_eq!(counter.to_vec()[0] as usize, groups);
+        prop_assert_eq!(e.stats().groups as usize, groups);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results(
+        n in 64usize..8_192,
+        threads in 1usize..12,
+    ) {
+        let run = |p: Parallelism| {
+            let q = Queue::new(Device::cpu()).with_parallelism(p);
+            let b = Buffer::<f32>::new(n);
+            let v = b.view();
+            q.parallel_for("calc", Range::d1(n), move |it| {
+                let x = it.gid(0) as f32;
+                v.set(it.gid(0), (x * 0.37).sin() + x.sqrt());
+            });
+            b.to_vec()
+        };
+        prop_assert_eq!(run(Parallelism::Sequential), run(Parallelism::Threads(threads)));
+    }
+
+    #[test]
+    fn barrier_phases_make_neighbour_exchange_exact(
+        wg in prop::sample::select(vec![2usize, 4, 8, 16, 32, 64]),
+        groups in 1usize..16,
+        shift in 1usize..64,
+    ) {
+        // Every item writes its slot, barrier, reads slot (lid+shift)%wg.
+        let q = Queue::new(Device::cpu());
+        let n = wg * groups;
+        let out = Buffer::<u32>::new(n);
+        let ov = out.view();
+        q.nd_range("exchange", NdRange::d1(n, wg), move |ctx| {
+            let tile = ctx.local_array::<u32>(wg);
+            ctx.items(|it| tile.set(it.local_linear, it.global_linear as u32));
+            ctx.barrier(FenceSpace::Local);
+            ctx.items(|it| {
+                let src = (it.local_linear + shift) % wg;
+                ov.set(it.global_linear, tile.get(src));
+            });
+        }).unwrap();
+        let got = out.to_vec();
+        for g in 0..groups {
+            for lid in 0..wg {
+                let expect = (g * wg + (lid + shift) % wg) as u32;
+                prop_assert_eq!(got[g * wg + lid], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_roundtrip_preserves_bits(data in prop::collection::vec(any::<u32>(), 0..2_000)) {
+        let b = Buffer::from_slice(&data);
+        prop_assert_eq!(b.to_vec(), data);
+    }
+
+    #[test]
+    fn view_range_windows_compose(
+        len in 1usize..1_000,
+        off_frac in 0.0f64..1.0,
+    ) {
+        let data: Vec<u32> = (0..len as u32).collect();
+        let b = Buffer::from_slice(&data);
+        let off = ((len as f64) * off_frac) as usize;
+        let sub_len = len - off;
+        let v = b.view_range(off, sub_len).unwrap();
+        for i in 0..sub_len {
+            prop_assert_eq!(v.get(i), (off + i) as u32);
+        }
+    }
+}

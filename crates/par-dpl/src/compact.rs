@@ -1,0 +1,94 @@
+//! Stream compaction: keep the elements matching a predicate, preserving
+//! order — the core of the `Where` benchmark (filter + scatter via
+//! prefix-sum).
+
+use crate::scan::{exclusive_scan, ScanFlavor};
+
+/// Compact `data` by `pred` using the flag/scan/scatter pipeline a GPU
+/// implementation uses (and the paper's `Where` reproduces):
+/// 1. flags\[i\] = pred(data\[i\]),
+/// 2. offsets = exclusive_scan(flags) with the selected flavour,
+/// 3. scatter kept elements to their offsets.
+pub fn compact<T: Copy>(flavor: ScanFlavor, data: &[T], pred: impl Fn(&T) -> bool) -> Vec<T> {
+    let flags: Vec<u32> = data.iter().map(|x| u32::from(pred(x))).collect();
+    let mut offsets = vec![0u32; data.len()];
+    exclusive_scan(flavor, &flags, &mut offsets);
+    let total = match data.len() {
+        0 => 0,
+        n => (offsets[n - 1] + flags[n - 1]) as usize,
+    };
+    let mut out = Vec::with_capacity(total);
+    // Scatter in order (host-side equivalent of the scatter kernel).
+    for (i, &f) in flags.iter().enumerate() {
+        if f == 1 {
+            debug_assert_eq!(offsets[i] as usize, out.len());
+            out.push(data[i]);
+        }
+    }
+    out
+}
+
+/// Return the *indices* of matching elements (the `Where` row-id output).
+pub fn compact_indices<T>(flavor: ScanFlavor, data: &[T], pred: impl Fn(&T) -> bool) -> Vec<u32> {
+    let flags: Vec<u32> = data.iter().map(|x| u32::from(pred(x))).collect();
+    let mut offsets = vec![0u32; data.len()];
+    exclusive_scan(flavor, &flags, &mut offsets);
+    let total = match data.len() {
+        0 => 0,
+        n => (offsets[n - 1] + flags[n - 1]) as usize,
+    };
+    let mut out = vec![0u32; total];
+    for (i, &f) in flags.iter().enumerate() {
+        if f == 1 {
+            out[offsets[i] as usize] = i as u32;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_keeps_order() {
+        let data = vec![5, 2, 8, 1, 9, 3];
+        let out = compact(ScanFlavor::Cub, &data, |&x| x > 3);
+        assert_eq!(out, vec![5, 8, 9]);
+    }
+
+    #[test]
+    fn indices_point_at_matches() {
+        let data = vec![10u32, 0, 20, 0, 30];
+        let idx = compact_indices(ScanFlavor::OneDpl, &data, |&x| x > 0);
+        assert_eq!(idx, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn all_flavors_agree() {
+        let data: Vec<i64> = (0..10_000).map(|i| (i * 37) % 101).collect();
+        let base = compact(ScanFlavor::FpgaCustom, &data, |&x| x % 3 == 0);
+        for f in [ScanFlavor::OneDpl, ScanFlavor::Cub] {
+            assert_eq!(compact(f, &data, |&x| x % 3 == 0), base);
+        }
+    }
+
+    #[test]
+    fn empty_and_none_matching() {
+        let empty: Vec<u8> = vec![];
+        assert!(compact(ScanFlavor::Cub, &empty, |_| true).is_empty());
+        let data = vec![1u8, 2, 3];
+        assert!(compact(ScanFlavor::Cub, &data, |_| false).is_empty());
+        assert_eq!(compact(ScanFlavor::Cub, &data, |_| true), data);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_compact_equals_filter(data in proptest::collection::vec(0u32..100, 0..1000)) {
+            let expect: Vec<u32> = data.iter().copied().filter(|&x| x % 2 == 0).collect();
+            for f in [ScanFlavor::OneDpl, ScanFlavor::Cub, ScanFlavor::FpgaCustom] {
+                proptest::prop_assert_eq!(compact(f, &data, |&x| x % 2 == 0), expect.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! LSD radix sort for `u32` keys — the GPU-library sorting algorithm
+//! (CUB/oneDPL both ship one), built from the same scan primitives the
+//! rest of this crate provides. Useful to downstream users and as a
+//! larger integration exercise of the scan machinery.
+
+use crate::scan::exclusive_scan_cub_style;
+
+const RADIX_BITS: u32 = 8;
+const BUCKETS: usize = 1 << RADIX_BITS;
+
+/// Sort `u32` keys ascending, stable, via 4 passes of 8-bit counting
+/// sort (histogram → exclusive scan → stable scatter).
+pub fn radix_sort_u32(keys: &mut Vec<u32>) {
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let mut src = std::mem::take(keys);
+    let mut dst = vec![0u32; n];
+    for pass in 0..(32 / RADIX_BITS) {
+        let shift = pass * RADIX_BITS;
+        // Histogram of the current digit.
+        let mut counts = vec![0u32; BUCKETS];
+        for &k in &src {
+            counts[((k >> shift) as usize) & (BUCKETS - 1)] += 1;
+        }
+        // Bucket offsets via the crate's scan.
+        let mut offsets = vec![0u32; BUCKETS];
+        exclusive_scan_cub_style(&counts, &mut offsets);
+        // Stable scatter.
+        for &k in &src {
+            let b = ((k >> shift) as usize) & (BUCKETS - 1);
+            dst[offsets[b] as usize] = k;
+            offsets[b] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    *keys = src;
+}
+
+/// Sort `(key, value)` pairs ascending by key, stable.
+pub fn radix_sort_pairs_u32<V: Copy + Default>(keys: &mut Vec<u32>, values: &mut Vec<V>) {
+    assert_eq!(keys.len(), values.len(), "key/value length mismatch");
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let mut ks = std::mem::take(keys);
+    let mut vs = std::mem::take(values);
+    let mut kd = vec![0u32; n];
+    let mut vd = vec![V::default(); n];
+    for pass in 0..(32 / RADIX_BITS) {
+        let shift = pass * RADIX_BITS;
+        let mut counts = vec![0u32; BUCKETS];
+        for &k in &ks {
+            counts[((k >> shift) as usize) & (BUCKETS - 1)] += 1;
+        }
+        let mut offsets = vec![0u32; BUCKETS];
+        exclusive_scan_cub_style(&counts, &mut offsets);
+        for (&k, &v) in ks.iter().zip(vs.iter()) {
+            let b = ((k >> shift) as usize) & (BUCKETS - 1);
+            let o = offsets[b] as usize;
+            kd[o] = k;
+            vd[o] = v;
+            offsets[b] += 1;
+        }
+        std::mem::swap(&mut ks, &mut kd);
+        std::mem::swap(&mut vs, &mut vd);
+    }
+    *keys = ks;
+    *values = vs;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_reverse_sequence() {
+        let mut keys: Vec<u32> = (0..10_000).rev().collect();
+        radix_sort_u32(&mut keys);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(keys[0], 0);
+        assert_eq!(keys[9999], 9999);
+    }
+
+    #[test]
+    fn matches_std_sort_on_pseudorandom_keys() {
+        let mut keys: Vec<u32> =
+            (0..100_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        radix_sort_u32(&mut keys);
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn pairs_stay_paired_and_stable() {
+        let mut keys = vec![3u32, 1, 3, 1, 2];
+        let mut vals = vec!['a', 'b', 'c', 'd', 'e'];
+        radix_sort_pairs_u32(&mut keys, &mut vals);
+        assert_eq!(keys, vec![1, 1, 2, 3, 3]);
+        // Stability: b before d, a before c.
+        assert_eq!(vals, vec!['b', 'd', 'e', 'a', 'c']);
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let mut empty: Vec<u32> = vec![];
+        radix_sort_u32(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![42u32];
+        radix_sort_u32(&mut one);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn full_range_keys() {
+        let mut keys = vec![u32::MAX, 0, u32::MAX / 2, 1, u32::MAX - 1];
+        radix_sort_u32(&mut keys);
+        assert_eq!(keys, vec![0, 1, u32::MAX / 2, u32::MAX - 1, u32::MAX]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_matches_std_sort(mut keys in proptest::collection::vec(0u32..u32::MAX, 0..3000)) {
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            radix_sort_u32(&mut keys);
+            proptest::prop_assert_eq!(keys, expect);
+        }
+    }
+}

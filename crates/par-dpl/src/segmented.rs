@@ -1,0 +1,122 @@
+//! Segmented primitives: per-segment scan and reduction over a flat
+//! array partitioned by segment offsets (CSR-style). These back
+//! irregular workloads like CFD's per-element neighbour sums and
+//! LavaMD's per-box accumulations when expressed with library calls.
+
+/// Exclusive scan within each segment. `offsets` are CSR segment starts
+/// with a final end sentinel (`offsets.len() == segments + 1`).
+pub fn segmented_exclusive_scan(data: &[u32], offsets: &[usize], out: &mut [u32]) {
+    assert_eq!(data.len(), out.len(), "segmented scan length mismatch");
+    validate_offsets(offsets, data.len());
+    for seg in offsets.windows(2) {
+        let (lo, hi) = (seg[0], seg[1]);
+        let mut acc = 0u32;
+        for i in lo..hi {
+            out[i] = acc;
+            acc = acc.wrapping_add(data[i]);
+        }
+    }
+}
+
+/// Sum of each segment; returns one value per segment.
+pub fn segmented_sum(data: &[f32], offsets: &[usize]) -> Vec<f32> {
+    validate_offsets(offsets, data.len());
+    offsets
+        .windows(2)
+        .map(|seg| data[seg[0]..seg[1]].iter().sum())
+        .collect()
+}
+
+/// Maximum of each segment; empty segments yield `f32::NEG_INFINITY`.
+pub fn segmented_max(data: &[f32], offsets: &[usize]) -> Vec<f32> {
+    validate_offsets(offsets, data.len());
+    offsets
+        .windows(2)
+        .map(|seg| {
+            data[seg[0]..seg[1]]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max)
+        })
+        .collect()
+}
+
+/// Index of the minimum element of a slice (ties to the first), or
+/// `None` for an empty slice — `std::min_element` for the suite.
+pub fn min_element_index(data: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in data.iter().enumerate() {
+        match best {
+            Some((_, bv)) if bv <= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+fn validate_offsets(offsets: &[usize], len: usize) {
+    assert!(!offsets.is_empty(), "offsets needs at least the end sentinel");
+    assert_eq!(*offsets.last().unwrap(), len, "offsets must end at data length");
+    assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "offsets must be non-decreasing"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_restarts_at_segment_boundaries() {
+        let data = vec![1u32, 2, 3, 10, 20, 5];
+        let offsets = vec![0, 3, 5, 6];
+        let mut out = vec![0; 6];
+        segmented_exclusive_scan(&data, &offsets, &mut out);
+        assert_eq!(out, vec![0, 1, 3, 0, 10, 0]);
+    }
+
+    #[test]
+    fn sums_and_maxes_per_segment() {
+        let data = vec![1.0f32, 2.0, 3.0, -1.0, 5.0];
+        let offsets = vec![0, 2, 2, 5];
+        assert_eq!(segmented_sum(&data, &offsets), vec![3.0, 0.0, 7.0]);
+        let m = segmented_max(&data, &offsets);
+        assert_eq!(m[0], 2.0);
+        assert_eq!(m[1], f32::NEG_INFINITY); // empty segment
+        assert_eq!(m[2], 5.0);
+    }
+
+    #[test]
+    fn min_element_ties_to_first() {
+        assert_eq!(min_element_index(&[3.0, 1.0, 1.0, 2.0]), Some(1));
+        assert_eq!(min_element_index(&[]), None);
+        assert_eq!(min_element_index(&[7.0]), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must end at data length")]
+    fn bad_sentinel_is_rejected() {
+        segmented_sum(&[1.0, 2.0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_offsets_are_rejected() {
+        segmented_sum(&[1.0, 2.0, 3.0], &[0, 2, 1, 3]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_segment_sums_total_matches_whole(
+            data in proptest::collection::vec(0f32..10.0, 1..200),
+            cut in 0usize..200,
+        ) {
+            let cut = cut.min(data.len());
+            let offsets = vec![0, cut, data.len()];
+            let sums = segmented_sum(&data, &offsets);
+            let total: f32 = data.iter().sum();
+            proptest::prop_assert!((sums[0] + sums[1] - total).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Sorting primitives: a parallel merge sort for f32 data and a
+//! key-value sort (used by KMeans diagnostics and the Where benchmark's
+//! verification paths).
+
+
+/// Sort f32 values ascending (NaNs sort last), in parallel for large
+/// inputs.
+pub fn sort_f32(data: &mut [f32]) {
+    let n = data.len();
+    let threads = crate::util::thread_count_for(n, 16384);
+    if threads <= 1 {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        return;
+    }
+    // Parallel chunk sort + sequential k-way merge via repeated 2-way
+    // merges (simple, allocation-bounded, deterministic).
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for piece in data.chunks_mut(chunk) {
+            s.spawn(|| {
+                piece.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            });
+        }
+    });
+    // Merge sorted runs pairwise until one run remains.
+    let mut run = chunk;
+    let mut buf = vec![0f32; n];
+    while run < n {
+        let mut lo = 0;
+        while lo + run < n {
+            let mid = lo + run;
+            let hi = (lo + 2 * run).min(n);
+            merge_into(&data[lo..mid], &data[mid..hi], &mut buf[lo..hi]);
+            data[lo..hi].copy_from_slice(&buf[lo..hi]);
+            lo = hi;
+        }
+        run *= 2;
+    }
+}
+
+fn merge_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out[k] = a[i];
+            i += 1;
+        } else {
+            out[k] = b[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    out[k..k + a.len() - i].copy_from_slice(&a[i..]);
+    k += a.len() - i;
+    out[k..k + b.len() - j].copy_from_slice(&b[j..]);
+}
+
+/// Sort `(key, value)` pairs by key ascending; stable.
+pub fn sort_by_key<V: Copy>(keys: &mut [u32], values: &mut [V]) {
+    assert_eq!(keys.len(), values.len(), "key/value length mismatch");
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by_key(|&i| keys[i]);
+    let old_keys = keys.to_vec();
+    let old_vals = values.to_vec();
+    for (dst, &src) in idx.iter().enumerate() {
+        keys[dst] = old_keys[src];
+        values[dst] = old_vals[src];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_random_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut data: Vec<f32> = (0..100_000).map(|_| rng.gen_range(-1e3f32..1e3)).collect();
+        let mut expect = data.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sort_f32(&mut data);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn small_and_empty_inputs() {
+        let mut e: Vec<f32> = vec![];
+        sort_f32(&mut e);
+        assert!(e.is_empty());
+        let mut one = vec![3.5f32];
+        sort_f32(&mut one);
+        assert_eq!(one, vec![3.5]);
+        let mut two = vec![2.0f32, 1.0];
+        sort_f32(&mut two);
+        assert_eq!(two, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn sort_by_key_is_stable() {
+        let mut keys = vec![2u32, 1, 2, 1];
+        let mut vals = vec!['a', 'b', 'c', 'd'];
+        sort_by_key(&mut keys, &mut vals);
+        assert_eq!(keys, vec![1, 1, 2, 2]);
+        assert_eq!(vals, vec!['b', 'd', 'a', 'c']);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_sorted_output_is_permutation(data in proptest::collection::vec(-1e5f32..1e5, 0..3000)) {
+            let mut sorted = data.clone();
+            sort_f32(&mut sorted);
+            proptest::prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+            let mut a = data.clone();
+            let mut b = sorted.clone();
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            proptest::prop_assert_eq!(a, b);
+        }
+    }
+}

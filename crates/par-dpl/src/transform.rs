@@ -1,0 +1,115 @@
+//! Fused transform primitives: `transform_reduce` and `count_if`, the
+//! remaining oneDPL surface the suite's host paths use (e.g. weighted
+//! sums in ParticleFilter and selectivity estimation in Where).
+
+
+/// Map each element with `f` and sum the results, in parallel with
+/// deterministic chunked combination.
+pub fn transform_reduce_f32<T: Sync>(data: &[T], f: impl Fn(&T) -> f32 + Sync) -> f32 {
+    let n = data.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let threads = crate::util::thread_count_for(n, 8192);
+    if threads == 1 {
+        return data.iter().map(&f).sum();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials = vec![0f32; threads];
+    std::thread::scope(|s| {
+        for (t, p) in partials.iter_mut().enumerate() {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            let data = &data;
+            let f = &f;
+            s.spawn(move || {
+                if lo < hi {
+                    *p = data[lo..hi].iter().map(f).sum();
+                }
+            });
+        }
+    });
+    partials.into_iter().sum()
+}
+
+/// Count the elements satisfying `pred`, in parallel.
+pub fn count_if<T: Sync>(data: &[T], pred: impl Fn(&T) -> bool + Sync) -> usize {
+    let n = data.len();
+    if n == 0 {
+        return 0;
+    }
+    let threads = crate::util::thread_count_for(n, 8192);
+    if threads == 1 {
+        return data.iter().filter(|x| pred(x)).count();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials = vec![0usize; threads];
+    std::thread::scope(|s| {
+        for (t, p) in partials.iter_mut().enumerate() {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            let data = &data;
+            let pred = &pred;
+            s.spawn(move || {
+                if lo < hi {
+                    *p = data[lo..hi].iter().filter(|x| pred(x)).count();
+                }
+            });
+        }
+    });
+    partials.into_iter().sum()
+}
+
+/// Weighted dot product: `Σ a[i]·b[i]` (ParticleFilter's estimate step).
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let idx: Vec<usize> = (0..n).collect();
+    transform_reduce_f32(&idx, |&i| a[i] * b[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_reduce_matches_sequential() {
+        let data: Vec<i64> = (0..200_000).collect();
+        let par = transform_reduce_f32(&data, |&x| (x % 10) as f32);
+        let seq: f32 = data.iter().map(|&x| (x % 10) as f32).sum();
+        assert!((par - seq).abs() < seq.abs() * 1e-4);
+    }
+
+    #[test]
+    fn count_if_matches_filter_count() {
+        let data: Vec<u32> = (0..150_000).map(|i| i % 97).collect();
+        assert_eq!(count_if(&data, |&x| x < 30), data.iter().filter(|&&x| x < 30).count());
+    }
+
+    #[test]
+    fn dot_product_basic() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![4.0f32, 5.0, 6.0];
+        assert!((dot_f32(&a, &b) - 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(transform_reduce_f32::<f32>(&[], |&x| x), 0.0);
+        assert_eq!(count_if::<u8>(&[], |_| true), 0);
+        assert_eq!(dot_f32(&[], &[]), 0.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_count_if_bounded_by_len(data in proptest::collection::vec(0u32..100, 0..2000)) {
+            let c = count_if(&data, |&x| x % 2 == 0);
+            proptest::prop_assert!(c <= data.len());
+            let inv = count_if(&data, |&x| x % 2 == 1);
+            proptest::prop_assert_eq!(c + inv, data.len());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! FPGA design-space exploration: the ablation behind the paper's
+//! Section-5 optimisation choices.
+//!
+//! Sweeps (1) LavaMD's unrolling factor (Case 1: near-linear until
+//! timing closure), (2) CFD FP32's compute-unit replication ("replicate
+//! as often as possible while each step still helps"), and
+//! (3) Mandelbrot's speculated-iterations setting. Prints kernel time,
+//! resources, and Fmax for each point, with fit failures reported the
+//! way Quartus would reject them.
+//!
+//! ```text
+//! cargo run --release --example fpga_design_space
+//! ```
+
+use fpga_sim::{Design, FpgaPart, KernelInstance};
+use hetero_ir::builder::{KernelBuilder, LoopBuilder};
+use hetero_ir::ir::{AccessPattern, OpMix, Scalar};
+
+fn report(design: &Design, part: &FpgaPart) -> String {
+    match fpga_sim::resources::check_fit(design, part) {
+        Ok(usage) => {
+            let sim = fpga_sim::simulate(design, part);
+            let (alm, _, dsp) = usage.utilization(part);
+            format!(
+                "{:>9.3} ms  ALM {:>5.1}%  DSP {:>5.1}%  {:>5.0} MHz",
+                sim.total_seconds * 1e3,
+                alm * 100.0,
+                dsp * 100.0,
+                sim.fmax_mhz
+            )
+        }
+        Err(e) => format!("DOES NOT FIT ({} at {:.0}%)", e.resource, e.utilization * 100.0),
+    }
+}
+
+fn lavamd_unroll_sweep(part: &FpgaPart) {
+    println!("-- LavaMD: unroll factor sweep (paper: 30x on Stratix 10) --");
+    let items = 1_000u64 * 128;
+    for unroll in [1u32, 4, 8, 16, 30, 64, 128] {
+        let inner = LoopBuilder::new("particles_j", 128)
+            .body(OpMix { f32_ops: 11, transcendental_ops: 1, local_reads: 4, ..OpMix::default() })
+            .unroll(unroll)
+            .build();
+        let nbrs = LoopBuilder::new("neighbors", 19).child(inner).build();
+        let k = KernelBuilder::nd_range("lavamd_force", 128)
+            .loop_(nbrs)
+            .local_array("stage", Scalar::F32, 128 * 4, AccessPattern::Banked)
+            .restrict()
+            .build();
+        let d = Design::new(format!("lavamd-u{unroll}")).with(KernelInstance::new(k).items(items));
+        println!("  unroll {unroll:>3}: {}", report(&d, part));
+    }
+}
+
+fn cfd_replication_sweep(part: &FpgaPart) {
+    println!("-- CFD FP32: compute-unit replication sweep (paper: 4x on S10, 8x on Agilex) --");
+    for cu in [1u32, 2, 4, 8, 16, 32] {
+        let flux = KernelBuilder::nd_range("compute_flux", 64)
+            .simd(2)
+            .straight_line(OpMix {
+                f32_ops: 150,
+                fdiv_ops: 6,
+                global_write_bytes: 20,
+                ..OpMix::default()
+            })
+            .restrict()
+            .build();
+        let d = Design::new(format!("cfd-cu{cu}"))
+            .with(KernelInstance::new(flux).items(1 << 20).replicated(cu));
+        println!("  CU {cu:>2}: {}", report(&d, part));
+    }
+}
+
+fn mandelbrot_speculation_sweep(part: &FpgaPart) {
+    println!("-- Mandelbrot: speculated-iterations sweep (paper: compiler default 4, set to 0) --");
+    for spec in [0u32, 1, 2, 4, 8, 16] {
+        let inner = LoopBuilder::new("escape", 2300)
+            .body(OpMix { f32_ops: 7, cmp_sel_ops: 2, ..OpMix::default() })
+            .speculated(spec)
+            .data_dependent_exit()
+            .build();
+        let pixels = LoopBuilder::new("pixels", 1 << 16).ii(1).child(inner).build();
+        let k = KernelBuilder::single_task("mandel").loop_(pixels).restrict().build();
+        let d = Design::new(format!("mandel-s{spec}")).with(KernelInstance::new(k));
+        println!("  speculated {spec:>2}: {}", report(&d, part));
+    }
+}
+
+fn main() {
+    for part in [FpgaPart::stratix10(), FpgaPart::agilex()] {
+        println!("==== {} ====", part.name);
+        lavamd_unroll_sweep(&part);
+        cfd_replication_sweep(&part);
+        mandelbrot_speculation_sweep(&part);
+        println!();
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: run three Altis-SYCL-rs applications on the portable
+//! runtime, verify them against their golden references, and print the
+//! modelled device times for the paper's Table-2 accelerators.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use altis_core::common::AppVersion;
+use altis_core::migration::{measured_seconds, PerfFactors};
+use altis_data::InputSize;
+use device_model::{DeviceSpec, RuntimeFlavor};
+use hetero_rt::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let size = InputSize::S1;
+    let queue = Queue::with_profiling(Device::cpu());
+
+    println!("Altis-SYCL-rs quickstart — input {size}\n");
+
+    // 1. Run a few applications end-to-end on the host runtime.
+    println!("{:<14} {:>12} {:>10}", "App", "host time", "verified");
+    for entry in altis_core::all_apps() {
+        if !["Mandelbrot", "KMeans", "Where"].contains(&entry.name) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let ok = (entry.verify)(&queue, size, AppVersion::SyclOptimized);
+        println!(
+            "{:<14} {:>10.1?} {:>10}",
+            entry.name,
+            t0.elapsed(),
+            if ok { "yes" } else { "NO" }
+        );
+        assert!(ok, "{} failed verification", entry.name);
+    }
+
+    // 2. Show the modelled cross-device picture for one app.
+    println!("\nModelled KMeans run times (paper-scale workload, {size}):");
+    let profile = altis_core::kmeans::work_profile(size);
+    for dev in DeviceSpec::table2() {
+        let flavor = RuntimeFlavor::default_for(dev.class);
+        let t = measured_seconds(&profile, &dev, flavor, PerfFactors::neutral());
+        println!("  {:<22} {:>9.2} ms", dev.name, t * 1e3);
+    }
+
+    println!("\nNext steps:");
+    println!("  cargo run --release -p altis-bench --bin repro   # every table & figure");
+    println!("  cargo run --release --example kmeans_pipes       # the Figure-3 dataflow");
+    println!("  cargo run --release --example fpga_design_space  # FPGA DSE ablation");
+}

@@ -1,0 +1,61 @@
+//! The Where benchmark's scan-flavour study (Sections 3.3 and 5.3):
+//! run the record filter with all three prefix-sum implementations —
+//! CUB-style single-pass, oneDPL-style multi-pass, and the paper's
+//! custom FPGA scan — verify they agree, and time the host versions.
+//!
+//! ```text
+//! cargo run --release --example where_scan
+//! ```
+
+use altis_data::{InputSize, WhereParams};
+use fpga_sim::FpgaPart;
+use par_dpl::scan::{exclusive_scan, ScanFlavor};
+use std::time::Instant;
+
+fn main() {
+    let p = WhereParams { n_records: 4_000_000, selectivity_pct: 30 };
+    let records = altis_core::where_q::generate_records(&p);
+    let flags: Vec<u32> = records
+        .iter()
+        .map(|r| u32::from(altis_core::where_q::predicate(&p, r)))
+        .collect();
+
+    println!("Where over {} records (selectivity {}%)\n", p.n_records, p.selectivity_pct);
+
+    // Host timing of the three scan flavours on the same input.
+    let mut reference: Option<Vec<u32>> = None;
+    for flavor in [ScanFlavor::Cub, ScanFlavor::OneDpl, ScanFlavor::FpgaCustom] {
+        let mut out = vec![0u32; flags.len()];
+        let t0 = Instant::now();
+        exclusive_scan(flavor, &flags, &mut out);
+        let dt = t0.elapsed();
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(r, &out, "{flavor:?} disagrees"),
+        }
+        println!("  {flavor:?} scan: {dt:>10.2?}  (all flavours agree)");
+    }
+
+    // The modelled FPGA comparison: GPU-shaped scan synthesised on the
+    // Stratix 10 vs. the custom Listing-2 scan.
+    let part = FpgaPart::stratix10();
+    let base = altis_core::where_q::fpga_design(InputSize::S3, false, &part);
+    let opt = altis_core::where_q::fpga_design(InputSize::S3, true, &part);
+    let t_base = fpga_sim::simulate(&base, &part);
+    let t_opt = fpga_sim::simulate(&opt, &part);
+    // Group 1 is the scan stage in both designs.
+    let scan_base = t_base.groups[1].seconds;
+    let scan_opt = t_opt.groups[1].seconds;
+    println!(
+        "\nStratix 10 scan stage: GPU-shaped {:.2} ms vs custom {:.2} ms ({:.0}x; paper: up to 100x)",
+        scan_base * 1e3,
+        scan_opt * 1e3,
+        scan_base / scan_opt
+    );
+    println!(
+        "whole Where design:    baseline   {:.2} ms vs optimized {:.2} ms ({:.0}x)",
+        t_base.total_seconds * 1e3,
+        t_opt.total_seconds * 1e3,
+        t_base.total_seconds / t_opt.total_seconds
+    );
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, test, regenerate every table/figure, and
+# run the Criterion benches. Outputs land next to this script's parent.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace --release 2>&1 | tee test_output.txt
+
+echo "== tables & figures =="
+cargo run --release -p altis-bench --bin repro | tee repro_output.txt
+cargo run --release -p altis-bench --bin repro -- --json results.json
+
+echo "== benches =="
+cargo bench --workspace 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, repro_output.txt, results.json, bench_output.txt"

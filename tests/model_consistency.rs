@@ -1,0 +1,113 @@
+//! Integration: the three descriptions of each application — the
+//! analytic work profile (device models), the FPGA IR designs
+//! (simulator), and the executable kernels — must agree with each other
+//! up to the variant differences they legitimately encode.
+
+use altis_core::suite::all_apps;
+use altis_data::InputSize;
+use fpga_sim::FpgaPart;
+use hetero_ir::analysis::kernel_cost;
+use hetero_ir::ir::KernelStyle;
+
+/// Total FLOPs of a design (all instances, invocations, items).
+fn design_flops(design: &fpga_sim::Design) -> f64 {
+    design
+        .instances
+        .iter()
+        .map(|inst| {
+            let items = match inst.kernel.style {
+                KernelStyle::NdRange { .. } => inst.items_per_invocation,
+                KernelStyle::SingleTask => 1,
+            };
+            kernel_cost(&inst.kernel, items).flops() as f64 * inst.invocations as f64
+        })
+        .sum()
+}
+
+#[test]
+fn profile_and_ir_flop_counts_agree_in_magnitude() {
+    // The work profile and the baseline FPGA design describe the same
+    // paper-scale workload; their FLOP totals must agree within an
+    // order of magnitude (they model different kernel variants, and
+    // integer-dominated apps have little FP at all — skip those).
+    let part = FpgaPart::stratix10();
+    for app in all_apps() {
+        if ["NW", "Where", "PF Naive", "PF Float"].contains(&app.name) {
+            // Integer/compare-dominated: NW and Where carry no FP work,
+            // and PF's CDF walk is FP in the CPU-cost proxy but compare
+            // ops in the IR — the FLOP ratio is meaningless for these.
+            continue;
+        }
+        for size in [InputSize::S1, InputSize::S3] {
+            let profile = (app.work_profile)(size);
+            let Some(design) = (app.fpga_design)(size, false, &part) else {
+                continue;
+            };
+            let p_flops = profile.total_flops() as f64;
+            let d_flops = design_flops(&design);
+            if p_flops == 0.0 || d_flops == 0.0 {
+                continue;
+            }
+            let ratio = p_flops / d_flops;
+            assert!(
+                (0.02..=50.0).contains(&ratio),
+                "{} at {size}: profile {p_flops:.3e} vs design {d_flops:.3e} (ratio {ratio:.2})",
+                app.name
+            );
+        }
+    }
+}
+
+#[test]
+fn profiles_and_designs_share_size_scaling() {
+    // Growing the input from size 1 to size 3 must scale the profile
+    // and the design by comparable factors: the two model layers track
+    // the same workload.
+    let part = FpgaPart::stratix10();
+    for app in all_apps() {
+        let p1 = (app.work_profile)(InputSize::S1);
+        let p3 = (app.work_profile)(InputSize::S3);
+        let (Some(d1), Some(d3)) = (
+            (app.fpga_design)(InputSize::S1, false, &part),
+            (app.fpga_design)(InputSize::S3, false, &part),
+        ) else {
+            continue;
+        };
+        let profile_growth = (p3.total_flops() + p3.global_bytes) as f64
+            / (p1.total_flops() + p1.global_bytes).max(1) as f64;
+        let t1 = fpga_sim::simulate(&d1, &part).total_seconds;
+        let t3 = fpga_sim::simulate(&d3, &part).total_seconds;
+        let design_growth = t3 / t1;
+        // Same direction, within ~30× of each other (time growth can be
+        // sublinear when fill/overhead terms matter at size 1).
+        assert!(design_growth > 1.0, "{}: design did not grow", app.name);
+        let rel = profile_growth / design_growth;
+        assert!(
+            (0.03..=30.0).contains(&rel),
+            "{}: profile x{profile_growth:.1} vs design x{design_growth:.1}",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn launch_counts_are_consistent_with_design_invocations() {
+    // The profile's kernel_launches and the design's total invocations
+    // describe the same host-side submission stream.
+    let part = FpgaPart::stratix10();
+    for app in all_apps() {
+        let profile = (app.work_profile)(InputSize::S2);
+        let Some(design) = (app.fpga_design)(InputSize::S2, false, &part) else {
+            continue;
+        };
+        let design_invocations: u64 = design.instances.iter().map(|i| i.invocations).sum();
+        let ratio = profile.kernel_launches as f64 / design_invocations.max(1) as f64;
+        assert!(
+            (0.1..=10.0).contains(&ratio),
+            "{}: profile launches {} vs design invocations {}",
+            app.name,
+            profile.kernel_launches,
+            design_invocations
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Integration: cross-crate runtime semantics — the SYCL-like runtime,
+//! the parallel-algorithms library, and the migration passes interact
+//! the way the applications rely on.
+
+use hetero_ir::dpct::{migrate, optimize_for_gpu, refactor_for_fpga, Construct, CudaModule, TimingApi};
+use hetero_rt::ndrange::FenceSpace;
+use hetero_rt::prelude::*;
+use par_dpl::scan::{exclusive_scan, ScanFlavor};
+
+#[test]
+fn scan_inside_kernel_pipeline_matches_host_scan() {
+    // Flag kernel on the runtime, scan via par-dpl, scatter kernel —
+    // the Where pipeline wired by hand across crates.
+    let n = 100_000usize;
+    let q = Queue::new(Device::cpu());
+    let data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761) % 100).collect();
+
+    let input = Buffer::from_slice(&data);
+    let flags = Buffer::<u32>::new(n);
+    let (iv, fv) = (input.view(), flags.view());
+    q.parallel_for("flags", Range::d1(n), move |it| {
+        fv.set(it.gid(0), u32::from(iv.get(it.gid(0)) < 30));
+    });
+
+    let flags_host = flags.to_vec();
+    let mut offsets = vec![0u32; n];
+    exclusive_scan(ScanFlavor::Cub, &flags_host, &mut offsets);
+
+    let expected: Vec<u32> = data.iter().filter(|&&v| v < 30).copied().collect();
+    let out = Buffer::<u32>::new(expected.len().max(1));
+    let offs = Buffer::from_slice(&offsets);
+    let fl = Buffer::from_slice(&flags_host);
+    let (ov, offv, flv, iv) = (out.view(), offs.view(), fl.view(), input.view());
+    q.parallel_for("scatter", Range::d1(n), move |it| {
+        let i = it.gid(0);
+        if flv.get(i) == 1 {
+            ov.set(offv.get(i) as usize, iv.get(i));
+        }
+    });
+    let mut got = out.to_vec();
+    got.truncate(expected.len());
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn multi_kernel_dataflow_over_pipes_is_equivalent_to_sequential() {
+    // Three-stage pipeline over pipes == three sequential kernels.
+    let n = 50_000u64;
+    let q = Queue::new(Device::stratix10());
+    let stage1 = Pipe::<u64>::with_capacity(256);
+    let stage2 = Pipe::<u64>::with_capacity(256);
+    let out = Buffer::<u64>::new(n as usize);
+    let ov = out.view();
+    let (s1w, s1r) = (stage1.clone(), stage1);
+    let (s2w, s2r) = (stage2.clone(), stage2);
+    q.submit_concurrent(
+        "three_stage",
+        vec![
+            Box::new(move || {
+                for i in 0..n {
+                    s1w.write(i * 3)?;
+                }
+                Ok(())
+            }) as Box<dyn FnOnce() -> hetero_rt::Result<()> + Send>,
+            Box::new(move || {
+                for _ in 0..n {
+                    let v = s1r.read()?;
+                    s2w.write(v + 7)?;
+                }
+                Ok(())
+            }),
+            Box::new(move || {
+                for i in 0..n {
+                    ov.set(i as usize, s2r.read()?);
+                }
+                Ok(())
+            }),
+        ],
+    )
+    .unwrap();
+    let got = out.to_vec();
+    assert!(got.iter().enumerate().all(|(i, &v)| v == i as u64 * 3 + 7));
+}
+
+#[test]
+fn fpga_work_group_limits_reject_oversized_launches_end_to_end() {
+    // The Section-4 story: default Altis work-group sizes exceed the
+    // FPGA limit; the launch must fail until the size is reduced.
+    let q = Queue::new(Device::agilex());
+    let err = q.nd_range("too_wide", NdRange::d1(1024, 256), |_| {}).unwrap_err();
+    assert!(matches!(err, hetero_rt::Error::WorkGroupTooLarge { .. }));
+    // Reduced work-group size: fine.
+    assert!(q.nd_range("ok", NdRange::d1(1024, 128), |_| {}).is_ok());
+}
+
+#[test]
+fn migration_pipeline_end_to_end_over_whole_suite() {
+    // Every app's source model must migrate, optimise, and (except
+    // Raytracing, which needs its manual rewrite first) refactor for
+    // FPGA without errors.
+    for app in altis_core::all_apps() {
+        let cuda = (app.cuda_module)();
+        let (migrated, _diags) = migrate(&cuda);
+        let optimized = optimize_for_gpu(&migrated);
+        let fpga = refactor_for_fpga(&optimized);
+        if app.name == "Raytracing" {
+            assert!(fpga.is_err(), "raytracing must require the manual rewrite");
+        } else {
+            assert!(fpga.is_ok(), "{} failed FPGA refactor: {:?}", app.name, fpga.err());
+        }
+    }
+}
+
+#[test]
+fn raytracing_fpga_path_after_manual_rewrite() {
+    // Model the manual rewrite: virtual functions and in-kernel
+    // allocation removed by hand, then the pass pipeline succeeds.
+    let rewritten = CudaModule {
+        name: "raytracing_rewritten".into(),
+        constructs: altis_core::raytracing::cuda_module()
+            .constructs
+            .into_iter()
+            .filter(|c| {
+                !matches!(c, Construct::VirtualFunctions | Construct::DynamicKernelAlloc)
+            })
+            .collect(),
+    };
+    let (m, _) = migrate(&rewritten);
+    assert!(refactor_for_fpga(&optimize_for_gpu(&m)).is_ok());
+}
+
+#[test]
+fn barrier_phases_compose_with_global_memory() {
+    // A two-kernel dependency chain with an in-kernel reduction: checks
+    // barriers, local arrays, private arrays, and buffer reuse together.
+    let n = 4096usize;
+    let q = Queue::new(Device::cpu());
+    let data = Buffer::from_slice(&(0..n as u32).collect::<Vec<_>>());
+    let partial = Buffer::<u32>::new(n / 64);
+
+    let (dv, pv) = (data.view(), partial.view());
+    q.nd_range("block_sum", NdRange::d1(n, 64), move |ctx| {
+        let tile = ctx.local_array::<u32>(64);
+        ctx.items(|it| tile.set(it.local_linear, dv.get(it.global_linear)));
+        ctx.barrier(FenceSpace::Local);
+        let mut stride = 32;
+        while stride > 0 {
+            ctx.items(|it| {
+                if it.local_linear < stride {
+                    tile.update(it.local_linear, |v| v + tile.get(it.local_linear + stride));
+                }
+            });
+            ctx.barrier(FenceSpace::Local);
+            stride /= 2;
+        }
+        ctx.items(|it| {
+            if it.local_linear == 0 {
+                pv.set(ctx.group_linear(), tile.get(0));
+            }
+        });
+    })
+    .unwrap();
+
+    let total: u64 = partial.to_vec().iter().map(|&x| x as u64).sum();
+    assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+}
+
+#[test]
+fn timing_constructs_survive_the_full_pass_chain() {
+    let cuda = CudaModule {
+        name: "t".into(),
+        constructs: vec![
+            Construct::Timing { api: TimingApi::CudaEvents, wraps_library_call: false },
+            Construct::Timing { api: TimingApi::CudaEvents, wraps_library_call: true },
+        ],
+    };
+    let (m, diags) = migrate(&cuda);
+    assert_eq!(diags.len(), 2);
+    let o = optimize_for_gpu(&m);
+    let sycl_events = o
+        .constructs
+        .iter()
+        .filter(|c| matches!(c, Construct::Timing { api: TimingApi::SyclEvents, .. }))
+        .count();
+    let chrono = o
+        .constructs
+        .iter()
+        .filter(|c| matches!(c, Construct::Timing { api: TimingApi::Chrono, .. }))
+        .count();
+    assert_eq!((sycl_events, chrono), (1, 1));
+}

@@ -1,0 +1,81 @@
+//! Integration: every application verifies against its golden reference
+//! on the portable runtime, across versions and devices.
+
+use altis_core::common::AppVersion;
+use altis_core::suite::all_apps;
+use altis_data::InputSize;
+use hetero_rt::prelude::*;
+
+#[test]
+fn all_apps_verify_at_size_1_baseline() {
+    let q = Queue::new(Device::cpu());
+    for app in all_apps() {
+        assert!(
+            (app.verify)(&q, InputSize::S1, AppVersion::SyclBaseline),
+            "{} baseline failed verification at size 1",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn all_apps_verify_at_size_1_optimized() {
+    let q = Queue::new(Device::cpu());
+    for app in all_apps() {
+        assert!(
+            (app.verify)(&q, InputSize::S1, AppVersion::SyclOptimized),
+            "{} optimized failed verification at size 1",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn optimized_versions_verify_on_fpga_device() {
+    // The FPGA device enables pipes; KMeans takes its dataflow path.
+    let q = Queue::new(Device::stratix10());
+    for app in all_apps() {
+        // NW's 16-wide work-groups and the others all fit the FPGA's
+        // 128-item limit at size 1.
+        assert!(
+            (app.verify)(&q, InputSize::S1, AppVersion::SyclOptimized),
+            "{} failed on the FPGA device",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn selected_apps_verify_at_size_2() {
+    // Size-2 spot checks on the cheaper apps (full size-2/3 sweeps live
+    // in the benches).
+    let q = Queue::new(Device::cpu());
+    for app in all_apps() {
+        if ["Mandelbrot", "Where", "FDTD2D", "NW", "KMeans"].contains(&app.name) {
+            assert!(
+                (app.verify)(&q, InputSize::S2, AppVersion::SyclOptimized),
+                "{} failed at size 2",
+                app.name
+            );
+        }
+    }
+}
+
+#[test]
+fn sequential_and_parallel_execution_agree() {
+    // Determinism across scheduler configurations: the same app run with
+    // 1 thread and N threads produces identical output.
+    use hetero_rt::executor::Parallelism;
+    let p = altis_data::mandelbrot(InputSize::S1);
+    let seq = altis_core::mandelbrot::run(
+        &Queue::new(Device::cpu()).with_parallelism(Parallelism::Sequential),
+        &p,
+        AppVersion::SyclOptimized,
+    );
+    let par = altis_core::mandelbrot::run(
+        &Queue::new(Device::cpu()).with_parallelism(Parallelism::Threads(8)),
+        &p,
+        AppVersion::SyclOptimized,
+    );
+    assert_eq!(seq, par);
+}
