@@ -1,47 +1,48 @@
 //! Deterministic data generators shared across the applications.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Pcg32;
 
 /// A seeded RNG wrapper so every workload is reproducible.
 pub struct SeededRng {
-    rng: StdRng,
+    rng: Pcg32,
 }
 
 impl SeededRng {
     /// Create a generator for an (application, size) pair; the seed mixes
-    /// both so different apps never share streams.
+    /// both so different apps never share streams. The mixing scheme is
+    /// part of the recorded dataset definition and must not change.
     pub fn new(app: &str, size_index: usize) -> Self {
         let mut seed = 0xA17150_u64.wrapping_mul(size_index as u64 + 1);
         for b in app.bytes() {
             seed = seed.wrapping_mul(31).wrapping_add(b as u64);
         }
-        SeededRng { rng: StdRng::seed_from_u64(seed) }
+        SeededRng { rng: Pcg32::from_seed(seed) }
     }
 
     /// Uniform f32 in `[lo, hi)`.
     pub fn f32(&mut self, lo: f32, hi: f32) -> f32 {
-        self.rng.gen_range(lo..hi)
+        lo + (hi - lo) * self.rng.f32_unit()
     }
 
     /// Uniform f64 in `[lo, hi)`.
     pub fn f64(&mut self, lo: f64, hi: f64) -> f64 {
-        self.rng.gen_range(lo..hi)
+        lo + (hi - lo) * self.rng.f64_unit()
     }
 
     /// Uniform u32 in `[0, bound)`.
     pub fn u32(&mut self, bound: u32) -> u32 {
-        self.rng.gen_range(0..bound)
+        self.rng.below(bound)
     }
 
     /// Uniform usize in `[0, bound)`.
     pub fn index(&mut self, bound: usize) -> usize {
-        self.rng.gen_range(0..bound)
+        debug_assert!(bound <= u32::MAX as usize);
+        self.rng.below(bound as u32) as usize
     }
 
     /// Standard-normal-ish value via the sum of uniforms (cheap, smooth).
     pub fn gaussian(&mut self) -> f32 {
-        let s: f32 = (0..12).map(|_| self.rng.gen_range(0.0f32..1.0)).sum();
+        let s: f32 = (0..12).map(|_| self.rng.f32_unit()).sum();
         s - 6.0
     }
 
@@ -98,6 +99,13 @@ mod tests {
     }
 
     #[test]
+    fn different_sizes_different_streams() {
+        let mut a = SeededRng::new("kmeans", 1);
+        let mut b = SeededRng::new("kmeans", 2);
+        assert_ne!(a.f32_vec(16, 0.0, 1.0), b.f32_vec(16, 0.0, 1.0));
+    }
+
+    #[test]
     fn image_values_in_range() {
         let mut r = SeededRng::new("srad", 2);
         let img = r.speckled_image(64, 32);
@@ -117,5 +125,16 @@ mod tests {
         let mut r = SeededRng::new("pf", 1);
         let mean: f32 = (0..10_000).map(|_| r.gaussian()).sum::<f32>() / 10_000.0;
         assert!(mean.abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn bounded_draws_stay_below_bound() {
+        let mut r = SeededRng::new("where", 1);
+        assert!(r.u32_vec(10_000, 17).iter().all(|&v| v < 17));
+        for _ in 0..10_000 {
+            assert!(r.index(33) < 33);
+            let x = r.f32(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
     }
 }

@@ -15,8 +15,10 @@
 pub mod gen;
 pub mod paper_scale;
 pub mod params;
+pub mod rng;
 pub mod size;
 
 pub use gen::SeededRng;
+pub use rng::{splitmix64, Pcg32};
 pub use params::*;
 pub use size::InputSize;

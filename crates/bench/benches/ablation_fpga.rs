@@ -2,8 +2,8 @@
 //! each bench simulates a sweep over one optimisation knob and asserts
 //! the direction the paper reports.
 
+use altis_bench::timing::bench;
 use altis_data::InputSize;
-use criterion::{criterion_group, criterion_main, Criterion};
 use fpga_sim::{Design, FpgaPart, KernelInstance};
 use hetero_ir::builder::{KernelBuilder, LoopBuilder};
 use hetero_ir::ir::{AccessPattern, OpMix, Scalar};
@@ -23,116 +23,88 @@ fn lavamd_like(unroll: u32) -> Design {
     Design::new(format!("ablate-unroll-{unroll}")).with(KernelInstance::new(k).items(1 << 17))
 }
 
-fn ablation_unroll(c: &mut Criterion) {
-    c.bench_function("ablation_unroll_sweep", |b| {
-        b.iter(|| {
-            let part = FpgaPart::stratix10();
-            let mut last = f64::INFINITY;
-            for unroll in [1, 2, 4, 8, 16, 30] {
-                let t = fpga_sim::simulate(&lavamd_like(unroll), &part).total_seconds;
-                // Case 1: unrolling keeps helping up to 30×.
-                assert!(t <= last, "unroll {unroll} regressed: {t} > {last}");
-                last = t;
-            }
-            black_box(last)
-        })
+fn main() {
+    bench("ablation_unroll_sweep", 20, || {
+        let part = FpgaPart::stratix10();
+        let mut last = f64::INFINITY;
+        for unroll in [1, 2, 4, 8, 16, 30] {
+            let t = fpga_sim::simulate(&lavamd_like(unroll), &part).total_seconds;
+            // Case 1: unrolling keeps helping up to 30×.
+            assert!(t <= last, "unroll {unroll} regressed: {t} > {last}");
+            last = t;
+        }
+        black_box(last)
     });
-}
 
-fn ablation_replication(c: &mut Criterion) {
-    c.bench_function("ablation_cu_replication", |b| {
-        b.iter(|| {
-            // Replication helps runtime but multiplies resources; past
-            // the fit limit the build fails — the paper's "replicate as
-            // often as possible" strategy.
-            let part = FpgaPart::agilex();
-            let mk = |cu: u32| {
-                let k = KernelBuilder::single_task("fat")
-                    .loop_(
-                        LoopBuilder::new("main", 1 << 20)
-                            .body(OpMix { f64_ops: 30, ..OpMix::default() })
-                            .build(),
-                    )
-                    .build();
-                Design::new(format!("cu{cu}")).with(KernelInstance::new(k).replicated(cu))
-            };
-            // CFD FP64 shape: 2 compute units fit, many do not.
-            assert!(fpga_sim::resources::check_fit(&mk(2), &part).is_ok());
-            assert!(fpga_sim::resources::check_fit(&mk(64), &part).is_err());
-            let t2 = fpga_sim::simulate(&mk(2), &part).total_seconds;
-            let t1 = fpga_sim::simulate(&mk(1), &part).total_seconds;
-            assert!(t2 < t1);
-            black_box(t2)
-        })
-    });
-}
-
-fn ablation_material_layout(c: &mut Criterion) {
-    c.bench_function("ablation_material_layout", |b| {
-        b.iter(|| {
-            // Listing 1: mixed-type material struct (arbiters, lower
-            // Fmax) vs. fused float8 layout (stall-free banking).
-            let part = FpgaPart::stratix10();
-            let base = altis_core::raytracing::fpga_design(InputSize::S1, false, &part);
-            let opt = altis_core::raytracing::fpga_design(InputSize::S1, true, &part);
-            let f_base = fpga_sim::estimate_fmax(&base, &part);
-            let f_opt = fpga_sim::estimate_fmax(&opt, &part);
-            assert!(f_opt > f_base);
-            black_box((f_base, f_opt))
-        })
-    });
-}
-
-fn ablation_static_local_sizing(c: &mut Criterion) {
-    c.bench_function("ablation_static_local_sizing", |b| {
-        b.iter(|| {
-            // Section 4: dynamic accessors force 16 kB per shared
-            // variable; static sizing reclaims the BRAM.
-            let dynamic = KernelBuilder::nd_range("k", 64)
-                .dynamic_local_array("s", Scalar::F64, AccessPattern::Banked)
+    bench("ablation_cu_replication", 20, || {
+        // Replication helps runtime but multiplies resources; past the
+        // fit limit the build fails — the paper's "replicate as often
+        // as possible" strategy.
+        let part = FpgaPart::agilex();
+        let mk = |cu: u32| {
+            let k = KernelBuilder::single_task("fat")
+                .loop_(
+                    LoopBuilder::new("main", 1 << 20)
+                        .body(OpMix { f64_ops: 30, ..OpMix::default() })
+                        .build(),
+                )
                 .build();
-            let fixed = KernelBuilder::nd_range("k", 64)
-                .local_array("s", Scalar::F64, 1, AccessPattern::Banked)
+            Design::new(format!("cu{cu}")).with(KernelInstance::new(k).replicated(cu))
+        };
+        // CFD FP64 shape: 2 compute units fit, many do not.
+        assert!(fpga_sim::resources::check_fit(&mk(2), &part).is_ok());
+        assert!(fpga_sim::resources::check_fit(&mk(64), &part).is_err());
+        let t2 = fpga_sim::simulate(&mk(2), &part).total_seconds;
+        let t1 = fpga_sim::simulate(&mk(1), &part).total_seconds;
+        assert!(t2 < t1);
+        black_box(t2)
+    });
+
+    bench("ablation_material_layout", 20, || {
+        // Listing 1: mixed-type material struct (arbiters, lower Fmax)
+        // vs. fused float8 layout (stall-free banking).
+        let part = FpgaPart::stratix10();
+        let base = altis_core::raytracing::fpga_design(InputSize::S1, false, &part);
+        let opt = altis_core::raytracing::fpga_design(InputSize::S1, true, &part);
+        let f_base = fpga_sim::estimate_fmax(&base, &part);
+        let f_opt = fpga_sim::estimate_fmax(&opt, &part);
+        assert!(f_opt > f_base);
+        black_box((f_base, f_opt))
+    });
+
+    bench("ablation_static_local_sizing", 20, || {
+        // Section 4: dynamic accessors force 16 kB per shared variable;
+        // static sizing reclaims the BRAM.
+        let dynamic = KernelBuilder::nd_range("k", 64)
+            .dynamic_local_array("s", Scalar::F64, AccessPattern::Banked)
+            .build();
+        let fixed = KernelBuilder::nd_range("k", 64)
+            .local_array("s", Scalar::F64, 1, AccessPattern::Banked)
+            .build();
+        let rd = fpga_sim::resources::kernel_resources(&dynamic).brams;
+        let rs = fpga_sim::resources::kernel_resources(&fixed).brams;
+        assert!(rd > rs);
+        black_box((rd, rs))
+    });
+
+    bench("ablation_speculated_iterations", 20, || {
+        // Lowering speculated iterations on escape-style loops helps
+        // (Mandelbrot, Section 5.3).
+        let part = FpgaPart::stratix10();
+        let mk = |spec: u32| {
+            let inner = LoopBuilder::new("escape", 100)
+                .body(OpMix { f32_ops: 7, ..OpMix::default() })
+                .speculated(spec)
+                .data_dependent_exit()
                 .build();
-            let rd = fpga_sim::resources::kernel_resources(&dynamic).brams;
-            let rs = fpga_sim::resources::kernel_resources(&fixed).brams;
-            assert!(rd > rs);
-            black_box((rd, rs))
-        })
+            let k = KernelBuilder::single_task("m")
+                .loop_(LoopBuilder::new("px", 1 << 16).child(inner).build())
+                .build();
+            Design::new(format!("spec{spec}")).with(KernelInstance::new(k))
+        };
+        let t0 = fpga_sim::simulate(&mk(0), &part).total_seconds;
+        let t8 = fpga_sim::simulate(&mk(8), &part).total_seconds;
+        assert!(t0 < t8);
+        black_box((t0, t8))
     });
 }
-
-fn ablation_speculation(c: &mut Criterion) {
-    c.bench_function("ablation_speculated_iterations", |b| {
-        b.iter(|| {
-            // Lowering speculated iterations on escape-style loops helps
-            // (Mandelbrot, Section 5.3).
-            let part = FpgaPart::stratix10();
-            let mk = |spec: u32| {
-                let inner = LoopBuilder::new("escape", 100)
-                    .body(OpMix { f32_ops: 7, ..OpMix::default() })
-                    .speculated(spec)
-                    .data_dependent_exit()
-                    .build();
-                let k = KernelBuilder::single_task("m")
-                    .loop_(LoopBuilder::new("px", 1 << 16).child(inner).build())
-                    .build();
-                Design::new(format!("spec{spec}")).with(KernelInstance::new(k))
-            };
-            let t0 = fpga_sim::simulate(&mk(0), &part).total_seconds;
-            let t8 = fpga_sim::simulate(&mk(8), &part).total_seconds;
-            assert!(t0 < t8);
-            black_box((t0, t8))
-        })
-    });
-}
-
-criterion_group!(
-    ablations,
-    ablation_unroll,
-    ablation_replication,
-    ablation_material_layout,
-    ablation_static_local_sizing,
-    ablation_speculation
-);
-criterion_main!(ablations);

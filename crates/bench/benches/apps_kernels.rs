@@ -1,131 +1,93 @@
-//! Criterion benches of the *executable* application kernels on the
-//! host runtime — one benchmark per Altis application (the reduced
-//! laptop-scale workloads, size 1).
+//! Benches of the *executable* application kernels on the host runtime
+//! — one benchmark per Altis application (the reduced laptop-scale
+//! workloads, size 1).
 
+use altis_bench::timing::bench;
 use altis_core::common::AppVersion;
 use altis_core::particlefilter::PfVariant;
 use altis_data::InputSize;
-use criterion::{criterion_group, criterion_main, Criterion};
 use hetero_rt::prelude::*;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn cfg(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group("apps");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(3));
-    g.warm_up_time(Duration::from_millis(500));
-    g
-}
-
-fn bench_apps(c: &mut Criterion) {
+fn main() {
     let q = Queue::new(Device::cpu());
     let size = InputSize::S1;
-    let mut g = cfg(c);
+    const N: usize = 10;
 
-    g.bench_function("cfd_fp32", |b| {
+    bench("apps/cfd_fp32", N, || {
         let p = altis_data::cfd(size);
-        b.iter(|| black_box(altis_core::cfd::run::<f32>(&q, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::cfd::run::<f32>(&q, &p, AppVersion::SyclOptimized))
     });
-    g.bench_function("cfd_fp64", |b| {
+    bench("apps/cfd_fp64", N, || {
         let p = altis_data::cfd(size);
-        b.iter(|| black_box(altis_core::cfd::run::<f64>(&q, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::cfd::run::<f64>(&q, &p, AppVersion::SyclOptimized))
     });
-    g.bench_function("dwt2d", |b| {
+    bench("apps/dwt2d", N, || {
         let p = altis_data::dwt2d(size);
-        b.iter(|| black_box(altis_core::dwt2d::run(&q, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::dwt2d::run(&q, &p, AppVersion::SyclOptimized))
     });
-    g.bench_function("fdtd2d", |b| {
+    bench("apps/fdtd2d", N, || {
         let p = altis_data::fdtd2d(size);
-        b.iter(|| black_box(altis_core::fdtd2d::run(&q, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::fdtd2d::run(&q, &p, AppVersion::SyclOptimized))
     });
-    g.bench_function("kmeans", |b| {
+    bench("apps/kmeans", N, || {
         let p = altis_data::kmeans(size);
-        b.iter(|| black_box(altis_core::kmeans::run(&q, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::kmeans::run(&q, &p, AppVersion::SyclOptimized))
     });
-    g.bench_function("lavamd", |b| {
+    bench("apps/lavamd", N, || {
         let p = altis_data::lavamd(size);
-        b.iter(|| black_box(altis_core::lavamd::run(&q, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::lavamd::run(&q, &p, AppVersion::SyclOptimized))
     });
-    g.bench_function("mandelbrot", |b| {
+    bench("apps/mandelbrot", N, || {
         let p = altis_data::mandelbrot(size);
-        b.iter(|| black_box(altis_core::mandelbrot::run(&q, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::mandelbrot::run(&q, &p, AppVersion::SyclOptimized))
     });
-    g.bench_function("nw", |b| {
+    bench("apps/nw", N, || {
         let p = altis_data::nw(size);
-        b.iter(|| black_box(altis_core::nw::run(&q, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::nw::run(&q, &p, AppVersion::SyclOptimized))
     });
-    g.bench_function("pf_naive", |b| {
+    bench("apps/pf_naive", N, || {
         let p = altis_data::particlefilter(size);
-        b.iter(|| {
-            black_box(altis_core::particlefilter::run(
-                &q,
-                &p,
-                PfVariant::Naive,
-                AppVersion::SyclOptimized,
-            ))
-        })
+        black_box(altis_core::particlefilter::run(&q, &p, PfVariant::Naive, AppVersion::SyclOptimized))
     });
-    g.bench_function("pf_float", |b| {
+    bench("apps/pf_float", N, || {
         let p = altis_data::particlefilter(size);
-        b.iter(|| {
-            black_box(altis_core::particlefilter::run(
-                &q,
-                &p,
-                PfVariant::Float,
-                AppVersion::SyclOptimized,
-            ))
-        })
+        black_box(altis_core::particlefilter::run(&q, &p, PfVariant::Float, AppVersion::SyclOptimized))
     });
-    g.bench_function("raytracing", |b| {
+    bench("apps/raytracing", N, || {
         let p = altis_data::raytracing(size);
-        b.iter(|| black_box(altis_core::raytracing::run(&q, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::raytracing::run(&q, &p, AppVersion::SyclOptimized))
     });
-    g.bench_function("srad", |b| {
+    bench("apps/srad", N, || {
         let p = altis_data::srad(size);
-        b.iter(|| black_box(altis_core::srad::run(&q, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::srad::run(&q, &p, AppVersion::SyclOptimized))
     });
-    g.bench_function("where", |b| {
+    bench("apps/where", N, || {
         let p = altis_data::where_q(size);
-        b.iter(|| black_box(altis_core::where_q::run(&q, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::where_q::run(&q, &p, AppVersion::SyclOptimized))
     });
-    g.finish();
 
     // The Figure-3 dataflow: piped KMeans on the FPGA device.
     let fq = Queue::new(Device::stratix10());
-    let mut g = c.benchmark_group("kmeans_dataflow");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(3));
-    g.bench_function("via_global_memory", |b| {
+    bench("kmeans_dataflow/via_global_memory", N, || {
         let p = altis_data::kmeans(InputSize::S1);
-        b.iter(|| black_box(altis_core::kmeans::run(&q, &p, AppVersion::SyclBaseline)))
+        black_box(altis_core::kmeans::run(&q, &p, AppVersion::SyclBaseline))
     });
-    g.bench_function("via_pipes", |b| {
+    bench("kmeans_dataflow/via_pipes", N, || {
         let p = altis_data::kmeans(InputSize::S1);
-        b.iter(|| black_box(altis_core::kmeans::run(&fq, &p, AppVersion::SyclOptimized)))
+        black_box(altis_core::kmeans::run(&fq, &p, AppVersion::SyclOptimized))
     });
-    g.finish();
-}
 
-criterion_group!(apps, bench_apps, bench_scaling);
-criterion_main!(apps);
-
-/// Size-scaling study on the cheapest apps: the host runtime's cost
-/// grows with the documented inter-size factors.
-fn bench_scaling(c: &mut Criterion) {
-    let q = Queue::new(Device::cpu());
-    let mut g = c.benchmark_group("scaling");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(3));
+    // Size-scaling study on the cheapest apps: the host runtime's cost
+    // grows with the documented inter-size factors.
     for size in [InputSize::S1, InputSize::S2] {
-        g.bench_function(format!("mandelbrot_{size}"), |b| {
+        bench(&format!("scaling/mandelbrot_{size}"), N, || {
             let p = altis_data::mandelbrot(size);
-            b.iter(|| black_box(altis_core::mandelbrot::run(&q, &p, AppVersion::SyclOptimized)))
+            black_box(altis_core::mandelbrot::run(&q, &p, AppVersion::SyclOptimized))
         });
-        g.bench_function(format!("where_{size}"), |b| {
+        bench(&format!("scaling/where_{size}"), N, || {
             let p = altis_data::where_q(size);
-            b.iter(|| black_box(altis_core::where_q::run(&q, &p, AppVersion::SyclOptimized)))
+            black_box(altis_core::where_q::run(&q, &p, AppVersion::SyclOptimized))
         });
     }
-    g.finish();
 }

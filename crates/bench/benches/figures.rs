@@ -1,90 +1,46 @@
-//! Criterion benches over the figure/table harnesses: one benchmark per
+//! Benches over the figure/table harnesses: one benchmark per
 //! experiment artifact. Besides timing the (deterministic, analytic)
 //! regeneration, each bench asserts the artifact is non-degenerate, so
 //! `cargo bench` doubles as a smoke test of the full reproduction
 //! pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use altis_bench::timing::bench;
 use std::hint::black_box;
 
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2_devices", |b| {
-        b.iter(|| {
-            let t = altis_bench::table2();
-            assert_eq!(t.len(), 6);
-            black_box(t)
-        })
+fn main() {
+    bench("table2_devices", 20, || {
+        let t = altis_bench::table2();
+        assert_eq!(t.len(), 6);
+        black_box(t)
+    });
+    bench("fig1_fdtd2d_decomposition", 20, || {
+        let bars = altis_bench::fig1();
+        assert_eq!(bars.len(), 4);
+        black_box(bars)
+    });
+    bench("fig2_gpu_migration", 20, || {
+        let rows = altis_bench::fig2();
+        assert_eq!(rows.len(), 13);
+        black_box(altis_bench::fig2_geomeans(&rows))
+    });
+    bench("fig4_fpga_opt_over_base", 20, || {
+        let rows = altis_bench::fig4();
+        assert_eq!(rows.len(), 12);
+        black_box(altis_bench::fig4_geomeans(&rows))
+    });
+    bench("fig5_cross_device", 20, || {
+        let rows = altis_bench::fig5();
+        assert_eq!(rows.len(), 12 * 3);
+        black_box(altis_bench::fig5_geomeans(&rows, altis_data::InputSize::S2))
+    });
+    bench("table3_resources", 20, || {
+        let rows = altis_bench::table3();
+        assert!(rows.len() >= 14);
+        black_box(rows)
+    });
+    bench("dpct_migration_suite", 20, || {
+        let rep = altis_bench::dpct_report();
+        assert_eq!(rep.len(), 13);
+        black_box(rep)
     });
 }
-
-fn bench_fig1(c: &mut Criterion) {
-    c.bench_function("fig1_fdtd2d_decomposition", |b| {
-        b.iter(|| {
-            let bars = altis_bench::fig1();
-            assert_eq!(bars.len(), 4);
-            black_box(bars)
-        })
-    });
-}
-
-fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("fig2_gpu_migration", |b| {
-        b.iter(|| {
-            let rows = altis_bench::fig2();
-            assert_eq!(rows.len(), 13);
-            black_box(altis_bench::fig2_geomeans(&rows))
-        })
-    });
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    c.bench_function("fig4_fpga_opt_over_base", |b| {
-        b.iter(|| {
-            let rows = altis_bench::fig4();
-            assert_eq!(rows.len(), 12);
-            black_box(altis_bench::fig4_geomeans(&rows))
-        })
-    });
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    c.bench_function("fig5_cross_device", |b| {
-        b.iter(|| {
-            let rows = altis_bench::fig5();
-            assert_eq!(rows.len(), 12 * 3);
-            black_box(altis_bench::fig5_geomeans(&rows, altis_data::InputSize::S2))
-        })
-    });
-}
-
-fn bench_table3(c: &mut Criterion) {
-    c.bench_function("table3_resources", |b| {
-        b.iter(|| {
-            let rows = altis_bench::table3();
-            assert!(rows.len() >= 14);
-            black_box(rows)
-        })
-    });
-}
-
-fn bench_dpct(c: &mut Criterion) {
-    c.bench_function("dpct_migration_suite", |b| {
-        b.iter(|| {
-            let rep = altis_bench::dpct_report();
-            assert_eq!(rep.len(), 13);
-            black_box(rep)
-        })
-    });
-}
-
-criterion_group!(
-    figures,
-    bench_table2,
-    bench_fig1,
-    bench_fig2,
-    bench_fig4,
-    bench_fig5,
-    bench_table3,
-    bench_dpct
-);
-criterion_main!(figures);

@@ -1,43 +1,28 @@
-//! Criterion micro-benchmark of the three prefix-sum flavours (the
-//! Section-3.3 / 5.3 library study): CUB-style single-pass vs.
-//! oneDPL-style multi-pass vs. the sequential custom FPGA scan, on the
-//! host.
+//! Micro-benchmark of the three prefix-sum flavours (the Section-3.3 /
+//! 5.3 library study): CUB-style single-pass vs. oneDPL-style
+//! multi-pass vs. the sequential custom FPGA scan, on the host.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use altis_bench::timing::bench;
 use par_dpl::scan::{
     exclusive_scan_cub_style, exclusive_scan_fpga_custom, exclusive_scan_onedpl_style,
 };
 use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_scans(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scan_flavors");
-    g.sample_size(20);
-    g.measurement_time(Duration::from_secs(3));
+fn main() {
     for n in [1usize << 16, 1 << 20, 1 << 22] {
         let input: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
         let mut out = vec![0u32; n];
-        g.bench_with_input(BenchmarkId::new("cub_single_pass", n), &input, |b, inp| {
-            b.iter(|| {
-                exclusive_scan_cub_style(inp, &mut out);
-                black_box(out[n - 1])
-            })
+        bench(&format!("cub_single_pass/{n}"), 20, || {
+            exclusive_scan_cub_style(&input, &mut out);
+            black_box(out[n - 1])
         });
-        g.bench_with_input(BenchmarkId::new("onedpl_multi_pass", n), &input, |b, inp| {
-            b.iter(|| {
-                exclusive_scan_onedpl_style(inp, &mut out);
-                black_box(out[n - 1])
-            })
+        bench(&format!("onedpl_multi_pass/{n}"), 20, || {
+            exclusive_scan_onedpl_style(&input, &mut out);
+            black_box(out[n - 1])
         });
-        g.bench_with_input(BenchmarkId::new("fpga_custom_sequential", n), &input, |b, inp| {
-            b.iter(|| {
-                exclusive_scan_fpga_custom(inp, &mut out);
-                black_box(out[n - 1])
-            })
+        bench(&format!("fpga_custom_sequential/{n}"), 20, || {
+            exclusive_scan_fpga_custom(&input, &mut out);
+            black_box(out[n - 1])
         });
     }
-    g.finish();
 }
-
-criterion_group!(scans, bench_scans);
-criterion_main!(scans);

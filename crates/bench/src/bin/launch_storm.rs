@@ -1,0 +1,125 @@
+//! `launch_storm` — launch-overhead microbenchmark for the persistent
+//! worker pool.
+//!
+//! Fires a storm of small kernel launches (default 10,000 launches of a
+//! 4096-item / 64-group kernel) through two executors:
+//!
+//! * **pooled** — the persistent worker pool every queue path now uses
+//!   (`run_groups`): workers park on a condvar between launches, so a
+//!   launch costs one mutex push + wake.
+//! * **spawning** — the pre-pool baseline (`run_groups_spawning`): a
+//!   fresh `std::thread::scope` with N OS threads per launch.
+//!
+//! Prints both per-launch medians and the speedup, and writes
+//! `BENCH_launch_storm.json` (or the path given as the first argument).
+//!
+//! Usage:
+//! ```text
+//! launch_storm [out.json] [--launches N]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use hetero_rt::executor::{run_groups, run_groups_spawning, Parallelism};
+use hetero_rt::{Buffer, GroupCtx, NdRange};
+
+const DEFAULT_LAUNCHES: usize = 10_000;
+const ITEMS: usize = 4096;
+const GROUP: usize = 64;
+
+/// Median of three timed runs of `launches` back-to-back launches.
+fn storm(launches: usize, f: impl Fn()) -> Duration {
+    f(); // warm-up (first pooled launch spawns the workers)
+    let mut samples: Vec<Duration> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..launches {
+                f();
+            }
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[1]
+}
+
+fn main() {
+    // A launch-overhead benchmark is meaningless single-threaded (both
+    // executors degenerate to an inline loop); on small machines force a
+    // 4-thread pool via the runtime's env override. Must happen before
+    // the first pool access, which caches the value.
+    if std::env::var_os("HETERO_RT_THREADS").is_none() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        std::env::set_var("HETERO_RT_THREADS", hw.max(4).to_string());
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_launch_storm.json".to_string();
+    let mut launches = DEFAULT_LAUNCHES;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--launches" {
+            launches = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_LAUNCHES);
+        } else {
+            out_path = a.clone();
+        }
+    }
+
+    let nd = NdRange::d1(ITEMS, GROUP);
+    let buf = Buffer::<f32>::new(ITEMS);
+    let view = buf.view();
+    let kernel = |ctx: &GroupCtx| {
+        ctx.items(|item| {
+            let i = item.global_linear;
+            view.set(i, (i as f32).mul_add(1.5, 0.25));
+        });
+    };
+
+    let threads = hetero_rt::pool::auto_threads();
+    println!(
+        "launch storm: {launches} launches x {ITEMS} items / {GROUP}-item groups, {threads} threads"
+    );
+
+    let pooled = storm(launches, || {
+        run_groups(nd, Parallelism::Auto, 1 << 20, &kernel);
+    });
+    let spawning = storm(launches, || {
+        run_groups_spawning(nd, Parallelism::Auto, 1 << 20, &kernel);
+    });
+
+    let per = |d: Duration| d.as_secs_f64() / launches as f64 * 1e6;
+    let speedup = spawning.as_secs_f64() / pooled.as_secs_f64();
+    println!("  pooled   (persistent pool): {pooled:>10.3?} total, {:>8.2} us/launch", per(pooled));
+    println!("  spawning (scope per launch):{spawning:>10.3?} total, {:>8.2} us/launch", per(spawning));
+    println!("  speedup: {speedup:.2}x  (spawn-per-launch / pooled)");
+    println!(
+        "  pool: {} worker threads spawned once, {} jobs dispatched",
+        hetero_rt::pool::spawned_threads(),
+        hetero_rt::pool::jobs_dispatched()
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"benchmark\": \"launch_storm\",\n  \"launches\": {launches},\n  \
+         \"items_per_launch\": {ITEMS},\n  \"group_size\": {GROUP},\n  \"threads\": {threads},\n  \
+         \"pooled_total_s\": {:.6},\n  \"spawning_total_s\": {:.6},\n  \
+         \"pooled_us_per_launch\": {:.3},\n  \"spawning_us_per_launch\": {:.3},\n  \
+         \"speedup\": {:.3},\n  \"pool_threads_spawned\": {},\n  \"pool_jobs_dispatched\": {}\n}}\n",
+        pooled.as_secs_f64(),
+        spawning.as_secs_f64(),
+        per(pooled),
+        per(spawning),
+        speedup,
+        hetero_rt::pool::spawned_threads(),
+        hetero_rt::pool::jobs_dispatched(),
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write '{out_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

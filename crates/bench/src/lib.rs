@@ -1,9 +1,9 @@
 //! # altis-bench — the reproduction harness
 //!
 //! One function per table/figure of the paper's evaluation, returning
-//! structured rows. The `repro` binary prints them; the Criterion
-//! benches time the underlying executable kernels; integration tests
-//! assert the headline shapes.
+//! structured rows. The `repro` binary prints them; the plain-`main`
+//! benches (see [`timing`]) time the underlying executable kernels;
+//! integration tests assert the headline shapes.
 
 #![warn(missing_docs)]
 
@@ -13,6 +13,7 @@
 
 pub mod harness;
 pub mod json;
+pub mod timing;
 
 pub use harness::*;
 pub use json::results_json;

@@ -1,0 +1,68 @@
+//! Minimal wall-clock timing harness for the `harness = false` benches.
+//!
+//! Each benchmark is a closure timed for a fixed number of iterations
+//! after one warm-up call; the median is printed (one line per
+//! benchmark) and returned so callers can compute ratios. No external
+//! benchmarking crate — the repo builds fully offline.
+
+use std::time::{Duration, Instant};
+
+/// Time `f` for `iters` iterations (after one warm-up call), print the
+/// median as `name  median <time>`, and return it.
+pub fn bench<R>(name: &str, iters: usize, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f());
+    let mut samples: Vec<Duration> = (0..iters.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!("{name:<44} median {median:>12.3?}  (n={})", samples.len());
+    median
+}
+
+/// Like [`bench`] but reports the *mean per inner operation* for
+/// closures that run `ops` operations per call (launch storms, batched
+/// kernels).
+pub fn bench_per_op<R>(name: &str, iters: usize, ops: u64, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f());
+    let mut samples: Vec<Duration> = (0..iters.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let per_op = median / ops.max(1) as u32;
+    println!(
+        "{name:<44} median {median:>12.3?}  ({per_op:>9.3?}/op, n={})",
+        samples.len()
+    );
+    median
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_positive_for_real_work() {
+        let d = bench("timing_selftest", 3, || {
+            (0..10_000u64).map(std::hint::black_box).sum::<u64>()
+        });
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn per_op_divides_by_ops() {
+        let d = bench_per_op("timing_selftest_per_op", 3, 100, || {
+            (0..10_000u64).map(std::hint::black_box).sum::<u64>()
+        });
+        assert!(d > Duration::ZERO);
+    }
+}

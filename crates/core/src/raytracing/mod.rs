@@ -36,6 +36,9 @@ pub struct Vec3 {
     pub z: f32,
 }
 
+// The inherent add/sub/mul mirror the CUDA original's float3 helper
+// names; operator traits would obscure the correspondence.
+#[allow(clippy::should_implement_trait)]
 impl Vec3 {
     /// Construct.
     pub fn new(x: f32, y: f32, z: f32) -> Self {

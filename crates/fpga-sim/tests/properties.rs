@@ -1,10 +1,44 @@
 //! Property tests on simulator invariants: monotonicity of the cost
 //! models in their inputs, determinism, and physical sanity bounds.
+//!
+//! Randomized inputs come from a seeded SplitMix64 stream rather than a
+//! property-testing crate, so the suite builds with no registry access;
+//! the `heavy-tests` feature multiplies the case counts.
 
 use fpga_sim::{Design, FpgaPart, KernelInstance};
 use hetero_ir::builder::{KernelBuilder, LoopBuilder};
 use hetero_ir::ir::OpMix;
-use proptest::prelude::*;
+
+/// Seeded SplitMix64 generator for test inputs.
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from the half-open range `lo..hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// Number of randomized cases per property (×8 under `heavy-tests`).
+fn cases(base: usize) -> usize {
+    if cfg!(feature = "heavy-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
 
 fn single_loop_design(trips: u64, unroll: u32, flops: u64, bytes: u64) -> Design {
     let l = LoopBuilder::new("l", trips)
@@ -19,40 +53,44 @@ fn single_loop_design(trips: u64, unroll: u32, flops: u64, bytes: u64) -> Design
     Design::new("prop").with(KernelInstance::new(k))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cycles_monotone_in_trip_count(
-        trips in 1u64..100_000,
-        extra in 1u64..100_000,
-        flops in 0u64..16,
-    ) {
-        let part = FpgaPart::stratix10();
+#[test]
+fn cycles_monotone_in_trip_count() {
+    let mut g = Gen::new(0xF1);
+    let part = FpgaPart::stratix10();
+    for _ in 0..cases(64) {
+        let trips = g.range(1, 100_000);
+        let extra = g.range(1, 100_000);
+        let flops = g.range(0, 16);
         let t1 = fpga_sim::simulate(&single_loop_design(trips, 1, flops, 0), &part).total_seconds;
-        let t2 = fpga_sim::simulate(&single_loop_design(trips + extra, 1, flops, 0), &part).total_seconds;
-        prop_assert!(t2 >= t1, "{t2} < {t1}");
+        let t2 = fpga_sim::simulate(&single_loop_design(trips + extra, 1, flops, 0), &part)
+            .total_seconds;
+        assert!(t2 >= t1, "{t2} < {t1}");
     }
+}
 
-    #[test]
-    fn unrolling_never_slows_a_counted_loop(
-        trips in 64u64..100_000,
-        unroll in 1u32..64,
-        flops in 1u64..8,
-    ) {
-        let part = FpgaPart::stratix10();
+#[test]
+fn unrolling_never_slows_a_counted_loop() {
+    let mut g = Gen::new(0xF2);
+    let part = FpgaPart::stratix10();
+    for _ in 0..cases(64) {
+        let trips = g.range(64, 100_000);
+        let unroll = g.range(1, 64) as u32;
+        let flops = g.range(1, 8);
         let base = fpga_sim::simulate(&single_loop_design(trips, 1, flops, 0), &part).total_seconds;
-        let unrolled = fpga_sim::simulate(&single_loop_design(trips, unroll, flops, 0), &part).total_seconds;
+        let unrolled =
+            fpga_sim::simulate(&single_loop_design(trips, unroll, flops, 0), &part).total_seconds;
         // Unrolling divides steady-state cycles; fill depth may make tiny
         // loops marginally worse, hence the epsilon.
-        prop_assert!(unrolled <= base * 1.01, "{unrolled} > {base}");
+        assert!(unrolled <= base * 1.01, "{unrolled} > {base}");
     }
+}
 
-    #[test]
-    fn resources_monotone_in_replication(
-        cu in 1u32..16,
-        flops in 1u64..32,
-    ) {
+#[test]
+fn resources_monotone_in_replication() {
+    let mut g = Gen::new(0xF3);
+    for _ in 0..cases(64) {
+        let cu = g.range(1, 16) as u32;
+        let flops = g.range(1, 32);
         let mk = |c: u32| {
             let k = KernelBuilder::single_task("k")
                 .straight_line(OpMix { f32_ops: flops, ..OpMix::default() })
@@ -61,66 +99,76 @@ proptest! {
         };
         let r1 = fpga_sim::resources::design_resources(&mk(cu));
         let r2 = fpga_sim::resources::design_resources(&mk(cu + 1));
-        prop_assert!(r2.alms > r1.alms);
-        prop_assert!(r2.dsps >= r1.dsps);
+        assert!(r2.alms > r1.alms);
+        assert!(r2.dsps >= r1.dsps);
     }
+}
 
-    #[test]
-    fn fmax_never_exceeds_base(
-        flops in 0u64..2_000,
-        cu in 1u32..8,
-    ) {
+#[test]
+fn fmax_never_exceeds_base() {
+    let mut g = Gen::new(0xF4);
+    for _ in 0..cases(64) {
+        let flops = g.range(0, 2_000);
+        let cu = g.range(1, 8) as u32;
         for part in [FpgaPart::stratix10(), FpgaPart::agilex()] {
             let k = KernelBuilder::single_task("k")
                 .straight_line(OpMix { f32_ops: flops, ..OpMix::default() })
                 .build();
             let d = Design::new("f").with(KernelInstance::new(k).replicated(cu));
             let f = fpga_sim::estimate_fmax(&d, &part);
-            prop_assert!(f <= part.base_fmax_mhz + 1e-9);
-            prop_assert!(f > 0.0);
+            assert!(f <= part.base_fmax_mhz + 1e-9);
+            assert!(f > 0.0);
         }
     }
+}
 
-    #[test]
-    fn memory_bound_time_respects_bandwidth(
-        trips in 1_000u64..500_000,
-        bytes in 64u64..1_024,
-    ) {
-        let part = FpgaPart::agilex();
+#[test]
+fn memory_bound_time_respects_bandwidth() {
+    let mut g = Gen::new(0xF5);
+    let part = FpgaPart::agilex();
+    for _ in 0..cases(64) {
+        let trips = g.range(1_000, 500_000);
+        let bytes = g.range(64, 1_024);
         let t = fpga_sim::simulate(&single_loop_design(trips, 1, 1, bytes), &part).total_seconds;
         let floor = (trips * bytes) as f64 / (part.mem_bw_gbs * 1e9);
         // Can never stream faster than the board's peak DRAM bandwidth.
-        prop_assert!(t >= floor * 0.999, "{t} < {floor}");
+        assert!(t >= floor * 0.999, "{t} < {floor}");
     }
+}
 
-    #[test]
-    fn simulation_is_deterministic(
-        trips in 1u64..50_000,
-        unroll in 1u32..32,
-        flops in 0u64..16,
-        bytes in 0u64..256,
-    ) {
-        let part = FpgaPart::stratix10();
+#[test]
+fn simulation_is_deterministic() {
+    let mut g = Gen::new(0xF6);
+    let part = FpgaPart::stratix10();
+    for _ in 0..cases(64) {
+        let trips = g.range(1, 50_000);
+        let unroll = g.range(1, 32) as u32;
+        let flops = g.range(0, 16);
+        let bytes = g.range(0, 256);
         let d = single_loop_design(trips, unroll, flops, bytes);
         let a = fpga_sim::simulate(&d, &part);
         let b = fpga_sim::simulate(&d, &part);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn invocations_scale_time_linearly(
-        trips in 1_000u64..100_000,
-        invocations in 1u64..20,
-    ) {
-        let part = FpgaPart::stratix10();
+#[test]
+fn invocations_scale_time_linearly() {
+    let mut g = Gen::new(0xF7);
+    let part = FpgaPart::stratix10();
+    for _ in 0..cases(64) {
+        let trips = g.range(1_000, 100_000);
+        let invocations = g.range(1, 20);
         let mk = |inv: u64| {
-            let l = LoopBuilder::new("l", trips).body(OpMix { f32_ops: 2, ..OpMix::default() }).build();
+            let l = LoopBuilder::new("l", trips)
+                .body(OpMix { f32_ops: 2, ..OpMix::default() })
+                .build();
             let k = KernelBuilder::single_task("k").loop_(l).build();
             Design::new("i").with(KernelInstance::new(k).invoked(inv))
         };
         let t1 = fpga_sim::simulate(&mk(1), &part).total_seconds;
         let tn = fpga_sim::simulate(&mk(invocations), &part).total_seconds;
         let ratio = tn / (t1 * invocations as f64);
-        prop_assert!((0.99..1.01).contains(&ratio), "ratio = {ratio}");
+        assert!((0.99..1.01).contains(&ratio), "ratio = {ratio}");
     }
 }

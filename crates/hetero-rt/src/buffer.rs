@@ -17,9 +17,7 @@
 //! written, like their CUDA originals, so that concurrent writes target
 //! disjoint elements or go through the provided atomics.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::error::{Error, Result};
 
@@ -28,6 +26,14 @@ struct Storage<T> {
     // reallocated after construction, so raw pointers into it stay valid.
     data: Mutex<Box<[T]>>,
     len: usize,
+}
+
+impl<T> Storage<T> {
+    /// Host-side access; recovers from poisoning (a panicking kernel on
+    /// another thread must not wedge the host data).
+    fn host(&self) -> MutexGuard<'_, Box<[T]>> {
+        self.data.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A host-managed device buffer of `len` elements of `T`.
@@ -76,31 +82,31 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
     /// Copy the buffer contents back to a host `Vec` (like a host
     /// accessor read or `queue.memcpy` to host).
     pub fn to_vec(&self) -> Vec<T> {
-        self.storage.data.lock().to_vec()
+        self.storage.host().to_vec()
     }
 
     /// Overwrite the buffer from a host slice. Lengths must match.
     pub fn write_from(&self, src: &[T]) {
-        let mut guard = self.storage.data.lock();
+        let mut guard = self.storage.host();
         assert_eq!(src.len(), guard.len(), "write_from length mismatch");
         guard.copy_from_slice(src);
     }
 
     /// Run `f` with read access to the host data.
     pub fn read<R>(&self, f: impl FnOnce(&[T]) -> R) -> R {
-        f(&self.storage.data.lock())
+        f(&self.storage.host())
     }
 
     /// Run `f` with mutable host access (host-side initialisation).
     pub fn write<R>(&self, f: impl FnOnce(&mut [T]) -> R) -> R {
-        f(&mut self.storage.data.lock())
+        f(&mut self.storage.host())
     }
 
     /// Create a device-side view over the whole buffer for use inside a
     /// kernel. The view is `Copy + Send + Sync` so it can be captured by
     /// kernel closures running on multiple threads.
     pub fn view(&self) -> GlobalView<T> {
-        let mut guard = self.storage.data.lock();
+        let mut guard = self.storage.host();
         GlobalView {
             ptr: guard.as_mut_ptr(),
             len: self.storage.len,
@@ -117,7 +123,7 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
                 buffer_len: self.storage.len,
             });
         }
-        let mut guard = self.storage.data.lock();
+        let mut guard = self.storage.host();
         Ok(GlobalView {
             // SAFETY: offset+len <= allocation length, checked above.
             ptr: unsafe { guard.as_mut_ptr().add(offset) },

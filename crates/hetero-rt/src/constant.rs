@@ -9,9 +9,7 @@
 //! deterministic error instead of undefined behaviour, so the bug class
 //! is testable.
 
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard};
 
 use crate::error::{Error, Result};
 
@@ -35,23 +33,28 @@ impl<T: Copy + Send + Sync + 'static> ConstantMemory<T> {
         ConstantMemory { data: Arc::new(RwLock::new(None)), name }
     }
 
+    fn read_guard(&self) -> RwLockReadGuard<'_, Option<Box<[T]>>> {
+        self.data.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Upload the constant data (like `cudaMemcpyToSymbol`). May be
     /// called once; re-uploads replace the contents (CUDA allows this
     /// between launches).
     pub fn upload(&self, values: &[T]) {
-        *self.data.write() = Some(values.to_vec().into_boxed_slice());
+        *self.data.write().unwrap_or_else(PoisonError::into_inner) =
+            Some(values.to_vec().into_boxed_slice());
     }
 
     /// Whether the symbol has been initialised.
     pub fn is_initialized(&self) -> bool {
-        self.data.read().is_some()
+        self.read_guard().is_some()
     }
 
     /// Read element `i`. Fails with [`Error::UnsupportedFeature`]-style
     /// diagnostics if the symbol was never uploaded — the checked
     /// version of the DPCT-wrapper segfault.
     pub fn get(&self, i: usize) -> Result<T> {
-        let guard = self.data.read();
+        let guard = self.read_guard();
         match guard.as_ref() {
             Some(d) => d.get(i).copied().ok_or(Error::AccessOutOfBounds {
                 offset: i,
@@ -67,7 +70,7 @@ impl<T: Copy + Send + Sync + 'static> ConstantMemory<T> {
 
     /// Snapshot the contents (kernel-side "load the whole table once").
     pub fn to_vec(&self) -> Result<Vec<T>> {
-        let guard = self.data.read();
+        let guard = self.read_guard();
         guard.as_ref().map(|d| d.to_vec()).ok_or(Error::UnsupportedFeature {
             feature: "read of uninitialised constant memory",
             device: self.name.to_string(),

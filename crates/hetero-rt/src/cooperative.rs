@@ -95,9 +95,8 @@ mod tests {
             });
         })
         .unwrap();
-        let out = b.to_vec();
-        for i in 0..n {
-            assert_eq!(out[i], ((n - 1 - i) as u32) * 3);
+        for (i, &v) in b.to_vec().iter().enumerate() {
+            assert_eq!(v, ((n - 1 - i) as u32) * 3);
         }
     }
 

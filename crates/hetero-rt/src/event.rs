@@ -36,10 +36,17 @@ pub struct ProfilingInfo {
     pub started: Instant,
     /// When the kernel finished.
     pub ended: Instant,
+    /// Time spent handing the launch to the persistent worker pool
+    /// (publishing the job and waking workers) before the submitting
+    /// thread began executing work-groups itself. Zero for sequential
+    /// launches and for submissions that bypass the pool.
+    pub dispatch: Duration,
 }
 
 impl ProfilingInfo {
-    /// Kernel execution time (the SYCL-event / CUDA-event view).
+    /// Kernel execution time (the SYCL-event / CUDA-event view). This
+    /// window still contains [`ProfilingInfo::dispatch_time`]; subtract
+    /// it (see [`ProfilingInfo::compute_time`]) for pure group execution.
     pub fn kernel_time(&self) -> Duration {
         self.ended.duration_since(self.started)
     }
@@ -53,6 +60,20 @@ impl ProfilingInfo {
     /// Launch overhead alone (submit→start).
     pub fn overhead(&self) -> Duration {
         self.started.duration_since(self.submitted)
+    }
+
+    /// Pool-dispatch overhead inside the kernel window: the runtime cost
+    /// of the launch itself, as opposed to the groups' work. This is the
+    /// term the Figure-1 overhead decomposition needs to separate
+    /// per-launch runtime cost from kernel cost.
+    pub fn dispatch_time(&self) -> Duration {
+        self.dispatch
+    }
+
+    /// Kernel time with the pool-dispatch overhead removed — the closest
+    /// analogue of what a GPU timestamp pair would measure.
+    pub fn compute_time(&self) -> Duration {
+        self.kernel_time().saturating_sub(self.dispatch)
     }
 }
 
@@ -111,11 +132,30 @@ mod tests {
         let t0 = Instant::now();
         let t1 = t0 + Duration::from_micros(20);
         let t2 = t1 + Duration::from_micros(100);
-        let p = ProfilingInfo { submitted: t0, started: t1, ended: t2 };
+        let p = ProfilingInfo {
+            submitted: t0,
+            started: t1,
+            ended: t2,
+            dispatch: Duration::from_micros(5),
+        };
         assert_eq!(p.kernel_time(), Duration::from_micros(100));
         assert_eq!(p.invocation_time(), Duration::from_micros(120));
         assert_eq!(p.overhead(), Duration::from_micros(20));
         assert!(p.invocation_time() >= p.kernel_time());
+        assert_eq!(p.dispatch_time(), Duration::from_micros(5));
+        assert_eq!(p.compute_time(), Duration::from_micros(95));
+    }
+
+    #[test]
+    fn compute_time_saturates_when_dispatch_dominates() {
+        let t0 = Instant::now();
+        let p = ProfilingInfo {
+            submitted: t0,
+            started: t0,
+            ended: t0 + Duration::from_micros(1),
+            dispatch: Duration::from_micros(50),
+        };
+        assert_eq!(p.compute_time(), Duration::ZERO);
     }
 
     #[test]

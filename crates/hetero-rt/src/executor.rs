@@ -1,13 +1,17 @@
-//! Work-group executor: distributes independent work-groups over host
-//! threads.
+//! Work-group executor: distributes independent work-groups over the
+//! persistent host thread pool.
 //!
 //! SYCL guarantees no synchronisation between work-groups within a kernel,
-//! so running groups concurrently on a thread pool is semantics-preserving.
-//! Groups are handed out through an atomic counter (work-stealing-lite),
-//! which balances irregular group costs (e.g. Mandelbrot rows near the set
-//! take far longer than rows far from it).
+//! so running groups concurrently is semantics-preserving. Groups are
+//! claimed from the pool in adaptive chunks (see [`crate::pool`]), which
+//! balances irregular group costs (e.g. Mandelbrot rows near the set take
+//! far longer than rows far from it) without serialising thousands of
+//! tiny groups on one hot atomic. Per-group statistics are accumulated
+//! thread-locally per chunk and folded into the launch totals once per
+//! chunk instead of five atomic RMWs per group.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
 use crate::event::LaunchStats;
 use crate::ndrange::{GroupCtx, NdRange};
@@ -15,10 +19,13 @@ use crate::ndrange::{GroupCtx, NdRange};
 /// How many worker threads a launch may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Parallelism {
-    /// One group at a time on the calling thread (deterministic debugging
-    /// and a fair stand-in for Single-Task-style execution).
+    /// One group at a time on the calling thread, in ascending group
+    /// order — bit-for-bit deterministic (and a fair stand-in for
+    /// Single-Task-style execution).
     Sequential,
-    /// Use up to the host's available hardware parallelism.
+    /// Use up to the host's available hardware parallelism (or the
+    /// `HETERO_RT_THREADS` override), resolved once and cached by the
+    /// pool rather than re-queried per launch.
     Auto,
     /// Use exactly `n` worker threads.
     Threads(usize),
@@ -28,11 +35,30 @@ impl Parallelism {
     fn thread_count(self) -> usize {
         match self {
             Parallelism::Sequential => 1,
-            Parallelism::Auto => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            Parallelism::Auto => crate::pool::auto_threads(),
             Parallelism::Threads(n) => n.max(1),
         }
+    }
+}
+
+/// Plain accumulator for one chunk of groups; folded into the shared
+/// atomics once per chunk.
+#[derive(Default)]
+struct ChunkStats {
+    items: u64,
+    barriers_local: u64,
+    barriers_global: u64,
+    local_bytes: usize,
+}
+
+impl ChunkStats {
+    #[inline]
+    fn absorb(&mut self, ctx: &GroupCtx) {
+        let (it, bl, bg, lb) = ctx.stats();
+        self.items += it;
+        self.barriers_local += bl;
+        self.barriers_global += bg;
+        self.local_bytes = self.local_bytes.max(lb);
     }
 }
 
@@ -50,6 +76,93 @@ pub fn run_groups<K>(
 where
     K: Fn(&GroupCtx) + Sync,
 {
+    run_groups_timed(nd, parallelism, local_mem_limit, kernel).0
+}
+
+/// Like [`run_groups`], additionally returning the pool-dispatch
+/// duration (time spent handing the launch to the worker pool before the
+/// submitting thread began executing groups itself). Queues record this
+/// so profiling can split launch overhead from kernel work.
+pub fn run_groups_timed<K>(
+    nd: NdRange,
+    parallelism: Parallelism,
+    local_mem_limit: usize,
+    kernel: &K,
+) -> (LaunchStats, Duration)
+where
+    K: Fn(&GroupCtx) + Sync,
+{
+    let num_groups = nd.num_groups();
+    let groups_range = nd.groups();
+    let threads = parallelism.thread_count().min(num_groups.max(1));
+
+    if threads <= 1 {
+        // Deterministic path: ascending group order on the calling
+        // thread, no pool involvement, no atomics.
+        let mut acc = ChunkStats::default();
+        for g in 0..num_groups {
+            let gid = groups_range.delinearize(g);
+            let ctx = GroupCtx::new(gid, nd, local_mem_limit);
+            kernel(&ctx);
+            acc.absorb(&ctx);
+        }
+        return (
+            LaunchStats {
+                groups: num_groups as u64,
+                items: acc.items,
+                barriers_local: acc.barriers_local,
+                barriers_global: acc.barriers_global,
+                local_bytes: acc.local_bytes,
+            },
+            Duration::ZERO,
+        );
+    }
+
+    let items = AtomicU64::new(0);
+    let barriers_local = AtomicU64::new(0);
+    let barriers_global = AtomicU64::new(0);
+    let local_bytes_max = AtomicUsize::new(0);
+
+    let dispatch = crate::pool::run_job(num_groups, threads, &|start, end| {
+        let mut acc = ChunkStats::default();
+        for g in start..end {
+            let gid = groups_range.delinearize(g);
+            let ctx = GroupCtx::new(gid, nd, local_mem_limit);
+            kernel(&ctx);
+            acc.absorb(&ctx);
+        }
+        items.fetch_add(acc.items, Ordering::Relaxed);
+        barriers_local.fetch_add(acc.barriers_local, Ordering::Relaxed);
+        barriers_global.fetch_add(acc.barriers_global, Ordering::Relaxed);
+        local_bytes_max.fetch_max(acc.local_bytes, Ordering::Relaxed);
+    });
+
+    (
+        LaunchStats {
+            groups: num_groups as u64,
+            items: items.load(Ordering::Relaxed),
+            barriers_local: barriers_local.load(Ordering::Relaxed),
+            barriers_global: barriers_global.load(Ordering::Relaxed),
+            local_bytes: local_bytes_max.load(Ordering::Relaxed),
+        },
+        dispatch,
+    )
+}
+
+/// The pre-pool executor: spawns a fresh `std::thread::scope` with N OS
+/// threads on every call and hands groups out one at a time through a hot
+/// atomic. Retained solely as the baseline for the launch-overhead
+/// microbenchmark (`launch_storm`) so the pool's win stays measurable;
+/// no queue path uses it.
+pub fn run_groups_spawning<K>(
+    nd: NdRange,
+    parallelism: Parallelism,
+    local_mem_limit: usize,
+    kernel: &K,
+) -> LaunchStats
+where
+    K: Fn(&GroupCtx) + Sync,
+{
     let num_groups = nd.num_groups();
     let groups_range = nd.groups();
     let next = AtomicUsize::new(0);
@@ -58,21 +171,19 @@ where
     let barriers_global = AtomicU64::new(0);
     let local_bytes_max = AtomicUsize::new(0);
 
-    let worker = || {
-        loop {
-            let g = next.fetch_add(1, Ordering::Relaxed);
-            if g >= num_groups {
-                break;
-            }
-            let gid = groups_range.delinearize(g);
-            let ctx = GroupCtx::new(gid, nd, local_mem_limit);
-            kernel(&ctx);
-            let (it, bl, bg, lb) = ctx.stats();
-            items.fetch_add(it, Ordering::Relaxed);
-            barriers_local.fetch_add(bl, Ordering::Relaxed);
-            barriers_global.fetch_add(bg, Ordering::Relaxed);
-            local_bytes_max.fetch_max(lb, Ordering::Relaxed);
+    let worker = || loop {
+        let g = next.fetch_add(1, Ordering::Relaxed);
+        if g >= num_groups {
+            break;
         }
+        let gid = groups_range.delinearize(g);
+        let ctx = GroupCtx::new(gid, nd, local_mem_limit);
+        kernel(&ctx);
+        let (it, bl, bg, lb) = ctx.stats();
+        items.fetch_add(it, Ordering::Relaxed);
+        barriers_local.fetch_add(bl, Ordering::Relaxed);
+        barriers_global.fetch_add(bg, Ordering::Relaxed);
+        local_bytes_max.fetch_max(lb, Ordering::Relaxed);
     };
 
     let threads = parallelism.thread_count().min(num_groups.max(1));
@@ -144,6 +255,51 @@ mod tests {
     }
 
     #[test]
+    fn pooled_and_spawning_executors_agree() {
+        let nd = NdRange::d1(2048, 32);
+        let run = |pooled: bool| {
+            let b = Buffer::<u64>::new(2048);
+            let v = b.view();
+            let k = |ctx: &GroupCtx| {
+                ctx.items(|it| {
+                    let i = it.global_linear;
+                    v.set(i, (i as u64).wrapping_mul(2654435761));
+                });
+            };
+            let stats = if pooled {
+                run_groups(nd, Parallelism::Auto, 1 << 20, &k)
+            } else {
+                run_groups_spawning(nd, Parallelism::Auto, 1 << 20, &k)
+            };
+            (stats, b.to_vec())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn stats_identical_across_parallelism_modes() {
+        // Per-chunk folding must produce the same totals as per-group
+        // accumulation, whatever the chunk boundaries were.
+        let nd = NdRange::d1(4096, 16);
+        let run = |p| {
+            run_groups(nd, p, 1 << 20, &|ctx: &GroupCtx| {
+                let _l = ctx.local_array::<u32>(64);
+                ctx.items(|_| {});
+                ctx.barrier(FenceSpace::Local);
+                ctx.items(|_| {});
+                ctx.barrier(FenceSpace::Global);
+            })
+        };
+        let seq = run(Parallelism::Sequential);
+        assert_eq!(seq, run(Parallelism::Auto));
+        assert_eq!(seq, run(Parallelism::Threads(3)));
+        assert_eq!(seq.items, 8192);
+        assert_eq!(seq.barriers_local, 256);
+        assert_eq!(seq.barriers_global, 256);
+        assert_eq!(seq.local_bytes, 256);
+    }
+
+    #[test]
     fn local_bytes_reports_group_peak() {
         let nd = NdRange::d1(8, 4);
         let stats = run_groups(nd, Parallelism::Sequential, 1 << 20, &|ctx: &GroupCtx| {
@@ -155,7 +311,7 @@ mod tests {
     #[test]
     fn uneven_group_costs_are_balanced() {
         // Groups with wildly different costs must all complete; the
-        // atomic-counter scheduler handles the imbalance.
+        // chunk-claiming scheduler handles the imbalance.
         let nd = NdRange::d1(64, 1);
         let b = Buffer::<u32>::new(64);
         let v = b.view();
@@ -168,5 +324,14 @@ mod tests {
             v.set(g, (acc as u32).wrapping_add(1).max(1));
         });
         assert!(b.to_vec().iter().all(|&x| x != 0));
+    }
+
+    #[test]
+    fn dispatch_time_zero_for_sequential() {
+        let nd = NdRange::d1(256, 16);
+        let (_, d) = run_groups_timed(nd, Parallelism::Sequential, 1 << 20, &|ctx: &GroupCtx| {
+            ctx.items(|_| {});
+        });
+        assert_eq!(d, Duration::ZERO);
     }
 }

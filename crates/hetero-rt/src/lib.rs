@@ -21,11 +21,14 @@
 //! ## Execution model
 //!
 //! Kernels execute *functionally* on host threads: work-groups are
-//! distributed over a pool of OS threads (work-groups are independent in
-//! SYCL, so this parallelisation is semantics-preserving), and the
-//! work-items *within* a group run as explicit per-phase iteration, which
-//! is the standard technique for executing barrier-synchronised SIMT code
-//! on a CPU. Timing of the modelled accelerators is *not* done here — the
+//! distributed over a persistent, process-wide worker pool ([`pool`]) —
+//! work-groups are independent in SYCL, so this parallelisation is
+//! semantics-preserving — and the work-items *within* a group run as
+//! explicit per-phase iteration, which is the standard technique for
+//! executing barrier-synchronised SIMT code on a CPU. The pool is
+//! created lazily on the first parallel launch and reused for every
+//! subsequent one, so iterative applications pay thread-creation cost
+//! once per process instead of once per kernel launch. Timing of the modelled accelerators is *not* done here — the
 //! `device-model` and `fpga-sim` crates consume work profiles instead.
 //!
 //! ## Example
@@ -57,6 +60,7 @@ pub mod group_algorithms;
 pub mod local;
 pub mod ndrange;
 pub mod pipe;
+pub mod pool;
 pub mod queue;
 pub mod reduction;
 pub mod usm;

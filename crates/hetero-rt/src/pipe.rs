@@ -3,8 +3,10 @@
 //! On Intel FPGAs, pipes are on-chip FIFOs that let concurrently running
 //! kernels stream data to each other without touching global memory — the
 //! mechanism behind the paper's 510× KMeans speedup (Figure 3) and the
-//! CFD memory-access decoupling. We model a pipe as a bounded channel;
-//! producer and consumer kernels run as concurrent host threads (see
+//! CFD memory-access decoupling. We model a pipe as a bounded ring buffer
+//! guarded by a `Mutex` + two `Condvar`s (no external channel crate, so
+//! the runtime builds offline); producer and consumer kernels run as
+//! concurrent host threads (see
 //! [`crate::queue::Queue::submit_concurrent`]).
 //!
 //! Blocking operations carry a generous timeout so that a mis-designed
@@ -12,35 +14,41 @@
 //! writes) is diagnosed as [`Error::PipeDeadlock`] instead of hanging the
 //! test suite.
 
-use std::time::Duration;
-
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use crate::error::{Error, Result};
 
 /// Default blocking-op timeout before a deadlock is diagnosed.
 const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
 
+struct Inner<T> {
+    fifo: Mutex<VecDeque<T>>,
+    /// Signalled when an element is popped (writers wait on this).
+    not_full: Condvar,
+    /// Signalled when an element is pushed (readers wait on this).
+    not_empty: Condvar,
+    capacity: usize,
+}
+
 /// A bounded FIFO connecting two kernels, like `sycl::ext::intel::pipe`.
 ///
 /// Cloning yields another handle to the same FIFO (a pipe endpoint is
 /// usually captured by both the producer and the consumer closure).
 pub struct Pipe<T> {
-    tx: Sender<T>,
-    rx: Receiver<T>,
-    capacity: usize,
+    inner: Arc<Inner<T>>,
     timeout: Duration,
 }
 
 impl<T> Clone for Pipe<T> {
     fn clone(&self) -> Self {
-        Pipe {
-            tx: self.tx.clone(),
-            rx: self.rx.clone(),
-            capacity: self.capacity,
-            timeout: self.timeout,
-        }
+        Pipe { inner: Arc::clone(&self.inner), timeout: self.timeout }
     }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl<T: Send + 'static> Pipe<T> {
@@ -56,48 +64,93 @@ impl<T: Send + 'static> Pipe<T> {
     /// diagnosis quickly).
     pub fn with_capacity_and_timeout(capacity: usize, timeout: Duration) -> Self {
         let cap = capacity.max(1);
-        let (tx, rx) = bounded(cap);
-        Pipe { tx, rx, capacity: cap, timeout }
+        Pipe {
+            inner: Arc::new(Inner {
+                fifo: Mutex::new(VecDeque::with_capacity(cap)),
+                not_full: Condvar::new(),
+                not_empty: Condvar::new(),
+                capacity: cap,
+            }),
+            timeout,
+        }
     }
 
     /// FIFO capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.inner.capacity
     }
 
     /// Blocking write (like `pipe::write`). Diagnoses deadlock after a
     /// timeout.
     pub fn write(&self, v: T) -> Result<()> {
-        match self.tx.send_timeout(v, self.timeout) {
-            Ok(()) => Ok(()),
-            Err(SendTimeoutError::Timeout(_)) => Err(Error::PipeDeadlock {
-                waited_secs: self.timeout.as_secs(),
-            }),
-            Err(SendTimeoutError::Disconnected(_)) => Err(Error::PipeClosed),
+        let deadline = Instant::now() + self.timeout;
+        let mut fifo = lock(&self.inner.fifo);
+        while fifo.len() >= self.inner.capacity {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(Error::PipeDeadlock { waited_secs: self.timeout.as_secs() });
+            };
+            let (guard, wait) = self
+                .inner
+                .not_full
+                .wait_timeout(fifo, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            fifo = guard;
+            if wait.timed_out() && fifo.len() >= self.inner.capacity {
+                return Err(Error::PipeDeadlock { waited_secs: self.timeout.as_secs() });
+            }
         }
+        fifo.push_back(v);
+        drop(fifo);
+        self.inner.not_empty.notify_one();
+        Ok(())
     }
 
     /// Blocking read (like `pipe::read`). Diagnoses deadlock after a
     /// timeout.
     pub fn read(&self) -> Result<T> {
-        match self.rx.recv_timeout(self.timeout) {
-            Ok(v) => Ok(v),
-            Err(RecvTimeoutError::Timeout) => Err(Error::PipeDeadlock {
-                waited_secs: self.timeout.as_secs(),
-            }),
-            Err(RecvTimeoutError::Disconnected) => Err(Error::PipeClosed),
+        let deadline = Instant::now() + self.timeout;
+        let mut fifo = lock(&self.inner.fifo);
+        loop {
+            if let Some(v) = fifo.pop_front() {
+                drop(fifo);
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(Error::PipeDeadlock { waited_secs: self.timeout.as_secs() });
+            };
+            let (guard, wait) = self
+                .inner
+                .not_empty
+                .wait_timeout(fifo, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            fifo = guard;
+            if wait.timed_out() && fifo.is_empty() {
+                return Err(Error::PipeDeadlock { waited_secs: self.timeout.as_secs() });
+            }
         }
     }
 
     /// Non-blocking write (like the `success`-flag overload of
     /// `pipe::write`). Returns the value back if the FIFO is full.
     pub fn try_write(&self, v: T) -> std::result::Result<(), T> {
-        self.tx.try_send(v).map_err(|e| e.into_inner())
+        let mut fifo = lock(&self.inner.fifo);
+        if fifo.len() >= self.inner.capacity {
+            return Err(v);
+        }
+        fifo.push_back(v);
+        drop(fifo);
+        self.inner.not_empty.notify_one();
+        Ok(())
     }
 
     /// Non-blocking read. Returns `None` if the FIFO is empty.
     pub fn try_read(&self) -> Option<T> {
-        self.rx.try_recv().ok()
+        let v = lock(&self.inner.fifo).pop_front();
+        if v.is_some() {
+            self.inner.not_full.notify_one();
+        }
+        v
     }
 }
 
@@ -182,5 +235,17 @@ mod tests {
         assert_eq!(p.capacity(), 1);
         p.write(9).unwrap();
         assert_eq!(p.read().unwrap(), 9);
+    }
+
+    #[test]
+    fn blocked_writer_resumes_when_reader_drains() {
+        let p = Pipe::with_capacity(1);
+        p.write(1u32).unwrap();
+        let q = p.clone();
+        let t = std::thread::spawn(move || q.write(2u32));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(p.read().unwrap(), 1);
+        t.join().unwrap().unwrap();
+        assert_eq!(p.read().unwrap(), 2);
     }
 }

@@ -14,12 +14,12 @@
 //!   simultaneously and communicate through [`crate::pipe::Pipe`]s, the
 //!   structure of the optimized KMeans design (Figure 3).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::device::Device;
 use crate::error::{Error, Result};
 use crate::event::{Event, LaunchStats, ProfilingInfo};
-use crate::executor::{run_groups, Parallelism};
+use crate::executor::{run_groups_timed, Parallelism};
 use crate::ndrange::{GroupCtx, Item, NdRange, Range};
 
 /// An in-order command queue bound to a device.
@@ -66,12 +66,14 @@ impl Queue {
         name: &'static str,
         submitted: Instant,
         started: Instant,
+        dispatch: Duration,
         stats: LaunchStats,
     ) -> Event {
         let profiling = self.profiling.then(|| ProfilingInfo {
             submitted,
             started,
             ended: Instant::now(),
+            dispatch,
         });
         Event::new(name, profiling, stats)
     }
@@ -101,7 +103,7 @@ impl Queue {
         let padded = total.div_ceil(chunk) * chunk;
         let nd = NdRange { global: Range::d1(padded), local: Range::d1(chunk) };
         let started = Instant::now();
-        let stats = run_groups(
+        let (stats, dispatch) = run_groups_timed(
             nd,
             self.parallelism,
             self.device.caps().local_mem_bytes,
@@ -122,7 +124,7 @@ impl Queue {
                 });
             },
         );
-        self.finish_event(name, submitted, started, stats)
+        self.finish_event(name, submitted, started, dispatch, stats)
     }
 
     /// Launch a work-group kernel over `nd`. `kernel` receives each
@@ -150,13 +152,13 @@ impl Queue {
         let submitted = Instant::now();
         self.check_group_size(&nd, reqd_max)?;
         let started = Instant::now();
-        let stats = run_groups(
+        let (stats, dispatch) = run_groups_timed(
             nd,
             self.parallelism,
             self.device.caps().local_mem_bytes,
             &kernel,
         );
-        Ok(self.finish_event(name, submitted, started, stats))
+        Ok(self.finish_event(name, submitted, started, dispatch, stats))
     }
 
     /// Launch a Single-Task kernel: one logical thread, as in the paper's
@@ -169,13 +171,18 @@ impl Queue {
         let started = Instant::now();
         f();
         let stats = LaunchStats { groups: 1, items: 1, ..LaunchStats::default() };
-        self.finish_event(name, submitted, started, stats)
+        self.finish_event(name, submitted, started, Duration::ZERO, stats)
     }
 
     /// Launch several kernels that run *concurrently* (each on its own
     /// host thread) and usually communicate through pipes. Returns when
     /// all complete. Errors from any kernel (e.g. pipe deadlock) are
     /// propagated; the first error wins.
+    ///
+    /// Deliberately **not** routed through the persistent pool: pipe
+    /// kernels block on FIFO reads/writes for unbounded stretches, and a
+    /// blocked pool worker would stall unrelated launches sharing the
+    /// pool. Dedicated scoped threads keep the pool's workers available.
     pub fn submit_concurrent<F>(&self, name: &'static str, kernels: Vec<F>) -> Result<Event>
     where
         F: FnOnce() -> Result<()> + Send,
@@ -208,7 +215,7 @@ impl Queue {
             return Err(e);
         }
         let stats = LaunchStats { groups: n, items: n, ..LaunchStats::default() };
-        Ok(self.finish_event(name, submitted, started, stats))
+        Ok(self.finish_event(name, submitted, started, Duration::ZERO, stats))
     }
 
     /// Device-to-device buffer copy (like `queue.memcpy` between device

@@ -1,0 +1,29 @@
+//! `HETERO_RT_THREADS` override. Isolated in its own integration-test
+//! binary because the pool reads the variable exactly once, at first use,
+//! for the whole process.
+
+use hetero_rt::pool;
+use hetero_rt::prelude::*;
+
+#[test]
+fn env_override_pins_the_pool_size() {
+    // Must run before anything initialises the pool in this process.
+    std::env::set_var("HETERO_RT_THREADS", "3");
+
+    assert_eq!(pool::auto_threads(), 3);
+    // 1 submitter + 2 workers.
+    assert_eq!(pool::spawned_threads(), 2);
+
+    // Launches still produce correct results at the pinned width.
+    let q = Queue::new(Device::cpu());
+    let b = Buffer::<u32>::new(10_000);
+    let v = b.view();
+    q.parallel_for("pinned", Range::d1(10_000), move |it| {
+        v.set(it.gid(0), it.gid(0) as u32 * 2);
+    });
+    assert!(b.to_vec().iter().enumerate().all(|(i, &x)| x == i as u32 * 2));
+
+    // The cached value must not change even if the env var does.
+    std::env::set_var("HETERO_RT_THREADS", "7");
+    assert_eq!(pool::auto_threads(), 3);
+}

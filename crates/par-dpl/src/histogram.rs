@@ -23,17 +23,11 @@ pub fn histogram_f32(data: &[f32], bins: usize, lo: f32, hi: f32) -> Vec<u64> {
     }
     let chunk = n.div_ceil(threads);
     let mut partials = vec![vec![0u64; bins]; threads];
-    std::thread::scope(|s| {
-        for (t, part) in partials.iter_mut().enumerate() {
-            let lo_i = t * chunk;
-            let hi_i = ((t + 1) * chunk).min(n);
-            let data = &data;
-            let bucket = &bucket;
-            s.spawn(move || {
-                for &v in &data[lo_i..hi_i] {
-                    part[bucket(v)] += 1;
-                }
-            });
+    hetero_rt::pool::parallel_parts(&mut partials, threads, |t, part| {
+        let lo_i = t * chunk;
+        let hi_i = ((t + 1) * chunk).min(n);
+        for &v in &data[lo_i..hi_i] {
+            part[bucket(v)] += 1;
         }
     });
     let mut out = vec![0u64; bins];
@@ -53,16 +47,11 @@ pub fn histogram_u32_mod(data: &[u32], bins: usize) -> Vec<u64> {
     let threads = crate::util::thread_count_for(n, 8192);
     let chunk = n.div_ceil(threads).max(1);
     let mut partials = vec![vec![0u64; bins]; threads];
-    std::thread::scope(|s| {
-        for (t, part) in partials.iter_mut().enumerate() {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            let data = &data;
-            s.spawn(move || {
-                for &v in &data[lo..hi.max(lo)] {
-                    part[v as usize % bins] += 1;
-                }
-            });
+    hetero_rt::pool::parallel_parts(&mut partials, threads, |t, part| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n);
+        for &v in &data[lo..hi.max(lo)] {
+            part[v as usize % bins] += 1;
         }
     });
     let mut out = vec![0u64; bins];
@@ -117,11 +106,13 @@ mod tests {
         assert_eq!(histogram_u32_mod(&[], 4), vec![0; 4]);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_total_count_preserved(data in proptest::collection::vec(-100f32..100.0, 0..2000)) {
+    #[test]
+    fn prop_total_count_preserved() {
+        let mut g = crate::testgen::Gen::new(0x4157);
+        for _ in 0..crate::testgen::cases(64) {
+            let data = g.f32_vec(0, 2000, -100.0, 100.0);
             let h = histogram_f32(&data, 7, -100.0, 100.0);
-            proptest::prop_assert_eq!(h.iter().sum::<u64>(), data.len() as u64);
+            assert_eq!(h.iter().sum::<u64>(), data.len() as u64);
         }
     }
 }

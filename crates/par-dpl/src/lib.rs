@@ -28,6 +28,8 @@
 
 pub mod compact;
 pub mod histogram;
+#[cfg(test)]
+pub(crate) mod testgen;
 pub mod radix_sort;
 pub mod reduce;
 pub mod scan;

@@ -21,17 +21,11 @@ where
     }
     let chunk = n.div_ceil(threads);
     let mut partials = vec![identity; threads];
-    std::thread::scope(|s| {
-        for (t, p) in partials.iter_mut().enumerate() {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            let data = &data;
-            let f = &f;
-            s.spawn(move || {
-                if lo < hi {
-                    *p = data[lo..hi].iter().fold(identity, |a, &b| f(a, b));
-                }
-            });
+    hetero_rt::pool::parallel_parts(&mut partials, threads, |t, p| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n);
+        if lo < hi {
+            *p = data[lo..hi].iter().fold(identity, |a, &b| f(a, b));
         }
     });
     partials.into_iter().fold(identity, f)
@@ -86,13 +80,15 @@ mod tests {
         assert_eq!(a, b);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_min_max_bound_all_elements(data in proptest::collection::vec(-1e6f32..1e6, 1..500)) {
+    #[test]
+    fn prop_min_max_bound_all_elements() {
+        let mut g = crate::testgen::Gen::new(0x4ED0);
+        for _ in 0..crate::testgen::cases(64) {
+            let data = g.f32_vec(1, 500, -1e6, 1e6);
             let lo = reduce_min(&data);
             let hi = reduce_max(&data);
             for &x in &data {
-                proptest::prop_assert!(lo <= x && x <= hi);
+                assert!(lo <= x && x <= hi);
             }
         }
     }

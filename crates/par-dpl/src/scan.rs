@@ -43,18 +43,14 @@ pub fn exclusive_scan_onedpl_style(input: &[u32], output: &mut [u32]) {
     let threads = crate::util::thread_count_for(n, 4096);
     let chunk = n.div_ceil(threads);
 
-    // Phase 1: per-chunk reduction (first read of the input).
+    // Phase 1: per-chunk reduction (first read of the input), on the
+    // persistent runtime pool — no threads spawned per pass.
     let mut totals = vec![0u32; threads];
-    std::thread::scope(|s| {
-        for (t, total) in totals.iter_mut().enumerate() {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            let input = &input;
-            s.spawn(move || {
-                if lo < hi {
-                    *total = input[lo..hi].iter().fold(0u32, |a, &b| a.wrapping_add(b));
-                }
-            });
+    hetero_rt::pool::parallel_parts(&mut totals, threads, |t, total| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n);
+        if lo < hi {
+            *total = input[lo..hi].iter().fold(0u32, |a, &b| a.wrapping_add(b));
         }
     });
 
@@ -67,18 +63,13 @@ pub fn exclusive_scan_onedpl_style(input: &[u32], output: &mut [u32]) {
     }
 
     // Phase 3: per-chunk exclusive scan + offset (second read, one write).
-    std::thread::scope(|s| {
-        for (t, out_chunk) in output.chunks_mut(chunk).enumerate() {
-            let lo = t * chunk;
-            let input = &input;
-            let base = offsets[t];
-            s.spawn(move || {
-                let mut run = base;
-                for (k, o) in out_chunk.iter_mut().enumerate() {
-                    *o = run;
-                    run = run.wrapping_add(input[lo + k]);
-                }
-            });
+    let mut parts: Vec<&mut [u32]> = output.chunks_mut(chunk).collect();
+    hetero_rt::pool::parallel_parts(&mut parts, threads, |t, out_chunk| {
+        let lo = t * chunk;
+        let mut run = offsets[t];
+        for (k, o) in out_chunk.iter_mut().enumerate() {
+            *o = run;
+            run = run.wrapping_add(input[lo + k]);
         }
     });
 }
@@ -110,40 +101,39 @@ pub fn exclusive_scan_cub_style(input: &[u32], output: &mut [u32]) {
     // even when the u32 total is at its maximum.
     let published: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
 
-    std::thread::scope(|s| {
-        for (t, out_chunk) in output.chunks_mut(chunk).enumerate() {
-            let lo = t * chunk;
-            let input = &input;
-            let published = &published;
-            s.spawn(move || {
-                // Single pass over own chunk: exclusive scan into output
-                // while computing the chunk total.
-                let mut local = 0u32;
-                for (k, o) in out_chunk.iter_mut().enumerate() {
-                    *o = local;
-                    local = local.wrapping_add(input[lo + k]);
+    // Runs on the persistent pool. The spin-wait on the predecessor is
+    // safe there because the pool hands out part indices in ascending
+    // order: by the time any thread works on chunk t, chunk t-1 has
+    // already been claimed by a running thread that will publish.
+    let mut parts: Vec<&mut [u32]> = output.chunks_mut(chunk).collect();
+    hetero_rt::pool::parallel_parts(&mut parts, threads, |t, out_chunk| {
+        let lo = t * chunk;
+        // Single pass over own chunk: exclusive scan into output
+        // while computing the chunk total.
+        let mut local = 0u32;
+        for (k, o) in out_chunk.iter_mut().enumerate() {
+            *o = local;
+            local = local.wrapping_add(input[lo + k]);
+        }
+        // Wait for predecessor's running total (chunk 0 starts).
+        let prefix = if t == 0 {
+            0u32
+        } else {
+            loop {
+                let v = published[t - 1].load(Ordering::Acquire);
+                if v != 0 {
+                    break (v - 1) as u32;
                 }
-                // Wait for predecessor's running total (chunk 0 starts).
-                let prefix = if t == 0 {
-                    0u32
-                } else {
-                    loop {
-                        let v = published[t - 1].load(Ordering::Acquire);
-                        if v != 0 {
-                            break (v - 1) as u32;
-                        }
-                        std::hint::spin_loop();
-                    }
-                };
-                // Publish own inclusive total for the successor.
-                published[t].store(1 + u64::from(prefix.wrapping_add(local)), Ordering::Release);
-                // Add the prefix to the chunk.
-                if prefix != 0 {
-                    for o in out_chunk.iter_mut() {
-                        *o = o.wrapping_add(prefix);
-                    }
-                }
-            });
+                std::hint::spin_loop();
+            }
+        };
+        // Publish own inclusive total for the successor.
+        published[t].store(1 + u64::from(prefix.wrapping_add(local)), Ordering::Release);
+        // Add the prefix to the chunk.
+        if prefix != 0 {
+            for o in out_chunk.iter_mut() {
+                *o = o.wrapping_add(prefix);
+            }
         }
     });
 }
@@ -276,14 +266,16 @@ mod tests {
         assert_eq!(l.trip_count, 1 << 20);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_flavors_agree_with_naive(input in proptest::collection::vec(0u32..1000, 0..2000)) {
+    #[test]
+    fn prop_flavors_agree_with_naive() {
+        let mut g = crate::testgen::Gen::new(0x5CA7);
+        for _ in 0..crate::testgen::cases(64) {
+            let input = g.u32_vec(0, 2000, 1000);
             let expect = naive_exclusive(&input);
             for flavor in [ScanFlavor::OneDpl, ScanFlavor::Cub, ScanFlavor::FpgaCustom] {
                 let mut out = vec![0; input.len()];
                 exclusive_scan(flavor, &input, &mut out);
-                proptest::prop_assert_eq!(&out, &expect);
+                assert_eq!(out, expect, "{flavor:?}, n = {}", input.len());
             }
         }
     }

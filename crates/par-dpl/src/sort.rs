@@ -12,15 +12,13 @@ pub fn sort_f32(data: &mut [f32]) {
         data.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         return;
     }
-    // Parallel chunk sort + sequential k-way merge via repeated 2-way
-    // merges (simple, allocation-bounded, deterministic).
+    // Parallel chunk sort (on the persistent runtime pool) + sequential
+    // k-way merge via repeated 2-way merges (simple, allocation-bounded,
+    // deterministic).
     let chunk = n.div_ceil(threads);
-    std::thread::scope(|s| {
-        for piece in data.chunks_mut(chunk) {
-            s.spawn(|| {
-                piece.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            });
-        }
+    let mut pieces: Vec<&mut [f32]> = data.chunks_mut(chunk).collect();
+    hetero_rt::pool::parallel_parts(&mut pieces, threads, |_, piece| {
+        piece.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     });
     // Merge sorted runs pairwise until one run remains.
     let mut run = chunk;
@@ -71,12 +69,11 @@ pub fn sort_by_key<V: Copy>(keys: &mut [u32], values: &mut [V]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
 
     #[test]
     fn sorts_random_data() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let mut data: Vec<f32> = (0..100_000).map(|_| rng.gen_range(-1e3f32..1e3)).collect();
+        let mut g = crate::testgen::Gen::new(7);
+        let mut data: Vec<f32> = (0..100_000).map(|_| g.f32(-1e3, 1e3)).collect();
         let mut expect = data.clone();
         expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
         sort_f32(&mut data);
@@ -105,17 +102,19 @@ mod tests {
         assert_eq!(vals, vec!['b', 'd', 'a', 'c']);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_sorted_output_is_permutation(data in proptest::collection::vec(-1e5f32..1e5, 0..3000)) {
+    #[test]
+    fn prop_sorted_output_is_permutation() {
+        let mut g = crate::testgen::Gen::new(0x50F7);
+        for _ in 0..crate::testgen::cases(64) {
+            let data = g.f32_vec(0, 3000, -1e5, 1e5);
             let mut sorted = data.clone();
             sort_f32(&mut sorted);
-            proptest::prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+            assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
             let mut a = data.clone();
             let mut b = sorted.clone();
             a.sort_by(|x, y| x.partial_cmp(y).unwrap());
             b.sort_by(|x, y| x.partial_cmp(y).unwrap());
-            proptest::prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
 }

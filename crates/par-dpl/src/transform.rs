@@ -16,17 +16,11 @@ pub fn transform_reduce_f32<T: Sync>(data: &[T], f: impl Fn(&T) -> f32 + Sync) -
     }
     let chunk = n.div_ceil(threads);
     let mut partials = vec![0f32; threads];
-    std::thread::scope(|s| {
-        for (t, p) in partials.iter_mut().enumerate() {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            let data = &data;
-            let f = &f;
-            s.spawn(move || {
-                if lo < hi {
-                    *p = data[lo..hi].iter().map(f).sum();
-                }
-            });
+    hetero_rt::pool::parallel_parts(&mut partials, threads, |t, p| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n);
+        if lo < hi {
+            *p = data[lo..hi].iter().map(&f).sum();
         }
     });
     partials.into_iter().sum()
@@ -44,17 +38,11 @@ pub fn count_if<T: Sync>(data: &[T], pred: impl Fn(&T) -> bool + Sync) -> usize 
     }
     let chunk = n.div_ceil(threads);
     let mut partials = vec![0usize; threads];
-    std::thread::scope(|s| {
-        for (t, p) in partials.iter_mut().enumerate() {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            let data = &data;
-            let pred = &pred;
-            s.spawn(move || {
-                if lo < hi {
-                    *p = data[lo..hi].iter().filter(|x| pred(x)).count();
-                }
-            });
+    hetero_rt::pool::parallel_parts(&mut partials, threads, |t, p| {
+        let lo = t * chunk;
+        let hi = ((t + 1) * chunk).min(n);
+        if lo < hi {
+            *p = data[lo..hi].iter().filter(|x| pred(x)).count();
         }
     });
     partials.into_iter().sum()
@@ -103,13 +91,15 @@ mod tests {
         assert_eq!(dot_f32(&[], &[]), 0.0);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_count_if_bounded_by_len(data in proptest::collection::vec(0u32..100, 0..2000)) {
+    #[test]
+    fn prop_count_if_bounded_by_len() {
+        let mut g = crate::testgen::Gen::new(0xC0F1);
+        for _ in 0..crate::testgen::cases(64) {
+            let data = g.u32_vec(0, 2000, 100);
             let c = count_if(&data, |&x| x % 2 == 0);
-            proptest::prop_assert!(c <= data.len());
+            assert!(c <= data.len());
             let inv = count_if(&data, |&x| x % 2 == 1);
-            proptest::prop_assert_eq!(c + inv, data.len());
+            assert_eq!(c + inv, data.len());
         }
     }
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full offline verification: release build, test suite, and lint-clean
+# clippy. No network access is required (the workspace has path-only
+# dependencies); any registry fetch attempt is a bug.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "verify: build + tests + clippy all green"

@@ -189,3 +189,24 @@ fn timing_constructs_survive_the_full_pass_chain() {
         .count();
     assert_eq!((sycl_events, chrono), (1, 1));
 }
+
+#[test]
+fn all_apps_agree_between_sequential_and_pooled_execution() {
+    // Every application must verify against its golden reference both on
+    // the deterministic sequential executor and on the persistent worker
+    // pool — the pool must not change any app's results.
+    use hetero_rt::executor::Parallelism;
+    let seq = Queue::new(Device::cpu()).with_parallelism(Parallelism::Sequential);
+    // Threads(3) rather than Auto so the pooled dispatch path runs even
+    // when the host reports a single core.
+    let pooled = Queue::new(Device::cpu()).with_parallelism(Parallelism::Threads(3));
+    for app in altis_core::all_apps() {
+        for (label, q) in [("sequential", &seq), ("pooled", &pooled)] {
+            assert!(
+                (app.verify)(q, altis_data::InputSize::S1, altis_core::common::AppVersion::SyclOptimized),
+                "{} failed verification on the {label} executor",
+                app.name
+            );
+        }
+    }
+}
