@@ -1,0 +1,129 @@
+//! `chaos` — suite-level resilience harness.
+//!
+//! Runs every one of the thirteen suite configurations under a seeded
+//! fault-injection plan and asserts the runtime's containment contract:
+//! every run ends either bit-correct or with a *typed* runtime error —
+//! never an unclassified panic, a hang, or a poisoned worker pool. After
+//! each app a pool-health probe launches a clean kernel and checks its
+//! result, so a fault that wedged the shared pool is caught immediately.
+//!
+//! The plan reaches the applications with **zero code changes**: queues
+//! pick up `HETERO_RT_FAULT_SEED` / `HETERO_RT_FAULT_RATE` at
+//! construction (together with a resilient retry policy), so the same
+//! binary drives the whole smoke matrix in `scripts/verify.sh`.
+//!
+//! Usage:
+//! ```text
+//! chaos [--seed N] [--rate R] [--app SUBSTRING] [--timeout-secs T]
+//! ```
+//! `--seed`/`--rate` set the environment variables before the first
+//! queue is created; without them the pre-set environment is used
+//! (defaulting to seed 1, rate 0.05). Exits nonzero if any run breaks
+//! containment.
+
+use std::time::{Duration, Instant};
+
+use altis_core::common::AppVersion;
+use altis_core::suite::{all_apps, run_resilient, ResilienceOutcome};
+use altis_data::InputSize;
+use hetero_rt::prelude::*;
+
+fn pool_is_healthy() -> bool {
+    // A clean, plan-free launch through the shared pool must still
+    // produce exact results after whatever the chaos run did to it.
+    let q = Queue::new(Device::cpu()).with_fault_plan(None);
+    let b = Buffer::<u32>::new(4096);
+    let v = b.view();
+    let r = q.try_parallel_for("pool_probe", Range::d1(4096), move |it| {
+        v.set(it.gid(0), it.gid(0) as u32 ^ 0xA5A5);
+    });
+    r.is_ok()
+        && b.to_vec()
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| x == i as u32 ^ 0xA5A5)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter: Option<String> = None;
+    let mut timeout = Duration::from_secs(60);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                if let Some(v) = it.next() {
+                    std::env::set_var("HETERO_RT_FAULT_SEED", v);
+                }
+            }
+            "--rate" => {
+                if let Some(v) = it.next() {
+                    std::env::set_var("HETERO_RT_FAULT_RATE", v);
+                }
+            }
+            "--app" => filter = it.next().cloned(),
+            "--timeout-secs" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    timeout = Duration::from_secs(v);
+                }
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    if std::env::var_os("HETERO_RT_FAULT_SEED").is_none() {
+        std::env::set_var("HETERO_RT_FAULT_SEED", "1");
+    }
+    if std::env::var_os("HETERO_RT_FAULT_RATE").is_none() {
+        std::env::set_var("HETERO_RT_FAULT_RATE", "0.05");
+    }
+
+    let plan = FaultPlan::env_plan().expect("fault plan from environment");
+    println!(
+        "chaos: seed {} rate {} over the {}-app suite (timeout {}s/app)",
+        plan.seed(),
+        plan.rate(),
+        all_apps().len(),
+        timeout.as_secs()
+    );
+
+    let mut broken = 0u32;
+    let t0 = Instant::now();
+    for app in all_apps() {
+        if let Some(f) = &filter {
+            if !app.name.to_lowercase().contains(&f.to_lowercase()) {
+                continue;
+            }
+        }
+        let q = Queue::new(Device::cpu());
+        let outcome = run_resilient(&app, q, InputSize::S1, AppVersion::SyclBaseline, timeout);
+        let healthy = pool_is_healthy();
+        let verdict = match (&outcome, healthy) {
+            (o, true) if o.is_contained() => "contained",
+            (_, false) => "POOL BROKEN",
+            _ => "NOT CONTAINED",
+        };
+        let detail = match &outcome {
+            ResilienceOutcome::Correct => "correct results".to_string(),
+            ResilienceOutcome::TypedError(e) => format!("typed error: {e}"),
+            ResilienceOutcome::Incorrect => "INCORRECT RESULTS".to_string(),
+            ResilienceOutcome::Panicked(m) => format!("UNTYPED PANIC: {m}"),
+            ResilienceOutcome::TimedOut => "HANG (watchdog fired)".to_string(),
+        };
+        println!("  {:<12} {verdict:<14} {detail}", app.name);
+        if !outcome.is_contained() || !healthy {
+            broken += 1;
+        }
+    }
+    println!(
+        "chaos: done in {:.2?}, {} faults injected, {} containment violation(s)",
+        t0.elapsed(),
+        plan.injected(),
+        broken
+    );
+    if broken > 0 {
+        std::process::exit(1);
+    }
+}

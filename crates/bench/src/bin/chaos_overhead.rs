@@ -1,0 +1,127 @@
+//! `chaos_overhead` — cost of the fault-injection hooks when injection
+//! is disabled.
+//!
+//! The hardened executor consults an optional fault plan on every launch
+//! and every work-group. This microbenchmark runs the `launch_storm`
+//! workload (many small launches through the persistent pool) in two
+//! configurations:
+//!
+//! * **no plan** — `plan = None`, the default for every queue;
+//! * **idle plan** — a plan with rate 0.0 attached, so every hook runs
+//!   its checks but injects nothing (the chaos matrix's control arm).
+//!
+//! and reports the relative overhead, which must stay under 2%. Writes
+//! `BENCH_chaos_overhead.json` (or the path given as the first argument).
+//!
+//! Usage:
+//! ```text
+//! chaos_overhead [out.json] [--launches N]
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hetero_rt::executor::{run_groups_contained, Parallelism};
+use hetero_rt::{Buffer, FaultPlan, GroupCtx, NdRange};
+
+const DEFAULT_LAUNCHES: usize = 10_000;
+const ITEMS: usize = 4096;
+const GROUP: usize = 64;
+
+/// Median of five timed runs of `launches` back-to-back launches.
+fn storm(launches: usize, f: impl Fn()) -> Duration {
+    f(); // warm-up (first pooled launch spawns the workers)
+    let mut samples: Vec<Duration> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..launches {
+                f();
+            }
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[2]
+}
+
+fn main() {
+    if std::env::var_os("HETERO_RT_THREADS").is_none() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        std::env::set_var("HETERO_RT_THREADS", hw.max(4).to_string());
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_chaos_overhead.json".to_string();
+    let mut launches = DEFAULT_LAUNCHES;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--launches" {
+            launches = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_LAUNCHES);
+        } else {
+            out_path = a.clone();
+        }
+    }
+
+    let nd = NdRange::d1(ITEMS, GROUP);
+    let buf = Buffer::<f32>::new(ITEMS);
+    let view = buf.view();
+    let kernel = |ctx: &GroupCtx| {
+        ctx.items(|item| {
+            let i = item.global_linear;
+            view.set(i, (i as f32).mul_add(1.5, 0.25));
+        });
+    };
+
+    let threads = hetero_rt::pool::auto_threads();
+    println!(
+        "chaos overhead: {launches} launches x {ITEMS} items / {GROUP}-item groups, {threads} threads"
+    );
+
+    let idle_plan = Arc::new(FaultPlan::new(1, 0.0));
+    let no_plan = storm(launches, || {
+        run_groups_contained(nd, Parallelism::Auto, 1 << 20, "storm", None, &kernel)
+            .expect("clean launch");
+    });
+    let with_plan = storm(launches, || {
+        run_groups_contained(
+            nd,
+            Parallelism::Auto,
+            1 << 20,
+            "storm",
+            Some(&idle_plan),
+            &kernel,
+        )
+        .expect("clean launch");
+    });
+
+    let per = |d: Duration| d.as_secs_f64() / launches as f64 * 1e6;
+    let overhead_pct =
+        (with_plan.as_secs_f64() / no_plan.as_secs_f64() - 1.0) * 100.0;
+    println!("  no plan   : {no_plan:>10.3?} total, {:>8.2} us/launch", per(no_plan));
+    println!("  idle plan : {with_plan:>10.3?} total, {:>8.2} us/launch", per(with_plan));
+    println!("  fault-check hook overhead: {overhead_pct:+.2}% (target < 2%)");
+    assert_eq!(idle_plan.injected(), 0, "an idle plan must never inject");
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"benchmark\": \"chaos_overhead\",\n  \"launches\": {launches},\n  \
+         \"items_per_launch\": {ITEMS},\n  \"group_size\": {GROUP},\n  \"threads\": {threads},\n  \
+         \"no_plan_total_s\": {:.6},\n  \"idle_plan_total_s\": {:.6},\n  \
+         \"no_plan_us_per_launch\": {:.3},\n  \"idle_plan_us_per_launch\": {:.3},\n  \
+         \"overhead_pct\": {:.3},\n  \"target_pct\": 2.0\n}}\n",
+        no_plan.as_secs_f64(),
+        with_plan.as_secs_f64(),
+        per(no_plan),
+        per(with_plan),
+        overhead_pct,
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write '{out_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

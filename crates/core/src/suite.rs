@@ -1,6 +1,12 @@
 //! Suite registry: the thirteen benchmark configurations of Figure 2
 //! (twelve applications, CFD in FP32 and FP64), with uniform entry
-//! points for the harness.
+//! points for the harness — plus the resilience harness
+//! ([`run_resilient`]) that executes a configuration under fault
+//! injection and classifies how it ended.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::time::Duration;
 
 use altis_data::InputSize;
 use device_model::WorkProfile;
@@ -212,6 +218,101 @@ pub fn all_apps() -> Vec<AppEntry> {
     ]
 }
 
+/// How one fault-injected run of a suite configuration ended. The
+/// containment contract of the runtime is that every run ends in one of
+/// the first three states — [`ResilienceOutcome::is_contained`] — never
+/// an unclassified panic, a hang, or a poisoned worker pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilienceOutcome {
+    /// The app completed and its results matched the golden reference.
+    Correct,
+    /// The app surfaced a typed runtime [`Error`] (directly, or as the
+    /// payload/`Debug` text of an `unwrap` on one).
+    TypedError(String),
+    /// The app completed but its results diverged from the reference —
+    /// the outcome fault injection must never cause (injected faults
+    /// either retry cleanly or abort the run with a typed error).
+    Incorrect,
+    /// The app panicked with a payload that is not a typed [`Error`]:
+    /// containment failed.
+    Panicked(String),
+    /// The watchdog expired: the run hung.
+    TimedOut,
+}
+
+impl ResilienceOutcome {
+    /// Whether the run honoured the containment contract (finished, and
+    /// any failure was typed). `Incorrect` is *not* contained: a fault
+    /// that silently corrupts results is the worst failure mode of all.
+    pub fn is_contained(&self) -> bool {
+        matches!(
+            self,
+            ResilienceOutcome::Correct | ResilienceOutcome::TypedError(_)
+        )
+    }
+}
+
+/// `Error` variant names as they appear in `Debug`/`unwrap` panic text;
+/// used to recognise "`unwrap()` on a typed error" panics as typed.
+const TYPED_ERROR_MARKERS: [&str; 11] = [
+    "WorkGroupTooLarge",
+    "IndivisibleRange",
+    "LocalMemExceeded",
+    "UsmUnsupported",
+    "UnsupportedFeature",
+    "AccessOutOfBounds",
+    "KernelPanicked",
+    "TransientLaunchFailure",
+    "UsmAllocFailed",
+    "PipeClosed",
+    "PipeDeadlock",
+];
+
+fn classify_payload(payload: Box<dyn std::any::Any + Send>) -> ResilienceOutcome {
+    let payload = match payload.downcast::<Error>() {
+        Ok(e) => return ResilienceOutcome::TypedError(e.to_string()),
+        Err(p) => p,
+    };
+    let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        return ResilienceOutcome::Panicked("non-string panic payload".to_string());
+    };
+    if TYPED_ERROR_MARKERS.iter().any(|m| message.contains(m)) {
+        ResilienceOutcome::TypedError(message)
+    } else {
+        ResilienceOutcome::Panicked(message)
+    }
+}
+
+/// Run one configuration's verify function on `queue` under a watchdog
+/// and classify the outcome. A run past `timeout` is reported as
+/// [`ResilienceOutcome::TimedOut`]; its runaway thread is leaked (this
+/// harness exists to *diagnose* hangs, and a leaked thread per timed-out
+/// run is an acceptable price in a chaos binary).
+pub fn run_resilient(
+    app: &AppEntry,
+    queue: Queue,
+    size: InputSize,
+    version: AppVersion,
+    timeout: Duration,
+) -> ResilienceOutcome {
+    let verify = app.verify;
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| verify(&queue, size, version)));
+        let _ = tx.send(r);
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(true)) => ResilienceOutcome::Correct,
+        Ok(Ok(false)) => ResilienceOutcome::Incorrect,
+        Ok(Err(payload)) => classify_payload(payload),
+        Err(_) => ResilienceOutcome::TimedOut,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +348,73 @@ mod tests {
                 assert!(d.is_some(), "{}", app.name);
             }
         }
+    }
+
+    fn harness_entry(verify: fn(&Queue, InputSize, AppVersion) -> bool) -> AppEntry {
+        AppEntry {
+            name: "harness-probe",
+            work_profile: crate::mandelbrot::work_profile,
+            cuda_module: crate::mandelbrot::cuda_module,
+            fpga_design: |s, opt, p| Some(crate::mandelbrot::fpga_design(s, opt, p)),
+            verify,
+        }
+    }
+
+    #[test]
+    fn run_resilient_classifies_every_ending() {
+        let t = Duration::from_secs(5);
+        let q = || Queue::new(Device::cpu());
+
+        let app = harness_entry(|_, _, _| true);
+        assert_eq!(run_resilient(&app, q(), InputSize::S1, AppVersion::SyclBaseline, t),
+            ResilienceOutcome::Correct);
+
+        let app = harness_entry(|_, _, _| false);
+        let o = run_resilient(&app, q(), InputSize::S1, AppVersion::SyclBaseline, t);
+        assert_eq!(o, ResilienceOutcome::Incorrect);
+        assert!(!o.is_contained());
+
+        // A typed Error payload (what Queue::parallel_for re-raises).
+        let app = harness_entry(|_, _, _| {
+            std::panic::panic_any(Error::PipeDeadlock { waited_secs: 1 })
+        });
+        let o = run_resilient(&app, q(), InputSize::S1, AppVersion::SyclBaseline, t);
+        assert!(matches!(o, ResilienceOutcome::TypedError(_)), "{o:?}");
+        assert!(o.is_contained());
+
+        // An unwrap() of a typed error: String payload, recognised text.
+        fn failing_launch() -> hetero_rt::Result<()> {
+            Err(Error::TransientLaunchFailure { kernel: "k", attempts: 3 })
+        }
+        let app = harness_entry(|_, _, _| {
+            failing_launch().unwrap();
+            true
+        });
+        let o = run_resilient(&app, q(), InputSize::S1, AppVersion::SyclBaseline, t);
+        assert!(matches!(o, ResilienceOutcome::TypedError(_)), "{o:?}");
+
+        // An arbitrary panic is containment failure.
+        let app = harness_entry(|_, _, _| panic!("application bug"));
+        let o = run_resilient(&app, q(), InputSize::S1, AppVersion::SyclBaseline, t);
+        assert!(matches!(o, ResilienceOutcome::Panicked(_)), "{o:?}");
+        assert!(!o.is_contained());
+    }
+
+    #[test]
+    fn run_resilient_watchdog_catches_hangs() {
+        let app = harness_entry(|_, _, _| {
+            std::thread::sleep(Duration::from_secs(60));
+            true
+        });
+        let o = run_resilient(
+            &app,
+            Queue::new(Device::cpu()),
+            InputSize::S1,
+            AppVersion::SyclBaseline,
+            Duration::from_millis(100),
+        );
+        assert_eq!(o, ResilienceOutcome::TimedOut);
+        assert!(!o.is_contained());
     }
 
     #[test]

@@ -85,11 +85,27 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
         self.storage.host().to_vec()
     }
 
-    /// Overwrite the buffer from a host slice. Lengths must match.
+    /// Overwrite the buffer from a host slice. Lengths must match; a
+    /// mismatch raises a typed [`Error::AccessOutOfBounds`] panic (see
+    /// [`Buffer::try_write_from`] for the fallible form).
     pub fn write_from(&self, src: &[T]) {
+        self.try_write_from(src)
+            .unwrap_or_else(|e| std::panic::panic_any(e));
+    }
+
+    /// Fallible [`Buffer::write_from`]: `Err(Error::AccessOutOfBounds)`
+    /// when the source slice length differs from the buffer length.
+    pub fn try_write_from(&self, src: &[T]) -> Result<()> {
         let mut guard = self.storage.host();
-        assert_eq!(src.len(), guard.len(), "write_from length mismatch");
+        if src.len() != guard.len() {
+            return Err(Error::AccessOutOfBounds {
+                offset: 0,
+                len: src.len(),
+                buffer_len: guard.len(),
+            });
+        }
         guard.copy_from_slice(src);
+        Ok(())
     }
 
     /// Run `f` with read access to the host data.
@@ -173,6 +189,18 @@ impl<T> Clone for GlobalView<T> {
 unsafe impl<T: Send> Send for GlobalView<T> {}
 unsafe impl<T: Send> Sync for GlobalView<T> {}
 
+/// Raise a typed out-of-bounds panic. Inside a kernel, the executor's
+/// containment layer converts the payload into an
+/// [`Error::AccessOutOfBounds`] return from the launch; on the host it
+/// unwinds with the same typed payload (printed as one concise line by
+/// the runtime's panic hook). Cold and out-of-line so the bounds check in
+/// the accessors stays a single predictable branch.
+#[cold]
+#[inline(never)]
+fn oob(offset: usize, len: usize, buffer_len: usize) -> ! {
+    std::panic::panic_any(Error::AccessOutOfBounds { offset, len, buffer_len })
+}
+
 impl<T: Copy> GlobalView<T> {
     /// Number of elements visible through this view.
     #[inline]
@@ -187,19 +215,51 @@ impl<T: Copy> GlobalView<T> {
     }
 
     /// Load element `i`.
+    ///
+    /// An out-of-bounds index raises a typed [`Error::AccessOutOfBounds`]
+    /// panic that kernel containment turns into an error return from the
+    /// launch (the debug behaviour of a GPU under compute-sanitizer,
+    /// minus the process abort).
     #[inline]
     pub fn get(&self, i: usize) -> T {
-        assert!(i < self.len, "global load out of bounds: {i} >= {}", self.len);
+        if i >= self.len {
+            oob(i, 1, self.len);
+        }
         // SAFETY: bounds checked above; allocation alive via _keepalive.
         unsafe { self.ptr.add(i).read() }
     }
 
-    /// Store `v` into element `i`.
+    /// Fallible load: `Err(Error::AccessOutOfBounds)` instead of a panic.
+    /// The host-side accessor shape for code that handles errors locally.
+    #[inline]
+    pub fn try_get(&self, i: usize) -> Result<T> {
+        if i >= self.len {
+            return Err(Error::AccessOutOfBounds { offset: i, len: 1, buffer_len: self.len });
+        }
+        // SAFETY: bounds checked above; allocation alive via _keepalive.
+        Ok(unsafe { self.ptr.add(i).read() })
+    }
+
+    /// Store `v` into element `i`. Out-of-bounds behaves as in
+    /// [`GlobalView::get`].
     #[inline]
     pub fn set(&self, i: usize, v: T) {
-        assert!(i < self.len, "global store out of bounds: {i} >= {}", self.len);
+        if i >= self.len {
+            oob(i, 1, self.len);
+        }
         // SAFETY: bounds checked above; allocation alive via _keepalive.
         unsafe { self.ptr.add(i).write(v) }
+    }
+
+    /// Fallible store: `Err(Error::AccessOutOfBounds)` instead of a panic.
+    #[inline]
+    pub fn try_set(&self, i: usize, v: T) -> Result<()> {
+        if i >= self.len {
+            return Err(Error::AccessOutOfBounds { offset: i, len: 1, buffer_len: self.len });
+        }
+        // SAFETY: bounds checked above; allocation alive via _keepalive.
+        unsafe { self.ptr.add(i).write(v) }
+        Ok(())
     }
 
     /// Read-modify-write of element `i` on a single thread. Not atomic —
@@ -209,9 +269,12 @@ impl<T: Copy> GlobalView<T> {
         self.set(i, f(self.get(i)));
     }
 
-    /// Copy `src` into the view starting at `offset`.
+    /// Copy `src` into the view starting at `offset`. Out-of-bounds
+    /// ranges raise the same typed payload as [`GlobalView::get`].
     pub fn copy_from_slice(&self, offset: usize, src: &[T]) {
-        assert!(offset + src.len() <= self.len, "copy_from_slice out of bounds");
+        if offset + src.len() > self.len {
+            oob(offset, src.len(), self.len);
+        }
         for (k, &v) in src.iter().enumerate() {
             self.set(offset + k, v);
         }
@@ -223,7 +286,9 @@ impl GlobalView<u32> {
     /// Mirrors `sycl::atomic_ref<uint32_t>::fetch_add`.
     #[inline]
     pub fn atomic_add_u32(&self, i: usize, v: u32) -> u32 {
-        assert!(i < self.len, "atomic out of bounds: {i} >= {}", self.len);
+        if i >= self.len {
+            oob(i, 1, self.len);
+        }
         // SAFETY: element is within the allocation; AtomicU32 has the same
         // layout as u32 and all concurrent accesses to this element in
         // kernels using atomics go through this method.
@@ -237,7 +302,9 @@ impl GlobalView<f32> {
     /// same technique SYCL uses on devices without native float atomics.
     #[inline]
     pub fn atomic_add_f32(&self, i: usize, v: f32) -> f32 {
-        assert!(i < self.len, "atomic out of bounds: {i} >= {}", self.len);
+        if i >= self.len {
+            oob(i, 1, self.len);
+        }
         // SAFETY: as in atomic_add_u32; f32 is reinterpreted bitwise.
         let a = unsafe { &*(self.ptr.add(i) as *const std::sync::atomic::AtomicU32) };
         let mut cur = a.load(std::sync::atomic::Ordering::Relaxed);
@@ -298,10 +365,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
-    fn oob_load_panics() {
+    fn oob_load_panics_with_typed_payload() {
+        crate::fault::install_quiet_hook();
         let b = Buffer::<u8>::new(1);
-        b.view().get(1);
+        let v = b.view();
+        let payload =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || v.get(1))).unwrap_err();
+        let e = payload.downcast::<Error>().expect("payload should be a typed Error");
+        assert_eq!(*e, Error::AccessOutOfBounds { offset: 1, len: 1, buffer_len: 1 });
+    }
+
+    #[test]
+    fn try_accessors_report_bounds_without_panicking() {
+        let b = Buffer::from_slice(&[5u32, 6]);
+        let v = b.view();
+        assert_eq!(v.try_get(1).unwrap(), 6);
+        assert!(matches!(
+            v.try_get(2),
+            Err(Error::AccessOutOfBounds { offset: 2, len: 1, buffer_len: 2 })
+        ));
+        v.try_set(0, 9).unwrap();
+        assert!(v.try_set(5, 0).is_err());
+        assert_eq!(b.to_vec(), vec![9, 6]);
+        assert!(matches!(
+            b.try_write_from(&[1, 2, 3]),
+            Err(Error::AccessOutOfBounds { buffer_len: 2, .. })
+        ));
     }
 
     #[test]

@@ -58,6 +58,37 @@ pub enum Error {
         /// Buffer element count.
         buffer_len: usize,
     },
+    /// A kernel panicked while executing a work-group. The executor
+    /// contains the panic (`catch_unwind` around each group), cancels the
+    /// launch's remaining groups, and surfaces this typed error instead of
+    /// aborting the process; the worker pool stays usable afterwards.
+    KernelPanicked {
+        /// Kernel name the submission was given.
+        kernel: &'static str,
+        /// Linear id of the work-group that panicked (first observed).
+        group: usize,
+        /// The panic message, when the payload carried one.
+        message: String,
+    },
+    /// A kernel submission failed transiently before any work-group ran
+    /// (injected by the fault layer; on real stacks, a driver hiccup).
+    /// Absorbed by [`crate::queue::RetryPolicy`]; reported only once the
+    /// attempt budget is exhausted.
+    TransientLaunchFailure {
+        /// Kernel name the submission was given.
+        kernel: &'static str,
+        /// Submission attempts made before giving up.
+        attempts: u32,
+    },
+    /// A USM allocation returned null on a device whose capability record
+    /// says USM works — the transient flavour of the paper's FPGA
+    /// `malloc_host` failures, injectable by the fault layer.
+    UsmAllocFailed {
+        /// Device name for diagnostics.
+        device: String,
+        /// Requested allocation size in bytes.
+        bytes: usize,
+    },
     /// A pipe operation failed because the other endpoint disconnected.
     PipeClosed,
     /// A blocking pipe operation timed out; in this runtime that is
@@ -94,12 +125,43 @@ impl fmt::Display for Error {
                 "accessor range [{offset}, {}) out of bounds for buffer of length {buffer_len}",
                 offset + len
             ),
+            Error::KernelPanicked { kernel, group, message } => write!(
+                f,
+                "kernel '{kernel}' panicked in work-group {group}: {message}"
+            ),
+            Error::TransientLaunchFailure { kernel, attempts } => write!(
+                f,
+                "kernel '{kernel}' failed to launch after {attempts} attempt(s)"
+            ),
+            Error::UsmAllocFailed { device, bytes } => write!(
+                f,
+                "USM allocation of {bytes} B returned null on device '{device}'"
+            ),
             Error::PipeClosed => write!(f, "pipe endpoint disconnected"),
             Error::PipeDeadlock { waited_secs } => write!(
                 f,
                 "pipe operation blocked for {waited_secs}s; kernels are deadlocked"
             ),
         }
+    }
+}
+
+impl Error {
+    /// Whether a launch failing with this error may safely be re-run on
+    /// the CPU device (the paper's porting workflow as a runtime policy,
+    /// see [`crate::queue::Fallback`]). Eligible errors are raised before
+    /// the kernel produces any side effects — capability mismatches and
+    /// uniform per-group resource checks — so a re-launch cannot observe
+    /// partial results. [`Error::KernelPanicked`] is deliberately *not*
+    /// eligible: groups may already have written global memory.
+    pub fn is_cpu_fallback_eligible(&self) -> bool {
+        matches!(
+            self,
+            Error::UsmUnsupported { .. }
+                | Error::UnsupportedFeature { .. }
+                | Error::LocalMemExceeded { .. }
+                | Error::WorkGroupTooLarge { .. }
+        )
     }
 }
 
@@ -124,6 +186,34 @@ mod tests {
 
         let e = Error::UsmUnsupported { device: "Stratix 10".into() };
         assert!(e.to_string().contains("Stratix 10"));
+    }
+
+    #[test]
+    fn resilience_errors_display_their_context() {
+        let e = Error::KernelPanicked {
+            kernel: "srad_kernel",
+            group: 17,
+            message: "index out of range".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("srad_kernel") && s.contains("17"), "{s}");
+
+        let e = Error::TransientLaunchFailure { kernel: "nw", attempts: 3 };
+        assert!(e.to_string().contains("3 attempt"));
+
+        let e = Error::UsmAllocFailed { device: "Agilex FPGA".into(), bytes: 4096 };
+        assert!(e.to_string().contains("4096"));
+    }
+
+    #[test]
+    fn fallback_eligibility_matches_pre_side_effect_errors() {
+        assert!(Error::UsmUnsupported { device: "x".into() }.is_cpu_fallback_eligible());
+        assert!(Error::LocalMemExceeded { requested: 1, limit: 0 }.is_cpu_fallback_eligible());
+        assert!(Error::WorkGroupTooLarge { requested: 256, limit: 128 }
+            .is_cpu_fallback_eligible());
+        assert!(!Error::KernelPanicked { kernel: "k", group: 0, message: String::new() }
+            .is_cpu_fallback_eligible());
+        assert!(!Error::PipeClosed.is_cpu_fallback_eligible());
     }
 
     #[test]

@@ -77,6 +77,30 @@ impl ProfilingInfo {
     }
 }
 
+/// Resilience record of one launch: what the retry/fallback machinery in
+/// [`crate::queue`] did to get the submission to complete. All-quiet
+/// launches read `{ attempts: 1, faults_absorbed: 0, fallback_device:
+/// None }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceInfo {
+    /// Submission attempts made (≥ 1; > 1 means transient faults were
+    /// retried).
+    pub attempts: u32,
+    /// Transient faults absorbed by [`crate::queue::RetryPolicy`] before
+    /// the launch succeeded.
+    pub faults_absorbed: u32,
+    /// Device name the launch was re-run on when the primary device
+    /// rejected it (see [`crate::queue::Fallback`]); `None` when the
+    /// primary device executed it.
+    pub fallback_device: Option<String>,
+}
+
+impl Default for ResilienceInfo {
+    fn default() -> Self {
+        ResilienceInfo { attempts: 1, faults_absorbed: 0, fallback_device: None }
+    }
+}
+
 /// Handle returned by every queue submission. Our queues are in-order and
 /// synchronous, so the event is complete upon return; `wait()` exists for
 /// API fidelity with the SYCL code it reproduces.
@@ -84,6 +108,7 @@ impl ProfilingInfo {
 pub struct Event {
     profiling: Option<ProfilingInfo>,
     stats: LaunchStats,
+    resilience: ResilienceInfo,
     name: &'static str,
 }
 
@@ -93,7 +118,12 @@ impl Event {
         profiling: Option<ProfilingInfo>,
         stats: LaunchStats,
     ) -> Self {
-        Event { profiling, stats, name }
+        Event { profiling, stats, resilience: ResilienceInfo::default(), name }
+    }
+
+    pub(crate) fn with_resilience(mut self, resilience: ResilienceInfo) -> Self {
+        self.resilience = resilience;
+        self
     }
 
     /// Block until the work completes. (No-op: submissions are
@@ -120,6 +150,11 @@ impl Event {
     /// Executor statistics for this launch.
     pub fn stats(&self) -> LaunchStats {
         self.stats
+    }
+
+    /// What the retry/fallback machinery did to complete this launch.
+    pub fn resilience(&self) -> &ResilienceInfo {
+        &self.resilience
     }
 }
 
@@ -164,5 +199,21 @@ mod tests {
         assert!(e.profiling().is_none());
         assert!(e.kernel_time().is_none());
         assert_eq!(e.name(), "k");
+    }
+
+    #[test]
+    fn resilience_defaults_to_quiet_launch() {
+        let e = Event::new("k", None, LaunchStats::default());
+        assert_eq!(
+            *e.resilience(),
+            ResilienceInfo { attempts: 1, faults_absorbed: 0, fallback_device: None }
+        );
+        let e = e.with_resilience(ResilienceInfo {
+            attempts: 3,
+            faults_absorbed: 2,
+            fallback_device: Some("cpu".into()),
+        });
+        assert_eq!(e.resilience().attempts, 3);
+        assert_eq!(e.resilience().fallback_device.as_deref(), Some("cpu"));
     }
 }

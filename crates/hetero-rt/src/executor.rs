@@ -10,10 +10,14 @@
 //! thread-locally per chunk and folded into the launch totals once per
 //! chunk instead of five atomic RMWs per group.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::error::{Error, Result};
 use crate::event::LaunchStats;
+use crate::fault::{classify_panic, FaultPlan};
 use crate::ndrange::{GroupCtx, NdRange};
 
 /// How many worker threads a launch may use.
@@ -67,6 +71,10 @@ impl ChunkStats {
 ///
 /// `local_mem_limit` bounds each group's shared-memory allocations (the
 /// device capacity).
+///
+/// A panicking kernel does not abort the process: the panic is contained
+/// (see [`run_groups_contained`]) and re-raised here on the calling
+/// thread as a typed [`Error`] payload.
 pub fn run_groups<K>(
     nd: NdRange,
     parallelism: Parallelism,
@@ -92,21 +100,66 @@ pub fn run_groups_timed<K>(
 where
     K: Fn(&GroupCtx) + Sync,
 {
+    run_groups_contained(nd, parallelism, local_mem_limit, "<kernel>", None, kernel)
+        .unwrap_or_else(|e| std::panic::panic_any(e))
+}
+
+/// The containment-aware executor core every queue launch runs through.
+///
+/// Each work-group executes under `catch_unwind`; the first panic cancels
+/// the launch (remaining groups are skipped via a shared flag, already
+/// claimed pool chunks drain cheaply) and is classified into a typed
+/// error: typed payloads (injected faults, buffer bounds panics,
+/// local-memory capacity panics) unwrap to their [`Error`], anything else
+/// becomes [`Error::KernelPanicked`] carrying the panic message. The
+/// worker pool is untouched by the panic and stays usable.
+///
+/// When `plan` is `Some`, the fault layer is consulted before every group
+/// (a stateless hash decision, see [`FaultPlan::should_panic`]); when
+/// `None`, the per-group cost is one branch — the overhead bounded by the
+/// `chaos_overhead` microbenchmark.
+pub fn run_groups_contained<K>(
+    nd: NdRange,
+    parallelism: Parallelism,
+    local_mem_limit: usize,
+    kernel_name: &'static str,
+    plan: Option<&FaultPlan>,
+    kernel: &K,
+) -> Result<(LaunchStats, Duration)>
+where
+    K: Fn(&GroupCtx) + Sync,
+{
+    crate::fault::install_quiet_hook();
     let num_groups = nd.num_groups();
     let groups_range = nd.groups();
     let threads = parallelism.thread_count().min(num_groups.max(1));
+
+    let run_one = |g: usize, acc: &mut ChunkStats| -> std::result::Result<(), Error> {
+        let gid = groups_range.delinearize(g);
+        let ctx = GroupCtx::new(gid, nd, local_mem_limit);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(p) = plan {
+                p.maybe_panic(kernel_name, g);
+            }
+            kernel(&ctx);
+        }));
+        match r {
+            Ok(()) => {
+                acc.absorb(&ctx);
+                Ok(())
+            }
+            Err(payload) => Err(classify_panic(kernel_name, g, payload)),
+        }
+    };
 
     if threads <= 1 {
         // Deterministic path: ascending group order on the calling
         // thread, no pool involvement, no atomics.
         let mut acc = ChunkStats::default();
         for g in 0..num_groups {
-            let gid = groups_range.delinearize(g);
-            let ctx = GroupCtx::new(gid, nd, local_mem_limit);
-            kernel(&ctx);
-            acc.absorb(&ctx);
+            run_one(g, &mut acc)?;
         }
-        return (
+        return Ok((
             LaunchStats {
                 groups: num_groups as u64,
                 items: acc.items,
@@ -115,21 +168,30 @@ where
                 local_bytes: acc.local_bytes,
             },
             Duration::ZERO,
-        );
+        ));
     }
 
     let items = AtomicU64::new(0);
     let barriers_local = AtomicU64::new(0);
     let barriers_global = AtomicU64::new(0);
     let local_bytes_max = AtomicUsize::new(0);
+    let cancel = AtomicBool::new(false);
+    let failure: Mutex<Option<Error>> = Mutex::new(None);
 
-    let dispatch = crate::pool::run_job(num_groups, threads, &|start, end| {
+    let (dispatch, stray_payload) = crate::pool::run_job_catch(num_groups, threads, &|start, end| {
         let mut acc = ChunkStats::default();
         for g in start..end {
-            let gid = groups_range.delinearize(g);
-            let ctx = GroupCtx::new(gid, nd, local_mem_limit);
-            kernel(&ctx);
-            acc.absorb(&ctx);
+            if cancel.load(Ordering::Relaxed) {
+                break; // launch canceled: drain the claimed chunk cheaply
+            }
+            if let Err(e) = run_one(g, &mut acc) {
+                cancel.store(true, Ordering::Relaxed);
+                failure
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .get_or_insert(e);
+                break;
+            }
         }
         items.fetch_add(acc.items, Ordering::Relaxed);
         barriers_local.fetch_add(acc.barriers_local, Ordering::Relaxed);
@@ -137,7 +199,20 @@ where
         local_bytes_max.fetch_max(acc.local_bytes, Ordering::Relaxed);
     });
 
-    (
+    // Per-group catch_unwind means chunks themselves cannot panic; a
+    // stray payload would indicate a bug in the stat folding above.
+    if let Some(payload) = stray_payload {
+        return Err(classify_panic(kernel_name, usize::MAX, payload));
+    }
+    if let Some(e) = failure
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+    {
+        return Err(e);
+    }
+
+    Ok((
         LaunchStats {
             groups: num_groups as u64,
             items: items.load(Ordering::Relaxed),
@@ -146,7 +221,7 @@ where
             local_bytes: local_bytes_max.load(Ordering::Relaxed),
         },
         dispatch,
-    )
+    ))
 }
 
 /// The pre-pool executor: spawns a fresh `std::thread::scope` with N OS
@@ -324,6 +399,95 @@ mod tests {
             v.set(g, (acc as u32).wrapping_add(1).max(1));
         });
         assert!(b.to_vec().iter().all(|&x| x != 0));
+    }
+
+    #[test]
+    fn kernel_panic_contained_in_both_modes() {
+        for p in [Parallelism::Sequential, Parallelism::Auto, Parallelism::Threads(3)] {
+            let nd = NdRange::d1(1024, 32);
+            let e = run_groups_contained(nd, p, 1 << 20, "boomer", None, &|ctx: &GroupCtx| {
+                if ctx.group_linear() == 7 {
+                    panic!("deliberate kernel bug");
+                }
+            })
+            .unwrap_err();
+            match e {
+                crate::error::Error::KernelPanicked { kernel, group, message } => {
+                    assert_eq!(kernel, "boomer");
+                    // Sequential hits group 7 exactly; pooled may observe
+                    // it from whichever chunk got there first.
+                    if p == Parallelism::Sequential {
+                        assert_eq!(group, 7);
+                    }
+                    assert!(message.contains("deliberate"), "{message}");
+                }
+                other => panic!("expected KernelPanicked, got {other:?}"),
+            }
+
+            // The executor (and pool) must still run clean work.
+            let b = Buffer::<u32>::new(64);
+            let v = b.view();
+            run_groups(NdRange::d1(64, 8), p, 1 << 20, &|ctx: &GroupCtx| {
+                ctx.items(|it| v.set(it.global_linear, 1));
+            });
+            assert!(b.to_vec().iter().all(|&x| x == 1));
+        }
+    }
+
+    #[test]
+    fn injected_fault_hits_its_target_group() {
+        let plan = crate::fault::FaultPlan::panic_at("victim", 3);
+        let nd = NdRange::d1(512, 64);
+        let e = run_groups_contained(
+            nd,
+            Parallelism::Sequential,
+            1 << 20,
+            "victim",
+            Some(&plan),
+            &|_ctx: &GroupCtx| {},
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                e,
+                crate::error::Error::KernelPanicked { kernel: "victim", group: 3, .. }
+            ),
+            "{e:?}"
+        );
+
+        // Same plan, different kernel name: untouched.
+        let r = run_groups_contained(
+            nd,
+            Parallelism::Sequential,
+            1 << 20,
+            "bystander",
+            Some(&plan),
+            &|_ctx: &GroupCtx| {},
+        );
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn typed_panic_payloads_become_their_error() {
+        // A buffer OOB inside a kernel surfaces as AccessOutOfBounds, not
+        // as a generic KernelPanicked.
+        let b = Buffer::<u32>::new(8);
+        let v = b.view();
+        let e = run_groups_contained(
+            NdRange::d1(16, 16),
+            Parallelism::Sequential,
+            1 << 20,
+            "oob",
+            None,
+            &|ctx: &GroupCtx| {
+                ctx.items(|it| v.set(it.global_linear, 1)); // 8..15 out of bounds
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(e, crate::error::Error::AccessOutOfBounds { offset: 8, .. }),
+            "{e:?}"
+        );
     }
 
     #[test]

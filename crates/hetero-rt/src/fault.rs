@@ -1,0 +1,467 @@
+//! Deterministic, seeded fault injection.
+//!
+//! The paper's FPGA port is a story of runtime failures survived:
+//! `sycl::malloc_host` returning null on Stratix 10/Agilex (Section 4),
+//! work-group sizes exceeding device limits, kernels crashing on
+//! unsupported features. This module lets tests and the chaos harness
+//! *provoke* those failure modes on demand, reproducibly:
+//!
+//! * a [`FaultPlan`] is seeded (the same PCG32/SplitMix64 generators that
+//!   drive `altis-data` input generation) and draws each injection
+//!   decision deterministically from the seed;
+//! * plans are attached per-queue ([`crate::Queue::with_fault_plan`]) or
+//!   process-wide through the environment
+//!   (`HETERO_RT_FAULT_SEED` / `HETERO_RT_FAULT_RATE`, see
+//!   [`FaultPlan::from_env`]);
+//! * four fault kinds are injectable — USM allocation failure, transient
+//!   launch failure, a kernel panic at a chosen (kernel, work-group), and
+//!   pipe stalls — each mapping to a failure mode the paper reports.
+//!
+//! # Determinism
+//!
+//! Kernel-panic decisions are *stateless*: they hash (seed, kernel name,
+//! group index), so the same plan panics the same groups of the same
+//! kernels regardless of how the pool schedules them. Allocation, launch,
+//! and pipe-stall decisions are *sequenced*: each consumes one draw from a
+//! shared counter, so they are reproducible for a fixed submission order
+//! (the common case: a single host thread driving a queue).
+//!
+//! # Containment contract
+//!
+//! An injected kernel panic unwinds with a typed payload that the
+//! executor's containment layer (see [`crate::executor`]) converts back
+//! into [`Error::KernelPanicked`]. The panic never crosses a pool-worker
+//! boundary unhandled and never poisons the pool; tests launch clean
+//! kernels immediately after an injected panic to prove it.
+
+use std::panic::PanicHookInfo;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Once, OnceLock};
+use std::time::Duration;
+
+use altis_data::rng::splitmix64;
+
+use crate::error::Error;
+
+/// One injectable failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A USM allocation returns null (`Error::UsmAllocFailed`) — the
+    /// paper's Stratix 10/Agilex `malloc_host` behaviour, injected even on
+    /// devices whose capability record says USM works.
+    AllocFail,
+    /// A kernel submission fails before any group runs
+    /// (`Error::TransientLaunchFailure`); absorbed by
+    /// [`crate::queue::RetryPolicy`]. Because the failure precedes all
+    /// side effects, retrying is always safe.
+    LaunchTransient,
+    /// A kernel panics while executing a specific work-group
+    /// (`Error::KernelPanicked`); contained by the executor, never
+    /// retried (groups may already have produced side effects).
+    KernelPanic,
+    /// A blocking pipe operation stalls for a few milliseconds before
+    /// proceeding, adding the backpressure jitter that flushes out
+    /// marginal kernel graphs (diagnosed as `Error::PipeDeadlock` by the
+    /// pipe timeout when the graph cannot absorb it).
+    PipeStall,
+}
+
+impl FaultKind {
+    const ALL: [FaultKind; 4] = [
+        FaultKind::AllocFail,
+        FaultKind::LaunchTransient,
+        FaultKind::KernelPanic,
+        FaultKind::PipeStall,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            FaultKind::AllocFail => 1,
+            FaultKind::LaunchTransient => 2,
+            FaultKind::KernelPanic => 4,
+            FaultKind::PipeStall => 8,
+        }
+    }
+}
+
+/// Wrapper marking a panic payload as a *deliberately injected* fault, so
+/// the quiet panic hook suppresses it entirely (a chaos run at rate 0.1
+/// must not flood stderr) while genuine typed panics still get one line.
+pub(crate) struct Injected(pub(crate) Error);
+
+/// Salt constants separating the draw streams of the sequenced sites.
+const SALT_ALLOC: u64 = 0x0041_4c4c_4f43;
+const SALT_LAUNCH: u64 = 0x4c41_554e_4348;
+const SALT_STALL: u64 = 0x0053_5441_4c4c;
+
+/// FNV-1a hash of a kernel name, mixed into stateless panic draws so
+/// different kernels fault at different groups under the same seed.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Cheap to share: queues hold it behind an [`Arc`] and clones of a queue
+/// observe the same draw sequence. A plan with rate `0.0` and no targeted
+/// faults never injects anything (the configuration the overhead
+/// microbenchmark measures).
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: f64,
+    mask: u8,
+    /// Sequenced-draw counter (alloc / launch / stall sites).
+    draws: AtomicU64,
+    /// Total faults injected so far, for observability and tests.
+    injected: AtomicU64,
+    /// Deterministic targeted panic: (kernel, group linear id).
+    target_panic: Option<(&'static str, usize)>,
+    /// Fail the next N launch submissions unconditionally (then stop):
+    /// the deterministic way to test bounded retry.
+    transient_burst: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan injecting every [`FaultKind`] at probability `rate` per
+    /// injection point, driven by `seed`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        install_quiet_hook();
+        FaultPlan {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            mask: FaultKind::ALL.iter().fold(0, |m, k| m | k.bit()),
+            draws: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            target_panic: None,
+            transient_burst: AtomicU64::new(0),
+        }
+    }
+
+    /// Restrict the plan to a subset of fault kinds.
+    pub fn with_kinds(mut self, kinds: &[FaultKind]) -> Self {
+        self.mask = kinds.iter().fold(0, |m, k| m | k.bit());
+        self
+    }
+
+    /// A plan that panics deterministically when `kernel` executes work
+    /// group `group`, and injects nothing else.
+    pub fn panic_at(kernel: &'static str, group: usize) -> Self {
+        let mut p = FaultPlan::new(0, 0.0).with_kinds(&[]);
+        p.target_panic = Some((kernel, group));
+        p
+    }
+
+    /// A plan whose next `n` launch submissions fail transiently (and
+    /// nothing else): the deterministic input for retry-policy tests.
+    pub fn transient_burst(n: u64) -> Self {
+        let p = FaultPlan::new(0, 0.0).with_kinds(&[]);
+        p.transient_burst.store(n, Ordering::Relaxed);
+        p
+    }
+
+    /// Build a plan from `HETERO_RT_FAULT_SEED` / `HETERO_RT_FAULT_RATE`.
+    /// Returns `None` unless both are set and parse (`rate` in `[0, 1]`).
+    pub fn from_env() -> Option<FaultPlan> {
+        let seed: u64 = std::env::var("HETERO_RT_FAULT_SEED").ok()?.trim().parse().ok()?;
+        let rate: f64 = std::env::var("HETERO_RT_FAULT_RATE").ok()?.trim().parse().ok()?;
+        if !(0.0..=1.0).contains(&rate) {
+            return None;
+        }
+        Some(FaultPlan::new(seed, rate))
+    }
+
+    /// The process-wide plan from the environment, resolved once. Queues
+    /// pick this up automatically at construction, which is how the chaos
+    /// smoke matrix drives unmodified application code.
+    pub fn env_plan() -> Option<Arc<FaultPlan>> {
+        static ENV_PLAN: OnceLock<Option<Arc<FaultPlan>>> = OnceLock::new();
+        ENV_PLAN.get_or_init(|| FaultPlan::from_env().map(Arc::new)).clone()
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's per-site injection probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Faults injected so far (all kinds).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn enabled(&self, kind: FaultKind) -> bool {
+        self.mask & kind.bit() != 0
+    }
+
+    /// One sequenced deterministic draw in `[0, 1)` for `salt`.
+    fn draw(&self, salt: u64) -> f64 {
+        let n = self.draws.fetch_add(1, Ordering::Relaxed);
+        let mut s = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt)
+            .wrapping_add(n.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        (splitmix64(&mut s) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn hit(&self, kind: FaultKind, salt: u64) -> bool {
+        if !self.enabled(kind) || self.rate <= 0.0 {
+            return false;
+        }
+        let hit = self.draw(salt) < self.rate;
+        if hit {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Should the next USM allocation return null?
+    pub fn should_fail_alloc(&self) -> bool {
+        self.hit(FaultKind::AllocFail, SALT_ALLOC)
+    }
+
+    /// Should this kernel submission fail transiently (before any group
+    /// executes)?
+    pub fn should_fail_launch(&self, _kernel: &str) -> bool {
+        if self.transient_burst.load(Ordering::Relaxed) > 0 {
+            // Deterministic burst mode: consume one failure.
+            let prev = self.transient_burst.fetch_sub(1, Ordering::Relaxed);
+            if prev > 0 {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            // Lost the race past zero; restore and fall through.
+            self.transient_burst.fetch_add(1, Ordering::Relaxed);
+        }
+        self.hit(FaultKind::LaunchTransient, SALT_LAUNCH)
+    }
+
+    /// Stateless decision: does `kernel` panic at `group`? Independent of
+    /// pool scheduling, so a chaos run is reproducible group-for-group.
+    pub fn should_panic(&self, kernel: &str, group: usize) -> bool {
+        if let Some((k, g)) = self.target_panic {
+            if k == kernel && g == group {
+                return true;
+            }
+        }
+        if !self.enabled(FaultKind::KernelPanic) || self.rate <= 0.0 {
+            return false;
+        }
+        let mut s = self.seed ^ fnv1a(kernel) ^ (group as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        let u = (splitmix64(&mut s) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < self.rate
+    }
+
+    /// Panic with a typed, injected payload if the plan says `kernel`
+    /// faults at `group`. Called by the executor inside its containment
+    /// wrapper, so the panic surfaces as [`Error::KernelPanicked`].
+    pub(crate) fn maybe_panic(&self, kernel: &'static str, group: usize) {
+        if self.should_panic(kernel, group) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            std::panic::panic_any(Injected(Error::KernelPanicked {
+                kernel,
+                group,
+                message: "injected fault".to_string(),
+            }));
+        }
+    }
+
+    /// Sleep for a short deterministic stall if the plan injects one at
+    /// this pipe operation. Returns the stall duration (zero if none),
+    /// which tests use to assert injection happened.
+    pub fn maybe_stall(&self) -> Duration {
+        if !self.enabled(FaultKind::PipeStall) || self.rate <= 0.0 {
+            return Duration::ZERO;
+        }
+        let u = self.draw(SALT_STALL);
+        if u >= self.rate {
+            return Duration::ZERO;
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        // 1–5 ms, derived from the draw so the stall length is as
+        // reproducible as the decision.
+        let ms = 1 + ((u * 1e9) as u64 % 5);
+        let d = Duration::from_millis(ms);
+        std::thread::sleep(d);
+        d
+    }
+}
+
+/// Convert a caught panic payload into a typed runtime error.
+///
+/// * payloads carrying an [`Injected`] fault or a plain [`Error`] (the
+///   typed panics raised by buffer/local-memory bounds checks) unwrap to
+///   that error;
+/// * anything else (a `panic!` in user kernel code) becomes
+///   [`Error::KernelPanicked`] with the panic message preserved.
+pub fn classify_panic(
+    kernel: &'static str,
+    group: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) -> Error {
+    let payload = match payload.downcast::<Injected>() {
+        Ok(inj) => return inj.0,
+        Err(p) => p,
+    };
+    let payload = match payload.downcast::<Error>() {
+        Ok(e) => return *e,
+        Err(p) => p,
+    };
+    let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    Error::KernelPanicked { kernel, group, message }
+}
+
+/// Install (once) a panic hook that keeps typed runtime panics quiet:
+/// injected faults print nothing, typed bounds/capacity panics print one
+/// concise line, and everything else falls through to the previous hook
+/// (so genuine bugs still get a full report and backtrace).
+pub(crate) fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info: &PanicHookInfo<'_>| {
+            if info.payload().downcast_ref::<Injected>().is_some() {
+                return; // deliberate chaos; the executor contains it
+            }
+            if let Some(e) = info.payload().downcast_ref::<Error>() {
+                eprintln!("hetero-rt: contained kernel fault: {e}");
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_injects() {
+        let p = FaultPlan::new(42, 0.0);
+        for _ in 0..1000 {
+            assert!(!p.should_fail_alloc());
+            assert!(!p.should_fail_launch("k"));
+            assert!(!p.should_panic("k", 0));
+        }
+        assert_eq!(p.injected(), 0);
+    }
+
+    #[test]
+    fn full_rate_always_injects() {
+        let p = FaultPlan::new(7, 1.0);
+        assert!(p.should_fail_alloc());
+        assert!(p.should_fail_launch("k"));
+        assert!(p.should_panic("k", 3));
+        assert!(p.injected() >= 2);
+    }
+
+    #[test]
+    fn sequenced_draws_reproduce_from_seed() {
+        let a = FaultPlan::new(1234, 0.3);
+        let b = FaultPlan::new(1234, 0.3);
+        for _ in 0..500 {
+            assert_eq!(a.should_fail_alloc(), b.should_fail_alloc());
+            assert_eq!(a.should_fail_launch("x"), b.should_fail_launch("x"));
+        }
+        assert_eq!(a.injected(), b.injected());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1, 0.5);
+        let b = FaultPlan::new(2, 0.5);
+        let da: Vec<bool> = (0..64).map(|_| a.should_fail_alloc()).collect();
+        let db: Vec<bool> = (0..64).map(|_| b.should_fail_alloc()).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn panic_decisions_are_stateless_and_kernel_specific() {
+        let p = FaultPlan::new(99, 0.2);
+        // Same (kernel, group) always agrees with itself, in any order.
+        let first: Vec<bool> = (0..256).map(|g| p.should_panic("a", g)).collect();
+        let again: Vec<bool> = (0..256).map(|g| p.should_panic("a", g)).collect();
+        assert_eq!(first, again);
+        // Different kernel names fault different groups.
+        let other: Vec<bool> = (0..256).map(|g| p.should_panic("b", g)).collect();
+        assert_ne!(first, other);
+        // Roughly rate-proportional (very loose bounds).
+        let hits = first.iter().filter(|&&h| h).count();
+        assert!(hits > 10 && hits < 150, "{hits} hits at rate 0.2 over 256");
+    }
+
+    #[test]
+    fn targeted_panic_hits_exactly_its_site() {
+        let p = FaultPlan::panic_at("victim", 5);
+        assert!(p.should_panic("victim", 5));
+        assert!(!p.should_panic("victim", 4));
+        assert!(!p.should_panic("other", 5));
+        assert!(!p.should_fail_launch("victim"));
+        assert!(!p.should_fail_alloc());
+    }
+
+    #[test]
+    fn transient_burst_consumes_exactly_n() {
+        let p = FaultPlan::transient_burst(3);
+        assert!(p.should_fail_launch("k"));
+        assert!(p.should_fail_launch("k"));
+        assert!(p.should_fail_launch("k"));
+        assert!(!p.should_fail_launch("k"));
+        assert_eq!(p.injected(), 3);
+    }
+
+    #[test]
+    fn classify_unwraps_typed_payloads() {
+        let e = classify_panic(
+            "k",
+            2,
+            Box::new(Injected(Error::KernelPanicked {
+                kernel: "k",
+                group: 2,
+                message: "injected fault".into(),
+            })),
+        );
+        assert!(matches!(e, Error::KernelPanicked { kernel: "k", group: 2, .. }));
+
+        let e = classify_panic(
+            "k",
+            0,
+            Box::new(Error::AccessOutOfBounds { offset: 9, len: 1, buffer_len: 4 }),
+        );
+        assert_eq!(e, Error::AccessOutOfBounds { offset: 9, len: 1, buffer_len: 4 });
+
+        let e = classify_panic("k", 7, Box::new("boom".to_string()));
+        match e {
+            Error::KernelPanicked { kernel, group, message } => {
+                assert_eq!((kernel, group), ("k", 7));
+                assert_eq!(message, "boom");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stall_respects_mask() {
+        let p = FaultPlan::new(5, 1.0).with_kinds(&[FaultKind::KernelPanic]);
+        assert_eq!(p.maybe_stall(), Duration::ZERO);
+        let p = FaultPlan::new(5, 1.0).with_kinds(&[FaultKind::PipeStall]);
+        assert!(p.maybe_stall() > Duration::ZERO);
+    }
+}

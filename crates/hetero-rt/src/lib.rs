@@ -56,6 +56,7 @@ pub mod device;
 pub mod error;
 pub mod event;
 pub mod executor;
+pub mod fault;
 pub mod group_algorithms;
 pub mod local;
 pub mod ndrange;
@@ -70,11 +71,12 @@ pub use constant::ConstantMemory;
 pub use cooperative::GridCtx;
 pub use device::{Device, DeviceCaps, DeviceKind};
 pub use error::{Error, Result};
-pub use event::{Event, LaunchStats, ProfilingInfo};
+pub use event::{Event, LaunchStats, ProfilingInfo, ResilienceInfo};
+pub use fault::{FaultKind, FaultPlan};
 pub use local::{LocalArray, PrivateArray};
 pub use ndrange::{GroupCtx, Item, NdRange, Range};
 pub use pipe::Pipe;
-pub use queue::Queue;
+pub use queue::{Fallback, Queue, RetryPolicy};
 
 /// Crate-wide prelude bringing the common runtime types into scope,
 /// mirroring `sycl.hpp`'s role in the original code base.
@@ -83,8 +85,9 @@ pub mod prelude {
     pub use crate::device::{Device, DeviceCaps, DeviceKind};
     pub use crate::error::{Error, Result};
     pub use crate::event::Event;
+    pub use crate::fault::{FaultKind, FaultPlan};
     pub use crate::local::{LocalArray, PrivateArray};
     pub use crate::ndrange::{GroupCtx, Item, NdRange, Range};
     pub use crate::pipe::Pipe;
-    pub use crate::queue::Queue;
+    pub use crate::queue::{Fallback, Queue, RetryPolicy};
 }

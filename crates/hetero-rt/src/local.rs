@@ -134,13 +134,15 @@ impl LocalArena {
 
     pub(crate) fn alloc<T: Copy + Default + 'static>(&mut self, len: usize) -> LocalArray<T> {
         let req = len * std::mem::size_of::<T>();
-        assert!(
-            self.bytes + req <= self.limit,
-            "local memory exceeded: {} + {req} B > {} B limit \
-             (the device cannot fit this work-group's shared arrays)",
-            self.bytes,
-            self.limit
-        );
+        if self.bytes + req > self.limit {
+            // Typed payload: kernel containment reports this launch as
+            // Error::LocalMemExceeded (a fallback-eligible capability
+            // error) rather than a generic kernel panic.
+            std::panic::panic_any(crate::error::Error::LocalMemExceeded {
+                requested: self.bytes + req,
+                limit: self.limit,
+            });
+        }
         self.bytes += req;
         LocalArray::new(len)
     }
@@ -179,10 +181,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "local memory exceeded")]
-    fn arena_over_limit_panics() {
-        let mut arena = LocalArena::new(16);
-        let _a = arena.alloc::<f64>(3); // 24 B > 16 B
+    fn arena_over_limit_panics_with_typed_payload() {
+        crate::fault::install_quiet_hook();
+        let payload = std::panic::catch_unwind(|| {
+            let mut arena = LocalArena::new(16);
+            let _a = arena.alloc::<f64>(3); // 24 B > 16 B
+        })
+        .unwrap_err();
+        let e = payload
+            .downcast::<crate::error::Error>()
+            .expect("payload should be a typed Error");
+        assert_eq!(
+            *e,
+            crate::error::Error::LocalMemExceeded { requested: 24, limit: 16 }
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crate::error::{Error, Result};
+use crate::fault::FaultPlan;
 
 /// Default blocking-op timeout before a deadlock is diagnosed.
 const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(30);
@@ -39,11 +40,16 @@ struct Inner<T> {
 pub struct Pipe<T> {
     inner: Arc<Inner<T>>,
     timeout: Duration,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl<T> Clone for Pipe<T> {
     fn clone(&self) -> Self {
-        Pipe { inner: Arc::clone(&self.inner), timeout: self.timeout }
+        Pipe {
+            inner: Arc::clone(&self.inner),
+            timeout: self.timeout,
+            fault: self.fault.clone(),
+        }
     }
 }
 
@@ -72,6 +78,26 @@ impl<T: Send + 'static> Pipe<T> {
                 capacity: cap,
             }),
             timeout,
+            fault: None,
+        }
+    }
+
+    /// Attach a fault plan: blocking operations on this endpoint may be
+    /// deterministically stalled for a few milliseconds before touching
+    /// the FIFO, modelling back-pressure hiccups in the FPGA fabric. The
+    /// stall happens *before* the deadlock deadline is computed, so a
+    /// stalled-but-live pipe graph is never misdiagnosed as deadlocked.
+    pub fn with_fault_plan(mut self, plan: Option<Arc<FaultPlan>>) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    fn stall_if_injected(&self) {
+        if let Some(p) = &self.fault {
+            let d = p.maybe_stall();
+            if !d.is_zero() {
+                std::thread::sleep(d);
+            }
         }
     }
 
@@ -83,6 +109,7 @@ impl<T: Send + 'static> Pipe<T> {
     /// Blocking write (like `pipe::write`). Diagnoses deadlock after a
     /// timeout.
     pub fn write(&self, v: T) -> Result<()> {
+        self.stall_if_injected();
         let deadline = Instant::now() + self.timeout;
         let mut fifo = lock(&self.inner.fifo);
         while fifo.len() >= self.inner.capacity {
@@ -108,6 +135,7 @@ impl<T: Send + 'static> Pipe<T> {
     /// Blocking read (like `pipe::read`). Diagnoses deadlock after a
     /// timeout.
     pub fn read(&self) -> Result<T> {
+        self.stall_if_injected();
         let deadline = Instant::now() + self.timeout;
         let mut fifo = lock(&self.inner.fifo);
         loop {
@@ -235,6 +263,23 @@ mod tests {
         assert_eq!(p.capacity(), 1);
         p.write(9).unwrap();
         assert_eq!(p.read().unwrap(), 9);
+    }
+
+    #[test]
+    fn stalled_pipe_still_delivers_in_order() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let plan = Arc::new(FaultPlan::new(5, 1.0).with_kinds(&[FaultKind::PipeStall]));
+        let p = Pipe::with_capacity(4).with_fault_plan(Some(plan.clone()));
+        let t0 = Instant::now();
+        for i in 0..4u8 {
+            p.write(i).unwrap();
+        }
+        for i in 0..4u8 {
+            assert_eq!(p.read().unwrap(), i);
+        }
+        // Every op at rate 1.0 stalls at least 1 ms.
+        assert!(t0.elapsed() >= Duration::from_millis(8));
+        assert!(plan.injected() >= 8);
     }
 
     #[test]

@@ -37,7 +37,9 @@
 //! are impossible once `next >= total`, and all claimed chunks complete
 //! before `done` reaches `total`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -65,6 +67,14 @@ struct Job {
     max_helpers: usize,
     /// Pool workers currently helping.
     helpers: AtomicUsize,
+    /// Job-level cancellation: set when a chunk panics, so the remaining
+    /// unclaimed indices are abandoned and the job drains immediately.
+    canceled: AtomicBool,
+    /// First panic payload caught while executing this job's chunks. The
+    /// submitter re-raises it on its own thread after the job drains, so a
+    /// panicking task never kills a pool worker (the worker survives and
+    /// parks again) and never strands the submitter.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
     /// Completion flag + condvar the submitter blocks on.
     complete: Mutex<bool>,
     complete_cv: Condvar,
@@ -77,8 +87,12 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Claim the next adaptive chunk, or `None` when the job is drained.
+    /// Claim the next adaptive chunk, or `None` when the job is drained
+    /// or canceled.
     fn claim(&self) -> Option<(usize, usize)> {
+        if self.canceled.load(Ordering::Acquire) {
+            return None;
+        }
         let seen = self.next.load(Ordering::Relaxed);
         if seen >= self.total {
             return None;
@@ -100,19 +114,39 @@ impl Job {
 
     /// Execute chunks until none remain. The thread that retires the last
     /// index signals completion.
+    ///
+    /// Panic containment: each chunk runs under `catch_unwind`. On panic,
+    /// the first payload is stored for the submitter, the job is canceled
+    /// (no further claims), and the unclaimed tail is retired in one step
+    /// so `done` still reaches `total` and the submitter wakes. Chunks
+    /// already claimed by other threads retire themselves as usual.
     fn run_claimed(&self) {
         while let Some((start, end)) = self.claim() {
             // SAFETY: chunk successfully claimed, so the submitter is
             // still blocked in run_job and the closure is alive.
             let task = unsafe { &*self.task };
-            task(start, end);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| task(start, end)));
+            let mut retired = end - start;
+            let panicked = result.is_err();
+            if let Err(payload) = result {
+                lock(&self.panic_payload).get_or_insert(payload);
+                self.canceled.store(true, Ordering::Release);
+                // Abandon the unclaimed tail and retire it ourselves; any
+                // chunk claimed before this swap is owned by a thread that
+                // will retire it on its own.
+                let prev = self.next.swap(self.total, Ordering::AcqRel);
+                retired += self.total.saturating_sub(prev);
+            }
             // AcqRel: publishes this chunk's writes to whoever observes
             // the final count, and orders the completion signal after
             // every chunk's effects.
-            let prev = self.done.fetch_add(end - start, Ordering::AcqRel);
-            if prev + (end - start) == self.total {
+            let prev = self.done.fetch_add(retired, Ordering::AcqRel);
+            if prev + retired == self.total {
                 *lock(&self.complete) = true;
                 self.complete_cv.notify_all();
+            }
+            if panicked {
+                break;
             }
         }
     }
@@ -226,10 +260,30 @@ pub fn jobs_dispatched() -> usize {
 /// This is the "pool handoff" component of launch overhead, recorded
 /// separately from kernel time in profiling events.
 pub fn run_job(total: usize, threads: usize, task: &(dyn Fn(usize, usize) + Sync)) -> Duration {
+    let (dispatch, payload) = run_job_catch(total, threads, task);
+    if let Some(p) = payload {
+        // Re-raise on the submitting thread: callers keep ordinary panic
+        // semantics while the pool workers stay alive and parked.
+        std::panic::resume_unwind(p);
+    }
+    dispatch
+}
+
+/// Like [`run_job`], but a panicking task is *contained*: instead of the
+/// panic resuming on the submitter, the first caught payload is returned
+/// alongside the dispatch duration. The executor uses this to convert
+/// kernel panics into typed errors. In both flavours the pool's worker
+/// threads survive the panic and the pool remains fully usable.
+pub fn run_job_catch(
+    total: usize,
+    threads: usize,
+    task: &(dyn Fn(usize, usize) + Sync),
+) -> (Duration, Option<Box<dyn std::any::Any + Send>>) {
+    crate::fault::install_quiet_hook();
     let pool = global();
     pool.dispatched.fetch_add(1, Ordering::Relaxed);
     if total == 0 {
-        return Duration::ZERO;
+        return (Duration::ZERO, None);
     }
     let threads = threads.max(1).min(pool.threads.max(1));
     let max_helpers = threads.saturating_sub(1).min(total.saturating_sub(1));
@@ -249,6 +303,8 @@ pub fn run_job(total: usize, threads: usize, task: &(dyn Fn(usize, usize) + Sync
         chunk_threads: threads,
         max_helpers,
         helpers: AtomicUsize::new(0),
+        canceled: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
         complete: Mutex::new(false),
         complete_cv: Condvar::new(),
     });
@@ -280,7 +336,8 @@ pub fn run_job(total: usize, threads: usize, task: &(dyn Fn(usize, usize) + Sync
     if max_helpers > 0 {
         lock(&pool.jobs).retain(|j| !Arc::ptr_eq(j, &job));
     }
-    dispatch
+    let payload = lock(&job.panic_payload).take();
+    (dispatch, payload)
 }
 
 /// Raw-pointer wrapper so disjoint `&mut` parts can cross threads.
@@ -371,6 +428,55 @@ mod tests {
         for (i, p) in parts.iter().enumerate() {
             assert_eq!(*p, i as u64 + 1);
         }
+    }
+
+    #[test]
+    fn panicking_task_is_contained_and_pool_survives() {
+        // Warm the pool, then record its size.
+        run_job(64, auto_threads(), &|_, _| {});
+        let before = spawned_threads();
+
+        for round in 0..5 {
+            let (_, payload) = run_job_catch(10_000, auto_threads(), &|s, _| {
+                if s % 2 == round % 2 {
+                    panic!("chunk boom");
+                }
+            });
+            assert!(payload.is_some(), "round {round}: panic payload lost");
+
+            // The pool must be immediately reusable: a clean job still
+            // executes every index exactly once on the same workers.
+            let hits: Vec<AtomicUsize> = (0..4096).map(|_| AtomicUsize::new(0)).collect();
+            run_job(hits.len(), auto_threads(), &|s, e| {
+                for h in &hits[s..e] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+        assert_eq!(spawned_threads(), before, "panics must not cost worker threads");
+    }
+
+    #[test]
+    fn run_job_resumes_panic_on_submitter() {
+        let caught = std::panic::catch_unwind(|| {
+            run_job(100, auto_threads(), &|_, _| panic!("to the submitter"));
+        });
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "to the submitter");
+    }
+
+    #[test]
+    fn canceled_job_still_reaches_completion_quickly() {
+        // A panic on the very first chunk must retire the whole range so
+        // the submitter returns promptly instead of hanging.
+        let t0 = Instant::now();
+        let (_, payload) = run_job_catch(1_000_000, auto_threads(), &|_, _| {
+            panic!("first chunk");
+        });
+        assert!(payload.is_some());
+        assert!(t0.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

@@ -14,13 +14,95 @@
 //!   simultaneously and communicate through [`crate::pipe::Pipe`]s, the
 //!   structure of the optimized KMeans design (Figure 3).
 
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::device::Device;
+use crate::device::{Device, DeviceKind};
 use crate::error::{Error, Result};
-use crate::event::{Event, LaunchStats, ProfilingInfo};
-use crate::executor::{run_groups_timed, Parallelism};
+use crate::event::{Event, LaunchStats, ProfilingInfo, ResilienceInfo};
+use crate::executor::{run_groups_contained, Parallelism};
+use crate::fault::FaultPlan;
 use crate::ndrange::{GroupCtx, Item, NdRange, Range};
+
+/// Bounded-retry policy for transient launch failures (the fault layer's
+/// [`crate::fault::FaultKind::LaunchTransient`]; on real stacks, a driver
+/// hiccup). Transient faults are injected *before* any work-group runs,
+/// so re-submission is always side-effect free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submission attempts allowed (≥ 1; 1 means no retry).
+    pub max_attempts: u32,
+    /// Base backoff slept between attempts; attempt `k` (1-based) sleeps
+    /// `backoff * k` — deterministic linear backoff, no jitter, so chaos
+    /// runs replay identically for a given seed.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// One attempt, no retries — the SYCL queue behaviour the
+    /// applications were written against.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 1, backoff: Duration::ZERO }
+    }
+}
+
+impl RetryPolicy {
+    /// The policy chaos runs use: three attempts with a 1 ms base backoff.
+    /// Adopted automatically when a fault plan comes from the environment
+    /// (`HETERO_RT_FAULT_SEED`), so injected transients are absorbed.
+    pub fn resilient() -> Self {
+        RetryPolicy { max_attempts: 3, backoff: Duration::from_millis(1) }
+    }
+}
+
+/// What to do when the primary device rejects a launch with a
+/// *pre-side-effect* capability error (see
+/// [`Error::is_cpu_fallback_eligible`]): capability mismatches such as
+/// `UsmUnsupported`, `UnsupportedFeature`, `LocalMemExceeded` and
+/// `WorkGroupTooLarge` are raised before any work-group writes global
+/// memory, so a clean re-run elsewhere cannot observe partial results.
+/// This is the paper's manual "if the FPGA can't, run it on the host"
+/// porting workflow promoted into a runtime policy. `KernelPanicked` is
+/// deliberately ineligible — groups may already have written.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Fallback {
+    /// Surface the error to the caller (default).
+    #[default]
+    None,
+    /// Re-run the launch on [`Device::cpu`] with fault injection
+    /// disabled, recording the detour in the event's
+    /// [`ResilienceInfo::fallback_device`].
+    Cpu,
+}
+
+/// Count of launches currently executing on any clone of a queue, used by
+/// the blocking [`Queue::wait`].
+#[derive(Default)]
+struct InFlight {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// RAII in-flight marker: decrements and notifies on drop, so a panicking
+/// launch still releases waiters.
+struct InFlightGuard<'a>(&'a InFlight);
+
+impl<'a> InFlightGuard<'a> {
+    fn enter(inflight: &'a InFlight) -> Self {
+        *inflight.count.lock().unwrap() += 1;
+        InFlightGuard(inflight)
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut c = self.0.count.lock().unwrap();
+        *c -= 1;
+        if *c == 0 {
+            self.0.cv.notify_all();
+        }
+    }
+}
 
 /// An in-order command queue bound to a device.
 #[derive(Clone)]
@@ -28,26 +110,64 @@ pub struct Queue {
     device: Device,
     profiling: bool,
     parallelism: Parallelism,
+    retry: RetryPolicy,
+    fallback: Fallback,
+    fault: Option<Arc<FaultPlan>>,
+    inflight: Arc<InFlight>,
 }
 
 impl Queue {
     /// Create a queue on `device` with profiling disabled — the state
     /// DPCT's helper headers leave you in, which the paper calls out as
     /// preventing kernel-time measurement.
+    ///
+    /// If `HETERO_RT_FAULT_SEED` is set, the queue adopts the
+    /// process-wide environment fault plan together with
+    /// [`RetryPolicy::resilient`], so chaos runs exercise every
+    /// application without code changes.
     pub fn new(device: Device) -> Self {
-        Queue { device, profiling: false, parallelism: Parallelism::Auto }
+        let fault = FaultPlan::env_plan();
+        let retry = if fault.is_some() { RetryPolicy::resilient() } else { RetryPolicy::default() };
+        Queue {
+            device,
+            profiling: false,
+            parallelism: Parallelism::Auto,
+            retry,
+            fallback: Fallback::None,
+            fault,
+            inflight: Arc::new(InFlight::default()),
+        }
     }
 
     /// Create a queue with profiling enabled (the
     /// `property::queue::enable_profiling` equivalent).
     pub fn with_profiling(device: Device) -> Self {
-        Queue { device, profiling: true, parallelism: Parallelism::Auto }
+        Queue { profiling: true, ..Queue::new(device) }
     }
 
     /// Restrict the executor's host parallelism (useful for deterministic
     /// tests and for Single-Task-like sequential execution).
     pub fn with_parallelism(mut self, p: Parallelism) -> Self {
         self.parallelism = p;
+        self
+    }
+
+    /// Set the transient-failure retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Set the capability-error fallback policy.
+    pub fn with_fallback(mut self, fallback: Fallback) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Attach (or, with `None`, detach) a fault-injection plan. Overrides
+    /// any environment plan picked up at construction.
+    pub fn with_fault_plan(mut self, plan: Option<Arc<FaultPlan>>) -> Self {
+        self.fault = plan;
         self
     }
 
@@ -61,6 +181,11 @@ impl Queue {
         self.profiling
     }
 
+    /// The fault plan driving this queue's injection, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
     fn finish_event(
         &self,
         name: &'static str,
@@ -68,6 +193,7 @@ impl Queue {
         started: Instant,
         dispatch: Duration,
         stats: LaunchStats,
+        resilience: ResilienceInfo,
     ) -> Event {
         let profiling = self.profiling.then(|| ProfilingInfo {
             submitted,
@@ -75,14 +201,13 @@ impl Queue {
             ended: Instant::now(),
             dispatch,
         });
-        Event::new(name, profiling, stats)
+        Event::new(name, profiling, stats).with_resilience(resilience)
     }
 
-    fn check_group_size(&self, nd: &NdRange, reqd_max: Option<usize>) -> Result<()> {
-        nd.validate()?;
+    fn check_group_size(device: &Device, nd: &NdRange, reqd_max: Option<usize>) -> Result<()> {
         let limit = reqd_max
             .unwrap_or(usize::MAX)
-            .min(self.device.caps().max_work_group_size);
+            .min(device.caps().max_work_group_size);
         let size = nd.group_size();
         if size > limit {
             return Err(Error::WorkGroupTooLarge { requested: size, limit });
@@ -90,23 +215,136 @@ impl Queue {
         Ok(())
     }
 
+    /// One contained execution of `kernel` over `nd` on `device`:
+    /// group-size check against that device's caps, then phase-wise group
+    /// execution with per-group panic containment.
+    fn run_on<K>(
+        &self,
+        device: &Device,
+        plan: Option<&FaultPlan>,
+        name: &'static str,
+        nd: NdRange,
+        reqd_max: Option<usize>,
+        kernel: &K,
+    ) -> Result<(LaunchStats, Duration)>
+    where
+        K: Fn(&GroupCtx) + Sync,
+    {
+        Self::check_group_size(device, &nd, reqd_max)?;
+        run_groups_contained(
+            nd,
+            self.parallelism,
+            device.caps().local_mem_bytes,
+            name,
+            plan,
+            kernel,
+        )
+    }
+
+    /// The central hardened launch path shared by every group-shaped
+    /// submission. In order:
+    ///
+    /// 1. transient-fault injection with bounded deterministic retry
+    ///    ([`RetryPolicy`]) — injected before any group runs, so a retry
+    ///    never replays side effects;
+    /// 2. contained execution on the primary device (kernel panics become
+    ///    typed errors, the pool survives);
+    /// 3. on a fallback-eligible capability error, one clean re-run on
+    ///    the CPU device with injection disabled ([`Fallback::Cpu`]).
+    fn launch_groups<K>(
+        &self,
+        name: &'static str,
+        nd: NdRange,
+        reqd_max: Option<usize>,
+        kernel: &K,
+    ) -> Result<(LaunchStats, Duration, ResilienceInfo)>
+    where
+        K: Fn(&GroupCtx) + Sync,
+    {
+        let _guard = InFlightGuard::enter(&self.inflight);
+        nd.validate()?; // a malformed range is a programming error: no retry, no fallback
+        let plan = self.fault.as_deref();
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut attempts = 0u32;
+        let mut absorbed = 0u32;
+        let primary = loop {
+            attempts += 1;
+            if let Some(p) = plan {
+                if p.should_fail_launch(name) {
+                    if attempts < max_attempts {
+                        absorbed += 1;
+                        std::thread::sleep(self.retry.backoff * attempts);
+                        continue;
+                    }
+                    break Err(Error::TransientLaunchFailure { kernel: name, attempts });
+                }
+            }
+            break self.run_on(&self.device, plan, name, nd, reqd_max, kernel);
+        };
+        match primary {
+            Ok((stats, dispatch)) => Ok((
+                stats,
+                dispatch,
+                ResilienceInfo { attempts, faults_absorbed: absorbed, fallback_device: None },
+            )),
+            Err(e)
+                if self.fallback == Fallback::Cpu
+                    && e.is_cpu_fallback_eligible()
+                    && self.device.kind() != DeviceKind::Cpu =>
+            {
+                let cpu = Device::cpu();
+                let (stats, dispatch) = self.run_on(&cpu, None, name, nd, reqd_max, kernel)?;
+                Ok((
+                    stats,
+                    dispatch,
+                    ResilienceInfo {
+                        attempts,
+                        faults_absorbed: absorbed,
+                        fallback_device: Some(cpu.name().to_string()),
+                    },
+                ))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// Launch a barrier-free data-parallel kernel: `f` runs once per
     /// global index of `range` (like `parallel_for(range, ...)`).
+    ///
+    /// Infallible wrapper over [`Queue::try_parallel_for`] for API
+    /// fidelity with the SYCL sources: a launch error unwinds with the
+    /// typed [`Error`] as panic payload (recoverable via `catch_unwind`,
+    /// as the suite-level chaos harness does).
     pub fn parallel_for<F>(&self, name: &'static str, range: Range, f: F) -> Event
     where
         F: Fn(Item) + Sync,
     {
+        self.try_parallel_for(name, range, f)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`Queue::parallel_for`]: launch errors (injected
+    /// transients past the retry budget, contained kernel panics, …) come
+    /// back as typed `Err` values.
+    pub fn try_parallel_for<F>(&self, name: &'static str, range: Range, f: F) -> Result<Event>
+    where
+        F: Fn(Item) + Sync,
+    {
         let submitted = Instant::now();
-        // Chunk the flat range into implicit groups for the executor.
+        // Chunk the flat range into implicit groups for the executor. The
+        // chunk is an implementation detail, not a user-requested group
+        // size, so clamp it to the device's limit rather than rejecting.
         let total = range.size();
-        let chunk = 256.min(total.max(1));
+        let chunk = 256
+            .min(self.device.caps().max_work_group_size)
+            .min(total.max(1));
         let padded = total.div_ceil(chunk) * chunk;
         let nd = NdRange { global: Range::d1(padded), local: Range::d1(chunk) };
         let started = Instant::now();
-        let (stats, dispatch) = run_groups_timed(
+        let (stats, dispatch, resilience) = self.launch_groups(
+            name,
             nd,
-            self.parallelism,
-            self.device.caps().local_mem_bytes,
+            None,
             &|ctx: &GroupCtx| {
                 ctx.items(|it| {
                     let lin = it.global_linear;
@@ -123,8 +361,8 @@ impl Queue {
                     }
                 });
             },
-        );
-        self.finish_event(name, submitted, started, dispatch, stats)
+        )?;
+        Ok(self.finish_event(name, submitted, started, dispatch, stats, resilience))
     }
 
     /// Launch a work-group kernel over `nd`. `kernel` receives each
@@ -138,7 +376,8 @@ impl Queue {
 
     /// Like [`Queue::nd_range`] but with an explicit
     /// `reqd_work_group_size`-style limit attribute. The paper adds these
-    /// attributes to every FPGA kernel; exceeding them is a launch error.
+    /// attributes to every FPGA kernel; exceeding them is a launch error
+    /// (or, under [`Fallback::Cpu`], a recorded re-run on the host).
     pub fn nd_range_with_limit<K>(
         &self,
         name: &'static str,
@@ -150,28 +389,61 @@ impl Queue {
         K: Fn(&GroupCtx) + Sync,
     {
         let submitted = Instant::now();
-        self.check_group_size(&nd, reqd_max)?;
         let started = Instant::now();
-        let (stats, dispatch) = run_groups_timed(
-            nd,
-            self.parallelism,
-            self.device.caps().local_mem_bytes,
-            &kernel,
-        );
-        Ok(self.finish_event(name, submitted, started, dispatch, stats))
+        let (stats, dispatch, resilience) =
+            self.launch_groups(name, nd, reqd_max, &kernel)?;
+        Ok(self.finish_event(name, submitted, started, dispatch, stats, resilience))
     }
 
     /// Launch a Single-Task kernel: one logical thread, as in the paper's
-    /// FPGA rewrites (Section 5.3).
+    /// FPGA rewrites (Section 5.3). Infallible wrapper over
+    /// [`Queue::try_single_task`]; a contained kernel panic re-raises the
+    /// typed [`Error`] as panic payload.
     pub fn single_task<F>(&self, name: &'static str, f: F) -> Event
     where
         F: FnOnce(),
     {
+        self.try_single_task(name, f)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible Single-Task launch with panic containment: a panic inside
+    /// `f` is caught and classified into a typed [`Error`]
+    /// (`KernelPanicked`, or the panic's own `Error` payload for typed
+    /// bounds/capacity violations). No transient injection or retry here:
+    /// the kernel is `FnOnce`, so the runtime cannot guarantee a
+    /// side-effect-free re-run.
+    pub fn try_single_task<F>(&self, name: &'static str, f: F) -> Result<Event>
+    where
+        F: FnOnce(),
+    {
+        let _guard = InFlightGuard::enter(&self.inflight);
+        crate::fault::install_quiet_hook();
         let submitted = Instant::now();
         let started = Instant::now();
-        f();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            .map_err(|payload| crate::fault::classify_panic(name, 0, payload))?;
         let stats = LaunchStats { groups: 1, items: 1, ..LaunchStats::default() };
-        self.finish_event(name, submitted, started, Duration::ZERO, stats)
+        Ok(self.finish_event(
+            name,
+            submitted,
+            started,
+            Duration::ZERO,
+            stats,
+            ResilienceInfo::default(),
+        ))
+    }
+
+    /// Allocate USM memory on this queue's device, subject to the queue's
+    /// fault plan: on top of the genuine capability failure
+    /// ([`Error::UsmUnsupported`] on the paper's FPGAs), a plan may
+    /// deterministically inject [`Error::UsmAllocFailed`].
+    pub fn alloc_usm<T: Copy + Default>(
+        &self,
+        kind: crate::usm::UsmKind,
+        len: usize,
+    ) -> Result<crate::usm::UsmAlloc<T>> {
+        crate::usm::UsmAlloc::new_with_fault(&self.device, kind, len, self.fault.as_deref())
     }
 
     /// Launch several kernels that run *concurrently* (each on its own
@@ -187,6 +459,8 @@ impl Queue {
     where
         F: FnOnce() -> Result<()> + Send,
     {
+        let _guard = InFlightGuard::enter(&self.inflight);
+        crate::fault::install_quiet_hook();
         let submitted = Instant::now();
         if self.device.caps().supports_pipes || kernels.len() <= 1 {
             // ok — FPGA-style concurrent kernels, or trivially sequential
@@ -199,14 +473,17 @@ impl Queue {
                 .into_iter()
                 .map(|k| s.spawn(k))
                 .collect();
-            for h in handles {
+            for (i, h) in handles.into_iter().enumerate() {
                 match h.join() {
                     Ok(Ok(())) => {}
                     Ok(Err(e)) => {
                         first_err.get_or_insert(e);
                     }
-                    Err(_) => {
-                        first_err.get_or_insert(Error::PipeClosed);
+                    Err(payload) => {
+                        // A panicking concurrent kernel is contained like a
+                        // pooled one: classified into a typed error, with
+                        // the kernel's index standing in for a group id.
+                        first_err.get_or_insert(crate::fault::classify_panic(name, i, payload));
                     }
                 }
             }
@@ -215,7 +492,14 @@ impl Queue {
             return Err(e);
         }
         let stats = LaunchStats { groups: n, items: n, ..LaunchStats::default() };
-        Ok(self.finish_event(name, submitted, started, Duration::ZERO, stats))
+        Ok(self.finish_event(
+            name,
+            submitted,
+            started,
+            Duration::ZERO,
+            stats,
+            ResilienceInfo::default(),
+        ))
     }
 
     /// Device-to-device buffer copy (like `queue.memcpy` between device
@@ -235,9 +519,9 @@ impl Queue {
     ) -> Result<Event> {
         let sv = src.view_range(src_off, len)?;
         let dv = dst.view_range(dst_off, len)?;
-        Ok(self.parallel_for("memcpy", Range::d1(len), move |it| {
+        self.try_parallel_for("memcpy", Range::d1(len), move |it| {
             dv.set(it.gid(0), sv.get(it.gid(0)));
-        }))
+        })
     }
 
     /// Fill a buffer range with a value (like `queue.fill`).
@@ -249,14 +533,33 @@ impl Queue {
         value: T,
     ) -> Result<Event> {
         let dv = dst.view_range(offset, len)?;
-        Ok(self.parallel_for("fill", Range::d1(len), move |it| {
+        self.try_parallel_for("fill", Range::d1(len), move |it| {
             dv.set(it.gid(0), value);
-        }))
+        })
     }
 
-    /// Wait for all submitted work (no-op: submissions are synchronous;
-    /// present so ported code keeps its `q.wait()` call sites).
-    pub fn wait(&self) {}
+    /// Block until no launch is in flight on this queue or any clone of
+    /// it.
+    ///
+    /// Submissions from the calling thread are synchronous, so for
+    /// single-threaded code this returns immediately — but clones of a
+    /// queue share one in-flight counter, so `wait()` genuinely blocks
+    /// until launches submitted from *other* threads (nested launches,
+    /// application worker threads) have drained. Combined with the
+    /// synchronous submission rule this is the in-order guarantee: when
+    /// `wait()` returns, every effect of every previously *started*
+    /// submission on any clone is visible.
+    ///
+    /// Do not call `wait()` from inside a kernel running on the same
+    /// queue: that launch is itself in flight, so the wait would never
+    /// return (the same self-deadlock `sycl::queue::wait` has inside a
+    /// host task).
+    pub fn wait(&self) {
+        let mut c = self.inflight.count.lock().unwrap();
+        while *c > 0 {
+            c = self.inflight.cv.wait(c).unwrap();
+        }
+    }
 }
 
 #[cfg(test)]

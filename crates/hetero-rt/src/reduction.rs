@@ -40,7 +40,7 @@ pub fn reduce_f32(
         let r = group_reduce(ctx, &vals, identity, op);
         pv.set(ctx.group_linear(), r);
     })
-    .expect("reduction launch failed");
+    .unwrap_or_else(|e| std::panic::panic_any(e));
     partials.to_vec().into_iter().fold(identity, op)
 }
 

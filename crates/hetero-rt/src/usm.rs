@@ -13,6 +13,7 @@
 
 use crate::device::Device;
 use crate::error::{Error, Result};
+use crate::fault::FaultPlan;
 
 /// USM allocation kind, mirroring `sycl::usm::alloc`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,8 +50,26 @@ impl<T: Copy + Default> UsmAlloc<T> {
     /// Allocate `len` elements of USM memory of `kind` on `device`.
     /// Fails on devices without USM support (the paper's FPGAs).
     pub fn new(device: &Device, kind: UsmKind, len: usize) -> Result<Self> {
+        Self::new_with_fault(device, kind, len, None)
+    }
+
+    /// [`UsmAlloc::new`] under an optional fault plan: a capable device
+    /// may still return null deterministically ([`Error::UsmAllocFailed`]),
+    /// the transient flavour of the paper's FPGA `malloc_host` failures.
+    pub fn new_with_fault(
+        device: &Device,
+        kind: UsmKind,
+        len: usize,
+        plan: Option<&FaultPlan>,
+    ) -> Result<Self> {
         if !device.caps().supports_usm {
             return Err(Error::UsmUnsupported { device: device.name().to_string() });
+        }
+        if plan.is_some_and(FaultPlan::should_fail_alloc) {
+            return Err(Error::UsmAllocFailed {
+                device: device.name().to_string(),
+                bytes: len * std::mem::size_of::<T>(),
+            });
         }
         Ok(UsmAlloc {
             data: vec![T::default(); len],
@@ -105,6 +124,23 @@ mod tests {
             let e = UsmAlloc::<f32>::new(&d, UsmKind::Host, 16).unwrap_err();
             assert!(matches!(e, Error::UsmUnsupported { .. }));
         }
+    }
+
+    #[test]
+    fn injected_alloc_failure_is_typed_and_deterministic() {
+        let plan = FaultPlan::new(11, 1.0).with_kinds(&[crate::fault::FaultKind::AllocFail]);
+        let e = UsmAlloc::<f64>::new_with_fault(&Device::cpu(), UsmKind::Shared, 8, Some(&plan))
+            .unwrap_err();
+        assert_eq!(
+            e,
+            Error::UsmAllocFailed { device: Device::cpu().name().to_string(), bytes: 64 }
+        );
+        // Rate 0 never injects, regardless of seed.
+        let quiet = FaultPlan::new(11, 0.0);
+        assert!(
+            UsmAlloc::<f64>::new_with_fault(&Device::cpu(), UsmKind::Shared, 8, Some(&quiet))
+                .is_ok()
+        );
     }
 
     #[test]

@@ -9,4 +9,16 @@ cargo build --release --offline
 cargo test -q --offline
 cargo clippy --all-targets --offline -- -D warnings
 
-echo "verify: build + tests + clippy all green"
+# Chaos smoke matrix: the whole suite under seeded fault injection. Every
+# run must stay contained (correct results or a typed error; never a
+# hang, untyped panic, or poisoned pool) — the chaos binary exits nonzero
+# otherwise. Seeds x rates are fixed so failures reproduce exactly.
+for seed in 1 2 3 4 5; do
+  for rate in 0.01 0.1; do
+    echo "chaos: seed ${seed} rate ${rate}"
+    HETERO_RT_FAULT_SEED="${seed}" HETERO_RT_FAULT_RATE="${rate}" \
+      ./target/release/chaos > /dev/null
+  done
+done
+
+echo "verify: build + tests + clippy + chaos matrix all green"
