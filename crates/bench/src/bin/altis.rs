@@ -117,6 +117,15 @@ fn main() {
         Some("run") => {
             let Some(target) = args.get(1) else { usage() };
             let opts = parse_options(&args[2..]);
+            // hetero-san layer 2: fail fast on defective kernel IR
+            // before running anything.
+            if let Err(errs) = altis_core::suite::verify_suite_ir() {
+                eprintln!("static IR verification failed:");
+                for e in errs {
+                    eprintln!("  {e}");
+                }
+                std::process::exit(1);
+            }
             println!(
                 "device: {}   version: {:?}   iterations: {}",
                 opts.device, opts.version, opts.iterations

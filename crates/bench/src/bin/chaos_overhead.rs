@@ -82,7 +82,7 @@ fn main() {
 
     let idle_plan = Arc::new(FaultPlan::new(1, 0.0));
     let no_plan = storm(launches, || {
-        run_groups_contained(nd, Parallelism::Auto, 1 << 20, "storm", None, &kernel)
+        run_groups_contained(nd, Parallelism::Auto, 1 << 20, "storm", None, false, &kernel)
             .expect("clean launch");
     });
     let with_plan = storm(launches, || {
@@ -92,6 +92,7 @@ fn main() {
             1 << 20,
             "storm",
             Some(&idle_plan),
+            false,
             &kernel,
         )
         .expect("clean launch");

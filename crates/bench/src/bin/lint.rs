@@ -1,0 +1,478 @@
+//! `lint` — hetero-san layer 3: source-level rules for kernel closures.
+//!
+//! A zero-dependency scanner (the workspace is offline, so no `syn`)
+//! that walks `crates/core/src` and enforces portability rules inside
+//! the closures passed to runtime launch calls — the code that models
+//! device kernels and must stay free of host-only idioms:
+//!
+//! * **no-unwrap** — no `unwrap()` / `expect(...)` inside kernel bodies.
+//!   A device kernel cannot print-and-abort; the runtime's containment
+//!   turns typed panics into errors, but untyped unwraps defeat the
+//!   classification.
+//! * **no-raw-index** — no `ident[...]` indexing of captured host data
+//!   inside kernels; device data goes through `BufferView`/`LocalArray`
+//!   accessors so bounds faults stay typed and the race sanitizer sees
+//!   the access. Indexing containers the closure itself declares (`let`
+//!   bindings) is host-side scratch and allowed.
+//! * **no-hashmap** — no `HashMap` inside kernels: its iteration order
+//!   is seeded per process, so any kernel result that depends on it is
+//!   non-deterministic across runs.
+//! * **no-std-time** — no `std::time` / `Instant::now` inside kernels;
+//!   timing belongs to the queue's profiling events, and wall-clock
+//!   reads inside kernels diverge under the serialising CPU runtime.
+//!
+//! A violation is suppressed by a `// lint:allow(rule-name)` comment on
+//! the same line or the line above — used where an application
+//! deliberately models host-mediated data (with a justification
+//! comment).
+//!
+//! Exits nonzero when any violation is found, printing `file:line`.
+
+use std::path::{Path, PathBuf};
+
+/// Launch entry points whose closure arguments are kernel bodies.
+const LAUNCH_CALLS: [&str; 8] = [
+    "parallel_for",
+    "try_parallel_for",
+    "nd_range",
+    "nd_range_with_limit",
+    "nd_range_cooperative",
+    "single_task",
+    "try_single_task",
+    "submit_concurrent",
+];
+
+#[derive(Debug)]
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    snippet: String,
+}
+
+fn main() {
+    // Anchor on the bench crate's manifest dir so the binary works from
+    // any cwd.
+    let core_src = Path::new(env!("CARGO_MANIFEST_DIR")).join("../core/src");
+    let mut files = Vec::new();
+    collect_rs_files(&core_src, &mut files);
+    files.sort();
+    if files.is_empty() {
+        eprintln!("lint: no sources under {}", core_src.display());
+        std::process::exit(2);
+    }
+
+    let mut violations = Vec::new();
+    let mut scanned_closures = 0usize;
+    for f in &files {
+        let text = std::fs::read_to_string(f).expect("readable source");
+        scanned_closures += lint_file(f, &text, &mut violations);
+    }
+    // Launch calls can nest (a cooperative body re-entering nd_range);
+    // report each site once.
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    violations.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+
+    for v in &violations {
+        println!(
+            "{}:{}: [{}] {}",
+            v.file.display(),
+            v.line,
+            v.rule,
+            v.snippet.trim()
+        );
+    }
+    println!(
+        "lint: {} files, {scanned_closures} kernel closures, {} violation(s)",
+        files.len(),
+        violations.len()
+    );
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs_files(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Blank out comments and string literals (preserving length and
+/// newlines) so the structural scan never trips over brackets or
+/// keywords inside them. `lint:allow` comments are collected first.
+fn mask_source(text: &str) -> (Vec<u8>, Vec<(usize, String)>) {
+    let bytes = text.as_bytes();
+    let mut masked = bytes.to_vec();
+    let mut allows = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let comment = &text[start..i];
+                if let Some(rest) = comment.split("lint:allow(").nth(1) {
+                    if let Some(rule) = rest.split(')').next() {
+                        allows.push((line, rule.trim().to_string()));
+                    }
+                }
+                masked[start..i].fill(b' ');
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                let mut depth = 1;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        masked[i] = b'\n';
+                        i += 1;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.min(masked.len());
+                for b in &mut masked[start..end] {
+                    if *b != b'\n' {
+                        *b = b' ';
+                    }
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        i += 1;
+                        break;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.min(masked.len());
+                for b in &mut masked[start..end] {
+                    if *b != b'\n' {
+                        *b = b' ';
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal closes within
+                // a few bytes; a lifetime has no closing quote.
+                let close = bytes[i + 1..].iter().take(4).position(|&b| b == b'\'');
+                if let Some(off) = close {
+                    let end = i + 1 + off + 1;
+                    let stop = end.min(masked.len());
+                    for b in &mut masked[i..stop] {
+                        if *b != b'\n' {
+                            *b = b' ';
+                        }
+                    }
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    (masked, allows)
+}
+
+fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset].iter().filter(|&&b| b == b'\n').count() + 1
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Find the offset of the matching close bracket for the open bracket at
+/// `open` (which must be one of `(`, `[`, `{`) in `masked`.
+fn matching_bracket(masked: &[u8], open: usize) -> Option<usize> {
+    let (o, c) = match masked[open] {
+        b'(' => (b'(', b')'),
+        b'[' => (b'[', b']'),
+        b'{' => (b'{', b'}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, &b) in masked.iter().enumerate().skip(open) {
+        if b == o {
+            depth += 1;
+        } else if b == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Spans (start, end) of closure bodies found inside `masked[lo..hi]`.
+/// A closure is `|params| body`, where body is a braced block or an
+/// expression running to the next `,` / closing bracket at this depth.
+fn closure_bodies(masked: &[u8], lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        match masked[i] {
+            b'(' | b'[' | b'{' => {
+                // Descend so nested argument lists are scanned too.
+                let Some(close) = matching_bracket(masked, i) else { break };
+                out.extend(closure_bodies(masked, i + 1, close.min(hi)));
+                i = close + 1;
+            }
+            b'|' => {
+                // `||` is either an empty param list or boolean-or; only
+                // a closure when the previous token cannot end a value.
+                let mut p = i;
+                while p > lo && masked[p - 1].is_ascii_whitespace() {
+                    p -= 1;
+                }
+                let prev = if p > lo { masked[p - 1] } else { b'(' };
+                let prev_is_move = p >= 4 + lo && &masked[p - 4..p] == b"move";
+                if !(prev == b'(' || prev == b',' || prev == b'=' || prev_is_move) {
+                    i += 1;
+                    continue;
+                }
+                // Param list: up to the next unnested `|`.
+                let params_end = if masked.get(i + 1) == Some(&b'|') {
+                    i + 1
+                } else {
+                    let mut j = i + 1;
+                    let mut depth = 0usize;
+                    loop {
+                        if j >= hi {
+                            break;
+                        }
+                        match masked[j] {
+                            b'(' | b'[' | b'<' => depth += 1,
+                            b')' | b']' | b'>' => depth = depth.saturating_sub(1),
+                            b'|' if depth == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    j
+                };
+                let mut b = params_end + 1;
+                while b < hi && masked[b].is_ascii_whitespace() {
+                    b += 1;
+                }
+                if b >= hi {
+                    break;
+                }
+                let body_end = if masked[b] == b'{' {
+                    matching_bracket(masked, b).map(|e| e + 1).unwrap_or(hi).min(hi)
+                } else {
+                    // Expression body: to the `,` or close bracket at
+                    // this nesting level.
+                    let mut j = b;
+                    let mut depth = 0usize;
+                    while j < hi {
+                        match masked[j] {
+                            b'(' | b'[' | b'{' => depth += 1,
+                            b')' | b']' | b'}' if depth == 0 => break,
+                            b')' | b']' | b'}' => depth -= 1,
+                            b',' if depth == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    j
+                };
+                out.push((b, body_end));
+                i = body_end.max(i + 1);
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Identifiers the closure body declares itself (`let` bindings and
+/// `for` loop variables): indexing those is local scratch, not captured
+/// device data.
+fn local_declarations(masked: &[u8], lo: usize, hi: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let text = &masked[lo..hi];
+    let mut i = 0;
+    while i + 4 < text.len() {
+        let is_decl_kw = text[i..].starts_with(b"let ") || text[i..].starts_with(b"for ");
+        let kw_len = if is_decl_kw { 4 } else { 0 };
+        let at_boundary = i == 0 || !is_ident_byte(text[i - 1]);
+        if kw_len > 0 && at_boundary {
+            let mut j = i + kw_len;
+            // Skip `mut`, `(`, and leading ws; collect every identifier
+            // in the pattern up to `=` / `in` terminator.
+            let pat_end = text[j..]
+                .windows(1)
+                .position(|w| w[0] == b'=' || w[0] == b';' || w[0] == b'{')
+                .map(|p| j + p)
+                .unwrap_or(text.len());
+            while j < pat_end {
+                if is_ident_byte(text[j]) {
+                    let s = j;
+                    while j < pat_end && is_ident_byte(text[j]) {
+                        j += 1;
+                    }
+                    let ident = String::from_utf8_lossy(&text[s..j]).to_string();
+                    if ident != "mut" && ident != "in" && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                        out.push(ident);
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+            i = pat_end;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn allowed(allows: &[(usize, String)], rule: &str, line: usize) -> bool {
+    allows
+        .iter()
+        .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+}
+
+/// Apply all rules to one closure body; returns violations found.
+#[allow(clippy::too_many_arguments)]
+fn lint_body(
+    file: &Path,
+    text: &str,
+    masked: &[u8],
+    allows: &[(usize, String)],
+    lo: usize,
+    hi: usize,
+    violations: &mut Vec<Violation>,
+) {
+    let locals = local_declarations(masked, lo, hi);
+    let body = &masked[lo..hi];
+    let mut push = |rule: &'static str, off: usize| {
+        let line = line_of(text, lo + off);
+        if allowed(allows, rule, line) {
+            return;
+        }
+        let snippet = text.lines().nth(line - 1).unwrap_or("").to_string();
+        violations.push(Violation { file: file.to_path_buf(), line, rule, snippet });
+    };
+
+    // no-unwrap: `.unwrap()` / `.expect(`.
+    for pat in [&b".unwrap()"[..], &b".expect("[..]] {
+        let mut from = 0;
+        while let Some(p) = find(body, pat, from) {
+            push("no-unwrap", p);
+            from = p + pat.len();
+        }
+    }
+
+    // no-hashmap.
+    let mut from = 0;
+    while let Some(p) = find(body, b"HashMap", from) {
+        let boundary = p == 0 || !is_ident_byte(body[p - 1]);
+        if boundary {
+            push("no-hashmap", p);
+        }
+        from = p + 7;
+    }
+
+    // no-std-time.
+    for pat in [&b"std::time"[..], &b"Instant::now"[..]] {
+        let mut from = 0;
+        while let Some(p) = find(body, pat, from) {
+            push("no-std-time", p);
+            from = p + pat.len();
+        }
+    }
+
+    // no-raw-index: `ident[` on captured (non-local) identifiers.
+    let mut i = 1;
+    while i < body.len() {
+        if body[i] == b'[' && is_ident_byte(body[i - 1]) {
+            let mut s = i;
+            while s > 0 && is_ident_byte(body[s - 1]) {
+                s -= 1;
+            }
+            let ident = String::from_utf8_lossy(&body[s..i]).to_string();
+            let preceded_by_field = s > 0 && body[s - 1] == b'.';
+            let is_macro_ish = ident.chars().next().is_some_and(|c| c.is_ascii_digit());
+            if !preceded_by_field
+                && !is_macro_ish
+                && !locals.contains(&ident)
+                && !ident.is_empty()
+            {
+                push("no-raw-index", i);
+            }
+        }
+        i += 1;
+    }
+}
+
+fn find(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    hay[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Lint one file; returns how many kernel closures were scanned.
+fn lint_file(file: &Path, text: &str, violations: &mut Vec<Violation>) -> usize {
+    let (masked, allows) = mask_source(text);
+    let mut scanned = 0usize;
+    for call in LAUNCH_CALLS {
+        let pat = call.as_bytes();
+        let mut from = 0;
+        while let Some(p) = find(&masked, pat, from) {
+            from = p + pat.len();
+            // Whole-word match directly followed (modulo ws) by `(`.
+            let pre_ok = p == 0 || !is_ident_byte(masked[p - 1]);
+            let mut q = p + pat.len();
+            while q < masked.len() && masked[q].is_ascii_whitespace() {
+                q += 1;
+            }
+            if !pre_ok || q >= masked.len() || masked[q] != b'(' {
+                continue;
+            }
+            let Some(close) = matching_bracket(&masked, q) else { continue };
+            let bodies = closure_bodies(&masked, q + 1, close);
+            scanned += bodies.len();
+            for (lo, hi) in bodies {
+                lint_body(file, text, &masked, &allows, lo, hi, violations);
+            }
+        }
+    }
+    scanned
+}

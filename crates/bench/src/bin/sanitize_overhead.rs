@@ -1,0 +1,182 @@
+//! `sanitize_overhead` — cost of the race-detector hooks when the
+//! sanitizer is disabled.
+//!
+//! Every `GlobalView` accessor calls into `hetero_rt::sanitize` on each
+//! element access; with no sanitizing launch active the hook is a single
+//! relaxed atomic load plus a predictable branch. This microbenchmark
+//! runs the `launch_storm` workload (many small launches through the
+//! persistent pool, same shape as `chaos_overhead`) in two
+//! configurations:
+//!
+//! * **unhooked** — the kernel stores through `set_unhooked`, an
+//!   otherwise identical accessor with the hook compiled out;
+//! * **hooked** — the ordinary `set`, sanitizer disarmed (the default
+//!   for every queue).
+//!
+//! and reports the relative overhead, which must stay under 2%. The two
+//! arms are timed as paired rounds with alternating order and the
+//! overhead taken as the median of per-round ratios, so slow machine
+//! drift (frequency scaling, co-tenants) cancels instead of appearing
+//! as phantom overhead. Writes `BENCH_sanitize_overhead.json` (or the
+//! path given as the first argument).
+//!
+//! Usage:
+//! ```text
+//! sanitize_overhead [out.json] [--launches N]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use hetero_rt::executor::{run_groups_contained, Parallelism};
+use hetero_rt::{Buffer, GroupCtx, NdRange};
+
+const DEFAULT_LAUNCHES: usize = 10_000;
+const ROUNDS: usize = 9;
+const ITEMS: usize = 4096;
+const GROUP: usize = 64;
+
+/// One round of `launches` interleaved a/b launch pairs. The arms
+/// alternate launch-by-launch so scheduler states, frequency steps, and
+/// co-tenant interference hit both arms identically; each arm's time is
+/// the sum of its own launches.
+fn interleaved_storm(launches: usize, a: &dyn Fn(), b: &dyn Fn()) -> (Duration, Duration) {
+    let (mut ta, mut tb) = (Duration::ZERO, Duration::ZERO);
+    for _ in 0..launches {
+        let t0 = Instant::now();
+        a();
+        ta += t0.elapsed();
+        let t0 = Instant::now();
+        b();
+        tb += t0.elapsed();
+    }
+    (ta, tb)
+}
+
+/// `ROUNDS` interleaved rounds; returns the per-arm medians and the
+/// median of per-round b/a ratios.
+fn paired_storms(launches: usize, a: &dyn Fn(), b: &dyn Fn()) -> (Duration, Duration, f64) {
+    a(); // warm-up (first pooled launch spawns the workers)
+    b();
+    let mut ta: Vec<Duration> = Vec::with_capacity(ROUNDS);
+    let mut tb: Vec<Duration> = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let (x, y) = interleaved_storm(launches, a, b);
+        ta.push(x);
+        tb.push(y);
+    }
+    let mut ratios: Vec<f64> = ta
+        .iter()
+        .zip(&tb)
+        .map(|(x, y)| y.as_secs_f64() / x.as_secs_f64())
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    ta.sort();
+    tb.sort();
+    (ta[ROUNDS / 2], tb[ROUNDS / 2], ratios[ROUNDS / 2])
+}
+
+fn main() {
+    if std::env::var_os("HETERO_RT_THREADS").is_none() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        std::env::set_var("HETERO_RT_THREADS", hw.max(4).to_string());
+    }
+    // The measurement is of the *disarmed* hook; make sure nothing in the
+    // environment arms it behind our back.
+    std::env::remove_var("HETERO_RT_SANITIZE");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_sanitize_overhead.json".to_string();
+    let mut launches = DEFAULT_LAUNCHES;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--launches" {
+            launches = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_LAUNCHES);
+        } else {
+            out_path = a.clone();
+        }
+    }
+
+    let nd = NdRange::d1(ITEMS, GROUP);
+    let buf = Buffer::<f32>::new(ITEMS);
+    let view = buf.view();
+    let unhooked_view = view.clone();
+    let unhooked_kernel = move |ctx: &GroupCtx| {
+        ctx.items(|item| {
+            let i = item.global_linear;
+            unhooked_view.set_unhooked(i, (i as f32).mul_add(1.5, 0.25));
+        });
+    };
+    let hooked_kernel = |ctx: &GroupCtx| {
+        ctx.items(|item| {
+            let i = item.global_linear;
+            view.set(i, (i as f32).mul_add(1.5, 0.25));
+        });
+    };
+
+    let threads = hetero_rt::pool::auto_threads();
+    println!(
+        "sanitize overhead: {ROUNDS} paired rounds of {launches} launches x {ITEMS} items / \
+         {GROUP}-item groups, {threads} threads"
+    );
+
+    let run_unhooked = || {
+        run_groups_contained(
+            nd,
+            Parallelism::Auto,
+            1 << 20,
+            "storm",
+            None,
+            false,
+            &unhooked_kernel,
+        )
+        .expect("clean launch");
+    };
+    let run_hooked = || {
+        run_groups_contained(
+            nd,
+            Parallelism::Auto,
+            1 << 20,
+            "storm",
+            None,
+            false,
+            &hooked_kernel,
+        )
+        .expect("clean launch");
+    };
+    let (unhooked, hooked, ratio) = paired_storms(launches, &run_unhooked, &run_hooked);
+
+    let per = |d: Duration| d.as_secs_f64() / launches as f64 * 1e6;
+    let overhead_pct = (ratio - 1.0) * 100.0;
+    println!("  unhooked  : {unhooked:>10.3?} total, {:>8.2} us/launch", per(unhooked));
+    println!("  hooked    : {hooked:>10.3?} total, {:>8.2} us/launch", per(hooked));
+    println!("  disarmed sanitizer hook overhead: {overhead_pct:+.2}% (target < 2%)");
+    assert!(
+        hetero_rt::sanitize::take_last_reports().is_empty(),
+        "a disarmed sanitizer must never record"
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"benchmark\": \"sanitize_overhead\",\n  \"rounds\": {ROUNDS},\n  \
+         \"launches_per_round\": {launches},\n  \
+         \"items_per_launch\": {ITEMS},\n  \"group_size\": {GROUP},\n  \"threads\": {threads},\n  \
+         \"unhooked_median_s\": {:.6},\n  \"hooked_median_s\": {:.6},\n  \
+         \"unhooked_us_per_launch\": {:.3},\n  \"hooked_us_per_launch\": {:.3},\n  \
+         \"overhead_pct\": {:.3},\n  \"target_pct\": 2.0\n}}\n",
+        unhooked.as_secs_f64(),
+        hooked.as_secs_f64(),
+        per(unhooked),
+        per(hooked),
+        overhead_pct,
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write '{out_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

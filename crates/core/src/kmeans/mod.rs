@@ -189,7 +189,8 @@ fn run_piped(q: &Queue, p: &KmeansParams) -> KmeansOutput {
         // updated centres stream resetAccFin → (host, feeding next iter)
         let center_pipe = Pipe::<f32>::with_capacity(k * nf);
 
-        let points_ref = &points;
+        let pts = Buffer::from_slice(&points);
+        let pv = pts.view();
         let centers_in = centers.clone();
         let (ap_w, ap_r) = (assign_pipe.clone(), assign_pipe);
         let (cp_w, cp_r) = (center_pipe.clone(), center_pipe);
@@ -201,19 +202,18 @@ fn run_piped(q: &Queue, p: &KmeansParams) -> KmeansOutput {
             vec![
                 // mapCenters: the only kernel touching global memory.
                 Box::new(move || {
+                    let mut feat = vec![0f32; nf];
                     for i in 0..n {
-                        let m = nearest_center(
-                            &points_ref[i * nf..(i + 1) * nf],
-                            &centers_in,
-                            k,
-                            nf,
-                        );
+                        for (f, slot) in feat.iter_mut().enumerate() {
+                            *slot = pv.get(i * nf + f);
+                        }
+                        let m = nearest_center(&feat, &centers_in, k, nf);
                         mo.set(i, m);
                         ap_w.write(m)?;
                         // stream the point features alongside
                         for f in 0..nf {
                             // features encoded via bits to keep one pipe
-                            ap_w.write(points_ref[i * nf + f].to_bits())?;
+                            ap_w.write(feat[f].to_bits())?;
                         }
                     }
                     Ok(())

@@ -156,12 +156,15 @@ pub fn run(q: &Queue, p: &NwParams, version: AppVersion) -> Vec<i32> {
         }
         let mv = matrix.view();
         let (s1v, s2v) = (s1b.view(), s2b.view());
-        let blocks_ref = &blocks;
+        // The wavefront schedule rides in a buffer so each group's
+        // lookup is bounds-typed and visible to the race sanitizer.
+        let blocks_buf = Buffer::from_slice(&blocks);
+        let bv = blocks_buf.view();
         q.nd_range(
             "nw_block_wave",
             NdRange::d1(blocks.len() * BLOCK, BLOCK),
             move |ctx| {
-                let (bi, bj) = blocks_ref[ctx.group_linear()];
+                let (bi, bj) = bv.get(ctx.group_linear());
                 // Local tile (BLOCK+1)² with the halo row/column, the
                 // shared array whose diagonal access forces arbiters.
                 let tile = ctx.local_array::<i32>((BLOCK + 1) * (BLOCK + 1));

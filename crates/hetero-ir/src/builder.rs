@@ -25,6 +25,7 @@ impl LoopBuilder {
                 children: Vec::new(),
                 data_dependent_exit: false,
                 loop_carried_dep: false,
+                barriers: 0,
             },
         }
     }
@@ -62,6 +63,13 @@ impl LoopBuilder {
     /// Mark a loop-carried dependence (unrestructured reductions).
     pub fn loop_carried_dep(mut self) -> Self {
         self.l.loop_carried_dep = true;
+        self
+    }
+
+    /// Set the number of work-group barriers the body executes per
+    /// iteration (ND-Range kernels).
+    pub fn barriers(mut self, n: u64) -> Self {
+        self.l.barriers = n;
         self
     }
 

@@ -205,6 +205,11 @@ pub struct Loop {
     /// (loop-carried dependence) — forces II > 1 unless the reduction is
     /// restructured.
     pub loop_carried_dep: bool,
+    /// Work-group barriers executed by the body, per iteration (ND-Range
+    /// kernels). A barrier inside a loop whose iteration count diverges
+    /// across work-items is undefined behaviour in SYCL; the static
+    /// verifier rejects that combination.
+    pub barriers: u64,
 }
 
 /// ND-Range or Single-Task execution style (the central dichotomy of the

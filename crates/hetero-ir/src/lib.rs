@@ -27,10 +27,12 @@ pub mod builder;
 pub mod dpct;
 pub mod ir;
 pub mod printer;
+pub mod verify;
 
 pub use analysis::{KernelCost, LoopCost};
 pub use builder::{KernelBuilder, LoopBuilder};
 pub use printer::{print_kernel, validate_kernel, ValidationError};
+pub use verify::{verify_kernel, verify_kernels, DeviceLimits, VerifyError};
 pub use ir::{
     AccessPattern, Kernel, KernelStyle, LocalArrayDecl, Loop, LoopAttrs, OpMix, Scalar,
 };

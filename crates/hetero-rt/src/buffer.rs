@@ -20,12 +20,16 @@
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::error::{Error, Result};
+use crate::sanitize::{self, AccessKind};
 
 struct Storage<T> {
     // Box<[T]> kept alive for the lifetime of every view; never
     // reallocated after construction, so raw pointers into it stay valid.
     data: Mutex<Box<[T]>>,
     len: usize,
+    // Process-unique id for the race sanitizer's shadow tracking;
+    // allocation order is program order, so ids are deterministic.
+    id: u64,
 }
 
 impl<T> Storage<T> {
@@ -55,7 +59,11 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
     pub fn new(len: usize) -> Self {
         let data: Box<[T]> = (0..len).map(|_| T::default()).collect();
         Buffer {
-            storage: Arc::new(Storage { data: Mutex::new(data), len }),
+            storage: Arc::new(Storage {
+                data: Mutex::new(data),
+                len,
+                id: sanitize::next_object_id(),
+            }),
         }
     }
 
@@ -65,6 +73,7 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
             storage: Arc::new(Storage {
                 data: Mutex::new(src.to_vec().into_boxed_slice()),
                 len: src.len(),
+                id: sanitize::next_object_id(),
             }),
         }
     }
@@ -126,6 +135,8 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
         GlobalView {
             ptr: guard.as_mut_ptr(),
             len: self.storage.len,
+            object: self.storage.id,
+            base: 0,
             _keepalive: Arc::clone(&self.storage) as Arc<dyn Send + Sync>,
         }
     }
@@ -144,6 +155,8 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
             // SAFETY: offset+len <= allocation length, checked above.
             ptr: unsafe { guard.as_mut_ptr().add(offset) },
             len,
+            object: self.storage.id,
+            base: offset,
             _keepalive: Arc::clone(&self.storage) as Arc<dyn Send + Sync>,
         })
     }
@@ -164,6 +177,11 @@ unsafe impl<T: Send> Sync for Storage<T> {}
 pub struct GlobalView<T> {
     ptr: *mut T,
     len: usize,
+    // Sanitizer identity: the owning buffer's id and this view's element
+    // offset into it, so sub-range views alias correctly in the shadow
+    // state (element identity is `base + i`).
+    object: u64,
+    base: usize,
     _keepalive: Arc<dyn Send + Sync>,
 }
 
@@ -178,6 +196,8 @@ impl<T> Clone for GlobalView<T> {
         GlobalView {
             ptr: self.ptr,
             len: self.len,
+            object: self.object,
+            base: self.base,
             _keepalive: Arc::clone(&self._keepalive),
         }
     }
@@ -225,6 +245,7 @@ impl<T: Copy> GlobalView<T> {
         if i >= self.len {
             oob(i, 1, self.len);
         }
+        sanitize::record_global(self.object, self.base + i, AccessKind::Read);
         // SAFETY: bounds checked above; allocation alive via _keepalive.
         unsafe { self.ptr.add(i).read() }
     }
@@ -236,6 +257,7 @@ impl<T: Copy> GlobalView<T> {
         if i >= self.len {
             return Err(Error::AccessOutOfBounds { offset: i, len: 1, buffer_len: self.len });
         }
+        sanitize::record_global(self.object, self.base + i, AccessKind::Read);
         // SAFETY: bounds checked above; allocation alive via _keepalive.
         Ok(unsafe { self.ptr.add(i).read() })
     }
@@ -247,6 +269,7 @@ impl<T: Copy> GlobalView<T> {
         if i >= self.len {
             oob(i, 1, self.len);
         }
+        sanitize::record_global(self.object, self.base + i, AccessKind::Write);
         // SAFETY: bounds checked above; allocation alive via _keepalive.
         unsafe { self.ptr.add(i).write(v) }
     }
@@ -257,9 +280,24 @@ impl<T: Copy> GlobalView<T> {
         if i >= self.len {
             return Err(Error::AccessOutOfBounds { offset: i, len: 1, buffer_len: self.len });
         }
+        sanitize::record_global(self.object, self.base + i, AccessKind::Write);
         // SAFETY: bounds checked above; allocation alive via _keepalive.
         unsafe { self.ptr.add(i).write(v) }
         Ok(())
+    }
+
+    /// Store without the sanitizer hook (bounds check still applies).
+    /// Exists solely so `sanitize_overhead` can measure the hook's cost
+    /// against an otherwise identical accessor; not part of the public
+    /// API surface.
+    #[doc(hidden)]
+    #[inline]
+    pub fn set_unhooked(&self, i: usize, v: T) {
+        if i >= self.len {
+            oob(i, 1, self.len);
+        }
+        // SAFETY: bounds checked above; allocation alive via _keepalive.
+        unsafe { self.ptr.add(i).write(v) }
     }
 
     /// Read-modify-write of element `i` on a single thread. Not atomic —
@@ -289,6 +327,7 @@ impl GlobalView<u32> {
         if i >= self.len {
             oob(i, 1, self.len);
         }
+        sanitize::record_global(self.object, self.base + i, AccessKind::Atomic);
         // SAFETY: element is within the allocation; AtomicU32 has the same
         // layout as u32 and all concurrent accesses to this element in
         // kernels using atomics go through this method.
@@ -305,6 +344,7 @@ impl GlobalView<f32> {
         if i >= self.len {
             oob(i, 1, self.len);
         }
+        sanitize::record_global(self.object, self.base + i, AccessKind::Atomic);
         // SAFETY: as in atomic_add_u32; f32 is reinterpreted bitwise.
         let a = unsafe { &*(self.ptr.add(i) as *const std::sync::atomic::AtomicU32) };
         let mut cur = a.load(std::sync::atomic::Ordering::Relaxed);

@@ -89,6 +89,22 @@ pub enum Error {
         /// Requested allocation size in bytes.
         bytes: usize,
     },
+    /// The dynamic race sanitizer ([`crate::sanitize`]) observed a
+    /// SYCL-memory-model violation during the launch: conflicting
+    /// accesses to the same element from different work-groups, from
+    /// work-items of one group without a separating barrier, or a read
+    /// of local memory that was never written. Carries the first report
+    /// in the launch's deterministic (element-sorted) ordering; the full
+    /// report list is available via
+    /// [`crate::sanitize::take_last_reports`].
+    DataRace {
+        /// Kernel name the submission was given.
+        kernel: &'static str,
+        /// Element index within the racing buffer / local array.
+        element: usize,
+        /// Conflict class.
+        kind: crate::sanitize::RaceKind,
+    },
     /// A pipe operation failed because the other endpoint disconnected.
     PipeClosed,
     /// A blocking pipe operation timed out; in this runtime that is
@@ -136,6 +152,10 @@ impl fmt::Display for Error {
             Error::UsmAllocFailed { device, bytes } => write!(
                 f,
                 "USM allocation of {bytes} B returned null on device '{device}'"
+            ),
+            Error::DataRace { kernel, element, kind } => write!(
+                f,
+                "kernel '{kernel}': data race on element {element} ({kind})"
             ),
             Error::PipeClosed => write!(f, "pipe endpoint disconnected"),
             Error::PipeDeadlock { waited_secs } => write!(
@@ -203,6 +223,20 @@ mod tests {
 
         let e = Error::UsmAllocFailed { device: "Agilex FPGA".into(), bytes: 4096 };
         assert!(e.to_string().contains("4096"));
+    }
+
+    #[test]
+    fn data_race_displays_triple_and_is_not_fallback_eligible() {
+        let e = Error::DataRace {
+            kernel: "racy",
+            element: 12,
+            kind: crate::sanitize::RaceKind::WriteWrite,
+        };
+        let s = e.to_string();
+        assert!(s.contains("racy") && s.contains("12") && s.contains("write-write"), "{s}");
+        // Groups already wrote global memory by the time a race is
+        // detected, so a CPU re-run could observe partial results.
+        assert!(!e.is_cpu_fallback_eligible());
     }
 
     #[test]

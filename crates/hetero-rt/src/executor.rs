@@ -100,7 +100,7 @@ pub fn run_groups_timed<K>(
 where
     K: Fn(&GroupCtx) + Sync,
 {
-    run_groups_contained(nd, parallelism, local_mem_limit, "<kernel>", None, kernel)
+    run_groups_contained(nd, parallelism, local_mem_limit, "<kernel>", None, false, kernel)
         .unwrap_or_else(|e| std::panic::panic_any(e))
 }
 
@@ -118,12 +118,20 @@ where
 /// (a stateless hash decision, see [`FaultPlan::should_panic`]); when
 /// `None`, the per-group cost is one branch — the overhead bounded by the
 /// `chaos_overhead` microbenchmark.
+///
+/// When `sanitize` is true, the launch runs under the dynamic race
+/// detector ([`crate::sanitize`]): every group records shadow access
+/// logs, merged and analysed here at launch end. Findings surface as a
+/// typed [`Error::DataRace`] (first finding in the deterministic report
+/// order); the full list is stashed for
+/// [`crate::sanitize::take_last_reports`] on the submitting thread.
 pub fn run_groups_contained<K>(
     nd: NdRange,
     parallelism: Parallelism,
     local_mem_limit: usize,
     kernel_name: &'static str,
     plan: Option<&FaultPlan>,
+    sanitize: bool,
     kernel: &K,
 ) -> Result<(LaunchStats, Duration)>
 where
@@ -133,16 +141,24 @@ where
     let num_groups = nd.num_groups();
     let groups_range = nd.groups();
     let threads = parallelism.thread_count().min(num_groups.max(1));
+    let session = sanitize.then(|| crate::sanitize::LaunchSession::begin(kernel_name));
 
     let run_one = |g: usize, acc: &mut ChunkStats| -> std::result::Result<(), Error> {
         let gid = groups_range.delinearize(g);
         let ctx = GroupCtx::new(gid, nd, local_mem_limit);
+        let prev_recorder = session.as_ref().map(|s| s.install_recorder(g));
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
             if let Some(p) = plan {
                 p.maybe_panic(kernel_name, g);
             }
             kernel(&ctx);
         }));
+        if let Some(s) = session.as_ref() {
+            // Merge the group's shadow log (discarded on panic: the
+            // launch already fails with the panic's own error) and
+            // restore any enclosing launch's recorder on this thread.
+            s.finish_group(prev_recorder.flatten(), r.is_ok());
+        }
         match r {
             Ok(()) => {
                 acc.absorb(&ctx);
@@ -152,6 +168,22 @@ where
         }
     };
 
+    // After all groups finished cleanly: cross-group race analysis. The
+    // first report (in the deterministic sorted order) becomes the
+    // launch's typed error.
+    let analyze = |session: Option<crate::sanitize::LaunchSession>| -> Result<()> {
+        let Some(s) = session else { return Ok(()) };
+        let reports = s.finish();
+        let Some(first) = reports.first() else { return Ok(()) };
+        let err = Error::DataRace {
+            kernel: kernel_name,
+            element: first.element,
+            kind: first.kind,
+        };
+        crate::sanitize::stash_reports(reports);
+        Err(err)
+    };
+
     if threads <= 1 {
         // Deterministic path: ascending group order on the calling
         // thread, no pool involvement, no atomics.
@@ -159,6 +191,7 @@ where
         for g in 0..num_groups {
             run_one(g, &mut acc)?;
         }
+        analyze(session)?;
         return Ok((
             LaunchStats {
                 groups: num_groups as u64,
@@ -211,6 +244,7 @@ where
     {
         return Err(e);
     }
+    analyze(session)?;
 
     Ok((
         LaunchStats {
@@ -405,7 +439,7 @@ mod tests {
     fn kernel_panic_contained_in_both_modes() {
         for p in [Parallelism::Sequential, Parallelism::Auto, Parallelism::Threads(3)] {
             let nd = NdRange::d1(1024, 32);
-            let e = run_groups_contained(nd, p, 1 << 20, "boomer", None, &|ctx: &GroupCtx| {
+            let e = run_groups_contained(nd, p, 1 << 20, "boomer", None, false, &|ctx: &GroupCtx| {
                 if ctx.group_linear() == 7 {
                     panic!("deliberate kernel bug");
                 }
@@ -444,6 +478,7 @@ mod tests {
             1 << 20,
             "victim",
             Some(&plan),
+            false,
             &|_ctx: &GroupCtx| {},
         )
         .unwrap_err();
@@ -462,6 +497,7 @@ mod tests {
             1 << 20,
             "bystander",
             Some(&plan),
+            false,
             &|_ctx: &GroupCtx| {},
         );
         assert!(r.is_ok());
@@ -479,6 +515,7 @@ mod tests {
             1 << 20,
             "oob",
             None,
+            false,
             &|ctx: &GroupCtx| {
                 ctx.items(|it| v.set(it.global_linear, 1)); // 8..15 out of bounds
             },

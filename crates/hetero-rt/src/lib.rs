@@ -64,6 +64,7 @@ pub mod pipe;
 pub mod pool;
 pub mod queue;
 pub mod reduction;
+pub mod sanitize;
 pub mod usm;
 
 pub use buffer::{Buffer, GlobalView};
@@ -77,6 +78,7 @@ pub use local::{LocalArray, PrivateArray};
 pub use ndrange::{GroupCtx, Item, NdRange, Range};
 pub use pipe::Pipe;
 pub use queue::{Fallback, Queue, RetryPolicy};
+pub use sanitize::{MemSpace, RaceKind, RaceReport};
 
 /// Crate-wide prelude bringing the common runtime types into scope,
 /// mirroring `sycl.hpp`'s role in the original code base.
@@ -90,4 +92,5 @@ pub mod prelude {
     pub use crate::ndrange::{GroupCtx, Item, NdRange, Range};
     pub use crate::pipe::Pipe;
     pub use crate::queue::{Fallback, Queue, RetryPolicy};
+    pub use crate::sanitize::{MemSpace, RaceKind, RaceReport};
 }

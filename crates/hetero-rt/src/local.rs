@@ -17,24 +17,37 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use crate::sanitize::{self, AccessKind};
+
 /// A work-group-shared array of `T`.
 ///
 /// Cloning shares the underlying storage (all work-items of the group see
 /// the same memory).
 pub struct LocalArray<T> {
     data: Rc<RefCell<Box<[T]>>>,
+    // Per-group allocation index under the race sanitizer; `None` when
+    // the owning launch is not sanitized, making the accessor hooks a
+    // single never-taken branch.
+    san_id: Option<u64>,
 }
 
 impl<T> Clone for LocalArray<T> {
     fn clone(&self) -> Self {
-        LocalArray { data: Rc::clone(&self.data) }
+        LocalArray { data: Rc::clone(&self.data), san_id: self.san_id }
     }
 }
 
 impl<T: Copy + Default> LocalArray<T> {
-    pub(crate) fn new(len: usize) -> Self {
+    pub(crate) fn new(len: usize, san_id: Option<u64>) -> Self {
         let data: Box<[T]> = (0..len).map(|_| T::default()).collect();
-        LocalArray { data: Rc::new(RefCell::new(data)) }
+        LocalArray { data: Rc::new(RefCell::new(data)), san_id }
+    }
+
+    #[inline]
+    fn record(&self, i: usize, kind: AccessKind) {
+        if let Some(id) = self.san_id {
+            sanitize::record_local(id, i, kind);
+        }
     }
 
     /// Number of elements.
@@ -50,12 +63,14 @@ impl<T: Copy + Default> LocalArray<T> {
     /// Load element `i`.
     #[inline]
     pub fn get(&self, i: usize) -> T {
+        self.record(i, AccessKind::Read);
         self.data.borrow()[i]
     }
 
     /// Store `v` at element `i`.
     #[inline]
     pub fn set(&self, i: usize, v: T) {
+        self.record(i, AccessKind::Write);
         self.data.borrow_mut()[i] = v;
     }
 
@@ -64,13 +79,20 @@ impl<T: Copy + Default> LocalArray<T> {
     /// (common in tree reductions).
     #[inline]
     pub fn update(&self, i: usize, f: impl FnOnce(T) -> T) {
+        self.record(i, AccessKind::Read);
         let cur = self.data.borrow()[i];
         let new = f(cur);
+        self.record(i, AccessKind::Write);
         self.data.borrow_mut()[i] = new;
     }
 
     /// Fill the whole array with `v`.
     pub fn fill(&self, v: T) {
+        if self.san_id.is_some() {
+            for i in 0..self.len() {
+                self.record(i, AccessKind::Write);
+            }
+        }
         self.data.borrow_mut().iter_mut().for_each(|x| *x = v);
     }
 
@@ -144,7 +166,7 @@ impl LocalArena {
             });
         }
         self.bytes += req;
-        LocalArray::new(len)
+        LocalArray::new(len, sanitize::next_local_array_id())
     }
 
     pub(crate) fn bytes(&self) -> usize {
@@ -158,7 +180,7 @@ mod tests {
 
     #[test]
     fn local_array_shared_between_clones() {
-        let a = LocalArray::<f32>::new(4);
+        let a = LocalArray::<f32>::new(4, None);
         let b = a.clone();
         a.set(2, 5.5);
         assert_eq!(b.get(2), 5.5);
@@ -166,7 +188,7 @@ mod tests {
 
     #[test]
     fn fill_and_snapshot() {
-        let a = LocalArray::<i32>::new(3);
+        let a = LocalArray::<i32>::new(3, None);
         a.fill(-1);
         assert_eq!(a.to_vec(), vec![-1, -1, -1]);
     }

@@ -251,8 +251,10 @@ impl GroupCtx {
                 local_linear: lin,
                 global_linear: self.nd.global.linearize(global),
             };
+            crate::sanitize::set_current_item(Some(lin));
             f(item);
         }
+        crate::sanitize::set_current_item(None);
         self.items_executed.set(self.items_executed.get() + ls.size() as u64);
     }
 
@@ -261,6 +263,7 @@ impl GroupCtx {
     /// kept so migration passes and tests can verify the paper's
     /// barrier-narrowing optimisation was applied.
     pub fn barrier(&self, space: FenceSpace) {
+        crate::sanitize::phase_bump();
         match space {
             FenceSpace::Local => self.barriers_local.set(self.barriers_local.get() + 1),
             FenceSpace::Global => self.barriers_global.set(self.barriers_global.get() + 1),

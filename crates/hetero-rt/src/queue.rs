@@ -113,6 +113,7 @@ pub struct Queue {
     retry: RetryPolicy,
     fallback: Fallback,
     fault: Option<Arc<FaultPlan>>,
+    sanitize: bool,
     inflight: Arc<InFlight>,
 }
 
@@ -124,7 +125,10 @@ impl Queue {
     /// If `HETERO_RT_FAULT_SEED` is set, the queue adopts the
     /// process-wide environment fault plan together with
     /// [`RetryPolicy::resilient`], so chaos runs exercise every
-    /// application without code changes.
+    /// application without code changes. If `HETERO_RT_SANITIZE=1` is
+    /// set, every launch on the queue runs under the dynamic race
+    /// detector ([`crate::sanitize`]); see [`Queue::with_sanitizer`] for
+    /// the per-queue override.
     pub fn new(device: Device) -> Self {
         let fault = FaultPlan::env_plan();
         let retry = if fault.is_some() { RetryPolicy::resilient() } else { RetryPolicy::default() };
@@ -135,6 +139,7 @@ impl Queue {
             retry,
             fallback: Fallback::None,
             fault,
+            sanitize: crate::sanitize::env_enabled(),
             inflight: Arc::new(InFlight::default()),
         }
     }
@@ -169,6 +174,21 @@ impl Queue {
     pub fn with_fault_plan(mut self, plan: Option<Arc<FaultPlan>>) -> Self {
         self.fault = plan;
         self
+    }
+
+    /// Enable or disable the dynamic race sanitizer for launches on this
+    /// queue, overriding the `HETERO_RT_SANITIZE` environment default.
+    /// Sanitized launches record every buffer / USM / local-array element
+    /// access and fail with [`Error::DataRace`] when the kernel violates
+    /// the SYCL memory model (see [`crate::sanitize`]).
+    pub fn with_sanitizer(mut self, on: bool) -> Self {
+        self.sanitize = on;
+        self
+    }
+
+    /// Whether launches on this queue run under the race sanitizer.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitize
     }
 
     /// The queue's device.
@@ -237,6 +257,7 @@ impl Queue {
             device.caps().local_mem_bytes,
             name,
             plan,
+            self.sanitize,
             kernel,
         )
     }

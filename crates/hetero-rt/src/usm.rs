@@ -14,6 +14,7 @@
 use crate::device::Device;
 use crate::error::{Error, Result};
 use crate::fault::FaultPlan;
+use crate::sanitize::{self, AccessKind};
 
 /// USM allocation kind, mirroring `sycl::usm::alloc`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,9 @@ pub struct UsmAlloc<T> {
     data: Vec<T>,
     kind: UsmKind,
     advices: Vec<MemAdvice>,
+    // Process-unique id in the same namespace as buffer ids, so the race
+    // sanitizer tracks USM elements with the same shadow machinery.
+    id: u64,
 }
 
 impl<T: Copy + Default> UsmAlloc<T> {
@@ -75,7 +79,61 @@ impl<T: Copy + Default> UsmAlloc<T> {
             data: vec![T::default(); len],
             kind,
             advices: Vec::new(),
+            id: sanitize::next_object_id(),
         })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the allocation holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Load element `i`. Out-of-bounds raises the same typed
+    /// [`Error::AccessOutOfBounds`] panic payload as
+    /// [`crate::GlobalView::get`], which kernel containment converts into
+    /// an error return from the launch.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        self.try_get(i).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible load: `Err(Error::AccessOutOfBounds)` instead of a panic
+    /// — the same `try_*` parity [`crate::GlobalView`] offers.
+    #[inline]
+    pub fn try_get(&self, i: usize) -> Result<T> {
+        let Some(&v) = self.data.get(i) else {
+            return Err(Error::AccessOutOfBounds {
+                offset: i,
+                len: 1,
+                buffer_len: self.data.len(),
+            });
+        };
+        sanitize::record_global(self.id, i, AccessKind::Read);
+        Ok(v)
+    }
+
+    /// Store `v` at element `i`. Out-of-bounds behaves as in
+    /// [`UsmAlloc::get`].
+    #[inline]
+    pub fn set(&mut self, i: usize, v: T) {
+        self.try_set(i, v).unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible store: `Err(Error::AccessOutOfBounds)` instead of a panic.
+    #[inline]
+    pub fn try_set(&mut self, i: usize, v: T) -> Result<()> {
+        let len = self.data.len();
+        let Some(slot) = self.data.get_mut(i) else {
+            return Err(Error::AccessOutOfBounds { offset: i, len: 1, buffer_len: len });
+        };
+        *slot = v;
+        sanitize::record_global(self.id, i, AccessKind::Write);
+        Ok(())
     }
 
     /// Allocation kind.
@@ -141,6 +199,36 @@ mod tests {
             UsmAlloc::<f64>::new_with_fault(&Device::cpu(), UsmKind::Shared, 8, Some(&quiet))
                 .is_ok()
         );
+    }
+
+    #[test]
+    fn element_accessors_roundtrip_and_check_bounds() {
+        let mut a = UsmAlloc::<u32>::new(&Device::cpu(), UsmKind::Shared, 4).unwrap();
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        a.set(2, 99);
+        assert_eq!(a.get(2), 99);
+        assert_eq!(a.try_get(3).unwrap(), 0);
+        assert!(matches!(
+            a.try_get(4),
+            Err(Error::AccessOutOfBounds { offset: 4, len: 1, buffer_len: 4 })
+        ));
+        assert!(matches!(
+            a.try_set(7, 1),
+            Err(Error::AccessOutOfBounds { offset: 7, len: 1, buffer_len: 4 })
+        ));
+        // Bounds survive as the in-bounds slice contents.
+        assert_eq!(a.as_slice(), &[0, 0, 99, 0]);
+    }
+
+    #[test]
+    fn oob_access_panics_with_typed_payload() {
+        crate::fault::install_quiet_hook();
+        let a = UsmAlloc::<u8>::new(&Device::cpu(), UsmKind::Host, 2).unwrap();
+        let payload =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.get(2))).unwrap_err();
+        let e = payload.downcast::<Error>().expect("typed payload");
+        assert_eq!(*e, Error::AccessOutOfBounds { offset: 2, len: 1, buffer_len: 2 });
     }
 
     #[test]

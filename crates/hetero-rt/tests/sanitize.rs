@@ -1,0 +1,273 @@
+//! End-to-end tests of the hetero-san dynamic race detector: seeded
+//! true-positive kernels (cross-group write/write and read/write races,
+//! a missed intra-group barrier, an uninitialised local read) must be
+//! detected with the exact same `(kernel, element, kind)` triple on
+//! every run, and representative clean kernels — including the group
+//! collectives and a cooperative grid launch — must stay silent.
+
+use hetero_rt::executor::Parallelism;
+use hetero_rt::group_algorithms::{group_all_of, group_broadcast, group_exclusive_scan, group_reduce};
+use hetero_rt::ndrange::FenceSpace;
+use hetero_rt::prelude::*;
+use hetero_rt::sanitize::take_last_reports;
+
+fn sanitized_queue() -> Queue {
+    Queue::new(Device::cpu()).with_sanitizer(true)
+}
+
+/// Stable projection of a report: everything except the process-global
+/// allocation id (a fresh buffer per run gets a fresh id).
+fn triple(r: &hetero_rt::RaceReport) -> (&'static str, usize, RaceKind, usize, Option<usize>) {
+    (r.kernel, r.element, r.kind, r.group, r.other_group)
+}
+
+/// Two work-groups writing the same global element is the canonical
+/// unsynchronised race. The detector must name the exact element and
+/// the two *smallest* involved groups, independent of pool scheduling.
+#[test]
+fn seeded_write_write_race_is_detected_deterministically() {
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        for par in [Parallelism::Sequential, Parallelism::Auto] {
+            let q = sanitized_queue().with_parallelism(par);
+            let b = Buffer::<u32>::new(8);
+            let v = b.view();
+            let e = q
+                .nd_range("racy", NdRange::d1(64 * 16, 16), move |ctx| {
+                    // Every group writes element 0 — 64-way conflict.
+                    v.set(0, ctx.group_linear() as u32);
+                })
+                .unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    Error::DataRace { kernel: "racy", element: 0, kind: RaceKind::WriteWrite }
+                ),
+                "{par:?}: {e:?}"
+            );
+            let reports = take_last_reports();
+            assert_eq!(reports.len(), 1, "one racy element → one report: {reports:?}");
+            runs.push(triple(&reports[0]));
+        }
+    }
+    // Identical triple on every run and both execution modes: the two
+    // smallest of the 64 racing groups.
+    assert!(runs.iter().all(|t| *t == ("racy", 0, RaceKind::WriteWrite, 0, Some(1))), "{runs:?}");
+}
+
+/// One group writes an element other groups read: a read/write conflict
+/// (groups are unordered, so the readers may observe either value).
+#[test]
+fn seeded_read_write_race_is_detected() {
+    let q = sanitized_queue();
+    let b = Buffer::<u32>::new(8);
+    let v = b.view();
+    let e = q
+        .nd_range("rw_racy", NdRange::d1(4 * 8, 8), move |ctx| {
+            if ctx.group_linear() == 3 {
+                v.set(5, 7);
+            } else {
+                std::hint::black_box(v.get(5));
+            }
+        })
+        .unwrap_err();
+    assert!(
+        matches!(e, Error::DataRace { kernel: "rw_racy", element: 5, kind: RaceKind::ReadWrite }),
+        "{e:?}"
+    );
+    let reports = take_last_reports();
+    assert_eq!(triple(&reports[0]), ("rw_racy", 5, RaceKind::ReadWrite, 0, Some(3)));
+}
+
+/// All work-items of one group store to the same local slot within a
+/// single barrier phase — concurrent on real hardware, silently
+/// serialised here. The detector reports the missed barrier once.
+#[test]
+fn seeded_missed_barrier_is_detected_deterministically() {
+    for _ in 0..2 {
+        let q = sanitized_queue();
+        let e = q
+            .nd_range("no_barrier", NdRange::d1(32, 32), move |ctx| {
+                let l = ctx.local_array::<u32>(4);
+                ctx.items(|it| l.set(0, it.lid(0) as u32));
+            })
+            .unwrap_err();
+        assert!(
+            matches!(
+                e,
+                Error::DataRace { kernel: "no_barrier", element: 0, kind: RaceKind::MissedBarrier }
+            ),
+            "{e:?}"
+        );
+        let reports = take_last_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(triple(&reports[0]), ("no_barrier", 0, RaceKind::MissedBarrier, 0, None));
+        assert_eq!(reports[0].space, MemSpace::Local);
+        assert_eq!(reports[0].phase, Some(0));
+    }
+}
+
+/// The classic tree reduction is exactly the seeded missed-barrier
+/// kernel *fixed*: distinct slots per item, a barrier between write and
+/// read phases. It must run clean under the sanitizer.
+#[test]
+fn barrier_separated_tree_reduction_is_clean() {
+    let q = sanitized_queue();
+    let b = Buffer::<u32>::new(4);
+    let v = b.view();
+    q.nd_range("tree_reduce", NdRange::d1(4 * 8, 8), move |ctx| {
+        let l = ctx.local_array::<u32>(8);
+        ctx.items(|it| l.set(it.lid(0), it.gid(0) as u32));
+        let mut stride = 4;
+        while stride > 0 {
+            ctx.barrier(FenceSpace::Local);
+            ctx.items(|it| {
+                let lid = it.lid(0);
+                if lid < stride {
+                    l.set(lid, l.get(lid) + l.get(lid + stride));
+                }
+            });
+            stride /= 2;
+        }
+        v.set(ctx.group_linear(), l.get(0));
+    })
+    .expect("barrier-separated reduction must be race-free");
+    assert_eq!(b.to_vec(), vec![28, 92, 156, 220]);
+}
+
+/// Local (shared) memory is not zero-initialised by SYCL; reading a
+/// never-written element is a portability bug this runtime would
+/// otherwise mask by zero-filling.
+#[test]
+fn seeded_uninitialised_local_read_is_detected() {
+    let q = sanitized_queue();
+    let e = q
+        .nd_range("uninit", NdRange::d1(8, 8), move |ctx| {
+            let l = ctx.local_array::<u32>(4);
+            ctx.items(|it| {
+                if it.lid(0) == 0 {
+                    std::hint::black_box(l.get(3));
+                }
+            });
+        })
+        .unwrap_err();
+    assert!(
+        matches!(e, Error::DataRace { kernel: "uninit", element: 3, kind: RaceKind::UninitRead }),
+        "{e:?}"
+    );
+    assert_eq!(triple(&take_last_reports()[0]), ("uninit", 3, RaceKind::UninitRead, 0, None));
+}
+
+/// Atomic accumulation across groups is the sanctioned way to share a
+/// global element; atomics must never be flagged against each other.
+#[test]
+fn cross_group_atomics_are_not_a_race() {
+    let q = sanitized_queue();
+    let b = Buffer::<u32>::new(1);
+    let v = b.view();
+    q.nd_range("atomic_acc", NdRange::d1(16 * 8, 8), move |ctx| {
+        ctx.items(|it| {
+            std::hint::black_box(it);
+            v.atomic_add_u32(0, 1);
+        });
+    })
+    .expect("atomic-only sharing is race-free");
+    assert_eq!(b.to_vec()[0], 128);
+}
+
+/// ...but a plain write racing another group's atomics is still a
+/// write/write conflict.
+#[test]
+fn plain_write_vs_atomic_is_detected() {
+    let q = sanitized_queue();
+    let b = Buffer::<u32>::new(1);
+    let v = b.view();
+    let e = q
+        .nd_range("mixed", NdRange::d1(4 * 4, 4), move |ctx| {
+            if ctx.group_linear() == 2 {
+                v.set(0, 0);
+            } else {
+                v.atomic_add_u32(0, 1);
+            }
+        })
+        .unwrap_err();
+    assert!(
+        matches!(e, Error::DataRace { kernel: "mixed", element: 0, kind: RaceKind::WriteWrite }),
+        "{e:?}"
+    );
+}
+
+/// The group collectives run in uniform context (one thread legitimately
+/// walks every item's private slot); they must be race-free under the
+/// sanitizer, pinning the uniform-context exemption.
+#[test]
+fn group_collectives_run_clean_under_sanitizer() {
+    let q = sanitized_queue();
+    let out = Buffer::<u32>::new(4 * 3);
+    let ov = out.view();
+    q.nd_range("collectives", NdRange::d1(4 * 16, 16), move |ctx| {
+        let vals = ctx.private_array::<u32>();
+        let flags = ctx.private_array::<bool>();
+        ctx.items(|it| {
+            vals.set(it.lid(0), it.lid(0) as u32);
+            flags.set(it.lid(0), true);
+        });
+        ctx.barrier(FenceSpace::Local);
+        let g = ctx.group_linear();
+        ov.set(g * 3, group_reduce(ctx, &vals, 0, |a, b| a + b));
+        ov.set(g * 3 + 1, group_broadcast(ctx, &vals, 5));
+        let scanned = group_exclusive_scan(ctx, &vals, 0, |a, b| a + b);
+        ov.set(g * 3 + 2, scanned.get(15) + u32::from(group_all_of(ctx, &flags)));
+    })
+    .expect("collectives must be race-free under the sanitizer");
+    let got = out.to_vec();
+    for g in 0..4 {
+        assert_eq!(&got[g * 3..g * 3 + 3], &[120, 5, 106]);
+    }
+}
+
+/// A cooperative (grid-synchronised) ping-pong runs each grid phase as
+/// its own launch; per-launch race scoping must keep the cross-phase
+/// reads clean while still checking within each phase.
+#[test]
+fn cooperative_grid_phases_run_clean_under_sanitizer() {
+    let q = sanitized_queue();
+    let n = 64;
+    let a = Buffer::<f32>::from_slice(&vec![1.0f32; n]);
+    let bb = Buffer::<f32>::new(n);
+    let (av, bv) = (a.view(), bb.view());
+    q.nd_range_cooperative("ping_pong", NdRange::d1(n, 16), move |grid| {
+        for step in 0..4 {
+            let (src, dst) =
+                if step % 2 == 0 { (av.clone(), bv.clone()) } else { (bv.clone(), av.clone()) };
+            grid.items(move |it| {
+                let i = it.global_linear;
+                dst.set(i, src.get(i) * 2.0);
+            });
+            grid.sync();
+        }
+    })
+    .expect("grid phases write disjoint elements — race-free");
+    assert!(a.to_vec().iter().all(|&x| x == 16.0));
+}
+
+/// `HETERO_RT_SANITIZE` seeds the queue default; `with_sanitizer` both
+/// overrides it and is introspectable.
+#[test]
+fn sanitizer_toggle_is_explicit_and_introspectable() {
+    let q = Queue::new(Device::cpu());
+    // Env is unset in the test harness: default off, opt-in works.
+    assert!(!q.sanitizer_enabled());
+    assert!(q.with_sanitizer(true).sanitizer_enabled());
+
+    // With the sanitizer off, the seeded racy kernel is (wrongly but
+    // silently) accepted — demonstrating the detector is the only thing
+    // standing between this bug class and a clean exit code.
+    let q = Queue::new(Device::cpu()).with_sanitizer(false);
+    let b = Buffer::<u32>::new(1);
+    let v = b.view();
+    q.nd_range("racy_unchecked", NdRange::d1(8 * 4, 4), move |ctx| {
+        v.set(0, ctx.group_linear() as u32);
+    })
+    .expect("without the sanitizer the race is silent");
+}

@@ -8,6 +8,19 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo clippy --all-targets --offline -- -D warnings
+cargo clippy --all-targets --offline --features heavy-tests -- -D warnings
+
+# hetero-san layer 3: repo lint over every kernel closure in crates/core
+# (no unwrap/expect, no raw indexing around BufferView, no HashMap
+# iteration-order dependence, no std::time). Exits nonzero on violation.
+./target/release/lint
+
+# hetero-san layers 2+1 smoke: static IR verification of every suite
+# configuration, then the full 13-config matrix at size 1 under the
+# dynamic race detector. Any race report, verifier error, or containment
+# break exits nonzero. (The full 13x3 matrix is the long-form gate:
+# `./target/release/sanitize` with no flags, ~7 minutes.)
+./target/release/sanitize --size 1
 
 # Chaos smoke matrix: the whole suite under seeded fault injection. Every
 # run must stay contained (correct results or a typed error; never a
@@ -21,4 +34,4 @@ for seed in 1 2 3 4 5; do
   done
 done
 
-echo "verify: build + tests + clippy + chaos matrix all green"
+echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix all green"
