@@ -89,7 +89,24 @@ fn main() {
         timeout.as_secs()
     );
 
+    // Shared golden-checksum registry, scoped to the size this matrix
+    // runs: "correct results" below means "matches a reference that has
+    // not silently drifted".
+    let golden_ok = match altis_core::suite::check_golden_registry_sizes(&[InputSize::S1]) {
+        Ok(n) => {
+            println!("chaos: golden-checksum registry ok ({n} digests match)");
+            true
+        }
+        Err(errs) => {
+            for e in &errs {
+                eprintln!("chaos: GOLDEN DRIFT: {e}");
+            }
+            false
+        }
+    };
+
     let mut broken = 0u32;
+    let mut runs = 0u32;
     let t0 = Instant::now();
     for app in all_apps() {
         if let Some(f) = &filter {
@@ -97,6 +114,7 @@ fn main() {
                 continue;
             }
         }
+        runs += 1;
         let q = Queue::new(Device::cpu());
         let outcome = run_resilient(&app, q, InputSize::S1, AppVersion::SyclBaseline, timeout);
         let healthy = pool_is_healthy();
@@ -123,7 +141,18 @@ fn main() {
         plan.injected(),
         broken
     );
-    if broken > 0 {
+    // Machine-readable verdict: always the last stdout line.
+    println!(
+        "{{\"harness\":\"chaos\",\"runs\":{runs},\"seed\":{},\"rate\":{},\
+         \"faults_injected\":{},\"violations\":{broken},\"golden_registry\":\"{}\",\
+         \"contained\":{}}}",
+        plan.seed(),
+        plan.rate(),
+        plan.injected(),
+        if golden_ok { "ok" } else { "drifted" },
+        broken == 0 && golden_ok
+    );
+    if broken > 0 || !golden_ok {
         std::process::exit(1);
     }
 }

@@ -20,6 +20,11 @@
 //! * **no-std-time** — no `std::time` / `Instant::now` inside kernels;
 //!   timing belongs to the queue's profiling events, and wall-clock
 //!   reads inside kernels diverge under the serialising CPU runtime.
+//! * **as-cast** — no narrowing integer `as` casts (`as u8`/`u16`/`u32`/
+//!   `i8`/`i16`/`i32`) inside kernels: `as` truncates silently, and a
+//!   wrapped index or accumulator corrupts data with no fault for the
+//!   SDC defense to catch. Suppress with `// lint:allow(as-cast)` plus
+//!   the invariant that makes the cast lossless.
 //!
 //! A violation is suppressed by a `// lint:allow(rule-name)` comment on
 //! the same line or the line above — used where an application
@@ -412,6 +417,31 @@ fn lint_body(
         while let Some(p) = find(body, pat, from) {
             push("no-std-time", p);
             from = p + pat.len();
+        }
+    }
+
+    // as-cast: narrowing integer `as` casts truncate silently — in a
+    // kernel a silently wrapped index or accumulator is a silent-data-
+    // corruption source of the program's own making, indistinguishable
+    // from a memory fault. Use a checked conversion, or justify the
+    // invariant with `// lint:allow(as-cast)`.
+    for pat in [
+        &b"as u8"[..],
+        &b"as u16"[..],
+        &b"as u32"[..],
+        &b"as i8"[..],
+        &b"as i16"[..],
+        &b"as i32"[..],
+    ] {
+        let mut from = 0;
+        while let Some(p) = find(body, pat, from) {
+            from = p + pat.len();
+            let pre_ok = p == 0 || !is_ident_byte(body[p - 1]);
+            let end = p + pat.len();
+            let post_ok = end >= body.len() || !is_ident_byte(body[end]);
+            if pre_ok && post_ok {
+                push("as-cast", p);
+            }
         }
     }
 

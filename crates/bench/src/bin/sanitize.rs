@@ -70,6 +70,21 @@ fn main() {
         }
     }
 
+    // Shared golden-checksum registry (tests/golden_checksums.tsv),
+    // scoped to the sizes this matrix runs: the references the race
+    // detector's "clean" verdicts compare against must not have
+    // silently drifted.
+    match altis_core::suite::check_golden_registry_sizes(&sizes) {
+        Ok(n) => println!("golden-checksum registry: {n} digests match"),
+        Err(errs) => {
+            eprintln!("golden-checksum registry drifted:");
+            for e in errs {
+                eprintln!("  {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+
     let apps = all_apps();
     let mut failures = 0usize;
     let mut runs = 0usize;

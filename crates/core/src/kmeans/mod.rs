@@ -138,6 +138,7 @@ pub fn run(q: &Queue, p: &KmeansParams, version: AppVersion) -> KmeansOutput {
                 }
                 if d < best_d {
                     best_d = d;
+                    // lint:allow(as-cast) cluster index < k, far below u32::MAX
                     best = c as u32;
                 }
             }

@@ -31,6 +31,66 @@ pub struct AppEntry {
     /// Run the app on the runtime and compare against its golden
     /// reference; returns true when the results agree.
     pub verify: fn(&Queue, InputSize, AppVersion) -> bool,
+    /// Deterministic digest of the *reference* output at a size
+    /// (host-side, never touches the runtime). Committed in
+    /// `tests/golden_checksums.tsv` and checked by the chaos / sanitize /
+    /// sdc harness binaries, so a silently drifting reference
+    /// implementation or data generator fails loudly.
+    pub golden_digest: fn(InputSize) -> u64,
+    /// Run the app and validate its output end-to-end: cheap structural
+    /// invariants first (cluster indices in range, boundary rows shaped
+    /// by the gap penalty, finite values), then the golden comparison.
+    /// The SDC harness quarantines any [`Validation::Invalid`] result.
+    pub validate: fn(&Queue, InputSize, AppVersion) -> Validation,
+}
+
+/// End-to-end verdict of one app run's output (see [`AppEntry::validate`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Validation {
+    /// Output satisfies its invariants and matches the reference.
+    Valid,
+    /// Output violates an invariant or diverges from the reference; the
+    /// string names the first failed check.
+    Invalid(String),
+}
+
+fn validation_from(matches_reference: bool) -> Validation {
+    if matches_reference {
+        Validation::Valid
+    } else {
+        Validation::Invalid("output diverged from the golden reference".to_string())
+    }
+}
+
+// --- golden-output digests -------------------------------------------------
+//
+// Digests are computed over *reference* outputs (deterministic, host-side,
+// sequential), never over app outputs: several kernels accumulate f32
+// atomically, so their bit patterns are schedule-dependent even when
+// numerically correct.
+
+fn mix64(h: u64, w: u64) -> u64 {
+    let mut x = (h ^ w).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 32;
+    x.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+}
+
+fn digest_words<I: IntoIterator<Item = u64>>(words: I) -> u64 {
+    let mut h = 0xA076_1D64_78BD_642Fu64;
+    let mut n = 0u64;
+    for w in words {
+        h = mix64(h, w);
+        n += 1;
+    }
+    mix64(h, n)
+}
+
+fn digest_f32s(v: &[f32]) -> u64 {
+    digest_words(v.iter().map(|x| x.to_bits() as u64))
+}
+
+fn digest_f64s(v: &[f64]) -> u64 {
+    digest_words(v.iter().map(|x| x.to_bits()))
 }
 
 fn verify_cfd_fp32(q: &Queue, size: InputSize, v: AppVersion) -> bool {
@@ -117,6 +177,118 @@ fn verify_where(q: &Queue, size: InputSize, v: AppVersion) -> bool {
     crate::where_q::run(q, &p, v) == crate::where_q::golden(&p)
 }
 
+fn golden_digest_cfd_fp32(size: InputSize) -> u64 {
+    digest_f32s(&crate::cfd::golden::<f32>(&altis_data::cfd(size)))
+}
+
+fn golden_digest_cfd_fp64(size: InputSize) -> u64 {
+    digest_f64s(&crate::cfd::golden::<f64>(&altis_data::cfd(size)))
+}
+
+fn golden_digest_dwt2d(size: InputSize) -> u64 {
+    digest_f32s(&crate::dwt2d::golden(&altis_data::dwt2d(size)))
+}
+
+fn golden_digest_fdtd2d(size: InputSize) -> u64 {
+    let f = crate::fdtd2d::golden(&altis_data::fdtd2d(size));
+    digest_words(
+        f.ez.iter()
+            .chain(&f.hx)
+            .chain(&f.hy)
+            .map(|x| x.to_bits() as u64),
+    )
+}
+
+fn golden_digest_kmeans(size: InputSize) -> u64 {
+    let g = crate::kmeans::golden(&altis_data::kmeans(size));
+    digest_words(
+        g.centers
+            .iter()
+            .map(|x| x.to_bits() as u64)
+            .chain(g.membership.iter().map(|&m| u64::from(m))),
+    )
+}
+
+fn golden_digest_lavamd(size: InputSize) -> u64 {
+    let g = crate::lavamd::golden(&altis_data::lavamd(size));
+    digest_words(g.iter().flat_map(|f| {
+        [f.v, f.fx, f.fy, f.fz].map(|x| x.to_bits() as u64)
+    }))
+}
+
+fn golden_digest_mandelbrot(size: InputSize) -> u64 {
+    let g = crate::mandelbrot::golden(&altis_data::mandelbrot(size));
+    digest_words(g.iter().map(|&x| u64::from(x)))
+}
+
+fn golden_digest_nw(size: InputSize) -> u64 {
+    let g = crate::nw::golden(&altis_data::nw(size));
+    digest_words(g.iter().map(|&x| x as u32 as u64))
+}
+
+fn golden_digest_pf(size: InputSize, variant: PfVariant) -> u64 {
+    let g = crate::particlefilter::golden(&altis_data::particlefilter(size), variant);
+    digest_words(
+        g.xe.iter()
+            .chain(&g.ye)
+            .map(|x| x.to_bits() as u64),
+    )
+}
+
+fn golden_digest_raytracing(size: InputSize) -> u64 {
+    digest_f32s(&crate::raytracing::golden(&altis_data::raytracing(size)))
+}
+
+fn golden_digest_srad(size: InputSize) -> u64 {
+    digest_f32s(&crate::srad::golden(&altis_data::srad(size)))
+}
+
+fn golden_digest_where(size: InputSize) -> u64 {
+    let g = crate::where_q::golden(&altis_data::where_q(size));
+    digest_words(g.iter().flat_map(|r| [u64::from(r.value), u64::from(r.payload)]))
+}
+
+// --- output validators (invariants first, then the reference) --------------
+
+fn validate_kmeans(q: &Queue, size: InputSize, v: AppVersion) -> Validation {
+    let p = altis_data::kmeans(size);
+    let r = crate::kmeans::run(q, &p, v);
+    if let Some(&m) = r.membership.iter().find(|&&m| m as usize >= p.k) {
+        return Validation::Invalid(format!(
+            "membership {m} out of range (k = {})",
+            p.k
+        ));
+    }
+    if r.centers.iter().any(|c| !c.is_finite()) {
+        return Validation::Invalid("non-finite cluster center".to_string());
+    }
+    let g = crate::kmeans::golden(&p);
+    validation_from(
+        r.membership == g.membership
+            && crate::common::rel_l2_error_t(&g.centers, &r.centers) < 1e-4,
+    )
+}
+
+fn validate_nw(q: &Queue, size: InputSize, v: AppVersion) -> Validation {
+    let p = altis_data::nw(size);
+    let r = crate::nw::run(q, &p, v);
+    let n = p.len + 1;
+    // Boundary invariants hold without consulting the reference: the
+    // origin scores 0 and the first row/column step by the gap penalty.
+    if r.first() != Some(&0) {
+        return Validation::Invalid("NW origin cell must score 0".to_string());
+    }
+    for i in 1..n {
+        let expect = -(p.penalty) * i as i32;
+        if r[i] != expect || r[i * n] != expect {
+            return Validation::Invalid(
+                "NW boundary row/column must step by the gap penalty".to_string(),
+            );
+        }
+    }
+    validation_from(r == crate::nw::golden(&p))
+}
+
 /// All thirteen configurations in Figure 2's order.
 pub fn all_apps() -> Vec<AppEntry> {
     vec![
@@ -126,6 +298,8 @@ pub fn all_apps() -> Vec<AppEntry> {
             cuda_module: || crate::cfd::cuda_module(false),
             fpga_design: |s, opt, p| Some(crate::cfd::fpga_design(s, false, opt, p)),
             verify: verify_cfd_fp32,
+            golden_digest: golden_digest_cfd_fp32,
+            validate: |q, s, v| validation_from(verify_cfd_fp32(q, s, v)),
         },
         AppEntry {
             name: "CFD FP64",
@@ -133,6 +307,8 @@ pub fn all_apps() -> Vec<AppEntry> {
             cuda_module: || crate::cfd::cuda_module(true),
             fpga_design: |s, opt, p| Some(crate::cfd::fpga_design(s, true, opt, p)),
             verify: verify_cfd_fp64,
+            golden_digest: golden_digest_cfd_fp64,
+            validate: |q, s, v| validation_from(verify_cfd_fp64(q, s, v)),
         },
         AppEntry {
             name: "DWT2D",
@@ -140,6 +316,8 @@ pub fn all_apps() -> Vec<AppEntry> {
             cuda_module: crate::dwt2d::cuda_module,
             fpga_design: crate::dwt2d::fpga_design,
             verify: verify_dwt2d,
+            golden_digest: golden_digest_dwt2d,
+            validate: |q, s, v| validation_from(verify_dwt2d(q, s, v)),
         },
         AppEntry {
             name: "FDTD2D",
@@ -147,6 +325,8 @@ pub fn all_apps() -> Vec<AppEntry> {
             cuda_module: crate::fdtd2d::cuda_module,
             fpga_design: |s, opt, p| Some(crate::fdtd2d::fpga_design(s, opt, p)),
             verify: verify_fdtd2d,
+            golden_digest: golden_digest_fdtd2d,
+            validate: |q, s, v| validation_from(verify_fdtd2d(q, s, v)),
         },
         AppEntry {
             name: "KMeans",
@@ -154,6 +334,8 @@ pub fn all_apps() -> Vec<AppEntry> {
             cuda_module: crate::kmeans::cuda_module,
             fpga_design: |s, opt, p| Some(crate::kmeans::fpga_design(s, opt, p)),
             verify: verify_kmeans,
+            golden_digest: golden_digest_kmeans,
+            validate: validate_kmeans,
         },
         AppEntry {
             name: "LavaMD",
@@ -161,6 +343,8 @@ pub fn all_apps() -> Vec<AppEntry> {
             cuda_module: crate::lavamd::cuda_module,
             fpga_design: |s, opt, p| Some(crate::lavamd::fpga_design(s, opt, p)),
             verify: verify_lavamd,
+            golden_digest: golden_digest_lavamd,
+            validate: |q, s, v| validation_from(verify_lavamd(q, s, v)),
         },
         AppEntry {
             name: "Mandelbrot",
@@ -168,6 +352,8 @@ pub fn all_apps() -> Vec<AppEntry> {
             cuda_module: crate::mandelbrot::cuda_module,
             fpga_design: |s, opt, p| Some(crate::mandelbrot::fpga_design(s, opt, p)),
             verify: verify_mandelbrot,
+            golden_digest: golden_digest_mandelbrot,
+            validate: |q, s, v| validation_from(verify_mandelbrot(q, s, v)),
         },
         AppEntry {
             name: "NW",
@@ -175,6 +361,8 @@ pub fn all_apps() -> Vec<AppEntry> {
             cuda_module: crate::nw::cuda_module,
             fpga_design: |s, opt, p| Some(crate::nw::fpga_design(s, opt, p)),
             verify: verify_nw,
+            golden_digest: golden_digest_nw,
+            validate: validate_nw,
         },
         AppEntry {
             name: "PF Naive",
@@ -184,6 +372,8 @@ pub fn all_apps() -> Vec<AppEntry> {
                 Some(crate::particlefilter::fpga_design(s, PfVariant::Naive, opt, p))
             },
             verify: verify_pf_naive,
+            golden_digest: |s| golden_digest_pf(s, PfVariant::Naive),
+            validate: |q, s, v| validation_from(verify_pf_naive(q, s, v)),
         },
         AppEntry {
             name: "PF Float",
@@ -193,6 +383,8 @@ pub fn all_apps() -> Vec<AppEntry> {
                 Some(crate::particlefilter::fpga_design(s, PfVariant::Float, opt, p))
             },
             verify: verify_pf_float,
+            golden_digest: |s| golden_digest_pf(s, PfVariant::Float),
+            validate: |q, s, v| validation_from(verify_pf_float(q, s, v)),
         },
         AppEntry {
             name: "Raytracing",
@@ -200,6 +392,8 @@ pub fn all_apps() -> Vec<AppEntry> {
             cuda_module: crate::raytracing::cuda_module,
             fpga_design: |s, opt, p| Some(crate::raytracing::fpga_design(s, opt, p)),
             verify: verify_raytracing,
+            golden_digest: golden_digest_raytracing,
+            validate: |q, s, v| validation_from(verify_raytracing(q, s, v)),
         },
         AppEntry {
             name: "SRAD",
@@ -207,6 +401,8 @@ pub fn all_apps() -> Vec<AppEntry> {
             cuda_module: crate::srad::cuda_module,
             fpga_design: |s, opt, p| Some(crate::srad::fpga_design(s, opt, p)),
             verify: verify_srad,
+            golden_digest: golden_digest_srad,
+            validate: |q, s, v| validation_from(verify_srad(q, s, v)),
         },
         AppEntry {
             name: "Where",
@@ -214,6 +410,8 @@ pub fn all_apps() -> Vec<AppEntry> {
             cuda_module: crate::where_q::cuda_module,
             fpga_design: |s, opt, p| Some(crate::where_q::fpga_design(s, opt, p)),
             verify: verify_where,
+            golden_digest: golden_digest_where,
+            validate: |q, s, v| validation_from(verify_where(q, s, v)),
         },
     ]
 }
@@ -299,7 +497,7 @@ impl ResilienceOutcome {
 
 /// `Error` variant names as they appear in `Debug`/`unwrap` panic text;
 /// used to recognise "`unwrap()` on a typed error" panics as typed.
-const TYPED_ERROR_MARKERS: [&str; 12] = [
+const TYPED_ERROR_MARKERS: [&str; 14] = [
     "DataRace",
     "WorkGroupTooLarge",
     "IndivisibleRange",
@@ -312,6 +510,8 @@ const TYPED_ERROR_MARKERS: [&str; 12] = [
     "UsmAllocFailed",
     "PipeClosed",
     "PipeDeadlock",
+    "DataCorruption",
+    "ReplicaDivergence",
 ];
 
 fn classify_payload(payload: Box<dyn std::any::Any + Send>) -> ResilienceOutcome {
@@ -356,6 +556,206 @@ pub fn run_resilient(
         Ok(Ok(false)) => ResilienceOutcome::Incorrect,
         Ok(Err(payload)) => classify_payload(payload),
         Err(_) => ResilienceOutcome::TimedOut,
+    }
+}
+
+/// End-to-end verdict of one run under silent-data-corruption
+/// injection (see [`run_sdc`]). The defense contract is that every run
+/// ends in one of the first three states — [`SdcOutcome::is_defended`]
+/// — never with silently wrong output accepted as success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdcOutcome {
+    /// Output validated and no corruption was detected or corrected
+    /// along the way: the injection window missed (or the rate was 0).
+    Correct,
+    /// Output validated, and the integrity/redundancy machinery
+    /// detected or out-voted `events` corruptions to get there.
+    Corrected {
+        /// Detections plus voted-out divergences during this run.
+        events: u64,
+    },
+    /// The run was stopped and its output rejected: validation failed
+    /// (structural invariant or golden mismatch) or the runtime raised
+    /// a typed error ([`Error::DataCorruption`],
+    /// [`Error::ReplicaDivergence`], exhausted retries, ...). The
+    /// result never reaches a consumer.
+    Quarantined {
+        /// The failed check or typed error text.
+        reason: String,
+    },
+    /// Defense failure: an untyped panic or a hang. (A *silently wrong*
+    /// output is reported as `Quarantined` here only because `validate`
+    /// caught it; the sdc harness binaries additionally flag any run
+    /// whose invalid output was not preceded by a detection.)
+    Uncontained {
+        /// What escaped classification.
+        what: String,
+    },
+}
+
+impl SdcOutcome {
+    /// Whether the run honoured the defense contract: finished with a
+    /// validated (possibly corrected) output, or rejected loudly.
+    pub fn is_defended(&self) -> bool {
+        !matches!(self, SdcOutcome::Uncontained { .. })
+    }
+}
+
+/// Run one configuration's validator on `queue` under a watchdog and an
+/// SDC verdict. Detection/correction activity is measured as the delta
+/// of the process-global integrity counters across the run, so callers
+/// must not run SDC harnesses concurrently (the harness binaries and
+/// tests serialize runs).
+pub fn run_sdc(
+    app: &AppEntry,
+    queue: Queue,
+    size: InputSize,
+    version: AppVersion,
+    timeout: Duration,
+) -> SdcOutcome {
+    let validate = app.validate;
+    let before =
+        hetero_rt::integrity::detections_total() + hetero_rt::integrity::corrected_total();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| validate(&queue, size, version)));
+        let _ = tx.send(r);
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(Validation::Valid)) => {
+            let events = hetero_rt::integrity::detections_total()
+                + hetero_rt::integrity::corrected_total()
+                - before;
+            if events == 0 {
+                SdcOutcome::Correct
+            } else {
+                SdcOutcome::Corrected { events }
+            }
+        }
+        Ok(Ok(Validation::Invalid(reason))) => SdcOutcome::Quarantined { reason },
+        Ok(Err(payload)) => match classify_payload(payload) {
+            ResilienceOutcome::TypedError(reason) => SdcOutcome::Quarantined { reason },
+            other => SdcOutcome::Uncontained {
+                what: format!("{other:?}"),
+            },
+        },
+        Err(_) => SdcOutcome::Uncontained {
+            what: format!("timed out after {timeout:?}"),
+        },
+    }
+}
+
+// --- golden-checksum registry ----------------------------------------------
+
+/// Path of the committed golden-checksum registry
+/// (`tests/golden_checksums.tsv` at the workspace root), shared by the
+/// chaos / sanitize / sdc harness binaries. Regenerate with
+/// `sdc --write-golden`.
+pub fn golden_registry_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden_checksums.tsv")
+}
+
+/// One registry row: configuration name, 1-based size index, digest.
+pub type GoldenRow = (String, usize, u64);
+
+/// Compute every configuration's reference digest at every size
+/// (13 × 3 rows, suite order). Host-side only; never touches a queue.
+pub fn compute_golden_registry() -> Vec<GoldenRow> {
+    let mut rows = Vec::new();
+    for app in all_apps() {
+        for size in InputSize::all() {
+            rows.push((app.name.to_string(), size.index(), (app.golden_digest)(size)));
+        }
+    }
+    rows
+}
+
+/// Render registry rows as the committed TSV format:
+/// `name \t size-index \t 16-hex-digit digest`, one row per line, with
+/// a leading `#` comment header.
+pub fn render_golden_registry(rows: &[GoldenRow]) -> String {
+    let mut out =
+        String::from("# Altis golden-output digests: app\tsize\tdigest\n# Regenerate with: cargo run --release -p altis-bench --bin sdc -- --write-golden\n");
+    for (name, size, digest) in rows {
+        out.push_str(&format!("{name}\t{size}\t{digest:016x}\n"));
+    }
+    out
+}
+
+/// Parse the committed TSV format back into rows; `#` lines and blank
+/// lines are ignored. Errors name the offending line.
+pub fn parse_golden_registry(text: &str) -> std::result::Result<Vec<GoldenRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split('\t');
+        let (Some(name), Some(size), Some(digest), None) =
+            (it.next(), it.next(), it.next(), it.next())
+        else {
+            return Err(format!("line {}: expected 3 tab-separated fields", i + 1));
+        };
+        let size: usize = size
+            .parse()
+            .map_err(|e| format!("line {}: bad size index: {e}", i + 1))?;
+        let digest = u64::from_str_radix(digest, 16)
+            .map_err(|e| format!("line {}: bad digest: {e}", i + 1))?;
+        rows.push((name.to_string(), size, digest));
+    }
+    Ok(rows)
+}
+
+/// Check freshly computed digests against the committed registry.
+/// Returns the number of rows checked, or one message per drifted /
+/// missing / stale row. A drift here means a reference implementation
+/// or data generator changed output without the registry being
+/// regenerated — exactly the silent drift the registry exists to catch.
+pub fn check_golden_registry() -> std::result::Result<usize, Vec<String>> {
+    check_golden_registry_sizes(&InputSize::all())
+}
+
+/// [`check_golden_registry`] restricted to `sizes` — what the `chaos` /
+/// `sanitize` / `sdc` binaries run at startup, scoped to the sizes
+/// their matrix actually exercises so the check stays cheap. Committed
+/// rows at other sizes are ignored; stale rows are reported only within
+/// `sizes`.
+pub fn check_golden_registry_sizes(
+    sizes: &[InputSize],
+) -> std::result::Result<usize, Vec<String>> {
+    let path = golden_registry_path();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return Err(vec![format!("cannot read {}: {e}", path.display())]),
+    };
+    let committed = parse_golden_registry(&text).map_err(|e| vec![e])?;
+    let mut computed = Vec::new();
+    for app in all_apps() {
+        for &size in sizes {
+            computed.push((app.name.to_string(), size.index(), (app.golden_digest)(size)));
+        }
+    }
+    let mut errors = Vec::new();
+    for (name, size, digest) in &computed {
+        match committed.iter().find(|(n, s, _)| n == name && s == size) {
+            None => errors.push(format!("{name} size {size}: missing from registry")),
+            Some((_, _, want)) if want != digest => errors.push(format!(
+                "{name} size {size}: digest {digest:016x} != committed {want:016x}"
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, size, _) in &committed {
+        let in_scope = sizes.iter().any(|s| s.index() == *size);
+        if in_scope && !computed.iter().any(|(n, s, _)| n == name && s == size) {
+            errors.push(format!("{name} size {size}: stale registry row"));
+        }
+    }
+    if errors.is_empty() {
+        Ok(computed.len())
+    } else {
+        Err(errors)
     }
 }
 
@@ -446,7 +846,13 @@ mod tests {
             cuda_module: crate::mandelbrot::cuda_module,
             fpga_design: |s, opt, p| Some(crate::mandelbrot::fpga_design(s, opt, p)),
             verify,
+            golden_digest: |_| 0,
+            validate: |_, _, _| Validation::Valid,
         }
+    }
+
+    fn sdc_entry(validate: fn(&Queue, InputSize, AppVersion) -> Validation) -> AppEntry {
+        AppEntry { validate, ..harness_entry(|_, _, _| true) }
     }
 
     #[test]
@@ -504,6 +910,136 @@ mod tests {
         );
         assert_eq!(o, ResilienceOutcome::TimedOut);
         assert!(!o.is_contained());
+    }
+
+    #[test]
+    fn golden_digests_are_deterministic_and_size_sensitive() {
+        // Same input, same digest; different size, different digest.
+        // Mandelbrot and NW cover integer and i32 reference outputs;
+        // KMeans covers the mixed centers+membership fold.
+        for app in all_apps() {
+            if !["Mandelbrot", "NW", "KMeans"].contains(&app.name) {
+                continue;
+            }
+            let a = (app.golden_digest)(InputSize::S1);
+            let b = (app.golden_digest)(InputSize::S1);
+            assert_eq!(a, b, "{}: digest must be deterministic", app.name);
+            let c = (app.golden_digest)(InputSize::S2);
+            assert_ne!(a, c, "{}: sizes must not collide", app.name);
+        }
+    }
+
+    #[test]
+    fn digest_words_separates_content_and_length() {
+        assert_ne!(digest_words([1, 2, 3]), digest_words([1, 2]));
+        assert_ne!(digest_words([1, 2, 3]), digest_words([3, 2, 1]));
+        assert_ne!(digest_words([0, 0]), digest_words([0]));
+        assert_eq!(digest_f32s(&[1.0, 2.0]), digest_f32s(&[1.0, 2.0]));
+        assert_ne!(digest_f32s(&[1.0]), digest_f64s(&[1.0]));
+    }
+
+    #[test]
+    fn golden_registry_renders_and_parses_roundtrip() {
+        let rows = vec![
+            ("CFD FP32".to_string(), 1, 0xDEAD_BEEF_0123_4567u64),
+            ("PF Naive".to_string(), 3, 0x0000_0000_0000_0001u64),
+        ];
+        let text = render_golden_registry(&rows);
+        assert!(text.starts_with('#'), "header comment expected");
+        assert_eq!(parse_golden_registry(&text).unwrap(), rows);
+        // Malformed rows are named by line.
+        assert!(parse_golden_registry("a\tb").unwrap_err().contains("line 1"));
+        assert!(parse_golden_registry("a\t1\tzz").unwrap_err().contains("bad digest"));
+        // Comments and blanks are skipped.
+        assert!(parse_golden_registry("# x\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_sdc_classifies_every_ending() {
+        let t = Duration::from_secs(5);
+        let q = || Queue::new(Device::cpu());
+
+        // Valid output with no integrity activity: Correct.
+        let app = sdc_entry(|_, _, _| Validation::Valid);
+        let o = run_sdc(&app, q(), InputSize::S1, AppVersion::SyclBaseline, t);
+        assert_eq!(o, SdcOutcome::Correct);
+        assert!(o.is_defended());
+
+        // Invalid output: quarantined, naming the failed check.
+        let app = sdc_entry(|_, _, _| Validation::Invalid("membership 9 out of range".into()));
+        let o = run_sdc(&app, q(), InputSize::S1, AppVersion::SyclBaseline, t);
+        assert_eq!(
+            o,
+            SdcOutcome::Quarantined { reason: "membership 9 out of range".to_string() }
+        );
+        assert!(o.is_defended());
+
+        // A typed corruption error (raised or unwrapped): quarantined.
+        let app = sdc_entry(|_, _, _| {
+            std::panic::panic_any(Error::DataCorruption { region: 7, page: 1, epoch: 2 })
+        });
+        let o = run_sdc(&app, q(), InputSize::S1, AppVersion::SyclBaseline, t);
+        assert!(matches!(o, SdcOutcome::Quarantined { .. }), "{o:?}");
+        fn diverged() -> hetero_rt::Result<()> {
+            Err(Error::ReplicaDivergence { kernel: "k", runs: 4 })
+        }
+        let app = sdc_entry(|_, _, _| {
+            diverged().unwrap();
+            Validation::Valid
+        });
+        let o = run_sdc(&app, q(), InputSize::S1, AppVersion::SyclBaseline, t);
+        assert!(matches!(o, SdcOutcome::Quarantined { .. }), "{o:?}");
+
+        // Untyped panic: defense failure.
+        let app = sdc_entry(|_, _, _| panic!("application bug"));
+        let o = run_sdc(&app, q(), InputSize::S1, AppVersion::SyclBaseline, t);
+        assert!(matches!(o, SdcOutcome::Uncontained { .. }), "{o:?}");
+        assert!(!o.is_defended());
+
+        // Hang: defense failure.
+        let app = sdc_entry(|_, _, _| {
+            std::thread::sleep(Duration::from_secs(60));
+            Validation::Valid
+        });
+        let o = run_sdc(
+            &app,
+            q(),
+            InputSize::S1,
+            AppVersion::SyclBaseline,
+            Duration::from_millis(100),
+        );
+        assert!(matches!(o, SdcOutcome::Uncontained { .. }), "{o:?}");
+        assert!(!o.is_defended());
+    }
+
+    #[test]
+    fn run_sdc_counts_correction_events() {
+        // Simulate the corrected path by bumping the global corrected
+        // counter from inside the validator, as queue voting would.
+        let app = sdc_entry(|_, _, _| {
+            hetero_rt::integrity::record_corrected(2);
+            Validation::Valid
+        });
+        let o = run_sdc(
+            &app,
+            Queue::new(Device::cpu()),
+            InputSize::S1,
+            AppVersion::SyclBaseline,
+            Duration::from_secs(5),
+        );
+        assert_eq!(o, SdcOutcome::Corrected { events: 2 });
+        assert!(o.is_defended());
+    }
+
+    #[test]
+    fn validators_pass_on_clean_runs_and_reject_planted_corruption() {
+        let q = Queue::new(Device::cpu());
+        // Structural invariants accept the real outputs...
+        let p = altis_data::kmeans(InputSize::S1);
+        let g = crate::kmeans::golden(&p);
+        assert!(g.membership.iter().all(|&m| (m as usize) < p.k));
+        assert_eq!(validate_kmeans(&q, InputSize::S1, AppVersion::SyclOptimized), Validation::Valid);
+        assert_eq!(validate_nw(&q, InputSize::S1, AppVersion::SyclOptimized), Validation::Valid);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::error::{Error, Result};
+use crate::integrity;
 use crate::sanitize::{self, AccessKind};
 
 struct Storage<T> {
@@ -28,8 +29,12 @@ struct Storage<T> {
     data: Mutex<Box<[T]>>,
     len: usize,
     // Process-unique id for the race sanitizer's shadow tracking;
-    // allocation order is program order, so ids are deterministic.
+    // allocation order is program order, so ids are deterministic. The
+    // integrity layer reuses the same id as its region id.
     id: u64,
+    // Checksummed integrity region; `None` while the layer is disarmed
+    // (the zero-overhead default).
+    region: Option<Arc<integrity::Region>>,
 }
 
 impl<T> Storage<T> {
@@ -37,6 +42,14 @@ impl<T> Storage<T> {
     /// another thread must not wedge the host data).
     fn host(&self) -> MutexGuard<'_, Box<[T]>> {
         self.data.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T> Drop for Storage<T> {
+    fn drop(&mut self) {
+        if let Some(region) = self.region.take() {
+            integrity::unregister(&region);
+        }
     }
 }
 
@@ -57,25 +70,36 @@ impl<T> Clone for Buffer<T> {
 impl<T: Copy + Default + Send + 'static> Buffer<T> {
     /// Create a zero-initialised (`T::default()`) buffer of `len` elements.
     pub fn new(len: usize) -> Self {
-        let data: Box<[T]> = (0..len).map(|_| T::default()).collect();
-        Buffer {
-            storage: Arc::new(Storage {
-                data: Mutex::new(data),
-                len,
-                id: sanitize::next_object_id(),
-            }),
-        }
+        Buffer::build((0..len).map(|_| T::default()).collect())
     }
 
     /// Create a buffer initialised from a host slice.
     pub fn from_slice(src: &[T]) -> Self {
-        Buffer {
-            storage: Arc::new(Storage {
-                data: Mutex::new(src.to_vec().into_boxed_slice()),
-                len: src.len(),
-                id: sanitize::next_object_id(),
-            }),
-        }
+        Buffer::build(src.to_vec().into_boxed_slice())
+    }
+
+    fn build(data: Box<[T]>) -> Self {
+        let len = data.len();
+        let id = sanitize::next_object_id();
+        let data = Mutex::new(data);
+        let region = {
+            let guard = data.lock().unwrap_or_else(PoisonError::into_inner);
+            integrity::register(
+                id,
+                "buffer",
+                guard.as_ptr() as *const u8,
+                std::mem::size_of_val::<[T]>(&guard),
+                integrity::bit_safe::<T>(),
+            )
+        };
+        Buffer { storage: Arc::new(Storage { data, len, id, region }) }
+    }
+
+    /// The buffer's process-unique object id (shared between the race
+    /// sanitizer and the integrity layer's region ids). Deterministic
+    /// creation order, so targeted SDC tests can address a region.
+    pub fn object_id(&self) -> u64 {
+        self.storage.id
     }
 
     /// Number of elements.
@@ -114,6 +138,11 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
             });
         }
         guard.copy_from_slice(src);
+        if let Some(region) = &self.storage.region {
+            // Coarse host write: recompute the seal so verification keeps
+            // protecting the region instead of flagging this write.
+            region.reseal_now();
+        }
         Ok(())
     }
 
@@ -124,7 +153,14 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
 
     /// Run `f` with mutable host access (host-side initialisation).
     pub fn write<R>(&self, f: impl FnOnce(&mut [T]) -> R) -> R {
-        f(&mut self.storage.host())
+        let r = {
+            let mut guard = self.storage.host();
+            f(&mut guard)
+        };
+        if let Some(region) = &self.storage.region {
+            region.reseal_now();
+        }
+        r
     }
 
     /// Create a device-side view over the whole buffer for use inside a

@@ -105,6 +105,30 @@ pub enum Error {
         /// Conflict class.
         kind: crate::sanitize::RaceKind,
     },
+    /// The integrity layer ([`crate::integrity`]) found a checksummed
+    /// memory region whose contents diverged from their seal — silent
+    /// data corruption detected at a launch boundary or by the idle
+    /// scrubber. Never retried in place (the corrupt bytes are already
+    /// at rest); the suite harness quarantines the run.
+    DataCorruption {
+        /// Region id (creation-order object id of the Buffer/USM
+        /// allocation).
+        region: u64,
+        /// Page index (multiples of [`crate::integrity::PAGE_BYTES`])
+        /// where the first mismatch was found.
+        page: usize,
+        /// Seal epoch the contents diverged from.
+        epoch: u64,
+    },
+    /// Redundant execution ([`crate::queue::Redundancy`]) could not reach
+    /// digest agreement within the replica + retry budget: replicas kept
+    /// producing divergent memory states, so no output can be trusted.
+    ReplicaDivergence {
+        /// Kernel name the submission was given.
+        kernel: &'static str,
+        /// Replica runs executed before giving up.
+        runs: u32,
+    },
     /// A pipe operation failed because the other endpoint disconnected.
     PipeClosed,
     /// A blocking pipe operation timed out; in this runtime that is
@@ -156,6 +180,14 @@ impl fmt::Display for Error {
             Error::DataRace { kernel, element, kind } => write!(
                 f,
                 "kernel '{kernel}': data race on element {element} ({kind})"
+            ),
+            Error::DataCorruption { region, page, epoch } => write!(
+                f,
+                "silent data corruption in region {region} page {page} (seal epoch {epoch})"
+            ),
+            Error::ReplicaDivergence { kernel, runs } => write!(
+                f,
+                "kernel '{kernel}': replica digests never converged after {runs} run(s)"
             ),
             Error::PipeClosed => write!(f, "pipe endpoint disconnected"),
             Error::PipeDeadlock { waited_secs } => write!(
@@ -248,6 +280,22 @@ mod tests {
         assert!(!Error::KernelPanicked { kernel: "k", group: 0, message: String::new() }
             .is_cpu_fallback_eligible());
         assert!(!Error::PipeClosed.is_cpu_fallback_eligible());
+        // Corruption findings name memory that is already wrong; a CPU
+        // re-run would consume the same corrupt bytes.
+        assert!(!Error::DataCorruption { region: 3, page: 1, epoch: 2 }
+            .is_cpu_fallback_eligible());
+        assert!(!Error::ReplicaDivergence { kernel: "k", runs: 4 }.is_cpu_fallback_eligible());
+    }
+
+    #[test]
+    fn sdc_errors_display_region_and_run_context() {
+        let e = Error::DataCorruption { region: 12, page: 3, epoch: 7 };
+        let s = e.to_string();
+        assert!(s.contains("region 12") && s.contains("page 3") && s.contains("epoch 7"), "{s}");
+
+        let e = Error::ReplicaDivergence { kernel: "nw_diag", runs: 4 };
+        let s = e.to_string();
+        assert!(s.contains("nw_diag") && s.contains("4 run"), "{s}");
     }
 
     #[test]

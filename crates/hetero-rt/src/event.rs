@@ -77,14 +77,14 @@ impl ProfilingInfo {
     }
 }
 
-/// Resilience record of one launch: what the retry/fallback machinery in
-/// [`crate::queue`] did to get the submission to complete. All-quiet
-/// launches read `{ attempts: 1, faults_absorbed: 0, fallback_device:
-/// None }`.
+/// Resilience record of one launch: what the retry/fallback/redundancy
+/// machinery in [`crate::queue`] did to get the submission to complete.
+/// All-quiet launches read `{ attempts: 1, faults_absorbed: 0,
+/// fallback_device: None, replicas: 1, divergences_corrected: 0 }`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResilienceInfo {
-    /// Submission attempts made (≥ 1; > 1 means transient faults were
-    /// retried).
+    /// Submission attempts made (≥ 1; > 1 means transient faults or
+    /// detected corruption were retried).
     pub attempts: u32,
     /// Transient faults absorbed by [`crate::queue::RetryPolicy`] before
     /// the launch succeeded.
@@ -93,11 +93,22 @@ pub struct ResilienceInfo {
     /// rejected it (see [`crate::queue::Fallback`]); `None` when the
     /// primary device executed it.
     pub fallback_device: Option<String>,
+    /// Replica runs executed under [`crate::queue::Redundancy`] (1 for
+    /// single execution; ≥ 2 when the launch was voted on).
+    pub replicas: u32,
+    /// Divergent minority digests outvoted by the replica vote.
+    pub divergences_corrected: u32,
 }
 
 impl Default for ResilienceInfo {
     fn default() -> Self {
-        ResilienceInfo { attempts: 1, faults_absorbed: 0, fallback_device: None }
+        ResilienceInfo {
+            attempts: 1,
+            faults_absorbed: 0,
+            fallback_device: None,
+            replicas: 1,
+            divergences_corrected: 0,
+        }
     }
 }
 
@@ -206,14 +217,24 @@ mod tests {
         let e = Event::new("k", None, LaunchStats::default());
         assert_eq!(
             *e.resilience(),
-            ResilienceInfo { attempts: 1, faults_absorbed: 0, fallback_device: None }
+            ResilienceInfo {
+                attempts: 1,
+                faults_absorbed: 0,
+                fallback_device: None,
+                replicas: 1,
+                divergences_corrected: 0,
+            }
         );
         let e = e.with_resilience(ResilienceInfo {
             attempts: 3,
             faults_absorbed: 2,
             fallback_device: Some("cpu".into()),
+            replicas: 2,
+            divergences_corrected: 1,
         });
         assert_eq!(e.resilience().attempts, 3);
         assert_eq!(e.resilience().fallback_device.as_deref(), Some("cpu"));
+        assert_eq!(e.resilience().replicas, 2);
+        assert_eq!(e.resilience().divergences_corrected, 1);
     }
 }

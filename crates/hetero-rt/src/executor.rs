@@ -145,7 +145,10 @@ where
 
     let run_one = |g: usize, acc: &mut ChunkStats| -> std::result::Result<(), Error> {
         let gid = groups_range.delinearize(g);
-        let ctx = GroupCtx::new(gid, nd, local_mem_limit);
+        // Local-memory SDC flips: `local_ctx` is None unless the plan
+        // injects bit-flips, so the common path pays one branch here.
+        let local_fault = plan.and_then(|p| p.local_ctx(kernel_name, g));
+        let ctx = GroupCtx::new(gid, nd, local_mem_limit, local_fault);
         let prev_recorder = session.as_ref().map(|s| s.install_recorder(g));
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
             if let Some(p) = plan {
@@ -286,7 +289,7 @@ where
             break;
         }
         let gid = groups_range.delinearize(g);
-        let ctx = GroupCtx::new(gid, nd, local_mem_limit);
+        let ctx = GroupCtx::new(gid, nd, local_mem_limit, None);
         kernel(&ctx);
         let (it, bl, bg, lb) = ctx.stats();
         items.fetch_add(it, Ordering::Relaxed);

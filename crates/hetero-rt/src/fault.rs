@@ -36,7 +36,7 @@
 
 use std::panic::PanicHookInfo;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Once, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, Once, OnceLock, PoisonError};
 use std::time::Duration;
 
 use altis_data::rng::splitmix64;
@@ -64,9 +64,23 @@ pub enum FaultKind {
     /// marginal kernel graphs (diagnosed as `Error::PipeDeadlock` by the
     /// pipe timeout when the graph cannot absorb it).
     PipeStall,
+    /// Silent single/multi bit-flips in checksummed memory regions
+    /// (Buffer/USM) at launch boundaries, plus flips in `LocalArena`
+    /// scratch — no panic, no error, just wrong bytes. Applied by the
+    /// integrity layer ([`crate::integrity`]); the *detection* of these
+    /// is the whole point of `HETERO_RT_FAULT_MODE=sdc`.
+    BitFlip,
+    /// A "stuck-at" page: one bit position of one seed-chosen page is
+    /// OR-masked at every launch boundary, modeling a failed memory
+    /// cell. Deterministic across replicas, so redundancy cannot vote it
+    /// away — only the suite's output validators catch it.
+    StuckPage,
 }
 
 impl FaultKind {
+    /// The fail-stop kinds [`FaultPlan::new`] enables: the original
+    /// chaos-layer fault model, kept exact so existing seeded draw
+    /// sequences replay unchanged.
     const ALL: [FaultKind; 4] = [
         FaultKind::AllocFail,
         FaultKind::LaunchTransient,
@@ -74,12 +88,17 @@ impl FaultKind {
         FaultKind::PipeStall,
     ];
 
+    /// The silent-corruption kinds [`FaultPlan::sdc`] enables.
+    const SDC: [FaultKind; 2] = [FaultKind::BitFlip, FaultKind::StuckPage];
+
     fn bit(self) -> u8 {
         match self {
             FaultKind::AllocFail => 1,
             FaultKind::LaunchTransient => 2,
             FaultKind::KernelPanic => 4,
             FaultKind::PipeStall => 8,
+            FaultKind::BitFlip => 16,
+            FaultKind::StuckPage => 32,
         }
     }
 }
@@ -93,6 +112,15 @@ pub(crate) struct Injected(pub(crate) Error);
 const SALT_ALLOC: u64 = 0x0041_4c4c_4f43;
 const SALT_LAUNCH: u64 = 0x4c41_554e_4348;
 const SALT_STALL: u64 = 0x0053_5441_4c4c;
+const SALT_FLIP_ENTRY: u64 = 0x464c_4950_0045;
+const SALT_FLIP_EXIT: u64 = 0x464c_4950_0058;
+const SALT_SITE: u64 = 0x0053_4954_4500;
+const SALT_STUCK: u64 = 0x5354_5543_4b00;
+const SALT_LOCAL: u64 = 0x4c4f_4341_4c00;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// FNV-1a hash of a kernel name, mixed into stateless panic draws so
 /// different kernels fault at different groups under the same seed.
@@ -125,6 +153,18 @@ pub struct FaultPlan {
     /// Fail the next N launch submissions unconditionally (then stop):
     /// the deterministic way to test bounded retry.
     transient_burst: AtomicU64,
+    /// One-shot targeted bit-flips (region id, byte offset, bit): the
+    /// deterministic input for exact `DataCorruption{region, page}`
+    /// true-positive tests. Consumed at the next launch entry.
+    flip_targets: Mutex<Vec<(u64, usize, u8)>>,
+    /// The stuck-at site (region id, page, bit) once chosen — targeted
+    /// via [`FaultPlan::with_stuck_at`] or lazily seed-derived at first
+    /// application.
+    stuck: Mutex<Option<(u64, usize, u8)>>,
+    /// Bit-flips actually applied (observability and tests).
+    flips: AtomicU64,
+    /// Launch boundaries at which the stuck page re-asserted real bits.
+    stuck_hits: AtomicU64,
 }
 
 impl FaultPlan {
@@ -140,7 +180,20 @@ impl FaultPlan {
             injected: AtomicU64::new(0),
             target_panic: None,
             transient_burst: AtomicU64::new(0),
+            flip_targets: Mutex::new(Vec::new()),
+            stuck: Mutex::new(None),
+            flips: AtomicU64::new(0),
+            stuck_hits: AtomicU64::new(0),
         }
+    }
+
+    /// A plan injecting only *silent* faults (bit-flips and a stuck-at
+    /// page) at probability `rate` per launch boundary. The fail-stop
+    /// kinds stay off so every wrong answer is genuinely silent — the
+    /// configuration `HETERO_RT_FAULT_MODE=sdc` and the `sdc` binary
+    /// drive.
+    pub fn sdc(seed: u64, rate: f64) -> Self {
+        FaultPlan::new(seed, rate).with_kinds(&FaultKind::SDC)
     }
 
     /// Restrict the plan to a subset of fault kinds.
@@ -165,15 +218,40 @@ impl FaultPlan {
         p
     }
 
+    /// A plan that flips exactly `bit` of byte `byte` in region `region`
+    /// at the next launch entry, and injects nothing else: the
+    /// deterministic input for exact `DataCorruption{region, page}`
+    /// tests.
+    pub fn flip_at(region: u64, byte: usize, bit: u8) -> Self {
+        FaultPlan::new(0, 0.0).with_kinds(&[]).with_flip_at(region, byte, bit)
+    }
+
+    /// Queue an additional one-shot targeted flip.
+    pub fn with_flip_at(self, region: u64, byte: usize, bit: u8) -> Self {
+        lock(&self.flip_targets).push((region, byte, bit));
+        self
+    }
+
+    /// Pin the stuck-at site instead of letting the seed choose one.
+    pub fn with_stuck_at(self, region: u64, page: usize, bit: u8) -> Self {
+        *lock(&self.stuck) = Some((region, page, bit & 7));
+        self
+    }
+
     /// Build a plan from `HETERO_RT_FAULT_SEED` / `HETERO_RT_FAULT_RATE`.
     /// Returns `None` unless both are set and parse (`rate` in `[0, 1]`).
+    /// `HETERO_RT_FAULT_MODE=sdc` selects the silent-corruption kinds
+    /// (see [`FaultPlan::sdc`]) instead of the fail-stop default.
     pub fn from_env() -> Option<FaultPlan> {
         let seed: u64 = std::env::var("HETERO_RT_FAULT_SEED").ok()?.trim().parse().ok()?;
         let rate: f64 = std::env::var("HETERO_RT_FAULT_RATE").ok()?.trim().parse().ok()?;
         if !(0.0..=1.0).contains(&rate) {
             return None;
         }
-        Some(FaultPlan::new(seed, rate))
+        match std::env::var("HETERO_RT_FAULT_MODE").ok().as_deref().map(str::trim) {
+            Some("sdc") => Some(FaultPlan::sdc(seed, rate)),
+            _ => Some(FaultPlan::new(seed, rate)),
+        }
     }
 
     /// The process-wide plan from the environment, resolved once. Queues
@@ -294,6 +372,132 @@ impl FaultPlan {
         let d = Duration::from_millis(ms);
         std::thread::sleep(d);
         d
+    }
+
+    // --- silent-corruption draws (consumed by crate::integrity) ---------
+
+    /// Does this plan inject silent faults at all? Queues constructed
+    /// from an SDC environment plan arm the integrity layer and default
+    /// to redundant execution when this is set.
+    pub fn is_sdc(&self) -> bool {
+        self.mask & (FaultKind::BitFlip.bit() | FaultKind::StuckPage.bit()) != 0
+    }
+
+    /// Sequenced decision: flip bits at this launch boundary? Entry and
+    /// exit use separate salts so the two streams stay independent.
+    pub(crate) fn wants_flip(&self, exit: bool) -> bool {
+        if !self.enabled(FaultKind::BitFlip) || self.rate <= 0.0 {
+            return false;
+        }
+        self.draw(if exit { SALT_FLIP_EXIT } else { SALT_FLIP_ENTRY }) < self.rate
+    }
+
+    /// One sequenced uniform site draw in `[0, n)`.
+    pub(crate) fn pick(&self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        ((self.draw(SALT_SITE) * n as f64) as usize).min(n - 1)
+    }
+
+    pub(crate) fn take_flip_targets(&self) -> Vec<(u64, usize, u8)> {
+        std::mem::take(&mut *lock(&self.flip_targets))
+    }
+
+    pub(crate) fn note_flips(&self, n: u64) {
+        self.flips.fetch_add(n, Ordering::Relaxed);
+        self.injected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Bit-flips applied so far (targeted + seeded, global + local).
+    pub fn flips_injected(&self) -> u64 {
+        self.flips.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn stuck_slot(&self) -> MutexGuard<'_, Option<(u64, usize, u8)>> {
+        lock(&self.stuck)
+    }
+
+    /// Stateless decision: does this seed have a stuck-at page at all?
+    /// Boosted above the base rate so a handful of seeds exercises the
+    /// quarantine path without drowning every run in sealed-in faults.
+    pub(crate) fn stuck_wanted(&self) -> bool {
+        if !self.enabled(FaultKind::StuckPage) || self.rate <= 0.0 {
+            return false;
+        }
+        let mut s = self.seed ^ SALT_STUCK;
+        let u = (splitmix64(&mut s) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < (self.rate * 4.0).min(1.0)
+    }
+
+    /// Stateless site draws for the stuck page: (region index, page
+    /// index, bit), reduced modulo the live region/page counts by the
+    /// caller.
+    pub(crate) fn stuck_draws(&self) -> (usize, usize, u8) {
+        let mut s = self.seed ^ SALT_STUCK ^ 0x1;
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        let c = splitmix64(&mut s);
+        (a as usize, b as usize, (c % 8) as u8)
+    }
+
+    pub(crate) fn note_stuck(&self) {
+        self.stuck_hits.fetch_add(1, Ordering::Relaxed);
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Launch boundaries at which the stuck page actually changed bits.
+    pub fn stuck_applications(&self) -> u64 {
+        self.stuck_hits.load(Ordering::Relaxed)
+    }
+
+    /// Per-(kernel, group) context for local-memory flips, or `None`
+    /// when the plan injects no bit-flips (the executor then pays
+    /// nothing per group). Copies the mixed seed out so `GroupCtx` need
+    /// not borrow the plan.
+    pub(crate) fn local_ctx(&self, kernel: &str, group: usize) -> Option<LocalFaultCtx> {
+        if !self.enabled(FaultKind::BitFlip) || self.rate <= 0.0 {
+            return None;
+        }
+        Some(LocalFaultCtx {
+            seed: self.seed
+                ^ fnv1a(kernel)
+                ^ (group as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)
+                ^ SALT_LOCAL,
+            // Local scratch has vastly more (group x allocation) sites
+            // than there are launch boundaries; scale the per-site
+            // probability down so local corruption stays an event, not
+            // the steady state.
+            rate: self.rate / 1024.0,
+        })
+    }
+}
+
+/// Stateless local-memory flip decisions for one (kernel, work-group):
+/// deterministic regardless of pool scheduling — and therefore identical
+/// across redundant replicas, modeling a stuck local cell that voting
+/// cannot remove (the suite validators are the layer that catches it).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LocalFaultCtx {
+    seed: u64,
+    rate: f64,
+}
+
+impl LocalFaultCtx {
+    /// Should the `alloc_index`-th local allocation of this group carry a
+    /// flipped bit, and where? Returns (element index, bit in byte 0).
+    pub(crate) fn flip_for_alloc(&self, alloc_index: u32, len: usize) -> Option<(usize, u8)> {
+        if len == 0 {
+            return None;
+        }
+        let mut s = self.seed ^ (alloc_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let u = (splitmix64(&mut s) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u >= self.rate {
+            return None;
+        }
+        let elem = (splitmix64(&mut s) as usize) % len;
+        let bit = (splitmix64(&mut s) % 8) as u8;
+        Some((elem, bit))
     }
 }
 
@@ -455,6 +659,65 @@ mod tests {
             }
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn sdc_plan_enables_only_silent_kinds() {
+        let p = FaultPlan::sdc(3, 0.5);
+        assert!(p.is_sdc());
+        for _ in 0..100 {
+            assert!(!p.should_fail_alloc());
+            assert!(!p.should_fail_launch("k"));
+            assert!(!p.should_panic("k", 0));
+        }
+        assert_eq!(p.maybe_stall(), Duration::ZERO);
+        assert!(!FaultPlan::new(3, 0.5).is_sdc());
+    }
+
+    #[test]
+    fn flip_draws_reproduce_from_seed() {
+        let a = FaultPlan::sdc(11, 0.3);
+        let b = FaultPlan::sdc(11, 0.3);
+        let mut any = false;
+        for _ in 0..200 {
+            let (fa, fb) = (a.wants_flip(false), b.wants_flip(false));
+            assert_eq!(fa, fb);
+            any |= fa;
+            assert_eq!(a.wants_flip(true), b.wants_flip(true));
+            assert_eq!(a.pick(97), b.pick(97));
+        }
+        assert!(any, "rate 0.3 over 200 boundaries must flip at least once");
+    }
+
+    #[test]
+    fn stuck_site_draws_are_stateless_per_seed() {
+        let p = FaultPlan::sdc(21, 0.2);
+        assert_eq!(p.stuck_draws(), p.stuck_draws());
+        assert_eq!(p.stuck_wanted(), p.stuck_wanted());
+        // Targeted pinning overrides the seed's choice.
+        let t = FaultPlan::sdc(21, 0.2).with_stuck_at(5, 2, 3);
+        assert_eq!(*t.stuck_slot(), Some((5, 2, 3)));
+    }
+
+    #[test]
+    fn local_flip_sites_are_stateless_and_scaled_down() {
+        let p = FaultPlan::sdc(9, 0.5);
+        let ctx = p.local_ctx("k", 4).expect("bit-flips enabled");
+        assert_eq!(ctx.flip_for_alloc(0, 64), ctx.flip_for_alloc(0, 64));
+        // rate/1024 per site: over 4096 sites expect a handful, not most.
+        let hits = (0..4096u32).filter(|&i| ctx.flip_for_alloc(i, 64).is_some()).count();
+        assert!(hits < 64, "{hits} local flips at scaled rate over 4096 sites");
+        // Plans without BitFlip produce no local context at all.
+        assert!(FaultPlan::new(9, 0.5).local_ctx("k", 4).is_none());
+        assert!(FaultPlan::sdc(9, 0.0).local_ctx("k", 4).is_none());
+    }
+
+    #[test]
+    fn targeted_flips_are_one_shot() {
+        let p = FaultPlan::flip_at(7, 123, 2);
+        assert_eq!(p.take_flip_targets(), vec![(7, 123, 2)]);
+        assert!(p.take_flip_targets().is_empty());
+        assert!(!p.wants_flip(false));
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod event;
 pub mod executor;
 pub mod fault;
 pub mod group_algorithms;
+pub mod integrity;
 pub mod local;
 pub mod ndrange;
 pub mod pipe;
@@ -74,10 +75,11 @@ pub use device::{Device, DeviceCaps, DeviceKind};
 pub use error::{Error, Result};
 pub use event::{Event, LaunchStats, ProfilingInfo, ResilienceInfo};
 pub use fault::{FaultKind, FaultPlan};
+pub use integrity::{IntegrityStats, Violation};
 pub use local::{LocalArray, PrivateArray};
 pub use ndrange::{GroupCtx, Item, NdRange, Range};
 pub use pipe::Pipe;
-pub use queue::{Fallback, Queue, RetryPolicy};
+pub use queue::{Fallback, Queue, Redundancy, RetryPolicy};
 pub use sanitize::{MemSpace, RaceKind, RaceReport};
 
 /// Crate-wide prelude bringing the common runtime types into scope,
@@ -91,6 +93,6 @@ pub mod prelude {
     pub use crate::local::{LocalArray, PrivateArray};
     pub use crate::ndrange::{GroupCtx, Item, NdRange, Range};
     pub use crate::pipe::Pipe;
-    pub use crate::queue::{Fallback, Queue, RetryPolicy};
+    pub use crate::queue::{Fallback, Queue, Redundancy, RetryPolicy};
     pub use crate::sanitize::{MemSpace, RaceKind, RaceReport};
 }

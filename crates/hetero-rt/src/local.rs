@@ -14,9 +14,10 @@
 //! dynamically-sized accessors force the FPGA compiler to assume 16 kB per
 //! shared variable.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use crate::fault::LocalFaultCtx;
 use crate::sanitize::{self, AccessKind};
 
 /// A work-group-shared array of `T`.
@@ -29,18 +30,54 @@ pub struct LocalArray<T> {
     // the owning launch is not sanitized, making the accessor hooks a
     // single never-taken branch.
     san_id: Option<u64>,
+    // One-shot SDC flip site (element, bit): the first plain load of that
+    // element returns a bit-flipped value and clears the cell. `None`
+    // (the default) keeps the accessor a single never-taken branch;
+    // shared via Rc so clones consume the same one-shot event.
+    flip: Option<FlipCell>,
 }
+
+/// One-shot SDC flip site `(element, bit)`, shared across clones so the
+/// whole group consumes the same single event.
+type FlipCell = Rc<Cell<Option<(usize, u8)>>>;
 
 impl<T> Clone for LocalArray<T> {
     fn clone(&self) -> Self {
-        LocalArray { data: Rc::clone(&self.data), san_id: self.san_id }
+        LocalArray {
+            data: Rc::clone(&self.data),
+            san_id: self.san_id,
+            flip: self.flip.clone(),
+        }
     }
+}
+
+/// Flip `bit` of the value's first storage byte. Callers only request
+/// flips for element types where every bit pattern is a valid value
+/// (see `integrity::bit_safe`).
+fn flip_first_byte<T: Copy>(v: T, bit: u8) -> T {
+    if std::mem::size_of::<T>() == 0 {
+        return v;
+    }
+    let mut out = v;
+    // SAFETY: T is at least one byte; the result is a valid T by the
+    // caller's bit-safety gate.
+    unsafe {
+        *(&mut out as *mut T as *mut u8) ^= 1 << (bit & 7);
+    }
+    out
 }
 
 impl<T: Copy + Default> LocalArray<T> {
     pub(crate) fn new(len: usize, san_id: Option<u64>) -> Self {
         let data: Box<[T]> = (0..len).map(|_| T::default()).collect();
-        LocalArray { data: Rc::new(RefCell::new(data)), san_id }
+        LocalArray { data: Rc::new(RefCell::new(data)), san_id, flip: None }
+    }
+
+    pub(crate) fn with_flip(mut self, site: Option<(usize, u8)>) -> Self {
+        if let Some(site) = site {
+            self.flip = Some(Rc::new(Cell::new(Some(site))));
+        }
+        self
     }
 
     #[inline]
@@ -64,7 +101,16 @@ impl<T: Copy + Default> LocalArray<T> {
     #[inline]
     pub fn get(&self, i: usize) -> T {
         self.record(i, AccessKind::Read);
-        self.data.borrow()[i]
+        let v = self.data.borrow()[i];
+        if let Some(flip) = &self.flip {
+            if let Some((fi, bit)) = flip.get() {
+                if fi == i {
+                    flip.set(None);
+                    return flip_first_byte(v, bit);
+                }
+            }
+        }
+        v
     }
 
     /// Store `v` at element `i`.
@@ -147,11 +193,15 @@ impl<T: Copy + Default> PrivateArray<T> {
 pub(crate) struct LocalArena {
     limit: usize,
     bytes: usize,
+    // Stateless local-flip decisions for this (kernel, group); `None`
+    // unless the launch runs under an SDC fault plan.
+    fault: Option<LocalFaultCtx>,
+    allocs: u32,
 }
 
 impl LocalArena {
-    pub(crate) fn new(limit: usize) -> Self {
-        LocalArena { limit, bytes: 0 }
+    pub(crate) fn new(limit: usize, fault: Option<LocalFaultCtx>) -> Self {
+        LocalArena { limit, bytes: 0, fault, allocs: 0 }
     }
 
     pub(crate) fn alloc<T: Copy + Default + 'static>(&mut self, len: usize) -> LocalArray<T> {
@@ -166,7 +216,15 @@ impl LocalArena {
             });
         }
         self.bytes += req;
-        LocalArray::new(len, sanitize::next_local_array_id())
+        let alloc_index = self.allocs;
+        self.allocs += 1;
+        let arr = LocalArray::new(len, sanitize::next_local_array_id());
+        match &self.fault {
+            Some(ctx) if crate::integrity::bit_safe::<T>() => {
+                arr.with_flip(ctx.flip_for_alloc(alloc_index, len))
+            }
+            _ => arr,
+        }
     }
 
     pub(crate) fn bytes(&self) -> usize {
@@ -195,7 +253,7 @@ mod tests {
 
     #[test]
     fn arena_tracks_bytes_and_enforces_limit() {
-        let mut arena = LocalArena::new(64);
+        let mut arena = LocalArena::new(64, None);
         let _a = arena.alloc::<f64>(4); // 32 B
         assert_eq!(arena.bytes(), 32);
         let _b = arena.alloc::<u8>(32); // 32 B more, exactly at limit
@@ -206,7 +264,7 @@ mod tests {
     fn arena_over_limit_panics_with_typed_payload() {
         crate::fault::install_quiet_hook();
         let payload = std::panic::catch_unwind(|| {
-            let mut arena = LocalArena::new(16);
+            let mut arena = LocalArena::new(16, None);
             let _a = arena.alloc::<f64>(3); // 24 B > 16 B
         })
         .unwrap_err();
@@ -217,6 +275,21 @@ mod tests {
             *e,
             crate::error::Error::LocalMemExceeded { requested: 24, limit: 16 }
         );
+    }
+
+    #[test]
+    fn one_shot_flip_corrupts_exactly_one_load() {
+        let a = LocalArray::<u32>::new(4, None).with_flip(Some((2, 3)));
+        a.set(2, 0);
+        // First load of the flipped element returns the corrupted value…
+        assert_eq!(a.get(2), 1 << 3);
+        // …and the event is consumed: later loads see the real contents.
+        assert_eq!(a.get(2), 0);
+        // Other elements were never affected.
+        assert_eq!(a.get(0), 0);
+        // `with_flip(None)` is inert.
+        let b = LocalArray::<u32>::new(2, None).with_flip(None);
+        assert_eq!(b.get(0), 0);
     }
 
     #[test]

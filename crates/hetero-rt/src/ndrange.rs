@@ -183,11 +183,16 @@ pub struct GroupCtx {
 }
 
 impl GroupCtx {
-    pub(crate) fn new(group_id: [usize; 3], nd: NdRange, local_mem_limit: usize) -> Self {
+    pub(crate) fn new(
+        group_id: [usize; 3],
+        nd: NdRange,
+        local_mem_limit: usize,
+        local_fault: Option<crate::fault::LocalFaultCtx>,
+    ) -> Self {
         GroupCtx {
             group_id,
             nd,
-            arena: RefCell::new(LocalArena::new(local_mem_limit)),
+            arena: RefCell::new(LocalArena::new(local_mem_limit, local_fault)),
             barriers_local: Cell::new(0),
             barriers_global: Cell::new(0),
             items_executed: Cell::new(0),
@@ -311,7 +316,7 @@ mod tests {
     #[test]
     fn group_ctx_iterates_all_items_with_correct_ids() {
         let nd = NdRange::d2(8, 4, 4, 2);
-        let ctx = GroupCtx::new([1, 0, 0], nd, 1 << 20);
+        let ctx = GroupCtx::new([1, 0, 0], nd, 1 << 20, None);
         let mut seen = Vec::new();
         ctx.items(|it| seen.push((it.gid(0), it.gid(1), it.local_linear)));
         assert_eq!(seen.len(), 8);
@@ -324,7 +329,7 @@ mod tests {
     #[test]
     fn barriers_are_counted_by_scope() {
         let nd = NdRange::d1(4, 4);
-        let ctx = GroupCtx::new([0, 0, 0], nd, 1 << 20);
+        let ctx = GroupCtx::new([0, 0, 0], nd, 1 << 20, None);
         ctx.barrier(FenceSpace::Local);
         ctx.barrier(FenceSpace::Local);
         ctx.barrier(FenceSpace::Global);
@@ -338,7 +343,7 @@ mod tests {
         // then every item reads its neighbour's slot in phase 2. Correct
         // iff the barrier separates the phases.
         let nd = NdRange::d1(8, 8);
-        let ctx = GroupCtx::new([0, 0, 0], nd, 1 << 20);
+        let ctx = GroupCtx::new([0, 0, 0], nd, 1 << 20, None);
         let shared = ctx.local_array::<u32>(8);
         let out = ctx.private_array::<u32>();
         ctx.items(|it| shared.set(it.local_linear, it.local_linear as u32 * 10));

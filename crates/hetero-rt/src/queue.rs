@@ -53,6 +53,51 @@ impl RetryPolicy {
     pub fn resilient() -> Self {
         RetryPolicy { max_attempts: 3, backoff: Duration::from_millis(1) }
     }
+
+    /// The sleep taken after failed attempt `attempt` (1-based):
+    /// deterministic linear backoff `backoff * attempt`, no jitter, so a
+    /// seeded chaos run replays the exact same delay sequence.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        self.backoff * attempt
+    }
+}
+
+/// Redundant-execution policy for launches on an integrity queue
+/// ([`Queue::with_integrity`]): the modular-redundancy answer to silent
+/// data corruption that strikes *while* a kernel runs (or between the
+/// kernel and the exit reseal), which no checksum boundary can see.
+///
+/// Replicas re-run the same launch from a byte-exact restore of the
+/// pre-launch memory image, **sequentially** (so schedule-dependent
+/// floating-point reductions reproduce bit-exactly), and vote on a
+/// whole-memory digest. A divergent replica is outvoted and re-run
+/// within the [`RetryPolicy`] budget; if the digests never reach a
+/// 2-vote agreement the launch fails with
+/// [`Error::ReplicaDivergence`] rather than returning unvalidated data.
+///
+/// Requires the integrity layer to be armed and the launch to be the
+/// only one in flight; otherwise the launch silently degrades to a
+/// single run (there is no memory image to restore between replicas).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Redundancy {
+    /// Single execution (default).
+    #[default]
+    None,
+    /// Dual modular redundancy: two runs must agree.
+    Dmr,
+    /// Triple modular redundancy: three runs, majority (≥ 2) wins.
+    Tmr,
+}
+
+impl Redundancy {
+    /// Minimum replica runs before a 2-vote agreement can be accepted.
+    fn need(self) -> u32 {
+        match self {
+            Redundancy::None => 1,
+            Redundancy::Dmr => 2,
+            Redundancy::Tmr => 3,
+        }
+    }
 }
 
 /// What to do when the primary device rejects a launch with a
@@ -114,6 +159,8 @@ pub struct Queue {
     fallback: Fallback,
     fault: Option<Arc<FaultPlan>>,
     sanitize: bool,
+    integrity: bool,
+    redundancy: Redundancy,
     inflight: Arc<InFlight>,
 }
 
@@ -125,13 +172,21 @@ impl Queue {
     /// If `HETERO_RT_FAULT_SEED` is set, the queue adopts the
     /// process-wide environment fault plan together with
     /// [`RetryPolicy::resilient`], so chaos runs exercise every
-    /// application without code changes. If `HETERO_RT_SANITIZE=1` is
-    /// set, every launch on the queue runs under the dynamic race
-    /// detector ([`crate::sanitize`]); see [`Queue::with_sanitizer`] for
-    /// the per-queue override.
+    /// application without code changes. With
+    /// `HETERO_RT_FAULT_MODE=sdc` the plan injects silent bit flips
+    /// instead of fail-stop faults, and the queue additionally arms the
+    /// integrity layer and adopts [`Redundancy::Dmr`] — the full SDC
+    /// defense, again with no application changes. If
+    /// `HETERO_RT_SANITIZE=1` is set, every launch on the queue runs
+    /// under the dynamic race detector ([`crate::sanitize`]); see
+    /// [`Queue::with_sanitizer`] for the per-queue override.
     pub fn new(device: Device) -> Self {
         let fault = FaultPlan::env_plan();
         let retry = if fault.is_some() { RetryPolicy::resilient() } else { RetryPolicy::default() };
+        let sdc = fault.as_deref().is_some_and(FaultPlan::is_sdc);
+        if sdc {
+            crate::integrity::arm();
+        }
         Queue {
             device,
             profiling: false,
@@ -140,6 +195,8 @@ impl Queue {
             fallback: Fallback::None,
             fault,
             sanitize: crate::sanitize::env_enabled(),
+            integrity: sdc,
+            redundancy: if sdc { Redundancy::Dmr } else { Redundancy::None },
             inflight: Arc::new(InFlight::default()),
         }
     }
@@ -191,6 +248,39 @@ impl Queue {
         self.sanitize
     }
 
+    /// Enable or disable the integrity protocol for launches on this
+    /// queue: regions are verified against their page checksums at
+    /// launch entry (corruption surfaces as [`Error::DataCorruption`],
+    /// absorbed by the retry budget since the offending seal is
+    /// refreshed on detection) and resealed at launch exit. Enabling
+    /// also arms the layer process-wide ([`crate::integrity::arm`]) so
+    /// buffers allocated afterwards register checksummed regions.
+    pub fn with_integrity(mut self, on: bool) -> Self {
+        self.integrity = on;
+        if on {
+            crate::integrity::arm();
+        }
+        self
+    }
+
+    /// Whether launches on this queue run the integrity protocol.
+    pub fn integrity_enabled(&self) -> bool {
+        self.integrity
+    }
+
+    /// Set the redundant-execution policy (see [`Redundancy`]). Only
+    /// effective together with [`Queue::with_integrity`]: replicas
+    /// restore and digest the integrity layer's registered regions.
+    pub fn with_redundancy(mut self, redundancy: Redundancy) -> Self {
+        self.redundancy = redundancy;
+        self
+    }
+
+    /// The queue's redundant-execution policy.
+    pub fn redundancy(&self) -> Redundancy {
+        self.redundancy
+    }
+
     /// The queue's device.
     pub fn device(&self) -> &Device {
         &self.device
@@ -238,6 +328,7 @@ impl Queue {
     /// One contained execution of `kernel` over `nd` on `device`:
     /// group-size check against that device's caps, then phase-wise group
     /// execution with per-group panic containment.
+    #[allow(clippy::too_many_arguments)]
     fn run_on<K>(
         &self,
         device: &Device,
@@ -245,6 +336,7 @@ impl Queue {
         name: &'static str,
         nd: NdRange,
         reqd_max: Option<usize>,
+        par: Parallelism,
         kernel: &K,
     ) -> Result<(LaunchStats, Duration)>
     where
@@ -253,7 +345,7 @@ impl Queue {
         Self::check_group_size(device, &nd, reqd_max)?;
         run_groups_contained(
             nd,
-            self.parallelism,
+            par,
             device.caps().local_mem_bytes,
             name,
             plan,
@@ -262,16 +354,105 @@ impl Queue {
         )
     }
 
+    /// Redundant execution with digest voting: run the launch `need`
+    /// times (restoring the pre-launch memory image between runs), each
+    /// replica strictly sequential so schedule-dependent results
+    /// reproduce bit-exactly, and accept once the latest whole-memory
+    /// digest agrees with at least one earlier run. Divergent replicas
+    /// (e.g. an exit-window bit flip) are outvoted by extra runs within
+    /// the retry budget; exhaustion restores the pre-launch image and
+    /// fails with [`Error::ReplicaDivergence`].
+    ///
+    /// Returns `(stats, dispatch, runs, corrected)` where `corrected`
+    /// counts distinct minority digests that were outvoted.
+    fn run_redundant<K>(
+        &self,
+        plan: Option<&FaultPlan>,
+        name: &'static str,
+        nd: NdRange,
+        reqd_max: Option<usize>,
+        kernel: &K,
+    ) -> Result<(LaunchStats, Duration, u32, u32)>
+    where
+        K: Fn(&GroupCtx) + Sync,
+    {
+        let need = self.redundancy.need();
+        let budget = need + (self.retry.max_attempts.max(1) - 1);
+        let snap = crate::integrity::snapshot_all();
+        let mut digests: Vec<u64> = Vec::new();
+        loop {
+            if !digests.is_empty() {
+                crate::integrity::restore(&snap);
+            }
+            let out = match self.run_on(
+                &self.device,
+                plan,
+                name,
+                nd,
+                reqd_max,
+                Parallelism::Sequential,
+                kernel,
+            ) {
+                Ok(out) => out,
+                Err(e) => {
+                    // A failed replica may have written partially; put the
+                    // pre-launch image back before surfacing the error.
+                    crate::integrity::restore(&snap);
+                    return Err(e);
+                }
+            };
+            // The exit-window flip lands between kernel and digest: the
+            // one corruption case a boundary checksum can never catch,
+            // and exactly what the vote is for.
+            if let Some(p) = plan {
+                crate::integrity::inject_exit(p);
+            }
+            let digest = crate::integrity::digest_all();
+            digests.push(digest);
+            let runs = digests.len() as u32;
+            let agree = digests.iter().filter(|&&d| d == digest).count() as u32;
+            if runs >= need && agree >= 2 {
+                // Memory currently holds the run whose digest won.
+                let mut distinct: Vec<u64> = Vec::new();
+                for &d in &digests {
+                    if !distinct.contains(&d) {
+                        distinct.push(d);
+                    }
+                }
+                let corrected = (distinct.len() - 1) as u32;
+                if corrected > 0 {
+                    crate::integrity::record_corrected(corrected as u64);
+                }
+                let (stats, dispatch) = out;
+                return Ok((stats, dispatch, runs, corrected));
+            }
+            if runs >= budget {
+                crate::integrity::restore(&snap);
+                return Err(Error::ReplicaDivergence { kernel: name, runs });
+            }
+        }
+    }
+
     /// The central hardened launch path shared by every group-shaped
     /// submission. In order:
     ///
-    /// 1. transient-fault injection with bounded deterministic retry
+    /// 1. integrity-protocol entry (when [`Queue::with_integrity`] is on
+    ///    and this is the only launch in flight): seeded SDC injection,
+    ///    then page-checksum verification of every region — corruption
+    ///    surfaces as [`Error::DataCorruption`] and is absorbed by the
+    ///    retry budget (detection reseals the offender, so the retry
+    ///    proceeds on detected-and-accepted contents);
+    /// 2. transient-fault injection with bounded deterministic retry
     ///    ([`RetryPolicy`]) — injected before any group runs, so a retry
     ///    never replays side effects;
-    /// 2. contained execution on the primary device (kernel panics become
-    ///    typed errors, the pool survives);
-    /// 3. on a fallback-eligible capability error, one clean re-run on
-    ///    the CPU device with injection disabled ([`Fallback::Cpu`]).
+    /// 3. contained execution on the primary device (kernel panics become
+    ///    typed errors, the pool survives), redundantly with digest
+    ///    voting under [`Redundancy::Dmr`]/[`Redundancy::Tmr`];
+    /// 4. on a fallback-eligible capability error, one clean re-run on
+    ///    the CPU device with injection disabled ([`Fallback::Cpu`]);
+    /// 5. integrity-protocol exit (last launch out): reseal every region,
+    ///    then land the plan's exit-window flip and stuck-at page on the
+    ///    sealed image so the *next* entry verification must detect them.
     fn launch_groups<K>(
         &self,
         name: &'static str,
@@ -284,29 +465,70 @@ impl Queue {
     {
         let _guard = InFlightGuard::enter(&self.inflight);
         nd.validate()?; // a malformed range is a programming error: no retry, no fallback
+        let scope = crate::integrity::LaunchScope::enter();
+        // The protocol needs exclusive access to region bytes; nested or
+        // concurrent launches skip it and the outermost exit reseals.
+        let protocol = self.integrity && scope.exclusive();
         let plan = self.fault.as_deref();
+        if protocol {
+            if let Some(p) = plan {
+                crate::integrity::inject_entry(p);
+            }
+        }
+        let redundant = if protocol { self.redundancy } else { Redundancy::None };
         let max_attempts = self.retry.max_attempts.max(1);
         let mut attempts = 0u32;
         let mut absorbed = 0u32;
+        let mut replicas = 1u32;
+        let mut corrected = 0u32;
         let primary = loop {
             attempts += 1;
             if let Some(p) = plan {
                 if p.should_fail_launch(name) {
                     if attempts < max_attempts {
                         absorbed += 1;
-                        std::thread::sleep(self.retry.backoff * attempts);
+                        std::thread::sleep(self.retry.delay_for(attempts));
                         continue;
                     }
                     break Err(Error::TransientLaunchFailure { kernel: name, attempts });
                 }
             }
-            break self.run_on(&self.device, plan, name, nd, reqd_max, kernel);
+            if protocol {
+                if let Err(e) = crate::integrity::verify_all() {
+                    // Detection refreshed the offending seal, so a retry
+                    // re-verifies clean and runs on contents the caller
+                    // has been *told* diverged — detected, never silent.
+                    if attempts < max_attempts {
+                        absorbed += 1;
+                        std::thread::sleep(self.retry.delay_for(attempts));
+                        continue;
+                    }
+                    break Err(e);
+                }
+            }
+            break match redundant {
+                Redundancy::None => self
+                    .run_on(&self.device, plan, name, nd, reqd_max, self.parallelism, kernel),
+                _ => self
+                    .run_redundant(plan, name, nd, reqd_max, kernel)
+                    .map(|(stats, dispatch, runs, fixed)| {
+                        replicas = runs;
+                        corrected = fixed;
+                        (stats, dispatch)
+                    }),
+            };
         };
-        match primary {
+        let result = match primary {
             Ok((stats, dispatch)) => Ok((
                 stats,
                 dispatch,
-                ResilienceInfo { attempts, faults_absorbed: absorbed, fallback_device: None },
+                ResilienceInfo {
+                    attempts,
+                    faults_absorbed: absorbed,
+                    fallback_device: None,
+                    replicas,
+                    divergences_corrected: corrected,
+                },
             )),
             Err(e)
                 if self.fallback == Fallback::Cpu
@@ -314,7 +536,8 @@ impl Queue {
                     && self.device.kind() != DeviceKind::Cpu =>
             {
                 let cpu = Device::cpu();
-                let (stats, dispatch) = self.run_on(&cpu, None, name, nd, reqd_max, kernel)?;
+                let (stats, dispatch) =
+                    self.run_on(&cpu, None, name, nd, reqd_max, self.parallelism, kernel)?;
                 Ok((
                     stats,
                     dispatch,
@@ -322,11 +545,29 @@ impl Queue {
                         attempts,
                         faults_absorbed: absorbed,
                         fallback_device: Some(cpu.name().to_string()),
+                        replicas,
+                        divergences_corrected: corrected,
                     },
                 ))
             }
             Err(e) => Err(e),
+        };
+        if protocol && scope.sole_remaining() {
+            // Reseal even on error so the next protocol launch does not
+            // false-positive on this launch's partial writes.
+            crate::integrity::reseal_all();
+            if result.is_ok() {
+                if let Some(p) = plan {
+                    if redundant == Redundancy::None {
+                        // Redundant runs already injected (and voted on)
+                        // their exit flips pre-digest.
+                        crate::integrity::inject_exit(p);
+                    }
+                    crate::integrity::apply_stuck(p);
+                }
+            }
         }
+        result
     }
 
     /// Launch a barrier-free data-parallel kernel: `f` runs once per
@@ -459,7 +700,7 @@ impl Queue {
     /// fault plan: on top of the genuine capability failure
     /// ([`Error::UsmUnsupported`] on the paper's FPGAs), a plan may
     /// deterministically inject [`Error::UsmAllocFailed`].
-    pub fn alloc_usm<T: Copy + Default>(
+    pub fn alloc_usm<T: Copy + Default + 'static>(
         &self,
         kind: crate::usm::UsmKind,
         len: usize,

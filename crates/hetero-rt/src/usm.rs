@@ -11,9 +11,12 @@
 //! are device-dependent, so we expose an advice enum and record advices
 //! per allocation (tests assert the FPGA path never issues any).
 
+use std::sync::Arc;
+
 use crate::device::Device;
 use crate::error::{Error, Result};
 use crate::fault::FaultPlan;
+use crate::integrity;
 use crate::sanitize::{self, AccessKind};
 
 /// USM allocation kind, mirroring `sycl::usm::alloc`.
@@ -48,9 +51,19 @@ pub struct UsmAlloc<T> {
     // Process-unique id in the same namespace as buffer ids, so the race
     // sanitizer tracks USM elements with the same shadow machinery.
     id: u64,
+    // Checksummed integrity region; `None` while the layer is disarmed.
+    region: Option<Arc<integrity::Region>>,
 }
 
-impl<T: Copy + Default> UsmAlloc<T> {
+impl<T> Drop for UsmAlloc<T> {
+    fn drop(&mut self) {
+        if let Some(region) = self.region.take() {
+            integrity::unregister(&region);
+        }
+    }
+}
+
+impl<T: Copy + Default + 'static> UsmAlloc<T> {
     /// Allocate `len` elements of USM memory of `kind` on `device`.
     /// Fails on devices without USM support (the paper's FPGAs).
     pub fn new(device: &Device, kind: UsmKind, len: usize) -> Result<Self> {
@@ -75,12 +88,22 @@ impl<T: Copy + Default> UsmAlloc<T> {
                 bytes: len * std::mem::size_of::<T>(),
             });
         }
-        Ok(UsmAlloc {
-            data: vec![T::default(); len],
-            kind,
-            advices: Vec::new(),
-            id: sanitize::next_object_id(),
-        })
+        let data = vec![T::default(); len];
+        let id = sanitize::next_object_id();
+        let region = integrity::register(
+            id,
+            "usm",
+            data.as_ptr() as *const u8,
+            std::mem::size_of_val::<[T]>(&data),
+            integrity::bit_safe::<T>(),
+        );
+        Ok(UsmAlloc { data, kind, advices: Vec::new(), id, region })
+    }
+
+    /// The allocation's process-unique object id (shared between the
+    /// race sanitizer and the integrity layer's region ids).
+    pub fn object_id(&self) -> u64 {
+        self.id
     }
 
     /// Number of elements.
@@ -133,6 +156,12 @@ impl<T: Copy + Default> UsmAlloc<T> {
         };
         *slot = v;
         sanitize::record_global(self.id, i, AccessKind::Write);
+        if let Some(region) = &self.region {
+            // Hot host-write path: drop the seal (one uncontended atomic)
+            // instead of recomputing checksums per element; the next
+            // launch-exit reseal restores protection.
+            region.unseal_fast();
+        }
         Ok(())
     }
 
@@ -156,8 +185,12 @@ impl<T: Copy + Default> UsmAlloc<T> {
         &self.data
     }
 
-    /// Mutable data access.
+    /// Mutable data access. Drops the integrity seal while armed (host
+    /// writes are not corruption); the next launch exit reseals.
     pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if let Some(region) = &self.region {
+            region.unseal_fast();
+        }
         &mut self.data
     }
 }

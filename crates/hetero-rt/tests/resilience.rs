@@ -160,6 +160,44 @@ fn transient_faults_respect_the_retry_budget() {
     assert_eq!(e, Error::TransientLaunchFailure { kernel: "flaky", attempts: 3 });
 }
 
+/// The retry backoff is pinned: attempt `k` sleeps exactly
+/// `backoff * k`, no jitter, so a seeded chaos run replays the same
+/// delay sequence every time.
+#[test]
+fn retry_backoff_sequence_is_deterministic() {
+    let p = RetryPolicy { max_attempts: 4, backoff: Duration::from_millis(2) };
+    let delays: Vec<Duration> = (1..p.max_attempts).map(|k| p.delay_for(k)).collect();
+    assert_eq!(
+        delays,
+        vec![
+            Duration::from_millis(2),
+            Duration::from_millis(4),
+            Duration::from_millis(6),
+        ]
+    );
+    // Zero-backoff policies sleep zero at every attempt.
+    let z = RetryPolicy { max_attempts: 3, backoff: Duration::ZERO };
+    assert!((1..z.max_attempts).all(|k| z.delay_for(k) == Duration::ZERO));
+    // The resilient chaos policy: 1 ms base, linear.
+    let r = RetryPolicy::resilient();
+    assert_eq!(r.delay_for(1), Duration::from_millis(1));
+    assert_eq!(r.delay_for(2), Duration::from_millis(2));
+
+    // A launch that absorbs two transients must sleep at least
+    // delay_for(1) + delay_for(2) — the wall clock pins that the
+    // sequence is actually taken in order.
+    let q = Queue::new(Device::cpu())
+        .with_fault_plan(Some(Arc::new(FaultPlan::transient_burst(2))))
+        .with_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(5),
+        });
+    let t0 = std::time::Instant::now();
+    let ev = q.try_parallel_for("slow_flaky", Range::d1(8), |_| {}).unwrap();
+    assert_eq!(ev.resilience().attempts, 3);
+    assert!(t0.elapsed() >= Duration::from_millis(15), "5ms + 10ms of backoff");
+}
+
 /// Default queues make exactly one attempt — transient faults surface
 /// immediately, preserving the pre-fault-layer behaviour.
 #[test]

@@ -1,0 +1,284 @@
+//! Integration tests for the silent-data-corruption defense: seeded
+//! bit-flip injection, page-checksum detection at launch boundaries, the
+//! idle-time scrubber, and redundant execution with digest voting.
+//!
+//! Arming the integrity layer is process-global, so these tests live in
+//! their own integration-test binary (own process, isolated from the
+//! crate's unit tests) and serialize on one mutex. Each test arms
+//! through the RAII [`Armed`] guard so a panic still disarms.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+use hetero_rt::executor::Parallelism;
+use hetero_rt::fault::FaultKind;
+use hetero_rt::integrity;
+use hetero_rt::{
+    Buffer, Device, Error, FaultPlan, Queue, Range, Redundancy, RetryPolicy,
+};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| {
+        // The process-wide pool sizes itself once; on a single-core host
+        // that means zero parked workers and no idle scrubber. Pin a
+        // small fixed pool before first use (same pattern as tests/pool.rs).
+        if std::env::var_os("HETERO_RT_THREADS").is_none() {
+            std::env::set_var("HETERO_RT_THREADS", "4");
+        }
+        Mutex::new(())
+    })
+    .lock()
+    .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms the integrity layer for one test; disarms and drains parked
+/// scrubber reports on drop (even on panic).
+struct Armed;
+
+impl Armed {
+    fn new() -> Self {
+        integrity::arm();
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        integrity::disarm();
+        let _ = integrity::take_scrub_reports();
+    }
+}
+
+#[test]
+fn targeted_flip_detected_at_exact_region_and_page() {
+    let _g = serial();
+    let _a = Armed::new();
+    let q = Queue::new(Device::cpu()).with_integrity(true);
+    let b = Buffer::<u32>::new(600); // 2400 B -> pages 0..=2
+    // Flip bit 2 of byte 1500: page 1 of this exact region.
+    let plan = Arc::new(FaultPlan::flip_at(b.object_id(), 1500, 2));
+    let q = q.with_fault_plan(Some(Arc::clone(&plan)));
+    // Default policy = 1 attempt, so entry verification surfaces the
+    // corruption as a typed error naming region, page, and seal epoch.
+    let err = q.try_parallel_for("probe", Range::d1(1), |_| {}).unwrap_err();
+    assert_eq!(
+        err,
+        Error::DataCorruption { region: b.object_id(), page: 1, epoch: 1 }
+    );
+    assert_eq!(plan.flips_injected(), 1);
+    // Detect-once: the offender was resealed, so a clean retry passes.
+    let e = q.try_parallel_for("again", Range::d1(1), |_| {}).unwrap();
+    assert_eq!(e.resilience().faults_absorbed, 0);
+}
+
+#[test]
+fn detection_is_absorbed_by_retry_budget() {
+    let _g = serial();
+    let _a = Armed::new();
+    let q = Queue::new(Device::cpu())
+        .with_integrity(true)
+        .with_retry_policy(RetryPolicy::resilient());
+    let b = Buffer::<f32>::new(256);
+    let plan = Arc::new(FaultPlan::flip_at(b.object_id(), 100, 7));
+    let q = q.with_fault_plan(Some(plan));
+    let before = integrity::detections_total();
+    let v = b.view();
+    let e = q
+        .try_parallel_for("heal", Range::d1(256), move |it| v.set(it.gid(0), 1.0))
+        .unwrap();
+    assert!(e.resilience().attempts >= 2);
+    assert!(e.resilience().faults_absorbed >= 1);
+    assert_eq!(integrity::detections_total() - before, 1);
+    assert!(b.to_vec().iter().all(|&x| x == 1.0));
+}
+
+#[test]
+fn scrubber_finds_host_corruption_between_launches() {
+    let _g = serial();
+    let _a = Armed::new();
+    let b = Buffer::<u64>::new(300); // 2400 B, sealed at registration
+    // Raw view writes from host code are deliberately unhooked: the
+    // documented corruption primitive.
+    b.view().set(200, 0xDEAD); // byte 1600 -> page 1
+    let reports = integrity::scrub_now();
+    assert!(
+        reports
+            .iter()
+            .any(|v| v.region == b.object_id() && v.page == 1),
+        "scrub_now should localize the flip: {reports:?}"
+    );
+    // Detect-once again: a second sweep is clean.
+    assert!(integrity::scrub_now().is_empty());
+}
+
+#[test]
+fn parked_pool_workers_scrub_while_idle() {
+    let _g = serial();
+    let _a = Armed::new();
+    // Spin up pool workers with a parallel launch, then corrupt a sealed
+    // region and wait for an idle worker to park a violation.
+    let q = Queue::new(Device::cpu()).with_parallelism(Parallelism::Threads(2));
+    q.try_parallel_for("warm", Range::d1(2048), |_| {}).unwrap();
+    let b = Buffer::<u32>::new(1024);
+    b.view().set(10, 77);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut found = Vec::new();
+    while Instant::now() < deadline {
+        found = integrity::take_scrub_reports();
+        if !found.is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        found.iter().any(|v| v.region == b.object_id() && v.page == 0),
+        "idle scrubber should find the flip within its park cadence: {found:?}"
+    );
+}
+
+#[test]
+fn dmr_outvotes_exit_window_flips() {
+    let _g = serial();
+    let _a = Armed::new();
+    let mut corrected_runs = 0u32;
+    for seed in 1..=30u64 {
+        let plan = Arc::new(FaultPlan::new(seed, 0.7).with_kinds(&[FaultKind::BitFlip]));
+        let q = Queue::new(Device::cpu())
+            .with_integrity(true)
+            .with_redundancy(Redundancy::Dmr)
+            .with_retry_policy(RetryPolicy::resilient())
+            .with_fault_plan(Some(plan));
+        let b = Buffer::<u32>::new(512);
+        let v = b.view();
+        let r = q.try_parallel_for("vote", Range::d1(512), move |it| {
+            v.set(it.gid(0), it.gid(0) as u32 * 3 + 1);
+        });
+        match r {
+            Ok(e) => {
+                let res = e.resilience();
+                assert!(res.replicas >= 2, "DMR must run at least two replicas");
+                if res.divergences_corrected > 0 {
+                    corrected_runs += 1;
+                }
+                // An accepted vote is the *correct* output, always: the
+                // minority (flipped) digest lost.
+                let out = b.to_vec();
+                assert!(
+                    out.iter().enumerate().all(|(i, &x)| x == i as u32 * 3 + 1),
+                    "seed {seed}: accepted output must be the agreed clean run"
+                );
+            }
+            // Exhausted budgets are loud, never silent.
+            Err(Error::ReplicaDivergence { .. }) | Err(Error::DataCorruption { .. }) => {}
+            Err(e) => panic!("seed {seed}: unexpected error {e}"),
+        }
+    }
+    assert!(
+        corrected_runs >= 3,
+        "expected several seeds to exercise the vote-and-correct path, got {corrected_runs}"
+    );
+}
+
+#[test]
+fn replica_divergence_is_typed_when_digests_never_converge() {
+    let _g = serial();
+    let _a = Armed::new();
+    // Rate 1.0: every replica takes an exit-window flip at a fresh
+    // sequenced site, so digests can never reach a 2-vote agreement.
+    let plan = Arc::new(FaultPlan::new(99, 1.0).with_kinds(&[FaultKind::BitFlip]));
+    let q = Queue::new(Device::cpu())
+        .with_integrity(true)
+        .with_redundancy(Redundancy::Dmr)
+        .with_retry_policy(RetryPolicy::resilient())
+        .with_fault_plan(Some(plan));
+    let b = Buffer::<u32>::new(2048);
+    let v = b.view();
+    let err = q
+        .try_parallel_for("never", Range::d1(16), move |it| v.set(it.gid(0), 1))
+        .unwrap_err();
+    // Budget = need (2) + retries (2) = 4 replica runs.
+    assert_eq!(err, Error::ReplicaDivergence { kernel: "never", runs: 4 });
+}
+
+#[test]
+fn stuck_page_survives_voting_but_never_silently() {
+    let _g = serial();
+    let _a = Armed::new();
+    let plan = Arc::new(FaultPlan::new(5, 1.0).with_kinds(&[FaultKind::StuckPage]));
+    let q = Queue::new(Device::cpu())
+        .with_integrity(true)
+        .with_redundancy(Redundancy::Dmr)
+        .with_retry_policy(RetryPolicy::resilient())
+        .with_fault_plan(Some(Arc::clone(&plan)));
+    let b = Buffer::<u8>::new(4096);
+    let v = b.view();
+    q.try_parallel_for("s1", Range::d1(4096), move |it| v.set(it.gid(0), 0))
+        .unwrap();
+    // The stuck-at page was OR-masked onto the sealed exit image.
+    assert!(plan.stuck_applications() >= 1);
+    assert!(b.to_vec().iter().any(|&x| x != 0));
+    // The next launch's entry verification sees it — deterministic
+    // corruption is detectable even though replicas agree on it.
+    let before = integrity::detections_total();
+    let v2 = b.view();
+    let e = q
+        .try_parallel_for("s2", Range::d1(1), move |it| {
+            let _ = v2.get(it.gid(0));
+        })
+        .unwrap();
+    assert!(integrity::detections_total() > before);
+    assert!(e.resilience().faults_absorbed >= 1);
+}
+
+#[test]
+fn armed_rate_zero_launches_stay_clean() {
+    let _g = serial();
+    let _a = Armed::new();
+    let q = Queue::new(Device::cpu())
+        .with_integrity(true)
+        .with_redundancy(Redundancy::Dmr)
+        .with_fault_plan(Some(Arc::new(FaultPlan::sdc(3, 0.0))));
+    let b = Buffer::<f32>::new(1000);
+    let before = integrity::detections_total();
+    for round in 0..5 {
+        // Coarse host writes between launches reseal; they must never
+        // read as corruption.
+        b.write(|s| s[0] = round as f32);
+        let v = b.view();
+        let e = q
+            .try_parallel_for("clean", Range::d1(1000), move |it| {
+                v.set(it.gid(0), v.get(it.gid(0)) + 1.0);
+            })
+            .unwrap();
+        assert_eq!(e.resilience().faults_absorbed, 0);
+        assert_eq!(e.resilience().divergences_corrected, 0);
+        assert_eq!(e.resilience().replicas, 2);
+    }
+    assert_eq!(integrity::detections_total(), before);
+    let stats = integrity::stats();
+    assert!(stats.regions_verified > 0);
+}
+
+#[test]
+fn usm_and_buffer_host_apis_keep_protection_coherent() {
+    let _g = serial();
+    let _a = Armed::new();
+    let q = Queue::new(Device::cpu()).with_integrity(true);
+    let mut u = q.alloc_usm::<u32>(hetero_rt::usm::UsmKind::Shared, 512).unwrap();
+    let b = Buffer::<u32>::new(512);
+    // USM hot writes unseal (no false positive), buffer coarse writes
+    // reseal (protection stays active).
+    u.set(5, 42);
+    b.try_write_from(&vec![7u32; 512]).unwrap();
+    assert!(integrity::verify_all().is_ok());
+    let e = q.try_parallel_for("touch", Range::d1(1), |_| {}).unwrap();
+    assert_eq!(e.resilience().faults_absorbed, 0);
+    // After the launch-exit reseal, USM is protected again: a raw
+    // region write would now be caught (exercised via the buffer's view
+    // primitive on the buffer region).
+    b.view().set(100, 1);
+    let err = q.try_parallel_for("catch", Range::d1(1), |_| {}).unwrap_err();
+    assert!(matches!(err, Error::DataCorruption { region, .. } if region == b.object_id()));
+    let _ = u.as_slice();
+}

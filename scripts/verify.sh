@@ -34,4 +34,20 @@ for seed in 1 2 3 4 5; do
   done
 done
 
-echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix all green"
+# SDC defense matrix: the whole suite at size 1 under seeded *silent*
+# fault plans (memory bit-flips and stuck-at pages), with the integrity
+# layer armed and DMR voting on. Every run must end Correct, Corrected,
+# or Quarantined — never silently wrong output accepted as success —
+# and (first invocation) the committed golden-checksum registry in
+# tests/golden_checksums.tsv must still match the reference outputs.
+./target/release/sdc --seed 1 --size 1 > /dev/null
+./target/release/sdc --seed 2 --size 1 --skip-golden > /dev/null
+./target/release/sdc --seed 3 --size 1 --skip-golden > /dev/null
+
+# Disarmed-hook cost gate: a process that never arms the SDC defense
+# pays only the launch-scope counter and two branch loads per launch;
+# sdc_overhead times that sequence and fails if it reaches 2% of a
+# disarmed launch (writes BENCH_sdc_overhead.json).
+./target/release/sdc_overhead > /dev/null
+
+echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate all green"

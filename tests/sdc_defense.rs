@@ -1,0 +1,117 @@
+//! Suite-level silent-data-corruption defense: applications driven
+//! under seeded *silent* fault plans (bit-flips, stuck-at pages) with
+//! the integrity layer armed and DMR voting on must end Correct,
+//! Corrected, or Quarantined — never with silently wrong output
+//! accepted as success. The full seeds × sizes matrix runs in
+//! `scripts/verify.sh` through the `sdc` binary; this test keeps an
+//! in-process slice of it in the tier-1 suite.
+//!
+//! Arming the integrity layer is process-global, so every test here
+//! serializes on one mutex and disarms through an RAII guard.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+use altis_core::common::AppVersion;
+use altis_core::suite::{all_apps, check_golden_registry, run_sdc, SdcOutcome};
+use altis_data::InputSize;
+use hetero_rt::prelude::*;
+use hetero_rt::{integrity, Redundancy, RetryPolicy};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| {
+        // Pin a small fixed pool before first use so single-core hosts
+        // still have parked workers (same pattern as hetero-rt tests).
+        if std::env::var_os("HETERO_RT_THREADS").is_none() {
+            std::env::set_var("HETERO_RT_THREADS", "4");
+        }
+        Mutex::new(())
+    })
+    .lock()
+    .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms the integrity layer for one test; disarms and drains parked
+/// scrubber reports on drop (even on panic).
+struct Armed;
+
+impl Armed {
+    fn new() -> Self {
+        integrity::arm();
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        integrity::disarm();
+        let _ = integrity::take_scrub_reports();
+    }
+}
+
+fn sdc_queue(seed: u64, rate: f64) -> Queue {
+    Queue::new(Device::cpu())
+        .with_integrity(true)
+        .with_redundancy(Redundancy::Dmr)
+        .with_retry_policy(RetryPolicy::resilient())
+        .with_fault_plan(Some(Arc::new(FaultPlan::sdc(seed, rate))))
+}
+
+#[test]
+fn armed_rate_zero_suite_slice_is_correct() {
+    let _g = serial();
+    let _a = Armed::new();
+    // With the full defense armed but injection off, every app must
+    // come back Correct: no false detections from the apps' own host
+    // write patterns, no divergence from running replicas.
+    let picks = ["Mandelbrot", "NW", "KMeans", "Where"];
+    for app in all_apps().iter().filter(|a| picks.contains(&a.name)) {
+        let o = run_sdc(
+            app,
+            sdc_queue(7, 0.0),
+            InputSize::S1,
+            AppVersion::SyclOptimized,
+            Duration::from_secs(120),
+        );
+        assert_eq!(o, SdcOutcome::Correct, "{}: {o:?}", app.name);
+    }
+}
+
+#[test]
+fn injected_silent_faults_are_never_silently_wrong() {
+    let _g = serial();
+    let _a = Armed::new();
+    let picks = ["Mandelbrot", "NW", "SRAD", "KMeans"];
+    for app in all_apps().iter().filter(|a| picks.contains(&a.name)) {
+        for seed in [1u64, 2] {
+            let o = run_sdc(
+                app,
+                sdc_queue(seed, 0.05),
+                InputSize::S1,
+                AppVersion::SyclOptimized,
+                Duration::from_secs(120),
+            );
+            assert!(o.is_defended(), "{} seed {seed}: {o:?}", app.name);
+        }
+    }
+
+    // The shared pool must still produce exact results afterwards.
+    let q = Queue::new(Device::cpu());
+    let b = Buffer::<u32>::new(1024);
+    let v = b.view();
+    q.parallel_for("after_sdc", Range::d1(1024), move |it| {
+        v.set(it.gid(0), it.gid(0) as u32);
+    });
+    assert!(b.to_vec().iter().enumerate().all(|(i, &x)| x == i as u32));
+}
+
+#[test]
+fn golden_registry_matches_reference_outputs() {
+    // Host-side only (no queue, no arming): the committed registry in
+    // tests/golden_checksums.tsv must match freshly derived digests for
+    // all 13 configurations x 3 sizes.
+    let _g = serial();
+    let n = check_golden_registry().unwrap_or_else(|errs| panic!("{}", errs.join("\n")));
+    assert_eq!(n, 39, "expected 13 configurations x 3 sizes");
+}
