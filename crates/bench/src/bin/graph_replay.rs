@@ -1,0 +1,242 @@
+//! `graph_replay` — record-and-replay overhead microbenchmark plus the
+//! graph-equivalence matrix.
+//!
+//! Two measurements:
+//!
+//! * **microbench** — a recorded graph of 16 small kernels replayed
+//!   back-to-back (`Graph::replay`: one pool wake-up per replay, no
+//!   per-launch validation/chunking) against the same graph driven
+//!   through the hardened per-launch path (`Graph::submit_each`). The
+//!   per-launch overhead ratio is the headline number; `--gate X` exits
+//!   nonzero when it falls below X.
+//! * **FDTD2D end-to-end** — the paper's Figure 1 launch-overhead case
+//!   study: `run_with(..., PerLaunch)` vs `run_with(..., Graph)`,
+//!   median of three, at size 1 and at a launch-bound configuration
+//!   (tiny grid, thousands of steps) where the non-kernel share
+//!   dominates and the win is well clear of scheduler noise.
+//!
+//! `--matrix` additionally runs the 5-app × 3-flavor graph-equivalence
+//! matrix at size 1 (sequential / pooled per-launch / pooled graph, all
+//! against golden) and fails on any diverging cell.
+//!
+//! Writes `BENCH_graph_replay.json` (or the path given as the first
+//! positional argument).
+//!
+//! Usage:
+//! ```text
+//! graph_replay [out.json] [--replays N] [--gate X] [--matrix]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use altis_core::common::{AppVersion, ExecMode};
+use altis_core::suite::graph_mode_matrix;
+use altis_data::InputSize;
+use hetero_rt::prelude::*;
+
+// Two tiny groups per node: enough to engage the pool on both paths (a
+// single-group launch runs inline and measures nothing), small enough
+// that per-launch *overhead* — wake-ups, validation, arming checks —
+// dominates the measurement instead of kernel work.
+const NODES: usize = 16;
+const ITEMS: usize = 8;
+const GROUP: usize = 4;
+const DEFAULT_REPLAYS: usize = 2_000;
+
+/// Median of three timed runs of `rounds` back-to-back calls.
+fn median3(rounds: usize, f: impl Fn()) -> Duration {
+    f(); // warm-up
+    let mut samples: Vec<Duration> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..rounds {
+                f();
+            }
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[1]
+}
+
+fn fdtd2d_seconds(q: &Queue, p: &altis_data::Fdtd2dParams, mode: ExecMode) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = altis_core::fdtd2d::run_with(q, p, AppVersion::SyclOptimized, mode);
+            let dt = t0.elapsed().as_secs_f64();
+            assert!(out.ez.iter().all(|v| v.is_finite()));
+            dt
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[1]
+}
+
+fn main() {
+    // Like launch_storm: overhead comparison is meaningless on a
+    // single-threaded pool; force at least 4 workers before the first
+    // pool access caches the value.
+    if std::env::var_os("HETERO_RT_THREADS").is_none() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        std::env::set_var("HETERO_RT_THREADS", hw.max(4).to_string());
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_graph_replay.json".to_string();
+    let mut replays = DEFAULT_REPLAYS;
+    let mut gate: Option<f64> = None;
+    let mut matrix = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--replays" => {
+                replays = it.next().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_REPLAYS)
+            }
+            "--gate" => gate = it.next().and_then(|v| v.parse().ok()),
+            "--matrix" => matrix = true,
+            _ => out_path = a.clone(),
+        }
+    }
+
+    let q = Queue::new(Device::cpu());
+    let bufs: Vec<Buffer<f32>> = (0..NODES).map(|_| Buffer::<f32>::new(ITEMS)).collect();
+    let graph = Graph::record(&q, |g| {
+        for buf in &bufs {
+            let view = buf.view();
+            // Each node owns its buffer: record-time dependency analysis
+            // proves the nodes independent and coalesces them into one
+            // phase — one pool wake-up executes all of them. The
+            // in-order per-launch path below must submit (and wake the
+            // pool for) each node separately; that gap *is* the recorded
+            // graph's overhead advantage.
+            g.nd_range(
+                "graph_storm",
+                NdRange::d1(ITEMS, GROUP),
+                &[reads_writes(buf)],
+                move |ctx: &GroupCtx| {
+                    ctx.items(|item| {
+                        let i = item.global_linear;
+                        view.set(i, view.get(i).mul_add(1.0, 0.5));
+                    });
+                },
+            );
+        }
+    })
+    .expect("record failed");
+    assert_eq!(graph.phase_count(), 1, "independent nodes should share one phase");
+
+    let threads = hetero_rt::pool::auto_threads();
+    println!(
+        "graph replay: {NODES}-node graph x {replays} replays, {ITEMS} items / {GROUP}-item groups, {threads} threads"
+    );
+
+    let replayed = median3(replays, || graph.replay(&q).expect("replay failed"));
+    let submitted = median3(replays, || graph.submit_each(&q).expect("submit failed"));
+    assert!(
+        graph.fast_replays() > 0,
+        "hardening disarmed but the fast path never ran"
+    );
+
+    let launches = (replays * NODES) as f64;
+    let replay_us = replayed.as_secs_f64() / launches * 1e6;
+    let submit_us = submitted.as_secs_f64() / launches * 1e6;
+    let ratio = submit_us / replay_us;
+    println!("  replay     (single wake-up): {replayed:>10.3?} total, {replay_us:>8.3} us/launch");
+    println!("  submit_each (per-launch):    {submitted:>10.3?} total, {submit_us:>8.3} us/launch");
+    println!("  per-launch overhead ratio: {ratio:.2}x");
+
+    let s1 = altis_data::fdtd2d(InputSize::S1);
+    let fdtd_per_launch = fdtd2d_seconds(&q, &s1, ExecMode::PerLaunch);
+    let fdtd_graph = fdtd2d_seconds(&q, &s1, ExecMode::Graph);
+    let fdtd_speedup = fdtd_per_launch / fdtd_graph;
+    println!(
+        "  FDTD2D size 1: per-launch {:.1} ms, graph {:.1} ms, speedup {fdtd_speedup:.2}x",
+        fdtd_per_launch * 1e3,
+        fdtd_graph * 1e3
+    );
+    // Figure 1's overhead-bound regime, exaggerated: a grid small enough
+    // that each kernel is a few microseconds, over thousands of steps.
+    // Here the non-kernel share is the majority of the runtime and the
+    // recorded graph's advantage is well clear of scheduler noise.
+    let lb = altis_data::Fdtd2dParams { dim: 32, steps: 2_000 };
+    let lb_per_launch = fdtd2d_seconds(&q, &lb, ExecMode::PerLaunch);
+    let lb_graph = fdtd2d_seconds(&q, &lb, ExecMode::Graph);
+    let lb_speedup = lb_per_launch / lb_graph;
+    println!(
+        "  FDTD2D launch-bound (dim {}, {} steps): per-launch {:.1} ms, graph {:.1} ms, speedup {lb_speedup:.2}x",
+        lb.dim,
+        lb.steps,
+        lb_per_launch * 1e3,
+        lb_graph * 1e3
+    );
+
+    let mut matrix_json = String::from("null");
+    if matrix {
+        println!("  equivalence matrix (size 1):");
+        let rows = graph_mode_matrix(InputSize::S1);
+        let mut failed = Vec::new();
+        matrix_json = String::from("[");
+        for (i, (name, flavor, ok)) in rows.iter().enumerate() {
+            println!("    {name:<10} {:<12} {}", flavor.label(), if *ok { "ok" } else { "DIVERGED" });
+            if i > 0 {
+                matrix_json.push_str(", ");
+            }
+            let _ = write!(
+                matrix_json,
+                "{{\"app\": \"{name}\", \"flavor\": \"{}\", \"ok\": {ok}}}",
+                flavor.label()
+            );
+            if !ok {
+                failed.push(format!("{name} [{}]", flavor.label()));
+            }
+        }
+        matrix_json.push(']');
+        if !failed.is_empty() {
+            eprintln!("FAIL: graph matrix diverged from golden: {failed:?}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"benchmark\": \"graph_replay\",\n  \"nodes\": {NODES},\n  \"replays\": {replays},\n  \
+         \"items_per_launch\": {ITEMS},\n  \"group_size\": {GROUP},\n  \"threads\": {threads},\n  \
+         \"replay_total_s\": {:.6},\n  \"submit_each_total_s\": {:.6},\n  \
+         \"replay_us_per_launch\": {:.3},\n  \"submit_us_per_launch\": {:.3},\n  \
+         \"overhead_ratio\": {:.3},\n  \"fast_replays\": {},\n  \
+         \"fdtd2d_s1_per_launch_s\": {:.6},\n  \"fdtd2d_s1_graph_s\": {:.6},\n  \
+         \"fdtd2d_s1_speedup\": {:.3},\n  \
+         \"fdtd2d_launch_bound_dim\": {},\n  \"fdtd2d_launch_bound_steps\": {},\n  \
+         \"fdtd2d_launch_bound_per_launch_s\": {:.6},\n  \"fdtd2d_launch_bound_graph_s\": {:.6},\n  \
+         \"fdtd2d_launch_bound_speedup\": {:.3},\n  \"matrix\": {matrix_json}\n}}\n",
+        replayed.as_secs_f64(),
+        submitted.as_secs_f64(),
+        replay_us,
+        submit_us,
+        ratio,
+        graph.fast_replays(),
+        fdtd_per_launch,
+        fdtd_graph,
+        fdtd_speedup,
+        lb.dim,
+        lb.steps,
+        lb_per_launch,
+        lb_graph,
+        lb_speedup,
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write '{out_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if let Some(g) = gate {
+        if ratio < g {
+            eprintln!("FAIL: overhead ratio {ratio:.2}x below gate {g}x");
+            std::process::exit(1);
+        }
+        println!("gate {g}x passed ({ratio:.2}x)");
+    }
+}

@@ -28,9 +28,15 @@ const DEFAULT_LAUNCHES: usize = 10_000;
 const ITEMS: usize = 4096;
 const GROUP: usize = 64;
 
-/// Median of three timed runs of `launches` back-to-back launches.
-fn storm(launches: usize, f: impl Fn()) -> Duration {
+/// Median of three timed runs of `launches` back-to-back launches,
+/// plus the pool's dispatched/allocated deltas across the three timed
+/// rounds (warm-up excluded). A pooled storm must dispatch *exactly*
+/// 3 × launches jobs — the accounting is part of what this bench pins —
+/// and with scratch reuse the allocation delta stays near zero.
+fn storm(launches: usize, f: impl Fn()) -> (Duration, usize, usize) {
     f(); // warm-up (first pooled launch spawns the workers)
+    let d0 = hetero_rt::pool::jobs_dispatched();
+    let a0 = hetero_rt::pool::jobs_allocated();
     let mut samples: Vec<Duration> = (0..3)
         .map(|_| {
             let t0 = Instant::now();
@@ -41,7 +47,9 @@ fn storm(launches: usize, f: impl Fn()) -> Duration {
         })
         .collect();
     samples.sort();
-    samples[1]
+    let dispatched = hetero_rt::pool::jobs_dispatched() - d0;
+    let allocated = hetero_rt::pool::jobs_allocated() - a0;
+    (samples[1], dispatched, allocated)
 }
 
 fn main() {
@@ -83,10 +91,10 @@ fn main() {
         "launch storm: {launches} launches x {ITEMS} items / {GROUP}-item groups, {threads} threads"
     );
 
-    let pooled = storm(launches, || {
+    let (pooled, pooled_dispatched, pooled_allocated) = storm(launches, || {
         run_groups(nd, Parallelism::Auto, 1 << 20, &kernel);
     });
-    let spawning = storm(launches, || {
+    let (spawning, _, _) = storm(launches, || {
         run_groups_spawning(nd, Parallelism::Auto, 1 << 20, &kernel);
     });
 
@@ -96,10 +104,27 @@ fn main() {
     println!("  spawning (scope per launch):{spawning:>10.3?} total, {:>8.2} us/launch", per(spawning));
     println!("  speedup: {speedup:.2}x  (spawn-per-launch / pooled)");
     println!(
-        "  pool: {} worker threads spawned once, {} jobs dispatched",
+        "  pool: {} worker threads spawned once; timed pooled phase dispatched {} jobs, allocated {} job blocks",
         hetero_rt::pool::spawned_threads(),
-        hetero_rt::pool::jobs_dispatched()
+        pooled_dispatched,
+        pooled_allocated,
     );
+
+    // Accounting gates: 3 timed rounds of `launches` dispatch exactly
+    // 3 × launches jobs (no double-count, no dropped empty-job count),
+    // and thread-local scratch reuse keeps fresh job allocations to a
+    // sliver of the dispatch count.
+    let expected = 3 * launches;
+    if pooled_dispatched != expected {
+        eprintln!("FAIL: pooled phase dispatched {pooled_dispatched} jobs, expected exactly {expected}");
+        std::process::exit(1);
+    }
+    if pooled_allocated > expected / 2 {
+        eprintln!(
+            "FAIL: {pooled_allocated} job allocations for {expected} dispatches — scratch reuse regressed"
+        );
+        std::process::exit(1);
+    }
 
     let mut json = String::new();
     let _ = write!(
@@ -108,14 +133,15 @@ fn main() {
          \"items_per_launch\": {ITEMS},\n  \"group_size\": {GROUP},\n  \"threads\": {threads},\n  \
          \"pooled_total_s\": {:.6},\n  \"spawning_total_s\": {:.6},\n  \
          \"pooled_us_per_launch\": {:.3},\n  \"spawning_us_per_launch\": {:.3},\n  \
-         \"speedup\": {:.3},\n  \"pool_threads_spawned\": {},\n  \"pool_jobs_dispatched\": {}\n}}\n",
+         \"speedup\": {:.3},\n  \"pool_threads_spawned\": {},\n  \
+         \"pooled_dispatch_delta\": {pooled_dispatched},\n  \
+         \"pooled_alloc_delta\": {pooled_allocated}\n}}\n",
         pooled.as_secs_f64(),
         spawning.as_secs_f64(),
         per(pooled),
         per(spawning),
         speedup,
         hetero_rt::pool::spawned_threads(),
-        hetero_rt::pool::jobs_dispatched(),
     );
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("cannot write '{out_path}': {e}");

@@ -25,6 +25,13 @@
 //!   wrapped index or accumulator corrupts data with no fault for the
 //!   SDC defense to catch. Suppress with `// lint:allow(as-cast)` plus
 //!   the invariant that makes the cast lossless.
+//! * **no-alloc-in-loop** — no `Buffer::new` / `Buffer::from_slice` /
+//!   `UsmAlloc::new` / `alloc_usm` inside `for`/`while`/`loop` bodies
+//!   (host code included, `#[cfg(test)]` modules excluded). The paper's
+//!   Figure 1 non-kernel overhead is exactly this pattern at runtime
+//!   scale: allocations inside a timestep loop defeat the recycling
+//!   slab and the recorded-graph fast path. Hoist the allocation above
+//!   the loop, or route it through `Queue::recycled_buffer`.
 //!
 //! A violation is suppressed by a `// lint:allow(rule-name)` comment on
 //! the same line or the line above — used where an application
@@ -468,6 +475,173 @@ fn lint_body(
     }
 }
 
+/// Spans of `for`/`while`/`loop` bodies anywhere in the file. `for` is
+/// only a loop when ` in ` appears before its block (`impl Trait for
+/// Type` has none); nested loops are covered by their outermost span.
+fn loop_body_spans(masked: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < masked.len() {
+        let (kw, needs_in): (&[u8], bool) = if masked[i..].starts_with(b"for ") {
+            (b"for", true)
+        } else if masked[i..].starts_with(b"while ") {
+            (b"while", false)
+        } else if masked[i..].starts_with(b"loop") {
+            (b"loop", false)
+        } else {
+            i += 1;
+            continue;
+        };
+        let pre_ok = i == 0 || !is_ident_byte(masked[i - 1]);
+        let after = i + kw.len();
+        let post_ok = after >= masked.len() || !is_ident_byte(masked[after]);
+        if !pre_ok || !post_ok {
+            i += 1;
+            continue;
+        }
+        // Header: from the keyword to its block's `{` at bracket depth 0.
+        let mut j = after;
+        let mut depth = 0usize;
+        let mut saw_in = false;
+        while j < masked.len() {
+            match masked[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth = depth.saturating_sub(1),
+                b'{' if depth == 0 => break,
+                b'i' if depth == 0
+                    && masked[j..].starts_with(b"in")
+                    && masked[j - 1].is_ascii_whitespace()
+                    && masked.get(j + 2).is_some_and(|&b| b.is_ascii_whitespace()) =>
+                {
+                    saw_in = true;
+                }
+                b';' => break, // not a loop header after all
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= masked.len() || masked[j] != b'{' || (needs_in && !saw_in) {
+            i = after;
+            continue;
+        }
+        let Some(close) = matching_bracket(masked, j) else {
+            i = after;
+            continue;
+        };
+        out.push((j + 1, close));
+        i = after;
+    }
+    out
+}
+
+/// Spans of blocks annotated `#[cfg(test)]` (test modules): allocation
+/// churn in tests is harmless and not worth an allow comment each.
+fn cfg_test_spans(masked: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = find(masked, b"#[cfg(test)]", from) {
+        from = p + 12;
+        let mut j = from;
+        while j < masked.len() && masked[j] != b'{' {
+            j += 1;
+        }
+        if j < masked.len() {
+            if let Some(close) = matching_bracket(masked, j) {
+                out.push((j, close));
+                from = close;
+            }
+        }
+    }
+    out
+}
+
+/// The `no-alloc-in-loop` rule: runtime allocation calls inside loop
+/// bodies, file-wide (host code is where the timestep loops live).
+fn lint_allocs_in_loops(
+    file: &Path,
+    text: &str,
+    masked: &[u8],
+    allows: &[(usize, String)],
+    violations: &mut Vec<Violation>,
+) {
+    let loops = loop_body_spans(masked);
+    if loops.is_empty() {
+        return;
+    }
+    let tests = cfg_test_spans(masked);
+    let mut sites: Vec<usize> = Vec::new();
+
+    // `Buffer::new` / `Buffer::from_slice`, with or without a turbofish
+    // (`Buffer::<f32>::new`); same shapes for `UsmAlloc`.
+    for ty in [&b"Buffer::"[..], &b"UsmAlloc::"[..]] {
+        let mut from = 0;
+        while let Some(p) = find(masked, ty, from) {
+            from = p + ty.len();
+            if p > 0 && is_ident_byte(masked[p - 1]) {
+                continue;
+            }
+            let mut j = p + ty.len();
+            if masked.get(j) == Some(&b'<') {
+                let mut depth = 0usize;
+                while j < masked.len() {
+                    match masked[j] {
+                        b'<' => depth += 1,
+                        b'>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if !masked[j..].starts_with(b"::") {
+                    continue;
+                }
+                j += 2;
+            }
+            let s = j;
+            while j < masked.len() && is_ident_byte(masked[j]) {
+                j += 1;
+            }
+            let meth = &masked[s..j];
+            if meth == b"new" || meth == b"new_with_fault" || meth == b"from_slice" {
+                sites.push(p);
+            }
+        }
+    }
+    let mut from = 0;
+    while let Some(p) = find(masked, b"alloc_usm", from) {
+        from = p + 9;
+        let pre_ok = p == 0 || !is_ident_byte(masked[p - 1]);
+        let post_ok = !masked.get(p + 9).copied().is_some_and(is_ident_byte);
+        if pre_ok && post_ok {
+            sites.push(p);
+        }
+    }
+
+    for p in sites {
+        let in_loop = loops.iter().any(|&(lo, hi)| p >= lo && p < hi);
+        let in_test = tests.iter().any(|&(lo, hi)| p >= lo && p < hi);
+        if !in_loop || in_test {
+            continue;
+        }
+        let line = line_of(text, p);
+        if allowed(allows, "no-alloc-in-loop", line) {
+            continue;
+        }
+        let snippet = text.lines().nth(line - 1).unwrap_or("").to_string();
+        violations.push(Violation {
+            file: file.to_path_buf(),
+            line,
+            rule: "no-alloc-in-loop",
+            snippet,
+        });
+    }
+}
+
 fn find(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
     if from >= hay.len() {
         return None;
@@ -504,5 +678,6 @@ fn lint_file(file: &Path, text: &str, violations: &mut Vec<Violation>) -> usize 
             }
         }
     }
+    lint_allocs_in_loops(file, text, &masked, &allows, violations);
     scanned
 }

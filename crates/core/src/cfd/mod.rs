@@ -20,7 +20,7 @@ use hetero_ir::dpct::{Construct, CudaModule, TimingApi};
 use hetero_ir::ir::{OpMix, Scalar};
 use hetero_rt::prelude::*;
 
-use crate::common::{AppVersion, Real};
+use crate::common::{AppVersion, ExecMode, Real};
 
 /// Neighbours per element (tetrahedral mesh faces).
 pub const NNB: usize = 4;
@@ -254,8 +254,20 @@ pub fn golden<T: Real>(p: &CfdParams) -> Vec<T> {
 }
 
 /// Runtime version: a compute_flux + time_step kernel pair per
-/// iteration, matching the Altis kernel split.
-pub fn run<T: Real>(q: &Queue, p: &CfdParams, _version: AppVersion) -> Vec<T> {
+/// iteration, matching the Altis kernel split. The pair runs through
+/// the launch graph — CFD has no per-iteration host data at all, so
+/// the whole loop body replays unchanged.
+pub fn run<T: Real>(q: &Queue, p: &CfdParams, version: AppVersion) -> Vec<T> {
+    run_with(q, p, version, ExecMode::Graph)
+}
+
+/// [`run`] with an explicit execution mode.
+pub fn run_with<T: Real>(
+    q: &Queue,
+    p: &CfdParams,
+    _version: AppVersion,
+    mode: ExecMode,
+) -> Vec<T> {
     let input = generate::<T>(p);
     let n = input.nelr;
     let vars = Buffer::from_slice(&input.variables);
@@ -264,9 +276,9 @@ pub fn run<T: Real>(q: &Queue, p: &CfdParams, _version: AppVersion) -> Vec<T> {
     let norms = Buffer::from_slice(&input.normals);
     let vols = Buffer::from_slice(&input.volumes);
 
-    for _ in 0..p.iterations {
+    let flux_kernel = {
         let (vv, fv, nbv, nov) = (vars.view(), fluxes.view(), nbrs.view(), norms.view());
-        q.parallel_for("compute_flux", Range::d1(n), move |it| {
+        move |it: Item| {
             let e = it.gid(0);
             let load = |idx: usize| -> [T; NVAR] {
                 [
@@ -303,16 +315,46 @@ pub fn run<T: Real>(q: &Queue, p: &CfdParams, _version: AppVersion) -> Vec<T> {
             for v in 0..NVAR {
                 fv.set(e * NVAR + v, flux[v]);
             }
-        });
-
+        }
+    };
+    let ts_kernel = {
         let (vv, fv, vov) = (vars.view(), fluxes.view(), vols.view());
-        q.parallel_for("time_step", Range::d1(n), move |it| {
+        move |it: Item| {
             let e = it.gid(0);
             let factor = T::from_f64(CFL * 0.01) / vov.get(e);
             for v in 0..NVAR {
                 vv.update(e * NVAR + v, |x| x - factor * fv.get(e * NVAR + v));
             }
-        });
+        }
+    };
+
+    match mode {
+        ExecMode::PerLaunch => {
+            for _ in 0..p.iterations {
+                q.parallel_for("compute_flux", Range::d1(n), flux_kernel.clone());
+                q.parallel_for("time_step", Range::d1(n), ts_kernel.clone());
+            }
+        }
+        ExecMode::Graph => {
+            let graph = Graph::record(q, |g| {
+                g.parallel_for(
+                    "compute_flux",
+                    Range::d1(n),
+                    &[reads(&vars), reads(&nbrs), reads(&norms), writes(&fluxes)],
+                    flux_kernel,
+                )
+                .parallel_for(
+                    "time_step",
+                    Range::d1(n),
+                    &[reads(&fluxes), reads(&vols), reads_writes(&vars)],
+                    ts_kernel,
+                );
+            })
+            .unwrap_or_else(|e| std::panic::panic_any(e));
+            for _ in 0..p.iterations {
+                graph.replay(q).unwrap_or_else(|e| std::panic::panic_any(e));
+            }
+        }
     }
     vars.to_vec()
 }
@@ -483,6 +525,18 @@ mod tests {
         let r = run::<f64>(&q, &p, AppVersion::SyclOptimized);
         let g = golden::<f64>(&p);
         assert!(rel_l2_error_t(&g, &r) < 1e-12);
+    }
+
+    #[test]
+    fn per_launch_and_graph_modes_agree_exactly() {
+        let p = tiny();
+        let q = Queue::new(Device::cpu());
+        let a = run_with::<f32>(&q, &p, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+        let b = run_with::<f32>(&q, &p, AppVersion::SyclOptimized, ExecMode::Graph);
+        assert_eq!(a, b);
+        let a = run_with::<f64>(&q, &p, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+        let b = run_with::<f64>(&q, &p, AppVersion::SyclOptimized, ExecMode::Graph);
+        assert_eq!(a, b);
     }
 
     #[test]

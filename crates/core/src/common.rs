@@ -15,6 +15,25 @@ pub enum AppVersion {
     SyclOptimized,
 }
 
+/// How an iterative application drives its timestep loop.
+///
+/// The five launch-heavy apps (FDTD2D, SRAD, CFD, KMeans,
+/// ParticleFilter) expose a `run_with` entry point taking this mode.
+/// Both modes execute the same kernels over the same chunk partition,
+/// so results agree per the golden-checksum registry; the suite's
+/// graph matrix pins that equivalence at every size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Submit every kernel through the queue each iteration, paying
+    /// validation, chunk planning and dispatch per launch — the
+    /// as-migrated shape of the DPCT output.
+    #[default]
+    PerLaunch,
+    /// Record the loop body once into a [`hetero_rt::Graph`] and replay
+    /// it every iteration with a single worker-pool wake-up.
+    Graph,
+}
+
 /// Which FPGA design of an application to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FpgaVariant {

@@ -18,7 +18,7 @@ use hetero_ir::dpct::{Construct, CudaModule, TimingApi};
 use hetero_ir::ir::OpMix;
 use hetero_rt::prelude::*;
 
-use crate::common::AppVersion;
+use crate::common::{AppVersion, ExecMode};
 
 /// Field state of the simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,35 +68,90 @@ pub fn golden(p: &Fdtd2dParams) -> Fields {
 }
 
 /// Runtime version: three kernels per step (hx, hy, ez), as in Altis.
-pub fn run(q: &Queue, p: &Fdtd2dParams, _version: AppVersion) -> Fields {
+/// Drives the timestep loop through the launch graph — FDTD2D is the
+/// Figure 1 launch-overhead case study, so it is the flagship consumer
+/// of record-and-replay.
+pub fn run(q: &Queue, p: &Fdtd2dParams, version: AppVersion) -> Fields {
+    run_with(q, p, version, ExecMode::Graph)
+}
+
+/// [`run`] with an explicit execution mode. Both modes submit the same
+/// three kernels per step; `Graph` records them once and replays, with
+/// the per-step source injection staying a host-side write between
+/// replays (the graph reads buffer *contents* at replay, so the
+/// injected energy is picked up by the next step's H updates).
+pub fn run_with(q: &Queue, p: &Fdtd2dParams, _version: AppVersion, mode: ExecMode) -> Fields {
     let n = p.dim;
     let ez = Buffer::<f32>::new(n * n);
     let hx = Buffer::<f32>::new(n * n);
     let hy = Buffer::<f32>::new(n * n);
     let (ezv, hxv, hyv) = (ez.view(), hx.view(), hy.view());
 
-    for t in 0..p.steps {
+    let hx_kernel = {
         let (ezv2, hxv2) = (ezv.clone(), hxv.clone());
-        q.parallel_for("fdtd_hx", Range::d2(n - 1, n - 1), move |it| {
+        move |it: Item| {
             let i = it.gid(1) * n + it.gid(0);
             hxv2.update(i, |h| h - C_H * (ezv2.get(i + n) - ezv2.get(i)));
-        });
+        }
+    };
+    let hy_kernel = {
         let (ezv2, hyv2) = (ezv.clone(), hyv.clone());
-        q.parallel_for("fdtd_hy", Range::d2(n - 1, n - 1), move |it| {
+        move |it: Item| {
             let i = it.gid(1) * n + it.gid(0);
             hyv2.update(i, |h| h + C_H * (ezv2.get(i + 1) - ezv2.get(i)));
-        });
+        }
+    };
+    let ez_kernel = {
         let (ezv2, hxv2, hyv2) = (ezv.clone(), hxv.clone(), hyv.clone());
-        q.parallel_for("fdtd_ez", Range::d2(n - 2, n - 2), move |it| {
+        move |it: Item| {
             let (x, y) = (it.gid(0) + 1, it.gid(1) + 1);
             let i = y * n + x;
             ezv2.update(i, |e| {
                 e + C_E * ((hyv2.get(i) - hyv2.get(i - 1)) - (hxv2.get(i) - hxv2.get(i - n)))
             });
-        });
-        // Source injection (host-side single-element update, as the
-        // original does with a tiny kernel).
-        ezv.update((n / 2) * n + n / 2, |e| e + source(t));
+        }
+    };
+
+    match mode {
+        ExecMode::PerLaunch => {
+            for t in 0..p.steps {
+                q.parallel_for("fdtd_hx", Range::d2(n - 1, n - 1), hx_kernel.clone());
+                q.parallel_for("fdtd_hy", Range::d2(n - 1, n - 1), hy_kernel.clone());
+                q.parallel_for("fdtd_ez", Range::d2(n - 2, n - 2), ez_kernel.clone());
+                // Source injection (host-side single-element update, as
+                // the original does with a tiny kernel).
+                ezv.update((n / 2) * n + n / 2, |e| e + source(t));
+            }
+        }
+        ExecMode::Graph => {
+            // hx and hy only share a read of ez, so they replay in one
+            // phase; ez depends on both.
+            let graph = Graph::record(q, |g| {
+                g.parallel_for(
+                    "fdtd_hx",
+                    Range::d2(n - 1, n - 1),
+                    &[reads(&ez), reads_writes(&hx)],
+                    hx_kernel,
+                )
+                .parallel_for(
+                    "fdtd_hy",
+                    Range::d2(n - 1, n - 1),
+                    &[reads(&ez), reads_writes(&hy)],
+                    hy_kernel,
+                )
+                .parallel_for(
+                    "fdtd_ez",
+                    Range::d2(n - 2, n - 2),
+                    &[reads(&hx), reads(&hy), reads_writes(&ez)],
+                    ez_kernel,
+                );
+            })
+            .unwrap_or_else(|e| std::panic::panic_any(e));
+            for t in 0..p.steps {
+                graph.replay(q).unwrap_or_else(|e| std::panic::panic_any(e));
+                ezv.update((n / 2) * n + n / 2, |e| e + source(t));
+            }
+        }
     }
     Fields { ez: ez.to_vec(), hx: hx.to_vec(), hy: hy.to_vec() }
 }
@@ -190,6 +245,19 @@ mod tests {
         assert_eq!(r.ez, g.ez);
         assert_eq!(r.hx, g.hx);
         assert_eq!(r.hy, g.hy);
+    }
+
+    #[test]
+    fn per_launch_and_graph_modes_agree_exactly() {
+        // The graph replays the identical chunk partition the queue
+        // would compute per launch, so the two modes are bit-identical
+        // (and both match the sequential golden reference).
+        let p = tiny();
+        let q = Queue::new(Device::cpu());
+        let a = run_with(&q, &p, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+        let b = run_with(&q, &p, AppVersion::SyclOptimized, ExecMode::Graph);
+        assert_eq!(a, b);
+        assert_eq!(a.ez, golden(&p).ez);
     }
 
     #[test]

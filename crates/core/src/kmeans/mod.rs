@@ -20,7 +20,7 @@ use hetero_ir::dpct::{Construct, CudaModule, TimingApi};
 use hetero_ir::ir::{AccessPattern, OpMix, Scalar};
 use hetero_rt::prelude::*;
 
-use crate::common::AppVersion;
+use crate::common::{AppVersion, ExecMode};
 
 /// Clustering result.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +113,20 @@ pub fn golden(p: &KmeansParams) -> KmeansOutput {
 ///   fused resetAccFin concurrently, streaming assignments through a
 ///   pipe (Figure 3b).
 pub fn run(q: &Queue, p: &KmeansParams, version: AppVersion) -> KmeansOutput {
+    run_with(q, p, version, ExecMode::Graph)
+}
+
+/// [`run`] with an explicit execution mode for the four-kernel GPU
+/// path (the piped FPGA dataflow has its own concurrency structure and
+/// ignores the mode). In the graph, map_centers and reset are
+/// independent and replay in one phase; accumulate and finalize each
+/// form their own phase.
+pub fn run_with(
+    q: &Queue,
+    p: &KmeansParams,
+    version: AppVersion,
+    mode: ExecMode,
+) -> KmeansOutput {
     if version == AppVersion::SyclOptimized && q.device().caps().supports_pipes {
         return run_piped(q, p);
     }
@@ -124,9 +138,9 @@ pub fn run(q: &Queue, p: &KmeansParams, version: AppVersion) -> KmeansOutput {
     let acc = Buffer::<f32>::new(k * nf);
     let counts = Buffer::<u32>::new(k);
 
-    for _ in 0..p.iterations {
+    let map_kernel = {
         let (pv, cv, mv) = (pts.view(), centers.view(), membership.view());
-        q.parallel_for("map_centers", Range::d1(n), move |it| {
+        move |it: Item| {
             let i = it.gid(0);
             let mut best = 0u32;
             let mut best_d = f32::INFINITY;
@@ -143,28 +157,31 @@ pub fn run(q: &Queue, p: &KmeansParams, version: AppVersion) -> KmeansOutput {
                 }
             }
             mv.set(i, best);
-        });
-
+        }
+    };
+    let reset_kernel = {
         let (av, ctv) = (acc.view(), counts.view());
-        q.parallel_for("reset", Range::d1(k * nf), move |it| {
+        move |it: Item| {
             av.set(it.gid(0), 0.0);
             if it.gid(0) < k {
                 ctv.set(it.gid(0), 0);
             }
-        });
-
+        }
+    };
+    let acc_kernel = {
         let (pv, mv, av, ctv) = (pts.view(), membership.view(), acc.view(), counts.view());
-        q.parallel_for("accumulate", Range::d1(n), move |it| {
+        move |it: Item| {
             let i = it.gid(0);
             let m = mv.get(i) as usize;
             ctv.atomic_add_u32(m, 1);
             for f in 0..nf {
                 av.atomic_add_f32(m * nf + f, pv.get(i * nf + f));
             }
-        });
-
+        }
+    };
+    let fin_kernel = {
         let (cv, av, ctv) = (centers.view(), acc.view(), counts.view());
-        q.parallel_for("finalize", Range::d1(k), move |it| {
+        move |it: Item| {
             let c = it.gid(0);
             let cnt = ctv.get(c);
             if cnt > 0 {
@@ -172,7 +189,55 @@ pub fn run(q: &Queue, p: &KmeansParams, version: AppVersion) -> KmeansOutput {
                     cv.set(c * nf + f, av.get(c * nf + f) / cnt as f32);
                 }
             }
-        });
+        }
+    };
+
+    match mode {
+        ExecMode::PerLaunch => {
+            for _ in 0..p.iterations {
+                q.parallel_for("map_centers", Range::d1(n), map_kernel.clone());
+                q.parallel_for("reset", Range::d1(k * nf), reset_kernel.clone());
+                q.parallel_for("accumulate", Range::d1(n), acc_kernel.clone());
+                q.parallel_for("finalize", Range::d1(k), fin_kernel.clone());
+            }
+        }
+        ExecMode::Graph => {
+            let graph = Graph::record(q, |g| {
+                g.parallel_for(
+                    "map_centers",
+                    Range::d1(n),
+                    &[reads(&pts), reads(&centers), writes(&membership)],
+                    map_kernel,
+                )
+                .parallel_for(
+                    "reset",
+                    Range::d1(k * nf),
+                    &[writes(&acc), writes(&counts)],
+                    reset_kernel,
+                )
+                .parallel_for(
+                    "accumulate",
+                    Range::d1(n),
+                    &[
+                        reads(&pts),
+                        reads(&membership),
+                        reads_writes(&acc),
+                        reads_writes(&counts),
+                    ],
+                    acc_kernel,
+                )
+                .parallel_for(
+                    "finalize",
+                    Range::d1(k),
+                    &[reads(&acc), reads(&counts), reads_writes(&centers)],
+                    fin_kernel,
+                );
+            })
+            .unwrap_or_else(|e| std::panic::panic_any(e));
+            for _ in 0..p.iterations {
+                graph.replay(q).unwrap_or_else(|e| std::panic::panic_any(e));
+            }
+        }
     }
     KmeansOutput { centers: centers.to_vec(), membership: membership.to_vec() }
 }
@@ -183,6 +248,10 @@ fn run_piped(q: &Queue, p: &KmeansParams) -> KmeansOutput {
     let (k, nf, n) = (p.k, p.n_features, p.n_points);
     let mut centers = initial_centers(p, &points);
     let mut membership = vec![0u32; n];
+    // The point data and membership scratch are loop-invariant: allocate
+    // once and let mapCenters rewrite every assignment each iteration.
+    let pts = Buffer::from_slice(&points);
+    let membership_out = Buffer::<u32>::new(n);
 
     for _ in 0..p.iterations {
         // assignment stream mapCenters → resetAccFin
@@ -190,12 +259,10 @@ fn run_piped(q: &Queue, p: &KmeansParams) -> KmeansOutput {
         // updated centres stream resetAccFin → (host, feeding next iter)
         let center_pipe = Pipe::<f32>::with_capacity(k * nf);
 
-        let pts = Buffer::from_slice(&points);
         let pv = pts.view();
         let centers_in = centers.clone();
         let (ap_w, ap_r) = (assign_pipe.clone(), assign_pipe);
         let (cp_w, cp_r) = (center_pipe.clone(), center_pipe);
-        let membership_out = Buffer::<u32>::new(n);
         let mo = membership_out.view();
 
         q.submit_concurrent(
@@ -415,6 +482,21 @@ mod tests {
         assert_eq!(r.membership, g.membership);
         for (a, b) in r.centers.iter().zip(g.centers.iter()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn per_launch_and_graph_modes_agree() {
+        // accumulate sums f32 atomically, so center bit patterns are
+        // schedule-dependent in *both* modes; membership is exact and
+        // centers agree to the suite tolerance.
+        let p = tiny();
+        let q = Queue::new(Device::cpu());
+        let a = run_with(&q, &p, AppVersion::SyclBaseline, ExecMode::PerLaunch);
+        let b = run_with(&q, &p, AppVersion::SyclBaseline, ExecMode::Graph);
+        assert_eq!(a.membership, b.membership);
+        for (x, y) in a.centers.iter().zip(b.centers.iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
         }
     }
 

@@ -143,6 +143,13 @@ pub fn run(q: &Queue, p: &NwParams, version: AppVersion) -> Vec<i32> {
     let s2b = Buffer::from_slice(&s2);
     let penalty = p.penalty;
 
+    // The wavefront schedule rides in a buffer so each group's lookup
+    // is bounds-typed and visible to the race sanitizer. An
+    // anti-diagonal has at most `nb` blocks, so one capacity-nb buffer
+    // serves every diagonal: each iteration rewrites the prefix the
+    // launch below actually indexes (group ids < blocks.len()).
+    let blocks_buf = Buffer::<(usize, usize)>::new(nb);
+
     // Wavefront over block anti-diagonals: d = bi + bj.
     for d in 0..(2 * nb - 1) {
         let blocks: Vec<(usize, usize)> = (0..nb)
@@ -156,9 +163,7 @@ pub fn run(q: &Queue, p: &NwParams, version: AppVersion) -> Vec<i32> {
         }
         let mv = matrix.view();
         let (s1v, s2v) = (s1b.view(), s2b.view());
-        // The wavefront schedule rides in a buffer so each group's
-        // lookup is bounds-typed and visible to the race sanitizer.
-        let blocks_buf = Buffer::from_slice(&blocks);
+        blocks_buf.write(|b| b[..blocks.len()].copy_from_slice(&blocks));
         let bv = blocks_buf.view();
         q.nd_range(
             "nw_block_wave",

@@ -20,7 +20,7 @@ use hetero_ir::dpct::{Construct, CudaModule, TimingApi};
 use hetero_ir::ir::{AccessPattern, OpMix, Scalar};
 use hetero_rt::prelude::*;
 
-use crate::common::AppVersion;
+use crate::common::{AppVersion, ExecMode};
 
 /// Which PF variant (Altis ships both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,7 +168,23 @@ pub fn golden(p: &PfParams, variant: PfVariant) -> PfOutput {
 /// Runtime version: propagate/weight as a parallel kernel (per-particle
 /// RNG streams keep it bit-identical to the golden run), reductions on
 /// the host, resampling as a parallel CDF walk.
-pub fn run(q: &Queue, p: &PfParams, variant: PfVariant, _version: AppVersion) -> PfOutput {
+pub fn run(q: &Queue, p: &PfParams, variant: PfVariant, version: AppVersion) -> PfOutput {
+    run_with(q, p, variant, version, ExecMode::Graph)
+}
+
+/// [`run`] with an explicit execution mode. The host reductions, CDF
+/// build and particle swap stay between kernels in both modes; in
+/// `Graph` mode the frame-varying scalars (`tx`, `ty`, `u0`) ride in a
+/// three-element parameter buffer written before each replay, and the
+/// resampling scratch (`cdfb`, `nxs`, `nys`) is allocated once instead
+/// of per frame.
+pub fn run_with(
+    q: &Queue,
+    p: &PfParams,
+    variant: PfVariant,
+    _version: AppVersion,
+    mode: ExecMode,
+) -> PfOutput {
     let n = p.n_particles;
     let xs = Buffer::from_slice(&vec![(p.dim as f32) * 0.25; n]);
     let ys = Buffer::from_slice(&vec![(p.dim as f32) * 0.25; n]);
@@ -176,19 +192,100 @@ pub fn run(q: &Queue, p: &PfParams, variant: PfVariant, _version: AppVersion) ->
     let seeds = Buffer::from_slice(
         &(0..n).map(|i| Lcg::new(i as u64 + 17).state).collect::<Vec<u64>>(),
     );
+    // Resampling scratch: loop-invariant shape, rewritten every frame.
+    let cdfb = Buffer::<f32>::new(n);
+    let nxs = Buffer::<f32>::new(n);
+    let nys = Buffer::<f32>::new(n);
+    // Frame-varying scalars for the recorded kernels: [tx, ty, u0].
+    let params = Buffer::<f32>::new(3);
     let mut out = PfOutput { xe: Vec::new(), ye: Vec::new() };
+
+    let graphs = match mode {
+        ExecMode::PerLaunch => None,
+        ExecMode::Graph => {
+            let propagate = Graph::record(q, |g| {
+                let (xv, yv, wv, sv) = (xs.view(), ys.view(), weights.view(), seeds.view());
+                let pv = params.view();
+                g.parallel_for(
+                    "pf_propagate_weight",
+                    Range::d1(n),
+                    &[
+                        reads(&params),
+                        reads_writes(&xs),
+                        reads_writes(&ys),
+                        reads_writes(&seeds),
+                        writes(&weights),
+                    ],
+                    move |it| {
+                        let (tx, ty) = (pv.get(0), pv.get(1));
+                        let i = it.gid(0);
+                        let mut rng = Lcg { state: sv.get(i) };
+                        xv.update(i, |x| x + 2.0 + rng.normal());
+                        yv.update(i, |y| y + 1.5 + rng.normal());
+                        sv.set(i, rng.state);
+                        wv.set(i, likelihood(variant, xv.get(i), yv.get(i), tx, ty));
+                    },
+                );
+            })
+            .unwrap_or_else(|e| std::panic::panic_any(e));
+            let resample = Graph::record(q, |g| {
+                let (cv, xv, yv, nxv, nyv) =
+                    (cdfb.view(), xs.view(), ys.view(), nxs.view(), nys.view());
+                let pv = params.view();
+                g.parallel_for(
+                    "pf_find_index",
+                    Range::d1(n),
+                    &[
+                        reads(&params),
+                        reads(&cdfb),
+                        reads(&xs),
+                        reads(&ys),
+                        writes(&nxs),
+                        writes(&nys),
+                    ],
+                    move |it| {
+                        let u0 = pv.get(2);
+                        let j = it.gid(0);
+                        let u = u0 + j as f32 / n as f32;
+                        // The branch-heavy CDF walk.
+                        let mut idx = cv.len() - 1;
+                        for i in 0..cv.len() {
+                            if cv.get(i) >= u {
+                                idx = i;
+                                break;
+                            }
+                        }
+                        nxv.set(j, xv.get(idx));
+                        nyv.set(j, yv.get(idx));
+                    },
+                );
+            })
+            .unwrap_or_else(|e| std::panic::panic_any(e));
+            Some((propagate, resample))
+        }
+    };
 
     for frame in 1..=p.frames {
         let (tx, ty) = true_pos(p, frame);
-        let (xv, yv, wv, sv) = (xs.view(), ys.view(), weights.view(), seeds.view());
-        q.parallel_for("pf_propagate_weight", Range::d1(n), move |it| {
-            let i = it.gid(0);
-            let mut rng = Lcg { state: sv.get(i) };
-            xv.update(i, |x| x + 2.0 + rng.normal());
-            yv.update(i, |y| y + 1.5 + rng.normal());
-            sv.set(i, rng.state);
-            wv.set(i, likelihood(variant, xv.get(i), yv.get(i), tx, ty));
-        });
+        match &graphs {
+            Some((propagate, _)) => {
+                let pv = params.view();
+                pv.set(0, tx);
+                pv.set(1, ty);
+                propagate.replay(q).unwrap_or_else(|e| std::panic::panic_any(e));
+            }
+            None => {
+                let (xv, yv, wv, sv) = (xs.view(), ys.view(), weights.view(), seeds.view());
+                q.parallel_for("pf_propagate_weight", Range::d1(n), move |it| {
+                    let i = it.gid(0);
+                    let mut rng = Lcg { state: sv.get(i) };
+                    xv.update(i, |x| x + 2.0 + rng.normal());
+                    yv.update(i, |y| y + 1.5 + rng.normal());
+                    sv.set(i, rng.state);
+                    wv.set(i, likelihood(variant, xv.get(i), yv.get(i), tx, ty));
+                });
+            }
+        }
 
         // Normalise + estimate, using the library reductions (the
         // original uses reduction kernels; par-dpl's primitives are the
@@ -210,27 +307,33 @@ pub fn run(q: &Queue, p: &PfParams, variant: PfVariant, _version: AppVersion) ->
             acc += w[i] / sum;
             cdf[i] = acc;
         }
-        let cdfb = Buffer::from_slice(&cdf);
-        let nxs = Buffer::<f32>::new(n);
-        let nys = Buffer::<f32>::new(n);
+        cdfb.write_from(&cdf);
         let mut rng = Lcg::new(frame as u64 * 7919);
         let u0 = rng.uniform() / n as f32;
-        let (cv, xv, yv, nxv, nyv) =
-            (cdfb.view(), xs.view(), ys.view(), nxs.view(), nys.view());
-        q.parallel_for("pf_find_index", Range::d1(n), move |it| {
-            let j = it.gid(0);
-            let u = u0 + j as f32 / n as f32;
-            // The branch-heavy CDF walk.
-            let mut idx = cv.len() - 1;
-            for i in 0..cv.len() {
-                if cv.get(i) >= u {
-                    idx = i;
-                    break;
-                }
+        match &graphs {
+            Some((_, resample)) => {
+                params.view().set(2, u0);
+                resample.replay(q).unwrap_or_else(|e| std::panic::panic_any(e));
             }
-            nxv.set(j, xv.get(idx));
-            nyv.set(j, yv.get(idx));
-        });
+            None => {
+                let (cv, xv, yv, nxv, nyv) =
+                    (cdfb.view(), xs.view(), ys.view(), nxs.view(), nys.view());
+                q.parallel_for("pf_find_index", Range::d1(n), move |it| {
+                    let j = it.gid(0);
+                    let u = u0 + j as f32 / n as f32;
+                    // The branch-heavy CDF walk.
+                    let mut idx = cv.len() - 1;
+                    for i in 0..cv.len() {
+                        if cv.get(i) >= u {
+                            idx = i;
+                            break;
+                        }
+                    }
+                    nxv.set(j, xv.get(idx));
+                    nyv.set(j, yv.get(idx));
+                });
+            }
+        }
         xs.write_from(&nxs.to_vec());
         ys.write_from(&nys.to_vec());
     }
@@ -414,6 +517,21 @@ mod tests {
         }
         for (a, b) in r.ye.iter().zip(g.ye.iter()) {
             assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn per_launch_and_graph_modes_agree_exactly() {
+        // Per-particle RNG streams make both modes deterministic; the
+        // frame scalars arrive with identical f32 values either way, so
+        // the estimates are bit-identical.
+        let p = tiny();
+        let q = Queue::new(Device::cpu());
+        for variant in [PfVariant::Naive, PfVariant::Float] {
+            let a = run_with(&q, &p, variant, AppVersion::SyclBaseline, ExecMode::PerLaunch);
+            let b = run_with(&q, &p, variant, AppVersion::SyclBaseline, ExecMode::Graph);
+            assert_eq!(a.xe, b.xe, "{variant:?}");
+            assert_eq!(a.ye, b.ye, "{variant:?}");
         }
     }
 

@@ -17,7 +17,7 @@ use hetero_ir::dpct::{Construct, CudaModule, TimingApi};
 use hetero_ir::ir::{AccessPattern, OpMix, Scalar};
 use hetero_rt::prelude::*;
 
-use crate::common::AppVersion;
+use crate::common::{AppVersion, ExecMode};
 
 /// Generate the speckled input image.
 pub fn generate_image(p: &SradParams) -> Vec<f32> {
@@ -89,10 +89,29 @@ pub fn golden(p: &SradParams) -> Vec<f32> {
     img
 }
 
+/// ROI statistics for one iteration: device-side reduction kernels
+/// folded on the host in f64 (the original uses reduction kernels too).
+fn roi_q0(q: &Queue, img: &Buffer<f32>, n: usize) -> f32 {
+    let sum = hetero_rt::reduction::sum_f32(q, img) as f64;
+    let sum2 = hetero_rt::reduction::sum_sq_f32(q, img) as f64;
+    let mean = sum / (n * n) as f64;
+    let var = (sum2 / (n * n) as f64 - mean * mean).max(0.0);
+    (var / (mean * mean)) as f32
+}
+
 /// Runtime version: per iteration, a reduction for the ROI statistics
 /// and two stencil kernels (coefficients + update), matching Altis'
-/// srad_cuda_1/srad_cuda_2 split.
-pub fn run(q: &Queue, p: &SradParams, _version: AppVersion) -> Vec<f32> {
+/// srad_cuda_1/srad_cuda_2 split. Stencils run through the launch graph.
+pub fn run(q: &Queue, p: &SradParams, version: AppVersion) -> Vec<f32> {
+    run_with(q, p, version, ExecMode::Graph)
+}
+
+/// [`run`] with an explicit execution mode. The ROI reduction stays a
+/// per-iteration queue submission in both modes (its result feeds host
+/// statistics); in `Graph` mode the iteration-varying `q0` scalar
+/// travels through a one-element parameter buffer written before each
+/// replay instead of being captured by value at submission.
+pub fn run_with(q: &Queue, p: &SradParams, _version: AppVersion, mode: ExecMode) -> Vec<f32> {
     let n = p.dim;
     let img = Buffer::from_slice(&generate_image(p));
     let c = Buffer::<f32>::new(n * n);
@@ -102,52 +121,128 @@ pub fn run(q: &Queue, p: &SradParams, _version: AppVersion) -> Vec<f32> {
     let dw = Buffer::<f32>::new(n * n);
     let lambda = p.lambda;
 
-    for _ in 0..p.iterations {
-        // ROI statistics via proper device-side reduction kernels (the
-        // original uses reduction kernels too; the f32 partial sums are
-        // folded in f64 on the host for the statistics).
-        let sum = hetero_rt::reduction::sum_f32(q, &img) as f64;
-        let sum2 = hetero_rt::reduction::sum_sq_f32(q, &img) as f64;
-        let mean = sum / (n * n) as f64;
-        let var = (sum2 / (n * n) as f64 - mean * mean).max(0.0);
-        let q0 = (var / (mean * mean)) as f32;
+    match mode {
+        ExecMode::PerLaunch => {
+            for _ in 0..p.iterations {
+                let q0 = roi_q0(q, &img, n);
 
-        let (iv, cv, dnv, dsv, dev, dwv) =
-            (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
-        q.parallel_for("srad_1", Range::d2(n, n), move |it| {
-            let (x, y) = (it.gid(0), it.gid(1));
-            let i = y * n + x;
-            let j = iv.get(i);
-            let jn = iv.get(y.saturating_sub(1) * n + x);
-            let js = iv.get((y + 1).min(n - 1) * n + x);
-            let jw = iv.get(y * n + x.saturating_sub(1));
-            let je = iv.get(y * n + (x + 1).min(n - 1));
-            let (vn, vs, vw, ve) = (jn - j, js - j, jw - j, je - j);
-            dnv.set(i, vn);
-            dsv.set(i, vs);
-            dwv.set(i, vw);
-            dev.set(i, ve);
-            let g2 = (vn * vn + vs * vs + vw * vw + ve * ve) / (j * j);
-            let l = (vn + vs + vw + ve) / j;
-            let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
-            let den = 1.0 + 0.25 * l;
-            let qsq = num / (den * den);
-            let cf = 1.0 / (1.0 + (qsq - q0) / (q0 * (1.0 + q0)));
-            cv.set(i, cf.clamp(0.0, 1.0));
-        });
+                let (iv, cv, dnv, dsv, dev, dwv) =
+                    (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
+                q.parallel_for("srad_1", Range::d2(n, n), move |it| {
+                    let (x, y) = (it.gid(0), it.gid(1));
+                    let i = y * n + x;
+                    let j = iv.get(i);
+                    let jn = iv.get(y.saturating_sub(1) * n + x);
+                    let js = iv.get((y + 1).min(n - 1) * n + x);
+                    let jw = iv.get(y * n + x.saturating_sub(1));
+                    let je = iv.get(y * n + (x + 1).min(n - 1));
+                    let (vn, vs, vw, ve) = (jn - j, js - j, jw - j, je - j);
+                    dnv.set(i, vn);
+                    dsv.set(i, vs);
+                    dwv.set(i, vw);
+                    dev.set(i, ve);
+                    let g2 = (vn * vn + vs * vs + vw * vw + ve * ve) / (j * j);
+                    let l = (vn + vs + vw + ve) / j;
+                    let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
+                    let den = 1.0 + 0.25 * l;
+                    let qsq = num / (den * den);
+                    let cf = 1.0 / (1.0 + (qsq - q0) / (q0 * (1.0 + q0)));
+                    cv.set(i, cf.clamp(0.0, 1.0));
+                });
 
-        let (iv, cv, dnv, dsv, dev, dwv) =
-            (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
-        q.parallel_for("srad_2", Range::d2(n, n), move |it| {
-            let (x, y) = (it.gid(0), it.gid(1));
-            let i = y * n + x;
-            let cn = cv.get(i);
-            let cs = cv.get((y + 1).min(n - 1) * n + x);
-            let cw = cv.get(i);
-            let ce = cv.get(y * n + (x + 1).min(n - 1));
-            let d = cn * dnv.get(i) + cs * dsv.get(i) + cw * dwv.get(i) + ce * dev.get(i);
-            iv.update(i, |v| v + 0.25 * lambda * d);
-        });
+                let (iv, cv, dnv, dsv, dev, dwv) =
+                    (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
+                q.parallel_for("srad_2", Range::d2(n, n), move |it| {
+                    let (x, y) = (it.gid(0), it.gid(1));
+                    let i = y * n + x;
+                    let cn = cv.get(i);
+                    let cs = cv.get((y + 1).min(n - 1) * n + x);
+                    let cw = cv.get(i);
+                    let ce = cv.get(y * n + (x + 1).min(n - 1));
+                    let d =
+                        cn * dnv.get(i) + cs * dsv.get(i) + cw * dwv.get(i) + ce * dev.get(i);
+                    iv.update(i, |v| v + 0.25 * lambda * d);
+                });
+            }
+        }
+        ExecMode::Graph => {
+            // q0 changes every iteration, so it rides in a one-element
+            // parameter buffer the recorded kernel reads at replay time.
+            let q0b = Buffer::<f32>::new(1);
+            let q0h = q0b.view();
+            let graph = Graph::record(q, |g| {
+                let (iv, cv, dnv, dsv, dev, dwv) =
+                    (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
+                let q0v = q0b.view();
+                g.parallel_for(
+                    "srad_1",
+                    Range::d2(n, n),
+                    &[
+                        reads(&img),
+                        reads(&q0b),
+                        writes(&c),
+                        writes(&dn),
+                        writes(&ds),
+                        writes(&de),
+                        writes(&dw),
+                    ],
+                    move |it| {
+                        let q0 = q0v.get(0);
+                        let (x, y) = (it.gid(0), it.gid(1));
+                        let i = y * n + x;
+                        let j = iv.get(i);
+                        let jn = iv.get(y.saturating_sub(1) * n + x);
+                        let js = iv.get((y + 1).min(n - 1) * n + x);
+                        let jw = iv.get(y * n + x.saturating_sub(1));
+                        let je = iv.get(y * n + (x + 1).min(n - 1));
+                        let (vn, vs, vw, ve) = (jn - j, js - j, jw - j, je - j);
+                        dnv.set(i, vn);
+                        dsv.set(i, vs);
+                        dwv.set(i, vw);
+                        dev.set(i, ve);
+                        let g2 = (vn * vn + vs * vs + vw * vw + ve * ve) / (j * j);
+                        let l = (vn + vs + vw + ve) / j;
+                        let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
+                        let den = 1.0 + 0.25 * l;
+                        let qsq = num / (den * den);
+                        let cf = 1.0 / (1.0 + (qsq - q0) / (q0 * (1.0 + q0)));
+                        cv.set(i, cf.clamp(0.0, 1.0));
+                    },
+                );
+                let (iv, cv, dnv, dsv, dev, dwv) =
+                    (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
+                g.parallel_for(
+                    "srad_2",
+                    Range::d2(n, n),
+                    &[
+                        reads(&c),
+                        reads(&dn),
+                        reads(&ds),
+                        reads(&de),
+                        reads(&dw),
+                        reads_writes(&img),
+                    ],
+                    move |it| {
+                        let (x, y) = (it.gid(0), it.gid(1));
+                        let i = y * n + x;
+                        let cn = cv.get(i);
+                        let cs = cv.get((y + 1).min(n - 1) * n + x);
+                        let cw = cv.get(i);
+                        let ce = cv.get(y * n + (x + 1).min(n - 1));
+                        let d = cn * dnv.get(i)
+                            + cs * dsv.get(i)
+                            + cw * dwv.get(i)
+                            + ce * dev.get(i);
+                        iv.update(i, |v| v + 0.25 * lambda * d);
+                    },
+                );
+            })
+            .unwrap_or_else(|e| std::panic::panic_any(e));
+            for _ in 0..p.iterations {
+                q0h.set(0, roi_q0(q, &img, n));
+                graph.replay(q).unwrap_or_else(|e| std::panic::panic_any(e));
+            }
+        }
     }
     img.to_vec()
 }
@@ -278,6 +373,17 @@ mod tests {
         for (a, b) in r.iter().zip(g.iter()) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn per_launch_and_graph_modes_agree_exactly() {
+        // Same kernels, same chunk partition, same q0 value (delivered
+        // via parameter buffer instead of capture): bit-identical.
+        let p = tiny();
+        let q = Queue::new(Device::cpu());
+        let a = run_with(&q, &p, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+        let b = run_with(&q, &p, AppVersion::SyclOptimized, ExecMode::Graph);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use fpga_sim::{Design, FpgaPart};
 use hetero_ir::dpct::CudaModule;
 use hetero_rt::prelude::*;
 
-use crate::common::AppVersion;
+use crate::common::{AppVersion, ExecMode};
 use crate::particlefilter::PfVariant;
 
 /// One suite entry.
@@ -645,6 +645,97 @@ pub fn run_sdc(
     }
 }
 
+// --- graph-equivalence matrix ----------------------------------------------
+
+/// Execution flavor of one [`graph_mode_matrix`] cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFlavor {
+    /// Sequential queue, per-launch submission: the bit-deterministic
+    /// baseline every other flavor is compared against.
+    Sequential,
+    /// Pooled queue, per-launch submission.
+    PerLaunch,
+    /// Pooled queue, recorded-graph replay.
+    Graph,
+}
+
+impl GraphFlavor {
+    /// Display label used by the `graph_replay` bench and verify.sh.
+    pub fn label(self) -> &'static str {
+        match self {
+            GraphFlavor::Sequential => "sequential",
+            GraphFlavor::PerLaunch => "per-launch",
+            GraphFlavor::Graph => "graph",
+        }
+    }
+}
+
+/// One matrix cell: app name, execution flavor, matched-golden.
+pub type GraphMatrixRow = (&'static str, GraphFlavor, bool);
+
+/// The graph-equivalence matrix: every graph-converted app (FDTD2D,
+/// SRAD, CFD FP32, KMeans, PF Naive) under a sequential queue, a pooled
+/// per-launch queue, and a pooled graph-replay queue, each checked
+/// against its golden reference with the suite's own tolerances. This
+/// is the record-and-replay correctness gate: a graph that reorders a
+/// dependent launch, replays a stale chunk plan, or skips a kernel
+/// fails here before any perf number is believed.
+pub fn graph_mode_matrix(size: InputSize) -> Vec<GraphMatrixRow> {
+    let seq = Queue::new(Device::cpu())
+        .with_parallelism(hetero_rt::executor::Parallelism::Sequential);
+    let pooled = Queue::new(Device::cpu());
+    let cells: [(&Queue, GraphFlavor, ExecMode); 3] = [
+        (&seq, GraphFlavor::Sequential, ExecMode::PerLaunch),
+        (&pooled, GraphFlavor::PerLaunch, ExecMode::PerLaunch),
+        (&pooled, GraphFlavor::Graph, ExecMode::Graph),
+    ];
+    let mut rows = Vec::new();
+    for (q, flavor, mode) in cells {
+        {
+            let p = altis_data::fdtd2d(size);
+            let r = crate::fdtd2d::run_with(q, &p, AppVersion::SyclOptimized, mode);
+            rows.push(("FDTD2D", flavor, r.ez == crate::fdtd2d::golden(&p).ez));
+        }
+        {
+            let p = altis_data::srad(size);
+            let r = crate::srad::run_with(q, &p, AppVersion::SyclOptimized, mode);
+            let ok = crate::common::rel_l2_error_t(&crate::srad::golden(&p), &r) < 1e-3;
+            rows.push(("SRAD", flavor, ok));
+        }
+        {
+            let p = altis_data::cfd(size);
+            let r = crate::cfd::run_with::<f32>(q, &p, AppVersion::SyclOptimized, mode);
+            let ok = crate::common::rel_l2_error_t(&crate::cfd::golden::<f32>(&p), &r) < 1e-4;
+            rows.push(("CFD FP32", flavor, ok));
+        }
+        {
+            let p = altis_data::kmeans(size);
+            // SyclBaseline keeps the four-kernel path (SyclOptimized
+            // would reroute to the piped dataflow on pipe-capable
+            // devices, which has its own structure and no graph).
+            let r = crate::kmeans::run_with(q, &p, AppVersion::SyclBaseline, mode);
+            let g = crate::kmeans::golden(&p);
+            let ok = r.membership == g.membership
+                && crate::common::rel_l2_error_t(&g.centers, &r.centers) < 1e-4;
+            rows.push(("KMeans", flavor, ok));
+        }
+        {
+            let p = altis_data::particlefilter(size);
+            let r = crate::particlefilter::run_with(
+                q,
+                &p,
+                PfVariant::Naive,
+                AppVersion::SyclBaseline,
+                mode,
+            );
+            let g = crate::particlefilter::golden(&p, PfVariant::Naive);
+            let ok = r.xe.iter().zip(&g.xe).all(|(a, b)| (a - b).abs() < 0.05);
+            rows.push(("PF Naive", flavor, ok));
+        }
+    }
+    rows
+}
+
 // --- golden-checksum registry ----------------------------------------------
 
 /// Path of the committed golden-checksum registry
@@ -853,6 +944,19 @@ mod tests {
 
     fn sdc_entry(validate: fn(&Queue, InputSize, AppVersion) -> Validation) -> AppEntry {
         AppEntry { validate, ..harness_entry(|_, _, _| true) }
+    }
+
+    #[test]
+    fn graph_matrix_matches_golden_at_size_1() {
+        let rows = graph_mode_matrix(InputSize::S1);
+        // 5 apps × 3 flavors, every cell green.
+        assert_eq!(rows.len(), 15);
+        let failed: Vec<_> = rows
+            .iter()
+            .filter(|(_, _, ok)| !ok)
+            .map(|(name, flavor, _)| format!("{name} [{}]", flavor.label()))
+            .collect();
+        assert!(failed.is_empty(), "diverged cells: {failed:?}");
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! written, like their CUDA originals, so that concurrent writes target
 //! disjoint elements or go through the provided atomics.
 
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::error::{Error, Result};
@@ -32,6 +35,10 @@ struct Storage<T> {
     // allocation order is program order, so ids are deterministic. The
     // integrity layer reuses the same id as its region id.
     id: u64,
+    // How many times this allocation has been through the recycling slab
+    // (0 for a fresh allocation). The *identity* (id, region) is always
+    // fresh — reuse recycles bytes, never shadow state.
+    generation: u64,
     // Checksummed integrity region; `None` while the layer is disarmed
     // (the zero-overhead default).
     region: Option<Arc<integrity::Region>>,
@@ -79,6 +86,14 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
     }
 
     fn build(data: Box<[T]>) -> Self {
+        Buffer::build_gen(data, 0)
+    }
+
+    /// Construct over an existing allocation with an explicit recycling
+    /// generation. Identity is always fresh: a new sanitizer object id
+    /// and a newly registered integrity region, so reuse can never leak
+    /// the previous tenant's shadow state or page seals.
+    pub(crate) fn build_gen(data: Box<[T]>, generation: u64) -> Self {
         let len = data.len();
         let id = sanitize::next_object_id();
         let data = Mutex::new(data);
@@ -92,7 +107,29 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
                 integrity::bit_safe::<T>(),
             )
         };
-        Buffer { storage: Arc::new(Storage { data, len, id, region }) }
+        Buffer { storage: Arc::new(Storage { data, len, id, generation, region }) }
+    }
+
+    /// Reclaim the underlying allocation for recycling. Succeeds only
+    /// when this handle is the *sole* owner — no clones and no
+    /// outstanding [`GlobalView`]s (each view keeps the storage alive) —
+    /// otherwise the buffer is reconstituted untouched and `None` is
+    /// returned. On success the integrity region is unregistered (the
+    /// storage drop path) before the raw bytes are handed back.
+    pub(crate) fn into_raw_parts(self) -> Option<(Box<[T]>, u64)> {
+        let storage = match Arc::try_unwrap(self.storage) {
+            Ok(storage) => storage,
+            Err(shared) => {
+                // Views or clones outstanding: this handle is consumed
+                // but the storage stays alive through the other owners.
+                drop(shared);
+                return None;
+            }
+        };
+        let generation = storage.generation;
+        let data = std::mem::take(&mut *storage.host());
+        // `storage` drops here, unregistering the integrity region.
+        Some((data, generation))
     }
 
     /// The buffer's process-unique object id (shared between the race
@@ -100,6 +137,13 @@ impl<T: Copy + Default + Send + 'static> Buffer<T> {
     /// creation order, so targeted SDC tests can address a region.
     pub fn object_id(&self) -> u64 {
         self.storage.id
+    }
+
+    /// How many times this buffer's allocation has been through the
+    /// recycling slab ([`crate::Queue::recycled_buffer`]); 0 for a fresh
+    /// allocation.
+    pub fn generation(&self) -> u64 {
+        self.storage.generation
     }
 
     /// Number of elements.
@@ -395,6 +439,122 @@ impl GlobalView<f32> {
                 Ok(prev) => return f32::from_bits(prev),
                 Err(actual) => cur = actual,
             }
+        }
+    }
+}
+
+/// A recycled allocation waiting on a slab shelf. The payload is the
+/// type-erased raw allocation (`Box<[T]>` for buffers, `Vec<T>` for USM);
+/// the generation travels with it so the next tenant can report how many
+/// times the bytes have been around.
+struct SlabEntry {
+    data: Box<dyn Any + Send>,
+    generation: u64,
+}
+
+/// Maximum recycled allocations kept per `(type, length)` size class;
+/// returns beyond this are dropped (counted in
+/// [`SlabStats::rejected`]) so a burst of temporaries cannot pin
+/// unbounded memory.
+const SLAB_SHELF_CAP: usize = 8;
+
+/// Buffer-recycling slab: size-class free lists of retired allocations,
+/// shared by every clone of a [`crate::Queue`].
+///
+/// Iterative Altis kernels allocate the same-shaped temporaries every
+/// timestep (reduction partials, per-frame scratch); round-tripping the
+/// system allocator for each is pure non-kernel overhead — the Figure-1
+/// term this PR attacks. The slab keeps retired allocations keyed by
+/// `(element type, exact length)` and hands them back zero-filled.
+///
+/// Reuse recycles **bytes only**, never identity: a recycled buffer gets
+/// a fresh sanitizer object id and a freshly registered integrity region
+/// (the old region was unregistered when the allocation was retired), and
+/// its generation counter increments. Sanitizer shadow state and page
+/// seals therefore always start clean — nothing leaks from the previous
+/// tenant.
+pub struct BufferSlab {
+    shelves: Mutex<HashMap<(TypeId, usize), Vec<SlabEntry>>>,
+    reuses: AtomicU64,
+    misses: AtomicU64,
+    returns: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Counters describing slab traffic (see [`crate::Queue::slab_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlabStats {
+    /// Allocation requests served from a shelf.
+    pub reuses: u64,
+    /// Allocation requests that fell through to a fresh allocation.
+    pub misses: u64,
+    /// Allocations successfully returned to a shelf.
+    pub returns: u64,
+    /// Recycle attempts refused (outstanding views/clones) or dropped
+    /// (shelf at capacity).
+    pub rejected: u64,
+}
+
+impl BufferSlab {
+    pub(crate) fn new() -> Self {
+        BufferSlab {
+            shelves: Mutex::new(HashMap::new()),
+            reuses: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            returns: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Take a retired allocation of erased type `D` and exact length
+    /// `len` off its shelf, with the generation it retired at.
+    pub(crate) fn take<D: Any + Send>(&self, len: usize) -> Option<(D, u64)> {
+        let key = (TypeId::of::<D>(), len);
+        let entry = {
+            let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
+            shelves.get_mut(&key).and_then(Vec::pop)
+        };
+        match entry {
+            Some(e) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                let data = *e.data.downcast::<D>().expect("slab shelf keyed by TypeId");
+                Some((data, e.generation))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Shelve a retired allocation. Returns `false` (and counts a
+    /// rejection) when the size class is already at capacity.
+    pub(crate) fn put<D: Any + Send>(&self, len: usize, data: D, generation: u64) -> bool {
+        let key = (TypeId::of::<D>(), len);
+        let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
+        let shelf = shelves.entry(key).or_default();
+        if shelf.len() >= SLAB_SHELF_CAP {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        shelf.push(SlabEntry { data: Box::new(data), generation });
+        self.returns.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Count a recycle attempt refused before reaching a shelf (the
+    /// allocation still had views or clones outstanding).
+    pub(crate) fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the traffic counters.
+    pub(crate) fn stats(&self) -> SlabStats {
+        SlabStats {
+            reuses: self.reuses.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
 }

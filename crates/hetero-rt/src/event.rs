@@ -27,6 +27,19 @@ pub struct LaunchStats {
     pub local_bytes: usize,
 }
 
+impl LaunchStats {
+    /// Accumulate another launch's statistics into this one (counters
+    /// add, the local-memory peak takes the max). Used by launch graphs
+    /// to aggregate per-node slots into whole-replay totals.
+    pub fn merge(&mut self, other: &LaunchStats) {
+        self.groups += other.groups;
+        self.items += other.items;
+        self.barriers_local += other.barriers_local;
+        self.barriers_global += other.barriers_global;
+        self.local_bytes = self.local_bytes.max(other.local_bytes);
+    }
+}
+
 /// Profiling timestamps of one kernel launch.
 #[derive(Debug, Clone, Copy)]
 pub struct ProfilingInfo {

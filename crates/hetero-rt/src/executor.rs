@@ -36,7 +36,7 @@ pub enum Parallelism {
 }
 
 impl Parallelism {
-    fn thread_count(self) -> usize {
+    pub(crate) fn thread_count(self) -> usize {
         match self {
             Parallelism::Sequential => 1,
             Parallelism::Auto => crate::pool::auto_threads(),

@@ -1,0 +1,831 @@
+//! Launch graphs: record a sequence of kernel launches once, replay hot.
+//!
+//! The paper's Figure 1 shows SYCL losing to CUDA on FDTD2D almost
+//! entirely on *non-kernel* time — per-launch runtime overhead repeated
+//! every timestep. The per-launch path in [`crate::queue`] re-validates
+//! the ND-range, re-derives the chunk partition, re-checks the (usually
+//! disarmed) fault / sanitizer / integrity / redundancy branches and
+//! wakes the worker pool once per submission. A [`Graph`] amortises all
+//! of that across an iteration: [`Graph::record`] captures the launch
+//! sequence into an immutable plan (validated ranges, precomputed chunk
+//! partitions, dependency phases derived from declared buffer access
+//! modes, preallocated per-launch stat slots), and [`Graph::replay`]
+//! executes the whole plan with a **single pool wake-up** — the same
+//! shape as CUDA Graphs or the SYCL command-graph extension.
+//!
+//! # Declared access modes drive the schedule
+//!
+//! Each recorded launch names the buffers / USM allocations it touches
+//! via [`reads`] / [`writes`] / [`reads_writes`] bindings. Record time
+//! derives dependency edges from them (read-after-write,
+//! write-after-read, write-after-write on the same object) and merges
+//! consecutive *independent* launches into one phase that executes
+//! concurrently; a phase boundary is a full barrier. Bindings are a
+//! contract: an access the kernel performs but does not declare can be
+//! scheduled concurrently with a conflicting launch. The dynamic race
+//! sanitizer still sees every access on the slow path, so a
+//! `with_sanitizer` replay of the same graph will report undeclared
+//! conflicts as races. A launch recorded with **no** bindings is treated
+//! conservatively as conflicting with everything and gets its own phase.
+//!
+//! # Composition with the resilience stack
+//!
+//! The fast replay path is only taken when every hardening layer is
+//! disarmed. A queue with a fault plan, sanitizer, redundancy, CPU
+//! fallback, or a process with the integrity layer armed transparently
+//! degrades to [`Graph::submit_each`], which routes every recorded node
+//! through the ordinary hardened launch path — armed modes are never
+//! silently skipped, they just forgo the replay speedup.
+//!
+//! # Graph lifetime and invalidation
+//!
+//! A graph holds its kernels (and therefore the buffer views they
+//! captured) alive. Buffer *contents* are read at replay time — writing
+//! to a bound buffer between replays is the supported way to feed new
+//! inputs to an iteration (see the record-mutate-replay test). What a
+//! graph pins at record time is *structure*: ranges, group sizes, chunk
+//! partitions and the device capability snapshot. Replaying on a queue
+//! whose device capabilities differ from the recorded snapshot falls
+//! back to the per-launch path, which re-validates against the new
+//! device. Do not call `replay` on a graph from inside one of its own
+//! kernels: the replay lock is not re-entrant and the call deadlocks
+//! (the same rule as `Queue::wait` inside a kernel).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::buffer::Buffer;
+use crate::device::DeviceCaps;
+use crate::error::{Error, Result};
+use crate::event::{LaunchStats, ResilienceInfo};
+use crate::fault::classify_panic;
+use crate::ndrange::{GroupCtx, Item, NdRange, Range};
+use crate::queue::{Fallback, Queue, Redundancy};
+use crate::usm::UsmAlloc;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Declared access mode of one recorded launch on one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The kernel only reads the object.
+    Read,
+    /// The kernel only writes the object.
+    Write,
+    /// The kernel both reads and writes the object.
+    ReadWrite,
+}
+
+/// One (object, access-mode) pair attached to a recorded launch; built
+/// with [`reads`], [`writes`] or [`reads_writes`].
+#[derive(Debug, Clone, Copy)]
+pub struct Binding {
+    object: u64,
+    access: Access,
+}
+
+/// Anything with a stable runtime object identity a [`Binding`] can name:
+/// [`Buffer`]s and [`UsmAlloc`]s.
+pub trait GraphResource {
+    /// The object id used for dependency-edge derivation.
+    fn graph_object_id(&self) -> u64;
+}
+
+impl<T: Copy + Default + Send + 'static> GraphResource for Buffer<T> {
+    fn graph_object_id(&self) -> u64 {
+        self.object_id()
+    }
+}
+
+impl<T: Copy + Default + 'static> GraphResource for UsmAlloc<T> {
+    fn graph_object_id(&self) -> u64 {
+        self.object_id()
+    }
+}
+
+/// Declare that a recorded launch reads `r`.
+pub fn reads(r: &impl GraphResource) -> Binding {
+    Binding { object: r.graph_object_id(), access: Access::Read }
+}
+
+/// Declare that a recorded launch writes `r` (without reading it).
+pub fn writes(r: &impl GraphResource) -> Binding {
+    Binding { object: r.graph_object_id(), access: Access::Write }
+}
+
+/// Declare that a recorded launch both reads and writes `r`.
+pub fn reads_writes(r: &impl GraphResource) -> Binding {
+    Binding { object: r.graph_object_id(), access: Access::ReadWrite }
+}
+
+/// Can two launches with these binding lists run concurrently?
+/// Conservative on missing information: an empty binding list conflicts
+/// with everything.
+fn conflicts(a: &[Binding], b: &[Binding]) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return true;
+    }
+    a.iter().any(|x| {
+        b.iter().any(|y| {
+            x.object == y.object && (x.access != Access::Read || y.access != Access::Read)
+        })
+    })
+}
+
+type GroupKernel = Arc<dyn Fn(&GroupCtx) + Send + Sync>;
+
+/// Preallocated per-launch slot: the stats / resilience fields an
+/// [`crate::event::Event`] would carry, reset and refilled on every
+/// replay instead of allocated per submission.
+#[derive(Default)]
+struct NodeSlot {
+    items: AtomicU64,
+    barriers_local: AtomicU64,
+    barriers_global: AtomicU64,
+    local_bytes: AtomicUsize,
+    attempts: AtomicU32,
+    replicas: AtomicU32,
+}
+
+impl NodeSlot {
+    fn reset(&self) {
+        self.items.store(0, Ordering::Relaxed);
+        self.barriers_local.store(0, Ordering::Relaxed);
+        self.barriers_global.store(0, Ordering::Relaxed);
+        self.local_bytes.store(0, Ordering::Relaxed);
+        self.attempts.store(1, Ordering::Relaxed);
+        self.replicas.store(1, Ordering::Relaxed);
+    }
+
+    fn store(&self, stats: LaunchStats, res: ResilienceInfo) {
+        self.items.store(stats.items, Ordering::Relaxed);
+        self.barriers_local.store(stats.barriers_local, Ordering::Relaxed);
+        self.barriers_global.store(stats.barriers_global, Ordering::Relaxed);
+        self.local_bytes.store(stats.local_bytes, Ordering::Relaxed);
+        self.attempts.store(res.attempts, Ordering::Relaxed);
+        self.replicas.store(res.replicas, Ordering::Relaxed);
+    }
+}
+
+/// One recorded launch.
+struct Node {
+    name: &'static str,
+    nd: NdRange,
+    groups_range: Range,
+    num_groups: usize,
+    reqd_max: Option<usize>,
+    bindings: Vec<Binding>,
+    /// Indices of earlier nodes this node has a dependency edge to.
+    deps: Vec<usize>,
+    kernel: GroupKernel,
+    /// Precomputed chunk partition of `0..num_groups`.
+    chunks: Vec<(usize, usize)>,
+    /// Next unclaimed index into `chunks`.
+    next: AtomicUsize,
+    /// Groups retired (executed or abandoned on cancellation).
+    done: AtomicUsize,
+    slot: NodeSlot,
+}
+
+impl Node {
+    fn reset(&self) {
+        self.next.store(0, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+        self.slot.reset();
+    }
+}
+
+/// Builder handed to the [`Graph::record`] closure; each method records
+/// one launch without executing it. Validation errors (malformed range,
+/// work-group limit) are deferred: the first one fails `record`.
+pub struct GraphBuilder {
+    caps: DeviceCaps,
+    nodes: Vec<Node>,
+    err: Option<Error>,
+}
+
+impl GraphBuilder {
+    /// Record a barrier-free data-parallel launch — the recorded
+    /// equivalent of [`Queue::parallel_for`]. The flat range is chunked
+    /// into implicit work-groups exactly the way the live path chunks
+    /// it, so replayed launches produce identical group structure.
+    pub fn parallel_for<F>(
+        &mut self,
+        name: &'static str,
+        range: Range,
+        bindings: &[Binding],
+        f: F,
+    ) -> &mut Self
+    where
+        F: Fn(Item) + Send + Sync + 'static,
+    {
+        let total = range.size();
+        let chunk = 256.min(self.caps.max_work_group_size).min(total.max(1));
+        let padded = total.div_ceil(chunk) * chunk;
+        let nd = NdRange { global: Range::d1(padded), local: Range::d1(chunk) };
+        let kernel = move |ctx: &GroupCtx| {
+            ctx.items(|it| {
+                let lin = it.global_linear;
+                if lin < total {
+                    let item = Item {
+                        global: range.delinearize(lin),
+                        local: it.local,
+                        group: it.group,
+                        local_linear: it.local_linear,
+                        global_linear: lin,
+                    };
+                    f(item);
+                }
+            });
+        };
+        self.push(name, nd, None, bindings, Arc::new(kernel))
+    }
+
+    /// Record a work-group launch — the recorded equivalent of
+    /// [`Queue::nd_range`].
+    pub fn nd_range<K>(
+        &mut self,
+        name: &'static str,
+        nd: NdRange,
+        bindings: &[Binding],
+        kernel: K,
+    ) -> &mut Self
+    where
+        K: Fn(&GroupCtx) + Send + Sync + 'static,
+    {
+        self.push(name, nd, None, bindings, Arc::new(kernel))
+    }
+
+    /// Like [`GraphBuilder::nd_range`] with an explicit
+    /// `reqd_work_group_size`-style limit, checked at record time.
+    pub fn nd_range_with_limit<K>(
+        &mut self,
+        name: &'static str,
+        nd: NdRange,
+        reqd_max: Option<usize>,
+        bindings: &[Binding],
+        kernel: K,
+    ) -> &mut Self
+    where
+        K: Fn(&GroupCtx) + Send + Sync + 'static,
+    {
+        self.push(name, nd, reqd_max, bindings, Arc::new(kernel))
+    }
+
+    /// Record a Single-Task launch. Unlike [`Queue::single_task`] the
+    /// kernel must be `Fn` (not `FnOnce`): a replayed graph runs it once
+    /// per replay.
+    pub fn single_task<F>(&mut self, name: &'static str, bindings: &[Binding], f: F) -> &mut Self
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let nd = NdRange { global: Range::d1(1), local: Range::d1(1) };
+        self.push(name, nd, None, bindings, Arc::new(move |ctx: &GroupCtx| ctx.items(|_| f())))
+    }
+
+    fn push(
+        &mut self,
+        name: &'static str,
+        nd: NdRange,
+        reqd_max: Option<usize>,
+        bindings: &[Binding],
+        kernel: GroupKernel,
+    ) -> &mut Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if let Err(e) = nd.validate() {
+            self.err = Some(e);
+            return self;
+        }
+        let limit = reqd_max.unwrap_or(usize::MAX).min(self.caps.max_work_group_size);
+        if nd.group_size() > limit {
+            self.err = Some(Error::WorkGroupTooLarge { requested: nd.group_size(), limit });
+            return self;
+        }
+        let num_groups = nd.num_groups();
+        self.nodes.push(Node {
+            name,
+            nd,
+            groups_range: nd.groups(),
+            num_groups,
+            reqd_max,
+            bindings: bindings.to_vec(),
+            deps: Vec::new(),
+            kernel,
+            chunks: Vec::new(),
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            slot: NodeSlot::default(),
+        });
+        self
+    }
+}
+
+/// An immutable, executable launch plan. See the module docs for the
+/// recording contract and lifetime rules.
+pub struct Graph {
+    nodes: Vec<Node>,
+    /// Half-open node-index ranges; nodes within one phase are mutually
+    /// independent and execute concurrently, phases execute in order.
+    phases: Vec<(usize, usize)>,
+    caps: DeviceCaps,
+    local_mem_limit: usize,
+    max_groups: usize,
+    /// Serialises replays of this graph (the per-node claim/done state
+    /// is single-replay).
+    replay_lock: Mutex<()>,
+    cancel: AtomicBool,
+    failure: Mutex<Option<Error>>,
+    replays: AtomicU64,
+    fast_replays: AtomicU64,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.nodes.len())
+            .field("phases", &self.phases.len())
+            .field("replays", &self.replays.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Record a launch sequence against `q`'s device without executing
+    /// it. Ranges and group sizes are validated here, once; dependency
+    /// phases and chunk partitions are precomputed here, once.
+    pub fn record<F>(q: &Queue, build: F) -> Result<Graph>
+    where
+        F: FnOnce(&mut GraphBuilder),
+    {
+        let caps = q.device().caps().clone();
+        let mut b = GraphBuilder { caps: caps.clone(), nodes: Vec::new(), err: None };
+        build(&mut b);
+        if let Some(e) = b.err {
+            return Err(e);
+        }
+        let mut nodes = b.nodes;
+
+        // Dependency edges from declared access modes.
+        for j in 1..nodes.len() {
+            let deps: Vec<usize> = (0..j)
+                .filter(|&i| conflicts(&nodes[i].bindings, &nodes[j].bindings))
+                .collect();
+            nodes[j].deps = deps;
+        }
+
+        // Greedy phase merge: extend the current phase while the next
+        // node is independent of every node already in it.
+        let mut phases = Vec::new();
+        let mut start = 0;
+        for j in 1..nodes.len() {
+            let conflicting = (start..j)
+                .any(|i| conflicts(&nodes[i].bindings, &nodes[j].bindings));
+            if conflicting {
+                phases.push((start, j));
+                start = j;
+            }
+        }
+        if start < nodes.len() {
+            phases.push((start, nodes.len()));
+        }
+
+        // Chunk partitions sized for the pool: ~4 claims per worker, as
+        // the live path's adaptive claiming converges to.
+        let basis = crate::pool::auto_threads();
+        let target = (basis * 4).max(1);
+        for node in &mut nodes {
+            let size = node.num_groups.div_ceil(target).max(1);
+            let mut at = 0;
+            while at < node.num_groups {
+                let end = (at + size).min(node.num_groups);
+                node.chunks.push((at, end));
+                at = end;
+            }
+        }
+
+        let max_groups = nodes.iter().map(|n| n.num_groups).max().unwrap_or(0);
+        Ok(Graph {
+            nodes,
+            phases,
+            local_mem_limit: caps.local_mem_bytes,
+            caps,
+            max_groups,
+            replay_lock: Mutex::new(()),
+            cancel: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            replays: AtomicU64::new(0),
+            fast_replays: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether the single-wake-up replay path may run on `q`: every
+    /// hardening layer must be disarmed and the device capabilities must
+    /// match the recorded snapshot. Anything else re-routes through the
+    /// fully hardened per-launch path.
+    fn fast_eligible(&self, q: &Queue) -> bool {
+        !q.sanitizer_enabled()
+            && q.fault_plan().is_none()
+            && q.redundancy() == Redundancy::None
+            && q.fallback_policy() == Fallback::None
+            && !crate::integrity::armed()
+            && *q.device().caps() == self.caps
+    }
+
+    /// Execute the recorded plan. On a fully disarmed queue this is the
+    /// fast path: one in-flight entry, one pool wake-up, no
+    /// re-validation, no re-chunking, no per-launch arming checks. On an
+    /// armed queue (fault plan, sanitizer, integrity, redundancy, CPU
+    /// fallback) or a capability-mismatched device it degrades to
+    /// [`Graph::submit_each`] so every check still runs.
+    pub fn replay(&self, q: &Queue) -> Result<()> {
+        let _lock = lock(&self.replay_lock);
+        if self.nodes.is_empty() {
+            return Ok(());
+        }
+        if !self.fast_eligible(q) {
+            self.submit_each_inner(q)?;
+            self.replays.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let _guard = q.enter_inflight();
+        // Keeps the idle scrubber out of the replay window, mirroring
+        // the per-launch path's scope accounting.
+        let _scope = crate::integrity::LaunchScope::enter();
+        crate::fault::install_quiet_hook();
+        for n in &self.nodes {
+            n.reset();
+        }
+        self.cancel.store(false, Ordering::Relaxed);
+        *lock(&self.failure) = None;
+
+        let participants = q.parallelism_threads().min(self.max_groups).max(1);
+        if participants == 1 {
+            self.run_inline()?;
+        } else {
+            let sweep = |_s: usize, _e: usize| self.sweep();
+            let (_dispatch, stray) =
+                crate::pool::run_job_catch(participants, participants, &sweep);
+            if let Some(p) = stray {
+                return Err(classify_panic("<graph>", usize::MAX, p));
+            }
+            if let Some(e) = lock(&self.failure).take() {
+                return Err(e);
+            }
+        }
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        self.fast_replays.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Execute every recorded node, in recorded order, through the
+    /// queue's ordinary hardened launch path (validation, fault
+    /// injection, retry, redundancy, sanitizer, integrity, fallback all
+    /// active). This is both the armed-mode fallback of
+    /// [`Graph::replay`] and the per-launch baseline the `graph_replay`
+    /// microbenchmark measures against.
+    pub fn submit_each(&self, q: &Queue) -> Result<()> {
+        let _lock = lock(&self.replay_lock);
+        self.submit_each_inner(q)
+    }
+
+    fn submit_each_inner(&self, q: &Queue) -> Result<()> {
+        for n in &self.nodes {
+            n.reset();
+        }
+        for node in &self.nodes {
+            let k = &node.kernel;
+            let wrap = |ctx: &GroupCtx| k(ctx);
+            let (stats, _dispatch, res) =
+                q.launch_groups(node.name, node.nd, node.reqd_max, &wrap)?;
+            node.slot.store(stats, res);
+            node.done.store(node.num_groups, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// One participant's pass over the whole plan. Work is claimed from
+    /// per-node chunk counters, so any subset of pool workers — including
+    /// the submitter alone — completes the graph; phase barriers wait on
+    /// *work completion* (`done == num_groups`), never on participant
+    /// arrival, which is what makes the single-wake-up design
+    /// deadlock-free under a busy pool.
+    fn sweep(&self) {
+        'phases: for &(ps, pe) in &self.phases {
+            for node in &self.nodes[ps..pe] {
+                loop {
+                    if self.cancel.load(Ordering::Relaxed) {
+                        break 'phases;
+                    }
+                    let ci = node.next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(start, end)) = node.chunks.get(ci) else {
+                        break;
+                    };
+                    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        self.run_chunk(node, start, end)
+                    }));
+                    if let Err(payload) = r {
+                        lock(&self.failure)
+                            .get_or_insert_with(|| classify_panic(node.name, start, payload));
+                        self.cancel.store(true, Ordering::Relaxed);
+                    }
+                    // Release: publishes this chunk's buffer writes to
+                    // whichever participant observes completion below.
+                    node.done.fetch_add(end - start, Ordering::AcqRel);
+                }
+            }
+            for node in &self.nodes[ps..pe] {
+                let mut spins = 0u32;
+                while node.done.load(Ordering::Acquire) < node.num_groups {
+                    if self.cancel.load(Ordering::Relaxed) {
+                        break 'phases;
+                    }
+                    spins += 1;
+                    if spins < 128 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_chunk(&self, node: &Node, start: usize, end: usize) {
+        let mut items = 0u64;
+        let mut bl = 0u64;
+        let mut bg = 0u64;
+        let mut lbytes = 0usize;
+        for g in start..end {
+            if self.cancel.load(Ordering::Relaxed) {
+                break;
+            }
+            let gid = node.groups_range.delinearize(g);
+            let ctx = GroupCtx::new(gid, node.nd, self.local_mem_limit, None);
+            (node.kernel)(&ctx);
+            let (it, l, gl, lb) = ctx.stats();
+            items += it;
+            bl += l;
+            bg += gl;
+            lbytes = lbytes.max(lb);
+        }
+        node.slot.items.fetch_add(items, Ordering::Relaxed);
+        node.slot.barriers_local.fetch_add(bl, Ordering::Relaxed);
+        node.slot.barriers_global.fetch_add(bg, Ordering::Relaxed);
+        node.slot.local_bytes.fetch_max(lbytes, Ordering::Relaxed);
+    }
+
+    /// Sequential replay on the calling thread: ascending node order,
+    /// ascending group order — the deterministic path, matching
+    /// `Parallelism::Sequential` per-launch execution.
+    fn run_inline(&self) -> Result<()> {
+        for node in &self.nodes {
+            let mut items = 0u64;
+            let mut bl = 0u64;
+            let mut bg = 0u64;
+            let mut lbytes = 0usize;
+            for g in 0..node.num_groups {
+                let gid = node.groups_range.delinearize(g);
+                let ctx = GroupCtx::new(gid, node.nd, self.local_mem_limit, None);
+                std::panic::catch_unwind(AssertUnwindSafe(|| (node.kernel)(&ctx)))
+                    .map_err(|p| classify_panic(node.name, g, p))?;
+                let (it, l, gl, lb) = ctx.stats();
+                items += it;
+                bl += l;
+                bg += gl;
+                lbytes = lbytes.max(lb);
+            }
+            node.slot.items.store(items, Ordering::Relaxed);
+            node.slot.barriers_local.store(bl, Ordering::Relaxed);
+            node.slot.barriers_global.store(bg, Ordering::Relaxed);
+            node.slot.local_bytes.store(lbytes, Ordering::Relaxed);
+            node.done.store(node.num_groups, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Number of recorded launches.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph records no launches.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of execution phases (groups of mutually independent
+    /// launches) the declared access modes allowed.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// The recorded name of launch `i`.
+    pub fn node_name(&self, i: usize) -> &'static str {
+        self.nodes[i].name
+    }
+
+    /// Launch statistics of node `i` from the most recent execution
+    /// (replay or submit_each).
+    pub fn node_stats(&self, i: usize) -> LaunchStats {
+        let n = &self.nodes[i];
+        LaunchStats {
+            groups: n.done.load(Ordering::Relaxed) as u64,
+            items: n.slot.items.load(Ordering::Relaxed),
+            barriers_local: n.slot.barriers_local.load(Ordering::Relaxed),
+            barriers_global: n.slot.barriers_global.load(Ordering::Relaxed),
+            local_bytes: n.slot.local_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Replica count node `i` ran with in the most recent execution
+    /// (&gt; 1 only when the slow path voted under Dmr/Tmr).
+    pub fn node_replicas(&self, i: usize) -> u32 {
+        self.nodes[i].slot.replicas.load(Ordering::Relaxed)
+    }
+
+    /// Sum of every node's statistics from the most recent execution.
+    pub fn aggregate_stats(&self) -> LaunchStats {
+        let mut total = LaunchStats::default();
+        for i in 0..self.nodes.len() {
+            total.merge(&self.node_stats(i));
+        }
+        total
+    }
+
+    /// Successful executions of this graph, fast or slow path.
+    pub fn replays(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
+    }
+
+    /// Successful single-wake-up (fast path) replays only.
+    pub fn fast_replays(&self) -> u64 {
+        self.fast_replays.load(Ordering::Relaxed)
+    }
+
+    /// Whether recorded launch `later` has a dependency edge on launch
+    /// `earlier` (derived from declared access modes at record time).
+    pub fn depends_on(&self, later: usize, earlier: usize) -> bool {
+        self.nodes[later].deps.contains(&earlier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::executor::Parallelism;
+
+    fn disarmed(q: Queue) -> Queue {
+        q.with_fault_plan(None).with_sanitizer(false)
+    }
+
+    #[test]
+    fn empty_graph_replays_ok() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let g = Graph::record(&q, |_| {}).unwrap();
+        assert!(g.is_empty());
+        g.replay(&q).unwrap();
+    }
+
+    #[test]
+    fn replay_matches_per_launch_results() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let n = 1000;
+        let a = Buffer::from_slice(&(0..n as u32).collect::<Vec<_>>());
+        let b = Buffer::<u32>::new(n);
+        let c = Buffer::<u32>::new(n);
+        let (av, bv) = (a.view(), b.view());
+        let (bv2, cv) = (b.view(), c.view());
+        let g = Graph::record(&q, |g| {
+            g.parallel_for("double", Range::d1(n), &[reads(&a), writes(&b)], move |it| {
+                bv.set(it.gid(0), av.get(it.gid(0)) * 2);
+            })
+            .parallel_for("inc", Range::d1(n), &[reads(&b), writes(&c)], move |it| {
+                cv.set(it.gid(0), bv2.get(it.gid(0)) + 1);
+            });
+        })
+        .unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.phase_count(), 2);
+        assert!(g.depends_on(1, 0));
+
+        g.replay(&q).unwrap();
+        let fast = c.to_vec();
+        g.submit_each(&q).unwrap();
+        let slow = c.to_vec();
+        assert_eq!(fast, slow);
+        assert!(fast.iter().enumerate().all(|(i, &x)| x == i as u32 * 2 + 1));
+        assert_eq!(g.fast_replays(), 1);
+    }
+
+    #[test]
+    fn independent_nodes_share_a_phase() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let src = Buffer::from_slice(&[1u32; 64]);
+        let x = Buffer::<u32>::new(64);
+        let y = Buffer::<u32>::new(64);
+        let (sv1, xv) = (src.view(), x.view());
+        let (sv2, yv) = (src.view(), y.view());
+        let g = Graph::record(&q, |g| {
+            g.parallel_for("wx", Range::d1(64), &[reads(&src), writes(&x)], move |it| {
+                xv.set(it.gid(0), sv1.get(it.gid(0)) + 1);
+            })
+            .parallel_for("wy", Range::d1(64), &[reads(&src), writes(&y)], move |it| {
+                yv.set(it.gid(0), sv2.get(it.gid(0)) + 2);
+            });
+        })
+        .unwrap();
+        assert_eq!(g.phase_count(), 1);
+        assert!(!g.depends_on(1, 0));
+        g.replay(&q).unwrap();
+        assert!(x.to_vec().iter().all(|&v| v == 2));
+        assert!(y.to_vec().iter().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn undeclared_bindings_serialize() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let x = Buffer::<u32>::new(8);
+        let xv = x.view();
+        let xv2 = x.view();
+        let g = Graph::record(&q, |g| {
+            g.parallel_for("a", Range::d1(8), &[], move |it| xv.set(it.gid(0), 1))
+                .parallel_for("b", Range::d1(8), &[], move |it| {
+                    xv2.update(it.gid(0), |v| v + 1)
+                });
+        })
+        .unwrap();
+        assert_eq!(g.phase_count(), 2);
+        g.replay(&q).unwrap();
+        assert!(x.to_vec().iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn record_validates_group_size() {
+        let q = disarmed(Queue::new(Device::stratix10()));
+        let e = Graph::record(&q, |g| {
+            g.nd_range("too_big", NdRange::d1(512, 256), &[], |_ctx: &GroupCtx| {});
+        })
+        .unwrap_err();
+        assert_eq!(e, Error::WorkGroupTooLarge { requested: 256, limit: 128 });
+
+        let e = Graph::record(&q, |g| {
+            g.nd_range_with_limit("attr", NdRange::d1(128, 64), Some(32), &[], |_: &GroupCtx| {});
+        })
+        .unwrap_err();
+        assert_eq!(e, Error::WorkGroupTooLarge { requested: 64, limit: 32 });
+    }
+
+    #[test]
+    fn sequential_queue_replays_inline() {
+        let q = disarmed(Queue::new(Device::cpu())).with_parallelism(Parallelism::Sequential);
+        let b = Buffer::<u32>::new(100);
+        let bv = b.view();
+        let g = Graph::record(&q, |g| {
+            g.parallel_for("iota", Range::d1(100), &[writes(&b)], move |it| {
+                bv.set(it.gid(0), it.gid(0) as u32);
+            });
+        })
+        .unwrap();
+        g.replay(&q).unwrap();
+        assert!(b.to_vec().iter().enumerate().all(|(i, &v)| v == i as u32));
+        assert_eq!(g.fast_replays(), 1);
+        assert_eq!(g.node_stats(0).items, 100);
+    }
+
+    #[test]
+    fn single_task_node_runs_once_per_replay() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let b = Buffer::<u32>::new(1);
+        let bv = b.view();
+        let g = Graph::record(&q, |g| {
+            g.single_task("bump", &[reads_writes(&b)], move || {
+                bv.update(0, |v| v + 1);
+            });
+        })
+        .unwrap();
+        for _ in 0..5 {
+            g.replay(&q).unwrap();
+        }
+        assert_eq!(b.to_vec()[0], 5);
+        assert_eq!(g.replays(), 5);
+    }
+
+    #[test]
+    fn record_does_not_execute() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let b = Buffer::<u32>::new(4);
+        let bv = b.view();
+        let _g = Graph::record(&q, |g| {
+            g.parallel_for("w", Range::d1(4), &[writes(&b)], move |it| bv.set(it.gid(0), 7));
+        })
+        .unwrap();
+        assert!(b.to_vec().iter().all(|&v| v == 0));
+    }
+}

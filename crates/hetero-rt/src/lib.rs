@@ -57,6 +57,7 @@ pub mod error;
 pub mod event;
 pub mod executor;
 pub mod fault;
+pub mod graph;
 pub mod group_algorithms;
 pub mod integrity;
 pub mod local;
@@ -68,13 +69,14 @@ pub mod reduction;
 pub mod sanitize;
 pub mod usm;
 
-pub use buffer::{Buffer, GlobalView};
+pub use buffer::{Buffer, GlobalView, SlabStats};
 pub use constant::ConstantMemory;
 pub use cooperative::GridCtx;
 pub use device::{Device, DeviceCaps, DeviceKind};
 pub use error::{Error, Result};
 pub use event::{Event, LaunchStats, ProfilingInfo, ResilienceInfo};
 pub use fault::{FaultKind, FaultPlan};
+pub use graph::{reads, reads_writes, writes, Access, Binding, Graph, GraphBuilder};
 pub use integrity::{IntegrityStats, Violation};
 pub use local::{LocalArray, PrivateArray};
 pub use ndrange::{GroupCtx, Item, NdRange, Range};
@@ -90,6 +92,7 @@ pub mod prelude {
     pub use crate::error::{Error, Result};
     pub use crate::event::Event;
     pub use crate::fault::{FaultKind, FaultPlan};
+    pub use crate::graph::{reads, reads_writes, writes, Binding, Graph, GraphBuilder};
     pub use crate::local::{LocalArray, PrivateArray};
     pub use crate::ndrange::{GroupCtx, Item, NdRange, Range};
     pub use crate::pipe::Pipe;

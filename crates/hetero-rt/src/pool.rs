@@ -174,8 +174,12 @@ struct Shared {
     /// OS threads ever spawned by the pool — must stay constant after
     /// init; tests assert this across thousands of launches.
     spawned: AtomicUsize,
-    /// Jobs ever dispatched through the pool.
+    /// Jobs ever dispatched through the pool. Empty jobs (`total == 0`)
+    /// return before touching the pool and are not counted.
     dispatched: AtomicUsize,
+    /// `Job` allocations actually made (dispatches minus scratch-slot
+    /// reuses); `launch_storm` reports the reuse ratio.
+    allocated: AtomicUsize,
 }
 
 /// How long a worker parks before waking to run one integrity-scrubber
@@ -231,6 +235,7 @@ fn global() -> &'static Arc<Shared> {
             threads,
             spawned: AtomicUsize::new(0),
             dispatched: AtomicUsize::new(0),
+            allocated: AtomicUsize::new(0),
         });
         for i in 0..threads.saturating_sub(1) {
             let s = Arc::clone(&shared);
@@ -258,9 +263,94 @@ pub fn spawned_threads() -> usize {
     global().spawned.load(Ordering::Relaxed)
 }
 
-/// Number of jobs dispatched through the pool since process start.
+/// Number of non-empty jobs dispatched through the pool since process
+/// start. A job with `total == 0` never reaches the pool (no workers
+/// wake, no chunk is claimed) and is deliberately not counted — the
+/// count answers "how many times did the pool run work", which is what
+/// the launch-overhead benchmarks divide by.
 pub fn jobs_dispatched() -> usize {
     global().dispatched.load(Ordering::Relaxed)
+}
+
+/// Number of `Job` structures actually allocated, as opposed to reused
+/// from the submitter's scratch slot. `jobs_dispatched() -
+/// jobs_allocated()` dispatches paid zero allocations.
+pub fn jobs_allocated() -> usize {
+    global().allocated.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Per-submitter scratch: the previous job's allocation, reused for
+    /// the next submit when no worker still holds a reference to it.
+    /// Thread-local (rather than pool-global) so acquiring it is
+    /// lock-free and two threads never contend for one slot.
+    static JOB_SCRATCH: std::cell::RefCell<Option<Arc<Job>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Reuse the scratch `Job` allocation if it is exclusively ours, else
+/// allocate. Exclusivity (`Arc::get_mut`) is the safety linchpin: a
+/// worker that still holds a clone from the *previous* job may be inside
+/// `claim`, and resetting the counters or swapping the task pointer
+/// under it would hand it stale work. Workers obtain clones only from
+/// the shared job list, which the previous `run_job_catch` already
+/// removed the job from, so once the count drops to one it stays one.
+fn acquire_job(
+    pool: &Shared,
+    task: *const (dyn Fn(usize, usize) + Sync),
+    total: usize,
+    chunk_threads: usize,
+    max_helpers: usize,
+) -> Arc<Job> {
+    JOB_SCRATCH.with(|s| {
+        let mut slot = s.borrow_mut();
+        if let Some(mut job) = slot.take() {
+            if let Some(j) = Arc::get_mut(&mut job) {
+                j.task = task;
+                j.total = total;
+                j.chunk_threads = chunk_threads;
+                j.max_helpers = max_helpers;
+                j.next.store(0, Ordering::Relaxed);
+                j.done.store(0, Ordering::Relaxed);
+                j.helpers.store(0, Ordering::Relaxed);
+                j.canceled.store(false, Ordering::Relaxed);
+                *j.panic_payload
+                    .get_mut()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+                *j.complete.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                    false;
+                return job;
+            }
+            // A worker still holds the previous job briefly; keep the
+            // scratch for a later submit and allocate fresh this time.
+            *slot = Some(job);
+        }
+        pool.allocated.fetch_add(1, Ordering::Relaxed);
+        Arc::new(Job {
+            task,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            total,
+            chunk_threads,
+            max_helpers,
+            helpers: AtomicUsize::new(0),
+            canceled: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+            complete: Mutex::new(false),
+            complete_cv: Condvar::new(),
+        })
+    })
+}
+
+/// Park a finished job's allocation in the submitter's scratch slot for
+/// the next dispatch (first-come basis; an occupied slot drops `job`).
+fn stash_job(job: Arc<Job>) {
+    JOB_SCRATCH.with(|s| {
+        let mut slot = s.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(job);
+        }
+    });
 }
 
 /// Run `task` over the index range `0..total` on the persistent pool,
@@ -295,10 +385,14 @@ pub fn run_job_catch(
 ) -> (Duration, Option<Box<dyn std::any::Any + Send>>) {
     crate::fault::install_quiet_hook();
     let pool = global();
-    pool.dispatched.fetch_add(1, Ordering::Relaxed);
     if total == 0 {
+        // An empty job never wakes a worker or claims a chunk, so it is
+        // not a dispatch; counting it skewed per-launch accounting (the
+        // `pool_jobs_dispatched: 30001` off-by-one in early
+        // BENCH_launch_storm.json runs).
         return (Duration::ZERO, None);
     }
+    pool.dispatched.fetch_add(1, Ordering::Relaxed);
     let threads = threads.max(1).min(pool.threads.max(1));
     let max_helpers = threads.saturating_sub(1).min(total.saturating_sub(1));
     // SAFETY: lifetime erasure only; run_job blocks until done == total,
@@ -309,19 +403,7 @@ pub fn run_job_catch(
             *const (dyn Fn(usize, usize) + Sync),
         >(task)
     };
-    let job = Arc::new(Job {
-        task,
-        next: AtomicUsize::new(0),
-        done: AtomicUsize::new(0),
-        total,
-        chunk_threads: threads,
-        max_helpers,
-        helpers: AtomicUsize::new(0),
-        canceled: AtomicBool::new(false),
-        panic_payload: Mutex::new(None),
-        complete: Mutex::new(false),
-        complete_cv: Condvar::new(),
-    });
+    let job = acquire_job(pool, task, total, threads, max_helpers);
 
     let handoff = Instant::now();
     if max_helpers > 0 {
@@ -351,6 +433,7 @@ pub fn run_job_catch(
         lock(&pool.jobs).retain(|j| !Arc::ptr_eq(j, &job));
     }
     let payload = lock(&job.panic_payload).take();
+    stash_job(job);
     (dispatch, payload)
 }
 

@@ -17,12 +17,14 @@
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::buffer::{Buffer, BufferSlab, SlabStats};
 use crate::device::{Device, DeviceKind};
 use crate::error::{Error, Result};
 use crate::event::{Event, LaunchStats, ProfilingInfo, ResilienceInfo};
 use crate::executor::{run_groups_contained, Parallelism};
 use crate::fault::FaultPlan;
 use crate::ndrange::{GroupCtx, Item, NdRange, Range};
+use crate::usm::{UsmAlloc, UsmKind};
 
 /// Bounded-retry policy for transient launch failures (the fault layer's
 /// [`crate::fault::FaultKind::LaunchTransient`]; on real stacks, a driver
@@ -130,7 +132,7 @@ struct InFlight {
 
 /// RAII in-flight marker: decrements and notifies on drop, so a panicking
 /// launch still releases waiters.
-struct InFlightGuard<'a>(&'a InFlight);
+pub(crate) struct InFlightGuard<'a>(&'a InFlight);
 
 impl<'a> InFlightGuard<'a> {
     fn enter(inflight: &'a InFlight) -> Self {
@@ -162,6 +164,7 @@ pub struct Queue {
     integrity: bool,
     redundancy: Redundancy,
     inflight: Arc<InFlight>,
+    slab: Arc<BufferSlab>,
 }
 
 impl Queue {
@@ -198,6 +201,7 @@ impl Queue {
             integrity: sdc,
             redundancy: if sdc { Redundancy::Dmr } else { Redundancy::None },
             inflight: Arc::new(InFlight::default()),
+            slab: Arc::new(BufferSlab::new()),
         }
     }
 
@@ -294,6 +298,23 @@ impl Queue {
     /// The fault plan driving this queue's injection, if any.
     pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
         self.fault.as_ref()
+    }
+
+    /// The queue's capability-error fallback policy (graph replay checks
+    /// it for fast-path eligibility).
+    pub(crate) fn fallback_policy(&self) -> Fallback {
+        self.fallback
+    }
+
+    /// Worker-thread budget the queue's parallelism mode resolves to.
+    pub(crate) fn parallelism_threads(&self) -> usize {
+        self.parallelism.thread_count()
+    }
+
+    /// Enter the queue's in-flight count (used by graph replay, which
+    /// bypasses `launch_groups` but must still block [`Queue::wait`]).
+    pub(crate) fn enter_inflight(&self) -> InFlightGuard<'_> {
+        InFlightGuard::enter(&self.inflight)
     }
 
     fn finish_event(
@@ -453,7 +474,7 @@ impl Queue {
     /// 5. integrity-protocol exit (last launch out): reseal every region,
     ///    then land the plan's exit-window flip and stuck-at page on the
     ///    sealed image so the *next* entry verification must detect them.
-    fn launch_groups<K>(
+    pub(crate) fn launch_groups<K>(
         &self,
         name: &'static str,
         nd: NdRange,
@@ -706,6 +727,95 @@ impl Queue {
         len: usize,
     ) -> Result<crate::usm::UsmAlloc<T>> {
         crate::usm::UsmAlloc::new_with_fault(&self.device, kind, len, self.fault.as_deref())
+    }
+
+    /// Allocate a zero-initialised buffer of `len` elements, reusing a
+    /// retired allocation from the queue's recycling slab when one of the
+    /// exact type and length is shelved (see [`Queue::recycle_buffer`]).
+    ///
+    /// Indistinguishable from [`Buffer::new`] except for allocator
+    /// traffic: contents are zero-filled, and identity is fresh — a new
+    /// sanitizer object id and a newly registered integrity region, so no
+    /// shadow state or page seals survive from the previous tenant. The
+    /// [`Buffer::generation`] counter records how many reuses the bytes
+    /// have seen (0 on a slab miss).
+    pub fn recycled_buffer<T: Copy + Default + Send + 'static>(&self, len: usize) -> Buffer<T> {
+        match self.slab.take::<Box<[T]>>(len) {
+            Some((mut data, generation)) => {
+                data.fill(T::default());
+                Buffer::build_gen(data, generation + 1)
+            }
+            None => Buffer::new(len),
+        }
+    }
+
+    /// Retire a buffer to the recycling slab for a later
+    /// [`Queue::recycled_buffer`] of the same type and length.
+    ///
+    /// Succeeds only when `buf` is the sole owner of its storage: clones
+    /// or outstanding [`crate::GlobalView`]s refuse the recycle (the
+    /// handle is still consumed; the storage stays alive through the
+    /// other owners) — returning `false` and counting a rejection. A
+    /// full shelf also drops the allocation rather than pinning
+    /// unbounded memory.
+    pub fn recycle_buffer<T: Copy + Default + Send + 'static>(&self, buf: Buffer<T>) -> bool {
+        match buf.into_raw_parts() {
+            Some((data, generation)) => {
+                let len = data.len();
+                self.slab.put(len, data, generation)
+            }
+            None => {
+                self.slab.note_rejected();
+                false
+            }
+        }
+    }
+
+    /// [`Queue::alloc_usm`] through the recycling slab: reuses a retired
+    /// USM vector of the exact type and length when one is shelved,
+    /// zero-filled and with fresh identity (new sanitizer id, new
+    /// integrity region). Capability and fault-plan checks are identical
+    /// to a fresh allocation — the paper's FPGAs still refuse, and an
+    /// injected [`Error::UsmAllocFailed`] still fires, regardless of
+    /// what the slab holds.
+    pub fn recycled_usm<T: Copy + Default + Send + 'static>(
+        &self,
+        kind: UsmKind,
+        len: usize,
+    ) -> Result<UsmAlloc<T>> {
+        if !self.device.caps().supports_usm {
+            return Err(Error::UsmUnsupported { device: self.device.name().to_string() });
+        }
+        if self.fault.as_deref().is_some_and(FaultPlan::should_fail_alloc) {
+            return Err(Error::UsmAllocFailed {
+                device: self.device.name().to_string(),
+                bytes: len * std::mem::size_of::<T>(),
+            });
+        }
+        match self.slab.take::<Vec<T>>(len) {
+            Some((mut data, generation)) => {
+                data.fill(T::default());
+                Ok(UsmAlloc::build_gen(data, kind, generation + 1))
+            }
+            // Capability and fault checks already ran above; going back
+            // through `alloc_usm` would consult the fault plan twice.
+            None => Ok(UsmAlloc::build_gen(vec![T::default(); len], kind, 0)),
+        }
+    }
+
+    /// Retire a USM allocation to the recycling slab. USM allocations
+    /// are uniquely owned, so unlike [`Queue::recycle_buffer`] only a
+    /// full shelf can refuse (returns `false`).
+    pub fn recycle_usm<T: Copy + Default + Send + 'static>(&self, alloc: UsmAlloc<T>) -> bool {
+        let (data, generation) = alloc.into_raw_parts();
+        let len = data.len();
+        self.slab.put(len, data, generation)
+    }
+
+    /// Traffic counters of the recycling slab shared by every clone of
+    /// this queue.
+    pub fn slab_stats(&self) -> SlabStats {
+        self.slab.stats()
     }
 
     /// Launch several kernels that run *concurrently* (each on its own
@@ -1008,6 +1118,79 @@ mod tests {
         assert!(out[..4].iter().all(|&v| v == 0.0));
         assert!(out[4..12].iter().all(|&v| v == 2.5));
         assert!(out[12..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn recycled_buffer_reuses_bytes_with_fresh_identity() {
+        let q = Queue::new(Device::cpu());
+        let a = q.recycled_buffer::<f32>(64);
+        assert_eq!(a.generation(), 0, "first request is a slab miss");
+        let first_id = a.object_id();
+        a.write(|s| s.fill(7.5));
+        assert!(q.recycle_buffer(a));
+        let b = q.recycled_buffer::<f32>(64);
+        assert_eq!(b.generation(), 1, "second request reuses the allocation");
+        assert_ne!(b.object_id(), first_id, "identity must be fresh on reuse");
+        assert!(b.to_vec().iter().all(|&v| v == 0.0), "reuse must zero-fill");
+        let s = q.slab_stats();
+        assert_eq!((s.reuses, s.returns), (1, 1));
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn recycle_refused_while_views_outstanding() {
+        let q = Queue::new(Device::cpu());
+        let a = q.recycled_buffer::<u32>(16);
+        let view = a.view();
+        let before = q.slab_stats().rejected;
+        assert!(!q.recycle_buffer(a), "outstanding view must refuse the recycle");
+        assert_eq!(q.slab_stats().rejected, before + 1);
+        // The view alone keeps the storage alive and usable.
+        view.set(3, 9);
+        assert_eq!(view.get(3), 9);
+        // Nothing was shelved, so the next request misses.
+        assert_eq!(q.recycled_buffer::<u32>(16).generation(), 0);
+    }
+
+    #[test]
+    fn slab_is_keyed_by_type_and_exact_length() {
+        let q = Queue::new(Device::cpu());
+        assert!(q.recycle_buffer(q.recycled_buffer::<f32>(32)));
+        // Different length and different element type both miss.
+        assert_eq!(q.recycled_buffer::<f32>(33).generation(), 0);
+        assert_eq!(q.recycled_buffer::<u32>(32).generation(), 0);
+        // Exact match hits.
+        assert_eq!(q.recycled_buffer::<f32>(32).generation(), 1);
+    }
+
+    #[test]
+    fn slab_is_shared_across_queue_clones() {
+        let q = Queue::new(Device::cpu());
+        let clone = q.clone();
+        assert!(q.recycle_buffer(q.recycled_buffer::<i64>(8)));
+        assert_eq!(clone.recycled_buffer::<i64>(8).generation(), 1);
+    }
+
+    #[test]
+    fn usm_recycling_roundtrips_with_fresh_identity() {
+        let q = Queue::new(Device::cpu());
+        let mut a = q.recycled_usm::<u32>(crate::usm::UsmKind::Shared, 16).unwrap();
+        assert_eq!(a.generation(), 0);
+        let first_id = a.object_id();
+        a.set(5, 42);
+        assert!(q.recycle_usm(a));
+        let b = q.recycled_usm::<u32>(crate::usm::UsmKind::Shared, 16).unwrap();
+        assert_eq!(b.generation(), 1);
+        assert_ne!(b.object_id(), first_id);
+        assert!(b.as_slice().iter().all(|&v| v == 0), "reuse must zero-fill");
+    }
+
+    #[test]
+    fn recycled_usm_still_enforces_device_capability() {
+        // The paper's FPGAs refuse USM; the slab must not change that.
+        let q = Queue::new(Device::stratix10());
+        let e = q.recycled_usm::<f32>(crate::usm::UsmKind::Host, 8).unwrap_err();
+        assert!(matches!(e, Error::UsmUnsupported { .. }));
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub fn reduce_f32(
     }
     let padded = n.div_ceil(WG) * WG;
     let groups = padded / WG;
-    let partials = Buffer::<f32>::new(groups);
+    // Iterative apps (SRAD, ParticleFilter) call this every timestep with
+    // the same `n`: route the partials scratch through the queue's
+    // recycling slab instead of the allocator.
+    let partials = q.recycled_buffer::<f32>(groups);
     let (dv, pv) = (data.view(), partials.view());
     q.nd_range("reduce_f32", NdRange::d1(padded, WG), move |ctx| {
         let vals = ctx.private_array::<f32>();
@@ -41,7 +44,9 @@ pub fn reduce_f32(
         pv.set(ctx.group_linear(), r);
     })
     .unwrap_or_else(|e| std::panic::panic_any(e));
-    partials.to_vec().into_iter().fold(identity, op)
+    let out = partials.to_vec().into_iter().fold(identity, op);
+    q.recycle_buffer(partials);
+    out
 }
 
 /// Sum of an f32 buffer (the common case).
@@ -55,13 +60,15 @@ pub fn sum_sq_f32(q: &Queue, data: &Buffer<f32>) -> f32 {
     if n == 0 {
         return 0.0;
     }
-    let squared = Buffer::<f32>::new(n);
+    let squared = q.recycled_buffer::<f32>(n);
     let (dv, sv) = (data.view(), squared.view());
     q.parallel_for("square", crate::ndrange::Range::d1(n), move |it| {
         let v = dv.get(it.gid(0));
         sv.set(it.gid(0), v * v);
     });
-    sum_f32(q, &squared)
+    let out = sum_f32(q, &squared);
+    q.recycle_buffer(squared);
+    out
 }
 
 #[cfg(test)]
@@ -100,6 +107,24 @@ mod tests {
         let q = Queue::new(Device::cpu());
         let b = Buffer::from_slice(&[1.0f32, 2.0, 3.0]);
         assert!((sum_sq_f32(&q, &b) - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeated_reductions_reuse_scratch() {
+        let q = Queue::new(Device::cpu());
+        let b = Buffer::from_slice(&vec![2.0f32; 4096]);
+        let before = q.slab_stats();
+        for _ in 0..10 {
+            assert_eq!(sum_f32(&q, &b), 8192.0);
+            assert!((sum_sq_f32(&q, &b) - 16384.0).abs() < 1e-2);
+        }
+        let after = q.slab_stats();
+        // Each iteration retires its scratch and the next picks it up:
+        // only the first pass through each size class may miss.
+        assert!(
+            after.reuses - before.reuses >= 25,
+            "reduction scratch should come from the slab: {after:?}"
+        );
     }
 
     #[test]

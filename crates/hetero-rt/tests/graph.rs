@@ -1,0 +1,271 @@
+//! Compose tests: the recorded-graph executor crossed with every
+//! hardening layer. The fast replay path is only legal on a fully
+//! disarmed queue; these tests pin the contract that an *armed* queue
+//! (fault injection, retry, sanitizer, integrity, redundancy) degrades
+//! replay to the hardened per-launch path with every check still active
+//! — same typed errors, same voting, same detection — and that the fast
+//! path re-engages the moment the queue is disarmed.
+//!
+//! Arming the integrity layer is process-global, so the tests that use
+//! it serialize on one mutex and arm through an RAII guard (same
+//! pattern as `tests/sdc.rs`).
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use hetero_rt::executor::Parallelism;
+use hetero_rt::integrity;
+use hetero_rt::prelude::*;
+use hetero_rt::{Redundancy, RetryPolicy};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| {
+        if std::env::var_os("HETERO_RT_THREADS").is_none() {
+            std::env::set_var("HETERO_RT_THREADS", "4");
+        }
+        Mutex::new(())
+    })
+    .lock()
+    .unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Armed;
+
+impl Armed {
+    fn new() -> Self {
+        integrity::arm();
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        integrity::disarm();
+        let _ = integrity::take_scrub_reports();
+    }
+}
+
+fn disarmed() -> Queue {
+    Queue::new(Device::cpu())
+        .with_fault_plan(None)
+        .with_sanitizer(false)
+}
+
+/// A two-node graph: `mid = src * 2`, then `out = mid + 1`.
+fn doubling_graph(src: &Buffer<u32>, mid: &Buffer<u32>, out: &Buffer<u32>, q: &Queue) -> Graph {
+    let n = src.len();
+    let (sv, mv) = (src.view(), mid.view());
+    let (mv2, ov) = (mid.view(), out.view());
+    Graph::record(q, |g| {
+        g.parallel_for("g_double", Range::d1(n), &[reads(src), writes(mid)], move |it| {
+            mv.set(it.gid(0), sv.get(it.gid(0)) * 2);
+        })
+        .parallel_for("g_inc", Range::d1(n), &[reads(mid), writes(out)], move |it| {
+            ov.set(it.gid(0), mv2.get(it.gid(0)) + 1);
+        });
+    })
+    .unwrap()
+}
+
+/// An injected kernel panic fires through `replay` exactly as it does
+/// through a live launch: same typed error, zero fast replays — and the
+/// shared pool stays healthy for the disarmed fast path afterwards.
+#[test]
+fn fault_panic_through_replay_is_typed_and_pool_survives() {
+    let _s = serial();
+    let n = 256;
+    let src = Buffer::from_slice(&vec![1u32; n]);
+    let mid = Buffer::<u32>::new(n);
+    let out = Buffer::<u32>::new(n);
+    let q = disarmed();
+    let g = doubling_graph(&src, &mid, &out, &q);
+
+    let armed = disarmed().with_fault_plan(Some(Arc::new(FaultPlan::panic_at("g_inc", 0))));
+    let e = g.replay(&armed).unwrap_err();
+    assert!(
+        matches!(e, Error::KernelPanicked { kernel: "g_inc", group: 0, .. }),
+        "{e:?}"
+    );
+    assert_eq!(g.fast_replays(), 0, "armed queue must not take the fast path");
+
+    // Same graph, disarmed queue: fast path, correct results, many times.
+    for round in 1..=20u64 {
+        g.replay(&q).unwrap();
+        assert_eq!(g.fast_replays(), round);
+    }
+    assert!(out.to_vec().iter().all(|&v| v == 3));
+}
+
+/// Transient launch failures inside a replay are absorbed by the
+/// queue's retry budget (slow path) and surface immediately without
+/// one — the same contract live launches have.
+#[test]
+fn transient_faults_compose_with_retry_through_replay() {
+    let _s = serial();
+    let n = 128;
+    let src = Buffer::from_slice(&(0..n as u32).collect::<Vec<_>>());
+    let mid = Buffer::<u32>::new(n);
+    let out = Buffer::<u32>::new(n);
+    let q = disarmed();
+    let g = doubling_graph(&src, &mid, &out, &q);
+
+    // No retry budget: the first transient fault is a typed error.
+    let fragile = disarmed().with_fault_plan(Some(Arc::new(FaultPlan::transient_burst(1))));
+    let e = g.replay(&fragile).unwrap_err();
+    assert!(matches!(e, Error::TransientLaunchFailure { attempts: 1, .. }), "{e:?}");
+
+    // Resilient policy: a two-fault burst is absorbed and the replay
+    // completes with correct results.
+    let sturdy = disarmed()
+        .with_fault_plan(Some(Arc::new(FaultPlan::transient_burst(2))))
+        .with_retry_policy(RetryPolicy::resilient());
+    g.replay(&sturdy).unwrap();
+    assert!(out.to_vec().iter().enumerate().all(|(i, &v)| v == i as u32 * 2 + 1));
+    assert_eq!(g.fast_replays(), 0);
+}
+
+/// The race sanitizer sees kernels executed via replay: a same-element
+/// write race in a recorded node is reported as the typed `DataRace`.
+#[test]
+fn sanitizer_detects_race_through_replay() {
+    let _s = serial();
+    let n = 64;
+    let b = Buffer::<u32>::new(n);
+    let bv = b.view();
+    let q = disarmed();
+    let g = Graph::record(&q, |g| {
+        g.parallel_for("g_racy", Range::d1(n), &[writes(&b)], move |it| {
+            bv.set(0, it.gid(0) as u32); // every item writes element 0
+        });
+    })
+    .unwrap();
+
+    let watched = disarmed().with_sanitizer(true);
+    let e = g.replay(&watched).unwrap_err();
+    assert!(matches!(e, Error::DataRace { kernel: "g_racy", element: 0, .. }), "{e:?}");
+    assert_eq!(g.fast_replays(), 0);
+}
+
+/// A seeded bit-flip between replays is caught by the integrity layer's
+/// launch-boundary verification inside the replayed plan, with the same
+/// typed localisation a live launch produces; a retry budget heals it.
+#[test]
+fn integrity_detects_flip_through_replay_and_retry_heals() {
+    let _s = serial();
+    let _a = Armed::new();
+    let n = 600; // 2400 B -> pages 0..=2
+    let src = Buffer::from_slice(&vec![5u32; n]);
+    let mid = Buffer::<u32>::new(n);
+    let out = Buffer::<u32>::new(n);
+    let q = disarmed();
+    let g = doubling_graph(&src, &mid, &out, &q);
+
+    let plan = Arc::new(FaultPlan::flip_at(src.object_id(), 1500, 2));
+    let armed = disarmed()
+        .with_integrity(true)
+        .with_fault_plan(Some(Arc::clone(&plan)));
+    let e = g.replay(&armed).unwrap_err();
+    assert_eq!(e, Error::DataCorruption { region: src.object_id(), page: 1, epoch: 1 });
+    assert_eq!(plan.flips_injected(), 1);
+
+    // Detection resealed the region; with a retry budget a fresh flip
+    // is absorbed and the replay completes.
+    let plan2 = Arc::new(FaultPlan::flip_at(mid.object_id(), 100, 7));
+    let healing = disarmed()
+        .with_integrity(true)
+        .with_fault_plan(Some(plan2))
+        .with_retry_policy(RetryPolicy::resilient());
+    g.replay(&healing).unwrap();
+    assert_eq!(g.fast_replays(), 0);
+}
+
+/// Dmr/Tmr redundancy applies to replayed nodes: the slow path votes
+/// and records the replica count per node, exactly like live launches.
+/// (Voting runs under the integrity protocol, so the layer is armed
+/// here, as `Queue::with_sdc_defense` would.)
+#[test]
+fn redundancy_votes_on_replayed_nodes() {
+    let _s = serial();
+    let armed_guard = Armed::new();
+    let n = 128;
+    let src = Buffer::from_slice(&vec![3u32; n]);
+    let mid = Buffer::<u32>::new(n);
+    let out = Buffer::<u32>::new(n);
+    let q = disarmed();
+    let g = doubling_graph(&src, &mid, &out, &q);
+
+    for (red, replicas) in [(Redundancy::Dmr, 2), (Redundancy::Tmr, 3)] {
+        let voting = disarmed().with_integrity(true).with_redundancy(red);
+        g.replay(&voting).unwrap();
+        assert_eq!(g.node_replicas(0), replicas, "{red:?}");
+        assert_eq!(g.node_replicas(1), replicas, "{red:?}");
+        assert!(out.to_vec().iter().all(|&v| v == 7));
+    }
+    assert_eq!(g.fast_replays(), 0);
+
+    // Disarmed single-execution replay resets the recorded replica count.
+    drop(armed_guard);
+    g.replay(&q).unwrap();
+    assert_eq!(g.node_replicas(0), 1);
+    assert_eq!(g.fast_replays(), 1);
+}
+
+/// Record once, mutate inputs, replay again: the graph pins structure
+/// (nodes, ranges, chunks), not contents — each replay reads the
+/// buffers as they are now. This is the contract the app timestep loops
+/// (SRAD's q0 parameter buffer, ParticleFilter's frame parameters)
+/// build on.
+#[test]
+fn record_mutate_replay_reads_current_contents() {
+    let _s = serial();
+    let n = 100;
+    let src = Buffer::from_slice(&vec![1u32; n]);
+    let mid = Buffer::<u32>::new(n);
+    let out = Buffer::<u32>::new(n);
+    let q = disarmed();
+    let g = doubling_graph(&src, &mid, &out, &q);
+
+    g.replay(&q).unwrap();
+    assert!(out.to_vec().iter().all(|&v| v == 3));
+
+    src.write_from(&vec![10u32; n]);
+    g.replay(&q).unwrap();
+    assert!(out.to_vec().iter().all(|&v| v == 21));
+
+    // Host-side writes between replays follow the same rule.
+    src.write(|s| s[..50].copy_from_slice(&[100; 50]));
+    g.replay(&q).unwrap();
+    let o = out.to_vec();
+    assert!(o[..50].iter().all(|&v| v == 201));
+    assert!(o[50..].iter().all(|&v| v == 21));
+}
+
+/// The same graph object flips between slow and fast path replay by
+/// replay, tracking each queue's arming state — and both paths compute
+/// the same bytes on both queue parallelism modes.
+#[test]
+fn fast_path_engages_exactly_when_disarmed() {
+    let _s = serial();
+    let n = 512;
+    let src = Buffer::from_slice(&(0..n as u32).collect::<Vec<_>>());
+    let mid = Buffer::<u32>::new(n);
+    let out = Buffer::<u32>::new(n);
+    let q = disarmed();
+    let g = doubling_graph(&src, &mid, &out, &q);
+
+    let armed = disarmed().with_sanitizer(true);
+    g.replay(&armed).unwrap(); // clean kernels: sanitizer passes, slow path
+    let slow = out.to_vec();
+    assert_eq!(g.replays(), 1);
+    assert_eq!(g.fast_replays(), 0);
+
+    g.replay(&q).unwrap();
+    let fast = out.to_vec();
+    assert_eq!(g.fast_replays(), 1);
+    assert_eq!(slow, fast);
+
+    let seq = disarmed().with_parallelism(Parallelism::Sequential);
+    g.replay(&seq).unwrap(); // inline, still the fast path
+    assert_eq!(out.to_vec(), fast);
+    assert_eq!(g.fast_replays(), 2);
+}

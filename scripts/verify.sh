@@ -50,4 +50,12 @@ done
 # disarmed launch (writes BENCH_sdc_overhead.json).
 ./target/release/sdc_overhead > /dev/null
 
-echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate all green"
+# Record-and-replay gates: the graph_replay microbench must show the
+# single-wake-up replay path at >= 5x lower per-launch overhead than the
+# hardened per-launch path, and --matrix re-verifies the five converted
+# apps (FDTD2D, SRAD, CFD, KMeans, ParticleFilter) against golden under
+# sequential, pooled per-launch, AND pooled graph execution at size 1 —
+# any diverging cell or a missed gate exits nonzero.
+./target/release/graph_replay /tmp/BENCH_graph_replay.json --gate 5 --matrix > /dev/null
+
+echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate + graph replay gate all green"
