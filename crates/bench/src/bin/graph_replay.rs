@@ -15,16 +15,27 @@
 //!   (tiny grid, thousands of steps) where the non-kernel share
 //!   dominates and the win is well clear of scheduler noise.
 //!
-//! `--matrix` additionally runs the 5-app × 3-flavor graph-equivalence
-//! matrix at size 1 (sequential / pooled per-launch / pooled graph, all
-//! against golden) and fails on any diverging cell.
+//! * **fusion microbench + fused end-to-end** — a recorded chain of
+//!   four fusible elementwise kernels (plus one dead store) compiled
+//!   with the optimizer off and on (`OptimizedGraph`): the full pipeline
+//!   fuses the chain into a single launch and eliminates the dead store,
+//!   and the replay-time ratio is reported. End-to-end, FDTD2D (3 → 2
+//!   launches/step via hx+hy fusion) and CFD FP32 (copy + 2 launches →
+//!   swap + 1 fused launch) run fused vs unfused at launch-bound
+//!   configurations; `--fusion-gate X` exits nonzero when the FDTD2D
+//!   fused speedup falls below X.
+//!
+//! `--matrix` additionally runs the 5-app × 4-flavor graph-equivalence
+//! matrix at size 1 (sequential / pooled per-launch / pooled graph /
+//! pooled graph-opt, all against golden) and fails on any diverging
+//! cell.
 //!
 //! Writes `BENCH_graph_replay.json` (or the path given as the first
 //! positional argument).
 //!
 //! Usage:
 //! ```text
-//! graph_replay [out.json] [--replays N] [--gate X] [--matrix]
+//! graph_replay [out.json] [--replays N] [--gate X] [--fusion-gate X] [--matrix]
 //! ```
 
 use std::fmt::Write as _;
@@ -86,6 +97,7 @@ fn main() {
     let mut out_path = "BENCH_graph_replay.json".to_string();
     let mut replays = DEFAULT_REPLAYS;
     let mut gate: Option<f64> = None;
+    let mut fusion_gate: Option<f64> = None;
     let mut matrix = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -94,6 +106,7 @@ fn main() {
                 replays = it.next().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_REPLAYS)
             }
             "--gate" => gate = it.next().and_then(|v| v.parse().ok()),
+            "--fusion-gate" => fusion_gate = it.next().and_then(|v| v.parse().ok()),
             "--matrix" => matrix = true,
             _ => out_path = a.clone(),
         }
@@ -171,6 +184,101 @@ fn main() {
         lb_graph * 1e3
     );
 
+    // --- graph optimizer: fusion microbench ---
+    //
+    // Four elementwise kernels over the same range, each owning its
+    // buffer, plus one dead store into an undeclared scratch buffer.
+    // The full pipeline eliminates the dead store and fuses the chain
+    // into a single launch; replaying both schedules back-to-back
+    // isolates the per-node dispatch cost the fusion pass removes.
+    const FUSE_NODES: usize = 4;
+    let fuse_bufs: Vec<Buffer<f32>> = (0..FUSE_NODES).map(|_| Buffer::<f32>::new(ITEMS)).collect();
+    let scratch = Buffer::<f32>::new(ITEMS);
+    let record_fusible = || {
+        Graph::record(&q, |g| {
+            for buf in &fuse_bufs {
+                let view = buf.view();
+                g.parallel_for(
+                    "fuse_storm",
+                    Range::d1(ITEMS),
+                    &[reads_writes_item(buf)],
+                    move |it: Item| {
+                        let i = it.gid(0);
+                        view.set(i, view.get(i).mul_add(1.0, 0.5));
+                    },
+                );
+            }
+            let sv = scratch.view();
+            g.parallel_for(
+                "dead_store",
+                Range::d1(ITEMS),
+                &[writes_dense(&scratch)],
+                move |it: Item| sv.set(it.gid(0), 0.0),
+            );
+            for buf in &fuse_bufs {
+                g.output(buf);
+            }
+        })
+        .expect("record failed")
+    };
+    let unfused = OptimizedGraph::compile(record_fusible(), GraphOptLevel::none())
+        .expect("compile (level none) failed");
+    let fused = OptimizedGraph::compile(record_fusible(), GraphOptLevel::full())
+        .expect("compile (level full) failed");
+    println!("  optimizer: {}", fused.report());
+    assert_eq!(
+        fused.report().eliminated,
+        vec!["dead_store".to_string()],
+        "dead store should be eliminated"
+    );
+    assert_eq!(fused.report().launches_after, 1, "chain should fuse to one launch");
+    let t_unfused = median3(replays, || unfused.replay(&q).expect("unfused replay failed"));
+    let t_fused = median3(replays, || fused.replay(&q).expect("fused replay failed"));
+    let fusion_ratio = t_unfused.as_secs_f64() / t_fused.as_secs_f64();
+    println!(
+        "  fusion microbench ({FUSE_NODES}+1 nodes -> 1): unfused {t_unfused:>10.3?}, fused {t_fused:>10.3?}, ratio {fusion_ratio:.2}x"
+    );
+
+    // FDTD2D fused end-to-end at the launch-bound configuration: the
+    // optimizer fuses hx+hy, cutting 3 launches/step to 2, on top of
+    // the replay win already measured above.
+    let lb_fused = fdtd2d_seconds(&q, &lb, ExecMode::GraphOptimized);
+    let fdtd_fused_speedup = lb_graph / lb_fused;
+    println!(
+        "  FDTD2D launch-bound fused: graph {:.1} ms, graph-opt {:.1} ms, fused speedup {fdtd_fused_speedup:.2}x",
+        lb_graph * 1e3,
+        lb_fused * 1e3
+    );
+
+    // CFD fused end-to-end: the recorded save_state copy becomes an
+    // O(1) buffer swap and flux+time_step fuse, so each replay runs one
+    // launch instead of a full copy plus two launches. Small mesh, many
+    // iterations keeps the run launch-bound.
+    let cfd_p = altis_data::CfdParams { nelr: 256, iterations: 800 };
+    let cfd_seconds = |mode: ExecMode| {
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                let out = altis_core::cfd::run_with::<f32>(&q, &cfd_p, AppVersion::SyclOptimized, mode);
+                let dt = t0.elapsed().as_secs_f64();
+                assert!(out.iter().all(|v| v.is_finite()));
+                dt
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[1]
+    };
+    let cfd_graph_s = cfd_seconds(ExecMode::Graph);
+    let cfd_fused_s = cfd_seconds(ExecMode::GraphOptimized);
+    let cfd_fused_speedup = cfd_graph_s / cfd_fused_s;
+    println!(
+        "  CFD launch-bound (nelr {}, {} iters): graph {:.1} ms, graph-opt {:.1} ms, fused speedup {cfd_fused_speedup:.2}x",
+        cfd_p.nelr,
+        cfd_p.iterations,
+        cfd_graph_s * 1e3,
+        cfd_fused_s * 1e3
+    );
+
     let mut matrix_json = String::from("null");
     if matrix {
         println!("  equivalence matrix (size 1):");
@@ -210,7 +318,12 @@ fn main() {
          \"fdtd2d_s1_speedup\": {:.3},\n  \
          \"fdtd2d_launch_bound_dim\": {},\n  \"fdtd2d_launch_bound_steps\": {},\n  \
          \"fdtd2d_launch_bound_per_launch_s\": {:.6},\n  \"fdtd2d_launch_bound_graph_s\": {:.6},\n  \
-         \"fdtd2d_launch_bound_speedup\": {:.3},\n  \"matrix\": {matrix_json}\n}}\n",
+         \"fdtd2d_launch_bound_speedup\": {:.3},\n  \
+         \"fusion_microbench_ratio\": {:.3},\n  \
+         \"fdtd2d_launch_bound_fused_s\": {:.6},\n  \"fdtd2d_fused_speedup\": {:.3},\n  \
+         \"cfd_nelr\": {},\n  \"cfd_iterations\": {},\n  \
+         \"cfd_graph_s\": {:.6},\n  \"cfd_fused_s\": {:.6},\n  \"cfd_fused_speedup\": {:.3},\n  \
+         \"matrix\": {matrix_json}\n}}\n",
         replayed.as_secs_f64(),
         submitted.as_secs_f64(),
         replay_us,
@@ -225,6 +338,14 @@ fn main() {
         lb_per_launch,
         lb_graph,
         lb_speedup,
+        fusion_ratio,
+        lb_fused,
+        fdtd_fused_speedup,
+        cfd_p.nelr,
+        cfd_p.iterations,
+        cfd_graph_s,
+        cfd_fused_s,
+        cfd_fused_speedup,
     );
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("cannot write '{out_path}': {e}");
@@ -238,5 +359,12 @@ fn main() {
             std::process::exit(1);
         }
         println!("gate {g}x passed ({ratio:.2}x)");
+    }
+    if let Some(g) = fusion_gate {
+        if fdtd_fused_speedup < g {
+            eprintln!("FAIL: FDTD2D fused speedup {fdtd_fused_speedup:.2}x below gate {g}x");
+            std::process::exit(1);
+        }
+        println!("fusion gate {g}x passed ({fdtd_fused_speedup:.2}x)");
     }
 }

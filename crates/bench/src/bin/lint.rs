@@ -32,6 +32,15 @@
 //!   scale: allocations inside a timestep loop defeat the recycling
 //!   slab and the recorded-graph fast path. Hoist the allocation above
 //!   the loop, or route it through `Queue::recycled_buffer`.
+//! * **graph-empty-bindings** — no literal `&[]` binding list in a
+//!   launch call. An empty binding list hides the launch's data
+//!   accesses from record-time dependency analysis and from the graph
+//!   optimizer: phases over-serialize conservatively, and fusion /
+//!   dead-launch elimination / ping-pong rewriting all refuse to touch
+//!   a node whose footprint is undeclared. Declare the accesses
+//!   (`reads` / `writes_dense` / `reads_writes_item` / ...), or justify
+//!   a genuinely access-free body with
+//!   `// lint:allow(graph-empty-bindings)`.
 //!
 //! A violation is suppressed by a `// lint:allow(rule-name)` comment on
 //! the same line or the line above — used where an application
@@ -671,6 +680,29 @@ fn lint_file(file: &Path, text: &str, violations: &mut Vec<Violation>) -> usize 
                 continue;
             }
             let Some(close) = matching_bracket(&masked, q) else { continue };
+            // graph-empty-bindings: a literal `&[]` anywhere in the
+            // argument list means this launch declares no accesses.
+            let args = &masked[q + 1..close];
+            let mut a = 0;
+            while let Some(amp) = find(args, b"&[", a) {
+                a = amp + 2;
+                let mut j = amp + 2;
+                while j < args.len() && args[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if args.get(j) == Some(&b']') {
+                    let line = line_of(text, q + 1 + amp);
+                    if !allowed(&allows, "graph-empty-bindings", line) {
+                        let snippet = text.lines().nth(line - 1).unwrap_or("").to_string();
+                        violations.push(Violation {
+                            file: file.to_path_buf(),
+                            line,
+                            rule: "graph-empty-bindings",
+                            snippet,
+                        });
+                    }
+                }
+            }
             let bodies = closure_bodies(&masked, q + 1, close);
             scanned += bodies.len();
             for (lo, hi) in bodies {

@@ -335,20 +335,95 @@ pub fn run_with<T: Real>(
                 q.parallel_for("time_step", Range::d1(n), ts_kernel.clone());
             }
         }
-        ExecMode::Graph => {
+        ExecMode::Graph | ExecMode::GraphOptimized => {
+            // The recording saves the state into `old` and makes the
+            // update a *pure write* of `vars` from `old` — bit-identical
+            // to the per-launch in-place update (which only ever reads
+            // pre-update values), and exactly the shape the optimizer
+            // exploits: the save copy legally becomes an O(1) storage
+            // swap, and the pure-write time_step fuses with compute_flux
+            // (the flux gather reads `old`, never `vars`). Recorded:
+            // copy + 2 launches; optimized: swap + 1 fused launch.
+            let old = Buffer::<T>::new(n * NVAR);
+            let g_flux_kernel = {
+                let (ov, fv, nbv, nov) =
+                    (old.view(), fluxes.view(), nbrs.view(), norms.view());
+                move |it: Item| {
+                    let e = it.gid(0);
+                    let load = |idx: usize| -> [T; NVAR] {
+                        [
+                            ov.get(idx * NVAR),
+                            ov.get(idx * NVAR + 1),
+                            ov.get(idx * NVAR + 2),
+                            ov.get(idx * NVAR + 3),
+                            ov.get(idx * NVAR + 4),
+                        ]
+                    };
+                    let far = {
+                        let density = T::from_f64(1.0);
+                        let vx = T::from_f64(0.3);
+                        let energy = T::from_f64(1.0 / (GAMMA - 1.0))
+                            + T::from_f64(0.5) * density * vx * vx;
+                        [density, density * vx, T::default(), T::default(), energy]
+                    };
+                    let ve = load(e);
+                    let mut flux = [T::default(); NVAR];
+                    for f in 0..NNB {
+                        let nb = nbv.get(e * NNB + f);
+                        let normal = [
+                            nov.get((e * NNB + f) * 3),
+                            nov.get((e * NNB + f) * 3 + 1),
+                            nov.get((e * NNB + f) * 3 + 2),
+                        ];
+                        let vn = if nb >= 0 { load(nb as usize) } else { far };
+                        let fe = flux_contribution(&ve, &normal);
+                        let fn_ = flux_contribution(&vn, &normal);
+                        for v in 0..NVAR {
+                            flux[v] = flux[v] + T::from_f64(0.5) * (fe[v] + fn_[v]);
+                        }
+                    }
+                    for v in 0..NVAR {
+                        fv.set(e * NVAR + v, flux[v]);
+                    }
+                }
+            };
+            let g_ts_kernel = {
+                let (vv, ov, fv, vov) =
+                    (vars.view(), old.view(), fluxes.view(), vols.view());
+                move |it: Item| {
+                    let e = it.gid(0);
+                    let factor = T::from_f64(CFL * 0.01) / vov.get(e);
+                    for v in 0..NVAR {
+                        vv.set(
+                            e * NVAR + v,
+                            ov.get(e * NVAR + v) - factor * fv.get(e * NVAR + v),
+                        );
+                    }
+                }
+            };
             let graph = Graph::record(q, |g| {
-                g.parallel_for(
-                    "compute_flux",
-                    Range::d1(n),
-                    &[reads(&vars), reads(&nbrs), reads(&norms), writes(&fluxes)],
-                    flux_kernel,
-                )
-                .parallel_for(
-                    "time_step",
-                    Range::d1(n),
-                    &[reads(&fluxes), reads(&vols), reads_writes(&vars)],
-                    ts_kernel,
-                );
+                g.copy("save_state", &vars, &old)
+                    .parallel_for(
+                        "compute_flux",
+                        Range::d1(n),
+                        &[reads(&old), reads(&nbrs), reads(&norms), writes_item(&fluxes)],
+                        g_flux_kernel,
+                    )
+                    .parallel_for(
+                        "time_step",
+                        Range::d1(n),
+                        &[
+                            reads_item(&old),
+                            reads_item(&vols),
+                            reads_item(&fluxes),
+                            writes_dense(&vars),
+                        ],
+                        g_ts_kernel,
+                    )
+                    .output(&vars);
+            })
+            .and_then(|g| {
+                hetero_rt::OptimizedGraph::compile(g, mode.graph_opt_level().unwrap_or_default())
             })
             .unwrap_or_else(|e| std::panic::panic_any(e));
             for _ in 0..p.iterations {
@@ -536,6 +611,21 @@ mod tests {
         assert_eq!(a, b);
         let a = run_with::<f64>(&q, &p, AppVersion::SyclOptimized, ExecMode::PerLaunch);
         let b = run_with::<f64>(&q, &p, AppVersion::SyclOptimized, ExecMode::Graph);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_optimized_mode_agrees_exactly() {
+        // The optimized replay (save copy → O(1) swap, flux+time_step
+        // fused) must be bit-identical to the per-launch baseline in
+        // both precisions.
+        let p = tiny();
+        let q = Queue::new(Device::cpu());
+        let a = run_with::<f32>(&q, &p, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+        let b = run_with::<f32>(&q, &p, AppVersion::SyclOptimized, ExecMode::GraphOptimized);
+        assert_eq!(a, b);
+        let a = run_with::<f64>(&q, &p, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+        let b = run_with::<f64>(&q, &p, AppVersion::SyclOptimized, ExecMode::GraphOptimized);
         assert_eq!(a, b);
     }
 

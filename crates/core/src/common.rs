@@ -30,8 +30,28 @@ pub enum ExecMode {
     #[default]
     PerLaunch,
     /// Record the loop body once into a [`hetero_rt::Graph`] and replay
-    /// it every iteration with a single worker-pool wake-up.
+    /// it every iteration with a single worker-pool wake-up. The
+    /// optimizer pass pipeline runs at the level selected by the
+    /// `HETERO_RT_GRAPH_OPT` environment variable (default: none).
     Graph,
+    /// Like [`ExecMode::Graph`] with the full optimizer pipeline forced
+    /// on (kernel fusion, dead-launch elimination, ping-pong rewrite,
+    /// invariant hoisting), independent of the environment. The suite's
+    /// graph matrix uses this to pin optimized-replay correctness
+    /// without process-global environment mutation.
+    GraphOptimized,
+}
+
+impl ExecMode {
+    /// The optimizer level this mode compiles recorded graphs with, or
+    /// `None` when the app submits launches individually.
+    pub fn graph_opt_level(self) -> Option<hetero_rt::GraphOptLevel> {
+        match self {
+            ExecMode::PerLaunch => None,
+            ExecMode::Graph => Some(hetero_rt::GraphOptLevel::from_env()),
+            ExecMode::GraphOptimized => Some(hetero_rt::GraphOptLevel::full()),
+        }
+    }
 }
 
 /// Which FPGA design of an application to evaluate.

@@ -201,37 +201,50 @@ pub fn run_with(
                 q.parallel_for("finalize", Range::d1(k), fin_kernel.clone());
             }
         }
-        ExecMode::Graph => {
+        ExecMode::Graph | ExecMode::GraphOptimized => {
             let graph = Graph::record(q, |g| {
                 g.parallel_for(
                     "map_centers",
                     Range::d1(n),
-                    &[reads(&pts), reads(&centers), writes(&membership)],
+                    &[reads(&pts), reads(&centers), writes_dense(&membership)],
                     map_kernel,
                 )
                 .parallel_for(
                     "reset",
                     Range::d1(k * nf),
-                    &[writes(&acc), writes(&counts)],
+                    &[writes_dense(&acc), writes_item(&counts)],
                     reset_kernel,
                 )
+                // The atomic scatter keeps whole-buffer read-write
+                // footprints: any item may bump any cluster, so fusing
+                // or hoisting around it is (correctly) illegal. Reset is
+                // likewise pinned in the steady schedule because
+                // accumulate also writes acc/counts.
                 .parallel_for(
                     "accumulate",
                     Range::d1(n),
                     &[
                         reads(&pts),
-                        reads(&membership),
+                        reads_item(&membership),
                         reads_writes(&acc),
                         reads_writes(&counts),
                     ],
                     acc_kernel,
                 )
+                // finalize only *writes* centers (conditionally, so the
+                // footprint stays Item, never ItemDense) — the previous
+                // reads_writes declaration was over-broad.
                 .parallel_for(
                     "finalize",
                     Range::d1(k),
-                    &[reads(&acc), reads(&counts), reads_writes(&centers)],
+                    &[reads_item(&acc), reads_item(&counts), writes_item(&centers)],
                     fin_kernel,
-                );
+                )
+                .output(&centers)
+                .output(&membership);
+            })
+            .and_then(|g| {
+                hetero_rt::OptimizedGraph::compile(g, mode.graph_opt_level().unwrap_or_default())
             })
             .unwrap_or_else(|e| std::panic::panic_any(e));
             for _ in 0..p.iterations {

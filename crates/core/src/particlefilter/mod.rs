@@ -200,21 +200,28 @@ pub fn run_with(
     let params = Buffer::<f32>::new(3);
     let mut out = PfOutput { xe: Vec::new(), ye: Vec::new() };
 
+    let opt = |g: Graph| {
+        hetero_rt::OptimizedGraph::compile(g, mode.graph_opt_level().unwrap_or_default())
+    };
     let graphs = match mode {
         ExecMode::PerLaunch => None,
-        ExecMode::Graph => {
+        ExecMode::Graph | ExecMode::GraphOptimized => {
             let propagate = Graph::record(q, |g| {
                 let (xv, yv, wv, sv) = (xs.view(), ys.view(), weights.view(), seeds.view());
                 let pv = params.view();
+                // Every buffer is observable after the replay (the host
+                // reads weights/positions; seeds carry RNG state into
+                // the next frame), so all four are declared outputs —
+                // dead-launch elimination must keep this sole launch.
                 g.parallel_for(
                     "pf_propagate_weight",
                     Range::d1(n),
                     &[
                         reads(&params),
-                        reads_writes(&xs),
-                        reads_writes(&ys),
-                        reads_writes(&seeds),
-                        writes(&weights),
+                        reads_writes_item(&xs),
+                        reads_writes_item(&ys),
+                        reads_writes_item(&seeds),
+                        writes_dense(&weights),
                     ],
                     move |it| {
                         let (tx, ty) = (pv.get(0), pv.get(1));
@@ -225,8 +232,13 @@ pub fn run_with(
                         sv.set(i, rng.state);
                         wv.set(i, likelihood(variant, xv.get(i), yv.get(i), tx, ty));
                     },
-                );
+                )
+                .output(&xs)
+                .output(&ys)
+                .output(&weights)
+                .output(&seeds);
             })
+            .and_then(&opt)
             .unwrap_or_else(|e| std::panic::panic_any(e));
             let resample = Graph::record(q, |g| {
                 let (cv, xv, yv, nxv, nyv) =
@@ -235,13 +247,15 @@ pub fn run_with(
                 g.parallel_for(
                     "pf_find_index",
                     Range::d1(n),
+                    // xs/ys are gathered at the CDF-walk index, so their
+                    // reads stay whole-buffer.
                     &[
                         reads(&params),
                         reads(&cdfb),
                         reads(&xs),
                         reads(&ys),
-                        writes(&nxs),
-                        writes(&nys),
+                        writes_dense(&nxs),
+                        writes_dense(&nys),
                     ],
                     move |it| {
                         let u0 = pv.get(2);
@@ -258,8 +272,11 @@ pub fn run_with(
                         nxv.set(j, xv.get(idx));
                         nyv.set(j, yv.get(idx));
                     },
-                );
+                )
+                .output(&nxs)
+                .output(&nys);
             })
+            .and_then(&opt)
             .unwrap_or_else(|e| std::panic::panic_any(e));
             Some((propagate, resample))
         }

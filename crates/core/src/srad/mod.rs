@@ -165,7 +165,7 @@ pub fn run_with(q: &Queue, p: &SradParams, _version: AppVersion, mode: ExecMode)
                 });
             }
         }
-        ExecMode::Graph => {
+        ExecMode::Graph | ExecMode::GraphOptimized => {
             // q0 changes every iteration, so it rides in a one-element
             // parameter buffer the recorded kernel reads at replay time.
             let q0b = Buffer::<f32>::new(1);
@@ -177,14 +177,17 @@ pub fn run_with(q: &Queue, p: &SradParams, _version: AppVersion, mode: ExecMode)
                 g.parallel_for(
                     "srad_1",
                     Range::d2(n, n),
+                    // Each item writes exactly its own cell of the five
+                    // derivative planes: dense item footprints. The image
+                    // is a neighbourhood gather, so its read stays Whole.
                     &[
                         reads(&img),
                         reads(&q0b),
-                        writes(&c),
-                        writes(&dn),
-                        writes(&ds),
-                        writes(&de),
-                        writes(&dw),
+                        writes_dense(&c),
+                        writes_dense(&dn),
+                        writes_dense(&ds),
+                        writes_dense(&de),
+                        writes_dense(&dw),
                     ],
                     move |it| {
                         let q0 = q0v.get(0);
@@ -214,13 +217,17 @@ pub fn run_with(q: &Queue, p: &SradParams, _version: AppVersion, mode: ExecMode)
                 g.parallel_for(
                     "srad_2",
                     Range::d2(n, n),
+                    // c is gathered at neighbours (Whole read) — this is
+                    // exactly what makes fusing srad_1+srad_2 illegal:
+                    // srad_1 dense-writes what srad_2 gathers. The
+                    // derivative planes are read at the item's own cell.
                     &[
                         reads(&c),
-                        reads(&dn),
-                        reads(&ds),
-                        reads(&de),
-                        reads(&dw),
-                        reads_writes(&img),
+                        reads_item(&dn),
+                        reads_item(&ds),
+                        reads_item(&de),
+                        reads_item(&dw),
+                        reads_writes_item(&img),
                     ],
                     move |it| {
                         let (x, y) = (it.gid(0), it.gid(1));
@@ -236,6 +243,10 @@ pub fn run_with(q: &Queue, p: &SradParams, _version: AppVersion, mode: ExecMode)
                         iv.update(i, |v| v + 0.25 * lambda * d);
                     },
                 );
+                g.output(&img);
+            })
+            .and_then(|g| {
+                hetero_rt::OptimizedGraph::compile(g, mode.graph_opt_level().unwrap_or_default())
             })
             .unwrap_or_else(|e| std::panic::panic_any(e));
             for _ in 0..p.iterations {

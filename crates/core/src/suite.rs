@@ -657,6 +657,9 @@ pub enum GraphFlavor {
     PerLaunch,
     /// Pooled queue, recorded-graph replay.
     Graph,
+    /// Pooled queue, recorded-graph replay with the full optimizer
+    /// pipeline (fusion, dead-launch elimination, ping-pong, hoisting).
+    GraphOpt,
 }
 
 impl GraphFlavor {
@@ -666,6 +669,7 @@ impl GraphFlavor {
             GraphFlavor::Sequential => "sequential",
             GraphFlavor::PerLaunch => "per-launch",
             GraphFlavor::Graph => "graph",
+            GraphFlavor::GraphOpt => "graph-opt",
         }
     }
 }
@@ -684,10 +688,13 @@ pub fn graph_mode_matrix(size: InputSize) -> Vec<GraphMatrixRow> {
     let seq = Queue::new(Device::cpu())
         .with_parallelism(hetero_rt::executor::Parallelism::Sequential);
     let pooled = Queue::new(Device::cpu());
-    let cells: [(&Queue, GraphFlavor, ExecMode); 3] = [
+    let cells: [(&Queue, GraphFlavor, ExecMode); 4] = [
         (&seq, GraphFlavor::Sequential, ExecMode::PerLaunch),
         (&pooled, GraphFlavor::PerLaunch, ExecMode::PerLaunch),
         (&pooled, GraphFlavor::Graph, ExecMode::Graph),
+        // GraphOptimized forces the full pass pipeline through the app
+        // code itself — no process-global HETERO_RT_GRAPH_OPT mutation.
+        (&pooled, GraphFlavor::GraphOpt, ExecMode::GraphOptimized),
     ];
     let mut rows = Vec::new();
     for (q, flavor, mode) in cells {
@@ -949,8 +956,8 @@ mod tests {
     #[test]
     fn graph_matrix_matches_golden_at_size_1() {
         let rows = graph_mode_matrix(InputSize::S1);
-        // 5 apps × 3 flavors, every cell green.
-        assert_eq!(rows.len(), 15);
+        // 5 apps × 4 flavors, every cell green.
+        assert_eq!(rows.len(), 20);
         let failed: Vec<_> = rows
             .iter()
             .filter(|(_, _, ok)| !ok)

@@ -29,7 +29,11 @@ pub mod ir;
 pub mod printer;
 pub mod verify;
 
-pub use analysis::{KernelCost, LoopCost};
+pub use analysis::{
+    optimize_plan, DeadLaunchElimination, InvariantHoist, KernelCost, KernelFusion, LoopCost,
+    OptReport, OptimizedPlan, PassToggles, PingPongRewrite, PlanAccess, PlanBinding,
+    PlanFootprint, PlanGraph, PlanNode, PlanPass, PlanStep,
+};
 pub use builder::{KernelBuilder, LoopBuilder};
 pub use printer::{print_kernel, validate_kernel, ValidationError};
 pub use verify::{verify_kernel, verify_kernels, DeviceLimits, VerifyError};

@@ -80,12 +80,33 @@ pub enum Access {
     ReadWrite,
 }
 
-/// One (object, access-mode) pair attached to a recorded launch; built
-/// with [`reads`], [`writes`] or [`reads_writes`].
+/// Declared access *footprint* of one recorded launch on one object:
+/// how far the launch's accesses to that object may reach. Footprints
+/// are what make kernel fusion legality provable — see
+/// [`crate::graph_opt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Footprint {
+    /// Accesses may touch any element (gathers, scatters, stencils).
+    /// The conservative default of [`reads`] / [`writes`] /
+    /// [`reads_writes`].
+    Whole,
+    /// Every work-item touches only its own canonical slice of the
+    /// object — the same item→slice mapping in every launch that
+    /// declares an item footprint on this object over the same range.
+    Item,
+    /// [`Footprint::Item`], and the union of all items' slices covers
+    /// the entire object (a dense per-item overwrite).
+    ItemDense,
+}
+
+/// One (object, access-mode, footprint) declaration attached to a
+/// recorded launch; built with [`reads`], [`writes`], [`reads_writes`]
+/// or their `_item` / `_dense` refinements.
 #[derive(Debug, Clone, Copy)]
 pub struct Binding {
-    object: u64,
-    access: Access,
+    pub(crate) object: u64,
+    pub(crate) access: Access,
+    pub(crate) footprint: Footprint,
 }
 
 /// Anything with a stable runtime object identity a [`Binding`] can name:
@@ -107,19 +128,47 @@ impl<T: Copy + Default + 'static> GraphResource for UsmAlloc<T> {
     }
 }
 
-/// Declare that a recorded launch reads `r`.
+/// Declare that a recorded launch reads `r` (whole-object footprint).
 pub fn reads(r: &impl GraphResource) -> Binding {
-    Binding { object: r.graph_object_id(), access: Access::Read }
+    Binding { object: r.graph_object_id(), access: Access::Read, footprint: Footprint::Whole }
 }
 
-/// Declare that a recorded launch writes `r` (without reading it).
+/// Declare that a recorded launch writes `r` (without reading it;
+/// whole-object footprint).
 pub fn writes(r: &impl GraphResource) -> Binding {
-    Binding { object: r.graph_object_id(), access: Access::Write }
+    Binding { object: r.graph_object_id(), access: Access::Write, footprint: Footprint::Whole }
 }
 
-/// Declare that a recorded launch both reads and writes `r`.
+/// Declare that a recorded launch both reads and writes `r`
+/// (whole-object footprint).
 pub fn reads_writes(r: &impl GraphResource) -> Binding {
-    Binding { object: r.graph_object_id(), access: Access::ReadWrite }
+    Binding { object: r.graph_object_id(), access: Access::ReadWrite, footprint: Footprint::Whole }
+}
+
+/// Declare that a recorded launch reads `r`, each work-item touching
+/// only its own canonical slice.
+pub fn reads_item(r: &impl GraphResource) -> Binding {
+    Binding { object: r.graph_object_id(), access: Access::Read, footprint: Footprint::Item }
+}
+
+/// Declare that a recorded launch writes `r`, each work-item touching
+/// only its own canonical slice (some items may write nothing).
+pub fn writes_item(r: &impl GraphResource) -> Binding {
+    Binding { object: r.graph_object_id(), access: Access::Write, footprint: Footprint::Item }
+}
+
+/// Declare that a recorded launch overwrites `r` densely: every
+/// work-item writes exactly its own canonical slice and the slices
+/// cover the whole object. The strongest declaration — it is what lets
+/// the ping-pong pass prove a clobbered swap source is rewritten.
+pub fn writes_dense(r: &impl GraphResource) -> Binding {
+    Binding { object: r.graph_object_id(), access: Access::Write, footprint: Footprint::ItemDense }
+}
+
+/// Declare that a recorded launch both reads and writes `r`, each
+/// work-item confined to its own canonical slice.
+pub fn reads_writes_item(r: &impl GraphResource) -> Binding {
+    Binding { object: r.graph_object_id(), access: Access::ReadWrite, footprint: Footprint::Item }
 }
 
 /// Can two launches with these binding lists run concurrently?
@@ -137,6 +186,27 @@ fn conflicts(a: &[Binding], b: &[Binding]) -> bool {
 }
 
 type GroupKernel = Arc<dyn Fn(&GroupCtx) + Send + Sync>;
+
+/// The elementwise form of a launch recorded via
+/// [`GraphBuilder::parallel_for`], kept alongside the compiled group
+/// kernel so the optimizer's fusion pass can re-compose item kernels
+/// into a single launch (see [`crate::graph_opt`]).
+#[derive(Clone)]
+pub(crate) struct ItemKernel {
+    pub(crate) range: Range,
+    pub(crate) f: Arc<dyn Fn(Item) + Send + Sync>,
+}
+
+/// Copy-node metadata recorded by [`GraphBuilder::copy`]: the (src, dst)
+/// object pair plus a prepared O(1) contents swap
+/// ([`Buffer::swap_contents`]) the ping-pong pass may substitute for the
+/// element-wise copy.
+#[derive(Clone)]
+pub(crate) struct CopyInfo {
+    pub(crate) src: u64,
+    pub(crate) dst: u64,
+    pub(crate) swap: Arc<dyn Fn() -> Result<()> + Send + Sync>,
+}
 
 /// Preallocated per-launch slot: the stats / resilience fields an
 /// [`crate::event::Event`] would carry, reset and refilled on every
@@ -172,13 +242,13 @@ impl NodeSlot {
 }
 
 /// One recorded launch.
-struct Node {
-    name: &'static str,
+pub(crate) struct Node {
+    pub(crate) name: &'static str,
     nd: NdRange,
     groups_range: Range,
     num_groups: usize,
     reqd_max: Option<usize>,
-    bindings: Vec<Binding>,
+    pub(crate) bindings: Vec<Binding>,
     /// Indices of earlier nodes this node has a dependency edge to.
     deps: Vec<usize>,
     kernel: GroupKernel,
@@ -189,6 +259,10 @@ struct Node {
     /// Groups retired (executed or abandoned on cancellation).
     done: AtomicUsize,
     slot: NodeSlot,
+    /// Elementwise form when recorded via `parallel_for` (fusion input).
+    pub(crate) item: Option<ItemKernel>,
+    /// Copy metadata when recorded via `copy` (ping-pong input).
+    pub(crate) copy: Option<CopyInfo>,
 }
 
 impl Node {
@@ -196,6 +270,29 @@ impl Node {
         self.next.store(0, Ordering::Relaxed);
         self.done.store(0, Ordering::Relaxed);
         self.slot.reset();
+    }
+
+    /// A fresh executable copy of this node: shared kernel and metadata,
+    /// new claim/done/stat state and no derived schedule (deps and
+    /// chunks are recomputed by [`Graph::assemble`]). Used when
+    /// compiling optimized schedules.
+    pub(crate) fn replay_clone(&self) -> Node {
+        Node {
+            name: self.name,
+            nd: self.nd,
+            groups_range: self.groups_range,
+            num_groups: self.num_groups,
+            reqd_max: self.reqd_max,
+            bindings: self.bindings.clone(),
+            deps: Vec::new(),
+            kernel: Arc::clone(&self.kernel),
+            chunks: Vec::new(),
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            slot: NodeSlot::default(),
+            item: self.item.clone(),
+            copy: self.copy.clone(),
+        }
     }
 }
 
@@ -205,10 +302,27 @@ impl Node {
 pub struct GraphBuilder {
     caps: DeviceCaps,
     nodes: Vec<Node>,
+    outputs: Vec<u64>,
     err: Option<Error>,
 }
 
 impl GraphBuilder {
+    /// A builder against an explicit capability snapshot; the
+    /// optimizer's compile step uses this to rebuild fused launches with
+    /// the exact chunking the original recording used.
+    pub(crate) fn new(caps: DeviceCaps) -> GraphBuilder {
+        GraphBuilder { caps, nodes: Vec::new(), outputs: Vec::new(), err: None }
+    }
+
+    /// Surrender the recorded nodes and declared outputs, or the first
+    /// deferred validation error.
+    pub(crate) fn finish(self) -> Result<(Vec<Node>, Vec<u64>)> {
+        match self.err {
+            Some(e) => Err(e),
+            None => Ok((self.nodes, self.outputs)),
+        }
+    }
+
     /// Record a barrier-free data-parallel launch — the recorded
     /// equivalent of [`Queue::parallel_for`]. The flat range is chunked
     /// into implicit work-groups exactly the way the live path chunks
@@ -223,10 +337,14 @@ impl GraphBuilder {
     where
         F: Fn(Item) + Send + Sync + 'static,
     {
+        let f = Arc::new(f);
         let total = range.size();
         let chunk = 256.min(self.caps.max_work_group_size).min(total.max(1));
         let padded = total.div_ceil(chunk) * chunk;
         let nd = NdRange { global: Range::d1(padded), local: Range::d1(chunk) };
+        // Static dispatch on the hot path (Arc<F>, not Arc<dyn Fn>); the
+        // unsized clone below is only called by *fused* kernels.
+        let fk = Arc::clone(&f);
         let kernel = move |ctx: &GroupCtx| {
             ctx.items(|it| {
                 let lin = it.global_linear;
@@ -238,11 +356,68 @@ impl GraphBuilder {
                         local_linear: it.local_linear,
                         global_linear: lin,
                     };
-                    f(item);
+                    fk(item);
                 }
             });
         };
-        self.push(name, nd, None, bindings, Arc::new(kernel))
+        let before = self.nodes.len();
+        self.push(name, nd, None, bindings, Arc::new(kernel));
+        if self.nodes.len() > before {
+            if let Some(node) = self.nodes.last_mut() {
+                node.item = Some(ItemKernel { range, f });
+            }
+        }
+        self
+    }
+
+    /// Record a whole-buffer copy `src → dst` as an elementwise launch,
+    /// with item-precise bindings and a prepared O(1) swap alternative
+    /// the optimizer's ping-pong pass may substitute where legal. A
+    /// length mismatch fails the recording.
+    pub fn copy<T: Copy + Default + Send + 'static>(
+        &mut self,
+        name: &'static str,
+        src: &Buffer<T>,
+        dst: &Buffer<T>,
+    ) -> &mut Self {
+        if self.err.is_some() {
+            return self;
+        }
+        if src.len() != dst.len() {
+            self.err = Some(Error::AccessOutOfBounds {
+                offset: 0,
+                len: src.len(),
+                buffer_len: dst.len(),
+            });
+            return self;
+        }
+        let (sv, dv) = (src.view(), dst.view());
+        let bindings = [reads_item(src), writes_dense(dst)];
+        let (s, d) = (src.clone(), dst.clone());
+        let swap: Arc<dyn Fn() -> Result<()> + Send + Sync> =
+            Arc::new(move || s.swap_contents(&d));
+        let (src_id, dst_id) = (src.object_id(), dst.object_id());
+        let before = self.nodes.len();
+        self.parallel_for(name, Range::d1(src.len()), &bindings, move |it| {
+            let i = it.gid(0);
+            dv.set(i, sv.get(i));
+        });
+        if self.nodes.len() > before {
+            if let Some(node) = self.nodes.last_mut() {
+                node.copy = Some(CopyInfo { src: src_id, dst: dst_id, swap });
+            }
+        }
+        self
+    }
+
+    /// Declare `r` as an observable output of the graph: host code reads
+    /// it after replays. The optimizer's dead-launch elimination only
+    /// runs on graphs that declare outputs, and never removes a launch
+    /// whose writes feed one; the ping-pong pass never leaves an output
+    /// clobbered at the end of a replay.
+    pub fn output(&mut self, r: &impl GraphResource) -> &mut Self {
+        self.outputs.push(r.graph_object_id());
+        self
     }
 
     /// Record a work-group launch — the recorded equivalent of
@@ -321,6 +496,8 @@ impl GraphBuilder {
             next: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
             slot: NodeSlot::default(),
+            item: None,
+            copy: None,
         });
         self
     }
@@ -333,6 +510,8 @@ pub struct Graph {
     /// Half-open node-index ranges; nodes within one phase are mutually
     /// independent and execute concurrently, phases execute in order.
     phases: Vec<(usize, usize)>,
+    /// Object ids declared observable via [`GraphBuilder::output`].
+    outputs: Vec<u64>,
     caps: DeviceCaps,
     local_mem_limit: usize,
     max_groups: usize,
@@ -364,13 +543,18 @@ impl Graph {
         F: FnOnce(&mut GraphBuilder),
     {
         let caps = q.device().caps().clone();
-        let mut b = GraphBuilder { caps: caps.clone(), nodes: Vec::new(), err: None };
+        let mut b = GraphBuilder::new(caps.clone());
         build(&mut b);
-        if let Some(e) = b.err {
-            return Err(e);
-        }
-        let mut nodes = b.nodes;
+        let (nodes, outputs) = b.finish()?;
+        Ok(Graph::assemble(nodes, outputs, caps))
+    }
 
+    /// Derive the executable plan (dependency edges, phases, chunk
+    /// partitions) over an already-validated node sequence. `record`
+    /// lowers the builder through here; the graph optimizer re-enters it
+    /// to compile rewritten node sequences with identical scheduling
+    /// rules.
+    pub(crate) fn assemble(mut nodes: Vec<Node>, outputs: Vec<u64>, caps: DeviceCaps) -> Graph {
         // Dependency edges from declared access modes.
         for j in 1..nodes.len() {
             let deps: Vec<usize> = (0..j)
@@ -410,9 +594,10 @@ impl Graph {
         }
 
         let max_groups = nodes.iter().map(|n| n.num_groups).max().unwrap_or(0);
-        Ok(Graph {
+        Graph {
             nodes,
             phases,
+            outputs,
             local_mem_limit: caps.local_mem_bytes,
             caps,
             max_groups,
@@ -421,14 +606,29 @@ impl Graph {
             failure: Mutex::new(None),
             replays: AtomicU64::new(0),
             fast_replays: AtomicU64::new(0),
-        })
+        }
+    }
+
+    /// The recorded nodes (crate-internal: optimizer lowering input).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Declared output object ids (crate-internal: optimizer input).
+    pub(crate) fn output_ids(&self) -> &[u64] {
+        &self.outputs
+    }
+
+    /// The capability snapshot the graph was recorded against.
+    pub(crate) fn device_caps(&self) -> &DeviceCaps {
+        &self.caps
     }
 
     /// Whether the single-wake-up replay path may run on `q`: every
     /// hardening layer must be disarmed and the device capabilities must
     /// match the recorded snapshot. Anything else re-routes through the
     /// fully hardened per-launch path.
-    fn fast_eligible(&self, q: &Queue) -> bool {
+    pub(crate) fn fast_eligible(&self, q: &Queue) -> bool {
         !q.sanitizer_enabled()
             && q.fault_plan().is_none()
             && q.redundancy() == Redundancy::None

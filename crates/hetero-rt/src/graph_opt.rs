@@ -1,0 +1,694 @@
+//! Graph optimizer: rewrite a recorded launch graph before replaying it.
+//!
+//! PR 5's record-and-replay executor replays the recorded plan
+//! *verbatim*. This module lowers a recorded [`Graph`] into the
+//! `hetero-ir` plan representation ([`hetero_ir::PlanGraph`]), runs the
+//! pass pipeline ([`hetero_ir::optimize_plan`]) over it, and compiles
+//! the optimized schedule back into executable graphs:
+//!
+//! * **Kernel fusion** — schedule-adjacent elementwise launches with
+//!   identical item ranges merge into a single launch (`f1(it); f2(it)`
+//!   per item) when every shared object is either read by both sides or
+//!   declared with item-disjoint footprints on both sides. FDTD2D's
+//!   hx/hy field updates are the canonical win (3 → 2 launches per
+//!   timestep); SRAD's derivative→update pair is the canonical
+//!   *rejection* (the consumer gathers what the producer writes).
+//! * **Dead-launch elimination** — launches whose writes feed neither a
+//!   declared graph output ([`GraphBuilder::output`]) nor any other
+//!   launch are dropped. Only runs on graphs that declare outputs.
+//! * **Ping-pong rewrite** — a recorded whole-buffer copy
+//!   ([`GraphBuilder::copy`]) becomes an O(1) storage swap
+//!   ([`crate::Buffer::swap_contents`]) when the clobbered source is
+//!   provably overwritten densely before its next read. CFD's
+//!   save-state copy is the target (copy + 2 launches → swap + 1 fused
+//!   launch).
+//! * **Loop-invariant hoisting** — pure-write launches over objects no
+//!   other launch writes compute the same values every replay; they move
+//!   to a prologue graph executed once.
+//!
+//! # Armed-queue degradation contract
+//!
+//! The optimized steady schedule executes **only** on the fast replay
+//! path. Whenever the queue is armed (fault plan, sanitizer,
+//! redundancy, CPU fallback, integrity layer) or the device capability
+//! snapshot mismatches, [`OptimizedGraph::replay`] routes through the
+//! *original* recording's hardened [`Graph::submit_each`] path — every
+//! recorded launch, unfused, with every PR 2–4 resilience check active.
+//! This is sound in both directions because every rewrite preserves
+//! buffer *contents* semantics: fusion and elimination change only
+//! unobservable intermediate schedules, hoisted launches are idempotent,
+//! and a swap leaves the same observable values as the copy it replaced
+//! (the clobbered source is densely rewritten within the replay).
+//! Replays may therefore alternate between the optimized and hardened
+//! paths at any boundary.
+//!
+//! # Toggles
+//!
+//! Passes toggle independently via [`GraphOptLevel`]; the
+//! `HETERO_RT_GRAPH_OPT` environment variable selects a level at
+//! recording sites that opt in via [`GraphOptLevel::from_env`]
+//! (`0`/`none`, `1`/`full`, or a comma list of pass names:
+//! `fuse,dle,ping-pong,hoist`). Every rewrite is reported in a
+//! deterministic [`OptReport`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hetero_ir::{
+    optimize_plan, OptReport, PassToggles, PlanAccess, PlanBinding, PlanFootprint, PlanGraph,
+    PlanNode, PlanStep,
+};
+
+use crate::device::DeviceCaps;
+use crate::error::Result;
+use crate::graph::{Access, Binding, Footprint, Graph, GraphBuilder, Node};
+use crate::ndrange::Item;
+use crate::queue::Queue;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Which optimizer passes [`OptimizedGraph::compile`] runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphOptLevel {
+    /// Fuse adjacent compatible elementwise launches.
+    pub fuse: bool,
+    /// Eliminate launches with provably unobservable writes.
+    pub dle: bool,
+    /// Rewrite recorded copies into O(1) swaps.
+    pub ping_pong: bool,
+    /// Hoist loop-invariant pure-write launches into the prologue.
+    pub hoist: bool,
+}
+
+impl GraphOptLevel {
+    /// Every pass disabled: the compiled schedule replays the recording
+    /// verbatim (PR 5 behaviour).
+    pub fn none() -> Self {
+        GraphOptLevel::default()
+    }
+
+    /// Every pass enabled.
+    pub fn full() -> Self {
+        GraphOptLevel { fuse: true, dle: true, ping_pong: true, hoist: true }
+    }
+
+    /// Read the level from the `HETERO_RT_GRAPH_OPT` environment
+    /// variable; unset means [`GraphOptLevel::none`].
+    pub fn from_env() -> Self {
+        match std::env::var("HETERO_RT_GRAPH_OPT") {
+            Ok(v) => Self::parse(&v),
+            Err(_) => Self::none(),
+        }
+    }
+
+    /// Parse a level string: `0`/`none`/`off`/empty → none,
+    /// `1`/`full`/`all`/`on` → full, otherwise a comma-separated list of
+    /// pass names (`fuse`, `dle`, `ping-pong`, `hoist`); unknown tokens
+    /// are ignored.
+    pub fn parse(s: &str) -> Self {
+        let t = s.trim().to_ascii_lowercase();
+        match t.as_str() {
+            "" | "0" | "none" | "off" => return Self::none(),
+            "1" | "full" | "all" | "on" => return Self::full(),
+            _ => {}
+        }
+        let mut level = Self::none();
+        for tok in t.split(',') {
+            match tok.trim() {
+                "fuse" | "fusion" => level.fuse = true,
+                "dle" => level.dle = true,
+                "ping-pong" | "pingpong" | "ping_pong" => level.ping_pong = true,
+                "hoist" => level.hoist = true,
+                _ => {}
+            }
+        }
+        level
+    }
+
+    fn toggles(self) -> PassToggles {
+        PassToggles { fuse: self.fuse, dle: self.dle, ping_pong: self.ping_pong, hoist: self.hoist }
+    }
+}
+
+/// Lower a recorded graph into the pure-data plan representation the
+/// pass pipeline rewrites.
+fn lower(g: &Graph) -> PlanGraph {
+    PlanGraph {
+        nodes: g
+            .nodes()
+            .iter()
+            .map(|n| PlanNode {
+                name: n.name.to_string(),
+                bindings: n
+                    .bindings
+                    .iter()
+                    .map(|b| PlanBinding {
+                        object: b.object,
+                        access: match b.access {
+                            Access::Read => PlanAccess::Read,
+                            Access::Write => PlanAccess::Write,
+                            Access::ReadWrite => PlanAccess::ReadWrite,
+                        },
+                        footprint: match b.footprint {
+                            Footprint::Whole => PlanFootprint::Whole,
+                            Footprint::Item => PlanFootprint::Item,
+                            Footprint::ItemDense => PlanFootprint::ItemDense,
+                        },
+                    })
+                    .collect(),
+                range: n.item.as_ref().map(|ik| ik.range.dims),
+                copy: n.copy.as_ref().map(|c| (c.src, c.dst)),
+            })
+            .collect(),
+        outputs: g.output_ids().to_vec(),
+    }
+}
+
+/// Union of the access modes two launches declare on one object.
+fn merge_access(a: Access, b: Access) -> Access {
+    if a == b {
+        a
+    } else {
+        Access::ReadWrite
+    }
+}
+
+/// Weakest of two footprints (a merged binding must be safe for both).
+fn merge_footprint(a: Footprint, b: Footprint) -> Footprint {
+    use Footprint::*;
+    match (a, b) {
+        (Whole, _) | (_, Whole) => Whole,
+        (Item, _) | (_, Item) => Item,
+        (ItemDense, ItemDense) => ItemDense,
+    }
+}
+
+/// Union the bindings of a fused group, merging per object.
+fn merge_bindings(nodes: &[Node], group: &[usize]) -> Vec<Binding> {
+    let mut merged: Vec<Binding> = Vec::new();
+    for &i in group {
+        for b in &nodes[i].bindings {
+            match merged.iter_mut().find(|m| m.object == b.object) {
+                Some(m) => {
+                    m.access = merge_access(m.access, b.access);
+                    m.footprint = merge_footprint(m.footprint, b.footprint);
+                }
+                None => merged.push(*b),
+            }
+        }
+    }
+    merged
+}
+
+/// Intern a computed node name. Compilation happens once per graph, so
+/// the leak is bounded by the number of `compile` calls.
+fn leak_name(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+/// Build the single fused node for `group`, or `None` when a member
+/// lacks its elementwise form (a broken invariant compile degrades on
+/// rather than panics).
+fn build_fused(graph: &Graph, group: &[usize], caps: &DeviceCaps) -> Result<Option<Node>> {
+    let nodes = graph.nodes();
+    let mut parts: Vec<Arc<dyn Fn(Item) + Send + Sync>> = Vec::with_capacity(group.len());
+    let mut range = None;
+    for &i in group {
+        let Some(ik) = &nodes[i].item else { return Ok(None) };
+        parts.push(Arc::clone(&ik.f));
+        range.get_or_insert(ik.range);
+    }
+    let Some(range) = range else { return Ok(None) };
+    let name = leak_name(format!(
+        "fused({})",
+        group.iter().map(|&i| nodes[i].name).collect::<Vec<_>>().join("+")
+    ));
+    let merged = merge_bindings(nodes, group);
+    let mut b = GraphBuilder::new(caps.clone());
+    // Recording through the same builder entry point reproduces the
+    // original chunking exactly, so fused replays are bit-compatible
+    // with the separate launches they replace.
+    b.parallel_for(name, range, &merged, move |it| {
+        for f in &parts {
+            f(it);
+        }
+    });
+    let (mut built, _) = b.finish()?;
+    Ok(built.pop())
+}
+
+/// Build the O(1) swap step for rewritten copy node `node`, or `None`
+/// when the node carries no copy metadata.
+fn build_swap(graph: &Graph, node: usize, caps: &DeviceCaps) -> Result<Option<Node>> {
+    let nodes = graph.nodes();
+    let Some(ci) = nodes[node].copy.clone() else { return Ok(None) };
+    let name = leak_name(format!("swap({})", nodes[node].name));
+    // The swap rebinds both storages: declare read-write on both objects
+    // with whole footprints so phase derivation serialises it against
+    // every launch touching either side.
+    let bindings = [
+        Binding { object: ci.src, access: Access::ReadWrite, footprint: Footprint::Whole },
+        Binding { object: ci.dst, access: Access::ReadWrite, footprint: Footprint::Whole },
+    ];
+    let swap = Arc::clone(&ci.swap);
+    let mut b = GraphBuilder::new(caps.clone());
+    b.single_task(name, &bindings, move || {
+        if let Err(e) = swap() {
+            // Containment converts the typed payload into an error
+            // return from the replay, as with any kernel failure.
+            std::panic::panic_any(e);
+        }
+    });
+    let (mut built, _) = b.finish()?;
+    Ok(built.pop())
+}
+
+/// A recorded graph compiled through the optimizer pass pipeline.
+///
+/// Holds three executable artifacts: the untouched original recording
+/// (the hardened degradation path), an optional prologue of hoisted
+/// launches (runs once before the first fast replay), and the optimized
+/// steady-state graph replayed every iteration.
+pub struct OptimizedGraph {
+    original: Graph,
+    prologue: Option<Graph>,
+    steady: Graph,
+    report: OptReport,
+    prologue_done: AtomicBool,
+    replay_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for OptimizedGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OptimizedGraph")
+            .field("recorded", &self.original.len())
+            .field("steady", &self.steady.len())
+            .field("report", &self.report)
+            .finish()
+    }
+}
+
+impl OptimizedGraph {
+    /// Lower `graph`, run the passes `level` enables, and compile the
+    /// optimized schedule. With [`GraphOptLevel::none`] the steady graph
+    /// is a node-for-node copy of the recording (verbatim PR 5 replay).
+    pub fn compile(graph: Graph, level: GraphOptLevel) -> Result<OptimizedGraph> {
+        let plan = lower(&graph);
+        let (sched, report) = optimize_plan(&plan, level.toggles());
+        let caps = graph.device_caps().clone();
+        let outputs = graph.output_ids().to_vec();
+
+        let prologue = if sched.prologue.is_empty() {
+            None
+        } else {
+            let nodes =
+                sched.prologue.iter().map(|&i| graph.nodes()[i].replay_clone()).collect();
+            Some(Graph::assemble(nodes, outputs.clone(), caps.clone()))
+        };
+
+        let mut nodes: Vec<Node> = Vec::new();
+        for step in &sched.steady {
+            match step {
+                PlanStep::Launch(group) if group.len() == 1 => {
+                    nodes.push(graph.nodes()[group[0]].replay_clone());
+                }
+                PlanStep::Launch(group) => match build_fused(&graph, group, &caps)? {
+                    Some(n) => nodes.push(n),
+                    None => {
+                        nodes.extend(group.iter().map(|&i| graph.nodes()[i].replay_clone()));
+                    }
+                },
+                PlanStep::Swap { node } => match build_swap(&graph, *node, &caps)? {
+                    Some(n) => nodes.push(n),
+                    None => nodes.push(graph.nodes()[*node].replay_clone()),
+                },
+            }
+        }
+        let steady = Graph::assemble(nodes, outputs, caps);
+        Ok(OptimizedGraph {
+            original: graph,
+            prologue,
+            steady,
+            report,
+            prologue_done: AtomicBool::new(false),
+            replay_lock: Mutex::new(()),
+        })
+    }
+
+    /// Execute one iteration. On a fully disarmed queue this replays the
+    /// optimized steady graph (after running the hoisted prologue once);
+    /// on an armed queue or capability mismatch it degrades to the
+    /// original recording's hardened [`Graph::submit_each`] path — the
+    /// optimized schedule never runs with a hardening layer active.
+    pub fn replay(&self, q: &Queue) -> Result<()> {
+        let _lock = lock(&self.replay_lock);
+        if !self.original.fast_eligible(q) {
+            // Graph::replay re-checks eligibility and routes through its
+            // hardened submit_each path, counting the replay.
+            return self.original.replay(q);
+        }
+        if let Some(p) = &self.prologue {
+            if !self.prologue_done.load(Ordering::Acquire) {
+                p.replay(q)?;
+                self.prologue_done.store(true, Ordering::Release);
+            }
+        }
+        self.steady.replay(q)
+    }
+
+    /// What the pass pipeline rewrote, deterministically.
+    pub fn report(&self) -> &OptReport {
+        &self.report
+    }
+
+    /// Launches in the original recording.
+    pub fn recorded_launches(&self) -> usize {
+        self.original.len()
+    }
+
+    /// Nodes in the optimized steady graph. Swap steps count as nodes
+    /// here (they occupy a schedule slot) but not as kernel launches in
+    /// [`OptReport::launches_after`].
+    pub fn steady_nodes(&self) -> usize {
+        self.steady.len()
+    }
+
+    /// Fast single-wake-up replays of the optimized steady graph.
+    pub fn fast_replays(&self) -> u64 {
+        self.steady.fast_replays()
+    }
+
+    /// Replays that degraded to the hardened original recording.
+    pub fn hardened_replays(&self) -> u64 {
+        self.original.replays()
+    }
+
+    /// Times the hoisted prologue has executed (0 or 1).
+    pub fn prologue_runs(&self) -> u64 {
+        self.prologue.as_ref().map(Graph::replays).unwrap_or(0)
+    }
+
+    /// Aggregate launch statistics of the most recent steady replay.
+    pub fn steady_stats(&self) -> crate::event::LaunchStats {
+        self.steady.aggregate_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use crate::device::Device;
+    use crate::graph::{reads, reads_item, reads_writes_item, writes_dense};
+    use crate::ndrange::Range;
+
+    fn disarmed(q: Queue) -> Queue {
+        q.with_fault_plan(None).with_sanitizer(false)
+    }
+
+    fn level_parse_round_trips() -> GraphOptLevel {
+        GraphOptLevel::parse("fuse,ping-pong")
+    }
+
+    #[test]
+    fn parse_levels() {
+        assert_eq!(GraphOptLevel::parse("0"), GraphOptLevel::none());
+        assert_eq!(GraphOptLevel::parse("none"), GraphOptLevel::none());
+        assert_eq!(GraphOptLevel::parse("1"), GraphOptLevel::full());
+        assert_eq!(GraphOptLevel::parse("full"), GraphOptLevel::full());
+        let l = level_parse_round_trips();
+        assert!(l.fuse && l.ping_pong && !l.dle && !l.hoist);
+        let l = GraphOptLevel::parse("dle, hoist, bogus");
+        assert!(l.dle && l.hoist && !l.fuse && !l.ping_pong);
+    }
+
+    /// Two same-range elementwise launches with item-disjoint writes
+    /// fuse into one; results stay bit-equal to the unoptimized path.
+    #[test]
+    fn fusion_merges_and_matches_unfused_results() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let n = 1000;
+        let a = Buffer::from_slice(&(0..n as u32).collect::<Vec<_>>());
+        let x = Buffer::<u32>::new(n);
+        let y = Buffer::<u32>::new(n);
+        let record = |x: &Buffer<u32>, y: &Buffer<u32>| {
+            let (av1, xv) = (a.view(), x.view());
+            let (av2, yv) = (a.view(), y.view());
+            let (xb, yb) = (x.clone(), y.clone());
+            let ab = a.clone();
+            Graph::record(&q, move |g| {
+                g.parallel_for("wx", Range::d1(n), &[reads(&ab), writes_dense(&xb)], move |it| {
+                    xv.set(it.gid(0), av1.get(it.gid(0)) * 2);
+                })
+                .parallel_for("wy", Range::d1(n), &[reads(&ab), writes_dense(&yb)], move |it| {
+                    yv.set(it.gid(0), av2.get(it.gid(0)) + 7);
+                })
+                .output(&xb)
+                .output(&yb);
+            })
+            .unwrap()
+        };
+
+        let baseline = record(&x, &y);
+        baseline.replay(&q).unwrap();
+        let (bx, by) = (x.to_vec(), y.to_vec());
+
+        x.write_from(&vec![0; n]);
+        y.write_from(&vec![0; n]);
+        let og = OptimizedGraph::compile(record(&x, &y), GraphOptLevel::full()).unwrap();
+        assert_eq!(og.report().launches_before, 2);
+        assert_eq!(og.report().launches_after, 1);
+        assert_eq!(og.report().fused, vec![vec!["wx".to_string(), "wy".to_string()]]);
+        assert_eq!(og.steady_nodes(), 1);
+        og.replay(&q).unwrap();
+        assert_eq!(og.fast_replays(), 1);
+        assert_eq!(x.to_vec(), bx);
+        assert_eq!(y.to_vec(), by);
+    }
+
+    /// Range mismatch defeats fusion even when bindings would allow it.
+    #[test]
+    fn fusion_rejected_on_range_mismatch() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let x = Buffer::<u32>::new(64);
+        let y = Buffer::<u32>::new(63);
+        let (xv, yv) = (x.view(), y.view());
+        let (xb, yb) = (x.clone(), y.clone());
+        let g = Graph::record(&q, move |g| {
+            g.parallel_for("wx", Range::d1(64), &[writes_dense(&xb)], move |it| {
+                xv.set(it.gid(0), 1);
+            })
+            .parallel_for("wy", Range::d1(63), &[writes_dense(&yb)], move |it| {
+                yv.set(it.gid(0), 2);
+            })
+            .output(&xb)
+            .output(&yb);
+        })
+        .unwrap();
+        // Fuse-only: under `full()` the hoist pass would legally move
+        // both pure-write launches to the prologue instead.
+        let level = GraphOptLevel { fuse: true, ..GraphOptLevel::none() };
+        let og = OptimizedGraph::compile(g, level).unwrap();
+        assert!(og.report().fused.is_empty());
+        assert_eq!(og.report().launches_after, 2);
+        og.replay(&q).unwrap();
+        assert!(x.to_vec().iter().all(|&v| v == 1));
+        assert!(y.to_vec().iter().all(|&v| v == 2));
+    }
+
+    /// An armed queue must never run the optimized steady schedule: the
+    /// replay degrades to the hardened original recording.
+    #[test]
+    fn armed_queue_degrades_to_hardened_original() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let n = 128;
+        let a = Buffer::from_slice(&vec![3u32; n]);
+        let x = Buffer::<u32>::new(n);
+        let (av, xv) = (a.view(), x.view());
+        let (ab, xb) = (a.clone(), x.clone());
+        let av2 = a.view();
+        let g = Graph::record(&q, move |g| {
+            g.parallel_for("wx", Range::d1(n), &[reads(&ab), writes_dense(&xb)], move |it| {
+                xv.set(it.gid(0), av.get(it.gid(0)) + 1);
+            })
+            .parallel_for("wa", Range::d1(n), &[reads_writes_item(&ab)], move |it| {
+                av2.update(it.gid(0), |v| v + 1);
+            })
+            .output(&ab)
+            .output(&xb);
+        })
+        .unwrap();
+        let og = OptimizedGraph::compile(g, GraphOptLevel::full()).unwrap();
+
+        let armed = q.clone().with_sanitizer(true);
+        og.replay(&armed).unwrap();
+        assert_eq!(og.fast_replays(), 0);
+        assert_eq!(og.hardened_replays(), 1);
+        assert!(x.to_vec().iter().all(|&v| v == 4));
+
+        // Disarm again: the same graph switches to the fast optimized
+        // path, continuing from the hardened replay's state.
+        og.replay(&q).unwrap();
+        assert_eq!(og.fast_replays(), 1);
+        assert!(x.to_vec().iter().all(|&v| v == 5));
+    }
+
+    /// DLE removes a launch whose written buffer is unobservable, and
+    /// keeps one alive solely because its buffer is a declared output.
+    #[test]
+    fn dead_launch_elimination_respects_declared_outputs() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let n = 64;
+        let out = Buffer::<u32>::new(n);
+        let scratch = Buffer::<u32>::new(n);
+        let (ov, sv) = (out.view(), scratch.view());
+        let (ob, sb) = (out.clone(), scratch.clone());
+        let g = Graph::record(&q, move |g| {
+            g.parallel_for("live", Range::d1(n), &[writes_dense(&ob)], move |it| {
+                ov.set(it.gid(0), 11);
+            })
+            .parallel_for("dead", Range::d1(n), &[writes_dense(&sb)], move |it| {
+                sv.set(it.gid(0), 99);
+            })
+            .output(&ob);
+        })
+        .unwrap();
+        let og = OptimizedGraph::compile(g, GraphOptLevel::full()).unwrap();
+        assert_eq!(og.report().eliminated, vec!["dead".to_string()]);
+        og.replay(&q).unwrap();
+        assert!(out.to_vec().iter().all(|&v| v == 11));
+        // The dead launch never ran on the fast path.
+        assert!(scratch.to_vec().iter().all(|&v| v == 0));
+
+        // Same recording with scratch declared an output: nothing dies.
+        let (ov, sv) = (out.view(), scratch.view());
+        let (ob, sb) = (out.clone(), scratch.clone());
+        let g2 = Graph::record(&q, move |g| {
+            g.parallel_for("live", Range::d1(n), &[writes_dense(&ob)], move |it| {
+                ov.set(it.gid(0), 11);
+            })
+            .parallel_for("kept", Range::d1(n), &[writes_dense(&sb)], move |it| {
+                sv.set(it.gid(0), 99);
+            })
+            .output(&ob)
+            .output(&sb);
+        })
+        .unwrap();
+        let og2 = OptimizedGraph::compile(g2, GraphOptLevel::full()).unwrap();
+        assert!(og2.report().eliminated.is_empty());
+        og2.replay(&q).unwrap();
+        assert!(scratch.to_vec().iter().all(|&v| v == 99));
+    }
+
+    /// Ping-pong: copy(src→dst) + dense rewrite of src becomes an O(1)
+    /// swap, bit-equal to the copy-based recording — including views
+    /// captured at record time (aliasing safety: the swap must retarget
+    /// them, not leave them on the old allocation).
+    #[test]
+    fn ping_pong_swap_matches_copy_semantics() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let n = 500;
+        let vars = Buffer::from_slice(&(0..n as u64).collect::<Vec<_>>());
+        let old = Buffer::<u64>::new(n);
+        let record = |vars: &Buffer<u64>, old: &Buffer<u64>| {
+            let (ov2, vv2) = (old.view(), vars.view());
+            let (vb, ob) = (vars.clone(), old.clone());
+            Graph::record(&q, move |g| {
+                g.copy("save", &vb, &ob)
+                    .parallel_for(
+                        "step",
+                        Range::d1(n),
+                        &[reads_item(&ob), writes_dense(&vb)],
+                        move |it| {
+                            let i = it.gid(0);
+                            vv2.set(i, ov2.get(i) * 3 + 1);
+                        },
+                    )
+                    .output(&vb);
+            })
+            .unwrap()
+        };
+
+        let baseline = record(&vars, &old);
+        for _ in 0..4 {
+            baseline.submit_each(&q).unwrap();
+        }
+        let expect = vars.to_vec();
+
+        vars.write_from(&(0..n as u64).collect::<Vec<_>>());
+        old.write_from(&vec![0; n]);
+        let og = OptimizedGraph::compile(record(&vars, &old), GraphOptLevel::full()).unwrap();
+        assert_eq!(og.report().swapped, vec!["save".to_string()]);
+        assert_eq!(og.report().launches_after, 1);
+        for _ in 0..4 {
+            og.replay(&q).unwrap();
+        }
+        assert_eq!(vars.to_vec(), expect);
+        // `old` must hold the previous iteration's state, exactly as
+        // the copy-based path would leave it.
+        let prev: Vec<u64> = expect.iter().map(|&v| (v - 1) / 3).collect();
+        assert_eq!(old.to_vec(), prev);
+    }
+
+    /// Hoisting runs a loop-invariant init launch exactly once.
+    #[test]
+    fn hoisted_prologue_runs_once() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let n = 32;
+        let lut = Buffer::<u32>::new(n);
+        let acc = Buffer::<u32>::new(n);
+        let (lv, av) = (lut.view(), acc.view());
+        let lv2 = lut.view();
+        let (lb, ab) = (lut.clone(), acc.clone());
+        let g = Graph::record(&q, move |g| {
+            g.parallel_for("init_lut", Range::d1(n), &[writes_dense(&lb)], move |it| {
+                lv.set(it.gid(0), it.gid(0) as u32 * 10);
+            })
+            .parallel_for(
+                "accumulate",
+                Range::d1(n),
+                &[reads_item(&lb), reads_writes_item(&ab)],
+                move |it| {
+                    let i = it.gid(0);
+                    av.update(i, |v| v + lv2.get(i));
+                },
+            )
+            .output(&ab);
+        })
+        .unwrap();
+        let og = OptimizedGraph::compile(g, GraphOptLevel::full()).unwrap();
+        assert_eq!(og.report().hoisted, vec!["init_lut".to_string()]);
+        for _ in 0..3 {
+            og.replay(&q).unwrap();
+        }
+        assert_eq!(og.prologue_runs(), 1);
+        assert_eq!(og.fast_replays(), 3);
+        let acc_v = acc.to_vec();
+        assert!(acc_v.iter().enumerate().all(|(i, &v)| v == i as u32 * 30));
+    }
+
+    /// A compile at level none replays the recording verbatim.
+    #[test]
+    fn level_none_is_verbatim() {
+        let q = disarmed(Queue::new(Device::cpu()));
+        let n = 64;
+        let x = Buffer::<u32>::new(n);
+        let xv = x.view();
+        let xb = x.clone();
+        let g = Graph::record(&q, move |g| {
+            g.parallel_for("w", Range::d1(n), &[writes_dense(&xb)], move |it| {
+                xv.set(it.gid(0), 5);
+            })
+            .output(&xb);
+        })
+        .unwrap();
+        let og = OptimizedGraph::compile(g, GraphOptLevel::none()).unwrap();
+        assert_eq!(og.report().launches_before, og.report().launches_after);
+        assert!(og.report().fused.is_empty() && og.report().eliminated.is_empty());
+        og.replay(&q).unwrap();
+        assert!(x.to_vec().iter().all(|&v| v == 5));
+    }
+}

@@ -58,6 +58,7 @@ pub mod event;
 pub mod executor;
 pub mod fault;
 pub mod graph;
+pub mod graph_opt;
 pub mod group_algorithms;
 pub mod integrity;
 pub mod local;
@@ -76,7 +77,12 @@ pub use device::{Device, DeviceCaps, DeviceKind};
 pub use error::{Error, Result};
 pub use event::{Event, LaunchStats, ProfilingInfo, ResilienceInfo};
 pub use fault::{FaultKind, FaultPlan};
-pub use graph::{reads, reads_writes, writes, Access, Binding, Graph, GraphBuilder};
+pub use graph::{
+    reads, reads_item, reads_writes, reads_writes_item, writes, writes_dense, writes_item,
+    Access, Binding, Footprint, Graph, GraphBuilder,
+};
+pub use graph_opt::{GraphOptLevel, OptimizedGraph};
+pub use hetero_ir::OptReport;
 pub use integrity::{IntegrityStats, Violation};
 pub use local::{LocalArray, PrivateArray};
 pub use ndrange::{GroupCtx, Item, NdRange, Range};
@@ -92,7 +98,11 @@ pub mod prelude {
     pub use crate::error::{Error, Result};
     pub use crate::event::Event;
     pub use crate::fault::{FaultKind, FaultPlan};
-    pub use crate::graph::{reads, reads_writes, writes, Binding, Graph, GraphBuilder};
+    pub use crate::graph::{
+        reads, reads_item, reads_writes, reads_writes_item, writes, writes_dense, writes_item,
+        Binding, Footprint, Graph, GraphBuilder,
+    };
+    pub use crate::graph_opt::{GraphOptLevel, OptimizedGraph};
     pub use crate::local::{LocalArray, PrivateArray};
     pub use crate::ndrange::{GroupCtx, Item, NdRange, Range};
     pub use crate::pipe::Pipe;

@@ -50,12 +50,16 @@ done
 # disarmed launch (writes BENCH_sdc_overhead.json).
 ./target/release/sdc_overhead > /dev/null
 
-# Record-and-replay gates: the graph_replay microbench must show the
-# single-wake-up replay path at >= 5x lower per-launch overhead than the
-# hardened per-launch path, and --matrix re-verifies the five converted
-# apps (FDTD2D, SRAD, CFD, KMeans, ParticleFilter) against golden under
-# sequential, pooled per-launch, AND pooled graph execution at size 1 —
-# any diverging cell or a missed gate exits nonzero.
-./target/release/graph_replay /tmp/BENCH_graph_replay.json --gate 5 --matrix > /dev/null
+# Record-and-replay + graph-optimizer gates: the graph_replay microbench
+# must show the single-wake-up replay path at >= 5x lower per-launch
+# overhead than the hardened per-launch path; the fusion gate requires
+# the fully optimized FDTD2D replay (hx+hy fused, 3 -> 2 launches/step)
+# to be at least as fast as the unfused recorded graph at the
+# launch-bound configuration; and --matrix re-verifies the five
+# converted apps (FDTD2D, SRAD, CFD, KMeans, ParticleFilter) against
+# golden under sequential, pooled per-launch, pooled graph, AND pooled
+# graph-opt (full pass pipeline) execution at size 1 — any diverging
+# cell or a missed gate exits nonzero.
+./target/release/graph_replay /tmp/BENCH_graph_replay.json --gate 5 --fusion-gate 1.0 --matrix > /dev/null
 
-echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate + graph replay gate all green"
+echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate + graph replay + fusion gates all green"
