@@ -14,12 +14,21 @@
 //!
 //! Usage:
 //! ```text
-//! chaos [--seed N] [--rate R] [--app SUBSTRING] [--timeout-secs T]
+//! chaos [--seed N] [--rate R] [--app SUBSTRING] [--timeout-secs T] [--serve]
 //! ```
 //! `--seed`/`--rate` set the environment variables before the first
 //! queue is created; without them the pre-set environment is used
 //! (defaulting to seed 1, rate 0.05). Exits nonzero if any run breaks
 //! containment.
+//!
+//! With `--serve`, the same 13-config matrix is replayed *through the
+//! benchmark service*: each configuration becomes one line-delimited
+//! JSON job request, parsed by the real protocol layer and executed by
+//! an in-process `hetero_serve::Scheduler` (fault plans per-job, not
+//! via the environment). The containment contract becomes: every job
+//! gets exactly one typed verdict, none are uncontained, and the
+//! server — including the shared worker pool — survives the full
+//! matrix.
 
 use std::time::{Duration, Instant};
 
@@ -44,13 +53,104 @@ fn pool_is_healthy() -> bool {
             .all(|(i, &x)| x == i as u32 ^ 0xA5A5)
 }
 
+/// `--serve`: drive the matrix through the service protocol. Every app
+/// becomes one JSON request line; the line goes through the real
+/// parser (`hetero_serve::json` + `JobRequest::from_json`) and an
+/// in-process scheduler. Returns the number of contract violations.
+fn serve_matrix(seed: u64, rate: f64, filter: Option<&str>) -> u32 {
+    use std::sync::{Arc, Mutex};
+
+    use hetero_serve::json;
+    use hetero_serve::{
+        JobRequest, JobResult, MonotonicClock, ResultSink, Scheduler, ServeConfig, Verdict,
+    };
+
+    let s = Scheduler::new(ServeConfig::default(), Arc::new(MonotonicClock::new()));
+    let results: Arc<Mutex<Vec<JobResult>>> = Arc::new(Mutex::new(Vec::new()));
+    let r = results.clone();
+    let sink: ResultSink = Arc::new(move |res| r.lock().unwrap().push(res));
+
+    let mut submitted = 0u32;
+    for (i, app) in all_apps().iter().enumerate() {
+        if let Some(f) = filter {
+            if !app.name.to_lowercase().contains(&f.to_lowercase()) {
+                continue;
+            }
+        }
+        // Build the actual wire line, then push it through the protocol
+        // stack — the point is to exercise what a client would send.
+        let line = format!(
+            "{{\"id\":{i},\"tenant\":\"chaos\",\"app\":\"{}\",\"size\":1,\
+             \"hardening\":\"resilient\",\"fault_seed\":{seed},\"fault_rate\":{rate}}}",
+            json::escape(app.name)
+        );
+        let parsed = json::parse(&line).expect("chaos emits valid protocol lines");
+        let req = JobRequest::from_json(&parsed).expect("chaos emits valid job requests");
+        s.submit(req, sink.clone());
+        submitted += 1;
+    }
+    s.wait_idle();
+    let stats = s.stats();
+
+    let mut broken = 0u32;
+    {
+        let got = results.lock().unwrap();
+        if got.len() as u32 != submitted {
+            eprintln!(
+                "chaos --serve: {} verdicts for {submitted} submissions",
+                got.len()
+            );
+            broken += 1;
+        }
+        for res in got.iter() {
+            let (verdict, detail) = match &res.verdict {
+                Verdict::Completed => ("contained", "correct results".to_string()),
+                Verdict::Corrected { events } => {
+                    ("contained", format!("corrected ({events} events)"))
+                }
+                Verdict::Quarantined { reason } if reason.starts_with("UNCONTAINED") => {
+                    broken += 1;
+                    ("NOT CONTAINED", reason.clone())
+                }
+                Verdict::Quarantined { reason } => {
+                    ("contained", format!("typed verdict: {reason}"))
+                }
+                other => {
+                    // Rejected/Shed/Deadline cannot happen here: the
+                    // matrix is admitted unconditionally with no
+                    // deadline and a 1024-deep queue.
+                    broken += 1;
+                    ("NOT CONTAINED", format!("unexpected verdict {other:?}"))
+                }
+            };
+            println!("  {:<12} {verdict:<14} {detail}", res.app);
+        }
+    }
+    if stats.unaccounted() != 0 || stats.uncontained != 0 {
+        eprintln!(
+            "chaos --serve: unaccounted={} uncontained={}",
+            stats.unaccounted(),
+            stats.uncontained
+        );
+        broken += 1;
+    }
+    s.shutdown();
+    if !pool_is_healthy() {
+        eprintln!("chaos --serve: shared pool poisoned after the matrix");
+        broken += 1;
+    }
+    broken
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut filter: Option<String> = None;
     let mut timeout = Duration::from_secs(60);
+    let mut serve = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--serve" => serve = true,
             "--seed" => {
                 if let Some(v) = it.next() {
                     std::env::set_var("HETERO_RT_FAULT_SEED", v);
@@ -78,6 +178,36 @@ fn main() {
     }
     if std::env::var_os("HETERO_RT_FAULT_RATE").is_none() {
         std::env::set_var("HETERO_RT_FAULT_RATE", "0.05");
+    }
+
+    if serve {
+        let seed: u64 = std::env::var("HETERO_RT_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        let rate: f64 = std::env::var("HETERO_RT_FAULT_RATE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.05);
+        println!(
+            "chaos --serve: seed {seed} rate {rate} over the {}-app suite via the service protocol",
+            all_apps().len()
+        );
+        let t0 = Instant::now();
+        let broken = serve_matrix(seed, rate, filter.as_deref());
+        println!(
+            "chaos --serve: done in {:.2?}, {broken} contract violation(s)",
+            t0.elapsed()
+        );
+        println!(
+            "{{\"harness\":\"chaos-serve\",\"seed\":{seed},\"rate\":{rate},\
+             \"violations\":{broken},\"contained\":{}}}",
+            broken == 0
+        );
+        if broken > 0 {
+            std::process::exit(1);
+        }
+        return;
     }
 
     let plan = FaultPlan::env_plan().expect("fault plan from environment");

@@ -82,7 +82,7 @@ fn main() {
 
     let idle_plan = Arc::new(FaultPlan::new(1, 0.0));
     let no_plan = storm(launches, || {
-        run_groups_contained(nd, Parallelism::Auto, 1 << 20, "storm", None, false, &kernel)
+        run_groups_contained(nd, Parallelism::Auto, 1 << 20, "storm", None, false, None, &kernel)
             .expect("clean launch");
     });
     let with_plan = storm(launches, || {
@@ -93,6 +93,7 @@ fn main() {
             "storm",
             Some(&idle_plan),
             false,
+            None,
             &kernel,
         )
         .expect("clean launch");

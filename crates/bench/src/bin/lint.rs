@@ -41,6 +41,12 @@
 //!   (`reads` / `writes_dense` / `reads_writes_item` / ...), or justify
 //!   a genuinely access-free body with
 //!   `// lint:allow(graph-empty-bindings)`.
+//! * **no-process-exit** — no `std::process::exit` in library code
+//!   (every `crates/*/src` file outside a `src/bin/` directory). The
+//!   benchmark service runs many tenants' jobs in one process; a
+//!   library path that exits tears down every tenant at once and skips
+//!   the one-verdict-per-job accounting. Library code reports through
+//!   typed errors / verdicts; only binary front-ends choose exit codes.
 //!
 //! A violation is suppressed by a `// lint:allow(rule-name)` comment on
 //! the same line or the line above — used where an application
@@ -89,6 +95,25 @@ fn main() {
         let text = std::fs::read_to_string(f).expect("readable source");
         scanned_closures += lint_file(f, &text, &mut violations);
     }
+
+    // no-process-exit runs workspace-wide: every crate's library
+    // sources, bin/ front-ends excluded.
+    let crates_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let mut lib_files = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&crates_root) {
+        for e in entries.flatten() {
+            let src = e.path().join("src");
+            if src.is_dir() {
+                collect_rs_files(&src, &mut lib_files);
+            }
+        }
+    }
+    lib_files.retain(|p| !p.components().any(|c| c.as_os_str() == "bin"));
+    lib_files.sort();
+    for f in &lib_files {
+        let text = std::fs::read_to_string(f).expect("readable source");
+        lint_no_process_exit(f, &text, &mut violations);
+    }
     // Launch calls can nest (a cooperative body re-entering nd_range);
     // report each site once.
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -104,8 +129,9 @@ fn main() {
         );
     }
     println!(
-        "lint: {} files, {scanned_closures} kernel closures, {} violation(s)",
+        "lint: {} kernel files, {scanned_closures} kernel closures, {} library files, {} violation(s)",
         files.len(),
+        lib_files.len(),
         violations.len()
     );
     if !violations.is_empty() {
@@ -646,6 +672,32 @@ fn lint_allocs_in_loops(
             file: file.to_path_buf(),
             line,
             rule: "no-alloc-in-loop",
+            snippet,
+        });
+    }
+}
+
+/// The `no-process-exit` rule: `process::exit` anywhere in a library
+/// source file (bin/ front-ends are excluded by the caller). Scans the
+/// masked text so mentions in comments, docs, and strings don't trip.
+fn lint_no_process_exit(
+    file: &Path,
+    text: &str,
+    violations: &mut Vec<Violation>,
+) {
+    let (masked, allows) = mask_source(text);
+    let mut from = 0;
+    while let Some(p) = find(&masked, b"process::exit", from) {
+        from = p + 13;
+        let line = line_of(text, p);
+        if allowed(&allows, "no-process-exit", line) {
+            continue;
+        }
+        let snippet = text.lines().nth(line - 1).unwrap_or("").to_string();
+        violations.push(Violation {
+            file: file.to_path_buf(),
+            line,
+            rule: "no-process-exit",
             snippet,
         });
     }

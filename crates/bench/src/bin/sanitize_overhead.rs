@@ -131,6 +131,7 @@ fn main() {
             "storm",
             None,
             false,
+            None,
             &unhooked_kernel,
         )
         .expect("clean launch");
@@ -143,6 +144,7 @@ fn main() {
             "storm",
             None,
             false,
+            None,
             &hooked_kernel,
         )
         .expect("clean launch");

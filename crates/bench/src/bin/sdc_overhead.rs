@@ -118,7 +118,7 @@ fn main() {
     let (floor_s, disarmed_s, queue_ratio) = paired(
         launches,
         &|| {
-            run_groups_contained(nd, Parallelism::Auto, 1 << 20, "storm", None, false, &kernel)
+            run_groups_contained(nd, Parallelism::Auto, 1 << 20, "storm", None, false, None, &kernel)
                 .expect("clean launch");
         },
         &|| {

@@ -1,0 +1,325 @@
+//! `serve_storm` — throughput, tail latency, and tenant isolation for
+//! the `hetero-serve` benchmark service.
+//!
+//! Two phases:
+//!
+//! 1. **Storm** — queue N jobs (default 1k and 10k sweeps) across 8
+//!    tenants, 2 cheap apps, and all 3 priority lanes, then drain.
+//!    Reports p50/p99 latency and jobs/sec, and *gates* on the
+//!    accounting invariant: every submitted job resolves to exactly one
+//!    verdict (`unaccounted == 0`), all of them `Completed`, none
+//!    uncontained.
+//!
+//! 2. **Isolation** — paired rounds of a closed-loop clean tenant
+//!    (high-priority KMeans, one job in flight, client-side latency)
+//!    measured solo and then against a chaos-seeded hostile tenant
+//!    (low-priority, panic injection at rate 1.0, `2 × workers` jobs
+//!    continuously in flight, breakers and quarantine disabled so the
+//!    hostile load never lets up). *Gate*: the median-of-rounds hostile
+//!    p99 must stay within 10% of the solo p99.
+//!
+//! Writes `BENCH_serve_storm.json` (or the path given as the first
+//! argument).
+//!
+//! Usage:
+//! ```text
+//! serve_storm [out.json] [--jobs N]... [--samples N] [--rounds N]
+//!             [--workers N] [--skip-isolation]
+//! ```
+//! `--jobs` may repeat to set the storm sweep sizes (default 1000 and
+//! 10000).
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use hetero_serve::{
+    FaultKindSel, Hardening, JobRequest, MonotonicClock, Priority, ResultSink, Scheduler,
+    ServeConfig, Verdict,
+};
+
+const STORM_APPS: [&str; 2] = ["Where", "DWT2D"];
+const CLEAN_APP: &str = "KMeans";
+const HOSTILE_APP: &str = "Where";
+
+fn req(tenant: &str, app: &str) -> JobRequest {
+    JobRequest {
+        tenant: tenant.to_string(),
+        app: app.to_string(),
+        ..JobRequest::default()
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    percentile(&v, 0.5)
+}
+
+struct StormResult {
+    jobs: usize,
+    wall_s: f64,
+    jobs_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Queue `jobs` cheap jobs across tenants/apps/lanes, drain, and check
+/// the accounting gates. Latencies come from the scheduler's own
+/// `latency_ms` (enqueue → verdict).
+fn storm(jobs: usize, workers: usize) -> StormResult {
+    let s = Scheduler::new(
+        ServeConfig {
+            workers,
+            queue_capacity: jobs + 1,
+            tenant_queued_limit: jobs as u64 + 1,
+            ..ServeConfig::default()
+        },
+        Arc::new(MonotonicClock::new()),
+    );
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(jobs)));
+    let l = latencies.clone();
+    let sink: ResultSink = Arc::new(move |res| l.lock().unwrap().push(res.latency_ms as f64));
+    let priorities = [Priority::High, Priority::Normal, Priority::Low];
+    let t0 = Instant::now();
+    for i in 0..jobs {
+        s.submit(
+            JobRequest {
+                id: i as u64,
+                priority: priorities[i % 3],
+                ..req(&format!("t{}", i % 8), STORM_APPS[i % 2])
+            },
+            sink.clone(),
+        );
+    }
+    s.wait_idle();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = s.stats();
+    s.shutdown();
+
+    // --- the zero-unaccounted gate ---
+    if stats.submitted != jobs as u64 || stats.unaccounted() != 0 {
+        eprintln!(
+            "FAIL: storm({jobs}) submitted={} accounted={} — every job must get exactly one verdict",
+            stats.submitted,
+            stats.accounted()
+        );
+        std::process::exit(1);
+    }
+    if stats.completed != jobs as u64 || stats.uncontained != 0 {
+        eprintln!(
+            "FAIL: storm({jobs}) expected {jobs} Completed/0 uncontained, got {stats:?}"
+        );
+        std::process::exit(1);
+    }
+    let mut lat = latencies.lock().unwrap().clone();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    StormResult {
+        jobs,
+        wall_s,
+        jobs_per_s: jobs as f64 / wall_s,
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+    }
+}
+
+/// One closed-loop clean-tenant round: `samples` jobs, one in flight,
+/// client-side latency in ms. When `hostile` is set, `2 × workers`
+/// hostile closed-loop clients keep panic-injected jobs in flight the
+/// whole time.
+fn isolation_round(samples: usize, workers: usize, hostile: bool) -> (f64, u64) {
+    let s = Arc::new(Scheduler::new(
+        ServeConfig {
+            workers,
+            queue_capacity: 4096,
+            tenant_queued_limit: 4096,
+            // The gate measures *scheduling* isolation under worst-case
+            // hostile pressure: disable the defenses that would
+            // otherwise shut the hostile tenant down in milliseconds.
+            breaker_open_after: u32::MAX,
+            quarantine_after: 0,
+            ..ServeConfig::default()
+        },
+        Arc::new(MonotonicClock::new()),
+    ));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hostile_jobs = Arc::new(AtomicU64::new(0));
+    let mut hostile_threads = Vec::new();
+    if hostile {
+        for h in 0..workers * 2 {
+            let s = s.clone();
+            let stop = stop.clone();
+            let count = hostile_jobs.clone();
+            hostile_threads.push(std::thread::spawn(move || {
+                let (tx, rx) = mpsc::sync_channel::<()>(1);
+                let sink: ResultSink = Arc::new(move |_| {
+                    let _ = tx.try_send(());
+                });
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    s.submit(
+                        JobRequest {
+                            id: i,
+                            priority: Priority::Low,
+                            hardening: Hardening::Resilient,
+                            fault_seed: Some(0xC0FFEE + h as u64 * 10_000 + i),
+                            fault_rate: 1.0,
+                            fault_kind: FaultKindSel::Panic,
+                            ..req("hostile", HOSTILE_APP)
+                        },
+                        sink.clone(),
+                    );
+                    i += 1;
+                    count.fetch_add(1, Ordering::Relaxed);
+                    let _ = rx.recv();
+                }
+            }));
+        }
+        // Let the hostile load reach steady state before sampling.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    let mut lat_ms = Vec::with_capacity(samples);
+    let (tx, rx) = mpsc::sync_channel::<Verdict>(1);
+    let sink: ResultSink = Arc::new(move |res| {
+        let _ = tx.try_send(res.verdict);
+    });
+    for i in 0..samples {
+        let t0 = Instant::now();
+        s.submit(
+            JobRequest { id: i as u64, priority: Priority::High, ..req("clean", CLEAN_APP) },
+            sink.clone(),
+        );
+        let verdict = rx.recv().expect("clean job verdict");
+        lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        if verdict != Verdict::Completed {
+            eprintln!("FAIL: clean tenant job {i} got {verdict:?} — hostile faults leaked");
+            std::process::exit(1);
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for t in hostile_threads {
+        let _ = t.join();
+    }
+    s.wait_idle();
+    let stats = s.stats();
+    if stats.unaccounted() != 0 || stats.uncontained != 0 {
+        eprintln!("FAIL: isolation round left unaccounted/uncontained jobs: {stats:?}");
+        std::process::exit(1);
+    }
+    s.shutdown();
+    lat_ms.sort_by(|a, b| a.total_cmp(b));
+    (percentile(&lat_ms, 0.99), hostile_jobs.load(Ordering::Relaxed))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_serve_storm.json".to_string();
+    let mut storm_sizes: Vec<usize> = Vec::new();
+    let mut samples = 60usize;
+    let mut rounds = 3usize;
+    let mut workers = ServeConfig::default().workers;
+    let mut skip_isolation = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |d: usize| it.next().and_then(|v| v.parse().ok()).unwrap_or(d);
+        match a.as_str() {
+            "--jobs" => storm_sizes.push(num(10_000)),
+            "--samples" => samples = num(60),
+            "--rounds" => rounds = num(3),
+            "--workers" => workers = num(workers),
+            "--skip-isolation" => skip_isolation = true,
+            other => out_path = other.to_string(),
+        }
+    }
+    if storm_sizes.is_empty() {
+        storm_sizes = vec![1_000, 10_000];
+    }
+
+    println!("serve storm: {workers} workers, sweep {storm_sizes:?}");
+    let mut storms = Vec::new();
+    for &jobs in &storm_sizes {
+        let r = storm(jobs, workers);
+        println!(
+            "  {:>6} jobs: {:>7.2} jobs/s, p50 {:>7.1} ms, p99 {:>7.1} ms, wall {:.2}s, 0 unaccounted",
+            r.jobs, r.jobs_per_s, r.p50_ms, r.p99_ms, r.wall_s
+        );
+        storms.push(r);
+    }
+
+    let mut isolation_json = "null".to_string();
+    if !skip_isolation {
+        println!("isolation gate: {rounds} paired rounds x {samples} clean samples");
+        let mut solo = Vec::new();
+        let mut mixed = Vec::new();
+        let mut hostile_total = 0u64;
+        for round in 0..rounds {
+            let (s, _) = isolation_round(samples, workers, false);
+            let (m, h) = isolation_round(samples, workers, true);
+            hostile_total += h;
+            println!("  round {round}: solo p99 {s:>7.2} ms, hostile p99 {m:>7.2} ms");
+            solo.push(s);
+            mixed.push(m);
+        }
+        let solo_p99 = median(solo);
+        let mixed_p99 = median(mixed);
+        let delta_pct = (mixed_p99 / solo_p99 - 1.0) * 100.0;
+        let pass = mixed_p99 <= solo_p99 * 1.10;
+        println!(
+            "  clean-tenant p99: solo {solo_p99:.2} ms, under hostile storm {mixed_p99:.2} ms \
+             ({delta_pct:+.1}%, {hostile_total} hostile jobs) -> {}",
+            if pass { "PASS" } else { "FAIL" }
+        );
+        if !pass {
+            eprintln!(
+                "FAIL: hostile tenant moved the clean tenant's p99 by {delta_pct:.1}% (> 10%)"
+            );
+            std::process::exit(1);
+        }
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            "{{\n    \"rounds\": {rounds},\n    \"samples_per_round\": {samples},\n    \
+             \"clean_app\": \"{CLEAN_APP}\",\n    \"hostile_app\": \"{HOSTILE_APP}\",\n    \
+             \"hostile_jobs\": {hostile_total},\n    \"solo_p99_ms\": {solo_p99:.3},\n    \
+             \"hostile_p99_ms\": {mixed_p99:.3},\n    \"delta_pct\": {delta_pct:.2},\n    \
+             \"gate_pct\": 10.0,\n    \"pass\": {pass}\n  }}"
+        );
+        isolation_json = j;
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"benchmark\": \"serve_storm\",\n  \"workers\": {workers},\n  \"storms\": [\n"
+    );
+    for (i, r) in storms.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"jobs\": {}, \"wall_s\": {:.3}, \"jobs_per_s\": {:.1}, \
+             \"p50_ms\": {:.1}, \"p99_ms\": {:.1}, \"unaccounted\": 0, \"uncontained\": 0}}{}",
+            r.jobs,
+            r.wall_s,
+            r.jobs_per_s,
+            r.p50_ms,
+            r.p99_ms,
+            if i + 1 < storms.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(json, "  ],\n  \"isolation\": {isolation_json}\n}}\n");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write '{out_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

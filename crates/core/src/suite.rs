@@ -497,7 +497,8 @@ impl ResilienceOutcome {
 
 /// `Error` variant names as they appear in `Debug`/`unwrap` panic text;
 /// used to recognise "`unwrap()` on a typed error" panics as typed.
-const TYPED_ERROR_MARKERS: [&str; 14] = [
+const TYPED_ERROR_MARKERS: [&str; 15] = [
+    "Canceled",
     "DataRace",
     "WorkGroupTooLarge",
     "IndivisibleRange",
@@ -557,6 +558,57 @@ pub fn run_resilient(
         Ok(Err(payload)) => classify_payload(payload),
         Err(_) => ResilienceOutcome::TimedOut,
     }
+}
+
+/// [`run_resilient`] without the watchdog thread: runs the verify
+/// function on the calling thread and classifies panics identically.
+/// This is the serving layer's execution path — deadlines there are
+/// enforced by a [`hetero_rt::CancelToken`] attached to the queue (the
+/// runtime stops the launch and surfaces a typed
+/// `Error::Canceled`), so no thread needs to be leaked per overrun and
+/// the worker executes jobs back to back.
+pub fn run_resilient_inline(
+    app: &AppEntry,
+    queue: &Queue,
+    size: InputSize,
+    version: AppVersion,
+) -> ResilienceOutcome {
+    let verify = app.verify;
+    match std::panic::catch_unwind(AssertUnwindSafe(|| verify(queue, size, version))) {
+        Ok(true) => ResilienceOutcome::Correct,
+        Ok(false) => ResilienceOutcome::Incorrect,
+        Err(payload) => classify_payload(payload),
+    }
+}
+
+/// Flavor-aware [`run_resilient_inline`]: `PerLaunch` runs the app's
+/// default verify under `version`; the graph modes run the
+/// graph-converted route via [`verify_graph_flavor`] (which pins its
+/// own per-app version choices, so `version` is ignored there).
+/// Returns `None` when a graph mode is requested for an app without a
+/// graph conversion — the serving layer rejects such jobs at admission.
+pub fn run_flavored_inline(
+    app: &AppEntry,
+    queue: &Queue,
+    size: InputSize,
+    version: AppVersion,
+    mode: ExecMode,
+) -> Option<ResilienceOutcome> {
+    if mode == ExecMode::PerLaunch {
+        return Some(run_resilient_inline(app, queue, size, version));
+    }
+    let name = app.name;
+    if !GRAPH_FLAVOR_APPS.contains(&name) {
+        return None;
+    }
+    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        verify_graph_flavor(name, queue, size, mode).expect("graph-converted app")
+    }));
+    Some(match r {
+        Ok(true) => ResilienceOutcome::Correct,
+        Ok(false) => ResilienceOutcome::Incorrect,
+        Err(payload) => classify_payload(payload),
+    })
 }
 
 /// End-to-end verdict of one run under silent-data-corruption
@@ -645,6 +697,41 @@ pub fn run_sdc(
     }
 }
 
+/// [`run_sdc`] without the watchdog thread (see [`run_resilient_inline`]
+/// for why the serving layer wants that). The global-integrity-counter
+/// caveat applies unchanged: callers must serialize SDC runs
+/// process-wide — the serving layer holds an exclusive permit around
+/// every SDC-hardened job for exactly this reason.
+pub fn run_sdc_inline(
+    app: &AppEntry,
+    queue: &Queue,
+    size: InputSize,
+    version: AppVersion,
+) -> SdcOutcome {
+    let validate = app.validate;
+    let before =
+        hetero_rt::integrity::detections_total() + hetero_rt::integrity::corrected_total();
+    match std::panic::catch_unwind(AssertUnwindSafe(|| validate(queue, size, version))) {
+        Ok(Validation::Valid) => {
+            let events = hetero_rt::integrity::detections_total()
+                + hetero_rt::integrity::corrected_total()
+                - before;
+            if events == 0 {
+                SdcOutcome::Correct
+            } else {
+                SdcOutcome::Corrected { events }
+            }
+        }
+        Ok(Validation::Invalid(reason)) => SdcOutcome::Quarantined { reason },
+        Err(payload) => match classify_payload(payload) {
+            ResilienceOutcome::TypedError(reason) => SdcOutcome::Quarantined { reason },
+            other => SdcOutcome::Uncontained {
+                what: format!("{other:?}"),
+            },
+        },
+    }
+}
+
 // --- graph-equivalence matrix ----------------------------------------------
 
 /// Execution flavor of one [`graph_mode_matrix`] cell.
@@ -677,6 +764,66 @@ impl GraphFlavor {
 /// One matrix cell: app name, execution flavor, matched-golden.
 pub type GraphMatrixRow = (&'static str, GraphFlavor, bool);
 
+/// The apps with a record-and-replay graph conversion: the only routes
+/// for which a `Graph`/`GraphOpt` execution flavor can be requested
+/// (the serving layer rejects graph-flavored jobs for any other app).
+pub const GRAPH_FLAVOR_APPS: [&str; 5] =
+    ["FDTD2D", "SRAD", "CFD FP32", "KMeans", "PF Naive"];
+
+/// Mode-aware verification for one graph-converted app: run it on `q`
+/// under the given execution mode and check the output against the
+/// golden reference with the suite's own tolerances. These are the
+/// bodies of the [`graph_mode_matrix`] cells, factored out so the
+/// serving layer can execute a single `(app, flavor)` pair on demand.
+/// Returns `None` when `name` is not in [`GRAPH_FLAVOR_APPS`].
+pub fn verify_graph_flavor(
+    name: &str,
+    q: &Queue,
+    size: InputSize,
+    mode: ExecMode,
+) -> Option<bool> {
+    Some(match name {
+        "FDTD2D" => {
+            let p = altis_data::fdtd2d(size);
+            let r = crate::fdtd2d::run_with(q, &p, AppVersion::SyclOptimized, mode);
+            r.ez == crate::fdtd2d::golden(&p).ez
+        }
+        "SRAD" => {
+            let p = altis_data::srad(size);
+            let r = crate::srad::run_with(q, &p, AppVersion::SyclOptimized, mode);
+            crate::common::rel_l2_error_t(&crate::srad::golden(&p), &r) < 1e-3
+        }
+        "CFD FP32" => {
+            let p = altis_data::cfd(size);
+            let r = crate::cfd::run_with::<f32>(q, &p, AppVersion::SyclOptimized, mode);
+            crate::common::rel_l2_error_t(&crate::cfd::golden::<f32>(&p), &r) < 1e-4
+        }
+        "KMeans" => {
+            let p = altis_data::kmeans(size);
+            // SyclBaseline keeps the four-kernel path (SyclOptimized
+            // would reroute to the piped dataflow on pipe-capable
+            // devices, which has its own structure and no graph).
+            let r = crate::kmeans::run_with(q, &p, AppVersion::SyclBaseline, mode);
+            let g = crate::kmeans::golden(&p);
+            r.membership == g.membership
+                && crate::common::rel_l2_error_t(&g.centers, &r.centers) < 1e-4
+        }
+        "PF Naive" => {
+            let p = altis_data::particlefilter(size);
+            let r = crate::particlefilter::run_with(
+                q,
+                &p,
+                PfVariant::Naive,
+                AppVersion::SyclBaseline,
+                mode,
+            );
+            let g = crate::particlefilter::golden(&p, PfVariant::Naive);
+            r.xe.iter().zip(&g.xe).all(|(a, b)| (a - b).abs() < 0.05)
+        }
+        _ => return None,
+    })
+}
+
 /// The graph-equivalence matrix: every graph-converted app (FDTD2D,
 /// SRAD, CFD FP32, KMeans, PF Naive) under a sequential queue, a pooled
 /// per-launch queue, and a pooled graph-replay queue, each checked
@@ -698,46 +845,10 @@ pub fn graph_mode_matrix(size: InputSize) -> Vec<GraphMatrixRow> {
     ];
     let mut rows = Vec::new();
     for (q, flavor, mode) in cells {
-        {
-            let p = altis_data::fdtd2d(size);
-            let r = crate::fdtd2d::run_with(q, &p, AppVersion::SyclOptimized, mode);
-            rows.push(("FDTD2D", flavor, r.ez == crate::fdtd2d::golden(&p).ez));
-        }
-        {
-            let p = altis_data::srad(size);
-            let r = crate::srad::run_with(q, &p, AppVersion::SyclOptimized, mode);
-            let ok = crate::common::rel_l2_error_t(&crate::srad::golden(&p), &r) < 1e-3;
-            rows.push(("SRAD", flavor, ok));
-        }
-        {
-            let p = altis_data::cfd(size);
-            let r = crate::cfd::run_with::<f32>(q, &p, AppVersion::SyclOptimized, mode);
-            let ok = crate::common::rel_l2_error_t(&crate::cfd::golden::<f32>(&p), &r) < 1e-4;
-            rows.push(("CFD FP32", flavor, ok));
-        }
-        {
-            let p = altis_data::kmeans(size);
-            // SyclBaseline keeps the four-kernel path (SyclOptimized
-            // would reroute to the piped dataflow on pipe-capable
-            // devices, which has its own structure and no graph).
-            let r = crate::kmeans::run_with(q, &p, AppVersion::SyclBaseline, mode);
-            let g = crate::kmeans::golden(&p);
-            let ok = r.membership == g.membership
-                && crate::common::rel_l2_error_t(&g.centers, &r.centers) < 1e-4;
-            rows.push(("KMeans", flavor, ok));
-        }
-        {
-            let p = altis_data::particlefilter(size);
-            let r = crate::particlefilter::run_with(
-                q,
-                &p,
-                PfVariant::Naive,
-                AppVersion::SyclBaseline,
-                mode,
-            );
-            let g = crate::particlefilter::golden(&p, PfVariant::Naive);
-            let ok = r.xe.iter().zip(&g.xe).all(|(a, b)| (a - b).abs() < 0.05);
-            rows.push(("PF Naive", flavor, ok));
+        for name in GRAPH_FLAVOR_APPS {
+            let ok = verify_graph_flavor(name, q, size, mode)
+                .expect("GRAPH_FLAVOR_APPS lists only graph-converted apps");
+            rows.push((name, flavor, ok));
         }
     }
     rows

@@ -84,7 +84,17 @@ pub fn run(q: &Queue, p: &WhereParams, version: AppVersion) -> Vec<Record> {
     let flags = flags_buf.to_vec();
     let mut offsets = vec![0u32; n];
     exclusive_scan(scan_flavor_for(version, q.device()), &flags, &mut offsets);
-    let total = if n == 0 { 0 } else { (offsets[n - 1] + flags[n - 1]) as usize };
+    // A compaction can never select more than its input. Under the SDC
+    // fault plans a stuck-at page or bit flip landing in `flags` between
+    // launches inflates the scanned sum arbitrarily (up to ~2^32): clamp
+    // before sizing the output so a corrupted count cannot demand a
+    // multi-gigabyte allocation. The corrupted contents still reach
+    // validation, which quarantines on divergence.
+    let total = if n == 0 {
+        0
+    } else {
+        ((offsets[n - 1].wrapping_add(flags[n - 1])) as usize).min(n)
+    };
 
     // Scatter kernel.
     let out = Buffer::<Record>::new(total.max(1));

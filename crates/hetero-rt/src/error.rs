@@ -129,6 +129,16 @@ pub enum Error {
         /// Replica runs executed before giving up.
         runs: u32,
     },
+    /// The launch was stopped by a fired [`crate::cancel::CancelToken`]
+    /// (a deadline watchdog, a supervisor shutdown): the executor and
+    /// retry loop poll the token at group / chunk / attempt boundaries
+    /// and abandon the launch there. Remaining groups are skipped like a
+    /// contained panic's, so partial writes are possible — which is why
+    /// cancellation is deliberately *not* CPU-fallback eligible.
+    Canceled {
+        /// Kernel name the submission was given.
+        kernel: &'static str,
+    },
     /// A pipe operation failed because the other endpoint disconnected.
     PipeClosed,
     /// A blocking pipe operation timed out; in this runtime that is
@@ -188,6 +198,10 @@ impl fmt::Display for Error {
             Error::ReplicaDivergence { kernel, runs } => write!(
                 f,
                 "kernel '{kernel}': replica digests never converged after {runs} run(s)"
+            ),
+            Error::Canceled { kernel } => write!(
+                f,
+                "kernel '{kernel}' canceled before completion"
             ),
             Error::PipeClosed => write!(f, "pipe endpoint disconnected"),
             Error::PipeDeadlock { waited_secs } => write!(
@@ -285,6 +299,16 @@ mod tests {
         assert!(!Error::DataCorruption { region: 3, page: 1, epoch: 2 }
             .is_cpu_fallback_eligible());
         assert!(!Error::ReplicaDivergence { kernel: "k", runs: 4 }.is_cpu_fallback_eligible());
+        // A canceled launch may have written partially, and re-running it
+        // elsewhere would defeat the deadline that canceled it.
+        assert!(!Error::Canceled { kernel: "k" }.is_cpu_fallback_eligible());
+    }
+
+    #[test]
+    fn canceled_displays_kernel_name() {
+        let e = Error::Canceled { kernel: "fdtd_step" };
+        let s = e.to_string();
+        assert!(s.contains("fdtd_step") && s.contains("canceled"), "{s}");
     }
 
     #[test]

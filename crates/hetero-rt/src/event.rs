@@ -8,6 +8,7 @@
 //! either for the kernel time (start→end, the SYCL-event view) or the
 //! whole-invocation time (submit→end, the `std::chrono` view).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Statistics the executor gathers while running a kernel. These feed
@@ -121,6 +122,99 @@ impl Default for ResilienceInfo {
             fallback_device: None,
             replicas: 1,
             divergences_corrected: 0,
+        }
+    }
+}
+
+/// Accumulating resilience ledger: per-launch [`ResilienceInfo`] summed
+/// across every launch on the queues it is attached to
+/// ([`crate::queue::Queue::with_resilience_ledger`]). The serving layer
+/// attaches one ledger per tenant, so retries, absorbed faults, replica
+/// votes and fallbacks are accounted to the tenant whose job caused
+/// them — the per-tenant accounting the multi-tenant scheduler bills
+/// and quarantines on. All counters are relaxed atomics; a snapshot is
+/// not a consistent cut across counters, which is fine for accounting.
+#[derive(Debug, Default)]
+pub struct ResilienceLedger {
+    launches: AtomicU64,
+    attempts: AtomicU64,
+    faults_absorbed: AtomicU64,
+    replicas: AtomicU64,
+    divergences_corrected: AtomicU64,
+    fallbacks: AtomicU64,
+    errors: AtomicU64,
+    canceled: AtomicU64,
+}
+
+/// Plain-value snapshot of a [`ResilienceLedger`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerSnapshot {
+    /// Launches accounted (successful or failed).
+    pub launches: u64,
+    /// Total submission attempts (≥ `launches`).
+    pub attempts: u64,
+    /// Transient faults / detected corruptions absorbed by retries.
+    pub faults_absorbed: u64,
+    /// Replica runs executed under redundancy.
+    pub replicas: u64,
+    /// Divergent replica digests outvoted.
+    pub divergences_corrected: u64,
+    /// Launches that completed on the CPU fallback device.
+    pub fallbacks: u64,
+    /// Launches that ended in a typed error (cancellations included).
+    pub errors: u64,
+    /// Launches that ended in [`crate::error::Error::Canceled`].
+    pub canceled: u64,
+}
+
+impl ResilienceLedger {
+    /// Fresh all-zero ledger.
+    pub fn new() -> Self {
+        ResilienceLedger::default()
+    }
+
+    /// Account one completed launch's [`ResilienceInfo`].
+    pub fn record(&self, info: &ResilienceInfo) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        self.attempts.fetch_add(u64::from(info.attempts), Ordering::Relaxed);
+        self.faults_absorbed
+            .fetch_add(u64::from(info.faults_absorbed), Ordering::Relaxed);
+        self.replicas.fetch_add(u64::from(info.replicas), Ordering::Relaxed);
+        self.divergences_corrected
+            .fetch_add(u64::from(info.divergences_corrected), Ordering::Relaxed);
+        if info.fallback_device.is_some() {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Account one launch that failed with a typed error.
+    pub fn record_error(&self, e: &crate::error::Error) {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        if matches!(e, crate::error::Error::Canceled { .. }) {
+            self.canceled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Account `launches` fast-path graph-replay launches (one attempt
+    /// each, no hardening active by fast-path eligibility).
+    pub fn record_replay(&self, launches: u64) {
+        self.launches.fetch_add(launches, Ordering::Relaxed);
+        self.attempts.fetch_add(launches, Ordering::Relaxed);
+        self.replicas.fetch_add(launches, Ordering::Relaxed);
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            launches: self.launches.load(Ordering::Relaxed),
+            attempts: self.attempts.load(Ordering::Relaxed),
+            faults_absorbed: self.faults_absorbed.load(Ordering::Relaxed),
+            replicas: self.replicas.load(Ordering::Relaxed),
+            divergences_corrected: self.divergences_corrected.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            canceled: self.canceled.load(Ordering::Relaxed),
         }
     }
 }

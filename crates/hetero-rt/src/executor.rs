@@ -100,7 +100,7 @@ pub fn run_groups_timed<K>(
 where
     K: Fn(&GroupCtx) + Sync,
 {
-    run_groups_contained(nd, parallelism, local_mem_limit, "<kernel>", None, false, kernel)
+    run_groups_contained(nd, parallelism, local_mem_limit, "<kernel>", None, false, None, kernel)
         .unwrap_or_else(|e| std::panic::panic_any(e))
 }
 
@@ -125,6 +125,7 @@ where
 /// typed [`Error::DataRace`] (first finding in the deterministic report
 /// order); the full list is stashed for
 /// [`crate::sanitize::take_last_reports`] on the submitting thread.
+#[allow(clippy::too_many_arguments)]
 pub fn run_groups_contained<K>(
     nd: NdRange,
     parallelism: Parallelism,
@@ -132,6 +133,7 @@ pub fn run_groups_contained<K>(
     kernel_name: &'static str,
     plan: Option<&FaultPlan>,
     sanitize: bool,
+    cancel: Option<&crate::cancel::CancelToken>,
     kernel: &K,
 ) -> Result<(LaunchStats, Duration)>
 where
@@ -192,6 +194,9 @@ where
         // thread, no pool involvement, no atomics.
         let mut acc = ChunkStats::default();
         for g in 0..num_groups {
+            if let Some(t) = cancel {
+                t.check(kernel_name)?;
+            }
             run_one(g, &mut acc)?;
         }
         analyze(session)?;
@@ -211,17 +216,22 @@ where
     let barriers_local = AtomicU64::new(0);
     let barriers_global = AtomicU64::new(0);
     let local_bytes_max = AtomicUsize::new(0);
-    let cancel = AtomicBool::new(false);
+    let abort = AtomicBool::new(false);
     let failure: Mutex<Option<Error>> = Mutex::new(None);
 
     let (dispatch, stray_payload) = crate::pool::run_job_catch(num_groups, threads, &|start, end| {
         let mut acc = ChunkStats::default();
         for g in start..end {
-            if cancel.load(Ordering::Relaxed) {
+            if abort.load(Ordering::Relaxed) {
                 break; // launch canceled: drain the claimed chunk cheaply
             }
-            if let Err(e) = run_one(g, &mut acc) {
-                cancel.store(true, Ordering::Relaxed);
+            let r = match cancel {
+                Some(t) => t.check(kernel_name),
+                None => Ok(()),
+            }
+            .and_then(|()| run_one(g, &mut acc));
+            if let Err(e) = r {
+                abort.store(true, Ordering::Relaxed);
                 failure
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -442,7 +452,7 @@ mod tests {
     fn kernel_panic_contained_in_both_modes() {
         for p in [Parallelism::Sequential, Parallelism::Auto, Parallelism::Threads(3)] {
             let nd = NdRange::d1(1024, 32);
-            let e = run_groups_contained(nd, p, 1 << 20, "boomer", None, false, &|ctx: &GroupCtx| {
+            let e = run_groups_contained(nd, p, 1 << 20, "boomer", None, false, None, &|ctx: &GroupCtx| {
                 if ctx.group_linear() == 7 {
                     panic!("deliberate kernel bug");
                 }
@@ -482,6 +492,7 @@ mod tests {
             "victim",
             Some(&plan),
             false,
+            None,
             &|_ctx: &GroupCtx| {},
         )
         .unwrap_err();
@@ -501,6 +512,7 @@ mod tests {
             "bystander",
             Some(&plan),
             false,
+            None,
             &|_ctx: &GroupCtx| {},
         );
         assert!(r.is_ok());
@@ -519,6 +531,7 @@ mod tests {
             "oob",
             None,
             false,
+            None,
             &|ctx: &GroupCtx| {
                 ctx.items(|it| v.set(it.global_linear, 1)); // 8..15 out of bounds
             },

@@ -653,6 +653,10 @@ impl Graph {
             self.replays.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
+        let token = q.cancel_token();
+        if let Some(t) = token {
+            t.check("<graph>")?;
+        }
         let _guard = q.enter_inflight();
         // Keeps the idle scrubber out of the replay window, mirroring
         // the per-launch path's scope accounting.
@@ -666,9 +670,9 @@ impl Graph {
 
         let participants = q.parallelism_threads().min(self.max_groups).max(1);
         if participants == 1 {
-            self.run_inline()?;
+            self.run_inline(token)?;
         } else {
-            let sweep = |_s: usize, _e: usize| self.sweep();
+            let sweep = |_s: usize, _e: usize| self.sweep(token);
             let (_dispatch, stray) =
                 crate::pool::run_job_catch(participants, participants, &sweep);
             if let Some(p) = stray {
@@ -680,6 +684,9 @@ impl Graph {
         }
         self.replays.fetch_add(1, Ordering::Relaxed);
         self.fast_replays.fetch_add(1, Ordering::Relaxed);
+        if let Some(ledger) = q.resilience_ledger() {
+            ledger.record_replay(self.nodes.len() as u64);
+        }
         Ok(())
     }
 
@@ -715,12 +722,24 @@ impl Graph {
     /// *work completion* (`done == num_groups`), never on participant
     /// arrival, which is what makes the single-wake-up design
     /// deadlock-free under a busy pool.
-    fn sweep(&self) {
+    fn sweep(&self, token: Option<&crate::cancel::CancelToken>) {
         'phases: for &(ps, pe) in &self.phases {
             for node in &self.nodes[ps..pe] {
                 loop {
                     if self.cancel.load(Ordering::Relaxed) {
                         break 'phases;
+                    }
+                    if let Some(t) = token {
+                        // A fired deadline cancels the whole replay: the
+                        // first participant to notice records the typed
+                        // error and trips the shared flag the others
+                        // (and the chunk loops) already poll.
+                        if t.is_canceled() {
+                            lock(&self.failure)
+                                .get_or_insert(Error::Canceled { kernel: node.name });
+                            self.cancel.store(true, Ordering::Relaxed);
+                            break 'phases;
+                        }
                     }
                     let ci = node.next.fetch_add(1, Ordering::Relaxed);
                     let Some(&(start, end)) = node.chunks.get(ci) else {
@@ -783,8 +802,11 @@ impl Graph {
     /// Sequential replay on the calling thread: ascending node order,
     /// ascending group order — the deterministic path, matching
     /// `Parallelism::Sequential` per-launch execution.
-    fn run_inline(&self) -> Result<()> {
+    fn run_inline(&self, token: Option<&crate::cancel::CancelToken>) -> Result<()> {
         for node in &self.nodes {
+            if let Some(t) = token {
+                t.check(node.name)?;
+            }
             let mut items = 0u64;
             let mut bl = 0u64;
             let mut bg = 0u64;

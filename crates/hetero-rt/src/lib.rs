@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod cancel;
 pub mod constant;
 pub mod cooperative;
 pub mod device;
@@ -71,11 +72,12 @@ pub mod sanitize;
 pub mod usm;
 
 pub use buffer::{Buffer, GlobalView, SlabStats};
+pub use cancel::CancelToken;
 pub use constant::ConstantMemory;
 pub use cooperative::GridCtx;
 pub use device::{Device, DeviceCaps, DeviceKind};
 pub use error::{Error, Result};
-pub use event::{Event, LaunchStats, ProfilingInfo, ResilienceInfo};
+pub use event::{Event, LaunchStats, LedgerSnapshot, ProfilingInfo, ResilienceInfo, ResilienceLedger};
 pub use fault::{FaultKind, FaultPlan};
 pub use graph::{
     reads, reads_item, reads_writes, reads_writes_item, writes, writes_dense, writes_item,
@@ -94,9 +96,10 @@ pub use sanitize::{MemSpace, RaceKind, RaceReport};
 /// mirroring `sycl.hpp`'s role in the original code base.
 pub mod prelude {
     pub use crate::buffer::{Buffer, GlobalView};
+    pub use crate::cancel::CancelToken;
     pub use crate::device::{Device, DeviceCaps, DeviceKind};
     pub use crate::error::{Error, Result};
-    pub use crate::event::Event;
+    pub use crate::event::{Event, ResilienceLedger};
     pub use crate::fault::{FaultKind, FaultPlan};
     pub use crate::graph::{
         reads, reads_item, reads_writes, reads_writes_item, writes, writes_dense, writes_item,

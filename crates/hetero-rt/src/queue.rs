@@ -18,9 +18,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::buffer::{Buffer, BufferSlab, SlabStats};
+use crate::cancel::CancelToken;
 use crate::device::{Device, DeviceKind};
 use crate::error::{Error, Result};
-use crate::event::{Event, LaunchStats, ProfilingInfo, ResilienceInfo};
+use crate::event::{Event, LaunchStats, ProfilingInfo, ResilienceInfo, ResilienceLedger};
 use crate::executor::{run_groups_contained, Parallelism};
 use crate::fault::FaultPlan;
 use crate::ndrange::{GroupCtx, Item, NdRange, Range};
@@ -163,6 +164,8 @@ pub struct Queue {
     sanitize: bool,
     integrity: bool,
     redundancy: Redundancy,
+    cancel: Option<CancelToken>,
+    ledger: Option<Arc<ResilienceLedger>>,
     inflight: Arc<InFlight>,
     slab: Arc<BufferSlab>,
 }
@@ -200,6 +203,8 @@ impl Queue {
             sanitize: crate::sanitize::env_enabled(),
             integrity: sdc,
             redundancy: if sdc { Redundancy::Dmr } else { Redundancy::None },
+            cancel: None,
+            ledger: None,
             inflight: Arc::new(InFlight::default()),
             slab: Arc::new(BufferSlab::new()),
         }
@@ -283,6 +288,38 @@ impl Queue {
     /// The queue's redundant-execution policy.
     pub fn redundancy(&self) -> Redundancy {
         self.redundancy
+    }
+
+    /// Attach (or, with `None`, detach) a cancellation token. Every
+    /// launch on this queue (and clones made *after* this call) polls
+    /// the token at group / chunk / retry-attempt boundaries — including
+    /// backoff sleeps and graph-replay sweeps — and fails fast with
+    /// [`Error::Canceled`] once it fires. The serving layer attaches one
+    /// token per job so a deadline watchdog can contain overruns through
+    /// the typed-error path.
+    pub fn with_cancel_token(mut self, token: Option<CancelToken>) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// The cancellation token launches on this queue poll, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Attach (or, with `None`, detach) an accumulating resilience
+    /// ledger: every launch's [`ResilienceInfo`] — and every typed
+    /// launch failure — is summed into it. The serving layer attaches
+    /// one ledger per tenant, so retries, absorbed faults, replica votes
+    /// and fallbacks are accounted to the tenant that caused them.
+    pub fn with_resilience_ledger(mut self, ledger: Option<Arc<ResilienceLedger>>) -> Self {
+        self.ledger = ledger;
+        self
+    }
+
+    /// The resilience ledger launches on this queue account to, if any.
+    pub fn resilience_ledger(&self) -> Option<&Arc<ResilienceLedger>> {
+        self.ledger.as_ref()
     }
 
     /// The queue's device.
@@ -371,8 +408,30 @@ impl Queue {
             name,
             plan,
             self.sanitize,
+            self.cancel.as_ref(),
             kernel,
         )
+    }
+
+    /// Sleep one retry backoff. With a cancellation token attached the
+    /// sleep runs in short slices so a fired deadline cuts the backoff
+    /// short; the retry-loop head then surfaces [`Error::Canceled`].
+    /// Either way the caller's in-flight guard stays held for the whole
+    /// cycle, so [`Queue::wait`] blocks across backoffs.
+    fn backoff_sleep(&self, attempt: u32) {
+        let delay = self.retry.delay_for(attempt);
+        match &self.cancel {
+            None => std::thread::sleep(delay),
+            Some(t) => {
+                let slice = Duration::from_millis(1);
+                let mut left = delay;
+                while left > Duration::ZERO && !t.is_canceled() {
+                    let d = left.min(slice);
+                    std::thread::sleep(d);
+                    left = left.saturating_sub(d);
+                }
+            }
+        }
     }
 
     /// Redundant execution with digest voting: run the launch `need`
@@ -504,11 +563,21 @@ impl Queue {
         let mut corrected = 0u32;
         let primary = loop {
             attempts += 1;
+            // A fired cancellation token stops the retry cycle at the
+            // next attempt boundary — including between a backoff sleep
+            // and the re-submission it was backing off for — while the
+            // in-flight guard above stays held, so `wait()` never
+            // returns with a canceled attempt still unwinding.
+            if let Some(t) = &self.cancel {
+                if let Err(e) = t.check(name) {
+                    break Err(e);
+                }
+            }
             if let Some(p) = plan {
                 if p.should_fail_launch(name) {
                     if attempts < max_attempts {
                         absorbed += 1;
-                        std::thread::sleep(self.retry.delay_for(attempts));
+                        self.backoff_sleep(attempts);
                         continue;
                     }
                     break Err(Error::TransientLaunchFailure { kernel: name, attempts });
@@ -521,7 +590,7 @@ impl Queue {
                     // has been *told* diverged — detected, never silent.
                     if attempts < max_attempts {
                         absorbed += 1;
-                        std::thread::sleep(self.retry.delay_for(attempts));
+                        self.backoff_sleep(attempts);
                         continue;
                     }
                     break Err(e);
@@ -586,6 +655,12 @@ impl Queue {
                     }
                     crate::integrity::apply_stuck(p);
                 }
+            }
+        }
+        if let Some(ledger) = &self.ledger {
+            match &result {
+                Ok((_, _, info)) => ledger.record(info),
+                Err(e) => ledger.record_error(e),
             }
         }
         result
@@ -702,10 +777,25 @@ impl Queue {
     {
         let _guard = InFlightGuard::enter(&self.inflight);
         crate::fault::install_quiet_hook();
+        if let Some(t) = &self.cancel {
+            if let Err(e) = t.check(name) {
+                if let Some(ledger) = &self.ledger {
+                    ledger.record_error(&e);
+                }
+                return Err(e);
+            }
+        }
         let submitted = Instant::now();
         let started = Instant::now();
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
-            .map_err(|payload| crate::fault::classify_panic(name, 0, payload))?;
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            .map_err(|payload| crate::fault::classify_panic(name, 0, payload));
+        if let Some(ledger) = &self.ledger {
+            match &run {
+                Ok(()) => ledger.record(&ResilienceInfo::default()),
+                Err(e) => ledger.record_error(e),
+            }
+        }
+        run?;
         let stats = LaunchStats { groups: 1, items: 1, ..LaunchStats::default() };
         Ok(self.finish_event(
             name,
@@ -833,6 +923,9 @@ impl Queue {
     {
         let _guard = InFlightGuard::enter(&self.inflight);
         crate::fault::install_quiet_hook();
+        if let Some(t) = &self.cancel {
+            t.check(name)?;
+        }
         let submitted = Instant::now();
         if self.device.caps().supports_pipes || kernels.len() <= 1 {
             // ok — FPGA-style concurrent kernels, or trivially sequential

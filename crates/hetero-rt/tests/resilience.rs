@@ -339,3 +339,168 @@ fn chaos_outcomes_reproduce_from_the_seed() {
     assert_eq!(inj_a, inj_b);
     assert_eq!(out_a, out_b);
 }
+
+/// Satellite pin: `Queue::wait()` must block across the *entire* retry
+/// cycle — attempts, backoff sleeps, and the final re-submission — not
+/// just the portion where a kernel is actually executing. The in-flight
+/// guard is entered before the first attempt and held through every
+/// `RetryPolicy` backoff, so a waiter that arrives mid-backoff still
+/// sees the completed launch when `wait()` returns.
+#[test]
+fn wait_blocks_across_full_retry_backoff_cycle() {
+    let plan = Arc::new(FaultPlan::transient_burst(2));
+    let q = Queue::new(Device::cpu())
+        .with_fault_plan(Some(plan))
+        .with_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(150),
+        });
+    let worker_q = q.clone();
+    let submitted = Arc::new(AtomicU32::new(0));
+    let submitted2 = Arc::clone(&submitted);
+    let b = Buffer::<u32>::new(64);
+    let v = b.view();
+    let t = std::thread::spawn(move || {
+        submitted2.store(1, Ordering::Release);
+        worker_q
+            .try_parallel_for("retried", Range::d1(64), move |it| v.set(it.gid(0), 1))
+            .expect("two bursts fit a three-attempt budget")
+    });
+    while submitted.load(Ordering::Acquire) == 0 {
+        std::hint::spin_loop();
+    }
+    // Land inside the first 150 ms backoff window (attempt 1 fails
+    // immediately; the kernel cannot have run yet), then wait.
+    std::thread::sleep(Duration::from_millis(50));
+    q.wait();
+    // The snapshot taken right after wait() returns must already hold
+    // the completed launch; an early return mid-backoff reads zeros.
+    let snapshot = b.to_vec();
+    assert!(
+        snapshot.iter().all(|&x| x == 1),
+        "wait() returned while a retried attempt was still backing off"
+    );
+    let e = t.join().unwrap();
+    assert_eq!(
+        e.resilience().faults_absorbed,
+        2,
+        "the run must actually have exercised the backoff cycle"
+    );
+}
+
+/// A fired cancellation token stops an in-flight launch at the next
+/// group boundary with a typed error, and the queue (and pool) stay
+/// usable afterwards.
+#[test]
+fn cancel_token_stops_launch_mid_run_and_queue_survives() {
+    let token = CancelToken::new();
+    let q = Queue::new(Device::cpu())
+        .with_parallelism(Parallelism::Sequential)
+        .with_cancel_token(Some(token.clone()));
+    let worker_q = q.clone();
+    let started = Arc::new(AtomicU32::new(0));
+    let started2 = Arc::clone(&started);
+    let t = std::thread::spawn(move || {
+        worker_q.nd_range("slow", NdRange::d1(64, 1), move |_ctx| {
+            started2.store(1, Ordering::Release);
+            std::thread::sleep(Duration::from_millis(5));
+        })
+    });
+    while started.load(Ordering::Acquire) == 0 {
+        std::hint::spin_loop();
+    }
+    token.cancel();
+    let e = t.join().unwrap().unwrap_err();
+    assert_eq!(e, Error::Canceled { kernel: "slow" });
+
+    // Same queue, fresh token slot: clean work still runs.
+    let q = q.with_cancel_token(None);
+    let b = Buffer::<u32>::new(128);
+    let v = b.view();
+    q.parallel_for("clean", Range::d1(128), move |it| v.set(it.gid(0), 1));
+    assert!(b.to_vec().iter().all(|&x| x == 1));
+}
+
+/// Cancellation cuts a retry backoff short: a launch stuck in a long
+/// deterministic backoff sequence returns `Canceled` promptly instead of
+/// sleeping out its full budget.
+#[test]
+fn cancel_token_cuts_retry_backoff_short() {
+    let token = CancelToken::new();
+    let plan = Arc::new(FaultPlan::transient_burst(1000));
+    let q = Queue::new(Device::cpu())
+        .with_fault_plan(Some(plan))
+        .with_cancel_token(Some(token.clone()))
+        .with_retry_policy(RetryPolicy {
+            max_attempts: 1000,
+            backoff: Duration::from_millis(50),
+        });
+    let t = std::thread::spawn(move || {
+        let start = std::time::Instant::now();
+        let r = q.try_parallel_for("doomed", Range::d1(16), |_| {});
+        (r, start.elapsed())
+    });
+    std::thread::sleep(Duration::from_millis(60));
+    token.cancel();
+    let (r, elapsed) = t.join().unwrap();
+    assert_eq!(r.unwrap_err(), Error::Canceled { kernel: "doomed" });
+    // Far below the multi-second backoff budget the policy would sleep.
+    assert!(elapsed < Duration::from_secs(5), "took {elapsed:?}");
+}
+
+/// Graph replay honours the queue's cancellation token on both the fast
+/// path (pre-flight check) and stays replayable afterwards.
+#[test]
+fn canceled_graph_replay_is_typed_and_graph_stays_usable() {
+    let q = Queue::new(Device::cpu());
+    let b = Buffer::<u32>::new(64);
+    let v = b.view();
+    let g = Graph::record(&q, |g| {
+        let v = v.clone();
+        g.parallel_for("fill", Range::d1(64), &[writes(&b)], move |it| {
+            v.set(it.gid(0), it.gid(0) as u32 + 1);
+        });
+    })
+    .unwrap();
+
+    let token = CancelToken::new();
+    token.cancel();
+    let canceled_q = q.clone().with_cancel_token(Some(token));
+    let e = g.replay(&canceled_q).unwrap_err();
+    assert!(matches!(e, Error::Canceled { .. }), "{e:?}");
+    assert!(b.to_vec().iter().all(|&x| x == 0), "canceled replay must not run nodes");
+
+    // The original (token-less) queue replays the same graph cleanly.
+    g.replay(&q).unwrap();
+    let out = b.to_vec();
+    assert!(out.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+}
+
+/// A resilience ledger attached to a queue accounts every launch:
+/// retries and absorbed faults on success, typed failures (and
+/// cancellations specifically) on error — the per-tenant accounting the
+/// serving layer bills on.
+#[test]
+fn resilience_ledger_accounts_launches_retries_and_cancellations() {
+    let ledger = Arc::new(ResilienceLedger::new());
+    let plan = Arc::new(FaultPlan::transient_burst(2));
+    let q = Queue::new(Device::cpu())
+        .with_fault_plan(Some(plan))
+        .with_resilience_ledger(Some(Arc::clone(&ledger)))
+        .with_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+        });
+    q.try_parallel_for("retried", Range::d1(16), |_| {}).unwrap();
+    let s = ledger.snapshot();
+    assert_eq!((s.launches, s.attempts, s.faults_absorbed), (1, 3, 2));
+    assert_eq!((s.errors, s.canceled), (0, 0));
+
+    let token = CancelToken::new();
+    token.cancel();
+    let q = q.with_cancel_token(Some(token));
+    q.try_parallel_for("canceled", Range::d1(16), |_| {}).unwrap_err();
+    let s = ledger.snapshot();
+    assert_eq!(s.launches, 2);
+    assert_eq!((s.errors, s.canceled), (1, 1));
+}

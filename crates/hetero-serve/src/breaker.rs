@@ -1,0 +1,173 @@
+//! Per-route circuit breakers.
+//!
+//! The scheduler keeps one breaker per `(app, device)` route. A route
+//! that keeps producing containment-class failures — `KernelPanicked`
+//! or `DataCorruption` verdicts — stops being dispatched: non-CPU
+//! routes degrade to a CPU queue with [`hetero_rt::Fallback::Cpu`],
+//! CPU routes are rejected outright. After a cooldown the breaker
+//! admits a single probe job (half-open); a clean probe closes the
+//! breaker, a failed probe re-opens it for another cooldown.
+//!
+//! All transitions are functions of `(recorded outcomes, now_ms)` only,
+//! so under a [`crate::clock::ManualClock`] the state machine is fully
+//! deterministic — pinned by the tests below and by
+//! `tests/isolation.rs`.
+
+/// Breaker state, exposed for tests and stats reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Route healthy; jobs flow, consecutive failures are counted.
+    Closed,
+    /// Route disabled until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; exactly one probe is in flight.
+    HalfOpen,
+}
+
+/// What the breaker says about dispatching one job now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Dispatch normally.
+    Allow,
+    /// Dispatch as the half-open probe (caller must report the outcome,
+    /// like any other job — the probe's verdict decides open vs closed).
+    AllowProbe,
+    /// Route is open: degrade or reject.
+    Deny,
+}
+
+/// One route's breaker. Not internally synchronized: the scheduler
+/// holds its breaker map under a mutex, which is also what makes
+/// check-then-dispatch atomic.
+#[derive(Debug)]
+pub struct Breaker {
+    open_after: u32,
+    cooldown_ms: u64,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_ms: u64,
+    /// Lifetime count of times this breaker opened (stats).
+    trips: u64,
+}
+
+impl Breaker {
+    /// A closed breaker that opens after `open_after` consecutive
+    /// breaker-class failures and cools down for `cooldown_ms`.
+    pub fn new(open_after: u32, cooldown_ms: u64) -> Self {
+        Breaker {
+            open_after: open_after.max(1),
+            cooldown_ms,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at_ms: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state, advancing `Open -> HalfOpen` if the cooldown has
+    /// elapsed at `now_ms`.
+    pub fn state(&mut self, now_ms: u64) -> BreakerState {
+        if self.state == BreakerState::Open
+            && now_ms.saturating_sub(self.opened_at_ms) >= self.cooldown_ms
+        {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// Decide whether one job may dispatch on this route at `now_ms`.
+    /// An `AllowProbe` moves the breaker out of half-open (back to
+    /// `Open` bookkeeping-wise) so concurrent callers cannot both be
+    /// "the" probe; the probe's recorded outcome decides what follows.
+    pub fn admit(&mut self, now_ms: u64) -> BreakerDecision {
+        match self.state(now_ms) {
+            BreakerState::Closed => BreakerDecision::Allow,
+            BreakerState::Open => BreakerDecision::Deny,
+            BreakerState::HalfOpen => {
+                // Re-stamp the cooldown: if the probe hangs until its
+                // deadline, the route self-heals into another probe one
+                // cooldown later instead of staying stuck half-open.
+                self.state = BreakerState::Open;
+                self.opened_at_ms = now_ms;
+                BreakerDecision::AllowProbe
+            }
+        }
+    }
+
+    /// Record one dispatched job's outcome. `breaker_failure` means a
+    /// containment-class verdict (`KernelPanicked` / `DataCorruption`);
+    /// everything else — including deadline cancellations and admission
+    /// rejections, which say nothing about route health — must be
+    /// recorded as success=non-failure by the caller.
+    pub fn record(&mut self, breaker_failure: bool, now_ms: u64, probe: bool) {
+        if breaker_failure {
+            self.consecutive_failures += 1;
+            if probe || self.consecutive_failures >= self.open_after {
+                self.state = BreakerState::Open;
+                self.opened_at_ms = now_ms;
+                self.consecutive_failures = 0;
+                self.trips += 1;
+            }
+        } else {
+            self.consecutive_failures = 0;
+            if probe {
+                self.state = BreakerState::Closed;
+            }
+        }
+    }
+
+    /// Lifetime number of times this breaker opened.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_and_probes_after_cooldown() {
+        let mut b = Breaker::new(3, 100);
+        assert_eq!(b.admit(0), BreakerDecision::Allow);
+        b.record(true, 0, false);
+        b.record(true, 1, false);
+        assert_eq!(b.state(1), BreakerState::Closed);
+        b.record(true, 2, false); // third consecutive failure trips it
+        assert_eq!(b.state(2), BreakerState::Open);
+        assert_eq!(b.admit(50), BreakerDecision::Deny);
+        assert_eq!(b.admit(101), BreakerDecision::Deny); // opened at 2, 102 is the edge
+        assert_eq!(b.admit(102), BreakerDecision::AllowProbe);
+        // Only one probe per cooldown window.
+        assert_eq!(b.admit(103), BreakerDecision::Deny);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn clean_probe_closes_failed_probe_reopens() {
+        let mut b = Breaker::new(1, 100);
+        b.record(true, 0, false);
+        assert_eq!(b.admit(100), BreakerDecision::AllowProbe);
+        b.record(false, 110, true);
+        assert_eq!(b.state(110), BreakerState::Closed);
+        assert_eq!(b.admit(110), BreakerDecision::Allow);
+
+        b.record(true, 120, false); // trips again (threshold 1)
+        assert_eq!(b.admit(220), BreakerDecision::AllowProbe);
+        b.record(true, 230, true); // failed probe: straight back to open
+        assert_eq!(b.state(230), BreakerState::Open);
+        assert_eq!(b.admit(300), BreakerDecision::Deny);
+        assert_eq!(b.admit(330), BreakerDecision::AllowProbe);
+        assert_eq!(b.trips(), 3);
+    }
+
+    #[test]
+    fn successes_reset_the_consecutive_count() {
+        let mut b = Breaker::new(2, 100);
+        b.record(true, 0, false);
+        b.record(false, 1, false);
+        b.record(true, 2, false);
+        b.record(false, 3, false);
+        assert_eq!(b.state(3), BreakerState::Closed);
+    }
+}

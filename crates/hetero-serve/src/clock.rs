@@ -1,0 +1,89 @@
+//! Time source abstraction for the serving layer.
+//!
+//! Everything time-dependent in the scheduler — deadlines, circuit
+//! breaker cooldowns, latency accounting — reads milliseconds from a
+//! [`Clock`] instead of [`std::time::Instant`] directly, so tests can
+//! drive state machines deterministically with a [`ManualClock`]
+//! (ISSUE: "circuit-breaker open/half-open/close transitions
+//! deterministic under a seeded clock").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonic milliseconds since some fixed origin.
+pub trait Clock: Send + Sync {
+    /// Current time in milliseconds. Must never decrease.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall clock: milliseconds since the clock was created.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock anchored at construction time.
+    pub fn new() -> Self {
+        MonotonicClock { origin: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+}
+
+/// Test clock: time moves only when [`ManualClock::advance`] is called.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ms: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at 0 ms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move time forward by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_only_moves_on_advance() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(250);
+        assert_eq!(c.now_ms(), 250);
+        c.advance(1);
+        assert_eq!(c.now_ms(), 251);
+    }
+
+    #[test]
+    fn monotonic_clock_does_not_decrease() {
+        let c = MonotonicClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+}

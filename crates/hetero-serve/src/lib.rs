@@ -1,0 +1,43 @@
+//! # hetero-serve — benchmark-as-a-service on top of hetero-rt
+//!
+//! A fault-isolated multi-tenant job scheduler that admits thousands
+//! of concurrent benchmark jobs — each a `(tenant, app, size, device,
+//! flavor, hardening)` request over a line-delimited JSON protocol —
+//! and guarantees every one of them exactly one typed verdict:
+//!
+//! * **Completed** / **Corrected** — ran, output validated (possibly
+//!   after the integrity/redundancy machinery absorbed corruptions);
+//! * **Quarantined** — ran and was stopped through the typed-error
+//!   containment path (PR-2 style), its output rejected;
+//! * **Rejected** — admission control refused it (bad request, tenant
+//!   quarantined, quota, open circuit breaker on a CPU route);
+//! * **Shed** — bounded-queue backpressure dropped it before execution;
+//! * **Deadline** — the per-job watchdog fired its [`hetero_rt::CancelToken`]
+//!   and the run was cut short (or it expired while still queued).
+//!
+//! Isolation is per tenant: fault plans attach to per-job queues (never
+//! process-wide state), runtime accounting lands in per-tenant
+//! [`hetero_rt::ResilienceLedger`]s, and corruption quarantine trips on
+//! a tenant's own verdicts only. `tests/isolation.rs` pins the
+//! cross-tenant invariants; the `serve_storm` bench gates the
+//! zero-unaccounted and hostile-tenant-p99 properties.
+//!
+//! The `serve` binary speaks the protocol over stdin/stdout or a Unix
+//! socket; see README "Benchmark service" for the quickstart.
+
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod clock;
+pub mod json;
+pub mod protocol;
+pub mod scheduler;
+pub mod tenant;
+
+pub use breaker::{Breaker, BreakerDecision, BreakerState};
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use protocol::{
+    DeviceRoute, FaultKindSel, Flavor, Hardening, JobRequest, JobResult, Priority, Verdict,
+};
+pub use scheduler::{resolve_app, ResultSink, Scheduler, ServeConfig, ServeStats};
+pub use tenant::TenantState;

@@ -1,0 +1,116 @@
+//! Per-tenant isolation state: resilience ledger, quotas, quarantine.
+//!
+//! A tenant is the service's isolation domain. Each one owns:
+//!
+//! * a [`ResilienceLedger`] attached to every queue built for its jobs,
+//!   so retries, absorbed faults, replica votes and fallbacks are
+//!   accounted to the tenant that caused them;
+//! * admission quotas (max queued, max in flight);
+//! * a quarantine flag: a tenant whose jobs keep producing
+//!   corruption-class verdicts is quarantined and its *future* jobs are
+//!   rejected at admission — scoped strictly to that tenant id, never
+//!   to its neighbours (pinned by `tests/isolation.rs`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hetero_rt::ResilienceLedger;
+
+/// One tenant's serving-layer state. All counters are relaxed atomics:
+/// they are statistics and admission heuristics, not synchronization.
+#[derive(Debug)]
+pub struct TenantState {
+    /// Tenant id (the JSON `tenant` field, verbatim).
+    pub name: String,
+    /// Runtime-level accounting for every queue this tenant's jobs run
+    /// on (shared with hetero-rt via [`hetero_rt::Queue::with_resilience_ledger`]).
+    pub ledger: Arc<ResilienceLedger>,
+    /// Jobs currently waiting in a lane.
+    pub queued: AtomicU64,
+    /// Jobs currently executing.
+    pub running: AtomicU64,
+    /// Jobs this tenant has submitted (including rejected/shed ones).
+    pub submitted: AtomicU64,
+    /// Corruption-class verdicts (`Quarantined`) this tenant has
+    /// accumulated; drives the quarantine trip below.
+    pub corruption_verdicts: AtomicU64,
+    quarantined: AtomicBool,
+    quarantine_reason: Mutex<String>,
+}
+
+impl TenantState {
+    /// Fresh state for tenant `name`.
+    pub fn new(name: &str) -> Self {
+        TenantState {
+            name: name.to_string(),
+            ledger: Arc::new(ResilienceLedger::default()),
+            queued: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            corruption_verdicts: AtomicU64::new(0),
+            quarantined: AtomicBool::new(false),
+            quarantine_reason: Mutex::new(String::new()),
+        }
+    }
+
+    /// Whether this tenant is quarantined (new jobs rejected).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Acquire)
+    }
+
+    /// The reason recorded when the tenant was quarantined.
+    pub fn quarantine_reason(&self) -> String {
+        self.quarantine_reason.lock().unwrap().clone()
+    }
+
+    /// Quarantine this tenant. Idempotent; the first reason wins.
+    pub fn quarantine(&self, reason: &str) {
+        let mut r = self.quarantine_reason.lock().unwrap();
+        if !self.quarantined.swap(true, Ordering::AcqRel) {
+            *r = reason.to_string();
+        }
+    }
+
+    /// Record one corruption-class verdict; quarantines the tenant once
+    /// the count reaches `quarantine_after` (0 disables quarantining).
+    /// Returns true if this call tripped the quarantine.
+    pub fn record_corruption(&self, quarantine_after: u64, reason: &str) -> bool {
+        let n = self.corruption_verdicts.fetch_add(1, Ordering::AcqRel) + 1;
+        if quarantine_after > 0 && n >= quarantine_after && !self.is_quarantined() {
+            self.quarantine(&format!(
+                "{n} corruption-class verdicts (threshold {quarantine_after}); last: {reason}"
+            ));
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantine_trips_at_threshold_and_is_sticky() {
+        let t = TenantState::new("acme");
+        assert!(!t.record_corruption(3, "a"));
+        assert!(!t.record_corruption(3, "b"));
+        assert!(!t.is_quarantined());
+        assert!(t.record_corruption(3, "c"));
+        assert!(t.is_quarantined());
+        assert!(t.quarantine_reason().contains("threshold 3"));
+        assert!(t.quarantine_reason().contains("last: c"));
+        // Further verdicts don't re-trip or rewrite the reason.
+        assert!(!t.record_corruption(3, "d"));
+        assert!(t.quarantine_reason().contains("last: c"));
+    }
+
+    #[test]
+    fn threshold_zero_disables_quarantine() {
+        let t = TenantState::new("acme");
+        for _ in 0..100 {
+            assert!(!t.record_corruption(0, "x"));
+        }
+        assert!(!t.is_quarantined());
+    }
+}

@@ -1,0 +1,229 @@
+//! Cross-tenant isolation invariants: a hostile tenant's injected
+//! faults never change a clean tenant's verdicts, quarantine never
+//! leaks across tenant ids, and breaker transitions are deterministic
+//! under a seeded manual clock.
+
+use std::sync::{Arc, Mutex};
+
+use hetero_serve::{
+    FaultKindSel, Hardening, JobRequest, JobResult, ManualClock, MonotonicClock, Priority,
+    ResultSink, Scheduler, ServeConfig, Verdict,
+};
+
+/// Same serialization story as tests/scheduler.rs: these tests share
+/// process-global runtime state (integrity layer, thread pool) and make
+/// timing-sensitive assertions.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn collector() -> (ResultSink, Arc<Mutex<Vec<JobResult>>>) {
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let r = results.clone();
+    let sink: ResultSink = Arc::new(move |res| r.lock().unwrap().push(res));
+    (sink, results)
+}
+
+fn req(tenant: &str, app: &str) -> JobRequest {
+    JobRequest {
+        tenant: tenant.to_string(),
+        app: app.to_string(),
+        ..JobRequest::default()
+    }
+}
+
+/// A hostile tenant hammering one app with seeded panic injection must
+/// not perturb a clean tenant running a different app concurrently: the
+/// fault plans are attached per-job queue, so every clean job completes
+/// and every hostile job quarantines.
+#[test]
+fn disjoint_fault_seeds_never_cross_tenant_boundaries() {
+    let _serial = serialize();
+    let s = Scheduler::new(
+        ServeConfig {
+            workers: 2,
+            // High threshold: this test is about fault-plan scoping,
+            // not breaker routing (breakers are per-(app,device) and
+            // intentionally shared — see the breaker test below).
+            breaker_open_after: 1_000,
+            ..ServeConfig::default()
+        },
+        Arc::new(MonotonicClock::new()),
+    );
+    let (sink, results) = collector();
+    // Interleave submissions so both tenants are in flight together.
+    for i in 0..6 {
+        s.submit(
+            JobRequest {
+                id: i,
+                hardening: Hardening::Resilient,
+                fault_seed: Some(1_000 + i),
+                fault_rate: 1.0,
+                fault_kind: FaultKindSel::Panic,
+                ..req("hostile", "DWT2D")
+            },
+            sink.clone(),
+        );
+        s.submit(
+            JobRequest { id: 100 + i, hardening: Hardening::Resilient, ..req("clean", "Where") },
+            sink.clone(),
+        );
+    }
+    s.wait_idle();
+    let got = results.lock().unwrap();
+    assert_eq!(got.len(), 12);
+    for r in got.iter() {
+        match r.tenant.as_str() {
+            "clean" => assert_eq!(
+                r.verdict,
+                Verdict::Completed,
+                "clean tenant job {} caught a stray fault: {:?}",
+                r.id,
+                r.verdict
+            ),
+            "hostile" => assert!(
+                matches!(&r.verdict, Verdict::Quarantined { reason } if reason.contains("panicked")),
+                "hostile job {} should quarantine on its own panic: {:?}",
+                r.id,
+                r.verdict
+            ),
+            other => panic!("unexpected tenant '{other}'"),
+        }
+    }
+    drop(got);
+    // Runtime accounting is tenant-scoped too: the clean tenant's
+    // ledger saw launches but no typed errors.
+    let clean = s.tenant_ledger("clean").expect("clean tenant exists");
+    assert!(clean.launches > 0);
+    assert_eq!(clean.errors, 0, "hostile errors must not land in the clean ledger");
+    let hostile = s.tenant_ledger("hostile").expect("hostile tenant exists");
+    assert!(hostile.errors > 0, "hostile panics are accounted to the hostile ledger");
+    assert_eq!(s.stats().uncontained, 0);
+    s.shutdown();
+}
+
+/// Tenant quarantine trips on a tenant's own corruption verdicts only:
+/// after the hostile tenant is quarantined, its submissions are
+/// rejected, while a clean tenant keeps running the very same app.
+#[test]
+fn quarantine_never_leaks_across_tenant_ids() {
+    let _serial = serialize();
+    let s = Scheduler::new(
+        ServeConfig { workers: 1, quarantine_after: 2, ..ServeConfig::default() },
+        Arc::new(MonotonicClock::new()),
+    );
+    let (sink, results) = collector();
+    // Two panic-class quarantines trip the hostile tenant's own
+    // quarantine (threshold 2) without opening the shared (app, cpu)
+    // breaker (threshold 3).
+    for i in 0..2 {
+        s.submit(
+            JobRequest {
+                id: i,
+                hardening: Hardening::Resilient,
+                fault_seed: Some(9),
+                fault_rate: 1.0,
+                fault_kind: FaultKindSel::Panic,
+                ..req("hostile", "Where")
+            },
+            sink.clone(),
+        );
+        s.wait_idle();
+    }
+    assert!(s.tenant_quarantined("hostile"), "2 corruption verdicts must quarantine");
+    assert!(!s.tenant_quarantined("clean"), "quarantine must be tenant-scoped");
+
+    s.submit(JobRequest { id: 2, ..req("hostile", "Where") }, sink.clone());
+    s.submit(JobRequest { id: 3, ..req("clean", "Where") }, sink.clone());
+    s.wait_idle();
+    let got = results.lock().unwrap();
+    let by_id = |id: u64| got.iter().find(|r| r.id == id).expect("verdict delivered");
+    assert!(
+        matches!(&by_id(2).verdict, Verdict::Rejected { reason } if reason.contains("quarantined")),
+        "quarantined tenant is refused: {:?}",
+        by_id(2).verdict
+    );
+    assert_eq!(
+        by_id(3).verdict,
+        Verdict::Completed,
+        "clean tenant runs the same app unharmed"
+    );
+    assert!(!s.tenant_quarantined("clean"));
+    s.shutdown();
+}
+
+/// Breaker transitions are a pure function of the seeded clock: trip at
+/// t, deny until t + cooldown, probe exactly once after, close on the
+/// clean probe. No sleeps, no real time.
+#[test]
+fn breaker_transitions_are_deterministic_under_manual_clock() {
+    let _serial = serialize();
+    let clock = Arc::new(ManualClock::new());
+    let s = Scheduler::new(
+        ServeConfig {
+            workers: 1,
+            breaker_open_after: 1,
+            breaker_cooldown_ms: 100,
+            ..ServeConfig::default()
+        },
+        clock.clone(),
+    );
+    let (sink, results) = collector();
+    let verdict_of = |id: u64| {
+        let got = results.lock().unwrap();
+        got.iter()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("job {id} has no verdict"))
+            .verdict
+            .clone()
+    };
+
+    // t=0: one panic-class failure trips the breaker (threshold 1).
+    s.submit(
+        JobRequest {
+            id: 0,
+            hardening: Hardening::Resilient,
+            fault_seed: Some(5),
+            fault_rate: 1.0,
+            fault_kind: FaultKindSel::Panic,
+            ..req("acme", "Where")
+        },
+        sink.clone(),
+    );
+    s.wait_idle();
+    assert!(matches!(verdict_of(0), Verdict::Quarantined { .. }));
+    assert_eq!(s.stats().breaker_trips, 1);
+
+    // Still t=0 (cooldown not elapsed): a clean job on the same route
+    // is denied — and on the cpu route there is nowhere to degrade to.
+    s.submit(JobRequest { id: 1, ..req("acme", "Where") }, sink.clone());
+    s.wait_idle();
+    assert!(
+        matches!(verdict_of(1), Verdict::Rejected { reason } if reason.contains("circuit open")),
+        "open breaker must deny before cooldown: {:?}",
+        verdict_of(1)
+    );
+
+    // t=99: one tick short of the cooldown — still denied.
+    clock.advance(99);
+    s.submit(JobRequest { id: 2, ..req("acme", "Where") }, sink.clone());
+    s.wait_idle();
+    assert!(matches!(verdict_of(2), Verdict::Rejected { .. }));
+
+    // t=100: cooldown elapsed — exactly one probe is admitted and its
+    // clean run closes the breaker.
+    clock.advance(1);
+    s.submit(JobRequest { id: 3, ..req("acme", "Where") }, sink.clone());
+    s.wait_idle();
+    assert_eq!(verdict_of(3), Verdict::Completed, "probe runs clean and closes");
+
+    // Closed again: ordinary admission, no probe bookkeeping left over.
+    s.submit(JobRequest { id: 4, priority: Priority::High, ..req("acme", "Where") }, sink.clone());
+    s.wait_idle();
+    assert_eq!(verdict_of(4), Verdict::Completed);
+    assert_eq!(s.stats().breaker_trips, 1, "no spurious re-trips");
+    assert_eq!(s.stats().uncontained, 0);
+    s.shutdown();
+}

@@ -62,4 +62,15 @@ done
 # cell or a missed gate exits nonzero.
 ./target/release/graph_replay /tmp/BENCH_graph_replay.json --gate 5 --fusion-gate 1.0 --matrix > /dev/null
 
-echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate + graph replay + fusion gates all green"
+# Service-layer gates. chaos --serve replays the 13-config fault matrix
+# through the real JSON protocol and an in-process scheduler: every job
+# must get exactly one typed verdict (none uncontained) and the shared
+# pool must survive. serve_storm floods the scheduler with 1k queued
+# jobs across 8 tenants x 3 priority lanes (zero unaccounted, zero
+# uncontained) and then runs the hostile-tenant isolation gate: a
+# saturating fault-rate-1.0 tenant must not move a clean tenant's
+# closed-loop p99 by more than 10%.
+./target/release/chaos --serve > /dev/null
+./target/release/serve_storm /tmp/BENCH_serve_storm.json --jobs 1000 > /dev/null
+
+echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate + graph replay + fusion gates + serve gates all green"
