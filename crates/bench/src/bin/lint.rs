@@ -47,6 +47,17 @@
 //!   library path that exits tears down every tenant at once and skips
 //!   the one-verdict-per-job accounting. Library code reports through
 //!   typed errors / verdicts; only binary front-ends choose exit codes.
+//! * **no-unchecked-outside-proven** — no unchecked buffer access
+//!   (`get_unchecked`, raw `.elem(` accessor calls) in library code
+//!   outside the audited elision layer. Proof-gated bounds-check
+//!   elision is sound *because* the unsafe accessors are reachable from
+//!   exactly two files: `hetero-rt/src/buffer.rs` (the checked
+//!   accessors' own post-check internals) and `hetero-rt/src/elide.rs`
+//!   (certificate-gated views whose bounds obligation the record-time
+//!   prover discharged). Any other call site would bypass both the
+//!   bounds check and the proof. Suppress with
+//!   `// lint:allow(no-unchecked-outside-proven)` plus the invariant
+//!   that discharges the bounds obligation.
 //!
 //! A violation is suppressed by a `// lint:allow(rule-name)` comment on
 //! the same line or the line above — used where an application
@@ -73,6 +84,11 @@ const LAUNCH_CALLS: [&str; 8] = [
 struct Violation {
     file: PathBuf,
     line: usize,
+    /// Byte offset of the match in the file — the dedup key. Two
+    /// distinct violations of one rule can share a line (`a[i] + b[j]`),
+    /// so line-keyed dedup used to swallow real findings; only the
+    /// offset identifies a *site*.
+    offset: usize,
     rule: &'static str,
     snippet: String,
 }
@@ -113,11 +129,14 @@ fn main() {
     for f in &lib_files {
         let text = std::fs::read_to_string(f).expect("readable source");
         lint_no_process_exit(f, &text, &mut violations);
+        lint_no_unchecked(f, &text, &mut violations);
     }
     // Launch calls can nest (a cooperative body re-entering nd_range);
-    // report each site once.
-    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    violations.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    // report each *site* once. The key is the byte offset, not the
+    // line: one line can hold two distinct same-rule violations, and
+    // collapsing those hid real findings.
+    violations.sort_by(|a, b| (&a.file, a.offset, a.rule).cmp(&(&b.file, b.offset, b.rule)));
+    violations.dedup_by(|a, b| a.file == b.file && a.offset == b.offset && a.rule == b.rule);
 
     for v in &violations {
         println!(
@@ -431,7 +450,13 @@ fn lint_body(
             return;
         }
         let snippet = text.lines().nth(line - 1).unwrap_or("").to_string();
-        violations.push(Violation { file: file.to_path_buf(), line, rule, snippet });
+        violations.push(Violation {
+            file: file.to_path_buf(),
+            line,
+            offset: lo + off,
+            rule,
+            snippet,
+        });
     };
 
     // no-unwrap: `.unwrap()` / `.expect(`.
@@ -671,6 +696,7 @@ fn lint_allocs_in_loops(
         violations.push(Violation {
             file: file.to_path_buf(),
             line,
+            offset: p,
             rule: "no-alloc-in-loop",
             snippet,
         });
@@ -697,9 +723,49 @@ fn lint_no_process_exit(
         violations.push(Violation {
             file: file.to_path_buf(),
             line,
+            offset: p,
             rule: "no-process-exit",
             snippet,
         });
+    }
+}
+
+/// The `no-unchecked-outside-proven` rule: unchecked buffer access
+/// primitives (`get_unchecked`, raw `.elem(` calls) anywhere in library
+/// code outside the audited elision layer. Only two files may touch
+/// them: `hetero-rt/src/buffer.rs` (the checked accessors run the
+/// bounds check *before* dereferencing) and `hetero-rt/src/elide.rs`
+/// (a record-time proof certificate discharges the bounds obligation).
+fn lint_no_unchecked(file: &Path, text: &str, violations: &mut Vec<Violation>) {
+    let audited = ["hetero-rt/src/buffer.rs", "hetero-rt/src/elide.rs"];
+    let path = file.to_string_lossy().replace('\\', "/");
+    if audited.iter().any(|a| path.ends_with(a)) {
+        return;
+    }
+    let (masked, allows) = mask_source(text);
+    for pat in [&b"get_unchecked"[..], &b".elem("[..]] {
+        let mut from = 0;
+        while let Some(p) = find(&masked, pat, from) {
+            from = p + pat.len();
+            // Whole-word: `get_unchecked` must not be part of a longer
+            // identifier on the left (`.elem(` is self-delimiting), and
+            // `get_unchecked_mut` should still match.
+            if p > 0 && pat[0] != b'.' && is_ident_byte(masked[p - 1]) {
+                continue;
+            }
+            let line = line_of(text, p);
+            if allowed(&allows, "no-unchecked-outside-proven", line) {
+                continue;
+            }
+            let snippet = text.lines().nth(line - 1).unwrap_or("").to_string();
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line,
+                offset: p,
+                rule: "no-unchecked-outside-proven",
+                snippet,
+            });
+        }
     }
 }
 
@@ -749,6 +815,7 @@ fn lint_file(file: &Path, text: &str, violations: &mut Vec<Violation>) -> usize 
                         violations.push(Violation {
                             file: file.to_path_buf(),
                             line,
+                            offset: q + 1 + amp,
                             rule: "graph-empty-bindings",
                             snippet,
                         });

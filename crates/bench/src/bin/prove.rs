@@ -1,0 +1,305 @@
+//! `prove` — the static-verification CI sweep plus the proof-gated
+//! bounds-check elision benchmark.
+//!
+//! Four phases, all load-bearing (each can fail the run):
+//!
+//! * **App binding sweep** — every suite configuration runs against its
+//!   golden reference with contract enforcement force-enabled
+//!   ([`prove::force_enable`], so the sweep is meaningful in release
+//!   builds too), then the 5-app × 4-flavor graph-equivalence matrix
+//!   drives every graph-converted app through `Graph` *and*
+//!   `GraphOptimized` recording. Afterwards the prove counters must
+//!   show contracts were checked with zero violations, certificates
+//!   were issued, and every optimizer output was accepted by the
+//!   independent translation-validation checker (zero rejections).
+//! * **FPGA design sweep** — all 26 designs (13 configurations ×
+//!   baseline/optimized) through the static IR verifier, with the
+//!   explicit [`DPCT_BASELINE_DEVIATIONS`] allowlist: unmatched
+//!   findings fail, and so do stale allowlist entries that no longer
+//!   fire.
+//! * **Record-check overhead** — the full infer + cross-check of a
+//!   representative stencil contract is timed standalone; its
+//!   per-replay amortization (three checks per recording, spread over
+//!   a size-1 FDTD2D run's replays) must stay under 1% of a replay.
+//! * **Elision benchmark** — FDTD2D and SRAD replayed over *identical*
+//!   recorded schedules with the elision kill switch off (fully
+//!   checked accessors) and on (certified kernels run unchecked on the
+//!   fast path). Gate: the proven path must win by `--gate` (default
+//!   1.05×) on at least one bandwidth-bound configuration. A sanitized
+//!   replay of the same certified graph is also run to confirm the
+//!   armed-queue fallback stays fully checked and bit-equal.
+//!
+//! Writes `BENCH_prove_elision.json` (or the first positional arg).
+//!
+//! Usage:
+//! ```text
+//! prove [out.json] [--gate X]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use altis_core::common::{AppVersion, ExecMode};
+use altis_core::suite::{all_apps, graph_mode_matrix, verify_suite_ir, DPCT_BASELINE_DEVIATIONS};
+use altis_data::InputSize;
+use hetero_ir::{PlanAccess, PlanFootprint};
+use hetero_rt::prelude::*;
+use hetero_rt::{elide, prove};
+
+/// Median of three timed runs of `f`, seconds.
+fn median3_secs(f: impl Fn()) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[1]
+}
+
+struct ElisionRow {
+    app: &'static str,
+    config: String,
+    checked_s: f64,
+    proven_s: f64,
+}
+
+impl ElisionRow {
+    fn speedup(&self) -> f64 {
+        self.checked_s / self.proven_s
+    }
+}
+
+fn main() {
+    if std::env::var_os("HETERO_RT_THREADS").is_none() {
+        std::env::set_var("HETERO_RT_THREADS", "4");
+    }
+    // Enforcement on for the whole process — this is the point of the
+    // sweep: release builds check every recorded contract too.
+    prove::force_enable();
+
+    let mut out_path = "BENCH_prove_elision.json".to_string();
+    let mut gate = 1.05f64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--gate" => {
+                gate = args[i + 1].parse().expect("--gate takes a float");
+                i += 2;
+            }
+            p if !p.starts_with("--") => {
+                out_path = p.to_string();
+                i += 1;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- Phase 1: app binding sweep under enforcement ------------------
+    println!("== binding-contract sweep (13 apps, enforcement on) ==");
+    let q = Queue::new(Device::cpu());
+    let mut apps_ok = 0usize;
+    for app in all_apps() {
+        let ok = (app.verify)(&q, InputSize::S1, AppVersion::SyclOptimized);
+        println!("  {:<12} {}", app.name, if ok { "ok" } else { "FAILED" });
+        if ok {
+            apps_ok += 1;
+        } else {
+            failures.push(format!("app {} failed golden verification", app.name));
+        }
+    }
+    // The matrix additionally drives every graph app through Graph and
+    // GraphOptimized — the recording paths where contracts and the
+    // translation-validation gate live.
+    for (name, flavor, ok) in graph_mode_matrix(InputSize::S1) {
+        if !ok {
+            failures.push(format!("graph matrix cell {name}/{flavor:?} diverged"));
+        }
+    }
+    let (checked, violations, certs) = (
+        prove::contracts_checked(),
+        prove::violations_found(),
+        prove::certificates_issued(),
+    );
+    let (tv_ok, tv_rej) = (hetero_rt::graph_opt::tv_accepted(), hetero_rt::graph_opt::tv_rejected());
+    println!(
+        "  contracts checked {checked}, violations {violations}, certificates {certs}, \
+         tv accepted {tv_ok}, tv rejected {tv_rej}"
+    );
+    if checked == 0 {
+        failures.push("sweep checked zero contracts — enforcement not wired".into());
+    }
+    if violations != 0 {
+        failures.push(format!("{violations} binding-contract violations in the suite"));
+    }
+    if certs == 0 {
+        failures.push("no elision certificates issued — proofs stopped closing".into());
+    }
+    if tv_ok == 0 {
+        failures.push("translation validator never ran over an optimized plan".into());
+    }
+    if tv_rej != 0 {
+        let detail = hetero_rt::graph_opt::last_tv_rejection().unwrap_or_default();
+        failures.push(format!("{tv_rej} optimizer outputs rejected by TV: {detail}"));
+    }
+
+    // --- Phase 2: FPGA design sweep with the explicit allowlist --------
+    println!("== FPGA design sweep (26 designs, {} allowlisted deviations) ==", DPCT_BASELINE_DEVIATIONS.len());
+    let fpga_checked = match verify_suite_ir() {
+        Ok(n) => {
+            println!("  {n} kernel instances verified");
+            n
+        }
+        Err(errs) => {
+            for e in &errs {
+                println!("  FAILED: {e}");
+            }
+            failures.push(format!("{} FPGA verifier findings outside the allowlist", errs.len()));
+            0
+        }
+    };
+
+    // --- Phase 3: record-check overhead --------------------------------
+    // The FDTD2D hx contract (the largest spec in the suite's hot
+    // recording path): full inference + cross-check, timed standalone.
+    let n = 256usize;
+    let nn = n * n;
+    let own = |off: usize| prove::at(off).item(0, 1).item(1, n);
+    let spec = prove::LaunchSpec::new()
+        .slot("ez", nn, vec![own(n).into(), own(0).into()], vec![])
+        .slot("hx", nn, vec![own(0).into(), own(0).into()], vec![own(0).into()]);
+    let declared = [
+        (PlanAccess::Read, PlanFootprint::Whole),
+        (PlanAccess::ReadWrite, PlanFootprint::Item),
+    ];
+    let reps = 2_000u32;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let report = prove::infer_contract("fdtd_hx", [n - 1, n - 1, 1], &spec);
+        assert!(prove::check_contract(&report, &declared).is_empty());
+    }
+    let check_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+    println!("== record-check overhead: {check_us:.1} µs per contract ==");
+
+    // --- Phase 4: elision benchmark ------------------------------------
+    println!("== proof-gated elision: checked vs proven fast-path replay ==");
+    let mut rows: Vec<ElisionRow> = Vec::new();
+    let fdtd_configs = [(256usize, 100usize), (512, 100)];
+    for (dim, steps) in fdtd_configs {
+        let p = altis_data::Fdtd2dParams { dim, steps };
+        let run = |_: ()| {
+            let out = altis_core::fdtd2d::run_with(&q, &p, AppVersion::SyclOptimized, ExecMode::Graph);
+            assert!(out.ez.iter().all(|v| v.is_finite()));
+        };
+        elide::set_enabled(false);
+        let checked_s = median3_secs(|| run(()));
+        elide::set_enabled(true);
+        let proven_s = median3_secs(|| run(()));
+        rows.push(ElisionRow { app: "FDTD2D", config: format!("dim={dim} steps={steps}"), checked_s, proven_s });
+    }
+    let srad_configs = [(256usize, 16usize), (512, 16)];
+    for (dim, iterations) in srad_configs {
+        let p = altis_data::SradParams { dim, iterations, lambda: 0.5 };
+        let run = |_: ()| {
+            let out = altis_core::srad::run_with(&q, &p, AppVersion::SyclOptimized, ExecMode::Graph);
+            assert!(out.iter().all(|v| v.is_finite()));
+        };
+        elide::set_enabled(false);
+        let checked_s = median3_secs(|| run(()));
+        elide::set_enabled(true);
+        let proven_s = median3_secs(|| run(()));
+        rows.push(ElisionRow { app: "SRAD", config: format!("dim={dim} iters={iterations}"), checked_s, proven_s });
+    }
+    for r in &rows {
+        println!(
+            "  {:<7} {:<22} checked {:>8.4}s  proven {:>8.4}s  speedup {:.3}x",
+            r.app,
+            r.config,
+            r.checked_s,
+            r.proven_s,
+            r.speedup()
+        );
+    }
+    let best = rows.iter().map(|r| r.speedup()).fold(0.0f64, f64::max);
+    if best < gate {
+        failures.push(format!(
+            "elision gate: best proven-path speedup {best:.3}x is below the {gate:.2}x gate"
+        ));
+    }
+
+    // Amortization: one size-1 FDTD2D recording runs 3 contract checks
+    // and replays `steps` times; the per-replay share of the checks must
+    // be negligible against a measured replay.
+    let (dim, steps) = fdtd_configs[0];
+    let replay_s = rows[0].proven_s / steps as f64;
+    let amortized_frac = (3.0 * check_us * 1e-6 / steps as f64) / replay_s;
+    println!(
+        "  record-check amortization at dim={dim}: {:.5}% of one replay",
+        amortized_frac * 100.0
+    );
+    if amortized_frac > 0.01 {
+        failures.push(format!(
+            "record-time contract checks cost {:.2}% of a replay — not amortized",
+            amortized_frac * 100.0
+        ));
+    }
+
+    // Fallback verification: the same certified FDTD2D run on a
+    // sanitizer-armed queue must still succeed (checked accessors, no
+    // arming) and agree with the fast-path result bit-for-bit.
+    let p = altis_data::Fdtd2dParams { dim: 128, steps: 20 };
+    let fast = altis_core::fdtd2d::run_with(&q, &p, AppVersion::SyclOptimized, ExecMode::Graph);
+    let sanitized = Queue::new(Device::cpu()).with_sanitizer(true);
+    let safe = altis_core::fdtd2d::run_with(&sanitized, &p, AppVersion::SyclOptimized, ExecMode::Graph);
+    if fast.ez != safe.ez {
+        failures.push("armed-queue fallback diverged from the proven fast path".into());
+    } else {
+        println!("  armed-queue fallback verified: checked replay bit-equal to proven replay");
+    }
+
+    // --- Report ---------------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"sweep\": {{");
+    let _ = writeln!(json, "    \"apps_verified\": {apps_ok},");
+    let _ = writeln!(json, "    \"contracts_checked\": {},", prove::contracts_checked());
+    let _ = writeln!(json, "    \"violations_found\": {},", prove::violations_found());
+    let _ = writeln!(json, "    \"certificates_issued\": {},", prove::certificates_issued());
+    let _ = writeln!(json, "    \"tv_accepted\": {},", hetero_rt::graph_opt::tv_accepted());
+    let _ = writeln!(json, "    \"tv_rejected\": {},", hetero_rt::graph_opt::tv_rejected());
+    let _ = writeln!(json, "    \"fpga_instances_checked\": {fpga_checked},");
+    let _ = writeln!(json, "    \"fpga_allowlist_entries\": {}", DPCT_BASELINE_DEVIATIONS.len());
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"record_check_us\": {check_us:.2},");
+    let _ = writeln!(json, "  \"record_check_amortized_frac\": {amortized_frac:.6},");
+    let _ = writeln!(json, "  \"elision\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"app\": \"{}\", \"config\": \"{}\", \"checked_s\": {:.6}, \"proven_s\": {:.6}, \"speedup\": {:.4}}}{comma}",
+            r.app, r.config, r.checked_s, r.proven_s, r.speedup()
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"best_speedup\": {best:.4},");
+    let _ = writeln!(json, "  \"gate\": {gate:.2},");
+    let _ = writeln!(json, "  \"passed\": {}", failures.is_empty());
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("prove: FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("prove: all gates passed (best elision speedup {best:.3}x >= {gate:.2}x)");
+}

@@ -387,9 +387,19 @@ pub fn run_with<T: Real>(
                     }
                 }
             };
+            // time_step's index structure is fully affine (e*NVAR + v
+            // with v constant-unrolled), so its proof closes and it
+            // earns an elision certificate; compute_flux's neighbour
+            // gather is data-dependent, so it gets a bare (ungated)
+            // contract and stays fully checked.
+            let ts_gate = Gate::new();
             let g_ts_kernel = {
-                let (vv, ov, fv, vov) =
-                    (vars.view(), old.view(), fluxes.view(), vols.view());
+                let (vv, ov, fv, vov) = (
+                    ts_gate.view(vars.view()),
+                    ts_gate.view(old.view()),
+                    ts_gate.view(fluxes.view()),
+                    ts_gate.view(vols.view()),
+                );
                 move |it: Item| {
                     let e = it.gid(0);
                     let factor = T::from_f64(CFL * 0.01) / vov.get(e);
@@ -402,12 +412,28 @@ pub fn run_with<T: Real>(
                 }
             };
             let graph = Graph::record(q, |g| {
+                use hetero_rt::prove::{at, bounded, Index, LaunchSpec};
+                // One affine index per unrolled state variable: e*w + v.
+                let per_var = |w: usize| -> Vec<Index> {
+                    (0..w).map(|v| at(v).item(0, w).into()).collect()
+                };
+                // The e-slice reads plus the data-dependent neighbour
+                // gather (bounded by the buffer length, never proven).
+                let mut flux_reads = per_var(NVAR);
+                flux_reads.push(bounded(n * NVAR));
                 g.copy("save_state", &vars, &old)
                     .parallel_for(
                         "compute_flux",
                         Range::d1(n),
                         &[reads(&old), reads(&nbrs), reads(&norms), writes_item(&fluxes)],
                         g_flux_kernel,
+                    )
+                    .contract(
+                        LaunchSpec::new()
+                            .slot("old", n * NVAR, flux_reads, vec![])
+                            .slot("nbrs", n * NNB, per_var(NNB), vec![])
+                            .slot("norms", n * NNB * 3, per_var(NNB * 3), vec![])
+                            .slot("fluxes", n * NVAR, vec![], per_var(NVAR)),
                     )
                     .parallel_for(
                         "time_step",
@@ -419,6 +445,14 @@ pub fn run_with<T: Real>(
                             writes_dense(&vars),
                         ],
                         g_ts_kernel,
+                    )
+                    .contract_gated(
+                        LaunchSpec::new()
+                            .slot("old", n * NVAR, per_var(NVAR), vec![])
+                            .slot("vols", n, vec![at(0).item(0, 1).into()], vec![])
+                            .slot("fluxes", n * NVAR, per_var(NVAR), vec![])
+                            .slot("vars", n * NVAR, vec![], per_var(NVAR)),
+                        &ts_gate,
                     )
                     .output(&vars);
             })

@@ -87,22 +87,28 @@ pub fn run_with(q: &Queue, p: &Fdtd2dParams, _version: AppVersion, mode: ExecMod
     let hy = Buffer::<f32>::new(n * n);
     let (ezv, hxv, hyv) = (ez.view(), hx.view(), hy.view());
 
+    // One elision gate per kernel: every access below is affine in the
+    // item id, so the record-time contract proof closes and fast-path
+    // replays run these views unchecked (checked everywhere else).
+    let gates = [Gate::new(), Gate::new(), Gate::new()];
+
     let hx_kernel = {
-        let (ezv2, hxv2) = (ezv.clone(), hxv.clone());
+        let (ezv2, hxv2) = (gates[0].view(ezv.clone()), gates[0].view(hxv.clone()));
         move |it: Item| {
             let i = it.gid(1) * n + it.gid(0);
             hxv2.update(i, |h| h - C_H * (ezv2.get(i + n) - ezv2.get(i)));
         }
     };
     let hy_kernel = {
-        let (ezv2, hyv2) = (ezv.clone(), hyv.clone());
+        let (ezv2, hyv2) = (gates[1].view(ezv.clone()), gates[1].view(hyv.clone()));
         move |it: Item| {
             let i = it.gid(1) * n + it.gid(0);
             hyv2.update(i, |h| h + C_H * (ezv2.get(i + 1) - ezv2.get(i)));
         }
     };
     let ez_kernel = {
-        let (ezv2, hxv2, hyv2) = (ezv.clone(), hxv.clone(), hyv.clone());
+        let (ezv2, hxv2, hyv2) =
+            (gates[2].view(ezv.clone()), gates[2].view(hxv.clone()), gates[2].view(hyv.clone()));
         move |it: Item| {
             let (x, y) = (it.gid(0) + 1, it.gid(1) + 1);
             let i = y * n + x;
@@ -125,7 +131,7 @@ pub fn run_with(q: &Queue, p: &Fdtd2dParams, _version: AppVersion, mode: ExecMod
         }
         ExecMode::Graph | ExecMode::GraphOptimized => {
             let level = mode.graph_opt_level().unwrap_or_default();
-            let graph = step_graph(q, n, &ez, &hx, &hy, hx_kernel, hy_kernel, ez_kernel)
+            let graph = step_graph(q, n, &ez, &hx, &hy, &gates, hx_kernel, hy_kernel, ez_kernel)
                 .and_then(|g| hetero_rt::OptimizedGraph::compile(g, level))
                 .unwrap_or_else(|e| std::panic::panic_any(e));
             for t in 0..p.steps {
@@ -144,6 +150,11 @@ pub fn run_with(q: &Queue, p: &Fdtd2dParams, _version: AppVersion, mode: ExecMod
 /// defeats vertical fusion. All three fields are declared outputs (the
 /// host reads them after the loop, and ez is also *written* between
 /// replays by the source injection).
+///
+/// Each launch attaches its static access contract (the affine index
+/// structure of the kernels above), so the recording is cross-checked
+/// by [`hetero_rt::prove`] and each kernel's elision gate is certified:
+/// fast-path replays run bounds-check-free.
 #[allow(clippy::too_many_arguments)]
 fn step_graph(
     q: &Queue,
@@ -151,10 +162,16 @@ fn step_graph(
     ez: &Buffer<f32>,
     hx: &Buffer<f32>,
     hy: &Buffer<f32>,
+    gates: &[Gate; 3],
     hx_kernel: impl Fn(Item) + Send + Sync + 'static,
     hy_kernel: impl Fn(Item) + Send + Sync + 'static,
     ez_kernel: impl Fn(Item) + Send + Sync + 'static,
 ) -> hetero_rt::Result<Graph> {
+    use hetero_rt::prove::{at, LaunchSpec};
+    let nn = n * n;
+    // `own(off)` is the linearized stencil index off + gid0 + n*gid1 the
+    // three kernels share (ez shifts the whole lattice by n+1).
+    let own = |off: usize| at(off).item(0, 1).item(1, n);
     Graph::record(q, |g| {
         g.parallel_for(
             "fdtd_hx",
@@ -162,17 +179,36 @@ fn step_graph(
             &[reads(ez), reads_writes_item(hx)],
             hx_kernel,
         )
+        .contract_gated(
+            LaunchSpec::new()
+                .slot("ez", nn, vec![own(n).into(), own(0).into()], vec![])
+                .slot("hx", nn, vec![own(0).into()], vec![own(0).into()]),
+            &gates[0],
+        )
         .parallel_for(
             "fdtd_hy",
             Range::d2(n - 1, n - 1),
             &[reads(ez), reads_writes_item(hy)],
             hy_kernel,
         )
+        .contract_gated(
+            LaunchSpec::new()
+                .slot("ez", nn, vec![own(1).into(), own(0).into()], vec![])
+                .slot("hy", nn, vec![own(0).into()], vec![own(0).into()]),
+            &gates[1],
+        )
         .parallel_for(
             "fdtd_ez",
             Range::d2(n - 2, n - 2),
             &[reads(hx), reads(hy), reads_writes_item(ez)],
             ez_kernel,
+        )
+        .contract_gated(
+            LaunchSpec::new()
+                .slot("hx", nn, vec![own(n + 1).into(), own(1).into()], vec![])
+                .slot("hy", nn, vec![own(n + 1).into(), own(n).into()], vec![])
+                .slot("ez", nn, vec![own(n + 1).into()], vec![own(n + 1).into()]),
+            &gates[2],
         )
         .output(ez)
         .output(hx)
@@ -301,7 +337,8 @@ mod tests {
         let n = p.dim;
         let (ez, hx, hy) =
             (Buffer::<f32>::new(n * n), Buffer::<f32>::new(n * n), Buffer::<f32>::new(n * n));
-        let g = step_graph(&q, n, &ez, &hx, &hy, |_| (), |_| (), |_| ()).unwrap();
+        let gates = [Gate::new(), Gate::new(), Gate::new()];
+        let g = step_graph(&q, n, &ez, &hx, &hy, &gates, |_| (), |_| (), |_| ()).unwrap();
         let og =
             hetero_rt::OptimizedGraph::compile(g, hetero_rt::GraphOptLevel::full()).unwrap();
         assert_eq!(og.recorded_launches(), 3);

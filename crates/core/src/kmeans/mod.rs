@@ -138,8 +138,13 @@ pub fn run_with(
     let acc = Buffer::<f32>::new(k * nf);
     let counts = Buffer::<u32>::new(k);
 
+    // Elision gates for the three launches whose index structure is
+    // fully affine (map_centers, reset, finalize). The atomic scatter in
+    // accumulate is data-dependent and stays on checked accessors.
+    let (map_gate, reset_gate, fin_gate) = (Gate::new(), Gate::new(), Gate::new());
     let map_kernel = {
-        let (pv, cv, mv) = (pts.view(), centers.view(), membership.view());
+        let (pv, cv, mv) =
+            (map_gate.view(pts.view()), map_gate.view(centers.view()), map_gate.view(membership.view()));
         move |it: Item| {
             let i = it.gid(0);
             let mut best = 0u32;
@@ -160,7 +165,7 @@ pub fn run_with(
         }
     };
     let reset_kernel = {
-        let (av, ctv) = (acc.view(), counts.view());
+        let (av, ctv) = (reset_gate.view(acc.view()), reset_gate.view(counts.view()));
         move |it: Item| {
             av.set(it.gid(0), 0.0);
             if it.gid(0) < k {
@@ -180,7 +185,8 @@ pub fn run_with(
         }
     };
     let fin_kernel = {
-        let (cv, av, ctv) = (centers.view(), acc.view(), counts.view());
+        let (cv, av, ctv) =
+            (fin_gate.view(centers.view()), fin_gate.view(acc.view()), fin_gate.view(counts.view()));
         move |it: Item| {
             let c = it.gid(0);
             let cnt = ctv.get(c);
@@ -203,17 +209,42 @@ pub fn run_with(
         }
         ExecMode::Graph | ExecMode::GraphOptimized => {
             let graph = Graph::record(q, |g| {
+                use hetero_rt::prove::{at, bounded, Index, LaunchSpec};
+                // Per-feature affine slice of a point/centre row: i*nf + f.
+                let feat = |w: usize| -> Vec<Index> {
+                    (0..w).map(|f| at(f).item(0, w).into()).collect()
+                };
                 g.parallel_for(
                     "map_centers",
                     Range::d1(n),
                     &[reads(&pts), reads(&centers), writes_dense(&membership)],
                     map_kernel,
                 )
+                .contract_gated(
+                    LaunchSpec::new()
+                        .slot("pts", n * nf, feat(nf), vec![])
+                        // Every item scans the whole centre table.
+                        .slot("centers", k * nf, vec![bounded(k * nf)], vec![])
+                        .slot("membership", n, vec![], vec![at(0).item(0, 1).into()]),
+                    &map_gate,
+                )
                 .parallel_for(
                     "reset",
                     Range::d1(k * nf),
                     &[writes_dense(&acc), writes_item(&counts)],
                     reset_kernel,
+                )
+                .contract_gated(
+                    LaunchSpec::new()
+                        .slot("acc", k * nf, vec![], vec![at(0).item(0, 1).into()])
+                        // The counts clear is guarded to the first k items.
+                        .slot(
+                            "counts",
+                            k,
+                            vec![],
+                            vec![at(0).item(0, 1).guard(k).into()],
+                        ),
+                    &reset_gate,
                 )
                 // The atomic scatter keeps whole-buffer read-write
                 // footprints: any item may bump any cluster, so fusing
@@ -231,6 +262,15 @@ pub fn run_with(
                     ],
                     acc_kernel,
                 )
+                .contract(
+                    LaunchSpec::new()
+                        .slot("pts", n * nf, feat(nf), vec![])
+                        .slot("membership", n, vec![at(0).item(0, 1).into()], vec![])
+                        // Data-dependent atomic scatter: any item may bump
+                        // any cluster row, so both slots stay Bounded/Whole.
+                        .slot("acc", k * nf, vec![bounded(k * nf)], vec![bounded(k * nf)])
+                        .slot("counts", k, vec![bounded(k)], vec![bounded(k)]),
+                )
                 // finalize only *writes* centers (conditionally, so the
                 // footprint stays Item, never ItemDense) — the previous
                 // reads_writes declaration was over-broad.
@@ -239,6 +279,16 @@ pub fn run_with(
                     Range::d1(k),
                     &[reads_item(&acc), reads_item(&counts), writes_item(&centers)],
                     fin_kernel,
+                )
+                .contract_gated(
+                    LaunchSpec::new()
+                        .slot("acc", k * nf, feat(nf), vec![])
+                        .slot("counts", k, vec![at(0).item(0, 1).into()], vec![])
+                        // The write is conditional on a non-empty cluster,
+                        // so the *declared* footprint stays Item even though
+                        // the index structure alone would tile densely.
+                        .slot("centers", k * nf, vec![], feat(nf)),
+                    &fin_gate,
                 )
                 .output(&centers)
                 .output(&membership);

@@ -206,9 +206,20 @@ pub fn run_with(
     let graphs = match mode {
         ExecMode::PerLaunch => None,
         ExecMode::Graph | ExecMode::GraphOptimized => {
+            // Both recorded kernels have provable bounds (per-particle
+            // affine state, plus gathers clamped by construction of the
+            // CDF walk), so each earns an elision certificate.
+            let (prop_gate, res_gate) = (Gate::new(), Gate::new());
             let propagate = Graph::record(q, |g| {
-                let (xv, yv, wv, sv) = (xs.view(), ys.view(), weights.view(), seeds.view());
-                let pv = params.view();
+                use hetero_rt::prove::{at, LaunchSpec};
+                let (xv, yv, wv, sv) = (
+                    prop_gate.view(xs.view()),
+                    prop_gate.view(ys.view()),
+                    prop_gate.view(weights.view()),
+                    prop_gate.view(seeds.view()),
+                );
+                let pv = prop_gate.view(params.view());
+                let own = || at(0).item(0, 1);
                 // Every buffer is observable after the replay (the host
                 // reads weights/positions; seeds carry RNG state into
                 // the next frame), so all four are declared outputs —
@@ -233,6 +244,15 @@ pub fn run_with(
                         wv.set(i, likelihood(variant, xv.get(i), yv.get(i), tx, ty));
                     },
                 )
+                .contract_gated(
+                    LaunchSpec::new()
+                        .slot("params", 3, vec![at(0).into(), at(1).into()], vec![])
+                        .slot("xs", n, vec![own().into()], vec![own().into()])
+                        .slot("ys", n, vec![own().into()], vec![own().into()])
+                        .slot("seeds", n, vec![own().into()], vec![own().into()])
+                        .slot("weights", n, vec![], vec![own().into()]),
+                    &prop_gate,
+                )
                 .output(&xs)
                 .output(&ys)
                 .output(&weights)
@@ -241,9 +261,15 @@ pub fn run_with(
             .and_then(&opt)
             .unwrap_or_else(|e| std::panic::panic_any(e));
             let resample = Graph::record(q, |g| {
-                let (cv, xv, yv, nxv, nyv) =
-                    (cdfb.view(), xs.view(), ys.view(), nxs.view(), nys.view());
-                let pv = params.view();
+                use hetero_rt::prove::{at, bounded, LaunchSpec};
+                let (cv, xv, yv, nxv, nyv) = (
+                    res_gate.view(cdfb.view()),
+                    res_gate.view(xs.view()),
+                    res_gate.view(ys.view()),
+                    res_gate.view(nxs.view()),
+                    res_gate.view(nys.view()),
+                );
+                let pv = res_gate.view(params.view());
                 g.parallel_for(
                     "pf_find_index",
                     Range::d1(n),
@@ -272,6 +298,18 @@ pub fn run_with(
                         nxv.set(j, xv.get(idx));
                         nyv.set(j, yv.get(idx));
                     },
+                )
+                .contract_gated(
+                    LaunchSpec::new()
+                        .slot("params", 3, vec![at(2).into()], vec![])
+                        // The CDF walk scans, and the position gathers
+                        // land on, indices < n by construction.
+                        .slot("cdfb", n, vec![bounded(n)], vec![])
+                        .slot("xs", n, vec![bounded(n)], vec![])
+                        .slot("ys", n, vec![bounded(n)], vec![])
+                        .slot("nxs", n, vec![], vec![at(0).item(0, 1).into()])
+                        .slot("nys", n, vec![], vec![at(0).item(0, 1).into()]),
+                    &res_gate,
                 )
                 .output(&nxs)
                 .output(&nys);

@@ -170,10 +170,24 @@ pub fn run_with(q: &Queue, p: &SradParams, _version: AppVersion, mode: ExecMode)
             // parameter buffer the recorded kernel reads at replay time.
             let q0b = Buffer::<f32>::new(1);
             let q0h = q0b.view();
+            // Per-kernel elision gates: every access is either affine in
+            // the item id or explicitly clamped below n*n, so both
+            // contract proofs close and fast-path replays run the
+            // stencils bounds-check-free.
+            let (gate1, gate2) = (Gate::new(), Gate::new());
             let graph = Graph::record(q, |g| {
-                let (iv, cv, dnv, dsv, dev, dwv) =
-                    (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
-                let q0v = q0b.view();
+                use hetero_rt::prove::{at, bounded, LaunchSpec};
+                let nn = n * n;
+                let own = || at(0).item(0, 1).item(1, n);
+                let (iv, cv, dnv, dsv, dev, dwv) = (
+                    gate1.view(img.view()),
+                    gate1.view(c.view()),
+                    gate1.view(dn.view()),
+                    gate1.view(ds.view()),
+                    gate1.view(de.view()),
+                    gate1.view(dw.view()),
+                );
+                let q0v = gate1.view(q0b.view());
                 g.parallel_for(
                     "srad_1",
                     Range::d2(n, n),
@@ -212,8 +226,36 @@ pub fn run_with(q: &Queue, p: &SradParams, _version: AppVersion, mode: ExecMode)
                         cv.set(i, cf.clamp(0.0, 1.0));
                     },
                 );
-                let (iv, cv, dnv, dsv, dev, dwv) =
-                    (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
+                g.contract_gated(
+                    LaunchSpec::new()
+                        .slot(
+                            "img",
+                            nn,
+                            vec![
+                                own().into(),
+                                bounded(nn),
+                                bounded(nn),
+                                bounded(nn),
+                                bounded(nn),
+                            ],
+                            vec![],
+                        )
+                        .slot("q0", 1, vec![at(0).into()], vec![])
+                        .slot("c", nn, vec![], vec![own().into()])
+                        .slot("dn", nn, vec![], vec![own().into()])
+                        .slot("ds", nn, vec![], vec![own().into()])
+                        .slot("de", nn, vec![], vec![own().into()])
+                        .slot("dw", nn, vec![], vec![own().into()]),
+                    &gate1,
+                );
+                let (iv, cv, dnv, dsv, dev, dwv) = (
+                    gate2.view(img.view()),
+                    gate2.view(c.view()),
+                    gate2.view(dn.view()),
+                    gate2.view(ds.view()),
+                    gate2.view(de.view()),
+                    gate2.view(dw.view()),
+                );
                 g.parallel_for(
                     "srad_2",
                     Range::d2(n, n),
@@ -242,6 +284,21 @@ pub fn run_with(q: &Queue, p: &SradParams, _version: AppVersion, mode: ExecMode)
                             + ce * dev.get(i);
                         iv.update(i, |v| v + 0.25 * lambda * d);
                     },
+                );
+                g.contract_gated(
+                    LaunchSpec::new()
+                        .slot(
+                            "c",
+                            nn,
+                            vec![own().into(), own().into(), bounded(nn), bounded(nn)],
+                            vec![],
+                        )
+                        .slot("dn", nn, vec![own().into()], vec![])
+                        .slot("ds", nn, vec![own().into()], vec![])
+                        .slot("de", nn, vec![own().into()], vec![])
+                        .slot("dw", nn, vec![own().into()], vec![])
+                        .slot("img", nn, vec![own().into()], vec![own().into()]),
+                    &gate2,
                 );
                 g.output(&img);
             })

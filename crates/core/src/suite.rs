@@ -425,33 +425,42 @@ pub fn all_apps() -> Vec<AppEntry> {
 /// skewing every downstream schedule and roofline.
 ///
 /// *Baseline* designs model unmodified DPCT output, whose documented
-/// pathologies — oversized work-groups and dynamic accessors with
-/// optimistic access-pattern declarations (paper Sections 4 and 5) —
-/// are exactly what the optimization passes remove. Those two classes
-/// are therefore expected (and tolerated) in baseline designs; anything
-/// else, and *any* finding in an optimized design, is a descriptor bug.
+/// pathologies (paper Sections 4 and 5) are exactly what the
+/// optimization passes remove. Each tolerated finding is named
+/// explicitly in [`DPCT_BASELINE_DEVIATIONS`] by app and rule, so the
+/// tolerance cannot silently widen; anything unmatched — and *any*
+/// finding in an optimized design — is a descriptor bug. Every
+/// allowlist entry must also *fire*: an entry no design triggers any
+/// more is stale and fails the sweep until it is removed.
 pub fn verify_suite_ir() -> std::result::Result<usize, Vec<String>> {
     let part = FpgaPart::stratix10();
     let fpga = [hetero_ir::DeviceLimits::fpga()];
     let mut checked = 0usize;
     let mut errors = Vec::new();
+    let mut hits = [0usize; DPCT_BASELINE_DEVIATIONS.len()];
     for app in all_apps() {
         for opt in [false, true] {
             let Some(d) = (app.fpga_design)(InputSize::S1, opt, &part) else { continue };
             for inst in &d.instances {
                 checked += 1;
                 for e in hetero_ir::verify_kernel(&inst.kernel, &fpga) {
-                    let expected_dpct_pathology = !opt
-                        && matches!(
-                            e,
-                            hetero_ir::VerifyError::WorkGroupOverCapacity { .. }
-                                | hetero_ir::VerifyError::MisdeclaredAccessPattern { .. }
-                        );
-                    if !expected_dpct_pathology {
-                        errors.push(format!("{} [{}]: {e}", app.name, d.name));
+                    match DPCT_BASELINE_DEVIATIONS
+                        .iter()
+                        .position(|k| k.covers(app.name, opt, &e))
+                    {
+                        Some(i) => hits[i] += 1,
+                        None => errors.push(format!("{} [{}]: {e}", app.name, d.name)),
                     }
                 }
             }
+        }
+    }
+    for (k, &h) in DPCT_BASELINE_DEVIATIONS.iter().zip(&hits) {
+        if h == 0 {
+            errors.push(format!(
+                "stale allowlist entry: {} / {} never fired — remove it",
+                k.app, k.rule
+            ));
         }
     }
     if errors.is_empty() {
@@ -460,6 +469,47 @@ pub fn verify_suite_ir() -> std::result::Result<usize, Vec<String>> {
         Err(errors)
     }
 }
+
+/// The explicit allowlist of verifier findings the unmodified-DPCT
+/// baseline designs are *known* to carry — the paper's documented
+/// pathologies, named per app and rule so nothing else rides along.
+/// Shared by [`verify_suite_ir`] and the `prove` CI sweep's FPGA leg.
+pub const DPCT_BASELINE_DEVIATIONS: &[hetero_ir::KnownDeviation] = &[
+    hetero_ir::KnownDeviation {
+        app: "SRAD",
+        rule: "misdeclared-access-pattern",
+        baseline_only: true,
+        why: "DPCT emits dynamic accessors whose declared banked pattern \
+              the scattered stencil gathers do not honour (Section 5.4)",
+    },
+    hetero_ir::KnownDeviation {
+        app: "SRAD",
+        rule: "work-group-over-capacity",
+        baseline_only: true,
+        why: "256-item migrated work-groups exceed the FPGA class maximum \
+              before the static-sizing refactor (Section 5.2)",
+    },
+    hetero_ir::KnownDeviation {
+        app: "KMeans",
+        rule: "work-group-over-capacity",
+        baseline_only: true,
+        why: "migrated GPU work-group sizing retained on the FPGA part \
+              until the optimized design resizes it (Section 5.2)",
+    },
+    hetero_ir::KnownDeviation {
+        app: "PF Naive",
+        rule: "misdeclared-access-pattern",
+        baseline_only: true,
+        why: "the CDF-walk accessor declares a streaming pattern the \
+              data-dependent binary search violates (Section 5.4)",
+    },
+    hetero_ir::KnownDeviation {
+        app: "PF Float",
+        rule: "misdeclared-access-pattern",
+        baseline_only: true,
+        why: "same CDF-walk accessor mismatch as PF Naive (Section 5.4)",
+    },
+];
 
 /// How one fault-injected run of a suite configuration ended. The
 /// containment contract of the runtime is that every run ends in one of
@@ -497,7 +547,8 @@ impl ResilienceOutcome {
 
 /// `Error` variant names as they appear in `Debug`/`unwrap` panic text;
 /// used to recognise "`unwrap()` on a typed error" panics as typed.
-const TYPED_ERROR_MARKERS: [&str; 15] = [
+const TYPED_ERROR_MARKERS: [&str; 16] = [
+    "BindingContract",
     "Canceled",
     "DataRace",
     "WorkGroupTooLarge",

@@ -27,6 +27,7 @@ pub mod builder;
 pub mod dpct;
 pub mod ir;
 pub mod printer;
+pub mod prove;
 pub mod verify;
 
 pub use analysis::{
@@ -36,7 +37,11 @@ pub use analysis::{
 };
 pub use builder::{KernelBuilder, LoopBuilder};
 pub use printer::{print_kernel, validate_kernel, ValidationError};
-pub use verify::{verify_kernel, verify_kernels, DeviceLimits, VerifyError};
+pub use prove::{
+    at, bounded, check_contract, infer_contract, validate_translation, ContractReport,
+    ContractViolation, Index, IndexExpr, LaunchSpec, SlotReport, SlotSpec, TvError,
+};
+pub use verify::{verify_kernel, verify_kernels, DeviceLimits, KnownDeviation, VerifyError};
 pub use ir::{
     AccessPattern, Kernel, KernelStyle, LocalArrayDecl, Loop, LoopAttrs, OpMix, Scalar,
 };

@@ -135,6 +135,47 @@ pub enum VerifyError {
     },
 }
 
+impl VerifyError {
+    /// Stable rule identifier for allowlists ([`KnownDeviation`]).
+    pub fn rule(&self) -> &'static str {
+        match self {
+            VerifyError::BarrierInDivergentLoop { .. } => "barrier-in-divergent-loop",
+            VerifyError::LocalMemoryOverCapacity { .. } => "local-memory-over-capacity",
+            VerifyError::WorkGroupOverCapacity { .. } => "work-group-over-capacity",
+            VerifyError::WorkOverflow { .. } => "work-overflow",
+            VerifyError::MisdeclaredAccessPattern { .. } => "misdeclared-access-pattern",
+            VerifyError::Structural { .. } => "structural",
+        }
+    }
+}
+
+/// One explicitly tolerated verifier finding: a deviation a design is
+/// *known* to carry (the paper's DPCT baseline pathologies), named by
+/// app and rule so the tolerance cannot silently widen. Sweeps match
+/// each finding against an allowlist of these; anything unmatched — and
+/// any finding in an optimized design when `baseline_only` — fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownDeviation {
+    /// Application the deviation belongs to (`"*"` = any app).
+    pub app: &'static str,
+    /// Verifier rule ([`VerifyError::rule`]) the deviation triggers.
+    pub rule: &'static str,
+    /// Tolerated only in unoptimized (DPCT baseline) designs.
+    pub baseline_only: bool,
+    /// Why the deviation is expected, for reports.
+    pub why: &'static str,
+}
+
+impl KnownDeviation {
+    /// Whether this entry covers `err` found in `app`'s design
+    /// (`optimized` = the design has the optimization passes applied).
+    pub fn covers(&self, app: &str, optimized: bool, err: &VerifyError) -> bool {
+        (self.app == "*" || self.app == app)
+            && self.rule == err.rule()
+            && (!optimized || !self.baseline_only)
+    }
+}
+
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -139,6 +139,22 @@ pub enum Error {
         /// Kernel name the submission was given.
         kernel: &'static str,
     },
+    /// A declared graph binding disagrees with the access contract the
+    /// static prover ([`crate::prove`]) inferred from the launch's index
+    /// structure: an undeclared read or write, an over-narrow footprint
+    /// (`Item` claimed on a gather), a false dense-coverage claim, or a
+    /// stale [`crate::graph::GraphBuilder::output`] declaration nothing
+    /// writes. Raised at `Graph::record` time, before anything executes,
+    /// so it is never CPU-fallback eligible (there is no launch to
+    /// re-run). Each violation string is one deterministic rendered
+    /// [`hetero_ir::ContractViolation`].
+    BindingContract {
+        /// Kernel (or `<outputs>` for stale-output findings) the
+        /// contract check ran against.
+        kernel: String,
+        /// Deterministically ordered rendered violations.
+        violations: Vec<String>,
+    },
     /// A pipe operation failed because the other endpoint disconnected.
     PipeClosed,
     /// A blocking pipe operation timed out; in this runtime that is
@@ -202,6 +218,11 @@ impl fmt::Display for Error {
             Error::Canceled { kernel } => write!(
                 f,
                 "kernel '{kernel}' canceled before completion"
+            ),
+            Error::BindingContract { kernel, violations } => write!(
+                f,
+                "kernel '{kernel}': binding contract violated: {}",
+                violations.join("; ")
             ),
             Error::PipeClosed => write!(f, "pipe endpoint disconnected"),
             Error::PipeDeadlock { waited_secs } => write!(
@@ -320,6 +341,22 @@ mod tests {
         let e = Error::ReplicaDivergence { kernel: "nw_diag", runs: 4 };
         let s = e.to_string();
         assert!(s.contains("nw_diag") && s.contains("4 run"), "{s}");
+    }
+
+    #[test]
+    fn binding_contract_displays_violations_and_is_not_fallback_eligible() {
+        let e = Error::BindingContract {
+            kernel: "srad_1".into(),
+            violations: vec![
+                "slot 'c' of 'srad_1': declared ItemDense, inferred Item".into(),
+                "slot 'img' of 'srad_1': read but not declared readable".into(),
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("srad_1") && s.contains("binding contract"), "{s}");
+        assert!(s.contains("ItemDense") && s.contains("not declared readable"), "{s}");
+        // Nothing executed; there is no launch to re-run on the CPU.
+        assert!(!e.is_cpu_fallback_eligible());
     }
 
     #[test]

@@ -55,8 +55,12 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use hetero_ir::prove::{check_contract, infer_contract, ContractViolation, LaunchSpec};
+use hetero_ir::{PlanAccess, PlanFootprint};
+
 use crate::buffer::Buffer;
 use crate::device::DeviceCaps;
+use crate::elide::Gate;
 use crate::error::{Error, Result};
 use crate::event::{LaunchStats, ResilienceInfo};
 use crate::fault::classify_panic;
@@ -263,6 +267,10 @@ pub(crate) struct Node {
     pub(crate) item: Option<ItemKernel>,
     /// Copy metadata when recorded via `copy` (ping-pong input).
     pub(crate) copy: Option<CopyInfo>,
+    /// Elision certificate gates, present only when the launch attached
+    /// a contract whose proof closed ([`GraphBuilder::contract_gated`]).
+    /// Armed by the fast replay path, never by `submit_each`.
+    pub(crate) gates: Vec<Gate>,
 }
 
 impl Node {
@@ -292,6 +300,7 @@ impl Node {
             slot: NodeSlot::default(),
             item: self.item.clone(),
             copy: self.copy.clone(),
+            gates: self.gates.clone(),
         }
     }
 }
@@ -304,6 +313,9 @@ pub struct GraphBuilder {
     nodes: Vec<Node>,
     outputs: Vec<u64>,
     err: Option<Error>,
+    /// Launches that attached a static access contract; a recording
+    /// with at least one opts into the stale-output check at `finish`.
+    contracts: usize,
 }
 
 impl GraphBuilder {
@@ -311,16 +323,116 @@ impl GraphBuilder {
     /// optimizer's compile step uses this to rebuild fused launches with
     /// the exact chunking the original recording used.
     pub(crate) fn new(caps: DeviceCaps) -> GraphBuilder {
-        GraphBuilder { caps, nodes: Vec::new(), outputs: Vec::new(), err: None }
+        GraphBuilder { caps, nodes: Vec::new(), outputs: Vec::new(), err: None, contracts: 0 }
     }
 
     /// Surrender the recorded nodes and declared outputs, or the first
-    /// deferred validation error.
+    /// deferred validation error. Recordings that attached at least one
+    /// contract additionally prove their `output` declarations live
+    /// (something must write each declared output) when enforcement is
+    /// on — a stale output otherwise shields dead launches from DLE.
     pub(crate) fn finish(self) -> Result<(Vec<Node>, Vec<u64>)> {
-        match self.err {
-            Some(e) => Err(e),
-            None => Ok((self.nodes, self.outputs)),
+        if let Some(e) = self.err {
+            return Err(e);
         }
+        if self.contracts > 0 && crate::prove::enforcing() {
+            for &out in &self.outputs {
+                let written = self.nodes.iter().any(|n| {
+                    n.bindings.iter().any(|b| b.object == out && b.access != Access::Read)
+                });
+                if !written {
+                    crate::prove::note_violations(1);
+                    return Err(Error::BindingContract {
+                        kernel: "<outputs>".to_string(),
+                        violations: vec![ContractViolation::StaleOutput { object: out }
+                            .to_string()],
+                    });
+                }
+            }
+        }
+        Ok((self.nodes, self.outputs))
+    }
+
+    /// Attach a static access contract ([`LaunchSpec`], one positional
+    /// slot per binding) to the most recently recorded launch. Under
+    /// enforcement ([`crate::prove::enforcing`]: always in debug builds,
+    /// `HETERO_RT_PROVE=1` or [`crate::prove::force_enable`] in release)
+    /// the contract is inferred from the index structure and
+    /// cross-checked against the declared bindings; any disagreement
+    /// fails the recording with [`Error::BindingContract`].
+    pub fn contract(&mut self, spec: LaunchSpec) -> &mut Self {
+        self.contract_impl(spec, None)
+    }
+
+    /// [`GraphBuilder::contract`], plus an elision certificate request:
+    /// when the proof *closes* (every access statically in-bounds and
+    /// every binding consistent), `gate`'s views switch to unchecked
+    /// access during fast-path replays of this graph — see
+    /// [`crate::elide`]. A proof that does not close simply issues no
+    /// certificate; the gate stays disarmed forever.
+    pub fn contract_gated(&mut self, spec: LaunchSpec, gate: &Gate) -> &mut Self {
+        self.contract_impl(spec, Some(gate.clone()))
+    }
+
+    fn contract_impl(&mut self, spec: LaunchSpec, gate: Option<Gate>) -> &mut Self {
+        if self.err.is_some() {
+            return self;
+        }
+        let Some(node) = self.nodes.last_mut() else {
+            self.err = Some(Error::BindingContract {
+                kernel: "<none>".to_string(),
+                violations: vec!["contract attached before any recorded launch".to_string()],
+            });
+            return self;
+        };
+        self.contracts += 1;
+        // A certificate always requires the full proof; bare contracts
+        // cost one branch when enforcement is off.
+        if !crate::prove::enforcing() && gate.is_none() {
+            return self;
+        }
+        // The contract range is the logical item range for elementwise
+        // launches (what the index expressions are written against), the
+        // global ND-range otherwise.
+        let range = node.item.as_ref().map(|ik| ik.range.dims).unwrap_or(node.nd.global.dims);
+        let report = infer_contract(node.name, range, &spec);
+        let declared: Vec<(PlanAccess, PlanFootprint)> = node
+            .bindings
+            .iter()
+            .map(|b| {
+                (
+                    match b.access {
+                        Access::Read => PlanAccess::Read,
+                        Access::Write => PlanAccess::Write,
+                        Access::ReadWrite => PlanAccess::ReadWrite,
+                    },
+                    match b.footprint {
+                        Footprint::Whole => PlanFootprint::Whole,
+                        Footprint::Item => PlanFootprint::Item,
+                        Footprint::ItemDense => PlanFootprint::ItemDense,
+                    },
+                )
+            })
+            .collect();
+        crate::prove::note_checked();
+        let violations = check_contract(&report, &declared);
+        if !violations.is_empty() {
+            crate::prove::note_violations(violations.len() as u64);
+            if crate::prove::enforcing() {
+                self.err = Some(Error::BindingContract {
+                    kernel: node.name.to_string(),
+                    violations: violations.iter().map(ToString::to_string).collect(),
+                });
+            }
+            return self;
+        }
+        if let Some(g) = gate {
+            if report.proven_in_bounds() {
+                crate::prove::note_certified();
+                node.gates.push(g);
+            }
+        }
+        self
     }
 
     /// Record a barrier-free data-parallel launch — the recorded
@@ -391,14 +503,20 @@ impl GraphBuilder {
             });
             return self;
         }
-        let (sv, dv) = (src.view(), dst.view());
+        // The copy's index structure is canonical (`i → i` both sides),
+        // so its contract always proves: record it through gated views
+        // and certify them, making recorded copies bounds-check-free on
+        // the fast replay path.
+        let gate = Gate::new();
+        let (sv, dv) = (gate.view(src.view()), gate.view(dst.view()));
         let bindings = [reads_item(src), writes_dense(dst)];
         let (s, d) = (src.clone(), dst.clone());
         let swap: Arc<dyn Fn() -> Result<()> + Send + Sync> =
             Arc::new(move || s.swap_contents(&d));
         let (src_id, dst_id) = (src.object_id(), dst.object_id());
         let before = self.nodes.len();
-        self.parallel_for(name, Range::d1(src.len()), &bindings, move |it| {
+        let n = src.len();
+        self.parallel_for(name, Range::d1(n), &bindings, move |it| {
             let i = it.gid(0);
             dv.set(i, sv.get(i));
         });
@@ -406,6 +524,11 @@ impl GraphBuilder {
             if let Some(node) = self.nodes.last_mut() {
                 node.copy = Some(CopyInfo { src: src_id, dst: dst_id, swap });
             }
+            let own = hetero_ir::prove::at(0).item(0, 1);
+            let spec = LaunchSpec::new()
+                .slot("src", n, vec![own.clone().into()], vec![])
+                .slot("dst", n, vec![], vec![own.into()]);
+            self.contract_gated(spec, &gate);
         }
         self
     }
@@ -498,8 +621,41 @@ impl GraphBuilder {
             slot: NodeSlot::default(),
             item: None,
             copy: None,
+            gates: Vec::new(),
         });
         self
+    }
+}
+
+/// Arms every certified node gate for the duration of one fast-path
+/// replay and disarms them on drop — including on panic or error exit,
+/// so checked access is always restored before `replay` returns. Not
+/// constructed at all when the global elision kill switch is off.
+struct ArmGuard<'a> {
+    nodes: &'a [Node],
+}
+
+impl<'a> ArmGuard<'a> {
+    fn arm(nodes: &'a [Node]) -> Option<ArmGuard<'a>> {
+        if !crate::elide::enabled() {
+            return None;
+        }
+        for n in nodes {
+            for g in &n.gates {
+                g.arm();
+            }
+        }
+        Some(ArmGuard { nodes })
+    }
+}
+
+impl Drop for ArmGuard<'_> {
+    fn drop(&mut self) {
+        for n in self.nodes {
+            for g in &n.gates {
+                g.disarm();
+            }
+        }
     }
 }
 
@@ -662,6 +818,11 @@ impl Graph {
         // the per-launch path's scope accounting.
         let _scope = crate::integrity::LaunchScope::enter();
         crate::fault::install_quiet_hook();
+        // Certified nodes run unchecked for exactly this replay: the
+        // fast-eligibility check above established that no hardening
+        // layer is watching, and the guard restores checked access on
+        // every exit path (see `crate::elide` for the soundness rules).
+        let _arm = ArmGuard::arm(&self.nodes);
         for n in &self.nodes {
             n.reset();
         }

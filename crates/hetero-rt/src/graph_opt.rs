@@ -51,12 +51,12 @@
 //! `fuse,dle,ping-pong,hoist`). Every rewrite is reported in a
 //! deterministic [`OptReport`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use hetero_ir::{
-    optimize_plan, OptReport, PassToggles, PlanAccess, PlanBinding, PlanFootprint, PlanGraph,
-    PlanNode, PlanStep,
+    optimize_plan, validate_translation, OptReport, OptimizedPlan, PassToggles, PlanAccess,
+    PlanBinding, PlanFootprint, PlanGraph, PlanNode, PlanStep,
 };
 
 use crate::device::DeviceCaps;
@@ -68,6 +68,35 @@ use crate::queue::Queue;
 /// Lock a mutex, recovering the guard if a previous holder panicked.
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Optimized schedules accepted by the independent translation-validation
+/// checker since process start.
+static TV_ACCEPTED: AtomicU64 = AtomicU64::new(0);
+
+/// Optimized schedules *rejected* by the checker (and degraded to a
+/// verbatim replay) since process start. Nonzero means a pass produced
+/// an unjustifiable rewrite — the `prove` sweep gates on zero.
+static TV_REJECTED: AtomicU64 = AtomicU64::new(0);
+
+fn last_rejection_slot() -> &'static Mutex<Option<String>> {
+    static SLOT: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Optimized schedules the translation-validation gate accepted.
+pub fn tv_accepted() -> u64 {
+    TV_ACCEPTED.load(Ordering::Relaxed)
+}
+
+/// Optimized schedules the translation-validation gate rejected.
+pub fn tv_rejected() -> u64 {
+    TV_REJECTED.load(Ordering::Relaxed)
+}
+
+/// The most recent rejection's rendered errors, for diagnostics.
+pub fn last_tv_rejection() -> Option<String> {
+    lock(last_rejection_slot()).clone()
 }
 
 /// Which optimizer passes [`OptimizedGraph::compile`] runs.
@@ -237,6 +266,12 @@ fn build_fused(graph: &Graph, group: &[usize], caps: &DeviceCaps) -> Result<Opti
         }
     });
     let (mut built, _) = b.finish()?;
+    // Fusion preserves each member's per-item accesses and range, so
+    // member elision certificates stay valid: the fused node arms the
+    // union of its members' gates.
+    if let Some(n) = built.last_mut() {
+        n.gates = group.iter().flat_map(|&i| nodes[i].gates.iter().cloned()).collect();
+    }
     Ok(built.pop())
 }
 
@@ -297,7 +332,34 @@ impl OptimizedGraph {
     /// is a node-for-node copy of the recording (verbatim PR 5 replay).
     pub fn compile(graph: Graph, level: GraphOptLevel) -> Result<OptimizedGraph> {
         let plan = lower(&graph);
-        let (sched, report) = optimize_plan(&plan, level.toggles());
+        let (mut sched, mut report) = optimize_plan(&plan, level.toggles());
+        // Translation-validation gate: an independent checker re-derives
+        // each pass's justification and happens-before preservation
+        // between the original and optimized plans. A schedule it cannot
+        // justify never executes — compile degrades it to a verbatim
+        // node-for-node replay (level-none shape) and counts the
+        // rejection for the CI sweep.
+        match validate_translation(&plan, &sched, &report) {
+            Ok(()) => {
+                TV_ACCEPTED.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(errs) => {
+                TV_REJECTED.fetch_add(1, Ordering::Relaxed);
+                let rendered =
+                    errs.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ");
+                *lock(last_rejection_slot()) = Some(rendered);
+                let n = plan.nodes.len();
+                sched = OptimizedPlan {
+                    prologue: Vec::new(),
+                    steady: (0..n).map(|i| PlanStep::Launch(vec![i])).collect(),
+                };
+                report = OptReport {
+                    launches_before: n,
+                    launches_after: n,
+                    ..OptReport::default()
+                };
+            }
+        }
         let caps = graph.device_caps().clone();
         let outputs = graph.output_ids().to_vec();
 

@@ -54,6 +54,7 @@ pub mod cancel;
 pub mod constant;
 pub mod cooperative;
 pub mod device;
+pub mod elide;
 pub mod error;
 pub mod event;
 pub mod executor;
@@ -66,12 +67,14 @@ pub mod local;
 pub mod ndrange;
 pub mod pipe;
 pub mod pool;
+pub mod prove;
 pub mod queue;
 pub mod reduction;
 pub mod sanitize;
 pub mod usm;
 
 pub use buffer::{Buffer, GlobalView, SlabStats};
+pub use elide::{Gate, ProvenView};
 pub use cancel::CancelToken;
 pub use constant::ConstantMemory;
 pub use cooperative::GridCtx;
@@ -96,6 +99,7 @@ pub use sanitize::{MemSpace, RaceKind, RaceReport};
 /// mirroring `sycl.hpp`'s role in the original code base.
 pub mod prelude {
     pub use crate::buffer::{Buffer, GlobalView};
+    pub use crate::elide::{Gate, ProvenView};
     pub use crate::cancel::CancelToken;
     pub use crate::device::{Device, DeviceCaps, DeviceKind};
     pub use crate::error::{Error, Result};

@@ -1,0 +1,125 @@
+//! Record-time binding-contract enforcement — the runtime bridge to the
+//! static prover in [`hetero_ir::prove`].
+//!
+//! A recorded launch may attach a [`LaunchSpec`] describing the affine
+//! index structure of every object it touches (one positional slot per
+//! binding). At `Graph::record` time the bridge runs
+//! [`hetero_ir::infer_contract`] over the spec and the recorded range,
+//! cross-checks the declared bindings against the inferred contract
+//! with [`hetero_ir::check_contract`], and fails the recording with a
+//! typed [`Error::BindingContract`](crate::Error::BindingContract) on
+//! any disagreement — before anything executes.
+//!
+//! # When enforcement runs
+//!
+//! Contract checks are always on in debug builds (so every test
+//! recording is checked), and in release builds when either the
+//! `HETERO_RT_PROVE=1` environment variable is set at first use or
+//! [`force_enable`] has been called (the `prove` CI sweep uses the
+//! latter). When enforcement is off, attaching a contract costs one
+//! branch; the inference and check are skipped entirely *unless* the
+//! launch requests an elision certificate, which always requires the
+//! full proof.
+//!
+//! # Certificates
+//!
+//! Independently of enforcement, a launch recorded with
+//! [`contract_gated`](crate::graph::GraphBuilder::contract_gated) earns
+//! an elision certificate when its proof *closes*: every access proven
+//! in-bounds and every declared binding consistent. Certificates arm
+//! the launch's [`Gate`](crate::elide::Gate) during fast-path replays
+//! only — see [`crate::elide`] for the degradation rules.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+pub use hetero_ir::prove::{
+    at, bounded, check_contract, infer_contract, AffineVar, ContractReport, ContractViolation,
+    Index, IndexExpr, LaunchSpec, SlotReport, SlotSpec,
+};
+
+/// Programmatic enforcement override ([`force_enable`]); lets the
+/// release-built `prove` sweep binary turn checking on without relying
+/// on process environment mutation.
+static FORCE: AtomicBool = AtomicBool::new(false);
+
+/// Contracts checked since process start (attached specs that ran the
+/// inference + cross-check, for enforcement or a certificate).
+static CHECKED: AtomicU64 = AtomicU64::new(0);
+
+/// Total contract violations found since process start.
+static VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Elision certificates issued (proofs that closed) since process start.
+static CERTIFIED: AtomicU64 = AtomicU64::new(0);
+
+/// Turn contract enforcement on for the rest of the process, regardless
+/// of build profile or environment.
+pub fn force_enable() {
+    FORCE.store(true, Ordering::SeqCst);
+}
+
+fn env_enabled() -> bool {
+    static ONCE: OnceLock<bool> = OnceLock::new();
+    *ONCE.get_or_init(|| {
+        matches!(std::env::var("HETERO_RT_PROVE"), Ok(v) if !v.is_empty() && v != "0")
+    })
+}
+
+/// Whether record-time contract checks are enforced: always in debug
+/// builds, and under `HETERO_RT_PROVE=1` or [`force_enable`] otherwise.
+pub fn enforcing() -> bool {
+    cfg!(debug_assertions) || FORCE.load(Ordering::Relaxed) || env_enabled()
+}
+
+/// Number of launch contracts checked since process start.
+pub fn contracts_checked() -> u64 {
+    CHECKED.load(Ordering::Relaxed)
+}
+
+/// Number of contract violations found since process start.
+pub fn violations_found() -> u64 {
+    VIOLATIONS.load(Ordering::Relaxed)
+}
+
+/// Number of elision certificates issued since process start.
+pub fn certificates_issued() -> u64 {
+    CERTIFIED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_checked() {
+    CHECKED.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_violations(n: u64) {
+    VIOLATIONS.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn note_certified() {
+    CERTIFIED.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_builds_always_enforce() {
+        // Tests run under debug assertions, so enforcement must be on
+        // without any environment or force flag.
+        assert!(enforcing());
+    }
+
+    #[test]
+    fn counters_are_monotonic() {
+        let before = contracts_checked();
+        note_checked();
+        assert!(contracts_checked() > before);
+        let before = violations_found();
+        note_violations(2);
+        assert!(violations_found() >= before + 2);
+        let before = certificates_issued();
+        note_certified();
+        assert!(certificates_issued() > before);
+    }
+}

@@ -73,4 +73,15 @@ done
 ./target/release/chaos --serve > /dev/null
 ./target/release/serve_storm /tmp/BENCH_serve_storm.json --jobs 1000 > /dev/null
 
-echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate + graph replay + fusion gates + serve gates all green"
+# hetero-prove gates: the binding-contract sweep (13 apps + the graph
+# matrix with enforcement force-enabled: zero violations, certificates
+# issued, zero translation-validation rejections), the 26-design FPGA
+# verifier sweep against the explicit DPCT_BASELINE_DEVIATIONS
+# allowlist (stale entries fail too), and the proof-gated elision
+# benchmark — the proven (unchecked) fast path must beat the fully
+# checked replay by >= 1.05x on at least one bandwidth-bound FDTD2D /
+# SRAD configuration, with record-time check cost amortized to ~0 per
+# replay and the armed-queue fallback verified bit-equal.
+./target/release/prove /tmp/BENCH_prove_elision.json --gate 1.05 > /dev/null
+
+echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate + graph replay + fusion gates + serve gates + prove sweep + elision gate all green"
