@@ -5,13 +5,24 @@
 //! altis run <app> [--size 1|2|3] [--device cpu|gpu|fpga]
 //!                 [--version baseline|optimized] [--iterations N]
 //! altis run all [--size 1]
+//! altis run <app|all> --stream [--windows N] [--fault-rate R] [--seed N]
 //! ```
 //!
 //! Runs the selected application(s) end-to-end on the portable runtime,
 //! verifies the output against the golden reference, and reports wall
 //! times (min/mean over `--iterations`, Altis-style).
+//!
+//! With `--stream`, the streaming-converted apps (SRAD, FDTD2D, KMeans,
+//! PF Naive) run as unbounded window sequences under windowed fault
+//! containment instead of one batch pass: per-window verdicts
+//! (delivered/retried/quarantined/dropped), checkpoint/rollback
+//! recovery, and throughput + p99 window latency are reported.
+//! `--fault-rate` arms transient launch faults on the primary queue to
+//! watch containment live; `all` streams every converted app and skips
+//! the rest.
 
 use altis_core::common::AppVersion;
+use altis_core::streaming::{open_stream, supports_streaming, StreamScenario};
 use altis_core::suite::{all_apps, AppEntry};
 use altis_data::InputSize;
 use hetero_rt::prelude::*;
@@ -20,7 +31,8 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  altis list\n  altis run <app|all> [--size 1|2|3] [--device cpu|gpu|fpga] \
-         [--version baseline|optimized] [--iterations N]"
+         [--version baseline|optimized] [--iterations N]\n  altis run <app|all> --stream \
+         [--windows N] [--fault-rate R] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -30,6 +42,10 @@ struct Options {
     device: Device,
     version: AppVersion,
     iterations: usize,
+    stream: bool,
+    windows: u64,
+    fault_rate: f64,
+    seed: u64,
 }
 
 fn parse_options(args: &[String]) -> Options {
@@ -38,6 +54,10 @@ fn parse_options(args: &[String]) -> Options {
         device: Device::cpu(),
         version: AppVersion::SyclOptimized,
         iterations: 3,
+        stream: false,
+        windows: 64,
+        fault_rate: 0.0,
+        seed: 1,
     };
     let mut i = 0;
     while i < args.len() {
@@ -75,6 +95,30 @@ fn parse_options(args: &[String]) -> Options {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--stream" => opts.stream = true,
+            "--windows" => {
+                i += 1;
+                opts.windows = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--fault-rate" => {
+                i += 1;
+                opts.fault_rate = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
         i += 1;
@@ -104,6 +148,69 @@ fn run_app(app: &AppEntry, opts: &Options) -> bool {
     ok
 }
 
+/// Drive `app` as a window stream and report per-verdict counts plus
+/// throughput and p99 window latency. Returns false on containment
+/// failure (dropped windows, dead stream) — never on contained faults.
+fn stream_app(app: &AppEntry, opts: &Options) -> bool {
+    // Transient-only injection: the panic/alloc kinds are stateless per
+    // (kernel, group) and would pin a permanently stuck group at any
+    // rate, hiding the rate axis. The full mixed matrix lives in
+    // `chaos --stream`.
+    let scenario = if opts.fault_rate > 0.0 {
+        StreamScenario {
+            fault: Some(std::sync::Arc::new(
+                FaultPlan::new(opts.seed, opts.fault_rate).with_kinds(&[FaultKind::LaunchTransient]),
+            )),
+            ..StreamScenario::default()
+        }
+    } else {
+        StreamScenario::default()
+    };
+    let mut runner = match open_stream(app.name, opts.size, StreamConfig::default(), &scenario) {
+        Ok(Some(r)) => r,
+        Ok(None) => unreachable!("caller filters on supports_streaming"),
+        Err(e) => {
+            println!("{:<12} {:<8} stream failed to open: {e}", app.name, opts.size.to_string());
+            return false;
+        }
+    };
+    let mut lat_us: Vec<u64> = Vec::with_capacity(opts.windows as usize);
+    let t0 = Instant::now();
+    for w in 0..opts.windows {
+        match runner.next_window() {
+            Ok(r) => lat_us.push(r.micros),
+            Err(e) => {
+                println!(
+                    "{:<12} {:<8} stream died at window {w}: {e}",
+                    app.name,
+                    opts.size.to_string()
+                );
+                return false;
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    lat_us.sort_unstable();
+    let p99 = lat_us[((lat_us.len() - 1) * 99) / 100];
+    let st = runner.stats();
+    let ok = st.dropped == 0;
+    println!(
+        "{:<12} {:<8} {:>8.0} win/s {:>8} us p99   delivered {} retried {} quarantined {} \
+         dropped {} rollbacks {}   {}",
+        app.name,
+        opts.size.to_string(),
+        opts.windows as f64 / wall,
+        p99,
+        st.delivered,
+        st.retried,
+        st.quarantined,
+        st.dropped,
+        st.rollbacks,
+        if ok { "PASS" } else { "FAIL" }
+    );
+    ok
+}
+
 fn main() {
     quiet_broken_pipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -126,13 +233,22 @@ fn main() {
                 }
                 std::process::exit(1);
             }
-            println!(
-                "device: {}   version: {:?}   iterations: {}",
-                opts.device, opts.version, opts.iterations
-            );
+            if opts.stream {
+                println!(
+                    "streaming: {} windows, fault rate {}, seed {}",
+                    opts.windows, opts.fault_rate, opts.seed
+                );
+            } else {
+                println!(
+                    "device: {}   version: {:?}   iterations: {}",
+                    opts.device, opts.version, opts.iterations
+                );
+            }
             let apps = all_apps();
             let selected: Vec<&AppEntry> = if target == "all" {
-                apps.iter().collect()
+                apps.iter()
+                    .filter(|a| !opts.stream || supports_streaming(a.name))
+                    .collect()
             } else {
                 let matched: Vec<&AppEntry> = apps
                     .iter()
@@ -142,11 +258,21 @@ fn main() {
                     eprintln!("unknown app '{target}'; try `altis list`");
                     std::process::exit(2);
                 }
+                if opts.stream {
+                    if let Some(a) = matched.iter().find(|a| !supports_streaming(a.name)) {
+                        eprintln!(
+                            "app '{}' has no streaming conversion; streaming apps: SRAD, \
+                             FDTD2D, KMeans, PF Naive",
+                            a.name
+                        );
+                        std::process::exit(2);
+                    }
+                }
                 matched
             };
             let mut all_ok = true;
             for app in selected {
-                all_ok &= run_app(app, &opts);
+                all_ok &= if opts.stream { stream_app(app, &opts) } else { run_app(app, &opts) };
             }
             if !all_ok {
                 std::process::exit(1);

@@ -14,7 +14,8 @@
 //!
 //! Usage:
 //! ```text
-//! chaos [--seed N] [--rate R] [--app SUBSTRING] [--timeout-secs T] [--serve]
+//! chaos [--seed N] [--rate R] [--app SUBSTRING] [--timeout-secs T]
+//!       [--serve] [--stream] [--windows N]
 //! ```
 //! `--seed`/`--rate` set the environment variables before the first
 //! queue is created; without them the pre-set environment is used
@@ -29,6 +30,14 @@
 //! gets exactly one typed verdict, none are uncontained, and the
 //! server — including the shared worker pool — survives the full
 //! matrix.
+//!
+//! With `--stream`, a seeded fault matrix (transient / panic / alloc /
+//! mixed kinds) is driven against each streaming-converted app's *live
+//! window stream*. The contract is windowed containment end to end:
+//! faults quarantine **windows, never the stream** — every one of the
+//! `--windows` windows gets a typed verdict, none are Dropped, every
+//! Delivered window is bit-equal to a fault-free golden trail, and the
+//! shared pool stays healthy after each cell.
 
 use std::time::{Duration, Instant};
 
@@ -142,15 +151,157 @@ fn serve_matrix(seed: u64, rate: f64, filter: Option<&str>) -> u32 {
     broken
 }
 
+/// `--stream`: the windowed-containment matrix. For each streaming app
+/// and each fault-kind cell, a fault-free golden digest trail is
+/// recorded first, then the same windows run with injection on the
+/// primary queue. Violations: the stream dying, a missing or `Dropped`
+/// window verdict, a Delivered window diverging from the golden trail,
+/// or a poisoned pool. Returns the violation count.
+fn stream_matrix(seed: u64, rate: f64, windows: u64, filter: Option<&str>) -> (u32, u64) {
+    use std::sync::Arc;
+
+    use altis_core::streaming::{open_stream, StreamScenario, STREAM_APPS};
+
+    const MIXED: [FaultKind; 4] = [
+        FaultKind::LaunchTransient,
+        FaultKind::KernelPanic,
+        FaultKind::AllocFail,
+        FaultKind::PipeStall,
+    ];
+    const CELLS: [(&str, &[FaultKind]); 4] = [
+        ("transient", &[FaultKind::LaunchTransient]),
+        ("panic", &[FaultKind::KernelPanic]),
+        ("alloc", &[FaultKind::AllocFail]),
+        ("mixed", &MIXED),
+    ];
+    let cfg = StreamConfig::default();
+    let mut broken = 0u32;
+    let mut injected_total = 0u64;
+    for app in STREAM_APPS {
+        if let Some(f) = filter {
+            if !app.to_lowercase().contains(&f.to_lowercase()) {
+                continue;
+            }
+        }
+        // Fault-free golden trail: the bit-exactness oracle for every
+        // cell of this app's row.
+        let mut trail = Vec::with_capacity(windows as usize);
+        match open_stream(app, InputSize::S1, cfg, &StreamScenario::default()) {
+            Ok(Some(mut s)) => {
+                let mut ok = true;
+                for _ in 0..windows {
+                    match s.next_window() {
+                        Ok(r) if r.verdict.is_delivered() => trail.push(r.digest),
+                        other => {
+                            eprintln!("  {app}: clean stream failed: {other:?}");
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    broken += 1;
+                    continue;
+                }
+            }
+            Ok(None) => {
+                eprintln!("  {app}: no streaming conversion");
+                broken += 1;
+                continue;
+            }
+            Err(e) => {
+                eprintln!("  {app}: stream failed to open: {e}");
+                broken += 1;
+                continue;
+            }
+        }
+        for (kind_label, kinds) in CELLS {
+            let plan = Arc::new(FaultPlan::new(seed, rate).with_kinds(kinds));
+            let scenario =
+                StreamScenario { fault: Some(plan.clone()), ..StreamScenario::default() };
+            let mut s = match open_stream(app, InputSize::S1, cfg, &scenario) {
+                Ok(Some(s)) => s,
+                Ok(None) => {
+                    eprintln!("  {app}/{kind_label}: no streaming conversion");
+                    broken += 1;
+                    continue;
+                }
+                Err(e) => {
+                    eprintln!("  {app}/{kind_label}: stream failed to open: {e}");
+                    broken += 1;
+                    continue;
+                }
+            };
+            let mut cell_broken = 0u32;
+            for w in 0..windows {
+                match s.next_window() {
+                    Ok(r) => {
+                        if r.verdict.is_delivered() && r.digest != trail[w as usize] {
+                            eprintln!(
+                                "  {app}/{kind_label}: window {w} Delivered but diverged \
+                                 from the golden trail"
+                            );
+                            cell_broken += 1;
+                        }
+                    }
+                    Err(e) => {
+                        // The invariant under test: faults quarantine
+                        // windows, never the stream.
+                        eprintln!("  {app}/{kind_label}: STREAM DIED at window {w}: {e}");
+                        cell_broken += 1;
+                        break;
+                    }
+                }
+            }
+            let st = s.stats();
+            if st.windows != windows || st.dropped != 0 {
+                eprintln!(
+                    "  {app}/{kind_label}: {} verdicts ({} Dropped) for {windows} windows",
+                    st.windows, st.dropped
+                );
+                cell_broken += 1;
+            }
+            if !pool_is_healthy() {
+                eprintln!("  {app}/{kind_label}: shared pool poisoned");
+                cell_broken += 1;
+            }
+            injected_total += plan.injected();
+            println!(
+                "  {:<9} {:<10} {:<14} {} delivered, {} retried, {} quarantined, {} shed \
+                 / {} injected, {} rollbacks",
+                app,
+                kind_label,
+                if cell_broken == 0 { "contained" } else { "NOT CONTAINED" },
+                st.delivered,
+                st.retried,
+                st.quarantined,
+                st.shed,
+                plan.injected(),
+                st.rollbacks,
+            );
+            broken += cell_broken;
+        }
+    }
+    (broken, injected_total)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut filter: Option<String> = None;
     let mut timeout = Duration::from_secs(60);
     let mut serve = false;
+    let mut stream = false;
+    let mut windows = 40u64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--serve" => serve = true,
+            "--stream" => stream = true,
+            "--windows" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    windows = v;
+                }
+            }
             "--seed" => {
                 if let Some(v) = it.next() {
                     std::env::set_var("HETERO_RT_FAULT_SEED", v);
@@ -178,6 +329,38 @@ fn main() {
     }
     if std::env::var_os("HETERO_RT_FAULT_RATE").is_none() {
         std::env::set_var("HETERO_RT_FAULT_RATE", "0.05");
+    }
+
+    if stream {
+        let seed: u64 = std::env::var("HETERO_RT_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        let rate: f64 = std::env::var("HETERO_RT_FAULT_RATE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.05);
+        println!(
+            "chaos --stream: seed {seed} rate {rate}, {windows} windows per cell, \
+             4 fault kinds x streaming apps"
+        );
+        let t0 = Instant::now();
+        let (broken, injected) = stream_matrix(seed, rate, windows, filter.as_deref());
+        println!(
+            "chaos --stream: done in {:.2?}, {injected} faults injected, \
+             {broken} containment violation(s)",
+            t0.elapsed()
+        );
+        println!(
+            "{{\"harness\":\"chaos-stream\",\"seed\":{seed},\"rate\":{rate},\
+             \"windows\":{windows},\"faults_injected\":{injected},\
+             \"violations\":{broken},\"contained\":{}}}",
+            broken == 0
+        );
+        if broken > 0 {
+            std::process::exit(1);
+        }
+        return;
     }
 
     if serve {

@@ -47,6 +47,16 @@
 //!   library path that exits tears down every tenant at once and skips
 //!   the one-verdict-per-job accounting. Library code reports through
 //!   typed errors / verdicts; only binary front-ends choose exit codes.
+//! * **stream-unbounded-queue** — no unbounded accumulation inside
+//!   stream loop bodies. A streaming runner's defining obligation is
+//!   bounded memory over an unbounded window sequence: growth calls
+//!   (`.push` / `.push_back` / `.push_front` / `.extend` / `.append`)
+//!   on a collection that *outlives* the loop turn graceful
+//!   backpressure into an unbounded queue that only fails at OOM.
+//!   Applies to every `*stream*.rs` library source; collections the
+//!   loop body declares itself (reset each iteration) are bounded and
+//!   allowed. Suppress with `// lint:allow(stream-unbounded-queue)`
+//!   plus the bound that caps the collection.
 //! * **no-unchecked-outside-proven** — no unchecked buffer access
 //!   (`get_unchecked`, raw `.elem(` accessor calls) in library code
 //!   outside the audited elision layer. Proof-gated bounds-check
@@ -130,6 +140,7 @@ fn main() {
         let text = std::fs::read_to_string(f).expect("readable source");
         lint_no_process_exit(f, &text, &mut violations);
         lint_no_unchecked(f, &text, &mut violations);
+        lint_stream_unbounded(f, &text, &mut violations);
     }
     // Launch calls can nest (a cooperative body re-entering nd_range);
     // report each *site* once. The key is the byte offset, not the
@@ -763,6 +774,73 @@ fn lint_no_unchecked(file: &Path, text: &str, violations: &mut Vec<Violation>) {
                 line,
                 offset: p,
                 rule: "no-unchecked-outside-proven",
+                snippet,
+            });
+        }
+    }
+}
+
+/// The `stream-unbounded-queue` rule: growth calls on long-lived
+/// collections inside loop bodies of the streaming sources
+/// (`*stream*.rs` library files). A stream loop runs over an unbounded
+/// window sequence, so any collection it grows that it did not itself
+/// declare (and therefore reset each iteration) is an unbounded queue
+/// — backpressure must shed or block, never accumulate.
+fn lint_stream_unbounded(file: &Path, text: &str, violations: &mut Vec<Violation>) {
+    let path = file.to_string_lossy().replace('\\', "/");
+    let name = path.rsplit('/').next().unwrap_or("");
+    if !name.contains("stream") {
+        return;
+    }
+    let (masked, allows) = mask_source(text);
+    let loops = loop_body_spans(&masked);
+    if loops.is_empty() {
+        return;
+    }
+    let tests = cfg_test_spans(&masked);
+    for pat in [
+        &b".push("[..],
+        &b".push_back("[..],
+        &b".push_front("[..],
+        &b".extend("[..],
+        &b".append("[..],
+    ] {
+        let mut from = 0;
+        while let Some(p) = find(&masked, pat, from) {
+            from = p + pat.len();
+            let enclosing: Vec<(usize, usize)> = loops
+                .iter()
+                .copied()
+                .filter(|&(lo, hi)| p >= lo && p < hi)
+                .collect();
+            if enclosing.is_empty() || tests.iter().any(|&(lo, hi)| p >= lo && p < hi) {
+                continue;
+            }
+            // Receiver identifier right before the `.`; a collection
+            // declared inside any enclosing loop body is reset per
+            // iteration and therefore bounded.
+            let mut s = p;
+            while s > 0 && is_ident_byte(masked[s - 1]) {
+                s -= 1;
+            }
+            let ident = String::from_utf8_lossy(&masked[s..p]).to_string();
+            if !ident.is_empty()
+                && enclosing
+                    .iter()
+                    .any(|&(lo, hi)| local_declarations(&masked, lo, hi).contains(&ident))
+            {
+                continue;
+            }
+            let line = line_of(text, p);
+            if allowed(&allows, "stream-unbounded-queue", line) {
+                continue;
+            }
+            let snippet = text.lines().nth(line - 1).unwrap_or("").to_string();
+            violations.push(Violation {
+                file: file.to_path_buf(),
+                line,
+                offset: p,
+                rule: "stream-unbounded-queue",
                 snippet,
             });
         }

@@ -20,6 +20,8 @@ use hetero_rt::prelude::*;
 
 use crate::common::{AppVersion, ExecMode};
 
+pub mod streaming;
+
 /// Field state of the simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fields {

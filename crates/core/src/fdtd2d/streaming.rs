@@ -1,0 +1,205 @@
+//! FDTD2D streaming: each window is one leapfrog timestep of the
+//! carried field state (an electromagnetic solver fed an endless frame
+//! clock). The recorded three-kernel step replays bit-identically to the
+//! sequential golden loop body, so the hardened, recovery and reference
+//! paths all agree bit-for-bit — the strongest possible footing for the
+//! runner's rollback-equivalence invariant.
+
+use altis_data::Fdtd2dParams;
+use hetero_rt::prelude::*;
+use hetero_rt::stream::StreamStage;
+
+use super::{source, Fields, C_E, C_H};
+
+/// Streaming stage for FDTD2D. State is the carried [`Fields`].
+pub struct FdtdStream {
+    n: usize,
+    primary: Queue,
+    clean: Queue,
+    ez: Buffer<f32>,
+    hx: Buffer<f32>,
+    hy: Buffer<f32>,
+    graph: Graph,
+}
+
+impl FdtdStream {
+    /// Record the three-kernel timestep once and build the stage.
+    pub fn new(p: &Fdtd2dParams, primary: &Queue, clean: &Queue) -> hetero_rt::Result<Self> {
+        let n = p.dim;
+        let ez = Buffer::<f32>::new(n * n);
+        let hx = Buffer::<f32>::new(n * n);
+        let hy = Buffer::<f32>::new(n * n);
+        let graph = Graph::record(clean, |g| {
+            let (ezv, hxv) = (ez.view(), hx.view());
+            g.parallel_for(
+                "fdtd_hx",
+                Range::d2(n - 1, n - 1),
+                &[reads(&ez), reads_writes_item(&hx)],
+                move |it| {
+                    let i = it.gid(1) * n + it.gid(0);
+                    hxv.update(i, |h| h - C_H * (ezv.get(i + n) - ezv.get(i)));
+                },
+            );
+            let (ezv, hyv) = (ez.view(), hy.view());
+            g.parallel_for(
+                "fdtd_hy",
+                Range::d2(n - 1, n - 1),
+                &[reads(&ez), reads_writes_item(&hy)],
+                move |it| {
+                    let i = it.gid(1) * n + it.gid(0);
+                    hyv.update(i, |h| h + C_H * (ezv.get(i + 1) - ezv.get(i)));
+                },
+            );
+            let (ezv, hxv, hyv) = (ez.view(), hx.view(), hy.view());
+            g.parallel_for(
+                "fdtd_ez",
+                Range::d2(n - 2, n - 2),
+                &[reads(&hx), reads(&hy), reads_writes_item(&ez)],
+                move |it| {
+                    let (x, y) = (it.gid(0) + 1, it.gid(1) + 1);
+                    let i = y * n + x;
+                    ezv.update(i, |e| {
+                        e + C_E * ((hyv.get(i) - hyv.get(i - 1)) - (hxv.get(i) - hxv.get(i - n)))
+                    });
+                },
+            );
+            g.output(&ez);
+            g.output(&hx);
+            g.output(&hy);
+        })?;
+        Ok(FdtdStream { n, primary: primary.clone(), clean: clean.clone(), ez, hx, hy, graph })
+    }
+
+    /// Initial stream state: zeroed fields.
+    pub fn initial_state(p: &Fdtd2dParams) -> Fields {
+        let n = p.dim;
+        Fields { ez: vec![0.0; n * n], hx: vec![0.0; n * n], hy: vec![0.0; n * n] }
+    }
+
+    fn step_on(&mut self, q: &Queue, state: &mut Fields, t: u64) -> hetero_rt::Result<()> {
+        self.ez.write_from(&state.ez);
+        self.hx.write_from(&state.hx);
+        self.hy.write_from(&state.hy);
+        self.graph.replay(q)?;
+        let n = self.n;
+        let mut ez = self.ez.to_vec();
+        // The point source is a host-side single-element update, exactly
+        // as the batch runner injects it between replays.
+        ez[(n / 2) * n + n / 2] += source(t as usize);
+        state.ez = ez;
+        state.hx = self.hx.to_vec();
+        state.hy = self.hy.to_vec();
+        Ok(())
+    }
+}
+
+impl StreamStage for FdtdStream {
+    type State = Fields;
+
+    fn advance(&mut self, state: &mut Fields, window: u64) -> hetero_rt::Result<()> {
+        let q = self.primary.clone();
+        self.step_on(&q, state, window)
+    }
+
+    fn recover(&mut self, state: &mut Fields, window: u64) -> hetero_rt::Result<()> {
+        let q = self.clean.clone();
+        self.step_on(&q, state, window)
+    }
+
+    fn reference(&self, state: &mut Fields, window: u64) {
+        // The sequential golden loop body for timestep `window`.
+        let n = self.n;
+        for y in 0..n - 1 {
+            for x in 0..n - 1 {
+                let i = y * n + x;
+                state.hx[i] -= C_H * (state.ez[i + n] - state.ez[i]);
+                state.hy[i] += C_H * (state.ez[i + 1] - state.ez[i]);
+            }
+        }
+        for y in 1..n - 1 {
+            for x in 1..n - 1 {
+                let i = y * n + x;
+                state.ez[i] +=
+                    C_E * ((state.hy[i] - state.hy[i - 1]) - (state.hx[i] - state.hx[i - n]));
+            }
+        }
+        state.ez[(n / 2) * n + n / 2] += source(window as usize);
+    }
+
+    fn digest(&self, state: &Fields) -> u64 {
+        crate::suite::digest_words(
+            state
+                .ez
+                .iter()
+                .chain(&state.hx)
+                .chain(&state.hy)
+                .map(|x| x.to_bits() as u64),
+        )
+    }
+}
+
+/// Drive `windows` timesteps through the containment runner. Returns the
+/// final fields and the stream counters.
+pub fn run_streaming(
+    primary: &Queue,
+    clean: &Queue,
+    p: &Fdtd2dParams,
+    windows: u64,
+    cfg: hetero_rt::StreamConfig,
+) -> hetero_rt::Result<(Fields, hetero_rt::StreamStats)> {
+    let stage = FdtdStream::new(p, primary, clean)?;
+    let initial = FdtdStream::initial_state(p);
+    let mut runner = hetero_rt::StreamRunner::new(stage, initial, cfg);
+    let stats = runner.run(windows, |_| {})?;
+    Ok((runner.into_state(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_rt::StreamConfig;
+
+    fn tiny() -> Fdtd2dParams {
+        Fdtd2dParams { dim: 32, steps: 10 }
+    }
+
+    fn clean_q() -> Queue {
+        Queue::new(Device::cpu())
+            .with_fault_plan(None)
+            .with_integrity(false)
+            .with_redundancy(Redundancy::None)
+            .with_retry_policy(RetryPolicy::default())
+    }
+
+    #[test]
+    fn run_streaming_is_bit_equal_to_golden() {
+        let p = tiny();
+        let q = clean_q();
+        let (fields, stats) =
+            run_streaming(&q, &q, &p, p.steps as u64, StreamConfig::default()).unwrap();
+        let g = crate::fdtd2d::golden(&p);
+        assert_eq!(stats.delivered, p.steps as u64);
+        assert_eq!(fields.ez, g.ez);
+        assert_eq!(fields.hx, g.hx);
+        assert_eq!(fields.hy, g.hy);
+    }
+
+    #[test]
+    fn device_and_reference_paths_agree_bitwise_per_window() {
+        let p = tiny();
+        let q = clean_q();
+        let stage = FdtdStream::new(&p, &q, &q).unwrap();
+        let mut runner = hetero_rt::StreamRunner::new(
+            stage,
+            FdtdStream::initial_state(&p),
+            StreamConfig::default(),
+        );
+        let host_stage = FdtdStream::new(&p, &q, &q).unwrap();
+        let mut host = FdtdStream::initial_state(&p);
+        for w in 0..6u64 {
+            let rep = runner.next_window().unwrap();
+            host_stage.reference(&mut host, w);
+            assert_eq!(rep.digest, host_stage.digest(&host), "window {w}");
+        }
+    }
+}

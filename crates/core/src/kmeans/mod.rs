@@ -22,6 +22,8 @@ use hetero_rt::prelude::*;
 
 use crate::common::{AppVersion, ExecMode};
 
+pub mod streaming;
+
 /// Clustering result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KmeansOutput {

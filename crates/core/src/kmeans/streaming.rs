@@ -1,0 +1,294 @@
+//! KMeans streaming: each window is one *point batch* of a Lloyd pass.
+//! The point cloud is divided into a fixed number of batches; windows
+//! cycle batch 0..B-1, batch 0 resets the accumulators and batch B-1
+//! finalizes the centres — so `iterations × B` windows reproduce the
+//! batch golden output exactly.
+//!
+//! The device half is the assignment kernel only (the branchless
+//! nearest-centre scan, bit-identical to the host [`super::nearest_center`]);
+//! accumulation runs on the host *in point order*, deliberately avoiding
+//! the batch path's atomic f32 scatter so the streaming trail is
+//! bit-deterministic and rollback-replayable.
+
+use altis_data::KmeansParams;
+use hetero_rt::prelude::*;
+use hetero_rt::stream::StreamStage;
+
+/// Number of point batches per Lloyd pass.
+pub const BATCHES_PER_PASS: u64 = 4;
+
+/// Carried clustering state across windows.
+#[derive(Clone, Debug)]
+pub struct KmeansStreamState {
+    /// Current cluster centres, k × features.
+    pub centers: Vec<f32>,
+    /// Point→cluster assignment as of the pass in progress.
+    pub membership: Vec<u32>,
+    /// Per-cluster feature sums for the pass in progress.
+    pub acc: Vec<f32>,
+    /// Per-cluster point counts for the pass in progress.
+    pub counts: Vec<u32>,
+}
+
+/// Streaming stage for KMeans.
+pub struct KmeansStream {
+    k: usize,
+    nf: usize,
+    n: usize,
+    points: Vec<f32>,
+    primary: Queue,
+    clean: Queue,
+    centers_buf: Buffer<f32>,
+    batch_params: Buffer<u32>,
+    memb_batch: Buffer<u32>,
+    graph: Graph,
+}
+
+impl KmeansStream {
+    /// Record the batched assignment kernel once and build the stage.
+    pub fn new(p: &KmeansParams, primary: &Queue, clean: &Queue) -> hetero_rt::Result<Self> {
+        let points = super::generate_points(p);
+        let (k, nf, n) = (p.k, p.n_features, p.n_points);
+        let max_len = (0..BATCHES_PER_PASS)
+            .map(|j| {
+                let (s, e) = Self::batch_bounds_of(n, j);
+                e - s
+            })
+            .max()
+            .unwrap_or(0);
+        let pts = Buffer::from_slice(&points);
+        let centers_buf = Buffer::from_slice(&super::initial_centers(p, &points));
+        // [start, len] of the window's batch, written before each replay.
+        let batch_params = Buffer::<u32>::new(2);
+        let memb_batch = Buffer::<u32>::new(max_len);
+        let graph = Graph::record(clean, |g| {
+            let (pv, cv, bv, mv) =
+                (pts.view(), centers_buf.view(), batch_params.view(), memb_batch.view());
+            g.parallel_for(
+                "stream_map_centers",
+                Range::d1(max_len),
+                &[reads(&pts), reads(&centers_buf), reads(&batch_params), writes(&memb_batch)],
+                move |it| {
+                    let t = it.gid(0);
+                    let len = bv.get(1) as usize;
+                    if t >= len {
+                        return;
+                    }
+                    let i = bv.get(0) as usize + t;
+                    let mut best = 0u32;
+                    let mut best_d = f32::INFINITY;
+                    for c in 0..k {
+                        let mut d = 0.0f32;
+                        for f in 0..nf {
+                            let diff = pv.get(i * nf + f) - cv.get(c * nf + f);
+                            d += diff * diff;
+                        }
+                        if d < best_d {
+                            best_d = d;
+                            // lint:allow(as-cast) cluster index < k, far below u32::MAX
+                            best = c as u32;
+                        }
+                    }
+                    mv.set(t, best);
+                },
+            );
+            g.output(&memb_batch);
+        })?;
+        Ok(KmeansStream {
+            k,
+            nf,
+            n,
+            points,
+            primary: primary.clone(),
+            clean: clean.clone(),
+            centers_buf,
+            batch_params,
+            memb_batch,
+            graph,
+        })
+    }
+
+    /// Initial stream state: Rodinia first-k-points centres, empty pass.
+    pub fn initial_state(p: &KmeansParams) -> KmeansStreamState {
+        let points = super::generate_points(p);
+        KmeansStreamState {
+            centers: super::initial_centers(p, &points),
+            membership: vec![0; p.n_points],
+            acc: vec![0.0; p.k * p.n_features],
+            counts: vec![0; p.k],
+        }
+    }
+
+    fn batch_bounds_of(n: usize, j: u64) -> (usize, usize) {
+        let b = BATCHES_PER_PASS as usize;
+        let j = j as usize;
+        (n * j / b, n * (j + 1) / b)
+    }
+
+    fn batch_bounds(&self, window: u64) -> (usize, usize) {
+        Self::batch_bounds_of(self.n, window % BATCHES_PER_PASS)
+    }
+
+    /// Fold one batch's assignments into the carried state. This is the
+    /// *only* place state mutates, shared verbatim by the hardened,
+    /// recovery and reference paths.
+    fn commit_batch(
+        &self,
+        state: &mut KmeansStreamState,
+        window: u64,
+        start: usize,
+        assignments: &[u32],
+    ) {
+        let j = window % BATCHES_PER_PASS;
+        if j == 0 {
+            state.acc.iter_mut().for_each(|a| *a = 0.0);
+            state.counts.iter_mut().for_each(|c| *c = 0);
+        }
+        let nf = self.nf;
+        for (t, &m) in assignments.iter().enumerate() {
+            let i = start + t;
+            state.membership[i] = m;
+            state.counts[m as usize] += 1;
+            for f in 0..nf {
+                state.acc[m as usize * nf + f] += self.points[i * nf + f];
+            }
+        }
+        if j == BATCHES_PER_PASS - 1 {
+            for c in 0..self.k {
+                if state.counts[c] > 0 {
+                    for f in 0..nf {
+                        state.centers[c * nf + f] =
+                            state.acc[c * nf + f] / state.counts[c] as f32;
+                    }
+                }
+            }
+        }
+    }
+
+    fn step_on(
+        &mut self,
+        q: &Queue,
+        state: &mut KmeansStreamState,
+        window: u64,
+    ) -> hetero_rt::Result<()> {
+        let (start, end) = self.batch_bounds(window);
+        let len = end - start;
+        self.centers_buf.write_from(&state.centers);
+        let bv = self.batch_params.view();
+        bv.set(0, start as u32);
+        bv.set(1, len as u32);
+        self.graph.replay(q)?;
+        let mb = self.memb_batch.to_vec();
+        self.commit_batch(state, window, start, &mb[..len]);
+        Ok(())
+    }
+}
+
+impl StreamStage for KmeansStream {
+    type State = KmeansStreamState;
+
+    fn advance(&mut self, state: &mut KmeansStreamState, window: u64) -> hetero_rt::Result<()> {
+        let q = self.primary.clone();
+        self.step_on(&q, state, window)
+    }
+
+    fn recover(&mut self, state: &mut KmeansStreamState, window: u64) -> hetero_rt::Result<()> {
+        let q = self.clean.clone();
+        self.step_on(&q, state, window)
+    }
+
+    fn reference(&self, state: &mut KmeansStreamState, window: u64) {
+        let (start, end) = self.batch_bounds(window);
+        let nf = self.nf;
+        let assignments: Vec<u32> = (start..end)
+            .map(|i| {
+                super::nearest_center(
+                    &self.points[i * nf..(i + 1) * nf],
+                    &state.centers,
+                    self.k,
+                    nf,
+                )
+            })
+            .collect();
+        self.commit_batch(state, window, start, &assignments);
+    }
+
+    fn digest(&self, state: &KmeansStreamState) -> u64 {
+        crate::suite::digest_words(
+            state
+                .centers
+                .iter()
+                .map(|x| x.to_bits() as u64)
+                .chain(state.membership.iter().map(|&m| u64::from(m)))
+                .chain(state.acc.iter().map(|x| x.to_bits() as u64))
+                .chain(state.counts.iter().map(|&c| u64::from(c))),
+        )
+    }
+}
+
+/// Drive `windows` point batches through the containment runner.
+pub fn run_streaming(
+    primary: &Queue,
+    clean: &Queue,
+    p: &KmeansParams,
+    windows: u64,
+    cfg: hetero_rt::StreamConfig,
+) -> hetero_rt::Result<(KmeansStreamState, hetero_rt::StreamStats)> {
+    let stage = KmeansStream::new(p, primary, clean)?;
+    let initial = KmeansStream::initial_state(p);
+    let mut runner = hetero_rt::StreamRunner::new(stage, initial, cfg);
+    let stats = runner.run(windows, |_| {})?;
+    Ok((runner.into_state(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_rt::StreamConfig;
+
+    fn tiny() -> KmeansParams {
+        KmeansParams { n_points: 256, n_features: 4, k: 3, iterations: 5 }
+    }
+
+    fn clean_q() -> Queue {
+        Queue::new(Device::cpu())
+            .with_fault_plan(None)
+            .with_integrity(false)
+            .with_redundancy(Redundancy::None)
+            .with_retry_policy(RetryPolicy::default())
+    }
+
+    #[test]
+    fn full_passes_reproduce_the_golden_clustering_exactly() {
+        let p = tiny();
+        let q = clean_q();
+        let windows = p.iterations as u64 * BATCHES_PER_PASS;
+        let (state, stats) =
+            run_streaming(&q, &q, &p, windows, StreamConfig::default()).unwrap();
+        let g = crate::kmeans::golden(&p);
+        assert_eq!(stats.delivered, windows);
+        assert_eq!(state.membership, g.membership);
+        // Host-order accumulation makes the streamed centres *bit-equal*
+        // to the sequential golden (no atomic scatter on this path).
+        assert_eq!(state.centers, g.centers);
+    }
+
+    #[test]
+    fn device_and_reference_batches_agree_bitwise() {
+        let p = tiny();
+        let q = clean_q();
+        let stage = KmeansStream::new(&p, &q, &q).unwrap();
+        let mut runner = hetero_rt::StreamRunner::new(
+            stage,
+            KmeansStream::initial_state(&p),
+            StreamConfig::default(),
+        );
+        let host_stage = KmeansStream::new(&p, &q, &q).unwrap();
+        let mut host = KmeansStream::initial_state(&p);
+        for w in 0..(2 * BATCHES_PER_PASS) {
+            let rep = runner.next_window().unwrap();
+            host_stage.reference(&mut host, w);
+            assert_eq!(rep.digest, host_stage.digest(&host), "window {w}");
+        }
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod common;
 pub mod migration;
+pub mod streaming;
 pub mod suite;
 
 pub mod cfd;
@@ -42,4 +43,8 @@ pub mod srad;
 pub mod where_q;
 
 pub use common::{AppVersion, FpgaVariant, Real};
+pub use streaming::{
+    clean_queue, golden_horizon, open_stream, primary_queue, streamed_registry_digest,
+    supports_streaming, AppStream, StreamScenario, STREAM_APPS,
+};
 pub use suite::{all_apps, AppEntry};

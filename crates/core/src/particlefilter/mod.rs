@@ -22,6 +22,8 @@ use hetero_rt::prelude::*;
 
 use crate::common::{AppVersion, ExecMode};
 
+pub mod streaming;
+
 /// Which PF variant (Altis ships both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PfVariant {

@@ -1,0 +1,360 @@
+//! ParticleFilter streaming: each window is one observation frame of the
+//! bootstrap filter (window `w` processes frame `w + 1`, matching the
+//! golden 1-based frame clock).
+//!
+//! The device half replays the recorded propagate/weight and resample
+//! kernels; the normalisation, estimate and CDF build run as *sequential
+//! host folds* (replacing the batch path's parallel reductions), so the
+//! hardened, recovery and reference trails are bit-identical — the
+//! property checkpoint/rollback replay depends on. Estimates track the
+//! golden filter to the suite's 0.05 tolerance (association order of the
+//! host folds differs from the golden text, same as the batch runner).
+
+use altis_data::PfParams;
+use hetero_rt::prelude::*;
+use hetero_rt::stream::StreamStage;
+
+use super::{likelihood, true_pos, Lcg, PfVariant};
+
+/// Carried filter state across windows.
+#[derive(Clone, Debug)]
+pub struct PfStreamState {
+    /// Particle x positions.
+    pub xs: Vec<f32>,
+    /// Particle y positions.
+    pub ys: Vec<f32>,
+    /// Per-particle RNG states (the resilience-critical carry: rollback
+    /// must restore these exactly or the replayed trail diverges).
+    pub seeds: Vec<u64>,
+    /// Latest frame's estimated x.
+    pub xe: f32,
+    /// Latest frame's estimated y.
+    pub ye: f32,
+}
+
+/// Streaming stage for ParticleFilter.
+pub struct PfStream {
+    params: PfParams,
+    variant: PfVariant,
+    primary: Queue,
+    clean: Queue,
+    xs: Buffer<f32>,
+    ys: Buffer<f32>,
+    weights: Buffer<f32>,
+    seeds: Buffer<u64>,
+    cdfb: Buffer<f32>,
+    nxs: Buffer<f32>,
+    nys: Buffer<f32>,
+    frame_params: Buffer<f32>,
+    propagate: Graph,
+    resample: Graph,
+}
+
+impl PfStream {
+    /// Record the propagate and resample kernels once and build the stage.
+    pub fn new(
+        p: &PfParams,
+        variant: PfVariant,
+        primary: &Queue,
+        clean: &Queue,
+    ) -> hetero_rt::Result<Self> {
+        let n = p.n_particles;
+        let xs = Buffer::<f32>::new(n);
+        let ys = Buffer::<f32>::new(n);
+        let weights = Buffer::<f32>::new(n);
+        let seeds = Buffer::<u64>::new(n);
+        let cdfb = Buffer::<f32>::new(n);
+        let nxs = Buffer::<f32>::new(n);
+        let nys = Buffer::<f32>::new(n);
+        // Frame-varying scalars: [tx, ty, u0].
+        let frame_params = Buffer::<f32>::new(3);
+        let propagate = Graph::record(clean, |g| {
+            let (xv, yv, wv, sv) = (xs.view(), ys.view(), weights.view(), seeds.view());
+            let pv = frame_params.view();
+            g.parallel_for(
+                "pf_propagate_weight",
+                Range::d1(n),
+                &[
+                    reads(&frame_params),
+                    reads_writes_item(&xs),
+                    reads_writes_item(&ys),
+                    reads_writes_item(&seeds),
+                    writes_dense(&weights),
+                ],
+                move |it| {
+                    let (tx, ty) = (pv.get(0), pv.get(1));
+                    let i = it.gid(0);
+                    let mut rng = Lcg { state: sv.get(i) };
+                    xv.update(i, |x| x + 2.0 + rng.normal());
+                    yv.update(i, |y| y + 1.5 + rng.normal());
+                    sv.set(i, rng.state);
+                    wv.set(i, likelihood(variant, xv.get(i), yv.get(i), tx, ty));
+                },
+            );
+            g.output(&xs);
+            g.output(&ys);
+            g.output(&weights);
+            g.output(&seeds);
+        })?;
+        let resample = Graph::record(clean, |g| {
+            let (cv, xv, yv, nxv, nyv) =
+                (cdfb.view(), xs.view(), ys.view(), nxs.view(), nys.view());
+            let pv = frame_params.view();
+            g.parallel_for(
+                "pf_find_index",
+                Range::d1(n),
+                &[
+                    reads(&frame_params),
+                    reads(&cdfb),
+                    reads(&xs),
+                    reads(&ys),
+                    writes_dense(&nxs),
+                    writes_dense(&nys),
+                ],
+                move |it| {
+                    let u0 = pv.get(2);
+                    let j = it.gid(0);
+                    let u = u0 + j as f32 / n as f32;
+                    let mut idx = cv.len() - 1;
+                    for i in 0..cv.len() {
+                        if cv.get(i) >= u {
+                            idx = i;
+                            break;
+                        }
+                    }
+                    nxv.set(j, xv.get(idx));
+                    nyv.set(j, yv.get(idx));
+                },
+            );
+            g.output(&nxs);
+            g.output(&nys);
+        })?;
+        Ok(PfStream {
+            params: *p,
+            variant,
+            primary: primary.clone(),
+            clean: clean.clone(),
+            xs,
+            ys,
+            weights,
+            seeds,
+            cdfb,
+            nxs,
+            nys,
+            frame_params,
+            propagate,
+            resample,
+        })
+    }
+
+    /// Initial stream state: the golden filter's particle cloud and
+    /// per-particle RNG streams.
+    pub fn initial_state(p: &PfParams) -> PfStreamState {
+        let n = p.n_particles;
+        PfStreamState {
+            xs: vec![(p.dim as f32) * 0.25; n],
+            ys: vec![(p.dim as f32) * 0.25; n],
+            seeds: (0..n).map(|i| Lcg::new(i as u64 + 17).state).collect(),
+            xe: 0.0,
+            ye: 0.0,
+        }
+    }
+
+    /// Host frame tail shared by every path: normalise, estimate, CDF.
+    /// Returns (normalised weights as CDF, xe, ye).
+    fn frame_tail(weights: &mut [f32], xs: &[f32], ys: &[f32]) -> (Vec<f32>, f32, f32) {
+        let sum: f32 = weights.iter().sum();
+        let sum = if sum <= 0.0 { 1.0 } else { sum };
+        for w in weights.iter_mut() {
+            *w /= sum;
+        }
+        let xe: f32 = xs.iter().zip(weights.iter()).map(|(x, w)| x * w).sum();
+        let ye: f32 = ys.iter().zip(weights.iter()).map(|(y, w)| y * w).sum();
+        let mut cdf = vec![0f32; weights.len()];
+        let mut acc = 0.0;
+        for (c, &w) in cdf.iter_mut().zip(weights.iter()) {
+            acc += w;
+            *c = acc;
+        }
+        (cdf, xe, ye)
+    }
+
+    fn frame_u0(frame: usize, n: usize) -> f32 {
+        Lcg::new(frame as u64 * 7919).uniform() / n as f32
+    }
+
+    fn step_on(
+        &mut self,
+        q: &Queue,
+        state: &mut PfStreamState,
+        window: u64,
+    ) -> hetero_rt::Result<()> {
+        let n = self.params.n_particles;
+        let frame = window as usize + 1;
+        let (tx, ty) = true_pos(&self.params, frame);
+        self.xs.write_from(&state.xs);
+        self.ys.write_from(&state.ys);
+        self.seeds.write_from(&state.seeds);
+        let pv = self.frame_params.view();
+        pv.set(0, tx);
+        pv.set(1, ty);
+        self.propagate.replay(q)?;
+        let mut w = self.weights.to_vec();
+        let xs_v = self.xs.to_vec();
+        let ys_v = self.ys.to_vec();
+        let seeds_v = self.seeds.to_vec();
+        let (cdf, xe, ye) = Self::frame_tail(&mut w, &xs_v, &ys_v);
+        self.cdfb.write_from(&cdf);
+        pv.set(2, Self::frame_u0(frame, n));
+        self.resample.replay(q)?;
+        // Commit only after *both* replays succeeded (state-on-success).
+        state.xs = self.nxs.to_vec();
+        state.ys = self.nys.to_vec();
+        state.seeds = seeds_v;
+        state.xe = xe;
+        state.ye = ye;
+        Ok(())
+    }
+}
+
+impl StreamStage for PfStream {
+    type State = PfStreamState;
+
+    fn advance(&mut self, state: &mut PfStreamState, window: u64) -> hetero_rt::Result<()> {
+        let q = self.primary.clone();
+        self.step_on(&q, state, window)
+    }
+
+    fn recover(&mut self, state: &mut PfStreamState, window: u64) -> hetero_rt::Result<()> {
+        let q = self.clean.clone();
+        self.step_on(&q, state, window)
+    }
+
+    fn reference(&self, state: &mut PfStreamState, window: u64) {
+        // Host mirror of the device kernels, same association order.
+        let p = &self.params;
+        let n = p.n_particles;
+        let frame = window as usize + 1;
+        let (tx, ty) = true_pos(p, frame);
+        let mut xs = state.xs.clone();
+        let mut ys = state.ys.clone();
+        let mut seeds = state.seeds.clone();
+        let mut w = vec![0f32; n];
+        for i in 0..n {
+            let mut rng = Lcg { state: seeds[i] };
+            // Same association order as the kernel's `x + 2.0 + normal`
+            // (the golden text's `x += 2.0 + normal` rounds differently).
+            let (x0, y0) = (xs[i], ys[i]);
+            xs[i] = x0 + 2.0 + rng.normal();
+            ys[i] = y0 + 1.5 + rng.normal();
+            seeds[i] = rng.state;
+            w[i] = likelihood(self.variant, xs[i], ys[i], tx, ty);
+        }
+        let (cdf, xe, ye) = Self::frame_tail(&mut w, &xs, &ys);
+        let u0 = Self::frame_u0(frame, n);
+        let mut nxs = vec![0f32; n];
+        let mut nys = vec![0f32; n];
+        for (j, (nx, ny)) in nxs.iter_mut().zip(nys.iter_mut()).enumerate() {
+            let u = u0 + j as f32 / n as f32;
+            let i = super::find_index(&cdf, u);
+            *nx = xs[i];
+            *ny = ys[i];
+        }
+        state.xs = nxs;
+        state.ys = nys;
+        state.seeds = seeds;
+        state.xe = xe;
+        state.ye = ye;
+    }
+
+    fn digest(&self, state: &PfStreamState) -> u64 {
+        crate::suite::digest_words(
+            state
+                .xs
+                .iter()
+                .chain(&state.ys)
+                .map(|x| x.to_bits() as u64)
+                .chain(state.seeds.iter().copied())
+                .chain([state.xe.to_bits() as u64, state.ye.to_bits() as u64]),
+        )
+    }
+}
+
+/// Drive `windows` observation frames through the containment runner.
+pub fn run_streaming(
+    primary: &Queue,
+    clean: &Queue,
+    p: &PfParams,
+    variant: PfVariant,
+    windows: u64,
+    cfg: hetero_rt::StreamConfig,
+) -> hetero_rt::Result<(PfStreamState, hetero_rt::StreamStats)> {
+    let stage = PfStream::new(p, variant, primary, clean)?;
+    let initial = PfStream::initial_state(p);
+    let mut runner = hetero_rt::StreamRunner::new(stage, initial, cfg);
+    let stats = runner.run(windows, |_| {})?;
+    Ok((runner.into_state(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_rt::StreamConfig;
+
+    fn tiny() -> PfParams {
+        PfParams { n_particles: 256, frames: 5, dim: 128 }
+    }
+
+    fn clean_q() -> Queue {
+        Queue::new(Device::cpu())
+            .with_fault_plan(None)
+            .with_integrity(false)
+            .with_redundancy(Redundancy::None)
+            .with_retry_policy(RetryPolicy::default())
+    }
+
+    #[test]
+    fn streaming_estimates_track_the_golden_filter() {
+        let p = tiny();
+        let q = clean_q();
+        let g = crate::particlefilter::golden(&p, PfVariant::Naive);
+        let stage = PfStream::new(&p, PfVariant::Naive, &q, &q).unwrap();
+        let mut runner = hetero_rt::StreamRunner::new(
+            stage,
+            PfStream::initial_state(&p),
+            StreamConfig::default(),
+        );
+        for f in 0..p.frames as u64 {
+            runner.next_window().unwrap();
+            let st = runner.state();
+            assert!(
+                (st.xe - g.xe[f as usize]).abs() < 0.05,
+                "frame {f}: xe {} vs golden {}",
+                st.xe,
+                g.xe[f as usize]
+            );
+            assert!((st.ye - g.ye[f as usize]).abs() < 0.05, "frame {f}");
+        }
+    }
+
+    #[test]
+    fn device_and_reference_frames_agree_bitwise() {
+        let p = tiny();
+        let q = clean_q();
+        for variant in [PfVariant::Naive, PfVariant::Float] {
+            let stage = PfStream::new(&p, variant, &q, &q).unwrap();
+            let mut runner = hetero_rt::StreamRunner::new(
+                stage,
+                PfStream::initial_state(&p),
+                StreamConfig::default(),
+            );
+            let host_stage = PfStream::new(&p, variant, &q, &q).unwrap();
+            let mut host = PfStream::initial_state(&p);
+            for w in 0..4u64 {
+                let rep = runner.next_window().unwrap();
+                host_stage.reference(&mut host, w);
+                assert_eq!(rep.digest, host_stage.digest(&host), "{variant:?} window {w}");
+            }
+        }
+    }
+}

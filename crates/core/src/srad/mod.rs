@@ -19,6 +19,8 @@ use hetero_rt::prelude::*;
 
 use crate::common::{AppVersion, ExecMode};
 
+pub mod streaming;
+
 /// Generate the speckled input image.
 pub fn generate_image(p: &SradParams) -> Vec<f32> {
     let mut rng = SeededRng::new("srad", p.dim);

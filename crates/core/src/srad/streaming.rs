@@ -1,0 +1,231 @@
+//! SRAD streaming: each window is one diffusion iteration over the
+//! carried image (a denoising filter fed an endless frame sequence).
+//!
+//! The iteration-varying `q0` statistic is computed on the *host* from
+//! the carried state with the same sequential f64 fold as the golden
+//! [`super::srad_step`], so the device stencils — whose per-item writes
+//! are schedule-independent — advance the image bit-identically to the
+//! host reference. That bit-equality is what makes checkpoint/rollback
+//! replay on the clean queue indistinguishable from an uninterrupted
+//! hardened run (stream invariant 2).
+
+use altis_data::SradParams;
+use hetero_rt::prelude::*;
+use hetero_rt::stream::StreamStage;
+
+/// Streaming stage for SRAD. State is the carried image (`dim × dim`).
+pub struct SradStream {
+    n: usize,
+    lambda: f32,
+    primary: Queue,
+    clean: Queue,
+    img: Buffer<f32>,
+    q0b: Buffer<f32>,
+    graph: Graph,
+}
+
+impl SradStream {
+    /// Record the two-kernel diffusion step once and build the stage.
+    /// `primary` is the hardened queue faults are injected on; `clean`
+    /// is the fault-free recovery queue. Both replay the same recording.
+    pub fn new(p: &SradParams, primary: &Queue, clean: &Queue) -> hetero_rt::Result<Self> {
+        let n = p.dim;
+        let lambda = p.lambda;
+        let img = Buffer::from_slice(&super::generate_image(p));
+        let c = Buffer::<f32>::new(n * n);
+        let dn = Buffer::<f32>::new(n * n);
+        let ds = Buffer::<f32>::new(n * n);
+        let de = Buffer::<f32>::new(n * n);
+        let dw = Buffer::<f32>::new(n * n);
+        let q0b = Buffer::<f32>::new(1);
+        let graph = Graph::record(clean, |g| {
+            let (iv, cv, dnv, dsv, dev, dwv) =
+                (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
+            let q0v = q0b.view();
+            g.parallel_for(
+                "srad_1",
+                Range::d2(n, n),
+                &[
+                    reads(&img),
+                    reads(&q0b),
+                    writes_dense(&c),
+                    writes_dense(&dn),
+                    writes_dense(&ds),
+                    writes_dense(&de),
+                    writes_dense(&dw),
+                ],
+                move |it| {
+                    let q0 = q0v.get(0);
+                    let (x, y) = (it.gid(0), it.gid(1));
+                    let i = y * n + x;
+                    let j = iv.get(i);
+                    let jn = iv.get(y.saturating_sub(1) * n + x);
+                    let js = iv.get((y + 1).min(n - 1) * n + x);
+                    let jw = iv.get(y * n + x.saturating_sub(1));
+                    let je = iv.get(y * n + (x + 1).min(n - 1));
+                    let (vn, vs, vw, ve) = (jn - j, js - j, jw - j, je - j);
+                    dnv.set(i, vn);
+                    dsv.set(i, vs);
+                    dwv.set(i, vw);
+                    dev.set(i, ve);
+                    let g2 = (vn * vn + vs * vs + vw * vw + ve * ve) / (j * j);
+                    let l = (vn + vs + vw + ve) / j;
+                    let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
+                    let den = 1.0 + 0.25 * l;
+                    let qsq = num / (den * den);
+                    let cf = 1.0 / (1.0 + (qsq - q0) / (q0 * (1.0 + q0)));
+                    cv.set(i, cf.clamp(0.0, 1.0));
+                },
+            );
+            let (iv, cv, dnv, dsv, dev, dwv) =
+                (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
+            g.parallel_for(
+                "srad_2",
+                Range::d2(n, n),
+                &[
+                    reads(&c),
+                    reads_item(&dn),
+                    reads_item(&ds),
+                    reads_item(&de),
+                    reads_item(&dw),
+                    reads_writes_item(&img),
+                ],
+                move |it| {
+                    let (x, y) = (it.gid(0), it.gid(1));
+                    let i = y * n + x;
+                    let cn = cv.get(i);
+                    let cs = cv.get((y + 1).min(n - 1) * n + x);
+                    let cw = cv.get(i);
+                    let ce = cv.get(y * n + (x + 1).min(n - 1));
+                    let d =
+                        cn * dnv.get(i) + cs * dsv.get(i) + cw * dwv.get(i) + ce * dev.get(i);
+                    iv.update(i, |v| v + 0.25 * lambda * d);
+                },
+            );
+            g.output(&img);
+        })?;
+        Ok(SradStream {
+            n,
+            lambda,
+            primary: primary.clone(),
+            clean: clean.clone(),
+            img,
+            q0b,
+            graph,
+        })
+    }
+
+    /// Initial stream state: the speckled input image.
+    pub fn initial_state(p: &SradParams) -> Vec<f32> {
+        super::generate_image(p)
+    }
+
+    /// Host-side ROI statistic over carried state — the same sequential
+    /// f64 fold as [`super::srad_step`], so device and reference paths
+    /// see bit-identical `q0`.
+    fn host_q0(&self, state: &[f32]) -> f32 {
+        let n = self.n;
+        let sum: f64 = state.iter().map(|&v| v as f64).sum();
+        let sum2: f64 = state.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        let mean = sum / (n * n) as f64;
+        let var = (sum2 / (n * n) as f64 - mean * mean).max(0.0);
+        (var / (mean * mean)) as f32
+    }
+
+    fn step_on(&mut self, q: &Queue, state: &mut Vec<f32>) -> hetero_rt::Result<()> {
+        // State-on-success: buffers are rewritten from host state before
+        // every launch, so a failed replay leaves `state` untouched and
+        // partial device writes are harmless.
+        self.q0b.view().set(0, self.host_q0(state));
+        self.img.write_from(state);
+        self.graph.replay(q)?;
+        *state = self.img.to_vec();
+        Ok(())
+    }
+}
+
+impl StreamStage for SradStream {
+    type State = Vec<f32>;
+
+    fn advance(&mut self, state: &mut Vec<f32>, _window: u64) -> hetero_rt::Result<()> {
+        let q = self.primary.clone();
+        self.step_on(&q, state)
+    }
+
+    fn recover(&mut self, state: &mut Vec<f32>, _window: u64) -> hetero_rt::Result<()> {
+        let q = self.clean.clone();
+        self.step_on(&q, state)
+    }
+
+    fn reference(&self, state: &mut Vec<f32>, _window: u64) {
+        *state = super::srad_step(state, self.n, self.lambda);
+    }
+
+    fn digest(&self, state: &Vec<f32>) -> u64 {
+        crate::suite::digest_f32s(state)
+    }
+}
+
+/// Drive `windows` diffusion iterations through the containment runner.
+/// Returns the final image and the stream counters.
+pub fn run_streaming(
+    primary: &Queue,
+    clean: &Queue,
+    p: &SradParams,
+    windows: u64,
+    cfg: hetero_rt::StreamConfig,
+) -> hetero_rt::Result<(Vec<f32>, hetero_rt::StreamStats)> {
+    let stage = SradStream::new(p, primary, clean)?;
+    let initial = SradStream::initial_state(p);
+    let mut runner = hetero_rt::StreamRunner::new(stage, initial, cfg);
+    let stats = runner.run(windows, |_| {})?;
+    Ok((runner.into_state(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetero_rt::StreamConfig;
+
+    fn tiny() -> SradParams {
+        SradParams { dim: 32, iterations: 3, lambda: 0.5 }
+    }
+
+    fn clean_q() -> Queue {
+        Queue::new(Device::cpu())
+            .with_fault_plan(None)
+            .with_integrity(false)
+            .with_redundancy(Redundancy::None)
+            .with_retry_policy(RetryPolicy::default())
+    }
+
+    #[test]
+    fn streaming_matches_golden_window_by_window() {
+        let p = tiny();
+        let q = clean_q();
+        let stage = SradStream::new(&p, &q, &q).unwrap();
+        let mut runner =
+            hetero_rt::StreamRunner::new(stage, SradStream::initial_state(&p), StreamConfig::default());
+        let mut host = SradStream::initial_state(&p);
+        for w in 0..4u64 {
+            let rep = runner.next_window().unwrap();
+            assert!(rep.verdict.is_delivered());
+            host = crate::srad::srad_step(&host, p.dim, p.lambda);
+            assert_eq!(
+                rep.digest,
+                crate::suite::digest_f32s(&host),
+                "window {w}: device trail diverged from the host reference"
+            );
+        }
+    }
+
+    #[test]
+    fn run_streaming_equals_golden_at_app_iterations() {
+        let p = tiny();
+        let q = clean_q();
+        let (img, stats) =
+            run_streaming(&q, &q, &p, p.iterations as u64, StreamConfig::default()).unwrap();
+        assert_eq!(stats.delivered, p.iterations as u64);
+        assert_eq!(img, crate::srad::golden(&p));
+    }
+}

@@ -1,0 +1,307 @@
+//! Uniform dispatch over the streaming-converted applications.
+//!
+//! Four suite apps run as unbounded window streams (one recorded graph
+//! replayed per window over carried state): SRAD, FDTD2D, KMeans and
+//! ParticleFilter (naive likelihood). This module gives the serving
+//! layer, the chaos driver and the benches one construction path:
+//!
+//! * [`primary_queue`] / [`clean_queue`] build the hardened and the
+//!   fault-free recovery queues with the exact override set streaming
+//!   requires (a stream must never inherit an ambient env fault plan on
+//!   its recovery path),
+//! * [`open_stream`] constructs a type-erased [`AppStream`] for an app
+//!   name at an input size, and
+//! * [`STREAM_APPS`] is the canonical list gates iterate over.
+//!
+//! Fault containment policy lives in `hetero_rt::stream`; this module
+//! only wires application stages to it.
+
+use std::sync::Arc;
+
+use altis_data::InputSize;
+use hetero_rt::prelude::*;
+use hetero_rt::stream::StreamStage;
+
+use crate::fdtd2d::streaming::FdtdStream;
+use crate::kmeans::streaming::KmeansStream;
+use crate::particlefilter::streaming::PfStream;
+use crate::particlefilter::PfVariant;
+use crate::srad::streaming::SradStream;
+
+/// Suite apps with a streaming conversion, by registry name.
+pub const STREAM_APPS: [&str; 4] = ["SRAD", "FDTD2D", "KMeans", "PF Naive"];
+
+/// Whether `app` (registry name) can run as a window stream.
+pub fn supports_streaming(app: &str) -> bool {
+    STREAM_APPS.contains(&app)
+}
+
+/// Fault scenario applied to the hardened primary queue of a stream.
+#[derive(Clone, Default)]
+pub struct StreamScenario {
+    /// Fault plan injected on the primary queue; `None` streams clean.
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Arm integrity checking so silent corruption surfaces as typed
+    /// `DataCorruption` errors the runner can roll back from.
+    pub sdc: bool,
+    /// Cooperative cancellation propagated into kernels and pipes.
+    pub cancel: Option<CancelToken>,
+    /// Ledger receiving per-launch resilience events (serve attaches the
+    /// tenant's ledger here so window verdicts land on the existing one).
+    pub ledger: Option<Arc<ResilienceLedger>>,
+}
+
+impl StreamScenario {
+    /// A transient-launch-failure scenario at `rate` faults/launch.
+    pub fn faulty(seed: u64, rate: f64) -> Self {
+        StreamScenario { fault: Some(Arc::new(FaultPlan::new(seed, rate))), ..Self::default() }
+    }
+
+    /// A silent-data-corruption scenario (integrity armed for detection).
+    pub fn sdc(seed: u64, rate: f64) -> Self {
+        StreamScenario {
+            fault: Some(Arc::new(FaultPlan::sdc(seed, rate))),
+            sdc: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Build the hardened primary queue for a scenario. Single-attempt
+/// launches: fault absorption is the *runner's* job (typed `Retried`
+/// verdicts), so queue-level retry must not mask injected faults.
+pub fn primary_queue(s: &StreamScenario) -> Queue {
+    Queue::new(Device::cpu())
+        .with_fault_plan(s.fault.clone())
+        .with_retry_policy(RetryPolicy::default())
+        .with_redundancy(Redundancy::None)
+        .with_integrity(s.sdc)
+        .with_cancel_token(s.cancel.clone())
+        .with_resilience_ledger(s.ledger.clone())
+}
+
+/// Build the fault-free queue streams record on and recover through.
+/// Every hardening knob is explicitly disarmed — recovery correctness
+/// must not depend on ambient `HETERO_RT_FAULT_*` environment state.
+pub fn clean_queue(cancel: Option<CancelToken>) -> Queue {
+    Queue::new(Device::cpu())
+        .with_fault_plan(None)
+        .with_retry_policy(RetryPolicy::default())
+        .with_redundancy(Redundancy::None)
+        .with_integrity(false)
+        .with_cancel_token(cancel)
+}
+
+/// Object-safe facade over [`StreamRunner`] so callers can drive any
+/// app's stream without knowing its state type.
+pub trait AppStream {
+    /// Execute the next window under fault containment.
+    fn next_window(&mut self) -> hetero_rt::Result<WindowReport>;
+    /// Shed the next window (backpressure): clean-path state advance,
+    /// no hardened execution, typed `Shed` verdict.
+    fn shed_window(&mut self) -> hetero_rt::Result<WindowReport>;
+    /// Index of the next window to execute.
+    fn position(&self) -> u64;
+    /// Aggregate counters so far.
+    fn stats(&self) -> StreamStats;
+    /// Digest of the carried stream state.
+    fn digest(&self) -> u64;
+}
+
+impl<S: StreamStage> AppStream for StreamRunner<S> {
+    fn next_window(&mut self) -> hetero_rt::Result<WindowReport> {
+        StreamRunner::next_window(self)
+    }
+
+    fn shed_window(&mut self) -> hetero_rt::Result<WindowReport> {
+        StreamRunner::shed_window(self)
+    }
+
+    fn position(&self) -> u64 {
+        StreamRunner::position(self)
+    }
+
+    fn stats(&self) -> StreamStats {
+        StreamRunner::stats(self).clone()
+    }
+
+    fn digest(&self) -> u64 {
+        StreamRunner::digest(self)
+    }
+}
+
+/// Open a window stream for `app` at `size` under `scenario`.
+///
+/// Returns `Ok(None)` when the app has no streaming conversion (check
+/// [`supports_streaming`] to reject earlier with a better message), and
+/// `Err` when recording the app's graph fails.
+pub fn open_stream(
+    app: &str,
+    size: InputSize,
+    cfg: StreamConfig,
+    scenario: &StreamScenario,
+) -> hetero_rt::Result<Option<Box<dyn AppStream>>> {
+    let primary = primary_queue(scenario);
+    let clean = clean_queue(scenario.cancel.clone());
+    let runner: Box<dyn AppStream> = match app {
+        "SRAD" => {
+            let p = altis_data::srad(size);
+            let stage = SradStream::new(&p, &primary, &clean)?;
+            Box::new(StreamRunner::new(stage, SradStream::initial_state(&p), cfg))
+        }
+        "FDTD2D" => {
+            let p = altis_data::fdtd2d(size);
+            let stage = FdtdStream::new(&p, &primary, &clean)?;
+            Box::new(StreamRunner::new(stage, FdtdStream::initial_state(&p), cfg))
+        }
+        "KMeans" => {
+            let p = altis_data::kmeans(size);
+            let stage = KmeansStream::new(&p, &primary, &clean)?;
+            Box::new(StreamRunner::new(stage, KmeansStream::initial_state(&p), cfg))
+        }
+        "PF Naive" => {
+            let p = altis_data::particlefilter(size);
+            let stage = PfStream::new(&p, PfVariant::Naive, &primary, &clean)?;
+            Box::new(StreamRunner::new(stage, PfStream::initial_state(&p), cfg))
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(runner))
+}
+
+/// How many windows reproduce the batch (golden) run of `app` at
+/// `size`: the iteration/step/frame count the registry digests were
+/// taken at. `None` for apps without a streaming conversion.
+pub fn golden_horizon(app: &str, size: InputSize) -> Option<u64> {
+    match app {
+        "SRAD" => Some(altis_data::srad(size).iterations as u64),
+        "FDTD2D" => Some(altis_data::fdtd2d(size).steps as u64),
+        // One window per (pass, batch) pair.
+        "KMeans" => Some(
+            altis_data::kmeans(size).iterations as u64 * crate::kmeans::streaming::BATCHES_PER_PASS,
+        ),
+        "PF Naive" => Some(altis_data::particlefilter(size).frames as u64),
+        _ => None,
+    }
+}
+
+/// Run `app`'s stream under `scenario` out to its golden horizon and
+/// digest the final state **in the golden registry's format**, so
+/// streamed output pins directly against `tests/golden_checksums.tsv`.
+///
+/// Returns `Ok(None)` for apps without a streaming conversion and for
+/// "PF Naive": the particle-filter kernels round differently from the
+/// golden reference (`(x + 2.0) + n` vs `x + (2.0 + n)`), so its
+/// stream tracks the golden estimates within tolerance instead of
+/// bit-pinning (see `particlefilter::streaming` tests).
+pub fn streamed_registry_digest(
+    app: &str,
+    size: InputSize,
+    cfg: StreamConfig,
+    scenario: &StreamScenario,
+) -> hetero_rt::Result<Option<u64>> {
+    use crate::suite::{digest_f32s, digest_words};
+    let primary = primary_queue(scenario);
+    let clean = clean_queue(scenario.cancel.clone());
+    let Some(windows) = golden_horizon(app, size) else { return Ok(None) };
+    let d = match app {
+        "SRAD" => {
+            let p = altis_data::srad(size);
+            let (img, _) = crate::srad::streaming::run_streaming(&primary, &clean, &p, windows, cfg)?;
+            digest_f32s(&img)
+        }
+        "FDTD2D" => {
+            let p = altis_data::fdtd2d(size);
+            let (f, _) =
+                crate::fdtd2d::streaming::run_streaming(&primary, &clean, &p, windows, cfg)?;
+            digest_words(f.ez.iter().chain(&f.hx).chain(&f.hy).map(|x| x.to_bits() as u64))
+        }
+        "KMeans" => {
+            let p = altis_data::kmeans(size);
+            let (st, _) =
+                crate::kmeans::streaming::run_streaming(&primary, &clean, &p, windows, cfg)?;
+            digest_words(
+                st.centers
+                    .iter()
+                    .map(|x| x.to_bits() as u64)
+                    .chain(st.membership.iter().map(|&m| u64::from(m))),
+            )
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_apps_are_exactly_the_graph_flavor_subset_that_streams() {
+        for app in STREAM_APPS {
+            assert!(supports_streaming(app), "{app} must stream");
+        }
+        assert!(!supports_streaming("GUPS"));
+        assert!(!supports_streaming("CFD FP32"));
+    }
+
+    #[test]
+    fn open_stream_returns_none_for_non_streaming_apps() {
+        let got = open_stream(
+            "GUPS",
+            InputSize::S1,
+            StreamConfig::default(),
+            &StreamScenario::default(),
+        )
+        .unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn every_stream_app_opens_and_delivers_clean_windows() {
+        for app in STREAM_APPS {
+            let mut s = open_stream(
+                app,
+                InputSize::S1,
+                StreamConfig::default(),
+                &StreamScenario::default(),
+            )
+            .unwrap()
+            .unwrap_or_else(|| panic!("{app} must open"));
+            for _ in 0..3 {
+                let r = s.next_window().unwrap();
+                assert!(r.verdict.is_delivered(), "{app}: {:?}", r.verdict);
+            }
+            assert_eq!(s.position(), 3);
+            assert_eq!(s.stats().delivered, 3);
+        }
+    }
+
+    #[test]
+    fn faulty_scenario_contains_faults_without_killing_the_stream() {
+        let mut s = open_stream(
+            "SRAD",
+            InputSize::S1,
+            StreamConfig { checkpoint_every: 4, max_retries: 2 },
+            &StreamScenario::faulty(7, 0.3),
+        )
+        .unwrap()
+        .unwrap();
+        let mut clean = open_stream(
+            "SRAD",
+            InputSize::S1,
+            StreamConfig::default(),
+            &StreamScenario::default(),
+        )
+        .unwrap()
+        .unwrap();
+        for _ in 0..12 {
+            let r = s.next_window().unwrap();
+            let c = clean.next_window().unwrap();
+            // Whatever the verdict, surviving windows carry bit-identical
+            // state to the clean stream (invariant 2).
+            assert_eq!(r.digest, c.digest, "window {} diverged", r.index);
+        }
+        assert_eq!(s.stats().dropped, 0);
+    }
+}

@@ -69,13 +69,13 @@ fn validation_from(matches_reference: bool) -> Validation {
 // atomically, so their bit patterns are schedule-dependent even when
 // numerically correct.
 
-fn mix64(h: u64, w: u64) -> u64 {
+pub(crate) fn mix64(h: u64, w: u64) -> u64 {
     let mut x = (h ^ w).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     x ^= x >> 32;
     x.wrapping_mul(0xD6E8_FEB8_6659_FD93)
 }
 
-fn digest_words<I: IntoIterator<Item = u64>>(words: I) -> u64 {
+pub(crate) fn digest_words<I: IntoIterator<Item = u64>>(words: I) -> u64 {
     let mut h = 0xA076_1D64_78BD_642Fu64;
     let mut n = 0u64;
     for w in words {
@@ -85,7 +85,7 @@ fn digest_words<I: IntoIterator<Item = u64>>(words: I) -> u64 {
     mix64(h, n)
 }
 
-fn digest_f32s(v: &[f32]) -> u64 {
+pub(crate) fn digest_f32s(v: &[f32]) -> u64 {
     digest_words(v.iter().map(|x| x.to_bits() as u64))
 }
 

@@ -71,6 +71,7 @@ pub mod prove;
 pub mod queue;
 pub mod reduction;
 pub mod sanitize;
+pub mod stream;
 pub mod usm;
 
 pub use buffer::{Buffer, GlobalView, SlabStats};
@@ -91,9 +92,13 @@ pub use hetero_ir::OptReport;
 pub use integrity::{IntegrityStats, Violation};
 pub use local::{LocalArray, PrivateArray};
 pub use ndrange::{GroupCtx, Item, NdRange, Range};
-pub use pipe::Pipe;
+pub use pipe::{Pipe, PipeReceiver, PipeSender};
 pub use queue::{Fallback, Queue, Redundancy, RetryPolicy};
 pub use sanitize::{MemSpace, RaceKind, RaceReport};
+pub use stream::{
+    run_piped, Ingress, StreamConfig, StreamRunner, StreamStage, StreamStats, WindowReport,
+    WindowVerdict,
+};
 
 /// Crate-wide prelude bringing the common runtime types into scope,
 /// mirroring `sycl.hpp`'s role in the original code base.
@@ -112,7 +117,11 @@ pub mod prelude {
     pub use crate::graph_opt::{GraphOptLevel, OptimizedGraph};
     pub use crate::local::{LocalArray, PrivateArray};
     pub use crate::ndrange::{GroupCtx, Item, NdRange, Range};
-    pub use crate::pipe::Pipe;
+    pub use crate::pipe::{Pipe, PipeReceiver, PipeSender};
     pub use crate::queue::{Fallback, Queue, Redundancy, RetryPolicy};
     pub use crate::sanitize::{MemSpace, RaceKind, RaceReport};
+    pub use crate::stream::{
+        run_piped, Ingress, StreamConfig, StreamRunner, StreamStage, StreamStats, WindowReport,
+        WindowVerdict,
+    };
 }

@@ -1,0 +1,706 @@
+//! Streaming execution with windowed fault containment.
+//!
+//! The batch suite runs load → execute → validate once; the serving
+//! layer's north star is a *long-lived* pipeline that ingests an
+//! unbounded sequence of input windows (frames for the iterative stencil
+//! apps, point batches for KMeans, observation frames for
+//! ParticleFilter) and stays correct and live while individual windows
+//! fail. This module provides the app-agnostic half of that mode:
+//!
+//! * [`StreamStage`] — the contract an application implements: advance
+//!   carried state by one window on the *hardened* queue (fault
+//!   injection, integrity, retries all active), re-advance it on a
+//!   *clean* queue (the recovery path, bit-equal to a successful
+//!   hardened advance), or advance it with infallible host math (the
+//!   last-resort reference path).
+//! * [`StreamRunner`] — drives windows through a stage inside a
+//!   containment scope. Every window ends in exactly one typed
+//!   [`WindowVerdict`]; an injected kernel panic, transient fault or SDC
+//!   detection triggers **checkpoint/rollback recovery**: the runner
+//!   restores the last sealed snapshot of stream state, replays the
+//!   intervening windows on the clean queue, and resumes — one poisoned
+//!   window never kills or silently corrupts the stream.
+//! * [`run_piped`] — a two-stage pipeline (producer thread → bounded
+//!   [`Pipe`] → executing consumer) whose ingress degrades gracefully
+//!   under sustained backpressure: bounded in-flight windows, with
+//!   oldest-window shedding ([`WindowVerdict::Shed`]) instead of
+//!   unbounded queuing.
+//!
+//! ## Containment invariants
+//!
+//! 1. A window whose hardened advance fails is **never delivered**: it
+//!    ends `Retried` (transient absorbed within the attempt budget),
+//!    `Quarantined` (rollback + clean replay recovered the state), or
+//!    `Dropped` (recovery itself failed; host-reference continuation).
+//! 2. After a `Quarantined` verdict the stream state is **bit-identical**
+//!    to what an uninterrupted run would carry: rollback restores a
+//!    sealed snapshot and the clean replay recomputes every window since.
+//! 3. Shedding drops *delivery and hardening*, not state evolution: a
+//!    shed window still advances carried state on the clean path, so
+//!    later delivered windows remain bit-equal to the unshed trail.
+//! 4. Cancellation ([`Error::Canceled`]) is stream-fatal by design (a
+//!    deadline watchdog fired) and is surfaced as an `Err` from the
+//!    runner, not as a window verdict.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use crate::error::{Error, Result};
+use crate::pipe::Pipe;
+
+/// The typed outcome of one stream window. Exactly one verdict is
+/// produced per ingested window; anything other than `Delivered` means
+/// the window's hardened execution did not complete cleanly on the
+/// first attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WindowVerdict {
+    /// The hardened advance succeeded on the first attempt; the window's
+    /// output is live and bit-equal to the uninterrupted trail.
+    Delivered,
+    /// A transient launch failure was absorbed by re-running the whole
+    /// window; `attempts` counts every try including the successful one.
+    Retried {
+        /// Total advance attempts, including the one that succeeded.
+        attempts: u32,
+    },
+    /// The window's hardened execution failed (kernel panic, detected
+    /// corruption, exhausted retry budget); the runner rolled back to
+    /// the last sealed checkpoint and recovered the stream on the clean
+    /// path. The window's output was not delivered; the stream is live
+    /// and uncorrupted.
+    Quarantined {
+        /// Human-readable failure that triggered the quarantine.
+        reason: String,
+    },
+    /// Recovery itself failed; the stream continued on the host
+    /// reference path. Gates treat any `Dropped` window as a failure of
+    /// the recovery machinery.
+    Dropped {
+        /// Original failure plus the recovery error.
+        reason: String,
+    },
+    /// The window was evicted from the bounded ingress pipe under
+    /// backpressure before its hardened execution began. State still
+    /// advanced on the clean path (invariant 3).
+    Shed,
+}
+
+impl WindowVerdict {
+    /// Stable lowercase label for wire formats and log lines.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WindowVerdict::Delivered => "delivered",
+            WindowVerdict::Retried { .. } => "retried",
+            WindowVerdict::Quarantined { .. } => "quarantined",
+            WindowVerdict::Dropped { .. } => "dropped",
+            WindowVerdict::Shed => "shed",
+        }
+    }
+
+    /// Whether the window's output reached the consumer bit-clean.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, WindowVerdict::Delivered)
+    }
+}
+
+/// Per-window report emitted by the runner.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// Zero-based window index in the stream.
+    pub index: u64,
+    /// The window's typed outcome.
+    pub verdict: WindowVerdict,
+    /// Digest of the carried stream state *after* this window.
+    pub digest: u64,
+    /// Wall time spent executing (or shedding) this window.
+    pub micros: u64,
+    /// Whether checkpoint rollback ran while handling this window.
+    pub rolled_back: bool,
+}
+
+/// Runner policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Seal a snapshot of stream state every this many windows (the
+    /// rollback granularity). Must be ≥ 1.
+    pub checkpoint_every: u64,
+    /// Whole-window re-execution budget for transient launch failures
+    /// (on top of any per-launch retry policy the stage's queue has).
+    pub max_retries: u32,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { checkpoint_every: 8, max_retries: 3 }
+    }
+}
+
+/// Aggregate stream counters; one per runner.
+#[derive(Clone, Debug, Default)]
+pub struct StreamStats {
+    /// Windows that received a verdict.
+    pub windows: u64,
+    /// `Delivered` verdicts.
+    pub delivered: u64,
+    /// `Retried` verdicts.
+    pub retried: u64,
+    /// `Quarantined` verdicts.
+    pub quarantined: u64,
+    /// `Dropped` verdicts.
+    pub dropped: u64,
+    /// `Shed` verdicts.
+    pub shed: u64,
+    /// Snapshots sealed.
+    pub checkpoints: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// Windows re-executed on the clean path during rollbacks.
+    pub replayed: u64,
+    /// Total wall time spent inside rollback recovery.
+    pub rollback_nanos: u128,
+}
+
+impl StreamStats {
+    /// Windows whose hardened first attempt did not complete cleanly.
+    pub fn non_delivered(&self) -> u64 {
+        self.retried + self.quarantined + self.dropped + self.shed
+    }
+}
+
+/// The application half of a stream: one window's worth of computation
+/// over carried state, in three flavours that must agree bit-for-bit on
+/// success.
+///
+/// The runner relies on two contracts:
+///
+/// * **State-on-success:** `advance` mutates `state` only after the
+///   window's device work succeeded; a failed or panicked advance leaves
+///   `state` exactly as it found it (device buffers may hold partial
+///   writes — the next attempt or the recovery replay rewrites them from
+///   host state before launching).
+/// * **Recover ≡ advance:** `recover` performs the same computation as a
+///   successful `advance` but on a clean (fault-free, unhardened) queue;
+///   its result is bit-identical.
+pub trait StreamStage {
+    /// Carried stream state: the iterative app's carry buffers, RNG
+    /// state, accumulators. Cloned at checkpoint seal time.
+    type State: Clone + Send + 'static;
+
+    /// Advance `state` by window `window` on the hardened primary queue.
+    fn advance(&mut self, state: &mut Self::State, window: u64) -> Result<()>;
+
+    /// Advance `state` by window `window` on the clean recovery queue.
+    fn recover(&mut self, state: &mut Self::State, window: u64) -> Result<()>;
+
+    /// Advance `state` by window `window` with infallible host math (the
+    /// app's golden loop body). Last-resort continuation only.
+    fn reference(&self, state: &mut Self::State, window: u64);
+
+    /// Order-independent digest of the carried state (used for seals and
+    /// per-window delivery checks).
+    fn digest(&self, state: &Self::State) -> u64;
+}
+
+struct Checkpoint<S> {
+    /// First window index *not* captured by this snapshot.
+    next: u64,
+    state: S,
+    /// Digest sealed at snapshot time; verified before every rollback.
+    seal: u64,
+}
+
+/// Drives an unbounded sequence of windows through a [`StreamStage`]
+/// inside a containment scope. See the module docs for the verdict
+/// taxonomy and invariants.
+pub struct StreamRunner<S: StreamStage> {
+    stage: S,
+    state: S::State,
+    cfg: StreamConfig,
+    checkpoint: Checkpoint<S::State>,
+    stats: StreamStats,
+    next: u64,
+}
+
+impl<S: StreamStage> StreamRunner<S> {
+    /// Build a runner over `stage` starting from `initial` state; the
+    /// initial state is sealed as checkpoint zero.
+    pub fn new(stage: S, initial: S::State, cfg: StreamConfig) -> Self {
+        let cfg = StreamConfig { checkpoint_every: cfg.checkpoint_every.max(1), ..cfg };
+        let seal = stage.digest(&initial);
+        let stats = StreamStats { checkpoints: 1, ..StreamStats::default() };
+        StreamRunner {
+            checkpoint: Checkpoint { next: 0, state: initial.clone(), seal },
+            stage,
+            state: initial,
+            cfg,
+            stats,
+            next: 0,
+        }
+    }
+
+    /// Index of the next window this runner will execute.
+    pub fn position(&self) -> u64 {
+        self.next
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Digest of the current carried state.
+    pub fn digest(&self) -> u64 {
+        self.stage.digest(&self.state)
+    }
+
+    /// Borrow the carried state (tests and final-result extraction).
+    pub fn state(&self) -> &S::State {
+        &self.state
+    }
+
+    /// Consume the runner, yielding the carried state.
+    pub fn into_state(self) -> S::State {
+        self.state
+    }
+
+    /// Execute the next window under containment. Returns `Err` only for
+    /// stream-fatal conditions (cancellation); every per-window failure
+    /// is converted into a typed verdict.
+    pub fn next_window(&mut self) -> Result<WindowReport> {
+        let w = self.next;
+        let t0 = Instant::now();
+        let mut rolled_back = false;
+        let verdict = self.execute_contained(w, &mut rolled_back)?;
+        self.finish_window(w, verdict, t0, rolled_back)
+    }
+
+    /// Shed the next window: skip hardened execution and delivery, but
+    /// advance carried state on the clean path (invariant 3).
+    pub fn shed_window(&mut self) -> Result<WindowReport> {
+        let w = self.next;
+        let t0 = Instant::now();
+        let mut rolled_back = false;
+        let run = catch_unwind(AssertUnwindSafe(|| self.stage.recover(&mut self.state, w)));
+        let verdict = match flatten_unwind(run) {
+            Ok(()) => WindowVerdict::Shed,
+            Err(e) if matches!(e, Error::Canceled { .. }) => return Err(e),
+            Err(e) => self.quarantine(w, format!("shed recover failed: {e}"), &mut rolled_back)?,
+        };
+        self.finish_window(w, verdict, t0, rolled_back)
+    }
+
+    fn finish_window(
+        &mut self,
+        w: u64,
+        verdict: WindowVerdict,
+        t0: Instant,
+        rolled_back: bool,
+    ) -> Result<WindowReport> {
+        self.next = w + 1;
+        self.stats.windows += 1;
+        match &verdict {
+            WindowVerdict::Delivered => self.stats.delivered += 1,
+            WindowVerdict::Retried { .. } => self.stats.retried += 1,
+            WindowVerdict::Quarantined { .. } => self.stats.quarantined += 1,
+            WindowVerdict::Dropped { .. } => self.stats.dropped += 1,
+            WindowVerdict::Shed => self.stats.shed += 1,
+        }
+        if self.next.is_multiple_of(self.cfg.checkpoint_every) {
+            self.checkpoint = Checkpoint {
+                next: self.next,
+                state: self.state.clone(),
+                seal: self.stage.digest(&self.state),
+            };
+            self.stats.checkpoints += 1;
+        }
+        Ok(WindowReport {
+            index: w,
+            verdict,
+            digest: self.stage.digest(&self.state),
+            micros: t0.elapsed().as_micros() as u64,
+            rolled_back,
+        })
+    }
+
+    fn execute_contained(&mut self, w: u64, rolled_back: &mut bool) -> Result<WindowVerdict> {
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            let run = catch_unwind(AssertUnwindSafe(|| self.stage.advance(&mut self.state, w)));
+            match flatten_unwind(run) {
+                Ok(()) => {
+                    return Ok(if attempts == 1 {
+                        WindowVerdict::Delivered
+                    } else {
+                        WindowVerdict::Retried { attempts }
+                    });
+                }
+                Err(Error::TransientLaunchFailure { .. }) if attempts <= self.cfg.max_retries => {
+                    // State-on-success contract: a failed advance left
+                    // host state untouched, so re-running the whole
+                    // window is safe.
+                    continue;
+                }
+                Err(e) if matches!(e, Error::Canceled { .. }) => return Err(e),
+                Err(e) => return self.quarantine(w, e.to_string(), rolled_back),
+            }
+        }
+    }
+
+    /// Roll back to the last sealed checkpoint and recover windows
+    /// `checkpoint.next ..= w` on the clean path. On success the stream
+    /// state is bit-identical to an uninterrupted run through `w`.
+    fn quarantine(
+        &mut self,
+        w: u64,
+        reason: String,
+        rolled_back: &mut bool,
+    ) -> Result<WindowVerdict> {
+        *rolled_back = true;
+        self.stats.rollbacks += 1;
+        let t0 = Instant::now();
+        let recovered = self.roll_back_and_replay(w);
+        self.stats.rollback_nanos += t0.elapsed().as_nanos();
+        match recovered {
+            Ok(()) => Ok(WindowVerdict::Quarantined { reason }),
+            Err(e) if matches!(e, Error::Canceled { .. }) => Err(e),
+            Err(e) => {
+                // Last resort: continue on the host reference path from
+                // the snapshot so the stream survives, and say so.
+                let mut st = self.checkpoint.state.clone();
+                for k in self.checkpoint.next..=w {
+                    self.stage.reference(&mut st, k);
+                }
+                self.state = st;
+                Ok(WindowVerdict::Dropped { reason: format!("{reason}; recovery failed: {e}") })
+            }
+        }
+    }
+
+    fn roll_back_and_replay(&mut self, w: u64) -> Result<()> {
+        let mut st = self.checkpoint.state.clone();
+        if self.stage.digest(&st) != self.checkpoint.seal {
+            // The snapshot itself no longer matches its seal — refuse to
+            // resume from silently corrupted recovery state.
+            return Err(Error::DataCorruption {
+                region: u64::MAX,
+                page: 0,
+                epoch: self.checkpoint.next,
+            });
+        }
+        for k in self.checkpoint.next..=w {
+            let run = catch_unwind(AssertUnwindSafe(|| self.stage.recover(&mut st, k)));
+            flatten_unwind(run)?;
+            self.stats.replayed += 1;
+        }
+        self.state = st;
+        Ok(())
+    }
+
+    /// Sequential convenience driver: execute `total` windows, passing
+    /// each report to `on_report`. Stops early only on a stream-fatal
+    /// error (cancellation).
+    pub fn run(
+        &mut self,
+        total: u64,
+        mut on_report: impl FnMut(WindowReport),
+    ) -> Result<StreamStats> {
+        for _ in 0..total {
+            on_report(self.next_window()?);
+        }
+        Ok(self.stats.clone())
+    }
+}
+
+fn flatten_unwind(r: std::thread::Result<Result<()>>) -> Result<()> {
+    match r {
+        Ok(inner) => inner,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(Error::KernelPanicked { kernel: "stream_stage", group: 0, message: msg })
+        }
+    }
+}
+
+/// Ingress policy for [`run_piped`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ingress {
+    /// The producer blocks when the pipe is full: backpressure stalls
+    /// ingestion and every window is executed (no `Shed` verdicts).
+    Lossless,
+    /// The producer never blocks: a full pipe evicts the oldest
+    /// in-flight window, which the consumer accounts for with a typed
+    /// `Shed` verdict. Memory stays bounded by the pipe capacity.
+    Shed,
+}
+
+/// Two-stage streaming pipeline: a producer thread feeds window indices
+/// through a bounded [`Pipe`] to the executing consumer (this thread).
+///
+/// Under [`Ingress::Shed`], eviction happens *in the pipe* — the
+/// consumer observes an index gap and issues `Shed` verdicts for the
+/// evicted windows (state still advances; invariant 3). The pipe is the
+/// only buffering between the stages, so in-flight windows are bounded
+/// by `capacity` regardless of how far the producer runs ahead.
+pub fn run_piped<S: StreamStage>(
+    runner: &mut StreamRunner<S>,
+    total: u64,
+    capacity: usize,
+    ingress: Ingress,
+    mut on_report: impl FnMut(WindowReport),
+) -> Result<StreamStats> {
+    let first = runner.position();
+    let (tx, rx) = Pipe::<u64>::channel(capacity);
+    std::thread::scope(|scope| {
+        let producer = scope.spawn(move || {
+            for w in first..first + total {
+                let closed = match ingress {
+                    Ingress::Lossless => tx.write(w).is_err(),
+                    Ingress::Shed => {
+                        // Yield so a same-width consumer is not starved
+                        // of the lock by a spinning producer.
+                        std::thread::yield_now();
+                        tx.force_write(w).is_err()
+                    }
+                };
+                if closed {
+                    break; // consumer went away (fatal error path)
+                }
+            }
+        });
+        let mut result = Ok(());
+        loop {
+            match rx.read() {
+                Ok(idx) => {
+                    // Evicted windows show up as a gap before `idx`.
+                    while runner.position() < idx {
+                        match runner.shed_window() {
+                            Ok(rep) => on_report(rep),
+                            Err(e) => {
+                                result = Err(e);
+                                break;
+                            }
+                        }
+                    }
+                    if result.is_err() {
+                        break;
+                    }
+                    match runner.next_window() {
+                        Ok(rep) => on_report(rep),
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                Err(Error::PipeClosed) => break, // producer finished
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        drop(rx); // wake a blocked producer with PipeClosed
+        let _ = producer.join();
+        result
+    })?;
+    Ok(runner.stats().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Host-only counter stage: state is a running sum; window w adds
+    /// `w + 1`. Fault hooks let tests fail specific windows.
+    struct CounterStage {
+        fail_on: Vec<u64>,
+        panic_on: Vec<u64>,
+        transient_on: Vec<u64>,
+        transient_seen: Arc<AtomicU64>,
+    }
+
+    impl CounterStage {
+        fn clean() -> Self {
+            CounterStage {
+                fail_on: vec![],
+                panic_on: vec![],
+                transient_on: vec![],
+                transient_seen: Arc::new(AtomicU64::new(0)),
+            }
+        }
+    }
+
+    impl StreamStage for CounterStage {
+        type State = u64;
+
+        fn advance(&mut self, state: &mut u64, window: u64) -> Result<()> {
+            if self.panic_on.contains(&window) {
+                panic!("injected stage panic at window {window}");
+            }
+            if self.fail_on.contains(&window) {
+                return Err(Error::KernelPanicked {
+                    kernel: "counter",
+                    group: 0,
+                    message: format!("injected at {window}"),
+                });
+            }
+            if self.transient_on.contains(&window)
+                && self.transient_seen.fetch_add(1, Ordering::SeqCst) == 0
+            {
+                return Err(Error::TransientLaunchFailure { kernel: "counter", attempts: 1 });
+            }
+            *state += window + 1;
+            Ok(())
+        }
+
+        fn recover(&mut self, state: &mut u64, window: u64) -> Result<()> {
+            *state += window + 1;
+            Ok(())
+        }
+
+        fn reference(&self, state: &mut u64, window: u64) {
+            *state += window + 1;
+        }
+
+        fn digest(&self, state: &u64) -> u64 {
+            state.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+        }
+    }
+
+    fn uninterrupted_sum(total: u64) -> u64 {
+        (1..=total).sum()
+    }
+
+    #[test]
+    fn clean_stream_delivers_every_window() {
+        let mut r = StreamRunner::new(CounterStage::clean(), 0, StreamConfig::default());
+        let stats = r.run(20, |rep| assert!(rep.verdict.is_delivered())).unwrap();
+        assert_eq!(stats.delivered, 20);
+        assert_eq!(stats.non_delivered(), 0);
+        assert_eq!(*r.state(), uninterrupted_sum(20));
+    }
+
+    #[test]
+    fn failed_window_is_quarantined_and_state_matches_uninterrupted_run() {
+        let mut stage = CounterStage::clean();
+        stage.fail_on = vec![11];
+        let mut r = StreamRunner::new(stage, 0, StreamConfig::default());
+        let mut verdicts = vec![];
+        r.run(20, |rep| verdicts.push((rep.index, rep.verdict, rep.rolled_back))).unwrap();
+        let (idx, v, rb) = &verdicts[11];
+        assert_eq!(*idx, 11);
+        assert!(matches!(v, WindowVerdict::Quarantined { .. }), "{v:?}");
+        assert!(rb, "quarantine implies rollback");
+        // Invariant 2: quarantined window still advanced state exactly.
+        assert_eq!(*r.state(), uninterrupted_sum(20));
+        assert_eq!(r.stats().rollbacks, 1);
+        assert!(r.stats().replayed >= 1);
+    }
+
+    #[test]
+    fn stage_panic_is_contained_as_quarantine() {
+        let mut stage = CounterStage::clean();
+        stage.panic_on = vec![3];
+        let mut r = StreamRunner::new(stage, 0, StreamConfig::default());
+        let mut quarantined = 0;
+        r.run(8, |rep| {
+            if let WindowVerdict::Quarantined { reason } = &rep.verdict {
+                assert!(reason.contains("injected stage panic"), "{reason}");
+                quarantined += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(quarantined, 1);
+        assert_eq!(*r.state(), uninterrupted_sum(8));
+    }
+
+    #[test]
+    fn transient_is_absorbed_as_retried() {
+        let mut stage = CounterStage::clean();
+        stage.transient_on = vec![5];
+        let mut r = StreamRunner::new(stage, 0, StreamConfig::default());
+        let mut retried = 0;
+        r.run(10, |rep| {
+            if let WindowVerdict::Retried { attempts } = rep.verdict {
+                assert_eq!(rep.index, 5);
+                assert_eq!(attempts, 2);
+                retried += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(retried, 1);
+        assert_eq!(r.stats().rollbacks, 0, "retry does not roll back");
+        assert_eq!(*r.state(), uninterrupted_sum(10));
+    }
+
+    #[test]
+    fn checkpoints_seal_on_schedule() {
+        let mut r = StreamRunner::new(
+            CounterStage::clean(),
+            0,
+            StreamConfig { checkpoint_every: 4, max_retries: 0 },
+        );
+        r.run(12, |_| {}).unwrap();
+        // Initial seal + one every 4 windows.
+        assert_eq!(r.stats().checkpoints, 1 + 3);
+    }
+
+    #[test]
+    fn shed_window_advances_state_without_delivery() {
+        let mut r = StreamRunner::new(CounterStage::clean(), 0, StreamConfig::default());
+        let rep = r.shed_window().unwrap();
+        assert_eq!(rep.verdict, WindowVerdict::Shed);
+        let rep = r.next_window().unwrap();
+        assert!(rep.verdict.is_delivered());
+        // Invariant 3: the shed window still advanced the sum.
+        assert_eq!(*r.state(), uninterrupted_sum(2));
+    }
+
+    #[test]
+    fn piped_lossless_executes_every_window_in_order() {
+        let mut r = StreamRunner::new(CounterStage::clean(), 0, StreamConfig::default());
+        let mut seen = vec![];
+        let stats = run_piped(&mut r, 50, 4, Ingress::Lossless, |rep| seen.push(rep.index)).unwrap();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+        assert_eq!(stats.delivered, 50);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(*r.state(), uninterrupted_sum(50));
+    }
+
+    #[test]
+    fn piped_shed_ingress_bounds_in_flight_and_accounts_every_window() {
+        let mut r = StreamRunner::new(CounterStage::clean(), 0, StreamConfig::default());
+        let total = 200;
+        let mut reports = vec![];
+        let stats =
+            run_piped(&mut r, total, 2, Ingress::Shed, |rep| reports.push(rep)).unwrap();
+        // Every window gets exactly one verdict, in index order...
+        assert_eq!(reports.len() as u64, stats.windows);
+        for (i, rep) in reports.iter().enumerate() {
+            assert_eq!(rep.index, i as u64);
+        }
+        assert_eq!(stats.windows, total);
+        assert_eq!(stats.delivered + stats.shed, total);
+        // ...and state is bit-identical to the uninterrupted run even if
+        // windows were shed (invariant 3).
+        assert_eq!(*r.state(), uninterrupted_sum(total));
+    }
+
+    #[test]
+    fn faulted_piped_stream_survives_and_stays_exact() {
+        let mut stage = CounterStage::clean();
+        stage.fail_on = vec![7, 8, 23];
+        let mut r = StreamRunner::new(stage, 0, StreamConfig::default());
+        let stats = run_piped(&mut r, 40, 4, Ingress::Lossless, |_| {}).unwrap();
+        assert_eq!(stats.quarantined, 3);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(*r.state(), uninterrupted_sum(40));
+    }
+}

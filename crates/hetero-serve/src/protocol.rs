@@ -200,6 +200,11 @@ pub struct JobRequest {
     pub fault_rate: f64,
     /// Which fail-stop kinds the plan injects (default mixed).
     pub fault_kind: FaultKindSel,
+    /// Run the app as a window stream for this many windows instead of
+    /// one batch execution (streaming-converted apps only; `None` =
+    /// batch job). Faults then land on individual windows — contained
+    /// by checkpoint/rollback — rather than on the whole job.
+    pub stream_windows: Option<u64>,
 }
 
 impl Default for JobRequest {
@@ -217,6 +222,7 @@ impl Default for JobRequest {
             fault_seed: None,
             fault_rate: 0.05,
             fault_kind: FaultKindSel::Mixed,
+            stream_windows: None,
         }
     }
 }
@@ -300,6 +306,10 @@ impl JobRequest {
                 .filter(|x| (0.0..=1.0).contains(x))
                 .ok_or_else(|| bad("fault_rate", rate))?;
             r.fault_rate = x;
+        }
+        if let Some(w) = v.get("stream_windows") {
+            let n = w.as_u64().filter(|&n| n > 0).ok_or_else(|| bad("stream_windows", w))?;
+            r.stream_windows = Some(n);
         }
         if let Some(k) = v.get("fault_kind") {
             r.fault_kind = match k.as_str() {
@@ -452,6 +462,17 @@ mod tests {
         assert!(e(r#"{"tenant":"t","app":"sort","device":"tpu"}"#).is_err());
         assert!(e(r#"{"tenant":"t","app":"sort","deadline_ms":0}"#).is_err());
         assert!(e(r#"{"tenant":"t","app":"sort","fault_rate":1.5}"#).is_err());
+        assert!(e(r#"{"tenant":"t","app":"srad","stream_windows":0}"#).is_err());
+        assert!(e(r#"{"tenant":"t","app":"srad","stream_windows":"many"}"#).is_err());
+    }
+
+    #[test]
+    fn parses_stream_windows() {
+        let v = json::parse(r#"{"tenant":"t","app":"srad","stream_windows":64}"#).unwrap();
+        let r = JobRequest::from_json(&v).unwrap();
+        assert_eq!(r.stream_windows, Some(64));
+        let v = json::parse(r#"{"tenant":"t","app":"srad"}"#).unwrap();
+        assert_eq!(JobRequest::from_json(&v).unwrap().stream_windows, None);
     }
 
     #[test]

@@ -24,11 +24,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use altis_core::common::{AppVersion, ExecMode};
+use altis_core::streaming::{open_stream, supports_streaming, StreamScenario};
 use altis_core::suite::{
     all_apps, run_flavored_inline, run_sdc_inline, AppEntry, ResilienceOutcome, SdcOutcome,
     GRAPH_FLAVOR_APPS,
 };
-use hetero_rt::{CancelToken, Device, Fallback, FaultPlan, Queue, Redundancy, RetryPolicy};
+use hetero_rt::{
+    CancelToken, Device, Fallback, FaultPlan, Queue, Redundancy, RetryPolicy, StreamConfig,
+};
 
 use crate::breaker::{Breaker, BreakerDecision};
 use crate::clock::Clock;
@@ -380,6 +383,9 @@ impl Shared {
             };
             Arc::new(p)
         });
+        // Stream jobs reuse the tenant-scoped plan but build their own
+        // primary/clean queue pair inside `open_stream`.
+        let stream_plan = plan.clone();
         let effective_route = if degraded { DeviceRoute::Cpu } else { job.req.device };
         let device: Device = effective_route.device();
         let retry = match job.req.hardening {
@@ -421,7 +427,9 @@ impl Shared {
         let entry = registry_entry(job.app);
 
         let t0 = Instant::now();
-        let verdict = if sdc {
+        let verdict = if let Some(windows) = job.req.stream_windows {
+            self.run_stream_job(&job, windows, stream_plan, &token)
+        } else if sdc {
             // One SDC job at a time: the integrity counters its verdict
             // is computed from are process-global.
             let _permit = SDC_PERMIT.lock().unwrap_or_else(|p| p.into_inner());
@@ -465,6 +473,48 @@ impl Shared {
         }
         self.release_running(&job);
         self.finish(&job, verdict, degraded, run_ms);
+    }
+
+    /// Execute a stream job: drive `windows` windows through the app's
+    /// recorded-graph stream under windowed fault containment, then
+    /// fold the per-window verdicts into the job's single verdict.
+    /// Faults land on individual windows (retried or rolled back, the
+    /// stream survives); only cancellation — the deadline watchdog —
+    /// is stream-fatal.
+    fn run_stream_job(
+        &self,
+        job: &Job,
+        windows: u64,
+        fault: Option<Arc<FaultPlan>>,
+        token: &CancelToken,
+    ) -> Verdict {
+        let scenario = StreamScenario {
+            fault,
+            sdc: false,
+            cancel: Some(token.clone()),
+            ledger: Some(job.tenant.ledger.clone()),
+        };
+        let opened = open_stream(job.app, job.req.size, StreamConfig::default(), &scenario);
+        let mut stream = match opened {
+            Ok(Some(s)) => s,
+            Ok(None) => unreachable!("stream jobs are admission-checked"),
+            Err(e) => return self.classify_stop(token, format!("stream open failed: {e}")),
+        };
+        for _ in 0..windows {
+            if let Err(e) = stream.next_window() {
+                return self.classify_stop(token, format!("stream stopped: {e}"));
+            }
+        }
+        let st = stream.stats();
+        if st.dropped > 0 {
+            Verdict::Quarantined {
+                reason: format!("stream dropped {} window(s) past the containment budget", st.dropped),
+            }
+        } else if st.non_delivered() > 0 {
+            Verdict::Corrected { events: st.non_delivered() }
+        } else {
+            Verdict::Completed
+        }
     }
 
     /// Map a typed-error reason to its verdict: a fired deadline token
@@ -646,6 +696,23 @@ impl Scheduler {
             return deny(Verdict::Rejected {
                 reason: "sdc hardening supports per-launch flavors only".to_string(),
             });
+        }
+        if req.stream_windows.is_some() {
+            if !supports_streaming(app) {
+                return deny(Verdict::Rejected {
+                    reason: format!("app '{app}' has no streaming conversion"),
+                });
+            }
+            if req.hardening == Hardening::Sdc {
+                return deny(Verdict::Rejected {
+                    reason: "stream jobs support none/resilient hardening only".to_string(),
+                });
+            }
+            if req.device != DeviceRoute::Cpu {
+                return deny(Verdict::Rejected {
+                    reason: "stream jobs run on the cpu route".to_string(),
+                });
+            }
         }
         if tenant.is_quarantined() {
             return deny(Verdict::Rejected {

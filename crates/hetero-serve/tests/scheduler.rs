@@ -338,3 +338,91 @@ fn priority_lanes_drain_weighted_fair() {
     );
     s.shutdown();
 }
+
+#[test]
+fn stream_jobs_complete_cleanly_without_faults() {
+    let _serial = serialize();
+    let s = scheduler(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let (sink, results) = collector();
+    s.submit(
+        JobRequest { stream_windows: Some(8), ..req("acme", "SRAD") },
+        sink.clone(),
+    );
+    s.wait_idle();
+    let results = results.lock().unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].verdict, Verdict::Completed);
+    assert_eq!(s.stats().uncontained, 0);
+    drop(results);
+    s.shutdown();
+}
+
+#[test]
+fn stream_jobs_contain_faults_as_corrected_never_quarantined() {
+    let _serial = serialize();
+    let s = scheduler(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let (sink, results) = collector();
+    s.submit(
+        JobRequest {
+            stream_windows: Some(12),
+            fault_seed: Some(9),
+            fault_rate: 0.5,
+            hardening: Hardening::Resilient,
+            ..req("acme", "SRAD")
+        },
+        sink.clone(),
+    );
+    s.wait_idle();
+    let results = results.lock().unwrap();
+    assert_eq!(results.len(), 1);
+    // Faults land on windows, not the job: the stream survives and the
+    // verdict reports how many windows needed containment.
+    match &results[0].verdict {
+        Verdict::Corrected { events } => assert!(*events > 0),
+        other => panic!("expected Corrected at 50% fault rate, got {other:?}"),
+    }
+    assert_eq!(s.stats().quarantined, 0);
+    assert_eq!(s.stats().uncontained, 0);
+    drop(results);
+    s.shutdown();
+}
+
+#[test]
+fn stream_admission_rejects_unconverted_apps_sdc_and_non_cpu_routes() {
+    let _serial = serialize();
+    let s = scheduler(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let (sink, results) = collector();
+    s.submit(
+        JobRequest { stream_windows: Some(4), ..req("acme", "Where") },
+        sink.clone(),
+    );
+    s.submit(
+        JobRequest {
+            stream_windows: Some(4),
+            hardening: Hardening::Sdc,
+            ..req("acme", "SRAD")
+        },
+        sink.clone(),
+    );
+    s.submit(
+        JobRequest {
+            stream_windows: Some(4),
+            device: hetero_serve::DeviceRoute::Gpu,
+            ..req("acme", "SRAD")
+        },
+        sink.clone(),
+    );
+    s.wait_idle();
+    let results = results.lock().unwrap();
+    assert_eq!(results.len(), 3);
+    for r in results.iter() {
+        assert!(
+            matches!(r.verdict, Verdict::Rejected { .. }),
+            "expected rejection, got {:?}",
+            r.verdict
+        );
+    }
+    assert_eq!(s.stats().rejected, 3);
+    drop(results);
+    s.shutdown();
+}

@@ -73,6 +73,21 @@ done
 ./target/release/chaos --serve > /dev/null
 ./target/release/serve_storm /tmp/BENCH_serve_storm.json --jobs 1000 > /dev/null
 
+# Streaming gates. chaos --stream runs the seeded fault matrix
+# (transient / kernel-panic / alloc / mixed) against live window
+# streams of the four converted apps: the stream must survive every
+# cell, delivered windows must be bit-equal to the clean trail, and no
+# window may be dropped — quarantine the *window*, never the stream.
+# stream_storm (committed BENCH_stream_storm.json is the long form) is
+# smoked at 60 windows/app: the transient rate sweep, the stuck-group
+# rollback-cost run, and the shed-ingress backpressure phase, with the
+# golden-trail equality and containment-budget gates armed.
+for seed in 1 2 3; do
+  echo "chaos --stream: seed ${seed}"
+  ./target/release/chaos --stream --seed "${seed}" --rate 0.05 --windows 24 > /dev/null
+done
+./target/release/stream_storm /tmp/BENCH_stream_storm.json --windows 60 > /dev/null
+
 # hetero-prove gates: the binding-contract sweep (13 apps + the graph
 # matrix with enforcement force-enabled: zero violations, certificates
 # issued, zero translation-validation rejections), the 26-design FPGA
@@ -84,4 +99,4 @@ done
 # replay and the armed-queue fallback verified bit-equal.
 ./target/release/prove /tmp/BENCH_prove_elision.json --gate 1.05 > /dev/null
 
-echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate + graph replay + fusion gates + serve gates + prove sweep + elision gate all green"
+echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate + graph replay + fusion gates + serve gates + stream chaos + stream storm smoke + prove sweep + elision gate all green"
