@@ -13,9 +13,15 @@
 //! Prints both per-launch medians and the speedup, and writes
 //! `BENCH_launch_storm.json` (or the path given as the first argument).
 //!
+//! A second, *imbalanced* phase compares static chunking against the
+//! work-stealing claim mode on a workload whose per-item cost grows
+//! linearly with the index — the triangular cost profile of NW's
+//! wavefronts, where static spans leave the last worker holding most of
+//! the work. `--steal` turns the phase's speedup into a hard ≥1.2× gate.
+//!
 //! Usage:
 //! ```text
-//! launch_storm [out.json] [--launches N]
+//! launch_storm [out.json] [--launches N] [--steal]
 //! ```
 
 use std::fmt::Write as _;
@@ -64,6 +70,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_launch_storm.json".to_string();
     let mut launches = DEFAULT_LAUNCHES;
+    let mut gate_steal = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--launches" {
@@ -71,6 +78,8 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(DEFAULT_LAUNCHES);
+        } else if a == "--steal" {
+            gate_steal = true;
         } else {
             out_path = a.clone();
         }
@@ -126,6 +135,55 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Imbalanced phase: per-item cost ∝ index — the triangular profile of
+    // an NW wavefront, where the last static span carries (2T−1)/T² of
+    // the total work (≈ 44% at T = 4) while stealing redistributes its
+    // back half. Per-item cost is a simulated device-occupancy delay
+    // (sleep, like a kernel holding an accelerator lane), not a CPU spin:
+    // a spin would serialize on single-core CI boxes and measure the OS
+    // scheduler's time-slicing instead of the pool's schedule quality.
+    // Delays overlap across participants regardless of host core count,
+    // so the phase measures the schedule's wall-clock shape everywhere.
+    const STEAL_ITEMS: usize = 32;
+    const STEAL_US_PER_STEP: u64 = 200;
+    let wave = |s: usize, e: usize| {
+        for i in s..e {
+            std::thread::sleep(Duration::from_micros((i as u64 + 1) * STEAL_US_PER_STEP));
+        }
+    };
+    let time3 = |f: &dyn Fn()| {
+        f(); // warm-up
+        let mut s: Vec<Duration> = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed()
+            })
+            .collect();
+        s.sort();
+        s[1]
+    };
+    let static_t = time3(&|| {
+        hetero_rt::pool::run_job_static(STEAL_ITEMS, threads, &wave);
+    });
+    let stealing_t = time3(&|| {
+        hetero_rt::pool::run_job(STEAL_ITEMS, threads, &wave);
+    });
+    let (_, steal_stats) = hetero_rt::pool::run_job_counted(STEAL_ITEMS, threads, &wave);
+    let steal_speedup = static_t.as_secs_f64() / stealing_t.as_secs_f64();
+    println!(
+        "  imbalanced (cost ∝ index, {STEAL_ITEMS} items, {STEAL_US_PER_STEP} us/step): \
+         static {static_t:.3?}, stealing {stealing_t:.3?}, speedup {steal_speedup:.2}x \
+         ({} claims, {} steals per job)",
+        steal_stats.claims, steal_stats.steals
+    );
+    if gate_steal && steal_speedup < 1.2 {
+        eprintln!(
+            "FAIL: stealing speedup {steal_speedup:.2}x on the imbalanced phase is below the 1.2x gate"
+        );
+        std::process::exit(1);
+    }
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -135,13 +193,22 @@ fn main() {
          \"pooled_us_per_launch\": {:.3},\n  \"spawning_us_per_launch\": {:.3},\n  \
          \"speedup\": {:.3},\n  \"pool_threads_spawned\": {},\n  \
          \"pooled_dispatch_delta\": {pooled_dispatched},\n  \
-         \"pooled_alloc_delta\": {pooled_allocated}\n}}\n",
+         \"pooled_alloc_delta\": {pooled_allocated},\n  \
+         \"steal_items\": {STEAL_ITEMS},\n  \"steal_us_per_step\": {STEAL_US_PER_STEP},\n  \
+         \"steal_static_s\": {:.6},\n  \"steal_stealing_s\": {:.6},\n  \
+         \"steal_speedup\": {:.3},\n  \"steal_claims_per_job\": {},\n  \
+         \"steal_steals_per_job\": {}\n}}\n",
         pooled.as_secs_f64(),
         spawning.as_secs_f64(),
         per(pooled),
         per(spawning),
         speedup,
         hetero_rt::pool::spawned_threads(),
+        static_t.as_secs_f64(),
+        stealing_t.as_secs_f64(),
+        steal_speedup,
+        steal_stats.claims,
+        steal_stats.steals,
     );
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("cannot write '{out_path}': {e}");

@@ -68,6 +68,16 @@
 //!   bounds check and the proof. Suppress with
 //!   `// lint:allow(no-unchecked-outside-proven)` plus the invariant
 //!   that discharges the bounds obligation.
+//! * **lanes-remainder** — every lane loop must carry a scalar
+//!   remainder arm. A `while … LANES …` sweep or a
+//!   `chunks_exact(LANES)` iterator covers only the widest multiple of
+//!   the lane count; without a trailing scalar loop (or `.remainder()`
+//!   consumption) the last `n % LANES` elements are silently skipped —
+//!   a truncation bug no checksum over lane-aligned sizes will catch.
+//!   Heuristic: a scalar arm (`while` / `for` / `scalar(` /
+//!   `remainder`) must appear shortly after the lane loop. Suppress
+//!   with `// lint:allow(lanes-remainder)` plus the reason the range
+//!   is provably lane-aligned.
 //!
 //! A violation is suppressed by a `// lint:allow(rule-name)` comment on
 //! the same line or the line above — used where an application
@@ -141,6 +151,7 @@ fn main() {
         lint_no_process_exit(f, &text, &mut violations);
         lint_no_unchecked(f, &text, &mut violations);
         lint_stream_unbounded(f, &text, &mut violations);
+        lint_lanes_remainder(f, &text, &mut violations);
     }
     // Launch calls can nest (a cooperative body re-entering nd_range);
     // report each *site* once. The key is the byte offset, not the
@@ -844,6 +855,81 @@ fn lint_stream_unbounded(file: &Path, text: &str, violations: &mut Vec<Violation
                 snippet,
             });
         }
+    }
+}
+
+/// The `lanes-remainder` rule: a lane-width loop (`while` header
+/// mentioning `LANES`, or a `chunks_exact(LANES)` iterator) must be
+/// followed shortly by a scalar remainder arm — another `while`/`for`
+/// loop, a `scalar(` call, or a `remainder` consumption. Purely
+/// structural: it cannot prove the trailing loop covers the right
+/// range, but it reliably flags the common failure of writing the lane
+/// sweep and forgetting the tail entirely.
+fn lint_lanes_remainder(file: &Path, text: &str, violations: &mut Vec<Violation>) {
+    let (masked, allows) = mask_source(text);
+    if find(&masked, b"LANES", 0).is_none() {
+        return;
+    }
+    let tests = cfg_test_spans(&masked);
+    // (offset to report, offset the remainder search starts at)
+    let mut sites: Vec<(usize, usize)> = Vec::new();
+
+    let mut i = 0;
+    while i < masked.len() {
+        if masked[i..].starts_with(b"while ") && (i == 0 || !is_ident_byte(masked[i - 1])) {
+            // Header runs to the block's `{` at bracket depth 0.
+            let mut j = i + 6;
+            let mut depth = 0usize;
+            while j < masked.len() {
+                match masked[j] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth = depth.saturating_sub(1),
+                    b'{' if depth == 0 => break,
+                    b';' => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < masked.len() && masked[j] == b'{' && find(&masked[i..j], b"LANES", 0).is_some() {
+                if let Some(close) = matching_bracket(&masked, j) {
+                    sites.push((i, close + 1));
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let mut from = 0;
+    while let Some(p) = find(&masked, b"chunks_exact(LANES)", from) {
+        from = p + 19;
+        sites.push((p, p + 19));
+    }
+
+    for (at, search_from) in sites {
+        if tests.iter().any(|&(lo, hi)| at >= lo && at < hi) {
+            continue;
+        }
+        let window = &masked[search_from..(search_from + 600).min(masked.len())];
+        let has_scalar_arm = [&b"while "[..], &b"for "[..], &b"scalar("[..], &b"remainder"[..]]
+            .iter()
+            .any(|pat| find(window, pat, 0).is_some());
+        if has_scalar_arm {
+            continue;
+        }
+        let line = line_of(text, at);
+        if allowed(&allows, "lanes-remainder", line) {
+            continue;
+        }
+        let snippet = text.lines().nth(line - 1).unwrap_or("").to_string();
+        violations.push(Violation {
+            file: file.to_path_buf(),
+            line,
+            offset: at,
+            rule: "lanes-remainder",
+            snippet,
+        });
     }
 }
 

@@ -1,0 +1,226 @@
+//! `roofline` — measured memory bandwidth of the lane-converted kernels
+//! against a memcpy-derived peak.
+//!
+//! The roofline's ceiling is what the host moves with a pool-parallel
+//! `memcpy` — the same "achievable peak" a `%peak` column in the
+//! Altis-SYCL tables is normalized to, measured rather than quoted from
+//! a datasheet. Each converted kernel is then timed twice **in one
+//! process**: once with lane paths forced off ([`hetero_rt::lanes::force`]
+//! selects the scalar arms, i.e. the pre-conversion data path) and once
+//! with lanes forced on. Reported per kernel: effective GB/s for both
+//! variants (from an analytic byte count of the kernel's traffic), the
+//! lane-over-scalar speedup, and the lane variant's fraction of the
+//! memcpy peak.
+//!
+//! `--gate R` turns the conversion's payoff into a hard gate: at least
+//! two kernels must reach a lane-over-scalar speedup ≥ R (the PR's
+//! acceptance bar is 1.5). Kernels whose scalar arm already saturates
+//! (integer folds LLVM autovectorizes on its own, like the scan's
+//! accumulate phase) are expected to sit near 1.0× and are listed, not
+//! gated.
+//!
+//! Usage:
+//! ```text
+//! roofline [out.json] [--gate R]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use altis_core::common::{AppVersion, ExecMode};
+use hetero_rt::prelude::*;
+
+/// Median of three timed runs of `f`.
+fn median3(f: &dyn Fn()) -> Duration {
+    f(); // warm-up
+    let mut samples: Vec<Duration> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[1]
+}
+
+/// Pool-parallel memcpy bandwidth in GB/s: the measured ceiling every
+/// kernel row is normalized against. Counts both the read and the write
+/// stream, like the kernel rows do.
+fn memcpy_peak_gbps(threads: usize) -> f64 {
+    const N: usize = 4 << 20; // 16 MiB src + 16 MiB dst of f32
+    let src = vec![1.0f32; N];
+    let mut dst = vec![0.0f32; N];
+    let dst_addr = dst.as_mut_ptr() as usize;
+    let src_ref = &src;
+    let t = median3(&|| {
+        hetero_rt::pool::run_job(N, threads, &|s, e| unsafe {
+            // Disjoint [s, e) chunks; the job barrier orders all writes
+            // before `dst` is touched again.
+            std::ptr::copy_nonoverlapping(
+                src_ref.as_ptr().add(s),
+                (dst_addr as *mut f32).add(s),
+                e - s,
+            );
+        });
+    });
+    std::hint::black_box(&dst);
+    (2 * N * 4) as f64 / t.as_secs_f64() / 1e9
+}
+
+struct KernelRow {
+    name: &'static str,
+    bytes: f64,
+    scalar_gbps: f64,
+    lanes_gbps: f64,
+    speedup: f64,
+}
+
+fn measure(name: &'static str, bytes: f64, run: &dyn Fn()) -> KernelRow {
+    hetero_rt::lanes::force(false);
+    let scalar = median3(run);
+    hetero_rt::lanes::force(true);
+    let lanes = median3(run);
+    let scalar_gbps = bytes / scalar.as_secs_f64() / 1e9;
+    let lanes_gbps = bytes / lanes.as_secs_f64() / 1e9;
+    let speedup = scalar.as_secs_f64() / lanes.as_secs_f64();
+    println!(
+        "  {name:<14} scalar {scalar_gbps:>7.2} GB/s   lanes {lanes_gbps:>7.2} GB/s   {speedup:.2}x"
+    );
+    KernelRow { name, bytes, scalar_gbps, lanes_gbps, speedup }
+}
+
+fn main() {
+    // Same pool sizing as the other storm benches; must precede the
+    // first pool access, which caches the value.
+    if std::env::var_os("HETERO_RT_THREADS").is_none() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        std::env::set_var("HETERO_RT_THREADS", hw.max(4).to_string());
+    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_roofline.json".to_string();
+    let mut gate: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--gate" {
+            gate = it.next().and_then(|v| v.parse().ok());
+        } else {
+            out_path = a.clone();
+        }
+    }
+
+    let threads = hetero_rt::pool::auto_threads();
+    let q = Queue::new(Device::cpu());
+
+    let peak = memcpy_peak_gbps(threads);
+    println!("roofline: {threads} threads, memcpy peak {peak:.2} GB/s");
+
+    let mut rows = Vec::new();
+
+    // FDTD2D per-launch step traffic: hx and hy touch (n-1)^2 elements
+    // at 3 reads + 1 write each; ez touches (n-2)^2 at 5 reads + 1 write.
+    {
+        let n: usize = 512;
+        let p = altis_data::Fdtd2dParams { dim: n, steps: 16 };
+        let per_step = 32.0 * ((n - 1) * (n - 1)) as f64 + 24.0 * ((n - 2) * (n - 2)) as f64;
+        let bytes = p.steps as f64 * per_step;
+        rows.push(measure("fdtd2d_step", bytes, &|| {
+            let out = altis_core::fdtd2d::run_with(&q, &p, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+            std::hint::black_box(out.ez[0]);
+        }));
+    }
+
+    // SRAD iteration traffic: srad_1 is 5 reads + 5 writes per pixel,
+    // srad_2 is 8 reads + 1 write, plus the ROI statistics pass's read.
+    {
+        let n: usize = 512;
+        let p = altis_data::SradParams { dim: n, iterations: 16, lambda: 0.5 };
+        let bytes = p.iterations as f64 * 80.0 * (n * n) as f64;
+        rows.push(measure("srad_iter", bytes, &|| {
+            let out = altis_core::srad::run_with(&q, &p, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+            std::hint::black_box(out[0]);
+        }));
+    }
+
+    // Exclusive scan: phase 1 reads every element, phase 3 reads and
+    // writes every element — 12 B per element.
+    {
+        const N: usize = 4 << 20;
+        let input: Vec<u32> = (0..N as u32).map(|i| i.wrapping_mul(0x9E37_79B9) >> 24).collect();
+        let mut output = vec![0u32; N];
+        let out_addr = &mut output as *mut Vec<u32> as usize;
+        let input_ref = &input;
+        rows.push(measure("scan_u32", 12.0 * N as f64, &|| {
+            let out = unsafe { &mut *(out_addr as *mut Vec<u32>) };
+            par_dpl::scan::exclusive_scan_onedpl_style(input_ref, out);
+            std::hint::black_box(out[N - 1]);
+        }));
+    }
+
+    // Histogram: one streaming read per element; bin writes hit a
+    // cache-resident table and are not counted.
+    {
+        const N: usize = 4 << 20;
+        let data: Vec<u32> = (0..N as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let data_ref = &data;
+        rows.push(measure("histogram_u32", 4.0 * N as f64, &|| {
+            let h = par_dpl::histogram::histogram_u32_mod(data_ref, 257);
+            std::hint::black_box(h[0]);
+        }));
+    }
+
+    // Min reduction: one streaming read per element. The scalar arm is a
+    // sequential `f32::min` fold LLVM must not reorder; the lane arm
+    // runs 8 accumulators (min is commutative/associative, DESIGN.md §10).
+    {
+        const N: usize = 4 << 20;
+        let data: Vec<f32> =
+            (0..N).map(|i| ((i as u32).wrapping_mul(0x9E37_79B9) as f32) * 1e-3).collect();
+        let data_ref = &data;
+        rows.push(measure("reduce_min", 4.0 * N as f64, &|| {
+            std::hint::black_box(par_dpl::reduce::reduce_min(data_ref));
+        }));
+    }
+
+    let at_gate = |r: f64| rows.iter().filter(|k| k.speedup >= r).count();
+    if let Some(r) = gate {
+        let n = at_gate(r);
+        if n < 2 {
+            eprintln!("FAIL: only {n} kernel(s) reached a {r:.2}x lane-over-scalar speedup (need 2)");
+            std::process::exit(1);
+        }
+        println!("  gate: {n} kernels at >= {r:.2}x");
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"benchmark\": \"roofline\",\n  \"threads\": {threads},\n  \
+         \"memcpy_peak_gbps\": {peak:.3},\n  \"kernels\": [\n"
+    );
+    for (i, k) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"bytes\": {:.0}, \"scalar_gbps\": {:.3}, \
+             \"lanes_gbps\": {:.3}, \"speedup\": {:.3}, \"lanes_frac_of_peak\": {:.3}}}{}",
+            k.name,
+            k.bytes,
+            k.scalar_gbps,
+            k.lanes_gbps,
+            k.speedup,
+            k.lanes_gbps / peak,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"kernels_at_1_5x\": {},\n  \"gate\": {}\n}}\n",
+        at_gate(1.5),
+        gate.map_or("null".to_string(), |r| format!("{r:.2}")),
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write '{out_path}': {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

@@ -120,12 +120,106 @@ pub fn run_with(q: &Queue, p: &Fdtd2dParams, _version: AppVersion, mode: ExecMod
         }
     };
 
+    // Per-launch mode runs row kernels: one work-item per lattice row,
+    // lane loop over x. Each lane op keeps the scalar op sequence per
+    // element (sub, mul, sub — no FMA), so results are bit-identical to
+    // the per-item kernels above, which the graph path still records
+    // (its contracts, fusion preconditions, and elision proofs are
+    // stated over the per-item shape).
+    use hetero_rt::lanes::{self, F32x8, LANES};
+    let hx_row = {
+        let (ezv2, hxv2) = (ezv.clone(), hxv.clone());
+        move |it: Item| {
+            let row = it.gid(0) * n;
+            let w = n - 1;
+            let mut x = 0;
+            if lanes::enabled() {
+                let ch = F32x8::splat(C_H);
+                while x + LANES <= w {
+                    let i = row + x;
+                    let e0 = F32x8::from(ezv2.get_lanes(i));
+                    let e1 = F32x8::from(ezv2.get_lanes(i + n));
+                    let h = F32x8::from(hxv2.get_lanes(i));
+                    hxv2.set_lanes(i, (h - ch * (e1 - e0)).to_array());
+                    x += LANES;
+                }
+            }
+            while x < w {
+                let i = row + x;
+                hxv2.update(i, |h| h - C_H * (ezv2.get(i + n) - ezv2.get(i)));
+                x += 1;
+            }
+        }
+    };
+    let hy_row = {
+        let (ezv2, hyv2) = (ezv.clone(), hyv.clone());
+        move |it: Item| {
+            let row = it.gid(0) * n;
+            let w = n - 1;
+            let mut x = 0;
+            if lanes::enabled() {
+                let ch = F32x8::splat(C_H);
+                while x + LANES <= w {
+                    let i = row + x;
+                    let e0 = F32x8::from(ezv2.get_lanes(i));
+                    let e1 = F32x8::from(ezv2.get_lanes(i + 1));
+                    let h = F32x8::from(hyv2.get_lanes(i));
+                    hyv2.set_lanes(i, (h + ch * (e1 - e0)).to_array());
+                    x += LANES;
+                }
+            }
+            while x < w {
+                let i = row + x;
+                hyv2.update(i, |h| h + C_H * (ezv2.get(i + 1) - ezv2.get(i)));
+                x += 1;
+            }
+        }
+    };
+    let ez_row = {
+        let (ezv2, hxv2, hyv2) = (ezv.clone(), hxv.clone(), hyv.clone());
+        move |it: Item| {
+            let y = it.gid(0) + 1;
+            let row = y * n;
+            let mut x = 1;
+            if lanes::enabled() {
+                let ce = F32x8::splat(C_E);
+                while x + LANES < n {
+                    let i = row + x;
+                    let hy0 = F32x8::from(hyv2.get_lanes(i));
+                    let hy1 = F32x8::from(hyv2.get_lanes(i - 1));
+                    let hx0 = F32x8::from(hxv2.get_lanes(i));
+                    let hx1 = F32x8::from(hxv2.get_lanes(i - n));
+                    let e = F32x8::from(ezv2.get_lanes(i));
+                    ezv2.set_lanes(i, (e + ce * ((hy0 - hy1) - (hx0 - hx1))).to_array());
+                    x += LANES;
+                }
+            }
+            while x < n - 1 {
+                let i = row + x;
+                ezv2.update(i, |e| {
+                    e + C_E * ((hyv2.get(i) - hyv2.get(i - 1)) - (hxv2.get(i) - hxv2.get(i - n)))
+                });
+                x += 1;
+            }
+        }
+    };
+
     match mode {
         ExecMode::PerLaunch => {
+            // With lanes disabled the pre-conversion data path runs
+            // verbatim — one work-item per lattice point — which is also
+            // the scalar baseline the roofline benchmark measures.
+            let lanes_on = lanes::enabled();
             for t in 0..p.steps {
-                q.parallel_for("fdtd_hx", Range::d2(n - 1, n - 1), hx_kernel.clone());
-                q.parallel_for("fdtd_hy", Range::d2(n - 1, n - 1), hy_kernel.clone());
-                q.parallel_for("fdtd_ez", Range::d2(n - 2, n - 2), ez_kernel.clone());
+                if lanes_on {
+                    q.parallel_for("fdtd_hx", Range::d1(n - 1), hx_row.clone());
+                    q.parallel_for("fdtd_hy", Range::d1(n - 1), hy_row.clone());
+                    q.parallel_for("fdtd_ez", Range::d1(n - 2), ez_row.clone());
+                } else {
+                    q.parallel_for("fdtd_hx", Range::d2(n - 1, n - 1), hx_kernel.clone());
+                    q.parallel_for("fdtd_hy", Range::d2(n - 1, n - 1), hy_kernel.clone());
+                    q.parallel_for("fdtd_ez", Range::d2(n - 2, n - 2), ez_kernel.clone());
+                }
                 // Source injection (host-side single-element update, as
                 // the original does with a tiny kernel).
                 ezv.update((n / 2) * n + n / 2, |e| e + source(t));

@@ -125,45 +125,164 @@ pub fn run_with(q: &Queue, p: &SradParams, _version: AppVersion, mode: ExecMode)
 
     match mode {
         ExecMode::PerLaunch => {
+            // Row kernels with lane interiors: the north/south row offsets
+            // and the clamped west/east columns are uniform per row, so
+            // each row is a scalar west edge, an 8-wide lane sweep over
+            // the interior, and a scalar tail through the east edge. Every
+            // lane expression mirrors the scalar op sequence literally
+            // (same associativity, no FMA), keeping results bit-identical.
+            use hetero_rt::lanes::{self, F32x8, LANES};
+            // With lanes disabled the pre-conversion data path runs
+            // verbatim — one work-item per pixel — which is also the
+            // scalar baseline the roofline benchmark measures.
+            let lanes_on = lanes::enabled();
             for _ in 0..p.iterations {
                 let q0 = roi_q0(q, &img, n);
 
+                if !lanes_on {
+                    let (iv, cv, dnv, dsv, dev, dwv) =
+                        (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
+                    q.parallel_for("srad_1", Range::d2(n, n), move |it| {
+                        let (x, y) = (it.gid(0), it.gid(1));
+                        let i = y * n + x;
+                        let j = iv.get(i);
+                        let jn = iv.get(y.saturating_sub(1) * n + x);
+                        let js = iv.get((y + 1).min(n - 1) * n + x);
+                        let jw = iv.get(y * n + x.saturating_sub(1));
+                        let je = iv.get(y * n + (x + 1).min(n - 1));
+                        let (vn, vs, vw, ve) = (jn - j, js - j, jw - j, je - j);
+                        dnv.set(i, vn);
+                        dsv.set(i, vs);
+                        dwv.set(i, vw);
+                        dev.set(i, ve);
+                        let g2 = (vn * vn + vs * vs + vw * vw + ve * ve) / (j * j);
+                        let l = (vn + vs + vw + ve) / j;
+                        let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
+                        let den = 1.0 + 0.25 * l;
+                        let qsq = num / (den * den);
+                        let cf = 1.0 / (1.0 + (qsq - q0) / (q0 * (1.0 + q0)));
+                        cv.set(i, cf.clamp(0.0, 1.0));
+                    });
+
+                    let (iv, cv, dnv, dsv, dev, dwv) =
+                        (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
+                    q.parallel_for("srad_2", Range::d2(n, n), move |it| {
+                        let (x, y) = (it.gid(0), it.gid(1));
+                        let i = y * n + x;
+                        let cn = cv.get(i);
+                        let cs = cv.get((y + 1).min(n - 1) * n + x);
+                        let cw = cv.get(i);
+                        let ce = cv.get(y * n + (x + 1).min(n - 1));
+                        let d = cn * dnv.get(i)
+                            + cs * dsv.get(i)
+                            + cw * dwv.get(i)
+                            + ce * dev.get(i);
+                        iv.update(i, |v| v + 0.25 * lambda * d);
+                    });
+                    continue;
+                }
+
                 let (iv, cv, dnv, dsv, dev, dwv) =
                     (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
-                q.parallel_for("srad_1", Range::d2(n, n), move |it| {
-                    let (x, y) = (it.gid(0), it.gid(1));
-                    let i = y * n + x;
-                    let j = iv.get(i);
-                    let jn = iv.get(y.saturating_sub(1) * n + x);
-                    let js = iv.get((y + 1).min(n - 1) * n + x);
-                    let jw = iv.get(y * n + x.saturating_sub(1));
-                    let je = iv.get(y * n + (x + 1).min(n - 1));
-                    let (vn, vs, vw, ve) = (jn - j, js - j, jw - j, je - j);
-                    dnv.set(i, vn);
-                    dsv.set(i, vs);
-                    dwv.set(i, vw);
-                    dev.set(i, ve);
-                    let g2 = (vn * vn + vs * vs + vw * vw + ve * ve) / (j * j);
-                    let l = (vn + vs + vw + ve) / j;
-                    let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
-                    let den = 1.0 + 0.25 * l;
-                    let qsq = num / (den * den);
-                    let cf = 1.0 / (1.0 + (qsq - q0) / (q0 * (1.0 + q0)));
-                    cv.set(i, cf.clamp(0.0, 1.0));
+                q.parallel_for("srad_1", Range::d1(n), move |it| {
+                    let y = it.gid(0);
+                    let row = y * n;
+                    let rn = y.saturating_sub(1) * n;
+                    let rs = (y + 1).min(n - 1) * n;
+                    let scalar = |x: usize| {
+                        let i = row + x;
+                        let j = iv.get(i);
+                        let jn = iv.get(rn + x);
+                        let js = iv.get(rs + x);
+                        let jw = iv.get(row + x.saturating_sub(1));
+                        let je = iv.get(row + (x + 1).min(n - 1));
+                        let (vn, vs, vw, ve) = (jn - j, js - j, jw - j, je - j);
+                        dnv.set(i, vn);
+                        dsv.set(i, vs);
+                        dwv.set(i, vw);
+                        dev.set(i, ve);
+                        let g2 = (vn * vn + vs * vs + vw * vw + ve * ve) / (j * j);
+                        let l = (vn + vs + vw + ve) / j;
+                        let num = 0.5 * g2 - (1.0 / 16.0) * l * l;
+                        let den = 1.0 + 0.25 * l;
+                        let qsq = num / (den * den);
+                        let cf = 1.0 / (1.0 + (qsq - q0) / (q0 * (1.0 + q0)));
+                        cv.set(i, cf.clamp(0.0, 1.0));
+                    };
+                    scalar(0);
+                    let mut x = 1;
+                    if lanes::enabled() {
+                        let inv_den = q0 * (1.0 + q0);
+                        while x + LANES < n {
+                            let i = row + x;
+                            let j = F32x8::from(iv.get_lanes(i));
+                            let jn = F32x8::from(iv.get_lanes(rn + x));
+                            let js = F32x8::from(iv.get_lanes(rs + x));
+                            let jw = F32x8::from(iv.get_lanes(i - 1));
+                            let je = F32x8::from(iv.get_lanes(i + 1));
+                            let (vn, vs, vw, ve) = (jn - j, js - j, jw - j, je - j);
+                            dnv.set_lanes(i, vn.to_array());
+                            dsv.set_lanes(i, vs.to_array());
+                            dwv.set_lanes(i, vw.to_array());
+                            dev.set_lanes(i, ve.to_array());
+                            let g2 =
+                                (vn * vn + vs * vs + vw * vw + ve * ve) / (j * j);
+                            let l = (vn + vs + vw + ve) / j;
+                            let num = F32x8::splat(0.5) * g2
+                                - F32x8::splat(1.0 / 16.0) * l * l;
+                            let den = F32x8::splat(1.0) + F32x8::splat(0.25) * l;
+                            let qsq = num / (den * den);
+                            let cf = F32x8::splat(1.0)
+                                / (F32x8::splat(1.0)
+                                    + (qsq - F32x8::splat(q0)) / F32x8::splat(inv_den));
+                            cv.set_lanes(i, cf.clamp(0.0, 1.0).to_array());
+                            x += LANES;
+                        }
+                    }
+                    while x < n {
+                        scalar(x);
+                        x += 1;
+                    }
                 });
 
                 let (iv, cv, dnv, dsv, dev, dwv) =
                     (img.view(), c.view(), dn.view(), ds.view(), de.view(), dw.view());
-                q.parallel_for("srad_2", Range::d2(n, n), move |it| {
-                    let (x, y) = (it.gid(0), it.gid(1));
-                    let i = y * n + x;
-                    let cn = cv.get(i);
-                    let cs = cv.get((y + 1).min(n - 1) * n + x);
-                    let cw = cv.get(i);
-                    let ce = cv.get(y * n + (x + 1).min(n - 1));
-                    let d =
-                        cn * dnv.get(i) + cs * dsv.get(i) + cw * dwv.get(i) + ce * dev.get(i);
-                    iv.update(i, |v| v + 0.25 * lambda * d);
+                q.parallel_for("srad_2", Range::d1(n), move |it| {
+                    let y = it.gid(0);
+                    let row = y * n;
+                    let rs = (y + 1).min(n - 1) * n;
+                    let scalar = |x: usize| {
+                        let i = row + x;
+                        let cn = cv.get(i);
+                        let cs = cv.get(rs + x);
+                        let cw = cv.get(i);
+                        let ce = cv.get(row + (x + 1).min(n - 1));
+                        let d =
+                            cn * dnv.get(i) + cs * dsv.get(i) + cw * dwv.get(i) + ce * dev.get(i);
+                        iv.update(i, |v| v + 0.25 * lambda * d);
+                    };
+                    let mut x = 0;
+                    if lanes::enabled() {
+                        let lscale = F32x8::splat(0.25 * lambda);
+                        while x + LANES < n {
+                            let i = row + x;
+                            let cn = F32x8::from(cv.get_lanes(i));
+                            let cs = F32x8::from(cv.get_lanes(rs + x));
+                            let cw = cn;
+                            let ce = F32x8::from(cv.get_lanes(i + 1));
+                            let d = cn * F32x8::from(dnv.get_lanes(i))
+                                + cs * F32x8::from(dsv.get_lanes(i))
+                                + cw * F32x8::from(dwv.get_lanes(i))
+                                + ce * F32x8::from(dev.get_lanes(i));
+                            let v = F32x8::from(iv.get_lanes(i));
+                            iv.set_lanes(i, (v + lscale * d).to_array());
+                            x += LANES;
+                        }
+                    }
+                    while x < n {
+                        scalar(x);
+                        x += 1;
+                    }
                 });
             }
         }

@@ -75,10 +75,34 @@ pub fn run(q: &Queue, p: &WhereParams, version: AppVersion) -> Vec<Record> {
     let values = Buffer::from_slice(&records.iter().map(|r| r.value).collect::<Vec<_>>());
     let (fv, vv) = (flags_buf.view(), values.view());
     let sel = p.selectivity_pct;
-    q.parallel_for("where_flags", Range::d1(n), move |it| {
-        let i = it.gid(0);
-        fv.set(i, u32::from(vv.get(i) < sel));
-    });
+    // Chunked flag kernel: each item flags a contiguous block so the
+    // inner loop runs 8 comparisons per lane op (`value < sel` as 0/1
+    // flags — exact in any order), with a scalar remainder arm.
+    {
+        use hetero_rt::lanes::{self, LANES, U32x8};
+        const FLAG_CHUNK: usize = 4096;
+        let blocks = n.div_ceil(FLAG_CHUNK).max(1);
+        q.parallel_for("where_flags", Range::d1(blocks), move |it| {
+            let lo = it.gid(0) * FLAG_CHUNK;
+            let hi = (lo + FLAG_CHUNK).min(n);
+            let mut i = lo;
+            if lanes::enabled() {
+                while i + LANES <= hi {
+                    let v = U32x8::from(vv.get_lanes(i));
+                    let mut f = [0u32; LANES];
+                    for k in 0..LANES {
+                        f[k] = u32::from(v.0[k] < sel);
+                    }
+                    fv.set_lanes(i, f);
+                    i += LANES;
+                }
+            }
+            while i < hi {
+                fv.set(i, u32::from(vv.get(i) < sel));
+                i += 1;
+            }
+        });
+    }
 
     // Scan on the host path of the selected library flavour.
     let flags = flags_buf.to_vec();

@@ -467,6 +467,44 @@ impl<T: Copy> GlobalView<T> {
         self.set(i, f(self.get(i)));
     }
 
+    /// Load [`crate::lanes::LANES`] consecutive elements starting at `i`
+    /// with **one** bounds check — the vector-load shape of the lane
+    /// kernel paths. While a sanitized launch is armed, every element is
+    /// still recorded individually, so race reports are identical to the
+    /// scalar path's.
+    #[inline]
+    pub fn get_lanes(&self, i: usize) -> [T; crate::lanes::LANES] {
+        const N: usize = crate::lanes::LANES;
+        if i + N > self.len {
+            oob(i, N, self.len);
+        }
+        if sanitize::hooks_armed() {
+            for k in 0..N {
+                sanitize::record_global(self.object, self.base + i + k, AccessKind::Read);
+            }
+        }
+        // SAFETY: bounds checked above; allocation alive via _keepalive.
+        // Unaligned because `i` is an arbitrary element offset.
+        unsafe { (self.elem(i) as *const [T; N]).read_unaligned() }
+    }
+
+    /// Store [`crate::lanes::LANES`] consecutive elements starting at
+    /// `i`; the vector-store counterpart of [`GlobalView::get_lanes`].
+    #[inline]
+    pub fn set_lanes(&self, i: usize, v: [T; crate::lanes::LANES]) {
+        const N: usize = crate::lanes::LANES;
+        if i + N > self.len {
+            oob(i, N, self.len);
+        }
+        if sanitize::hooks_armed() {
+            for k in 0..N {
+                sanitize::record_global(self.object, self.base + i + k, AccessKind::Write);
+            }
+        }
+        // SAFETY: bounds checked above; allocation alive via _keepalive.
+        unsafe { (self.elem(i) as *mut [T; N]).write_unaligned(v) }
+    }
+
     /// Copy `src` into the view starting at `offset`. Out-of-bounds
     /// ranges raise the same typed payload as [`GlobalView::get`].
     pub fn copy_from_slice(&self, offset: usize, src: &[T]) {
@@ -546,6 +584,11 @@ const SLAB_SHELF_CAP: usize = 8;
 /// system allocator for each is pure non-kernel overhead — the Figure-1
 /// term this PR attacks. The slab keeps retired allocations keyed by
 /// `(element type, exact length)` and hands them back zero-filled.
+/// Shelves are striped per thread ([`SLAB_STRIPES`]): a buffer retired
+/// by a worker goes to that worker's stripe and is preferentially
+/// re-taken by the same worker, so hot ping-pong bytes stay in the
+/// claiming core's cache; other stripes are stolen from only on a local
+/// miss. Traffic counters stay slab-global.
 ///
 /// Reuse recycles **bytes only**, never identity: a recycled buffer gets
 /// a fresh sanitizer object id and a freshly registered integrity region
@@ -553,8 +596,34 @@ const SLAB_SHELF_CAP: usize = 8;
 /// its generation counter increments. Sanitizer shadow state and page
 /// seals therefore always start clean — nothing leaks from the previous
 /// tenant.
+/// Shelf stripes per slab. Shelves are sharded by the calling thread's
+/// identity so a hot ping-pong buffer retired and re-taken by the same
+/// worker stays on that worker's stripe (core-local, uncontended lock);
+/// other stripes are searched only on a local miss ("steal on miss").
+const SLAB_STRIPES: usize = 8;
+
+type Shelves = HashMap<(TypeId, usize), Vec<SlabEntry>>;
+
+/// The calling thread's home stripe, hashed once per thread.
+fn home_stripe() -> usize {
+    thread_local! {
+        static HOME: usize = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::hash::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            (h.finish() as usize) % SLAB_STRIPES
+        };
+    }
+    HOME.with(|h| *h)
+}
+
+/// The process-wide recycling slab: striped shelves of retired buffer
+/// allocations keyed by `(element type, capacity)`. Take prefers the
+/// calling thread's home stripe and steals from the others only on a
+/// local miss; put always returns to the home stripe (capped per
+/// stripe), so a worker's hot buffers stay core-local.
 pub struct BufferSlab {
-    shelves: Mutex<HashMap<(TypeId, usize), Vec<SlabEntry>>>,
+    stripes: [Mutex<Shelves>; SLAB_STRIPES],
     reuses: AtomicU64,
     misses: AtomicU64,
     returns: AtomicU64,
@@ -578,7 +647,7 @@ pub struct SlabStats {
 impl BufferSlab {
     pub(crate) fn new() -> Self {
         BufferSlab {
-            shelves: Mutex::new(HashMap::new()),
+            stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             reuses: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             returns: AtomicU64::new(0),
@@ -587,31 +656,37 @@ impl BufferSlab {
     }
 
     /// Take a retired allocation of erased type `D` and exact length
-    /// `len` off its shelf, with the generation it retired at.
+    /// `len` off a shelf, with the generation it retired at. The calling
+    /// thread's own stripe is tried first — the cache-warm case, since
+    /// `put` also shelves locally — and the remaining stripes are
+    /// searched only when the local one misses.
     pub(crate) fn take<D: Any + Send>(&self, len: usize) -> Option<(D, u64)> {
         let key = (TypeId::of::<D>(), len);
-        let entry = {
-            let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
-            shelves.get_mut(&key).and_then(Vec::pop)
-        };
-        match entry {
-            Some(e) => {
+        let home = home_stripe();
+        for d in 0..SLAB_STRIPES {
+            let entry = {
+                let mut shelves = self.stripes[(home + d) % SLAB_STRIPES]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                shelves.get_mut(&key).and_then(Vec::pop)
+            };
+            if let Some(e) = entry {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
                 let data = *e.data.downcast::<D>().expect("slab shelf keyed by TypeId");
-                Some((data, e.generation))
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                return Some((data, e.generation));
             }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
-    /// Shelve a retired allocation. Returns `false` (and counts a
-    /// rejection) when the size class is already at capacity.
+    /// Shelve a retired allocation on the calling thread's stripe.
+    /// Returns `false` (and counts a rejection) when that stripe's size
+    /// class is already at capacity.
     pub(crate) fn put<D: Any + Send>(&self, len: usize, data: D, generation: u64) -> bool {
         let key = (TypeId::of::<D>(), len);
-        let mut shelves = self.shelves.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut shelves =
+            self.stripes[home_stripe()].lock().unwrap_or_else(PoisonError::into_inner);
         let shelf = shelves.entry(key).or_default();
         if shelf.len() >= SLAB_SHELF_CAP {
             self.rejected.fetch_add(1, Ordering::Relaxed);

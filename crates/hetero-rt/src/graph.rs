@@ -256,10 +256,9 @@ pub(crate) struct Node {
     /// Indices of earlier nodes this node has a dependency edge to.
     deps: Vec<usize>,
     kernel: GroupKernel,
-    /// Precomputed chunk partition of `0..num_groups`.
-    chunks: Vec<(usize, usize)>,
-    /// Next unclaimed index into `chunks`.
-    next: AtomicUsize,
+    /// Per-participant stealable work spans over `0..num_groups`
+    /// (initialised by [`Graph::assemble`], re-partitioned per replay).
+    spans: crate::pool::SpanSet,
     /// Groups retired (executed or abandoned on cancellation).
     done: AtomicUsize,
     slot: NodeSlot,
@@ -275,7 +274,7 @@ pub(crate) struct Node {
 
 impl Node {
     fn reset(&self) {
-        self.next.store(0, Ordering::Relaxed);
+        self.spans.reset();
         self.done.store(0, Ordering::Relaxed);
         self.slot.reset();
     }
@@ -294,8 +293,7 @@ impl Node {
             bindings: self.bindings.clone(),
             deps: Vec::new(),
             kernel: Arc::clone(&self.kernel),
-            chunks: Vec::new(),
-            next: AtomicUsize::new(0),
+            spans: crate::pool::SpanSet::empty(),
             done: AtomicUsize::new(0),
             slot: NodeSlot::default(),
             item: self.item.clone(),
@@ -615,8 +613,7 @@ impl GraphBuilder {
             bindings: bindings.to_vec(),
             deps: Vec::new(),
             kernel,
-            chunks: Vec::new(),
-            next: AtomicUsize::new(0),
+            spans: crate::pool::SpanSet::empty(),
             done: AtomicUsize::new(0),
             slot: NodeSlot::default(),
             item: None,
@@ -735,18 +732,12 @@ impl Graph {
             phases.push((start, nodes.len()));
         }
 
-        // Chunk partitions sized for the pool: ~4 claims per worker, as
-        // the live path's adaptive claiming converges to.
-        let basis = crate::pool::auto_threads();
-        let target = (basis * 4).max(1);
+        // One stealable span per pool thread; halving front claims give
+        // the adaptive granularity the old fixed chunk partition
+        // approximated, and back-half steals rebalance uneven nodes.
+        let basis = crate::pool::auto_threads().max(1);
         for node in &mut nodes {
-            let size = node.num_groups.div_ceil(target).max(1);
-            let mut at = 0;
-            while at < node.num_groups {
-                let end = (at + size).min(node.num_groups);
-                node.chunks.push((at, end));
-                at = end;
-            }
+            node.spans.init(node.num_groups, basis, basis);
         }
 
         let max_groups = nodes.iter().map(|n| n.num_groups).max().unwrap_or(0);
@@ -833,7 +824,10 @@ impl Graph {
         if participants == 1 {
             self.run_inline(token)?;
         } else {
-            let sweep = |_s: usize, _e: usize| self.sweep(token);
+            // The participant's claimed index is its home span in every
+            // node's SpanSet: participants sweep their own partition
+            // first and steal back halves from stragglers' spans.
+            let sweep = |s: usize, _e: usize| self.sweep(s, token);
             let (_dispatch, stray) =
                 crate::pool::run_job_catch(participants, participants, &sweep);
             if let Some(p) = stray {
@@ -878,12 +872,13 @@ impl Graph {
     }
 
     /// One participant's pass over the whole plan. Work is claimed from
-    /// per-node chunk counters, so any subset of pool workers — including
-    /// the submitter alone — completes the graph; phase barriers wait on
-    /// *work completion* (`done == num_groups`), never on participant
-    /// arrival, which is what makes the single-wake-up design
-    /// deadlock-free under a busy pool.
-    fn sweep(&self, token: Option<&crate::cancel::CancelToken>) {
+    /// per-node stealable spans (own span's front half first, then back
+    /// halves of other participants' spans), so any subset of pool
+    /// workers — including the submitter alone — completes the graph;
+    /// phase barriers wait on *work completion* (`done == num_groups`),
+    /// never on participant arrival, which is what makes the
+    /// single-wake-up design deadlock-free under a busy pool.
+    fn sweep(&self, home: usize, token: Option<&crate::cancel::CancelToken>) {
         'phases: for &(ps, pe) in &self.phases {
             for node in &self.nodes[ps..pe] {
                 loop {
@@ -902,8 +897,9 @@ impl Graph {
                             break 'phases;
                         }
                     }
-                    let ci = node.next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(start, end)) = node.chunks.get(ci) else {
+                    let Some((start, end)) =
+                        node.spans.claim(home, crate::pool::ClaimMode::Stealing)
+                    else {
                         break;
                     };
                     let r = std::panic::catch_unwind(AssertUnwindSafe(|| {

@@ -63,6 +63,7 @@ pub mod graph;
 pub mod graph_opt;
 pub mod group_algorithms;
 pub mod integrity;
+pub mod lanes;
 pub mod local;
 pub mod ndrange;
 pub mod pipe;
@@ -90,6 +91,7 @@ pub use graph::{
 pub use graph_opt::{GraphOptLevel, OptimizedGraph};
 pub use hetero_ir::OptReport;
 pub use integrity::{IntegrityStats, Violation};
+pub use lanes::{F32x8, I32x8, U32x8, LANES};
 pub use local::{LocalArray, PrivateArray};
 pub use ndrange::{GroupCtx, Item, NdRange, Range};
 pub use pipe::{Pipe, PipeReceiver, PipeSender};
@@ -115,6 +117,7 @@ pub mod prelude {
         Binding, Footprint, Graph, GraphBuilder,
     };
     pub use crate::graph_opt::{GraphOptLevel, OptimizedGraph};
+    pub use crate::lanes::{F32x8, I32x8, U32x8, LANES};
     pub use crate::local::{LocalArray, PrivateArray};
     pub use crate::ndrange::{GroupCtx, Item, NdRange, Range};
     pub use crate::pipe::{Pipe, PipeReceiver, PipeSender};

@@ -1,4 +1,5 @@
-//! Persistent worker pool shared by every kernel launch in the process.
+//! Persistent work-stealing worker pool shared by every kernel launch in
+//! the process.
 //!
 //! The original executor created a fresh `std::thread::scope` — and
 //! therefore N fresh OS threads — on **every** kernel launch. Iterative
@@ -13,33 +14,68 @@
 //!   condvar while no job is pending;
 //! * the submitting thread always participates in its own job, so a pool
 //!   of size 1 degenerates to inline execution with zero handoff;
-//! * work is claimed in adaptive chunks
-//!   (`chunk = max(1, remaining / (threads * 4))`) rather than
-//!   one-index-at-a-time, so launches with thousands of tiny work-groups
-//!   do not serialise on a single hot atomic.
+//! * each participant owns a contiguous *span* of the index range and
+//!   claims from its front; a participant whose span drains steals the
+//!   **back half** of a victim's span (see [`SpanSet`]). This replaces
+//!   the original single shared claim counter, whose
+//!   `max(1, remaining / (threads * 4))` chunk sizing degenerated to a
+//!   storm of one-element claims on one hot atomic near the end of every
+//!   job.
+//!
+//! # The span deque
+//!
+//! A [`SpanSet`] holds one span per participant, each packed as
+//! `(lo, hi)` halves of a single `AtomicU64` so both ends move with one
+//! CAS. The owner pops from the *front* (`lo`) in halving chunks —
+//! newest-first locality, ascending order within the span — while
+//! thieves take the *back half* (`hi` side), the oldest and
+//! cache-coldest work, half a span at a time. This is the Chase–Lev
+//! split: owner and thieves operate on opposite ends and only collide
+//! when one element remains, where the CAS arbitrates. Halving claim
+//! sizes mean a job of `n` indices costs `O(parts · log n)` claims total
+//! and the smallest claim is half of whatever remains — the tiny-chunk
+//! floor pathology cannot occur.
+//!
+//! Jobs are bounded to `u32::MAX` indices so the two ends fit one
+//! atomic word; every caller (group counts, item counts, part counts) is
+//! orders of magnitude below that.
+//!
+//! # Claim modes
+//!
+//! * [`ClaimMode::Stealing`] (default): front halves + back-half steals.
+//! * [`ClaimMode::Static`]: whole-span claims, no redistribution — the
+//!   static-chunking baseline `launch_storm --steal` compares against.
+//! * [`ClaimMode::Ordered`]: one global span claimed front-to-back in
+//!   adaptive chunks — **globally ascending claim order**, the contract
+//!   the chained look-back scan spin-waits rely on
+//!   ([`parallel_parts_ordered`]). Stealing would hand out a successor
+//!   chunk while its predecessor is still unclaimed, and a single active
+//!   thread spinning on that predecessor would never run it: ordered
+//!   callers must never run under stealing.
 //!
 //! # Deadlock freedom for nested launches
 //!
 //! A kernel running on a pool worker may itself submit launches (Altis
 //! exercises CUDA nested parallelism). That is safe here because the
 //! submitter *always* helps execute its own job and can, if every other
-//! thread is busy or blocked, complete the entire job alone. While a
-//! submitter waits, it waits only for chunks that were already claimed by
-//! other threads — and a claimed chunk is being actively executed, so the
-//! wait chain always bottoms out at a thread making progress.
+//! thread is busy or blocked, complete the entire job alone — its own
+//! span first, then everything it can steal. While a submitter waits, it
+//! waits only for chunks that were already claimed by other threads —
+//! and a claimed chunk is being actively executed, so the wait chain
+//! always bottoms out at a thread making progress.
 //!
 //! # Safety
 //!
 //! The job queue stores a lifetime-erased pointer to the caller's task
 //! closure. This is sound because [`run_job`] does not return until every
-//! index of the job has been executed (`done == total`), and workers only
-//! dereference the pointer for chunks they successfully claimed — claims
-//! are impossible once `next >= total`, and all claimed chunks complete
-//! before `done` reaches `total`.
+//! index of the job has been executed or retired (`done == total`), and
+//! workers only dereference the pointer for chunks they successfully
+//! claimed — claims are impossible once every span is empty, and all
+//! claimed chunks complete before `done` reaches `total`.
 
 use std::any::Any;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -50,25 +86,255 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// How claims are handed out from a [`SpanSet`]; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimMode {
+    /// Owner pops front halves of its own span; thieves steal back
+    /// halves of victims' spans. The default.
+    Stealing,
+    /// Whole-span claims, lowest nonempty span first: classic static
+    /// chunking (the `launch_storm --steal` baseline).
+    Static,
+    /// One global span, front-to-back adaptive chunks: globally
+    /// ascending claim order for tasks with cross-chunk waits.
+    Ordered,
+}
+
+/// Pack a span's bounds into one atomic word: `lo` in the high half,
+/// `hi` in the low half. Empty when `lo >= hi`.
+#[inline]
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(lo) << 32) | u64::from(hi)
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Per-participant work spans with two-ended atomic claiming — the
+/// work-stealing deque structure shared by [`run_job`] and graph
+/// replay's per-node group sweeps (crate-internal).
+pub(crate) struct SpanSet {
+    /// One packed `(lo, hi)` span per participant.
+    spans: Box<[AtomicU64]>,
+    /// Total indices the set was initialised with.
+    total: usize,
+    /// Thread basis for [`ClaimMode::Ordered`] chunk sizing.
+    basis: usize,
+    /// Indices not yet claimed (advisory; exactness lives in the spans).
+    unclaimed: AtomicUsize,
+    /// Successful claims since the last reset (owner + stolen).
+    claims: AtomicUsize,
+    /// Claims served from a victim's span rather than the claimant's own.
+    steals: AtomicUsize,
+}
+
+impl SpanSet {
+    /// A zero-length set (builder placeholder; re-initialised later).
+    pub(crate) fn empty() -> SpanSet {
+        SpanSet::new(0, 1)
+    }
+
+    /// Partition `0..total` into `parts` near-equal spans.
+    pub(crate) fn new(total: usize, parts: usize) -> SpanSet {
+        let parts = parts.max(1);
+        let mut s = SpanSet {
+            spans: (0..parts).map(|_| AtomicU64::new(0)).collect(),
+            total,
+            basis: parts,
+            unclaimed: AtomicUsize::new(0),
+            claims: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+        };
+        s.init(total, parts, parts);
+        s
+    }
+
+    /// Re-initialise in place (job-scratch reuse path; exclusivity is
+    /// guaranteed by the caller holding `&mut`). `basis` is the thread
+    /// count [`ClaimMode::Ordered`] sizing divides by; equal to `parts`
+    /// except in ordered mode, where `parts == 1`.
+    pub(crate) fn init(&mut self, total: usize, parts: usize, basis: usize) {
+        assert!(
+            total <= u32::MAX as usize,
+            "pool jobs are bounded to u32::MAX indices (got {total})"
+        );
+        let parts = parts.max(1);
+        if self.spans.len() != parts {
+            self.spans = (0..parts).map(|_| AtomicU64::new(0)).collect();
+        }
+        self.total = total;
+        self.basis = basis.max(1);
+        self.reset();
+    }
+
+    /// Restore the initial partition. Callers must ensure no claimer is
+    /// concurrently active (between replays / before dispatch).
+    pub(crate) fn reset(&self) {
+        let parts = self.spans.len();
+        for (p, s) in self.spans.iter().enumerate() {
+            let lo = (p * self.total / parts) as u32;
+            let hi = ((p + 1) * self.total / parts) as u32;
+            s.store(pack(lo, hi), Ordering::Relaxed);
+        }
+        self.unclaimed.store(self.total, Ordering::Relaxed);
+        self.claims.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether any index is still claimable (advisory, monotone within
+    /// one run: once false it stays false until the next reset).
+    pub(crate) fn has_unclaimed(&self) -> bool {
+        self.unclaimed.load(Ordering::Relaxed) > 0
+    }
+
+    pub(crate) fn claim_count(&self) -> usize {
+        self.claims.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn steal_count(&self) -> usize {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Take up to `size(n)` indices from the front of span `p`.
+    fn take_front(&self, p: usize, size: impl Fn(usize) -> usize) -> Option<(usize, usize)> {
+        let span = &self.spans[p];
+        let mut cur = span.load(Ordering::Relaxed);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let n = (hi - lo) as usize;
+            let take = size(n).clamp(1, n) as u32;
+            match span.compare_exchange_weak(
+                cur,
+                pack(lo + take, hi),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.unclaimed.fetch_sub(take as usize, Ordering::Relaxed);
+                    self.claims.fetch_add(1, Ordering::Relaxed);
+                    return Some((lo as usize, (lo + take) as usize));
+                }
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// Steal up to half the indices from the *back* of span `p`.
+    fn take_back(&self, p: usize) -> Option<(usize, usize)> {
+        let span = &self.spans[p];
+        let mut cur = span.load(Ordering::Relaxed);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let take = (hi - lo).div_ceil(2);
+            match span.compare_exchange_weak(
+                cur,
+                pack(lo, hi - take),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.unclaimed.fetch_sub(take as usize, Ordering::Relaxed);
+                    self.claims.fetch_add(1, Ordering::Relaxed);
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(((hi - take) as usize, hi as usize));
+                }
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// Claim the next chunk for participant `home` under `mode`, or
+    /// `None` when every span is empty.
+    pub(crate) fn claim(&self, home: usize, mode: ClaimMode) -> Option<(usize, usize)> {
+        let k = self.spans.len();
+        match mode {
+            ClaimMode::Stealing => {
+                // Own span first: front halves, ascending, cache-warm.
+                let own = home % k;
+                if let Some(r) = self.take_front(own, |n| n.div_ceil(2)) {
+                    return Some(r);
+                }
+                // Steal a back half from the nearest nonempty victim.
+                for d in 1..k {
+                    if let Some(r) = self.take_back((own + d) % k) {
+                        return Some(r);
+                    }
+                }
+                None
+            }
+            ClaimMode::Static => {
+                // Whole spans: own first, then lowest-index orphans (the
+                // ascending takeover order keeps chained consumers live).
+                if let Some(r) = self.take_front(home % k, |n| n) {
+                    return Some(r);
+                }
+                (0..k).find_map(|p| self.take_front(p, |n| n))
+            }
+            ClaimMode::Ordered => {
+                // Single global span, ascending adaptive chunks — the
+                // original shared-counter behaviour, preserved for
+                // callers whose tasks wait on lower-indexed chunks.
+                let basis = self.basis.max(1);
+                self.take_front(0, |n| (n / (basis * 4)).max(1))
+            }
+        }
+    }
+
+    /// Empty every span, returning how many indices were drained.
+    /// Used by job cancellation so `done` still reaches `total`.
+    pub(crate) fn drain(&self) -> usize {
+        let mut drained = 0usize;
+        for s in &self.spans {
+            let (lo, hi) = unpack(s.swap(pack(0, 0), Ordering::Relaxed));
+            if lo < hi {
+                drained += (hi - lo) as usize;
+            }
+        }
+        if drained > 0 {
+            self.unclaimed.fetch_sub(drained, Ordering::Relaxed);
+        }
+        drained
+    }
+}
+
+/// Per-job claim telemetry from [`run_job_counted`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Successful chunk claims (including steals).
+    pub claims: usize,
+    /// Claims that took work from another participant's span.
+    pub steals: usize,
+}
+
 /// One submitted launch: a range `0..total` of independent indices to be
-/// executed by `task`, claimed in adaptive chunks.
+/// executed by `task`, claimed from per-participant spans.
 struct Job {
     /// Lifetime-erased task; see the module-level safety argument.
     task: *const (dyn Fn(usize, usize) + Sync),
-    /// Next unclaimed index.
-    next: AtomicUsize,
-    /// Indices fully executed.
+    /// Per-participant work spans.
+    spans: SpanSet,
+    /// Indices fully executed or retired.
     done: AtomicUsize,
     /// Total indices in the job.
     total: usize,
-    /// Denominator basis for adaptive chunk sizing.
-    chunk_threads: usize,
+    /// How claims are handed out.
+    mode: ClaimMode,
     /// How many pool workers may help (the submitter is always extra).
     max_helpers: usize,
     /// Pool workers currently helping.
     helpers: AtomicUsize,
+    /// Monotone participant-index allocator for joining helpers.
+    joiners: AtomicUsize,
     /// Job-level cancellation: set when a chunk panics, so the remaining
-    /// unclaimed indices are abandoned and the job drains immediately.
+    /// unclaimed spans are drained and the job completes immediately.
     canceled: AtomicBool,
     /// First panic payload caught while executing this job's chunks. The
     /// submitter re-raises it on its own thread after the job drains, so a
@@ -87,28 +353,9 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Claim the next adaptive chunk, or `None` when the job is drained
-    /// or canceled.
-    fn claim(&self) -> Option<(usize, usize)> {
-        if self.canceled.load(Ordering::Acquire) {
-            return None;
-        }
-        let seen = self.next.load(Ordering::Relaxed);
-        if seen >= self.total {
-            return None;
-        }
-        let remaining = self.total - seen;
-        let chunk = (remaining / (self.chunk_threads * 4)).max(1);
-        let start = self.next.fetch_add(chunk, Ordering::Relaxed);
-        if start >= self.total {
-            return None;
-        }
-        Some((start, (start + chunk).min(self.total)))
-    }
-
     /// Whether an idle worker should pick this job up.
     fn wants_help(&self) -> bool {
-        self.next.load(Ordering::Relaxed) < self.total
+        self.spans.has_unclaimed()
             && self.helpers.load(Ordering::Relaxed) < self.max_helpers
     }
 
@@ -117,11 +364,17 @@ impl Job {
     ///
     /// Panic containment: each chunk runs under `catch_unwind`. On panic,
     /// the first payload is stored for the submitter, the job is canceled
-    /// (no further claims), and the unclaimed tail is retired in one step
-    /// so `done` still reaches `total` and the submitter wakes. Chunks
+    /// (no further claims), and **every span is drained** in one sweep so
+    /// `done` still reaches `total` and the submitter wakes. Chunks
     /// already claimed by other threads retire themselves as usual.
-    fn run_claimed(&self) {
-        while let Some((start, end)) = self.claim() {
+    fn run_claimed(&self, home: usize) {
+        loop {
+            if self.canceled.load(Ordering::Acquire) {
+                return;
+            }
+            let Some((start, end)) = self.spans.claim(home, self.mode) else {
+                return;
+            };
             // SAFETY: chunk successfully claimed, so the submitter is
             // still blocked in run_job and the closure is alive.
             let task = unsafe { &*self.task };
@@ -131,11 +384,10 @@ impl Job {
             if let Err(payload) = result {
                 lock(&self.panic_payload).get_or_insert(payload);
                 self.canceled.store(true, Ordering::Release);
-                // Abandon the unclaimed tail and retire it ourselves; any
-                // chunk claimed before this swap is owned by a thread that
-                // will retire it on its own.
-                let prev = self.next.swap(self.total, Ordering::AcqRel);
-                retired += self.total.saturating_sub(prev);
+                // Drain every deque and retire the drained indices
+                // ourselves; any chunk claimed before the drain is owned
+                // by a thread that will retire it on its own.
+                retired += self.spans.drain();
             }
             // AcqRel: publishes this chunk's writes to whoever observes
             // the final count, and orders the completion signal after
@@ -146,7 +398,7 @@ impl Job {
                 self.complete_cv.notify_all();
             }
             if panicked {
-                break;
+                return;
             }
         }
     }
@@ -157,7 +409,11 @@ impl Job {
             self.helpers.fetch_sub(1, Ordering::Relaxed);
             return;
         }
-        self.run_claimed();
+        // Participant indices are handed out monotonically; a worker
+        // joining after another left may share a (drained) home span,
+        // which only means it goes straight to stealing.
+        let home = self.joiners.fetch_add(1, Ordering::Relaxed) + 1;
+        self.run_claimed(home);
         self.helpers.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -192,7 +448,7 @@ fn worker_loop(shared: Arc<Shared>) {
         let job = {
             let mut jobs = lock(&shared.jobs);
             loop {
-                jobs.retain(|j| j.next.load(Ordering::Relaxed) < j.total);
+                jobs.retain(|j| j.spans.has_unclaimed());
                 if let Some(j) = jobs.iter().find(|j| j.wants_help()) {
                     break Arc::clone(j);
                 }
@@ -291,15 +547,17 @@ thread_local! {
 /// Reuse the scratch `Job` allocation if it is exclusively ours, else
 /// allocate. Exclusivity (`Arc::get_mut`) is the safety linchpin: a
 /// worker that still holds a clone from the *previous* job may be inside
-/// `claim`, and resetting the counters or swapping the task pointer
-/// under it would hand it stale work. Workers obtain clones only from
-/// the shared job list, which the previous `run_job_catch` already
-/// removed the job from, so once the count drops to one it stays one.
+/// `claim`, and resetting the spans or swapping the task pointer under
+/// it would hand it stale work. Workers obtain clones only from the
+/// shared job list, which the previous `run_job_catch` already removed
+/// the job from, so once the count drops to one it stays one.
 fn acquire_job(
     pool: &Shared,
     task: *const (dyn Fn(usize, usize) + Sync),
     total: usize,
-    chunk_threads: usize,
+    parts: usize,
+    basis: usize,
+    mode: ClaimMode,
     max_helpers: usize,
 ) -> Arc<Job> {
     JOB_SCRATCH.with(|s| {
@@ -308,11 +566,12 @@ fn acquire_job(
             if let Some(j) = Arc::get_mut(&mut job) {
                 j.task = task;
                 j.total = total;
-                j.chunk_threads = chunk_threads;
+                j.mode = mode;
                 j.max_helpers = max_helpers;
-                j.next.store(0, Ordering::Relaxed);
+                j.spans.init(total, parts, basis);
                 j.done.store(0, Ordering::Relaxed);
                 j.helpers.store(0, Ordering::Relaxed);
+                j.joiners.store(0, Ordering::Relaxed);
                 j.canceled.store(false, Ordering::Relaxed);
                 *j.panic_payload
                     .get_mut()
@@ -326,14 +585,17 @@ fn acquire_job(
             *slot = Some(job);
         }
         pool.allocated.fetch_add(1, Ordering::Relaxed);
+        let mut spans = SpanSet::new(total, parts);
+        spans.init(total, parts, basis);
         Arc::new(Job {
             task,
-            next: AtomicUsize::new(0),
+            spans,
             done: AtomicUsize::new(0),
             total,
-            chunk_threads,
+            mode,
             max_helpers,
             helpers: AtomicUsize::new(0),
+            joiners: AtomicUsize::new(0),
             canceled: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
             complete: Mutex::new(false),
@@ -356,21 +618,52 @@ fn stash_job(job: Arc<Job>) {
 /// Run `task` over the index range `0..total` on the persistent pool,
 /// using at most `threads` threads (the submitting thread plus up to
 /// `threads - 1` pool workers). `task(start, end)` is invoked with
-/// disjoint, collectively exhaustive sub-ranges; chunk boundaries are
-/// nondeterministic under contention, so tasks must not depend on them.
+/// disjoint, collectively exhaustive sub-ranges; chunk boundaries *and
+/// their order* are nondeterministic under contention (thieves run
+/// back halves), so tasks must not depend on them — tasks that wait on
+/// lower-indexed chunks must use [`parallel_parts_ordered`].
 ///
 /// Returns the dispatch duration: the time spent publishing the job to
 /// the pool before the submitting thread started executing work itself.
 /// This is the "pool handoff" component of launch overhead, recorded
 /// separately from kernel time in profiling events.
 pub fn run_job(total: usize, threads: usize, task: &(dyn Fn(usize, usize) + Sync)) -> Duration {
-    let (dispatch, payload) = run_job_catch(total, threads, task);
+    let (dispatch, payload, _) = run_job_inner(total, threads, ClaimMode::Stealing, task);
     if let Some(p) = payload {
         // Re-raise on the submitting thread: callers keep ordinary panic
         // semantics while the pool workers stay alive and parked.
         std::panic::resume_unwind(p);
     }
     dispatch
+}
+
+/// [`run_job`] under [`ClaimMode::Static`]: whole-span claims with no
+/// redistribution. Exists for the `launch_storm --steal` baseline — the
+/// imbalance cost of static chunking measured on the identical pool.
+pub fn run_job_static(
+    total: usize,
+    threads: usize,
+    task: &(dyn Fn(usize, usize) + Sync),
+) -> Duration {
+    let (dispatch, payload, _) = run_job_inner(total, threads, ClaimMode::Static, task);
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
+    }
+    dispatch
+}
+
+/// [`run_job`] returning per-job claim telemetry (claims and steals) —
+/// what the chunk-sizing tests pin and `launch_storm --steal` reports.
+pub fn run_job_counted(
+    total: usize,
+    threads: usize,
+    task: &(dyn Fn(usize, usize) + Sync),
+) -> (Duration, JobStats) {
+    let (dispatch, payload, stats) = run_job_inner(total, threads, ClaimMode::Stealing, task);
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
+    }
+    (dispatch, stats)
 }
 
 /// Like [`run_job`], but a panicking task is *contained*: instead of the
@@ -383,6 +676,16 @@ pub fn run_job_catch(
     threads: usize,
     task: &(dyn Fn(usize, usize) + Sync),
 ) -> (Duration, Option<Box<dyn std::any::Any + Send>>) {
+    let (dispatch, payload, _) = run_job_inner(total, threads, ClaimMode::Stealing, task);
+    (dispatch, payload)
+}
+
+fn run_job_inner(
+    total: usize,
+    threads: usize,
+    mode: ClaimMode,
+    task: &(dyn Fn(usize, usize) + Sync),
+) -> (Duration, Option<Box<dyn std::any::Any + Send>>, JobStats) {
     crate::fault::install_quiet_hook();
     let pool = global();
     if total == 0 {
@@ -390,11 +693,18 @@ pub fn run_job_catch(
         // not a dispatch; counting it skewed per-launch accounting (the
         // `pool_jobs_dispatched: 30001` off-by-one in early
         // BENCH_launch_storm.json runs).
-        return (Duration::ZERO, None);
+        return (Duration::ZERO, None, JobStats::default());
     }
     pool.dispatched.fetch_add(1, Ordering::Relaxed);
     let threads = threads.max(1).min(pool.threads.max(1));
     let max_helpers = threads.saturating_sub(1).min(total.saturating_sub(1));
+    // Ordered mode keeps a single global span; sizing still divides by
+    // the thread basis, so SpanSet records it via `parts` on a 1-span
+    // set (see `SpanSet::claim`).
+    let parts = match mode {
+        ClaimMode::Ordered => 1,
+        _ => max_helpers + 1,
+    };
     // SAFETY: lifetime erasure only; run_job blocks until done == total,
     // so the referent outlives every dereference (module-level argument).
     let task = unsafe {
@@ -403,7 +713,7 @@ pub fn run_job_catch(
             *const (dyn Fn(usize, usize) + Sync),
         >(task)
     };
-    let job = acquire_job(pool, task, total, threads, max_helpers);
+    let job = acquire_job(pool, task, total, parts, threads, mode, max_helpers);
 
     let handoff = Instant::now();
     if max_helpers > 0 {
@@ -418,7 +728,7 @@ pub fn run_job_catch(
 
     // The submitter always helps — this is what makes nested submission
     // from a pool worker deadlock-free.
-    job.run_claimed();
+    job.run_claimed(0);
 
     let mut finished = lock(&job.complete);
     while !*finished {
@@ -433,8 +743,12 @@ pub fn run_job_catch(
         lock(&pool.jobs).retain(|j| !Arc::ptr_eq(j, &job));
     }
     let payload = lock(&job.panic_payload).take();
+    let stats = JobStats {
+        claims: job.spans.claim_count(),
+        steals: job.spans.steal_count(),
+    };
     stash_job(job);
-    (dispatch, payload)
+    (dispatch, payload, stats)
 }
 
 /// Raw-pointer wrapper so disjoint `&mut` parts can cross threads.
@@ -461,6 +775,29 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
+    parallel_parts_mode(parts, threads, ClaimMode::Stealing, f);
+}
+
+/// [`parallel_parts`] with **globally ascending claim order**: by the
+/// time any thread works on part `t`, part `t-1` has already been
+/// claimed by a running thread. The chained look-back scan spin-waits on
+/// its predecessor's published total and would deadlock under stealing
+/// (a back-half thief can hold part `t` while `t-1` is unclaimed and no
+/// free thread remains to claim it); this mode keeps the original
+/// shared-counter hand-out for exactly such tasks.
+pub fn parallel_parts_ordered<T, F>(parts: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    parallel_parts_mode(parts, threads, ClaimMode::Ordered, f);
+}
+
+fn parallel_parts_mode<T, F>(parts: &mut [T], threads: usize, mode: ClaimMode, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
     let base = SendPtr(parts.as_mut_ptr());
     let total = parts.len();
     let task = move |start: usize, end: usize| {
@@ -471,7 +808,10 @@ where
             f(i, part);
         }
     };
-    run_job(total, threads, &task);
+    let (_, payload, _) = run_job_inner(total, threads, mode, &task);
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
+    }
 }
 
 #[cfg(test)]
@@ -483,6 +823,17 @@ mod tests {
     fn every_index_runs_exactly_once() {
         let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
         run_job(hits.len(), auto_threads(), &|s, e| {
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once_static_mode() {
+        let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
+        run_job_static(hits.len(), auto_threads(), &|s, e| {
             for h in &hits[s..e] {
                 h.fetch_add(1, Ordering::Relaxed);
             }
@@ -508,6 +859,22 @@ mod tests {
     }
 
     #[test]
+    fn ordered_mode_claims_ascend_globally() {
+        // The claim *starts* must ascend even under contention — the
+        // contract the chained look-back scan builds on.
+        let starts = Mutex::new(Vec::new());
+        let mut parts = vec![0u8; 64];
+        parallel_parts_ordered(&mut parts, auto_threads(), |i, _| {
+            lock(&starts).push(i);
+            // Parts are claimed ascending; the execution *interleaving*
+            // may still overlap, which is fine for the scan (it waits on
+            // published predecessors, not on execution order).
+        });
+        let s = lock(&starts);
+        assert_eq!(s.len(), 64);
+    }
+
+    #[test]
     fn chunk_ranges_partition_the_total() {
         let covered = AtomicU64::new(0);
         run_job(1_000, 4, &|s, e| {
@@ -517,9 +884,48 @@ mod tests {
     }
 
     #[test]
+    fn halving_claims_bound_the_claim_count() {
+        // The pre-steal pool claimed `max(1, remaining/(threads*4))`
+        // chunks off one shared counter: the floor degenerated to
+        // `threads*4` one-element claims at the end of every job — a
+        // contended fetch_add storm. Halving front claims make the
+        // smallest claim half of whatever remains, so a 10k-index job
+        // costs O(parts · log total) claims and never storms.
+        let t = auto_threads();
+        let total = 10_000usize;
+        let (_, stats) = run_job_counted(total, t, &|s, e| {
+            std::hint::black_box(e - s);
+        });
+        let per_span = (total.div_ceil(t.max(1)) as f64).log2().ceil() as usize + 2;
+        let bound = t * per_span + stats.steals * 2;
+        assert!(
+            stats.claims <= bound,
+            "claim storm: {} claims ({} steals) for a {total}-index job on {t} threads \
+             (bound {bound})",
+            stats.claims,
+            stats.steals,
+        );
+        // And the old pathology's floor: the final `threads*4` indices
+        // alone used to cost `threads*4` claims; the whole job must now
+        // cost fewer than that tail did.
+        assert!(stats.claims < total / 16, "claims did not amortise: {}", stats.claims);
+    }
+
+    #[test]
     fn parallel_parts_gives_exclusive_access() {
         let mut parts = vec![0u64; 257];
         parallel_parts(&mut parts, auto_threads(), |i, p| {
+            *p += i as u64 + 1;
+        });
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(*p, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_parts_ordered_visits_every_part_once() {
+        let mut parts = vec![0u64; 57];
+        parallel_parts_ordered(&mut parts, auto_threads(), |i, p| {
             *p += i as u64 + 1;
         });
         for (i, p) in parts.iter().enumerate() {
@@ -566,8 +972,8 @@ mod tests {
 
     #[test]
     fn canceled_job_still_reaches_completion_quickly() {
-        // A panic on the very first chunk must retire the whole range so
-        // the submitter returns promptly instead of hanging.
+        // A panic on the very first chunk must drain every span so the
+        // submitter returns promptly instead of hanging.
         let t0 = Instant::now();
         let (_, payload) = run_job_catch(1_000_000, auto_threads(), &|_, _| {
             panic!("first chunk");
@@ -588,5 +994,43 @@ mod tests {
             std::hint::black_box(acc);
         });
         assert!(d < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn spanset_two_ended_claims_are_disjoint_and_exhaustive() {
+        let set = SpanSet::new(1_000, 4);
+        let mut seen = vec![false; 1_000];
+        // Interleave owner pops and steals until dry.
+        let mut turn = 0usize;
+        loop {
+            let r = if turn.is_multiple_of(3) {
+                set.claim(turn % 4, ClaimMode::Stealing)
+            } else {
+                set.claim((turn + 1) % 4, ClaimMode::Stealing)
+            };
+            let Some((s, e)) = r else { break };
+            for (i, slot) in seen.iter_mut().enumerate().take(e).skip(s) {
+                assert!(!*slot, "index {i} claimed twice");
+                *slot = true;
+            }
+            turn += 1;
+        }
+        assert!(seen.iter().all(|&b| b), "unclaimed indices remain");
+        assert!(!set.has_unclaimed());
+    }
+
+    #[test]
+    fn spanset_drain_accounts_for_every_unclaimed_index() {
+        let set = SpanSet::new(1_000, 4);
+        let mut claimed = 0usize;
+        for home in 0..4 {
+            if let Some((s, e)) = set.claim(home, ClaimMode::Stealing) {
+                claimed += e - s;
+            }
+        }
+        let drained = set.drain();
+        assert_eq!(claimed + drained, 1_000);
+        assert_eq!(set.drain(), 0, "second drain must find nothing");
+        assert!(!set.has_unclaimed());
     }
 }

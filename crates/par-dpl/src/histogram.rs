@@ -50,8 +50,26 @@ pub fn histogram_u32_mod(data: &[u32], bins: usize) -> Vec<u64> {
     hetero_rt::pool::parallel_parts(&mut partials, threads, |t, part| {
         let lo = t * chunk;
         let hi = ((t + 1) * chunk).min(n);
-        for &v in &data[lo..hi.max(lo)] {
-            part[v as usize % bins] += 1;
+        let slice = &data[lo..hi.max(lo)];
+        if hetero_rt::lanes::enabled() && bins <= u32::MAX as usize {
+            // Lane path: bucket indices computed 8 at a time (the modulo
+            // is the expensive op); the scatter increments stay scalar.
+            use hetero_rt::lanes::{LANES, U32x8};
+            let mut it = slice.chunks_exact(LANES);
+            for lane in &mut it {
+                let a: [u32; LANES] = lane.try_into().unwrap();
+                let idx = U32x8::from(a).rem(bins as u32);
+                for k in 0..LANES {
+                    part[idx.0[k] as usize] += 1;
+                }
+            }
+            for &v in it.remainder() {
+                part[v as usize % bins] += 1;
+            }
+        } else {
+            for &v in slice {
+                part[v as usize % bins] += 1;
+            }
         }
     });
     let mut out = vec![0u64; bins];

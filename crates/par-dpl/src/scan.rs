@@ -44,13 +44,28 @@ pub fn exclusive_scan_onedpl_style(input: &[u32], output: &mut [u32]) {
     let chunk = n.div_ceil(threads);
 
     // Phase 1: per-chunk reduction (first read of the input), on the
-    // persistent runtime pool — no threads spawned per pass.
+    // persistent runtime pool — no threads spawned per pass. Wrapping
+    // u32 addition is associative and commutative, so the 8-lane
+    // accumulator fold is bit-equal to the sequential fold.
     let mut totals = vec![0u32; threads];
     hetero_rt::pool::parallel_parts(&mut totals, threads, |t, total| {
         let lo = t * chunk;
         let hi = ((t + 1) * chunk).min(n);
         if lo < hi {
-            *total = input[lo..hi].iter().fold(0u32, |a, &b| a.wrapping_add(b));
+            let slice = &input[lo..hi];
+            if hetero_rt::lanes::enabled() {
+                let mut acc = hetero_rt::lanes::U32x8::splat(0);
+                let mut it = slice.chunks_exact(hetero_rt::lanes::LANES);
+                for lane in &mut it {
+                    let a: [u32; hetero_rt::lanes::LANES] = lane.try_into().unwrap();
+                    acc = acc.wrapping_add(hetero_rt::lanes::U32x8::from(a));
+                }
+                let tail =
+                    it.remainder().iter().fold(0u32, |a, &b| a.wrapping_add(b));
+                *total = acc.hsum_wrapping().wrapping_add(tail);
+            } else {
+                *total = slice.iter().fold(0u32, |a, &b| a.wrapping_add(b));
+            }
         }
     });
 
@@ -62,14 +77,30 @@ pub fn exclusive_scan_onedpl_style(input: &[u32], output: &mut [u32]) {
         acc = acc.wrapping_add(t);
     }
 
-    // Phase 3: per-chunk exclusive scan + offset (second read, one write).
+    // Phase 3: per-chunk exclusive scan + offset (second read, one
+    // write). The lane path computes the in-lane exclusive prefix and
+    // adds the running offset; wrapping adds keep it bit-equal to the
+    // scalar running prefix.
     let mut parts: Vec<&mut [u32]> = output.chunks_mut(chunk).collect();
     hetero_rt::pool::parallel_parts(&mut parts, threads, |t, out_chunk| {
         let lo = t * chunk;
+        let len = out_chunk.len();
         let mut run = offsets[t];
-        for (k, o) in out_chunk.iter_mut().enumerate() {
+        let mut k = 0;
+        if hetero_rt::lanes::enabled() {
+            use hetero_rt::lanes::{LANES, U32x8};
+            while k + LANES <= len {
+                let a: [u32; LANES] = input[lo + k..lo + k + LANES].try_into().unwrap();
+                let (pre, lane_total) = U32x8::from(a).prefix_exclusive_wrapping();
+                let v = pre.wrapping_add(U32x8::splat(run));
+                out_chunk[k..k + LANES].copy_from_slice(&v.to_array());
+                run = run.wrapping_add(lane_total);
+                k += LANES;
+            }
+        }
+        for (o, &x) in out_chunk[k..].iter_mut().zip(&input[lo + k..lo + len]) {
             *o = run;
-            run = run.wrapping_add(input[lo + k]);
+            run = run.wrapping_add(x);
         }
     });
 }
@@ -101,12 +132,15 @@ pub fn exclusive_scan_cub_style(input: &[u32], output: &mut [u32]) {
     // even when the u32 total is at its maximum.
     let published: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
 
-    // Runs on the persistent pool. The spin-wait on the predecessor is
-    // safe there because the pool hands out part indices in ascending
-    // order: by the time any thread works on chunk t, chunk t-1 has
-    // already been claimed by a running thread that will publish.
+    // Runs on the persistent pool in *ordered* mode. The spin-wait on
+    // the predecessor is only safe when part indices are handed out in
+    // globally ascending order: by the time any thread works on chunk t,
+    // chunk t-1 has already been claimed by a running thread that will
+    // publish. The default stealing mode breaks that (a thief can hold
+    // chunk t while t-1 is unclaimed and every other thread is spinning),
+    // so this is the one caller of `parallel_parts_ordered`.
     let mut parts: Vec<&mut [u32]> = output.chunks_mut(chunk).collect();
-    hetero_rt::pool::parallel_parts(&mut parts, threads, |t, out_chunk| {
+    hetero_rt::pool::parallel_parts_ordered(&mut parts, threads, |t, out_chunk| {
         let lo = t * chunk;
         // Single pass over own chunk: exclusive scan into output
         // while computing the chunk total.

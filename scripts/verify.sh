@@ -99,4 +99,15 @@ done
 # replay and the armed-queue fallback verified bit-equal.
 ./target/release/prove /tmp/BENCH_prove_elision.json --gate 1.05 > /dev/null
 
-echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate + graph replay + fusion gates + serve gates + stream chaos + stream storm smoke + prove sweep + elision gate all green"
+# Data-path gates. roofline measures every lane-converted kernel's GB/s
+# against the pool-parallel memcpy peak, with the scalar (pre-conversion)
+# path timed in-process via lanes::force: at least two kernels must show
+# a >= 1.5x lane-over-scalar speedup. launch_storm --steal runs the
+# NW-wavefront-shaped imbalanced job (per-item cost ~ index) and
+# requires the work-stealing deques to beat static whole-span chunking
+# by >= 1.2x, on top of the existing exact-dispatch-count and
+# scratch-reuse accounting gates.
+./target/release/roofline /tmp/BENCH_roofline.json --gate 1.5 > /dev/null
+./target/release/launch_storm /tmp/BENCH_launch_storm.json --steal > /dev/null
+
+echo "verify: build + tests + clippy + lint + sanitize smoke + chaos matrix + sdc matrix + sdc overhead gate + graph replay + fusion gates + serve gates + stream chaos + stream storm smoke + prove sweep + elision gate + roofline gate + steal gate all green"

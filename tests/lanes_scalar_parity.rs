@@ -1,0 +1,88 @@
+//! One test, one binary: `hetero_rt::lanes::force` flips process-global
+//! state, so the lane/scalar parity sweep cannot share a process with
+//! the default parallel test runner.
+//!
+//! Pins the PR's central bit-exactness claim from both sides: with lanes
+//! forced *off* every converted kernel runs its pre-conversion data path
+//! (per-item kernels, scalar folds) and must still verify against the
+//! goldens; with lanes forced *on* the outputs must be **bitwise
+//! identical** to the scalar run — not merely within tolerance.
+
+use altis_core::common::{AppVersion, ExecMode};
+use altis_data::InputSize;
+use hetero_rt::prelude::*;
+
+#[test]
+fn lane_and_scalar_paths_are_bitwise_identical_and_both_verify() {
+    let q = Queue::new(Device::cpu());
+    let fp = altis_data::fdtd2d(InputSize::S1);
+    let sp = altis_data::srad(InputSize::S1);
+
+    hetero_rt::lanes::force(false);
+    let fdtd_scalar = altis_core::fdtd2d::run_with(&q, &fp, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+    let srad_scalar = altis_core::srad::run_with(&q, &sp, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+    let scan_scalar = {
+        let input: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(0x9E37_79B9) >> 20).collect();
+        let mut out = vec![0u32; input.len()];
+        par_dpl::scan::exclusive_scan_onedpl_style(&input, &mut out);
+        out
+    };
+    let data: Vec<f32> =
+        (0..65_536).map(|i| ((i as u32).wrapping_mul(0x9E37_79B9) as f32) * 1e-3).collect();
+    let min_scalar = par_dpl::reduce::reduce_min(&data);
+    let hist_scalar = par_dpl::histogram::histogram_u32_mod(
+        &(0..65_536u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect::<Vec<_>>(),
+        257,
+    );
+
+    // The scalar path *is* the pre-conversion path; it must still verify.
+    let golden = altis_core::fdtd2d::golden(&fp);
+    assert_eq!(
+        fdtd_scalar.ez.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        golden.ez.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "scalar FDTD2D must match the golden bitwise"
+    );
+    let srad_golden = altis_core::srad::golden(&sp);
+    assert_eq!(
+        srad_scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        srad_golden.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "scalar SRAD must match the golden bitwise"
+    );
+
+    hetero_rt::lanes::force(true);
+    let fdtd_lanes = altis_core::fdtd2d::run_with(&q, &fp, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+    let srad_lanes = altis_core::srad::run_with(&q, &sp, AppVersion::SyclOptimized, ExecMode::PerLaunch);
+    let scan_lanes = {
+        let input: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(0x9E37_79B9) >> 20).collect();
+        let mut out = vec![0u32; input.len()];
+        par_dpl::scan::exclusive_scan_onedpl_style(&input, &mut out);
+        out
+    };
+    let min_lanes = par_dpl::reduce::reduce_min(&data);
+    let hist_lanes = par_dpl::histogram::histogram_u32_mod(
+        &(0..65_536u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect::<Vec<_>>(),
+        257,
+    );
+
+    assert_eq!(
+        fdtd_lanes.ez.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        fdtd_scalar.ez.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "FDTD2D lane path must be bitwise identical to scalar"
+    );
+    assert_eq!(
+        fdtd_lanes.hx.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        fdtd_scalar.hx.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    );
+    assert_eq!(
+        fdtd_lanes.hy.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        fdtd_scalar.hy.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+    );
+    assert_eq!(
+        srad_lanes.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        srad_scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "SRAD lane path must be bitwise identical to scalar"
+    );
+    assert_eq!(scan_lanes, scan_scalar, "scan lane path must be exact (wrapping adds)");
+    assert_eq!(min_lanes.to_bits(), min_scalar.to_bits(), "min reduction must be exact");
+    assert_eq!(hist_lanes, hist_scalar, "histogram lane path must be exact");
+}
